@@ -1,0 +1,180 @@
+// Package antipersist is a Go implementation of the history-independent
+// external-memory data structures from Bender, Berry, Johnson, Kroeger,
+// McCauley, Phillips, Simon, Singh and Zage, "Anti-Persistence on
+// Persistent Storage: History-Independent Sparse Tables and
+// Dictionaries" (PODS 2016).
+//
+// A data structure is history independent (HI) if its full memory
+// representation — data, gaps, sizes, addresses — reveals nothing about
+// the sequence of operations that produced its current state beyond what
+// the API already exposes. This package provides three weakly
+// history-independent structures for persistent storage:
+//
+//   - PMA — a history-independent packed-memory array (sparse table):
+//     N elements in user order in a Θ(N)-slot array with O(1) gaps,
+//     O(log² N) amortized element moves per update whp, range queries
+//     in O(1 + k/B) I/Os (Theorem 1).
+//
+//   - Dictionary — a history-independent cache-oblivious B-tree: the
+//     PMA augmented with a van-Emde-Boas-layout tree of balance keys.
+//     Searches in O(log_B N) I/Os for every block size B
+//     simultaneously; updates in O(log²N/B + log_B N) amortized I/Os
+//     whp (Theorem 2).
+//
+//   - SkipList — a history-independent external-memory skip list with
+//     promotion probability 1/B^γ: point operations in O(log_B N) I/Os
+//     whp and range queries in O((1/ε)·log_B N + k/B) whp (Theorem 3).
+//
+// Baselines used by the paper's evaluation are also exported: the
+// classic (history-dependent) PMA, the folklore B-skip list that
+// Lemma 15 proves deficient, Pugh's in-memory skip list, and a standard
+// external-memory B-tree. I/O costs are measured in the
+// disk-access-machine model via IOTracker.
+//
+// All structures are deterministic given their seed and NOT safe for
+// concurrent use; wrap them with your own synchronization.
+package antipersist
+
+import (
+	"io"
+
+	"repro/internal/btree"
+	"repro/internal/cobt"
+	"repro/internal/hipma"
+	"repro/internal/iomodel"
+	"repro/internal/pma"
+	"repro/internal/skiplist"
+)
+
+// Item is a key plus an opaque payload, the element type of PMA and
+// Dictionary.
+type Item = hipma.Item
+
+// PMA is the weakly history-independent packed-memory array of §3
+// (Theorem 1). See repro/internal/hipma for the full method set:
+// InsertAt, DeleteAt, Get, Query, SearchKey, InsertKey, DeleteKey,
+// UpdateAt, Moves, Occupancy, CheckInvariants, ...
+type PMA = hipma.PMA
+
+// PMAConfig holds the PMA's tunable constants (c₁, C_L, small-N̂
+// fallback threshold).
+type PMAConfig = hipma.Config
+
+// Dictionary is the history-independent cache-oblivious B-tree of §5
+// (Theorem 2): a key-value store with Put/Get/Delete/Range/Ascend/
+// Min/Max/Select/RankOf.
+type Dictionary = cobt.Dictionary
+
+// SkipList is the history-independent external-memory skip list of §6
+// (Theorem 3) — or, with SkipListConfig.Folklore, the folklore B-skip
+// list of Lemma 15.
+type SkipList = skiplist.External
+
+// SkipListConfig selects the skip-list variant: block size B, ε (the
+// promotion exponent is γ = (1+ε)/2), and the Folklore switch.
+type SkipListConfig = skiplist.Config
+
+// InMemorySkipList is Pugh's classic p = 1/2 skip list, the paper's RAM
+// baseline.
+type InMemorySkipList = skiplist.InMemory
+
+// ClassicPMA is the standard, NON-history-independent packed-memory
+// array with density thresholds — the baseline of Figure 2.
+type ClassicPMA = pma.PMA
+
+// ClassicPMAConfig holds the classic PMA's density thresholds.
+type ClassicPMAConfig = pma.Config
+
+// BTree is a standard external-memory B-tree, the non-HI yardstick.
+type BTree = btree.Tree
+
+// IOTracker counts block transfers in the disk-access-machine model of
+// Aggarwal and Vitter: block size B, an LRU cache of M/B frames, and
+// reads/writes counters. A nil *IOTracker is accepted everywhere and
+// disables accounting.
+type IOTracker = iomodel.Tracker
+
+// IOStats is a snapshot of an IOTracker's counters.
+type IOStats = iomodel.Stats
+
+// SkipListFront is the skip list's sentinel key; user keys must be
+// strictly greater.
+const SkipListFront = skiplist.Front
+
+// NewIOTracker returns a DAM-model tracker with block size b (in
+// element units) and an LRU cache of memBlocks frames (0 disables
+// caching: every block touch is an I/O).
+func NewIOTracker(b, memBlocks int) *IOTracker {
+	return iomodel.New(b, memBlocks)
+}
+
+// NewPMA returns an empty history-independent packed-memory array with
+// the paper's default constants (c₁ = 1/2, C_L = 2). The seed drives
+// all of the structure's randomness; io may be nil.
+func NewPMA(seed uint64, io *IOTracker) *PMA {
+	return hipma.New(seed, io)
+}
+
+// NewPMAWithConfig returns an empty HI PMA with custom constants.
+func NewPMAWithConfig(cfg PMAConfig, seed uint64, io *IOTracker) (*PMA, error) {
+	return hipma.NewWithConfig(cfg, seed, io)
+}
+
+// DefaultPMAConfig returns the paper's suggested PMA constants.
+func DefaultPMAConfig() PMAConfig { return hipma.DefaultConfig() }
+
+// NewDictionary returns an empty history-independent cache-oblivious
+// B-tree.
+func NewDictionary(seed uint64, io *IOTracker) *Dictionary {
+	return cobt.New(seed, io)
+}
+
+// NewDictionaryWithConfig returns a dictionary with custom PMA constants.
+func NewDictionaryWithConfig(cfg PMAConfig, seed uint64, io *IOTracker) (*Dictionary, error) {
+	return cobt.NewWithConfig(cfg, seed, io)
+}
+
+// NewSkipList returns an empty external-memory skip list.
+func NewSkipList(cfg SkipListConfig, seed uint64, io *IOTracker) (*SkipList, error) {
+	return skiplist.NewExternal(cfg, seed, io)
+}
+
+// DefaultSkipListConfig returns the HI skip list with B = 64, ε = 1/3.
+func DefaultSkipListConfig() SkipListConfig { return skiplist.DefaultConfig() }
+
+// NewInMemorySkipList returns an empty classic skip list. If io is
+// non-nil, every node hop charges one block read.
+func NewInMemorySkipList(seed uint64, io *IOTracker) *InMemorySkipList {
+	return skiplist.NewInMemory(seed, io)
+}
+
+// NewClassicPMA returns an empty classic (history-dependent) PMA with
+// the standard density thresholds.
+func NewClassicPMA(io *IOTracker) *ClassicPMA {
+	return pma.New(io)
+}
+
+// NewBTree returns an empty external-memory B-tree with block size b.
+func NewBTree(b int, seed uint64, io *IOTracker) *BTree {
+	return btree.New(b, seed, io)
+}
+
+// ReadPMA deserializes a PMA disk image produced by PMA.WriteTo. The
+// image is exactly the structure's memory representation (that is the
+// point of history independence); seed supplies fresh randomness for
+// future operations.
+func ReadPMA(r io.Reader, seed uint64, tracker *IOTracker) (*PMA, error) {
+	return hipma.ReadImage(r, seed, tracker)
+}
+
+// ReadDictionary deserializes a Dictionary disk image produced by
+// Dictionary.WriteTo.
+func ReadDictionary(r io.Reader, seed uint64, tracker *IOTracker) (*Dictionary, error) {
+	return cobt.ReadDictionary(r, seed, tracker)
+}
+
+// ReadSkipList deserializes a SkipList disk image produced by
+// SkipList.WriteTo.
+func ReadSkipList(r io.Reader, seed uint64, tracker *IOTracker) (*SkipList, error) {
+	return skiplist.ReadImage(r, seed, tracker)
+}

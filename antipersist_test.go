@@ -1,0 +1,90 @@
+package antipersist
+
+import "testing"
+
+// The facade is a thin alias layer; these tests pin the public surface
+// so an accidental signature change in an internal package is caught
+// here, at the API boundary a downstream user sees.
+
+func TestFacadePMA(t *testing.T) {
+	p := NewPMA(1, nil)
+	p.InsertAt(0, Item{Key: 10, Val: 100})
+	p.InsertKey(20, 200)
+	if p.Len() != 2 {
+		t.Fatalf("len = %d", p.Len())
+	}
+	if it := p.Get(1); it.Key != 20 || it.Val != 200 {
+		t.Fatalf("Get(1) = %+v", it)
+	}
+	rank, found := p.SearchKey(10)
+	if !found || rank != 0 {
+		t.Fatalf("SearchKey = (%d, %v)", rank, found)
+	}
+	p.DeleteAt(0)
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeDictionary(t *testing.T) {
+	tr := NewIOTracker(64, 16)
+	d := NewDictionary(2, tr)
+	d.Put(1, 10)
+	d.Put(2, 20)
+	if v, ok := d.Get(2); !ok || v != 20 {
+		t.Fatalf("Get(2) = (%d, %v)", v, ok)
+	}
+	items := d.Range(0, 100, nil)
+	if len(items) != 2 {
+		t.Fatalf("range = %v", items)
+	}
+	if tr.IOs() == 0 {
+		t.Fatal("tracker saw no I/Os")
+	}
+}
+
+func TestFacadeSkipLists(t *testing.T) {
+	s, err := NewSkipList(DefaultSkipListConfig(), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Insert(5)
+	if !s.Contains(5) {
+		t.Fatal("skip list lost 5")
+	}
+	m := NewInMemorySkipList(4, nil)
+	m.Insert(6)
+	if !m.Contains(6) {
+		t.Fatal("in-memory skip list lost 6")
+	}
+	if _, err := NewSkipList(SkipListConfig{B: 1}, 5, nil); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	cp := NewClassicPMA(nil)
+	cp.InsertKey(7)
+	if cp.Len() != 1 {
+		t.Fatal("classic PMA insert failed")
+	}
+	bt := NewBTree(16, 6, nil)
+	bt.Insert(9)
+	if !bt.Contains(9) {
+		t.Fatal("B-tree insert failed")
+	}
+}
+
+func TestFacadeConfigs(t *testing.T) {
+	cfg := DefaultPMAConfig()
+	if _, err := NewPMAWithConfig(cfg, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDictionaryWithConfig(cfg, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	cfg.C1 = -1
+	if _, err := NewPMAWithConfig(cfg, 1, nil); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}

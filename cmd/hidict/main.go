@@ -1,0 +1,167 @@
+// hidict is a small interactive shell over the history-independent
+// cache-oblivious B-tree — handy for poking at the structure and
+// watching its I/O and rebuild counters live.
+//
+//	$ go run ./cmd/hidict
+//	> put 7 700
+//	> get 7
+//	700
+//	> range 0 100
+//	7=700
+//	> stats
+//	...
+//
+// Commands: put K V · get K · del K · range LO HI · min · max ·
+// rank K · select R · len · stats · check · help · quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	antipersist "repro"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "random seed")
+	blockSize := flag.Int("b", 64, "DAM block size")
+	cache := flag.Int("cache", 256, "LRU cache frames")
+	flag.Parse()
+
+	io := antipersist.NewIOTracker(*blockSize, *cache)
+	dict := antipersist.NewDictionary(*seed, io)
+	fmt.Println("history-independent dictionary shell — type 'help' for commands")
+
+	sc := bufio.NewScanner(os.Stdin)
+	for fmt.Print("> "); sc.Scan(); fmt.Print("> ") {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		cmd, args := fields[0], fields[1:]
+		switch cmd {
+		case "quit", "exit", "q":
+			return
+		case "help":
+			fmt.Println("put K V · get K · del K · range LO HI · min · max · rank K · select R · len · stats · check · quit")
+		case "put":
+			k, v, ok := int2(args)
+			if !ok {
+				fmt.Println("usage: put K V")
+				continue
+			}
+			if dict.Put(k, v) {
+				fmt.Println("inserted")
+			} else {
+				fmt.Println("updated")
+			}
+		case "get":
+			k, ok := int1(args)
+			if !ok {
+				fmt.Println("usage: get K")
+				continue
+			}
+			if v, found := dict.Get(k); found {
+				fmt.Println(v)
+			} else {
+				fmt.Println("(not found)")
+			}
+		case "del":
+			k, ok := int1(args)
+			if !ok {
+				fmt.Println("usage: del K")
+				continue
+			}
+			if dict.Delete(k) {
+				fmt.Println("deleted — unrecoverably")
+			} else {
+				fmt.Println("(not found)")
+			}
+		case "range":
+			lo, hi, ok := int2(args)
+			if !ok {
+				fmt.Println("usage: range LO HI")
+				continue
+			}
+			items := dict.Range(lo, hi, nil)
+			for _, it := range items {
+				fmt.Printf("%d=%d\n", it.Key, it.Val)
+			}
+			fmt.Printf("(%d items)\n", len(items))
+		case "min":
+			if it, ok := dict.Min(); ok {
+				fmt.Printf("%d=%d\n", it.Key, it.Val)
+			} else {
+				fmt.Println("(empty)")
+			}
+		case "max":
+			if it, ok := dict.Max(); ok {
+				fmt.Printf("%d=%d\n", it.Key, it.Val)
+			} else {
+				fmt.Println("(empty)")
+			}
+		case "rank":
+			k, ok := int1(args)
+			if !ok {
+				fmt.Println("usage: rank K")
+				continue
+			}
+			fmt.Println(dict.RankOf(k))
+		case "select":
+			r, ok := int1(args)
+			if !ok || r < 0 || int(r) >= dict.Len() {
+				fmt.Println("usage: select R with 0 <= R < len")
+				continue
+			}
+			it := dict.Select(int(r))
+			fmt.Printf("%d=%d\n", it.Key, it.Val)
+		case "len":
+			fmt.Println(dict.Len())
+		case "stats":
+			p := dict.PMA()
+			fmt.Printf("n=%d  Nhat=%d  slots=%d (%.2fx)  height=%d\n",
+				p.Len(), p.Nhat(), p.SlotCount(),
+				float64(p.SlotCount())/float64(maxInt(p.Len(), 1)), p.Height())
+			fmt.Printf("moves=%d  rebuilds=%d  full-rebuilds=%d\n",
+				p.Moves(), p.Rebuilds(), p.FullRebuilds())
+			fmt.Printf("I/O: reads=%d writes=%d hits=%d (B=%d)\n",
+				io.Reads(), io.Writes(), io.Hits(), io.B())
+		case "check":
+			if err := dict.CheckInvariants(); err != nil {
+				fmt.Println("INVARIANT VIOLATION:", err)
+			} else {
+				fmt.Println("all invariants hold")
+			}
+		default:
+			fmt.Println("unknown command; try 'help'")
+		}
+	}
+}
+
+func int1(args []string) (int64, bool) {
+	if len(args) != 1 {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(args[0], 10, 64)
+	return v, err == nil
+}
+
+func int2(args []string) (int64, int64, bool) {
+	if len(args) != 2 {
+		return 0, 0, false
+	}
+	a, err1 := strconv.ParseInt(args[0], 10, 64)
+	b, err2 := strconv.ParseInt(args[1], 10, 64)
+	return a, b, err1 == nil && err2 == nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

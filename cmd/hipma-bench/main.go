@@ -1,0 +1,65 @@
+// hipma-bench regenerates Figure 2 of the paper: the cumulative number
+// of element moves, normalized by n·log²n, against the number of random
+// insertions, for both the history-independent PMA and the classic PMA.
+//
+// The paper plots this to 9·10⁷ insertions; the default here is 10⁶
+// (pass -n to change it). The series should be roughly flat (the
+// normalized cost is Θ(1)), with the HI PMA a constant factor above the
+// classic PMA.
+//
+// Output is TSV: inserts, hipma_norm, pma_norm, ratio.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	antipersist "repro"
+	"repro/internal/xrand"
+)
+
+func main() {
+	n := flag.Int("n", 1_000_000, "number of random insertions")
+	samples := flag.Int("samples", 40, "number of sample points")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	hi := antipersist.NewPMA(*seed, nil)
+	cl := antipersist.NewClassicPMA(nil)
+	rngHI := xrand.New(*seed + 1)
+	rngCL := xrand.New(*seed + 1) // identical insertion rank sequence
+
+	every := *n / *samples
+	if every == 0 {
+		every = 1
+	}
+
+	fmt.Println("# Figure 2: moves/(n log^2 n) vs insertions (random ranks)")
+	fmt.Println("inserts\thipma_norm\tpma_norm\tratio")
+	startHI := time.Now()
+	var hiTime, clTime time.Duration
+	for i := 1; i <= *n; i++ {
+		t0 := time.Now()
+		hi.InsertAt(rngHI.Intn(hi.Len()+1), antipersist.Item{Key: int64(i)})
+		hiTime += time.Since(t0)
+		t0 = time.Now()
+		cl.InsertAt(rngCL.Intn(cl.Len()+1), int64(i))
+		clTime += time.Since(t0)
+		if i%every == 0 || i == *n {
+			norm := float64(i) * math.Pow(math.Log2(float64(i)+1), 2)
+			hn := float64(hi.Moves()) / norm
+			cn := float64(cl.Moves()) / norm
+			fmt.Printf("%d\t%.6f\t%.6f\t%.2f\n", i, hn, cn, hn/cn)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "\n# wall clock: HI %v, classic %v, runtime overhead factor %.2f (paper: ~7)\n",
+		hiTime.Round(time.Millisecond), clTime.Round(time.Millisecond),
+		float64(hiTime)/float64(clTime))
+	fmt.Fprintf(os.Stderr, "# space: HI %d slots (%.2fx), classic %d slots (%.2fx) — paper: 1.8-5x\n",
+		hi.SlotCount(), float64(hi.SlotCount())/float64(hi.Len()),
+		cl.Capacity(), float64(cl.Capacity())/float64(cl.Len()))
+	fmt.Fprintf(os.Stderr, "# total time %v\n", time.Since(startHI).Round(time.Millisecond))
+}

@@ -1,0 +1,175 @@
+// io-sweep regenerates the paper's theorem-shape experiments in the
+// disk-access-machine model: for each block size B it measures the
+// I/O cost of searches, inserts and range queries on the HI
+// cache-oblivious B-tree (Theorem 2), the HI external skip list
+// (Theorem 3), the folklore B-skip list (Lemma 15) and the classic
+// B-tree yardstick, plus the HI PMA's update I/Os (Theorem 1).
+//
+// Output is a TSV table per experiment; each row also prints the
+// theoretical shape term (log_B N, log²N/B + log_B N, ...) so the
+// proportionality is visible at a glance.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"sort"
+
+	antipersist "repro"
+	"repro/internal/xrand"
+)
+
+func main() {
+	n := flag.Int("n", 1<<17, "elements per structure")
+	queries := flag.Int("q", 2000, "measurement operations per point")
+	cache := flag.Int("cache", 64, "LRU cache frames during measurement")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	bs := []int{16, 32, 64, 128, 256, 512}
+	logB := func(b int) float64 { return math.Log2(float64(*n)) / math.Log2(float64(b)) }
+
+	fmt.Printf("# N = %d, %d ops per measurement, cache = %d frames\n", *n, *queries, *cache)
+
+	// ---- Experiment T2/T3: point-search I/Os vs B ----------------------
+	fmt.Println("\n# search I/Os per query vs B")
+	fmt.Println("B\tlogB_N\tcobt\thi_skip\tfolklore\tbtree")
+	for _, b := range bs {
+		io := antipersist.NewIOTracker(b, *cache)
+		rng := xrand.New(*seed)
+
+		d := antipersist.NewDictionary(*seed, io)
+		for i := 0; i < *n; i++ {
+			d.Put(int64(i), int64(i))
+		}
+		cobtCost := measure(io, *queries, func() { d.Get(int64(rng.Intn(*n))) })
+
+		hi, _ := antipersist.NewSkipList(antipersist.SkipListConfig{B: b, Epsilon: 1.0 / 3.0}, *seed, io)
+		for i := 1; i <= *n; i++ {
+			hi.Insert(int64(i))
+		}
+		hiCost := measure(io, *queries, func() { hi.Contains(int64(rng.Intn(*n)) + 1) })
+
+		fl, _ := antipersist.NewSkipList(antipersist.SkipListConfig{B: b, Folklore: true}, *seed, io)
+		for i := 1; i <= *n; i++ {
+			fl.Insert(int64(i))
+		}
+		flCost := measure(io, *queries, func() { fl.Contains(int64(rng.Intn(*n)) + 1) })
+
+		bt := antipersist.NewBTree(b, *seed, io)
+		for i := 0; i < *n; i++ {
+			bt.Insert(int64(i))
+		}
+		btCost := measure(io, *queries, func() { bt.Contains(int64(rng.Intn(*n))) })
+
+		fmt.Printf("%d\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			b, logB(b), cobtCost, hiCost, flCost, btCost)
+	}
+
+	// ---- Experiment T1b: HI PMA insert I/Os vs B ------------------------
+	fmt.Println("\n# HI PMA amortized insert I/Os vs B (Theorem 1: log^2 N / B + logB N)")
+	fmt.Println("B\tshape\thipma_insert")
+	for _, b := range bs {
+		io := antipersist.NewIOTracker(b, *cache)
+		rng := xrand.New(*seed)
+		p := antipersist.NewPMA(*seed, io)
+		for i := 0; i < *n; i++ {
+			p.InsertAt(rng.Intn(p.Len()+1), antipersist.Item{Key: int64(i)})
+		}
+		cost := measure(io, *queries, func() {
+			p.InsertAt(rng.Intn(p.Len()+1), antipersist.Item{Key: int64(rng.Intn(1 << 30))})
+		})
+		l2 := math.Pow(math.Log2(float64(*n)), 2)
+		shape := l2/float64(b) + logB(b)
+		fmt.Printf("%d\t%.2f\t%.2f\n", b, shape, cost)
+	}
+
+	// ---- Experiment T2/T3 range queries: I/Os vs k ----------------------
+	fmt.Println("\n# range-query I/Os vs k at B = 64 (shape: logB N + k/B)")
+	fmt.Println("k\tshape\tcobt\thi_skip\tbtree")
+	{
+		const b = 64
+		io := antipersist.NewIOTracker(b, *cache)
+		d := antipersist.NewDictionary(*seed, io)
+		hi, _ := antipersist.NewSkipList(antipersist.SkipListConfig{B: b, Epsilon: 1.0 / 3.0}, *seed, io)
+		bt := antipersist.NewBTree(b, *seed, io)
+		for i := 0; i < *n; i++ {
+			d.Put(int64(i), int64(i))
+			hi.Insert(int64(i + 1))
+			bt.Insert(int64(i))
+		}
+		rng := xrand.New(*seed + 9)
+		for _, k := range []int{64, 256, 1024, 4096, 16384} {
+			if k >= *n {
+				break
+			}
+			reps := *queries / 20
+			if reps < 10 {
+				reps = 10
+			}
+			dc := measure(io, reps, func() {
+				lo := int64(rng.Intn(*n - k))
+				d.Range(lo, lo+int64(k)-1, nil)
+			})
+			hc := measure(io, reps, func() {
+				lo := int64(rng.Intn(*n-k)) + 1
+				hi.Range(lo, lo+int64(k)-1, nil)
+			})
+			bc := measure(io, reps, func() {
+				lo := int64(rng.Intn(*n - k))
+				bt.Range(lo, lo+int64(k)-1, nil)
+			})
+			shape := logB(b) + float64(k)/float64(b)
+			fmt.Printf("%d\t%.1f\t%.1f\t%.1f\t%.1f\n", k, shape, dc, hc, bc)
+		}
+	}
+
+	// ---- Experiment L15: search-cost tails ------------------------------
+	fmt.Println("\n# Lemma 15: cold-cache search-cost tail over all keys at B = 32")
+	fmt.Println("structure\tmean\tp99\tp999\tmax")
+	{
+		const b = 32
+		for _, variant := range []struct {
+			name string
+			cfg  antipersist.SkipListConfig
+		}{
+			{"hi_skip", antipersist.SkipListConfig{B: b, Epsilon: 1.0 / 3.0}},
+			{"folklore", antipersist.SkipListConfig{B: b, Folklore: true}},
+		} {
+			io := antipersist.NewIOTracker(b, 16)
+			s, _ := antipersist.NewSkipList(variant.cfg, *seed, io)
+			for i := 1; i <= *n; i++ {
+				s.Insert(int64(i))
+			}
+			costs := make([]int, 0, *n)
+			for k := 1; k <= *n; k += 4 {
+				io.Reset()
+				s.Contains(int64(k))
+				costs = append(costs, int(io.IOs()))
+			}
+			mean, p99, p999, mx := tailStats(costs)
+			fmt.Printf("%s\t%.1f\t%d\t%d\t%d\n", variant.name, mean, p99, p999, mx)
+		}
+	}
+}
+
+// measure runs op `reps` times and returns the mean I/O delta.
+func measure(io *antipersist.IOTracker, reps int, op func()) float64 {
+	before := io.IOs()
+	for i := 0; i < reps; i++ {
+		op()
+	}
+	return float64(io.IOs()-before) / float64(reps)
+}
+
+func tailStats(costs []int) (mean float64, p99, p999, max int) {
+	sorted := append([]int(nil), costs...)
+	sort.Ints(sorted)
+	total := 0
+	for _, c := range sorted {
+		total += c
+	}
+	q := func(p float64) int { return sorted[int(p*float64(len(sorted)-1))] }
+	return float64(total) / float64(len(sorted)), q(0.99), q(0.999), sorted[len(sorted)-1]
+}

@@ -1,0 +1,88 @@
+package antipersist_test
+
+import (
+	"bytes"
+	"fmt"
+
+	antipersist "repro"
+)
+
+// The basic key-value workflow on the history-independent
+// cache-oblivious B-tree.
+func ExampleDictionary() {
+	dict := antipersist.NewDictionary(42, nil)
+	dict.Put(3, 30)
+	dict.Put(1, 10)
+	dict.Put(2, 20)
+	dict.Delete(1) // unrecoverable: the layout cannot witness it
+
+	v, ok := dict.Get(2)
+	fmt.Println(v, ok)
+	for _, it := range dict.Range(0, 10, nil) {
+		fmt.Println(it.Key, it.Val)
+	}
+	// Output:
+	// 20 true
+	// 2 20
+	// 3 30
+}
+
+// Rank-based sequential-file maintenance on the HI packed-memory array.
+func ExamplePMA() {
+	p := antipersist.NewPMA(7, nil)
+	p.InsertAt(0, antipersist.Item{Key: 100})
+	p.InsertAt(1, antipersist.Item{Key: 300})
+	p.InsertAt(1, antipersist.Item{Key: 200}) // squeeze in the middle
+
+	for _, it := range p.Query(0, p.Len()-1, nil) {
+		fmt.Println(it.Key)
+	}
+	// Output:
+	// 100
+	// 200
+	// 300
+}
+
+// Counting I/Os in the disk-access-machine model.
+func ExampleIOTracker() {
+	io := antipersist.NewIOTracker(64, 0) // B = 64, no cache
+	io.Scan(0, 256, false)                // sequential scan of 256 units
+	fmt.Println(io.Reads())
+	// Output:
+	// 4
+}
+
+// The external-memory skip list as an ordered set.
+func ExampleSkipList() {
+	sl, err := antipersist.NewSkipList(antipersist.DefaultSkipListConfig(), 9, nil)
+	if err != nil {
+		panic(err)
+	}
+	for _, k := range []int64{5, 1, 9, 5} {
+		sl.Insert(k)
+	}
+	fmt.Println(sl.Len(), sl.Contains(9), sl.Contains(2))
+	fmt.Println(sl.Range(1, 6, nil))
+	// Output:
+	// 3 true false
+	// [1 5]
+}
+
+// Persisting a dictionary to a disk image and loading it back.
+func ExampleReadDictionary() {
+	d := antipersist.NewDictionary(3, nil)
+	d.Put(7, 700)
+
+	var img bytes.Buffer
+	if _, err := d.WriteTo(&img); err != nil {
+		panic(err)
+	}
+	loaded, err := antipersist.ReadDictionary(&img, 99, nil)
+	if err != nil {
+		panic(err)
+	}
+	v, ok := loaded.Get(7)
+	fmt.Println(v, ok)
+	// Output:
+	// 700 true
+}

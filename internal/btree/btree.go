@@ -1,0 +1,381 @@
+// Package btree implements a standard external-memory B-tree on the DAM
+// simulator — the ubiquitous, NON-history-independent dictionary the
+// paper positions all of its structures against (§1): searches, inserts
+// and deletes in O(log_B N) I/Os, range queries in O(log_B N + k/B).
+//
+// Every node occupies one disk block (up to B-1 keys per node, so the
+// fanout is Θ(B)); touching a node costs one I/O. Nodes are placed by
+// the history-independent allocator so that address patterns do not
+// accidentally favour any variant in the comparisons, but the tree's
+// *shape* is, of course, history dependent — splits and merges remember
+// the insertion order, which is exactly the leak the paper's structures
+// remove.
+package btree
+
+import (
+	"fmt"
+
+	"repro/internal/hialloc"
+	"repro/internal/iomodel"
+	"repro/internal/xrand"
+)
+
+// Tree is an external-memory B-tree over int64 keys (set semantics).
+type Tree struct {
+	b       int // block size in element units
+	maxKeys int // maximum keys per node (= b-1, minimum 3)
+	minKeys int // minimum keys per non-root node
+	io      *iomodel.Tracker
+	alloc   *hialloc.Allocator
+	root    *bnode
+	count   int
+}
+
+type bnode struct {
+	keys     []int64
+	children []*bnode // nil for leaves
+	addr     int64
+}
+
+// New returns an empty B-tree for block size b. io may be nil.
+func New(b int, seed uint64, io *iomodel.Tracker) *Tree {
+	if b < 4 {
+		panic(fmt.Sprintf("btree: block size %d must be >= 4", b))
+	}
+	t := &Tree{b: b, maxKeys: b - 1, io: io}
+	if t.maxKeys < 3 {
+		t.maxKeys = 3
+	}
+	t.minKeys = t.maxKeys / 2
+	t.alloc = hialloc.NewAllocator(b, xrand.New(seed))
+	t.root = t.newNode(true)
+	return t
+}
+
+func (t *Tree) newNode(leaf bool) *bnode {
+	n := &bnode{addr: t.alloc.Alloc(t.b)}
+	if !leaf {
+		n.children = make([]*bnode, 0, t.maxKeys+2)
+	}
+	return n
+}
+
+func (t *Tree) touch(n *bnode, dirty bool) {
+	t.io.Touch(n.addr, dirty)
+}
+
+// Len returns the number of keys stored.
+func (t *Tree) Len() int { return t.count }
+
+// Height returns the tree height (1 for a lone root).
+func (t *Tree) Height() int {
+	h := 1
+	for n := t.root; n.children != nil; n = n.children[0] {
+		h++
+	}
+	return h
+}
+
+func (n *bnode) leaf() bool { return n.children == nil }
+
+// search returns the index of the first key >= key in n.
+func (n *bnode) search(key int64) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Contains reports whether key is stored, charging O(log_B N) I/Os.
+func (t *Tree) Contains(key int64) bool {
+	n := t.root
+	for {
+		t.touch(n, false)
+		i := n.search(key)
+		if i < len(n.keys) && n.keys[i] == key {
+			return true
+		}
+		if n.leaf() {
+			return false
+		}
+		n = n.children[i]
+	}
+}
+
+// Insert adds key and reports whether it was absent.
+func (t *Tree) Insert(key int64) bool {
+	if len(t.root.keys) == t.maxKeys {
+		old := t.root
+		t.root = t.newNode(false)
+		t.root.children = append(t.root.children, old)
+		t.splitChild(t.root, 0)
+	}
+	if !t.insertNonFull(t.root, key) {
+		return false
+	}
+	t.count++
+	return true
+}
+
+// splitChild splits the full child i of parent (preemptive splitting).
+func (t *Tree) splitChild(parent *bnode, i int) {
+	child := parent.children[i]
+	mid := len(child.keys) / 2
+	midKey := child.keys[mid]
+	right := t.newNode(child.leaf())
+	right.keys = append(right.keys, child.keys[mid+1:]...)
+	if !child.leaf() {
+		right.children = append(right.children, child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	child.keys = child.keys[:mid]
+	parent.keys = append(parent.keys, 0)
+	copy(parent.keys[i+1:], parent.keys[i:])
+	parent.keys[i] = midKey
+	parent.children = append(parent.children, nil)
+	copy(parent.children[i+2:], parent.children[i+1:])
+	parent.children[i+1] = right
+	t.touch(parent, true)
+	t.touch(child, true)
+	t.touch(right, true)
+}
+
+func (t *Tree) insertNonFull(n *bnode, key int64) bool {
+	for {
+		t.touch(n, true)
+		i := n.search(key)
+		if i < len(n.keys) && n.keys[i] == key {
+			return false
+		}
+		if n.leaf() {
+			n.keys = append(n.keys, 0)
+			copy(n.keys[i+1:], n.keys[i:])
+			n.keys[i] = key
+			return true
+		}
+		if len(n.children[i].keys) == t.maxKeys {
+			t.splitChild(n, i)
+			if key == n.keys[i] {
+				return false
+			}
+			if key > n.keys[i] {
+				i++
+			}
+		}
+		n = n.children[i]
+	}
+}
+
+// Delete removes key and reports whether it was present.
+func (t *Tree) Delete(key int64) bool {
+	if !t.delete(t.root, key) {
+		return false
+	}
+	if len(t.root.keys) == 0 && !t.root.leaf() {
+		old := t.root
+		t.root = t.root.children[0]
+		t.alloc.Free(old.addr)
+	}
+	t.count--
+	return true
+}
+
+func (t *Tree) delete(n *bnode, key int64) bool {
+	t.touch(n, true)
+	i := n.search(key)
+	if n.leaf() {
+		if i >= len(n.keys) || n.keys[i] != key {
+			return false
+		}
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		return true
+	}
+	if i < len(n.keys) && n.keys[i] == key {
+		// Replace by predecessor (max of left subtree), then delete it.
+		pred := t.maxKey(n.children[i])
+		n.keys[i] = pred
+		t.ensureChild(n, i)
+		// n.keys may have shifted; re-locate pred's subtree.
+		j := n.search(pred)
+		if j < len(n.keys) && n.keys[j] == pred {
+			return t.delete(n.children[j], pred)
+		}
+		return t.delete(n.children[j], pred)
+	}
+	t.ensureChild(n, i)
+	j := n.search(key)
+	return t.delete(n.children[j], key)
+}
+
+// maxKey returns the largest key in the subtree.
+func (t *Tree) maxKey(n *bnode) int64 {
+	for !n.leaf() {
+		t.touch(n, false)
+		n = n.children[len(n.children)-1]
+	}
+	t.touch(n, false)
+	return n.keys[len(n.keys)-1]
+}
+
+// ensureChild guarantees child i has > minKeys keys before descending,
+// borrowing from a sibling or merging.
+func (t *Tree) ensureChild(n *bnode, i int) {
+	if len(n.children) < 2 {
+		// Only the root can reach a single child (after a merge of its
+		// last two children); that child is the freshly merged node and
+		// already has > minKeys keys, so there is nothing to fix here.
+		// The empty root is collapsed at the end of Delete.
+		return
+	}
+	if i >= len(n.children) {
+		i = len(n.children) - 1
+	}
+	c := n.children[i]
+	if len(c.keys) > t.minKeys {
+		return
+	}
+	// Borrow from left sibling.
+	if i > 0 && len(n.children[i-1].keys) > t.minKeys {
+		left := n.children[i-1]
+		c.keys = append(c.keys, 0)
+		copy(c.keys[1:], c.keys)
+		c.keys[0] = n.keys[i-1]
+		n.keys[i-1] = left.keys[len(left.keys)-1]
+		left.keys = left.keys[:len(left.keys)-1]
+		if !c.leaf() {
+			c.children = append(c.children, nil)
+			copy(c.children[1:], c.children)
+			c.children[0] = left.children[len(left.children)-1]
+			left.children = left.children[:len(left.children)-1]
+		}
+		t.touch(left, true)
+		t.touch(c, true)
+		t.touch(n, true)
+		return
+	}
+	// Borrow from right sibling.
+	if i < len(n.children)-1 && len(n.children[i+1].keys) > t.minKeys {
+		right := n.children[i+1]
+		c.keys = append(c.keys, n.keys[i])
+		n.keys[i] = right.keys[0]
+		right.keys = append(right.keys[:0], right.keys[1:]...)
+		if !c.leaf() {
+			c.children = append(c.children, right.children[0])
+			right.children = append(right.children[:0], right.children[1:]...)
+		}
+		t.touch(right, true)
+		t.touch(c, true)
+		t.touch(n, true)
+		return
+	}
+	// Merge with a sibling.
+	if i > 0 {
+		i--
+	}
+	left, right := n.children[i], n.children[i+1]
+	left.keys = append(left.keys, n.keys[i])
+	left.keys = append(left.keys, right.keys...)
+	if !left.leaf() {
+		left.children = append(left.children, right.children...)
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+	t.alloc.Free(right.addr)
+	t.touch(left, true)
+	t.touch(n, true)
+}
+
+// Range appends all keys in [lo, hi] to out, in order.
+func (t *Tree) Range(lo, hi int64, out []int64) []int64 {
+	if lo > hi {
+		return out
+	}
+	return t.rangeNode(t.root, lo, hi, out)
+}
+
+func (t *Tree) rangeNode(n *bnode, lo, hi int64, out []int64) []int64 {
+	t.touch(n, false)
+	i := n.search(lo)
+	if n.leaf() {
+		for ; i < len(n.keys) && n.keys[i] <= hi; i++ {
+			out = append(out, n.keys[i])
+		}
+		return out
+	}
+	for ; i <= len(n.keys); i++ {
+		out = t.rangeNode(n.children[i], lo, hi, out)
+		if i < len(n.keys) {
+			if n.keys[i] > hi {
+				break
+			}
+			out = append(out, n.keys[i])
+		}
+	}
+	return out
+}
+
+// CheckInvariants verifies B-tree structural invariants: key order,
+// fanout bounds, uniform depth, and the count.
+func (t *Tree) CheckInvariants() error {
+	seen := 0
+	var minDepth, maxDepth int
+	minDepth = 1 << 30
+	var walk func(n *bnode, depth int, lo, hi int64) error
+	walk = func(n *bnode, depth int, lo, hi int64) error {
+		if n != t.root && (len(n.keys) < t.minKeys || len(n.keys) > t.maxKeys) {
+			return fmt.Errorf("btree: node with %d keys outside [%d, %d]",
+				len(n.keys), t.minKeys, t.maxKeys)
+		}
+		for i, k := range n.keys {
+			if k < lo || k > hi {
+				return fmt.Errorf("btree: key %d outside subtree range [%d, %d]", k, lo, hi)
+			}
+			if i > 0 && n.keys[i-1] >= k {
+				return fmt.Errorf("btree: keys out of order: %d then %d", n.keys[i-1], k)
+			}
+		}
+		seen += len(n.keys)
+		if n.leaf() {
+			if depth < minDepth {
+				minDepth = depth
+			}
+			if depth > maxDepth {
+				maxDepth = depth
+			}
+			return nil
+		}
+		if len(n.children) != len(n.keys)+1 {
+			return fmt.Errorf("btree: %d keys but %d children", len(n.keys), len(n.children))
+		}
+		for i, c := range n.children {
+			clo, chi := lo, hi
+			if i > 0 {
+				clo = n.keys[i-1] + 1
+			}
+			if i < len(n.keys) {
+				chi = n.keys[i] - 1
+			}
+			if err := walk(c, depth+1, clo, chi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	const inf = int64(^uint64(0) >> 1)
+	if err := walk(t.root, 1, -inf-0, inf); err != nil {
+		return err
+	}
+	if seen != t.count {
+		return fmt.Errorf("btree: %d keys found, count %d", seen, t.count)
+	}
+	if t.count > 0 && minDepth != maxDepth {
+		return fmt.Errorf("btree: leaves at depths %d..%d", minDepth, maxDepth)
+	}
+	return nil
+}

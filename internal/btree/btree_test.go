@@ -1,0 +1,238 @@
+package btree
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/iomodel"
+	"repro/internal/xrand"
+)
+
+func TestBasic(t *testing.T) {
+	bt := New(8, 1, nil)
+	if bt.Contains(5) {
+		t.Fatal("empty tree contains 5")
+	}
+	if !bt.Insert(5) || bt.Insert(5) {
+		t.Fatal("insert semantics")
+	}
+	if !bt.Contains(5) {
+		t.Fatal("5 missing")
+	}
+	if !bt.Delete(5) || bt.Delete(5) {
+		t.Fatal("delete semantics")
+	}
+	if bt.Len() != 0 {
+		t.Fatalf("len = %d", bt.Len())
+	}
+}
+
+func TestSequentialAndReverse(t *testing.T) {
+	for _, b := range []int{4, 8, 64} {
+		for _, dir := range []string{"asc", "desc"} {
+			bt := New(b, 2, nil)
+			const n = 5000
+			for i := 0; i < n; i++ {
+				k := int64(i)
+				if dir == "desc" {
+					k = int64(n - i)
+				}
+				bt.Insert(k)
+			}
+			if bt.Len() != n {
+				t.Fatalf("b=%d %s: len = %d", b, dir, bt.Len())
+			}
+			if err := bt.CheckInvariants(); err != nil {
+				t.Fatalf("b=%d %s: %v", b, dir, err)
+			}
+		}
+	}
+}
+
+func TestSetOracle(t *testing.T) {
+	bt := New(16, 3, nil)
+	oracle := make(map[int64]bool)
+	rng := xrand.New(7)
+	for op := 0; op < 40000; op++ {
+		k := int64(rng.Intn(5000))
+		if rng.Intn(2) == 0 {
+			if got := bt.Insert(k); got != !oracle[k] {
+				t.Fatalf("op %d: Insert(%d) = %v", op, k, got)
+			}
+			oracle[k] = true
+		} else {
+			if got := bt.Delete(k); got != oracle[k] {
+				t.Fatalf("op %d: Delete(%d) = %v", op, k, got)
+			}
+			delete(oracle, k)
+		}
+		if op%8000 == 7999 {
+			if err := bt.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+		}
+	}
+	if bt.Len() != len(oracle) {
+		t.Fatalf("len %d vs %d", bt.Len(), len(oracle))
+	}
+	for k := int64(0); k < 5000; k++ {
+		if bt.Contains(k) != oracle[k] {
+			t.Fatalf("Contains(%d) = %v", k, bt.Contains(k))
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	bt := New(8, 5, nil)
+	var want []int64
+	rng := xrand.New(9)
+	seen := map[int64]bool{}
+	for i := 0; i < 2000; i++ {
+		k := int64(rng.Intn(10000))
+		if !seen[k] {
+			seen[k] = true
+			want = append(want, k)
+			bt.Insert(k)
+		}
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for trial := 0; trial < 100; trial++ {
+		lo := int64(rng.Intn(10000))
+		hi := lo + int64(rng.Intn(3000))
+		got := bt.Range(lo, hi, nil)
+		var expect []int64
+		for _, k := range want {
+			if k >= lo && k <= hi {
+				expect = append(expect, k)
+			}
+		}
+		if len(got) != len(expect) {
+			t.Fatalf("Range(%d,%d): %d vs %d keys", lo, hi, len(got), len(expect))
+		}
+		for i := range expect {
+			if got[i] != expect[i] {
+				t.Fatalf("Range(%d,%d)[%d] = %d, want %d", lo, hi, i, got[i], expect[i])
+			}
+		}
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	bt := New(8, 11, nil)
+	const n = 3000
+	perm := make([]int, n)
+	xrand.New(13).Perm(perm)
+	for i := 0; i < n; i++ {
+		bt.Insert(int64(i))
+	}
+	for _, k := range perm {
+		if !bt.Delete(int64(k)) {
+			t.Fatalf("Delete(%d) missed", k)
+		}
+	}
+	if bt.Len() != 0 {
+		t.Fatalf("len = %d", bt.Len())
+	}
+	if err := bt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeightLogB(t *testing.T) {
+	const n = 100000
+	for _, b := range []int{16, 64, 256} {
+		bt := New(b, 17, nil)
+		for i := 0; i < n; i++ {
+			bt.Insert(int64(i))
+		}
+		want := math.Log2(n)/math.Log2(float64(b)/2) + 2
+		if float64(bt.Height()) > want {
+			t.Errorf("b=%d: height %d > %.1f", b, bt.Height(), want)
+		}
+	}
+}
+
+func TestSearchIOBound(t *testing.T) {
+	const n = 1 << 17
+	for _, b := range []int{16, 64, 256} {
+		tr := iomodel.New(b, 0)
+		bt := New(b, 19, tr)
+		for i := 0; i < n; i++ {
+			bt.Insert(int64(i))
+		}
+		rng := xrand.New(21)
+		tr.Reset()
+		const queries = 1000
+		for q := 0; q < queries; q++ {
+			bt.Contains(int64(rng.Intn(n)))
+		}
+		perQ := float64(tr.IOs()) / queries
+		bound := 2*math.Log2(n)/math.Log2(float64(b)/2) + 3
+		if perQ > bound {
+			t.Errorf("b=%d: %.2f I/Os per search, bound %.1f", b, perQ, bound)
+		}
+	}
+}
+
+func TestPropertyOracle(t *testing.T) {
+	f := func(seed uint64, bRaw uint8) bool {
+		b := []int{4, 8, 16, 32}[bRaw%4]
+		bt := New(b, seed, nil)
+		oracle := make(map[int64]bool)
+		rng := xrand.New(seed + 1)
+		for op := 0; op < 800; op++ {
+			k := int64(rng.Intn(200))
+			if rng.Intn(2) == 0 {
+				bt.Insert(k)
+				oracle[k] = true
+			} else {
+				bt.Delete(k)
+				delete(oracle, k)
+			}
+		}
+		if bt.Len() != len(oracle) {
+			return false
+		}
+		for k := int64(0); k < 200; k++ {
+			if bt.Contains(k) != oracle[k] {
+				return false
+			}
+		}
+		return bt.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicsOnTinyBlock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(3) did not panic")
+		}
+	}()
+	New(3, 1, nil)
+}
+
+func BenchmarkInsert(b *testing.B) {
+	bt := New(64, 1, nil)
+	rng := xrand.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt.Insert(int64(rng.Uint64n(1 << 40)))
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	bt := New(64, 1, nil)
+	for i := 0; i < 100000; i++ {
+		bt.Insert(int64(i))
+	}
+	rng := xrand.New(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt.Contains(int64(rng.Intn(100000)))
+	}
+}

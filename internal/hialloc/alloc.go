@@ -1,0 +1,85 @@
+package hialloc
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// Allocator simulates the history-independent allocation black box of
+// Naor and Teague [47] that the paper consumes (§2.1, §6.3): every live
+// allocation's address is distributed independently of the operation
+// history. The real construction manages a free list whose choices are
+// uniform; we simulate the same interface property by drawing each
+// block's address uniformly from a huge sparse address space (collisions
+// are retried, so addresses are distinct). Addresses are in element
+// units and block-aligned so that iomodel accounting of an allocation
+// never shares a block with another allocation.
+type Allocator struct {
+	rng       *xrand.Source
+	blockSize int64
+	space     int64           // number of block slots in the address space
+	live      map[int64]int64 // base address -> size in element units
+}
+
+// NewAllocator returns an allocator whose allocations are aligned to
+// blockSize element units. The simulated address space holds 2^40
+// blocks, so collisions are vanishingly rare and retried.
+func NewAllocator(blockSize int, rng *xrand.Source) *Allocator {
+	if blockSize <= 0 {
+		panic("hialloc: block size must be positive")
+	}
+	return &Allocator{
+		rng:       rng,
+		blockSize: int64(blockSize),
+		space:     1 << 40,
+		live:      make(map[int64]int64),
+	}
+}
+
+// Alloc reserves size element units and returns the base address. The
+// address is uniform over the free block-aligned slots, which is the
+// history-independence property [47] guarantees.
+func (a *Allocator) Alloc(size int) int64 {
+	if size <= 0 {
+		panic("hialloc: Alloc size must be positive")
+	}
+	for {
+		base := int64(a.rng.Uint64n(uint64(a.space))) * a.blockSize
+		if _, taken := a.live[base]; taken {
+			continue
+		}
+		a.live[base] = int64(size)
+		return base
+	}
+}
+
+// Reserve registers an existing allocation at base (used when restoring
+// a persisted structure whose addresses are part of its memory
+// representation). It returns an error on misalignment or collision.
+func (a *Allocator) Reserve(base int64, size int) error {
+	if size <= 0 {
+		return fmt.Errorf("hialloc: Reserve size %d must be positive", size)
+	}
+	if base < 0 || base%a.blockSize != 0 {
+		return fmt.Errorf("hialloc: Reserve address %d not %d-aligned", base, a.blockSize)
+	}
+	if _, taken := a.live[base]; taken {
+		return fmt.Errorf("hialloc: Reserve address %d already live", base)
+	}
+	a.live[base] = int64(size)
+	return nil
+}
+
+// Free releases the allocation at base. It panics on a double free or an
+// address that was never allocated, which would indicate a bug in the
+// calling structure.
+func (a *Allocator) Free(base int64) {
+	if _, ok := a.live[base]; !ok {
+		panic("hialloc: Free of unallocated address")
+	}
+	delete(a.live, base)
+}
+
+// Live returns the number of live allocations, for leak checks in tests.
+func (a *Allocator) Live() int { return len(a.live) }

@@ -1,0 +1,145 @@
+package hialloc
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// FloorSizer is a Sizer with a minimum-size floor, implementing the HI
+// external skip list's Invariant 16: for an array holding n elements
+// with floor F (the paper's B^γ for leaf arrays),
+//
+//   - if n <= F, the physical size is uniform in [F, 2F-1];
+//   - if n >= F, the physical size is uniform in [n, 2n-1].
+//
+// Writing m = max(n, F), the invariant is "size uniform in {m..2m-1}",
+// and a ±1 change in n either leaves m unchanged (no transition needed:
+// the distribution is already correct) or steps m by one, which is
+// exactly the Sizer's exact-coupling transition. Resizes therefore occur
+// with probability O(1/m) per update, preserving both history
+// independence and the amortized cost bound.
+type FloorSizer struct {
+	rng   *xrand.Source
+	floor int
+	n     int
+	size  int
+}
+
+// NewFloorSizer returns a FloorSizer for an array holding n elements
+// with the given floor (floor >= 1).
+func NewFloorSizer(n, floor int, rng *xrand.Source) *FloorSizer {
+	if n < 0 || floor < 1 {
+		panic("hialloc: invalid FloorSizer parameters")
+	}
+	s := &FloorSizer{rng: rng, floor: floor, n: n}
+	m := s.m(n)
+	s.size = s.freshUniform(m)
+	return s
+}
+
+// RestoreFloorSizer reconstructs a FloorSizer from persisted state,
+// validating the Invariant 16 window. Fresh randomness drives future
+// transitions; the invariant distribution is memoryless, so weak
+// history independence is preserved.
+func RestoreFloorSizer(n, size, floor int, rng *xrand.Source) (*FloorSizer, error) {
+	if n < 0 || floor < 1 {
+		return nil, fmt.Errorf("hialloc: invalid FloorSizer state n=%d floor=%d", n, floor)
+	}
+	m := n
+	if m < floor {
+		m = floor
+	}
+	if m <= 1 {
+		if size != m {
+			return nil, fmt.Errorf("hialloc: size %d invalid for m=%d", size, m)
+		}
+	} else if size < m || size > 2*m-1 {
+		return nil, fmt.Errorf("hialloc: size %d outside [%d, %d]", size, m, 2*m-1)
+	}
+	return &FloorSizer{rng: rng, floor: floor, n: n, size: size}, nil
+}
+
+func (s *FloorSizer) m(n int) int {
+	if n < s.floor {
+		return s.floor
+	}
+	return n
+}
+
+func (s *FloorSizer) freshUniform(m int) int {
+	if m <= 1 {
+		return m
+	}
+	return s.rng.IntRange(m, 2*m-1)
+}
+
+// N returns the element count.
+func (s *FloorSizer) N() int { return s.n }
+
+// Size returns the physical size, uniform in {m..2m-1} for m = max(N, floor).
+func (s *FloorSizer) Size() int { return s.size }
+
+// Insert records one insertion; resized reports whether the array must
+// be physically rebuilt at the returned size.
+func (s *FloorSizer) Insert() (size int, resized bool) {
+	mOld := s.m(s.n)
+	s.n++
+	mNew := s.m(s.n)
+	if mNew == mOld {
+		return s.size, false
+	}
+	// mNew == mOld + 1: exact Sizer insert-coupling on m.
+	n := mOld
+	if n <= 1 {
+		s.size = s.freshUniform(mNew)
+		return s.size, true
+	}
+	if s.size == n || s.rng.Intn(n+1) >= n {
+		s.size = 2*n + s.rng.Intn(2)
+		return s.size, true
+	}
+	return s.size, false
+}
+
+// Delete records one deletion; resized reports whether the array must be
+// physically rebuilt at the returned size.
+func (s *FloorSizer) Delete() (size int, resized bool) {
+	if s.n <= 0 {
+		panic("hialloc: FloorSizer.Delete on empty array")
+	}
+	mOld := s.m(s.n)
+	s.n--
+	mNew := s.m(s.n)
+	if mNew == mOld {
+		return s.size, false
+	}
+	// mNew == mOld - 1: exact Sizer delete-coupling on m.
+	n := mOld
+	if n <= 2 {
+		s.size = s.freshUniform(mNew)
+		return s.size, true
+	}
+	if s.size >= 2*n-2 {
+		r := s.rng.Intn(2 * (n - 1))
+		if r < n {
+			s.size = n - 1
+		} else {
+			s.size = r
+		}
+		return s.size, true
+	}
+	return s.size, false
+}
+
+// Reset re-draws the size fresh for a bulk change to n elements (array
+// splits and merges): a fresh uniform sample is trivially history
+// independent, and bulk changes already cost Ω(array) work.
+func (s *FloorSizer) Reset(n int) (size int) {
+	if n < 0 {
+		panic("hialloc: FloorSizer.Reset with negative n")
+	}
+	s.n = n
+	s.size = s.freshUniform(s.m(n))
+	return s.size
+}

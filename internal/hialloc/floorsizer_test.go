@@ -1,0 +1,175 @@
+package hialloc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// TestFloorSizerExactUniformity mirrors the Sizer DP test with a floor:
+// the size distribution must stay uniform on {m..2m-1}, m = max(n, F).
+func TestFloorSizerExactUniformity(t *testing.T) {
+	const F = 8
+	const maxSize = 1024
+	dist := make([]float64, maxSize)
+	n := 0
+	// Initial: n=0 -> m=F -> uniform [F, 2F-1].
+	for v := F; v <= 2*F-1; v++ {
+		dist[v] = 1.0 / F
+	}
+
+	mOf := func(n int) int {
+		if n < F {
+			return F
+		}
+		return n
+	}
+	applyInsert := func() {
+		mOld, mNew := mOf(n), mOf(n+1)
+		n++
+		if mNew == mOld {
+			return
+		}
+		next := make([]float64, maxSize)
+		nn := mOld
+		for s, p := range dist {
+			if p == 0 {
+				continue
+			}
+			if s == nn {
+				next[2*nn] += p / 2
+				next[2*nn+1] += p / 2
+				continue
+			}
+			keep := float64(nn) / float64(nn+1)
+			next[s] += p * keep
+			next[2*nn] += p * (1 - keep) / 2
+			next[2*nn+1] += p * (1 - keep) / 2
+		}
+		dist = next
+	}
+	applyDelete := func() {
+		mOld, mNew := mOf(n-1), 0
+		mNew = mOf(n - 1)
+		mOld = mOf(n)
+		n--
+		if mNew == mOld {
+			return
+		}
+		next := make([]float64, maxSize)
+		nn := mOld
+		for s, p := range dist {
+			if p == 0 {
+				continue
+			}
+			if s >= 2*nn-2 {
+				next[nn-1] += p * float64(nn) / float64(2*(nn-1))
+				for v := nn; v <= 2*nn-3; v++ {
+					next[v] += p / float64(2*(nn-1))
+				}
+				continue
+			}
+			next[s] += p
+		}
+		dist = next
+	}
+	check := func(step int) {
+		m := mOf(n)
+		want := 1.0 / float64(m)
+		for s := 0; s < maxSize; s++ {
+			var expect float64
+			if s >= m && s <= 2*m-1 {
+				expect = want
+			}
+			if math.Abs(dist[s]-expect) > 1e-12 {
+				t.Fatalf("step %d, n=%d (m=%d): P(size=%d) = %v, want %v",
+					step, n, m, s, dist[s], expect)
+			}
+		}
+	}
+	rng := xrand.New(5)
+	for step := 0; step < 300; step++ {
+		if n == 0 || (n < 200 && rng.Intn(2) == 0) {
+			applyInsert()
+		} else {
+			applyDelete()
+		}
+		check(step)
+	}
+}
+
+func TestFloorSizerInvariantRuntime(t *testing.T) {
+	rng := xrand.New(9)
+	s := NewFloorSizer(0, 16, rng)
+	check := func() {
+		m := s.n
+		if m < 16 {
+			m = 16
+		}
+		if s.Size() < m || s.Size() > 2*m-1 {
+			t.Fatalf("n=%d: size %d outside [%d, %d]", s.n, s.Size(), m, 2*m-1)
+		}
+	}
+	check()
+	for i := 0; i < 100; i++ {
+		s.Insert()
+		check()
+	}
+	for i := 0; i < 100; i++ {
+		s.Delete()
+		check()
+	}
+	if s.N() != 0 {
+		t.Fatalf("N = %d", s.N())
+	}
+}
+
+func TestFloorSizerNoResizeBelowFloor(t *testing.T) {
+	// While n stays below the floor, m is constant, so no resizes occur.
+	rng := xrand.New(11)
+	s := NewFloorSizer(0, 64, rng)
+	for i := 0; i < 63; i++ {
+		if _, resized := s.Insert(); resized {
+			t.Fatalf("resize below floor at n=%d", s.N())
+		}
+	}
+	for i := 0; i < 63; i++ {
+		if _, resized := s.Delete(); resized {
+			t.Fatalf("resize below floor during delete at n=%d", s.N())
+		}
+	}
+}
+
+func TestFloorSizerReset(t *testing.T) {
+	rng := xrand.New(13)
+	s := NewFloorSizer(5, 4, rng)
+	size := s.Reset(100)
+	if size < 100 || size > 199 {
+		t.Fatalf("Reset(100) size = %d", size)
+	}
+	if s.N() != 100 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if got := s.Reset(0); got != 4 && (got < 4 || got > 7) {
+		t.Fatalf("Reset(0) size = %d, want in [4,7]", got)
+	}
+}
+
+func TestFloorSizerPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewFloorSizer(-1, 4, xrand.New(1)) },
+		func() { NewFloorSizer(0, 0, xrand.New(1)) },
+		func() { NewFloorSizer(0, 4, xrand.New(1)).Delete() },
+		func() { NewFloorSizer(0, 4, xrand.New(1)).Reset(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,276 @@
+package hialloc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// TestSizerExactUniformity verifies, by exact dynamic programming over
+// the size distribution, that the Sizer's transition rule maps the
+// uniform distribution on {n..2n-1} to the uniform distribution on
+// {n'..2n'-1} for every insert and delete — i.e. invariant (1) of §2.1
+// holds exactly, for arbitrary operation sequences.
+func TestSizerExactUniformity(t *testing.T) {
+	// dist[s] = probability the size is s.
+	const maxSize = 4096
+	dist := make([]float64, maxSize)
+	n := 2
+	dist[2], dist[3] = 0.5, 0.5
+
+	applyInsert := func() {
+		next := make([]float64, maxSize)
+		for s, p := range dist {
+			if p == 0 {
+				continue
+			}
+			if s == n {
+				next[2*n] += p / 2
+				next[2*n+1] += p / 2
+				continue
+			}
+			keep := float64(n) / float64(n+1)
+			next[s] += p * keep
+			next[2*n] += p * (1 - keep) / 2
+			next[2*n+1] += p * (1 - keep) / 2
+		}
+		dist = next
+		n++
+	}
+	applyDelete := func() {
+		next := make([]float64, maxSize)
+		for s, p := range dist {
+			if p == 0 {
+				continue
+			}
+			if s >= 2*n-2 {
+				// Refresh: P(n-1) = n/(2(n-1)); P(v) = 1/(2(n-1)).
+				next[n-1] += p * float64(n) / float64(2*(n-1))
+				for v := n; v <= 2*n-3; v++ {
+					next[v] += p / float64(2*(n-1))
+				}
+				continue
+			}
+			next[s] += p
+		}
+		dist = next
+		n--
+	}
+	checkUniform := func(step int) {
+		want := 1.0 / float64(n)
+		for s := 0; s < maxSize; s++ {
+			var expect float64
+			if s >= n && s <= 2*n-1 {
+				expect = want
+			}
+			if math.Abs(dist[s]-expect) > 1e-12 {
+				t.Fatalf("step %d, n=%d: P(size=%d) = %v, want %v",
+					step, n, s, dist[s], expect)
+			}
+		}
+	}
+
+	// A deliberately history-heavy schedule: grow, shrink, sawtooth.
+	rng := xrand.New(99)
+	for step := 0; step < 400; step++ {
+		if n <= 2 || (n < maxSize/4 && rng.Intn(2) == 0) {
+			applyInsert()
+		} else {
+			applyDelete()
+		}
+		checkUniform(step)
+	}
+}
+
+func TestSizerInvariantEmpirical(t *testing.T) {
+	// Run the real Sizer through a fixed op schedule many times and
+	// chi-square the final size distribution against uniform.
+	const trials = 20000
+	counts := make(map[int]int)
+	var finalN int
+	for trial := 0; trial < trials; trial++ {
+		rng := xrand.New(uint64(trial) + 1)
+		s := NewSizer(0, rng)
+		// Front-loaded history: insert 40, delete 15, insert 7.
+		for i := 0; i < 40; i++ {
+			s.Insert()
+		}
+		for i := 0; i < 15; i++ {
+			s.Delete()
+		}
+		for i := 0; i < 7; i++ {
+			s.Insert()
+		}
+		finalN = s.N()
+		if s.Size() < finalN || s.Size() > 2*finalN-1 {
+			t.Fatalf("size %d outside [%d, %d]", s.Size(), finalN, 2*finalN-1)
+		}
+		counts[s.Size()]++
+	}
+	expected := float64(trials) / float64(finalN)
+	chi2 := 0.0
+	for v := finalN; v <= 2*finalN-1; v++ {
+		d := float64(counts[v]) - expected
+		chi2 += d * d / expected
+	}
+	// finalN-1 = 31 degrees of freedom; 99.9th percentile ~ 61.1.
+	if chi2 > 61.1 {
+		t.Fatalf("chi2 = %v over %d buckets: final size not uniform", chi2, finalN)
+	}
+}
+
+func TestSizerResizeFrequency(t *testing.T) {
+	// Resizes must happen with probability Theta(1/n) per op: count
+	// resizes during n sequential inserts; expect Theta(log n) total
+	// (sum of ~2/k), certainly o(n).
+	rng := xrand.New(7)
+	s := NewSizer(0, rng)
+	const n = 200000
+	resizes := 0
+	for i := 0; i < n; i++ {
+		if _, r := s.Insert(); r {
+			resizes++
+		}
+	}
+	// Expected about sum_{k=1..n} 2/k ~ 2 ln n ~ 24. Allow generous slack.
+	if resizes > 200 {
+		t.Fatalf("%d resizes in %d inserts; expected O(log n)", resizes, n)
+	}
+	if resizes < 3 {
+		t.Fatalf("implausibly few resizes: %d", resizes)
+	}
+}
+
+func TestSizerSmallN(t *testing.T) {
+	rng := xrand.New(3)
+	s := NewSizer(0, rng)
+	if s.Size() != 0 {
+		t.Fatalf("empty size = %d", s.Size())
+	}
+	sz, r := s.Insert()
+	if sz != 1 || !r {
+		t.Fatalf("first insert: size=%d resized=%v", sz, r)
+	}
+	sz, _ = s.Insert()
+	if sz != 2 && sz != 3 {
+		t.Fatalf("n=2 size = %d, want 2 or 3", sz)
+	}
+	sz, _ = s.Delete()
+	if sz != 1 {
+		t.Fatalf("n=1 size = %d, want 1", sz)
+	}
+	sz, _ = s.Delete()
+	if sz != 0 || s.N() != 0 {
+		t.Fatalf("n=0 size = %d", sz)
+	}
+}
+
+func TestSizerDeleteEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Delete on empty did not panic")
+		}
+	}()
+	NewSizer(0, xrand.New(1)).Delete()
+}
+
+func TestSHISizerCanonical(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{
+		{0, 0}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {8, 8}, {9, 16},
+		{1023, 1024}, {1024, 1024}, {1025, 2048},
+	} {
+		if got := canonicalSize(tc.n); got != tc.want {
+			t.Errorf("canonicalSize(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestSHISizerAdversary(t *testing.T) {
+	// Observation 1: alternating inserts/deletes across a canonical
+	// boundary forces a resize on every operation.
+	s := NewSHISizer(1024) // boundary at 1024 -> 2048
+	resizes := 0
+	const ops = 1000
+	for i := 0; i < ops/2; i++ {
+		if _, r := s.Insert(); r {
+			resizes++
+		}
+		if _, r := s.Delete(); r {
+			resizes++
+		}
+	}
+	if resizes != ops {
+		t.Fatalf("adversary forced %d resizes out of %d ops; want all", resizes, ops)
+	}
+}
+
+func TestWHISizerResistsAdversary(t *testing.T) {
+	// The same alternation cannot reliably hit the WHI sizer's random
+	// size: resizes stay rare.
+	rng := xrand.New(11)
+	s := NewSizer(1024, rng)
+	resizes := 0
+	const ops = 10000
+	for i := 0; i < ops/2; i++ {
+		if _, r := s.Insert(); r {
+			resizes++
+		}
+		if _, r := s.Delete(); r {
+			resizes++
+		}
+	}
+	// Resize probability is ~2/1024 per op -> ~20 expected.
+	if resizes > 100 {
+		t.Fatalf("WHI sizer resized %d/%d times under alternation", resizes, ops)
+	}
+}
+
+func TestAllocatorDistinctAligned(t *testing.T) {
+	a := NewAllocator(64, xrand.New(5))
+	seen := make(map[int64]bool)
+	for i := 0; i < 1000; i++ {
+		addr := a.Alloc(100)
+		if addr%64 != 0 {
+			t.Fatalf("address %d not block-aligned", addr)
+		}
+		if seen[addr] {
+			t.Fatalf("duplicate address %d", addr)
+		}
+		seen[addr] = true
+	}
+	if a.Live() != 1000 {
+		t.Fatalf("live = %d, want 1000", a.Live())
+	}
+}
+
+func TestAllocatorFree(t *testing.T) {
+	a := NewAllocator(8, xrand.New(6))
+	addr := a.Alloc(10)
+	a.Free(addr)
+	if a.Live() != 0 {
+		t.Fatal("allocation not freed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	a.Free(addr)
+}
+
+func TestAllocatorBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Alloc(0) did not panic")
+		}
+	}()
+	NewAllocator(8, xrand.New(1)).Alloc(0)
+}
+
+func BenchmarkSizerInsert(b *testing.B) {
+	s := NewSizer(0, xrand.New(1))
+	for i := 0; i < b.N; i++ {
+		s.Insert()
+	}
+}

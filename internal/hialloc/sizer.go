@@ -1,0 +1,201 @@
+// Package hialloc provides the history-independence building blocks of
+// §2.1 of the paper: weakly history-independent dynamic-array sizing
+// (after Hartline et al. [36]), a history-independent block allocator in
+// the style of Naor and Teague [47] (simulated), and a canonical-size
+// (strongly HI) array baseline used to demonstrate Observation 1's lower
+// bound experimentally.
+package hialloc
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// Sizer maintains the physical size of a dynamic array holding n
+// elements so that, at every point in time, the size is uniformly
+// distributed over {n, ..., 2n-1} — invariant (1) of §2.1 — no matter
+// what sequence of inserts and deletes produced the current n. Resizes
+// happen with probability Θ(1/|A|) per update — invariant (2) — so the
+// amortized resize cost is O(1) per update with high probability.
+//
+// The transition rule is an exact maximal coupling between the uniform
+// distributions before and after the update, so uniformity holds exactly
+// (not just in the limit):
+//
+//	insert (n → n+1): if size == n it must be refreshed; draw it
+//	uniformly from {2n, 2n+1}. Otherwise keep the size with probability
+//	n/(n+1), else draw uniformly from {2n, 2n+1}.
+//
+//	delete (n → n-1): if size ∈ {2n-2, 2n-1} it must be refreshed; draw
+//	n-1 with probability n/(2(n-1)), else uniformly from {n, ..., 2n-3}.
+//	Otherwise keep.
+//
+// A short calculation (see the package tests, which verify the exact
+// distribution by dynamic programming) shows both rules map
+// Uniform{n..2n-1} to Uniform{n'..2n'-1}.
+type Sizer struct {
+	rng  *xrand.Source
+	n    int // elements currently stored
+	size int // physical size; uniform in {n..2n-1} given n >= 2
+}
+
+// NewSizer returns a Sizer for an array currently holding n elements,
+// with its size drawn uniformly from {n, ..., 2n-1}. n must be >= 0.
+func NewSizer(n int, rng *xrand.Source) *Sizer {
+	if n < 0 {
+		panic("hialloc: negative element count")
+	}
+	s := &Sizer{rng: rng, n: n}
+	s.size = s.fresh(n)
+	return s
+}
+
+// RestoreSizer reconstructs a Sizer from persisted state: n elements
+// with physical size `size`. The size must satisfy the WHI invariant
+// (uniform support {n..2n-1}); the caller supplies fresh randomness for
+// future transitions, which preserves weak history independence because
+// the invariant distribution is memoryless.
+func RestoreSizer(n, size int, rng *xrand.Source) (*Sizer, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("hialloc: negative element count %d", n)
+	}
+	switch {
+	case n == 0 && size != 0, n == 1 && size != 1:
+		return nil, fmt.Errorf("hialloc: size %d invalid for n=%d", size, n)
+	case n >= 2 && (size < n || size > 2*n-1):
+		return nil, fmt.Errorf("hialloc: size %d outside [%d, %d]", size, n, 2*n-1)
+	}
+	return &Sizer{rng: rng, n: n, size: size}, nil
+}
+
+func (s *Sizer) fresh(n int) int {
+	if n <= 1 {
+		return n
+	}
+	return s.rng.IntRange(n, 2*n-1)
+}
+
+// N returns the current element count.
+func (s *Sizer) N() int { return s.n }
+
+// Size returns the current physical size. Size() is uniform in
+// {N(), ..., 2N()-1} for N() >= 1 and 0 when empty.
+func (s *Sizer) Size() int { return s.size }
+
+// Insert records one insertion and returns the new size and whether the
+// array must be physically rebuilt at that size.
+func (s *Sizer) Insert() (size int, resized bool) {
+	n := s.n
+	s.n = n + 1
+	switch {
+	case n == 0:
+		s.size = 1
+		return s.size, true
+	case n == 1:
+		// Target range {2, 3}.
+		s.size = 2 + s.rng.Intn(2)
+		return s.size, true
+	}
+	// Source: uniform {n..2n-1}; target: uniform {n+1..2n+1}.
+	if s.size == n || !s.bernoulli(n, n+1) {
+		s.size = 2*n + s.rng.Intn(2)
+		return s.size, true
+	}
+	return s.size, false
+}
+
+// Delete records one deletion and returns the new size and whether the
+// array must be physically rebuilt at that size.
+func (s *Sizer) Delete() (size int, resized bool) {
+	n := s.n
+	if n <= 0 {
+		panic("hialloc: Delete on empty array")
+	}
+	s.n = n - 1
+	switch {
+	case n == 1:
+		s.size = 0
+		return 0, true
+	case n == 2:
+		s.size = 1
+		return 1, true
+	}
+	// Source: uniform {n..2n-1}; target: uniform {n-1..2n-3}.
+	if s.size >= 2*n-2 {
+		// Refresh: P(n-1) = n/(2(n-1)); P(v) = 1/(2(n-1)) for v in {n..2n-3}.
+		r := s.rng.Intn(2 * (n - 1))
+		if r < n {
+			s.size = n - 1
+		} else {
+			s.size = r // r in {n, ..., 2n-3}
+		}
+		return s.size, true
+	}
+	return s.size, false
+}
+
+// bernoulli returns true with probability num/den.
+func (s *Sizer) bernoulli(num, den int) bool {
+	return s.rng.Intn(den) < num
+}
+
+// SHISizer is the strongly-history-independent (canonical) counterpart:
+// the size is a fixed function of n alone — here the smallest power of
+// two that is >= n (and hence < 2n for n >= 1, satisfying the same
+// capacity constraint as Sizer). Observation 1 of the paper shows any
+// such canonical rule admits an oblivious adversary that forces an Ω(N)
+// resize per operation with probability >= 1/k; BenchmarkObservation1
+// demonstrates the separation against Sizer.
+type SHISizer struct {
+	n    int
+	size int
+}
+
+// NewSHISizer returns a canonical sizer holding n elements.
+func NewSHISizer(n int) *SHISizer {
+	if n < 0 {
+		panic("hialloc: negative element count")
+	}
+	return &SHISizer{n: n, size: canonicalSize(n)}
+}
+
+func canonicalSize(n int) int {
+	if n <= 1 {
+		return n
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return size
+}
+
+// N returns the current element count.
+func (s *SHISizer) N() int { return s.n }
+
+// Size returns the canonical physical size for the current n.
+func (s *SHISizer) Size() int { return s.size }
+
+// Insert records one insertion; resized reports whether the canonical
+// size changed (forcing an O(n) rebuild).
+func (s *SHISizer) Insert() (size int, resized bool) {
+	s.n++
+	ns := canonicalSize(s.n)
+	resized = ns != s.size
+	s.size = ns
+	return ns, resized
+}
+
+// Delete records one deletion; resized reports whether the canonical
+// size changed (forcing an O(n) rebuild).
+func (s *SHISizer) Delete() (size int, resized bool) {
+	if s.n == 0 {
+		panic("hialloc: Delete on empty array")
+	}
+	s.n--
+	ns := canonicalSize(s.n)
+	resized = ns != s.size
+	s.size = ns
+	return ns, resized
+}

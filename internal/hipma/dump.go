@@ -1,0 +1,78 @@
+package hipma
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Dump renders the PMA's range decomposition in the style of the
+// paper's Figure 1: one row per tree depth showing how the elements
+// split into ranges, with each range's candidate window hatched (~) and
+// its balance element framed ([k]); the bottom rows show the physical
+// array with occupied (#) and empty (.) slots.
+//
+// Intended for small PMAs (a few hundred elements); rows are truncated
+// at width columns (0 means no limit).
+func (p *PMA) Dump(w io.Writer, width int) {
+	fmt.Fprintf(w, "HI PMA: n=%d Nhat=%d h=%d leafSlots=%d slots=%d\n",
+		p.n, p.nhat, p.h, p.leafSlots, len(p.slots))
+	for depth := 0; depth < p.h; depth++ {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "d=%-2d ", depth)
+		first := 1 << uint(depth)
+		for bfs := first; bfs < 2*first; bfs++ {
+			p.dumpRange(&sb, bfs, depth)
+			sb.WriteString("| ")
+		}
+		line := sb.String()
+		if width > 0 && len(line) > width {
+			line = line[:width-3] + "..."
+		}
+		fmt.Fprintln(w, line)
+	}
+	// Physical array row.
+	occ := p.Occupancy()
+	var sb strings.Builder
+	sb.WriteString("array")
+	for i, o := range occ {
+		if i%p.leafSlots == 0 {
+			sb.WriteByte('|')
+		}
+		if o {
+			sb.WriteByte('#')
+		} else {
+			sb.WriteByte('.')
+		}
+	}
+	sb.WriteByte('|')
+	line := sb.String()
+	if width > 0 && len(line) > width {
+		line = line[:width-3] + "..."
+	}
+	fmt.Fprintln(w, line)
+}
+
+// dumpRange renders one range's elements, hatching the candidate window
+// and framing the balance element.
+func (p *PMA) dumpRange(sb *strings.Builder, bfs, depth int) {
+	l := int(p.ranks.Get(bfs))
+	if l == 0 {
+		sb.WriteString("- ")
+		return
+	}
+	rho := int(p.ranks.Get(2 * bfs))
+	s0, m := middleWindow(l, p.cand[depth])
+	elems := p.collectRange(bfs, depth, nil)
+	for i, it := range elems {
+		inWindow := i >= s0 && i < s0+m
+		switch {
+		case i == rho:
+			fmt.Fprintf(sb, "[%d] ", it.Key)
+		case inWindow:
+			fmt.Fprintf(sb, "~%d~ ", it.Key)
+		default:
+			fmt.Fprintf(sb, "%d ", it.Key)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package hipma
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDumpRendersStructure(t *testing.T) {
+	p := New(3, nil)
+	for i := 1; i <= 200; i++ {
+		p.InsertAt(p.Len(), Item{Key: int64(i)})
+	}
+	var buf bytes.Buffer
+	p.Dump(&buf, 0)
+	out := buf.String()
+	if !strings.Contains(out, "HI PMA: n=200") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	// Balance framing and window hatching must appear at some depth.
+	if !strings.Contains(out, "[") || !strings.Contains(out, "~") {
+		t.Fatalf("no balance/window markers:\n%s", out)
+	}
+	// The physical array row must show both occupied and empty slots,
+	// with one leaf-boundary bar per leaf.
+	if !strings.Contains(out, "#") || !strings.Contains(out, ".") {
+		t.Fatalf("array row missing occupancy markers:\n%s", out)
+	}
+	arrayLine := ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "array") {
+			arrayLine = line
+		}
+	}
+	if got, want := strings.Count(arrayLine, "|"), (1<<uint(p.Height()))+1; got != want {
+		t.Fatalf("array row has %d leaf bars, want %d", got, want)
+	}
+}
+
+func TestDumpTruncation(t *testing.T) {
+	p := New(5, nil)
+	for i := 1; i <= 300; i++ {
+		p.InsertAt(p.Len(), Item{Key: int64(i)})
+	}
+	var buf bytes.Buffer
+	p.Dump(&buf, 60)
+	for i, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if i == 0 {
+			continue // header exempt
+		}
+		if len(line) > 63 {
+			t.Fatalf("line %d exceeds width: %q", i, line)
+		}
+	}
+}
+
+func TestDumpSmallMode(t *testing.T) {
+	p := New(7, nil)
+	for i := 1; i <= 10; i++ {
+		p.InsertAt(p.Len(), Item{Key: int64(i)})
+	}
+	var buf bytes.Buffer
+	p.Dump(&buf, 0) // h = 0: no range rows, just header + array
+	if !strings.Contains(buf.String(), "h=0") {
+		t.Fatalf("small mode dump wrong:\n%s", buf.String())
+	}
+}

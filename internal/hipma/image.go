@@ -1,0 +1,229 @@
+package hipma
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/hialloc"
+	"repro/internal/iomodel"
+	"repro/internal/veb"
+	"repro/internal/xrand"
+)
+
+// Disk image format. The image is, deliberately, exactly the PMA's
+// memory representation — the array (slots and gaps), the rank tree and
+// the balance-key tree in their physical van Emde Boas order — because
+// history independence is a property of that representation
+// (Definition 4): an image of the structure must not carry anything
+// the in-memory layout would not. The only extras are the header needed
+// to reinterpret the bytes (config, N, N̂) and a checksum.
+//
+//	magic   [8]byte  "HIPMA\x00v1"
+//	c1      float64 bits
+//	cl      float64 bits
+//	minTree int64
+//	n       int64
+//	nhat    int64
+//	slots   [N_S]{key int64, val int64}
+//	ranks   [2^{h+1}-1]int64   (physical vEB order)
+//	keys    [2^{h+1}-1]int64   (physical vEB order)
+//	crc32   uint32 (IEEE, over everything above)
+//
+// All integers little-endian. N_S and h are derived from (config, N̂)
+// exactly as at run time, so a mismatch is detected structurally.
+
+var imageMagic = [8]byte{'H', 'I', 'P', 'M', 'A', 0, 'v', '1'}
+
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+	n   int64
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	c.n += int64(n)
+	return n, err
+}
+
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+	n   int64
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	c.n += int64(n)
+	return n, err
+}
+
+// WriteTo serializes the PMA's exact memory representation. It
+// implements io.WriterTo.
+func (p *PMA) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &crcWriter{w: bw}
+
+	if _, err := cw.Write(imageMagic[:]); err != nil {
+		return cw.n, err
+	}
+	header := []uint64{
+		math.Float64bits(p.cfg.C1),
+		math.Float64bits(p.cfg.CL),
+		uint64(p.cfg.MinTreeNhat),
+		uint64(p.n),
+		uint64(p.nhat),
+	}
+	for _, v := range header {
+		if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
+			return cw.n, err
+		}
+	}
+	// The array, verbatim: occupied slots and zeroed gaps alike.
+	buf := make([]byte, 16)
+	for _, it := range p.slots {
+		binary.LittleEndian.PutUint64(buf[0:], uint64(it.Key))
+		binary.LittleEndian.PutUint64(buf[8:], uint64(it.Val))
+		if _, err := cw.Write(buf); err != nil {
+			return cw.n, err
+		}
+	}
+	// Both trees in physical (vEB) order: BFS index -> physical slot is
+	// the deterministic layout permutation, so dumping physical order
+	// preserves the on-disk representation exactly.
+	if err := p.writeTreePhysical(cw, p.ranks); err != nil {
+		return cw.n, err
+	}
+	if err := p.writeTreePhysical(cw, p.keys); err != nil {
+		return cw.n, err
+	}
+	crc := cw.crc
+	if err := binary.Write(bw, binary.LittleEndian, crc); err != nil {
+		return cw.n, err
+	}
+	return cw.n + 4, bw.Flush()
+}
+
+func (p *PMA) writeTreePhysical(w io.Writer, t *veb.Tree) error {
+	n := t.Layout().NumNodes()
+	// Recover physical order by inverting the BFS->phys permutation.
+	phys := make([]int64, n)
+	for bfs := 1; bfs <= n; bfs++ {
+		phys[t.Layout().Phys(bfs)] = t.Get(bfs)
+	}
+	buf := make([]byte, 8)
+	for _, v := range phys {
+		binary.LittleEndian.PutUint64(buf, uint64(v))
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadImage deserializes a PMA image. The seed supplies fresh
+// randomness for all future operations — weak history independence is
+// preserved because the persisted state's distribution depends only on
+// the logical state, and future coins are independent of the past.
+// io may be nil. The image's checksum and structural invariants are
+// verified before the PMA is returned.
+func ReadImage(r io.Reader, seed uint64, io2 *iomodel.Tracker) (*PMA, error) {
+	cr := &crcReader{r: bufio.NewReader(r)}
+
+	var magic [8]byte
+	if _, err := io.ReadFull(cr, magic[:]); err != nil {
+		return nil, fmt.Errorf("hipma: reading magic: %w", err)
+	}
+	if magic != imageMagic {
+		return nil, fmt.Errorf("hipma: bad magic %q", magic[:])
+	}
+	var raw [5]uint64
+	for i := range raw {
+		if err := binary.Read(cr, binary.LittleEndian, &raw[i]); err != nil {
+			return nil, fmt.Errorf("hipma: reading header: %w", err)
+		}
+	}
+	cfg := Config{
+		C1:          math.Float64frombits(raw[0]),
+		CL:          math.Float64frombits(raw[1]),
+		MinTreeNhat: int(int64(raw[2])),
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := int(int64(raw[3]))
+	nhat := int(int64(raw[4]))
+	if n < 0 {
+		return nil, fmt.Errorf("hipma: negative n %d in image", n)
+	}
+	switch {
+	case n == 0 && nhat != 0, n == 1 && nhat != 1:
+		return nil, fmt.Errorf("hipma: Nhat %d invalid for n=%d", nhat, n)
+	case n >= 2 && (nhat < n || nhat > 2*n-1):
+		return nil, fmt.Errorf("hipma: Nhat %d outside [n, 2n-1] for n=%d", nhat, n)
+	}
+
+	p := &PMA{cfg: cfg, rng: xrand.New(seed), io: io2}
+	sizer, err := hialloc.RestoreSizer(n, nhat, p.rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	p.sizer = sizer
+	p.nhat = nhat
+	p.h, p.leafSlots, p.cand = p.geometry(nhat)
+	ns := (1 << uint(p.h)) * p.leafSlots
+	p.slots = make([]Item, ns)
+	p.n = n
+
+	buf := make([]byte, 16)
+	for i := range p.slots {
+		if _, err := io.ReadFull(cr, buf); err != nil {
+			return nil, fmt.Errorf("hipma: reading slot %d: %w", i, err)
+		}
+		p.slots[i].Key = int64(binary.LittleEndian.Uint64(buf[0:]))
+		p.slots[i].Val = int64(binary.LittleEndian.Uint64(buf[8:]))
+	}
+	layout := veb.NewLayout(p.h + 1)
+	p.ranks = veb.NewTree(layout, int64(ns), io2)
+	p.keys = veb.NewTree(layout, int64(ns)+int64(layout.NumNodes()), io2)
+	if err := readTreePhysical(cr, p.ranks); err != nil {
+		return nil, err
+	}
+	if err := readTreePhysical(cr, p.keys); err != nil {
+		return nil, err
+	}
+	wantCRC := cr.crc
+	var gotCRC uint32
+	if err := binary.Read(cr.r, binary.LittleEndian, &gotCRC); err != nil {
+		return nil, fmt.Errorf("hipma: reading checksum: %w", err)
+	}
+	if gotCRC != wantCRC {
+		return nil, fmt.Errorf("hipma: checksum mismatch: image %08x, computed %08x", gotCRC, wantCRC)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("hipma: corrupt image: %w", err)
+	}
+	return p, nil
+}
+
+func readTreePhysical(r io.Reader, t *veb.Tree) error {
+	n := t.Layout().NumNodes()
+	phys := make([]int64, n)
+	buf := make([]byte, 8)
+	for i := range phys {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return fmt.Errorf("hipma: reading tree node %d: %w", i, err)
+		}
+		phys[i] = int64(binary.LittleEndian.Uint64(buf))
+	}
+	for bfs := 1; bfs <= n; bfs++ {
+		t.Set(bfs, phys[t.Layout().Phys(bfs)])
+	}
+	return nil
+}

@@ -1,0 +1,235 @@
+package hipma
+
+import "fmt"
+
+// InsertAt inserts key as the element of rank `rank` (§3's Insert(i,x)).
+// It panics unless 0 <= rank <= Len().
+//
+// The operation first advances the WHI size parameter N̂; if N̂ was
+// resampled, the whole structure is rebuilt (this is what keeps the
+// array size history-independent). Otherwise it descends the tree of
+// ranges, maintaining every balance element by reservoir sampling with
+// deletes (§3.2, §3.4): a range is rebuilt when its balance element
+// slides out of its candidate window (an out-of-bounds rebuild) or when
+// the element entering the window wins the 1/|M_R| lottery (a lottery
+// rebuild). If no rebuild triggers, only the destination leaf is
+// rewritten.
+func (p *PMA) InsertAt(rank int, it Item) {
+	if rank < 0 || rank > p.n {
+		panic(fmt.Sprintf("hipma: InsertAt(%d) out of range, n=%d", rank, p.n))
+	}
+	if _, resized := p.sizer.Insert(); resized {
+		p.fullRebuilds++
+		elems := p.collectAll()
+		elems = append(elems, Item{})
+		copy(elems[rank+1:], elems[rank:])
+		elems[rank] = it
+		p.install(elems)
+		return
+	}
+	p.n++
+	bfs, depth, iL := 1, 0, rank
+	for depth < p.h {
+		l := int(p.ranks.Get(bfs))
+		rho := int(p.ranks.Get(2 * bfs)) // balance rank within R = |R1|
+		m := p.cand[depth]
+		s0b, mb := middleWindow(l, m)
+		s0a, ma := middleWindow(l+1, m)
+
+		newRho := rho
+		if iL <= rho {
+			newRho++
+		}
+		// Out-of-bounds: the balance element left the candidate window.
+		if newRho < s0a || newRho > s0a+ma-1 {
+			p.rebuildWithInsert(bfs, depth, iL, it, -1)
+			return
+		}
+		// Lottery: did an element enter the window, and did it win?
+		if entrant, ok := insertEntrant(iL, s0b, mb, s0a, ma); ok {
+			if p.rng.Intn(ma) == 0 {
+				p.rebuildWithInsert(bfs, depth, iL, it, entrant)
+				return
+			}
+		}
+		// No rebuild at this range: count it and descend.
+		p.ranks.Add(bfs, 1)
+		if iL <= rho {
+			bfs = 2 * bfs
+		} else {
+			bfs = 2*bfs + 1
+			iL -= rho
+		}
+		depth++
+	}
+	p.leafInsert(bfs, iL, it)
+}
+
+// DeleteAt removes the element of the given rank (§3's Delete(i)). It
+// panics if the rank is out of range.
+func (p *PMA) DeleteAt(rank int) {
+	if rank < 0 || rank >= p.n {
+		panic(fmt.Sprintf("hipma: DeleteAt(%d) out of range, n=%d", rank, p.n))
+	}
+	if _, resized := p.sizer.Delete(); resized {
+		p.fullRebuilds++
+		elems := p.collectAll()
+		elems = append(elems[:rank], elems[rank+1:]...)
+		p.install(elems)
+		return
+	}
+	p.n--
+	bfs, depth, iL := 1, 0, rank
+	for depth < p.h {
+		l := int(p.ranks.Get(bfs))
+		rho := int(p.ranks.Get(2 * bfs))
+		m := p.cand[depth]
+		s0b, mb := middleWindow(l, m)
+		s0a, ma := middleWindow(l-1, m)
+
+		// Lottery: deleting the balance element itself forces a uniform
+		// re-selection (§3.2's delete case), i.e. a rebuild.
+		if iL == rho {
+			p.rebuildWithDelete(bfs, depth, iL)
+			return
+		}
+		newRho := rho
+		if iL < rho {
+			newRho--
+		}
+		// Out-of-bounds: the balance slid out of the shifted window.
+		if ma > 0 && (newRho < s0a || newRho > s0a+ma-1) {
+			p.rebuildWithDelete(bfs, depth, iL)
+			return
+		}
+		// Lottery: an element pulled into the window may win.
+		if entrant, ok := deleteEntrant(iL, s0b, mb, s0a, ma); ok {
+			if p.rng.Intn(ma) == 0 {
+				p.rebuildWithDeleteForced(bfs, depth, iL, entrant)
+				return
+			}
+		}
+		p.ranks.Add(bfs, -1)
+		if iL < rho {
+			bfs = 2 * bfs
+		} else {
+			bfs = 2*bfs + 1
+			iL -= rho
+		}
+		depth++
+	}
+	p.leafDelete(bfs, iL)
+}
+
+// insertEntrant determines whether inserting at local rank iL brings an
+// element into the candidate window, and if so returns its rank in the
+// post-insert numbering. Windows: old [s0b, s0b+mb-1] over l elements,
+// new [s0a, s0a+ma-1] over l+1. At most one element can enter (the
+// window has fixed size and shifts by at most one).
+func insertEntrant(iL, s0b, mb, s0a, ma int) (entrant int, ok bool) {
+	if ma > mb {
+		// Window grew (l < m): the window is the whole range, so the
+		// inserted element itself joins — the plain reservoir case.
+		return iL, true
+	}
+	if ma == 0 {
+		return 0, false
+	}
+	// The inserted element enters if it lands inside the new window.
+	if iL >= s0a && iL <= s0a+ma-1 {
+		return iL, true
+	}
+	// Otherwise an old element may enter at either boundary. identity()
+	// maps a post-insert rank to its pre-insert rank (-1 for the new
+	// element, handled above).
+	identity := func(rp int) int {
+		if rp > iL {
+			return rp - 1
+		}
+		return rp
+	}
+	for _, rp := range []int{s0a, s0a + ma - 1} {
+		id := identity(rp)
+		if id < s0b || id > s0b+mb-1 {
+			return rp, true
+		}
+	}
+	return 0, false
+}
+
+// deleteEntrant is the analogue for deletions: deleting local rank iL
+// (not the balance) may pull a boundary element into the window. The
+// returned rank is in the post-delete numbering.
+func deleteEntrant(iL, s0b, mb, s0a, ma int) (entrant int, ok bool) {
+	if ma < mb || ma == 0 {
+		// Window shrank (l <= m): pure reservoir deletion, no entrant.
+		return 0, false
+	}
+	identity := func(rp int) int {
+		if rp >= iL {
+			return rp + 1
+		}
+		return rp
+	}
+	for _, rp := range []int{s0a, s0a + ma - 1} {
+		id := identity(rp)
+		if id < s0b || id > s0b+mb-1 {
+			return rp, true
+		}
+	}
+	return 0, false
+}
+
+// rebuildWithInsert rebuilds the range at bfs/depth with key spliced in
+// at local rank iL. forcedRho >= 0 pins the new balance rank (lottery
+// winner); -1 samples uniformly from the candidate window (out-of-bounds
+// rebuilds and all descendant ranges).
+func (p *PMA) rebuildWithInsert(bfs, depth, iL int, it Item, forcedRho int) {
+	p.rebuilds++
+	elems := p.collectRange(bfs, depth, p.scratch[:0])
+	elems = append(elems, Item{})
+	copy(elems[iL+1:], elems[iL:])
+	elems[iL] = it
+	p.rebuildRange(bfs, depth, elems, forcedRho)
+	p.scratch = elems[:0]
+}
+
+// rebuildWithDelete rebuilds the range at bfs/depth with the element at
+// local rank iL removed, re-sampling the balance uniformly.
+func (p *PMA) rebuildWithDelete(bfs, depth, iL int) {
+	p.rebuildWithDeleteForced(bfs, depth, iL, -1)
+}
+
+func (p *PMA) rebuildWithDeleteForced(bfs, depth, iL, forcedRho int) {
+	p.rebuilds++
+	elems := p.collectRange(bfs, depth, p.scratch[:0])
+	elems = append(elems[:iL], elems[iL+1:]...)
+	p.rebuildRange(bfs, depth, elems, forcedRho)
+	p.scratch = elems[:0]
+}
+
+// leafInsert splices key into the leaf at local rank iL and re-spreads.
+func (p *PMA) leafInsert(leafBFS, iL int, it Item) {
+	elems := p.leafElems(leafBFS, p.scratch[:0])
+	elems = append(elems, Item{})
+	copy(elems[iL+1:], elems[iL:])
+	elems[iL] = it
+	p.ranks.Set(leafBFS, int64(len(elems)))
+	p.writeLeaf(leafBFS, elems)
+	p.scratch = elems[:0]
+}
+
+// leafDelete removes the element at local rank iL and re-spreads.
+func (p *PMA) leafDelete(leafBFS, iL int) {
+	elems := p.leafElems(leafBFS, p.scratch[:0])
+	elems = append(elems[:iL], elems[iL+1:]...)
+	p.ranks.Set(leafBFS, int64(len(elems)))
+	p.writeLeaf(leafBFS, elems)
+	p.scratch = elems[:0]
+}
+
+// collectAll returns all elements in order (used by full rebuilds).
+func (p *PMA) collectAll() []Item {
+	out := make([]Item, 0, p.n+1)
+	return p.collectRange(1, 0, out)
+}

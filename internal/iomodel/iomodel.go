@@ -1,0 +1,278 @@
+// Package iomodel simulates the disk-access machine (DAM) model of
+// Aggarwal and Vitter that the paper uses for all of its I/O bounds
+// (§1.1): an internal memory of size M, an arbitrarily large external
+// memory, and transfers in blocks of size B < M. The performance measure
+// is the number of block transfers (I/Os); computation is free.
+//
+// This package is the substrate substitute for the paper's physical
+// disk: instead of timing a spinning disk we count block transfers
+// directly in the model the theorems are stated in. Every external-memory
+// structure in this repository routes its memory touches through a
+// *Tracker so experiments can report exact I/O counts.
+//
+// Addresses are in abstract "element units"; the tracker converts an
+// element address to a block number by dividing by B. A nil *Tracker is
+// valid everywhere and costs (almost) nothing, so pure-RAM benchmarks can
+// run the same code paths without accounting overhead.
+package iomodel
+
+import "fmt"
+
+// Tracker counts block transfers for a DAM with block size B and an LRU
+// cache of M/B block frames. The zero value is unusable; use New.
+type Tracker struct {
+	b      int // block size, in element units
+	frames int // number of cache frames (M/B); 0 means no cache
+
+	reads  uint64 // block reads from disk (cache misses)
+	writes uint64 // block writes to disk (write-through on dirty eviction)
+	hits   uint64 // cache hits
+
+	// Fully-associative LRU cache over block numbers.
+	pos  map[int64]int // block -> index into order
+	list lruList
+}
+
+// New returns a Tracker for block size b (element units) and a cache of
+// memBlocks frames (M/B). memBlocks == 0 disables caching: every access
+// to a new block is an I/O (this matches the usual "tall cache free"
+// accounting for one-pass structures and makes counts deterministic).
+func New(b, memBlocks int) *Tracker {
+	if b <= 0 {
+		panic(fmt.Sprintf("iomodel: block size %d must be positive", b))
+	}
+	if memBlocks < 0 {
+		panic("iomodel: negative memory size")
+	}
+	t := &Tracker{b: b, frames: memBlocks}
+	if memBlocks > 0 {
+		t.pos = make(map[int64]int, memBlocks)
+		t.list.init(memBlocks)
+	}
+	return t
+}
+
+// B returns the tracker's block size in element units. A nil tracker
+// reports block size 1.
+func (t *Tracker) B() int {
+	if t == nil {
+		return 1
+	}
+	return t.b
+}
+
+// Reads returns the number of block reads (cache misses) so far.
+func (t *Tracker) Reads() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.reads
+}
+
+// Writes returns the number of dirty-block writebacks so far.
+func (t *Tracker) Writes() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.writes
+}
+
+// IOs returns reads + writes, the DAM cost measure.
+func (t *Tracker) IOs() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.reads + t.writes
+}
+
+// Hits returns the number of cache hits, for diagnostics.
+func (t *Tracker) Hits() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.hits
+}
+
+// Reset zeroes the counters and empties the cache.
+func (t *Tracker) Reset() {
+	if t == nil {
+		return
+	}
+	t.reads, t.writes, t.hits = 0, 0, 0
+	if t.frames > 0 {
+		t.pos = make(map[int64]int, t.frames)
+		t.list.init(t.frames)
+	}
+}
+
+// Touch records an access to the element at address addr, reading the
+// containing block. dirty marks the block as modified so its eventual
+// eviction costs a write.
+func (t *Tracker) Touch(addr int64, dirty bool) {
+	if t == nil {
+		return
+	}
+	t.access(addr/int64(t.b), dirty)
+}
+
+// Read records a read of the element at addr.
+func (t *Tracker) Read(addr int64) { t.Touch(addr, false) }
+
+// Write records a write of the element at addr.
+func (t *Tracker) Write(addr int64) { t.Touch(addr, true) }
+
+// Scan records a sequential scan of n element units starting at addr,
+// reading every covered block. If dirty, the blocks are also written.
+func (t *Tracker) Scan(addr int64, n int, dirty bool) {
+	if t == nil || n <= 0 {
+		return
+	}
+	first := addr / int64(t.b)
+	last := (addr + int64(n) - 1) / int64(t.b)
+	for blk := first; blk <= last; blk++ {
+		t.access(blk, dirty)
+	}
+}
+
+func (t *Tracker) access(blk int64, dirty bool) {
+	if t.frames == 0 {
+		// Cache-less accounting: every block touch is one read (plus a
+		// write if dirty). Deterministic and conservative.
+		t.reads++
+		if dirty {
+			t.writes++
+		}
+		return
+	}
+	if idx, ok := t.pos[blk]; ok {
+		t.hits++
+		t.list.moveToFront(idx)
+		if dirty {
+			t.list.nodes[idx].dirty = true
+		}
+		return
+	}
+	t.reads++
+	idx, evicted, evictedBlk, evictedDirty := t.list.insertFront(blk, dirty)
+	if evicted {
+		delete(t.pos, evictedBlk)
+		if evictedDirty {
+			t.writes++
+		}
+	}
+	t.pos[blk] = idx
+}
+
+// Flush writes back all dirty cached blocks, charging one write each,
+// and empties the cache. Call at the end of an experiment so write
+// counts are comparable across runs.
+func (t *Tracker) Flush() {
+	if t == nil || t.frames == 0 {
+		return
+	}
+	for i := range t.list.nodes {
+		if t.list.nodes[i].used && t.list.nodes[i].dirty {
+			t.writes++
+		}
+	}
+	t.pos = make(map[int64]int, t.frames)
+	t.list.init(t.frames)
+}
+
+// lruList is an intrusive doubly-linked LRU list over a fixed node pool.
+type lruList struct {
+	nodes []lruNode
+	head  int // most recently used; -1 when empty
+	tail  int // least recently used; -1 when empty
+	used  int
+}
+
+type lruNode struct {
+	blk        int64
+	prev, next int
+	dirty      bool
+	used       bool
+}
+
+func (l *lruList) init(capacity int) {
+	l.nodes = make([]lruNode, capacity)
+	l.head, l.tail, l.used = -1, -1, 0
+}
+
+func (l *lruList) moveToFront(i int) {
+	if l.head == i {
+		return
+	}
+	n := &l.nodes[i]
+	// Unlink.
+	if n.prev >= 0 {
+		l.nodes[n.prev].next = n.next
+	}
+	if n.next >= 0 {
+		l.nodes[n.next].prev = n.prev
+	}
+	if l.tail == i {
+		l.tail = n.prev
+	}
+	// Relink at head.
+	n.prev = -1
+	n.next = l.head
+	if l.head >= 0 {
+		l.nodes[l.head].prev = i
+	}
+	l.head = i
+	if l.tail < 0 {
+		l.tail = i
+	}
+}
+
+// insertFront inserts blk at the head, evicting the tail if full.
+// It returns the node index used and eviction details.
+func (l *lruList) insertFront(blk int64, dirty bool) (idx int, evicted bool, evictedBlk int64, evictedDirty bool) {
+	if l.used < len(l.nodes) {
+		idx = l.used
+		l.used++
+	} else {
+		// Evict LRU tail, reuse its node.
+		idx = l.tail
+		n := &l.nodes[idx]
+		evicted, evictedBlk, evictedDirty = true, n.blk, n.dirty
+		l.tail = n.prev
+		if l.tail >= 0 {
+			l.nodes[l.tail].next = -1
+		} else {
+			l.head = -1
+		}
+	}
+	l.nodes[idx] = lruNode{blk: blk, prev: -1, next: l.head, dirty: dirty, used: true}
+	if l.head >= 0 {
+		l.nodes[l.head].prev = idx
+	}
+	l.head = idx
+	if l.tail < 0 {
+		l.tail = idx
+	}
+	return idx, evicted, evictedBlk, evictedDirty
+}
+
+// Stats is a snapshot of a tracker's counters, convenient for printing
+// experiment rows.
+type Stats struct {
+	B      int
+	Reads  uint64
+	Writes uint64
+	Hits   uint64
+}
+
+// Snapshot returns the current counters.
+func (t *Tracker) Snapshot() Stats {
+	if t == nil {
+		return Stats{B: 1}
+	}
+	return Stats{B: t.b, Reads: t.reads, Writes: t.writes, Hits: t.hits}
+}
+
+// Delta returns the I/Os performed since the snapshot was taken.
+func (s Stats) Delta(t *Tracker) uint64 {
+	return t.IOs() - (s.Reads + s.Writes)
+}

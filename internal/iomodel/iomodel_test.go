@@ -1,0 +1,221 @@
+package iomodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNilTrackerIsSafe(t *testing.T) {
+	var tr *Tracker
+	tr.Touch(0, true)
+	tr.Read(10)
+	tr.Write(20)
+	tr.Scan(0, 100, true)
+	tr.Reset()
+	tr.Flush()
+	if tr.IOs() != 0 || tr.Reads() != 0 || tr.Writes() != 0 || tr.Hits() != 0 {
+		t.Fatal("nil tracker reported nonzero counters")
+	}
+	if tr.B() != 1 {
+		t.Fatalf("nil tracker B() = %d, want 1", tr.B())
+	}
+}
+
+func TestNewPanicsOnBadArgs(t *testing.T) {
+	for _, tc := range []struct{ b, m int }{{0, 1}, {-1, 1}, {8, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", tc.b, tc.m)
+				}
+			}()
+			New(tc.b, tc.m)
+		}()
+	}
+}
+
+func TestCachelessCounting(t *testing.T) {
+	tr := New(8, 0)
+	tr.Read(0)  // block 0
+	tr.Read(7)  // block 0 again, but cacheless: counts again
+	tr.Read(8)  // block 1
+	tr.Write(9) // block 1: read+write
+	if got := tr.Reads(); got != 4 {
+		t.Fatalf("reads = %d, want 4", got)
+	}
+	if got := tr.Writes(); got != 1 {
+		t.Fatalf("writes = %d, want 1", got)
+	}
+}
+
+func TestScanBlockCount(t *testing.T) {
+	tr := New(10, 0)
+	tr.Scan(0, 100, false) // exactly 10 blocks
+	if got := tr.Reads(); got != 10 {
+		t.Fatalf("scan of 100 units with B=10: reads = %d, want 10", got)
+	}
+	tr.Reset()
+	tr.Scan(5, 10, false) // crosses a block boundary: blocks 0 and 1
+	if got := tr.Reads(); got != 2 {
+		t.Fatalf("unaligned scan: reads = %d, want 2", got)
+	}
+	tr.Reset()
+	tr.Scan(0, 0, true)
+	tr.Scan(0, -5, true)
+	if tr.IOs() != 0 {
+		t.Fatal("empty scan cost I/Os")
+	}
+}
+
+func TestLRUCacheHit(t *testing.T) {
+	tr := New(8, 4)
+	tr.Read(0)
+	tr.Read(1) // same block: hit
+	if tr.Reads() != 1 || tr.Hits() != 1 {
+		t.Fatalf("reads=%d hits=%d, want 1,1", tr.Reads(), tr.Hits())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	tr := New(1, 2) // 2 frames, block == element
+	tr.Read(0)
+	tr.Read(1)
+	tr.Read(2) // evicts block 0
+	tr.Read(0) // miss again
+	if got := tr.Reads(); got != 4 {
+		t.Fatalf("reads = %d, want 4", got)
+	}
+	// Recency: after reading 2 then 0, block 1 is LRU.
+	tr.Read(2) // hit? 2 was evicted when 0 came back in... check ordering:
+	// sequence: [0][0,1][1,2][2,0] -> reading 2 evicted 1? No: after Read(2),
+	// cache={1,2}; Read(0) evicts LRU=1, cache={2,0}; Read(2) is a hit.
+	if got := tr.Reads(); got != 4 {
+		t.Fatalf("expected Read(2) to hit, reads = %d", got)
+	}
+}
+
+func TestLRURecencyOrder(t *testing.T) {
+	tr := New(1, 3)
+	tr.Read(0)
+	tr.Read(1)
+	tr.Read(2)
+	tr.Read(0) // refresh 0; LRU is now 1
+	tr.Read(3) // evicts 1
+	tr.Read(1) // miss
+	if got := tr.Reads(); got != 5 {
+		t.Fatalf("reads = %d, want 5", got)
+	}
+	tr.Read(0) // should still be cached (refreshed then 3,1 inserted; cache={3,1,0}? order: after Read(1): evict LRU=2 -> {0,3,1})
+	if got := tr.Reads(); got != 5 {
+		t.Fatalf("Read(0) should hit, reads = %d", got)
+	}
+}
+
+func TestDirtyEvictionCostsWrite(t *testing.T) {
+	tr := New(1, 1)
+	tr.Write(0) // block 0 dirty in cache
+	if tr.Writes() != 0 {
+		t.Fatal("write counted before eviction")
+	}
+	tr.Read(1) // evicts dirty block 0
+	if tr.Writes() != 1 {
+		t.Fatalf("writes = %d, want 1 after dirty eviction", tr.Writes())
+	}
+	tr.Read(2) // evicts clean block 1
+	if tr.Writes() != 1 {
+		t.Fatalf("clean eviction should not cost a write, writes = %d", tr.Writes())
+	}
+}
+
+func TestFlush(t *testing.T) {
+	tr := New(1, 4)
+	tr.Write(0)
+	tr.Write(1)
+	tr.Read(2)
+	tr.Flush()
+	if tr.Writes() != 2 {
+		t.Fatalf("flush wrote %d blocks, want 2", tr.Writes())
+	}
+	// Cache must be empty after flush.
+	r := tr.Reads()
+	tr.Read(0)
+	if tr.Reads() != r+1 {
+		t.Fatal("cache not emptied by Flush")
+	}
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	tr := New(4, 2)
+	tr.Write(0)
+	tr.Read(100)
+	tr.Reset()
+	if tr.IOs() != 0 || tr.Hits() != 0 {
+		t.Fatal("Reset left counters nonzero")
+	}
+	tr.Read(0)
+	if tr.Reads() != 1 {
+		t.Fatal("Reset left cache populated")
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	tr := New(8, 0)
+	tr.Read(0)
+	s := tr.Snapshot()
+	tr.Read(64)
+	tr.Read(128)
+	if d := s.Delta(tr); d != 2 {
+		t.Fatalf("delta = %d, want 2", d)
+	}
+}
+
+// Property: with an n-frame cache, a working set of <= n blocks touched
+// repeatedly costs exactly one read per distinct block.
+func TestPropertyWorkingSetFits(t *testing.T) {
+	f := func(nBlocks uint8, rounds uint8) bool {
+		n := int(nBlocks%16) + 1
+		tr := New(1, n)
+		for r := 0; r < int(rounds%8)+2; r++ {
+			for b := 0; b < n; b++ {
+				tr.Read(int64(b))
+			}
+		}
+		return tr.Reads() == uint64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scanning n elements costs between floor(n/B) and
+// ceil(n/B) + 1 block reads (cacheless; the +1 covers unaligned starts),
+// matching the Theta(1 + n/B) scan bound the paper uses.
+func TestPropertyScanCost(t *testing.T) {
+	f := func(addr uint16, n uint16, bRaw uint8) bool {
+		b := int(bRaw%64) + 1
+		length := int(n%4096) + 1
+		tr := New(b, 0)
+		tr.Scan(int64(addr), length, false)
+		lo := uint64(length / b)
+		hi := uint64((length+b-1)/b) + 1
+		got := tr.Reads()
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTouchCacheless(b *testing.B) {
+	tr := New(64, 0)
+	for i := 0; i < b.N; i++ {
+		tr.Touch(int64(i), false)
+	}
+}
+
+func BenchmarkTouchLRU(b *testing.B) {
+	tr := New(64, 1024)
+	for i := 0; i < b.N; i++ {
+		tr.Touch(int64(i%100000), false)
+	}
+}

@@ -1,0 +1,56 @@
+package pma
+
+// fenwick is a binary indexed tree over per-segment element counts. It
+// is the "separate indexing structure" the paper alludes to for locating
+// ranks: prefix sums and rank search in O(log n) RAM operations. It
+// lives in RAM, so it is not charged against the DAM I/O budget (the
+// paper's PMA I/O bounds cover only the element shifts).
+type fenwick struct {
+	tree []int // 1-based
+}
+
+func newFenwick(n int) *fenwick {
+	return &fenwick{tree: make([]int, n+1)}
+}
+
+// add adds delta to position i (0-based).
+func (f *fenwick) add(i, delta int) {
+	for i++; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+// prefix returns the sum of positions [0, i) (0-based, exclusive).
+func (f *fenwick) prefix(i int) int {
+	s := 0
+	for ; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// total returns the sum over all positions.
+func (f *fenwick) total() int {
+	return f.prefix(len(f.tree) - 1)
+}
+
+// findRank returns the smallest position p such that prefix(p+1) > rank,
+// i.e. the segment containing the element of the given 0-based rank, and
+// the number of elements before segment p. rank must be < total().
+func (f *fenwick) findRank(rank int) (p, before int) {
+	pos := 0
+	rem := rank
+	// Highest power of two <= len(tree)-1.
+	mask := 1
+	for mask*2 < len(f.tree) {
+		mask *= 2
+	}
+	for ; mask > 0; mask /= 2 {
+		next := pos + mask
+		if next < len(f.tree) && f.tree[next] <= rem {
+			pos = next
+			rem -= f.tree[next]
+		}
+	}
+	return pos, rank - rem
+}

@@ -1,0 +1,426 @@
+// Package pma implements a classic, NON-history-independent
+// packed-memory array (sparse table) in the style of Itai, Konheim and
+// Rodeh [38] and Bender, Demaine and Farach-Colton [14, 18]: a Θ(N)-slot
+// array maintaining N elements in order, with aligned-window density
+// thresholds that interpolate between permissive leaf bounds and tight
+// root bounds. Updates cost O(log² N) amortized element moves; a range
+// query returning k elements scans O(1 + k/B) blocks.
+//
+// This is the baseline the paper measures its history-independent PMA
+// against in §4.3 (Figure 2, the ×7 runtime overhead, and the space
+// overhead): range densities here depend strongly on the operation
+// history, which is exactly the leak the HI PMA removes.
+//
+// Layout: the array is divided into segments of Θ(log N) slots; each
+// segment keeps its elements left-packed, so the structure is fully
+// described by the per-segment counts. Rank navigation uses a Fenwick
+// tree over the counts (the "separate indexing structure" of §1.2).
+package pma
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/iomodel"
+)
+
+// Config controls the density thresholds. The defaults follow the usual
+// PMA settings: leaves may swing between 8% and 92% full, while the root
+// window is kept between 25% and 70% so that a resize lands comfortably
+// inside all thresholds.
+type Config struct {
+	TauLeaf float64 // max leaf density (0 < RhoLeaf < TauLeaf <= 1)
+	TauRoot float64 // max root density
+	RhoLeaf float64 // min leaf density
+	RhoRoot float64 // min root density
+	MinSeg  int     // minimum segment size (power of two)
+}
+
+// DefaultConfig returns the standard thresholds.
+func DefaultConfig() Config {
+	return Config{TauLeaf: 0.92, TauRoot: 0.7, RhoLeaf: 0.08, RhoRoot: 0.25, MinSeg: 8}
+}
+
+func (c Config) validate() error {
+	if !(0 < c.RhoLeaf && c.RhoLeaf < c.RhoRoot && c.RhoRoot < c.TauRoot && c.TauRoot < c.TauLeaf && c.TauLeaf <= 1) {
+		return fmt.Errorf("pma: thresholds must satisfy 0 < RhoLeaf < RhoRoot < TauRoot < TauLeaf <= 1, got %+v", c)
+	}
+	if c.MinSeg < 4 || c.MinSeg&(c.MinSeg-1) != 0 {
+		return fmt.Errorf("pma: MinSeg %d must be a power of two >= 4", c.MinSeg)
+	}
+	return nil
+}
+
+// PMA is a classic packed-memory array of int64 keys in sorted order.
+// It is driven by rank (InsertAt/DeleteAt), like the paper's PMA API
+// (§3), with key-based convenience wrappers on top.
+type PMA struct {
+	cfg     Config
+	slots   []int64
+	segSize int
+	numSeg  int // power of two
+	counts  []int
+	fen     *fenwick
+	n       int
+
+	moves      uint64 // element slot-writes (the paper's cost measure)
+	rebalances uint64
+	resizes    uint64
+
+	io *iomodel.Tracker
+}
+
+// New returns an empty PMA with default thresholds. io may be nil.
+func New(io *iomodel.Tracker) *PMA {
+	p, err := NewWithConfig(DefaultConfig(), io)
+	if err != nil {
+		panic(err) // defaults are always valid
+	}
+	return p
+}
+
+// NewWithConfig returns an empty PMA with the given thresholds.
+func NewWithConfig(cfg Config, io *iomodel.Tracker) (*PMA, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	p := &PMA{cfg: cfg, io: io}
+	p.rebuild(nil, 2*cfg.MinSeg)
+	return p, nil
+}
+
+// Len returns the number of elements stored.
+func (p *PMA) Len() int { return p.n }
+
+// Capacity returns the number of physical slots.
+func (p *PMA) Capacity() int { return len(p.slots) }
+
+// Moves returns the cumulative number of element slot-writes, the cost
+// measure plotted in Figure 2.
+func (p *PMA) Moves() uint64 { return p.moves }
+
+// Rebalances returns the number of window redistributions performed.
+func (p *PMA) Rebalances() uint64 { return p.rebalances }
+
+// Resizes returns the number of whole-array resizes performed.
+func (p *PMA) Resizes() uint64 { return p.resizes }
+
+// segTotalSlots returns the slot count of a window of 2^level segments.
+func (p *PMA) windowSlots(level int) int { return p.segSize << uint(level) }
+
+// height returns log2(numSeg), the top window level.
+func (p *PMA) height() int {
+	h := 0
+	for 1<<uint(h) < p.numSeg {
+		h++
+	}
+	return h
+}
+
+// tau returns the max density threshold at the given window level.
+func (p *PMA) tau(level, h int) float64 {
+	if h == 0 {
+		return p.cfg.TauRoot
+	}
+	f := float64(level) / float64(h)
+	return p.cfg.TauLeaf - (p.cfg.TauLeaf-p.cfg.TauRoot)*f
+}
+
+// rho returns the min density threshold at the given window level.
+func (p *PMA) rho(level, h int) float64 {
+	if h == 0 {
+		return p.cfg.RhoRoot
+	}
+	f := float64(level) / float64(h)
+	return p.cfg.RhoLeaf + (p.cfg.RhoRoot-p.cfg.RhoLeaf)*f
+}
+
+// segmentForRank returns the segment containing the 0-based rank and the
+// number of elements stored before that segment. rank must be < n.
+func (p *PMA) segmentForRank(rank int) (seg, before int) {
+	return p.fen.findRank(rank)
+}
+
+// Get returns the element of the given rank (0-based). It panics if the
+// rank is out of range.
+func (p *PMA) Get(rank int) int64 {
+	if rank < 0 || rank >= p.n {
+		panic(fmt.Sprintf("pma: rank %d out of range [0, %d)", rank, p.n))
+	}
+	seg, before := p.segmentForRank(rank)
+	idx := seg*p.segSize + (rank - before)
+	p.io.Read(int64(idx))
+	return p.slots[idx]
+}
+
+// Query appends the elements with ranks i through j inclusive to out and
+// returns it. It panics unless 0 <= i <= j < Len().
+func (p *PMA) Query(i, j int, out []int64) []int64 {
+	if i < 0 || j < i || j >= p.n {
+		panic(fmt.Sprintf("pma: Query(%d, %d) out of range, n=%d", i, j, p.n))
+	}
+	seg, before := p.segmentForRank(i)
+	off := i - before
+	rank := i
+	for rank <= j {
+		take := p.counts[seg] - off
+		if take > j-rank+1 {
+			take = j - rank + 1
+		}
+		base := seg*p.segSize + off
+		p.io.Scan(int64(base), take, false)
+		out = append(out, p.slots[base:base+take]...)
+		rank += take
+		seg++
+		off = 0
+	}
+	return out
+}
+
+// InsertAt inserts key as the element of rank `rank`, shifting later
+// elements up by one. It panics unless 0 <= rank <= Len().
+func (p *PMA) InsertAt(rank int, key int64) {
+	if rank < 0 || rank > p.n {
+		panic(fmt.Sprintf("pma: InsertAt(%d) out of range, n=%d", rank, p.n))
+	}
+	seg, off := p.insertionPoint(rank)
+	if p.counts[seg] == p.segSize {
+		// Segment physically full: rebalance first, then re-locate.
+		p.rebalanceUp(seg)
+		seg, off = p.insertionPoint(rank)
+	}
+	// Shift the left-packed tail right by one.
+	base := seg * p.segSize
+	cnt := p.counts[seg]
+	copy(p.slots[base+off+1:base+cnt+1], p.slots[base+off:base+cnt])
+	p.slots[base+off] = key
+	p.moves += uint64(cnt - off + 1)
+	p.io.Scan(int64(base+off), cnt-off+1, true)
+	p.counts[seg]++
+	p.fen.add(seg, 1)
+	p.n++
+	if float64(p.counts[seg]) > p.cfg.TauLeaf*float64(p.segSize) {
+		p.rebalanceUp(seg)
+	}
+}
+
+// insertionPoint maps an insertion rank to (segment, offset-in-segment).
+func (p *PMA) insertionPoint(rank int) (seg, off int) {
+	if p.n == 0 {
+		return 0, 0
+	}
+	if rank == p.n {
+		seg, before := p.segmentForRank(p.n - 1)
+		return seg, p.n - 1 - before + 1
+	}
+	seg, before := p.segmentForRank(rank)
+	return seg, rank - before
+}
+
+// DeleteAt removes the element of the given rank. It panics if the rank
+// is out of range.
+func (p *PMA) DeleteAt(rank int) {
+	if rank < 0 || rank >= p.n {
+		panic(fmt.Sprintf("pma: DeleteAt(%d) out of range, n=%d", rank, p.n))
+	}
+	seg, before := p.segmentForRank(rank)
+	off := rank - before
+	base := seg * p.segSize
+	cnt := p.counts[seg]
+	copy(p.slots[base+off:base+cnt-1], p.slots[base+off+1:base+cnt])
+	p.moves += uint64(cnt - off - 1)
+	p.io.Scan(int64(base+off), cnt-off, true)
+	p.counts[seg]--
+	p.fen.add(seg, -1)
+	p.n--
+	if float64(p.counts[seg]) < p.cfg.RhoLeaf*float64(p.segSize) {
+		p.rebalanceDown(seg)
+	}
+}
+
+// rebalanceUp handles an over-full leaf: find the smallest aligned
+// window whose density is within its max threshold and redistribute it;
+// if even the root violates, grow the array.
+func (p *PMA) rebalanceUp(seg int) {
+	h := p.height()
+	for level := 1; level <= h; level++ {
+		lo := (seg >> uint(level)) << uint(level)
+		hi := lo + 1<<uint(level) // exclusive, in segments
+		cnt := p.fen.prefix(hi) - p.fen.prefix(lo)
+		if float64(cnt) <= p.tau(level, h)*float64(p.windowSlots(level)) {
+			p.redistribute(lo, hi)
+			return
+		}
+	}
+	p.resize(2 * len(p.slots))
+}
+
+// rebalanceDown handles an under-full leaf symmetrically; if even the
+// root is under its min threshold, shrink the array.
+func (p *PMA) rebalanceDown(seg int) {
+	h := p.height()
+	for level := 1; level <= h; level++ {
+		lo := (seg >> uint(level)) << uint(level)
+		hi := lo + 1<<uint(level)
+		cnt := p.fen.prefix(hi) - p.fen.prefix(lo)
+		if float64(cnt) >= p.rho(level, h)*float64(p.windowSlots(level)) {
+			p.redistribute(lo, hi)
+			return
+		}
+	}
+	if len(p.slots) > 2*p.cfg.MinSeg {
+		p.resize(len(p.slots) / 2)
+	}
+}
+
+// redistribute re-packs the elements of segments [lo, hi) evenly.
+func (p *PMA) redistribute(lo, hi int) {
+	p.rebalances++
+	var buf []int64
+	for s := lo; s < hi; s++ {
+		base := s * p.segSize
+		buf = append(buf, p.slots[base:base+p.counts[s]]...)
+	}
+	p.io.Scan(int64(lo*p.segSize), (hi-lo)*p.segSize, true)
+	k := hi - lo
+	q, r := len(buf)/k, len(buf)%k
+	idx := 0
+	for s := lo; s < hi; s++ {
+		take := q
+		if s-lo < r {
+			take++
+		}
+		base := s * p.segSize
+		copy(p.slots[base:base+take], buf[idx:idx+take])
+		idx += take
+		p.fen.add(s, take-p.counts[s])
+		p.counts[s] = take
+	}
+	p.moves += uint64(len(buf))
+}
+
+// resize rebuilds the structure with the given capacity.
+func (p *PMA) resize(newCap int) {
+	p.resizes++
+	var buf []int64
+	for s := 0; s < p.numSeg; s++ {
+		base := s * p.segSize
+		buf = append(buf, p.slots[base:base+p.counts[s]]...)
+	}
+	p.io.Scan(0, len(p.slots), false)
+	p.rebuild(buf, newCap)
+	p.moves += uint64(len(buf))
+	p.io.Scan(0, len(p.slots), true)
+}
+
+// rebuild lays out the elements evenly in a fresh array of capacity cap
+// (rounded up to a power-of-two number of segments).
+func (p *PMA) rebuild(elems []int64, capacity int) {
+	segSize := p.cfg.MinSeg
+	// Segment size Theta(log capacity), as a power of two.
+	target := int(math.Log2(float64(capacity))) + 1
+	for segSize < target {
+		segSize *= 2
+	}
+	numSeg := 1
+	for numSeg*segSize < capacity || numSeg*segSize < 2*len(elems) {
+		numSeg *= 2
+	}
+	p.segSize = segSize
+	p.numSeg = numSeg
+	p.slots = make([]int64, numSeg*segSize)
+	p.counts = make([]int, numSeg)
+	p.fen = newFenwick(numSeg)
+	p.n = len(elems)
+	if p.n == 0 {
+		return
+	}
+	q, r := p.n/numSeg, p.n%numSeg
+	idx := 0
+	for s := 0; s < numSeg; s++ {
+		take := q
+		if s < r {
+			take++
+		}
+		base := s * p.segSize
+		copy(p.slots[base:base+take], elems[idx:idx+take])
+		idx += take
+		p.counts[s] = take
+		p.fen.add(s, take)
+	}
+}
+
+// Find returns the rank of the first element >= key, in [0, Len()],
+// using binary search over ranks.
+func (p *PMA) Find(key int64) int {
+	lo, hi := 0, p.n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.Get(mid) < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// InsertKey inserts key in sorted position (duplicates allowed).
+func (p *PMA) InsertKey(key int64) {
+	p.InsertAt(p.Find(key), key)
+}
+
+// DeleteKey removes one occurrence of key and reports whether it was
+// present.
+func (p *PMA) DeleteKey(key int64) bool {
+	r := p.Find(key)
+	if r >= p.n || p.Get(r) != key {
+		return false
+	}
+	p.DeleteAt(r)
+	return true
+}
+
+// CheckInvariants verifies internal consistency (counts and Fenwick
+// agreement); tests call it after randomized workloads. It does NOT
+// require sorted contents — the rank-based API maintains an arbitrary
+// user-specified order, as in the paper's sequential-file-maintenance
+// setting; use CheckSorted when the key-based API is in play.
+func (p *PMA) CheckInvariants() error {
+	total := 0
+	for s := 0; s < p.numSeg; s++ {
+		c := p.counts[s]
+		if c < 0 || c > p.segSize {
+			return fmt.Errorf("pma: segment %d count %d out of [0,%d]", s, c, p.segSize)
+		}
+		total += c
+		if got := p.fen.prefix(s+1) - p.fen.prefix(s); got != c {
+			return fmt.Errorf("pma: fenwick disagrees at segment %d: %d vs %d", s, got, c)
+		}
+	}
+	if total != p.n {
+		return fmt.Errorf("pma: counts sum to %d, n = %d", total, p.n)
+	}
+	return nil
+}
+
+// CheckSorted verifies CheckInvariants plus non-decreasing key order,
+// the precondition of Find/InsertKey/DeleteKey.
+func (p *PMA) CheckSorted() error {
+	if err := p.CheckInvariants(); err != nil {
+		return err
+	}
+	var prev int64
+	first := true
+	for s := 0; s < p.numSeg; s++ {
+		base := s * p.segSize
+		for i := 0; i < p.counts[s]; i++ {
+			v := p.slots[base+i]
+			if !first && v < prev {
+				return fmt.Errorf("pma: order violated at segment %d slot %d: %d < %d", s, i, v, prev)
+			}
+			prev, first = v, false
+		}
+	}
+	return nil
+}

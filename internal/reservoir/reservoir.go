@@ -1,0 +1,117 @@
+// Package reservoir implements reservoir sampling with deletes (§3.2 of
+// the paper): maintain a uniformly random "leader" of a dynamic set
+// under insertions and deletions by an oblivious adversary, with a
+// reservoir of size one. Lemma 5 (Vitter [62]) gives the invariant: at
+// every time step, each of the n_t elements is the leader with
+// probability exactly 1/n_t.
+//
+// The HI PMA uses this to maintain each range's balance element within
+// its candidate set; the candidate set has *fixed* size between rebuilds,
+// so the common transition there is the simultaneous leave/enter handled
+// by Slide.
+package reservoir
+
+import "repro/internal/xrand"
+
+// Leader tracks the uniformly random leader of a set of n elements. The
+// leader is identified by an opaque int position that the caller keeps
+// consistent with its own set representation. The zero value is an empty
+// set; callers must supply the RNG via Init or New.
+type Leader struct {
+	rng *xrand.Source
+	n   int
+	pos int // caller-defined identifier of the current leader; -1 if empty
+}
+
+// New returns a Leader over an initially empty set.
+func New(rng *xrand.Source) *Leader {
+	return &Leader{rng: rng, n: 0, pos: -1}
+}
+
+// NewOver returns a Leader over a set of n existing elements with
+// positions 0..n-1, choosing the initial leader uniformly.
+func NewOver(n int, rng *xrand.Source) *Leader {
+	l := &Leader{rng: rng, n: n, pos: -1}
+	if n > 0 {
+		l.pos = rng.Intn(n)
+	}
+	return l
+}
+
+// N returns the number of elements in the set.
+func (l *Leader) N() int { return l.n }
+
+// Pos returns the caller-defined position of the current leader, or -1
+// if the set is empty.
+func (l *Leader) Pos() int { return l.pos }
+
+// Insert records the arrival of a new element identified by pos. Per
+// Lemma 5, the newcomer becomes leader with probability 1/n_t where n_t
+// counts it. It reports whether the leader changed.
+func (l *Leader) Insert(pos int) (changed bool) {
+	l.n++
+	if l.rng.Intn(l.n) == 0 {
+		l.pos = pos
+		return true
+	}
+	return false
+}
+
+// Delete records the departure of the element at position pos. If the
+// leader departed, a replacement must be chosen by the caller (who knows
+// the surviving positions) via Reseat; Delete reports whether that is
+// required. wasLeader must reflect the caller's identity check, since
+// positions may be reused.
+func (l *Leader) Delete(wasLeader bool) (needReseat bool) {
+	if l.n == 0 {
+		panic("reservoir: Delete on empty set")
+	}
+	l.n--
+	if wasLeader {
+		l.pos = -1
+		return l.n > 0
+	}
+	return false
+}
+
+// Reseat chooses a fresh leader uniformly among n survivors and records
+// the caller-translated position: the caller passes a function mapping a
+// uniform index in [0, n) to its own position space.
+func (l *Leader) Reseat(translate func(int) int) {
+	if l.n == 0 {
+		l.pos = -1
+		return
+	}
+	l.pos = translate(l.rng.Intn(l.n))
+}
+
+// Slide handles the PMA's fixed-size-window transition: one element
+// leaves and one enters simultaneously (the candidate-set window shifted
+// by one, or an insert pushed one element out). leavingIsLeader is the
+// caller's identity check for the departing element; enterPos identifies
+// the arriving element.
+//
+// Returns (newLeaderPos, changed, needReseat):
+//   - If the departing element was the leader, needReseat is true and
+//     the caller must call Reseat (uniform choice over the new window).
+//   - Otherwise the newcomer becomes leader with probability 1/n,
+//     preserving uniformity exactly (see TestSlideUniform).
+func (l *Leader) Slide(leavingIsLeader bool, enterPos int) (changed, needReseat bool) {
+	if l.n == 0 {
+		panic("reservoir: Slide on empty set")
+	}
+	if leavingIsLeader {
+		l.pos = -1
+		return true, true
+	}
+	if l.rng.Intn(l.n) == 0 {
+		l.pos = enterPos
+		return true, false
+	}
+	return false, false
+}
+
+// SetPos overrides the leader position identifier without changing the
+// distribution — used when the caller renumbers its positions (e.g.
+// ranks shift after an insert below the leader).
+func (l *Leader) SetPos(pos int) { l.pos = pos }

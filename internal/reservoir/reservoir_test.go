@@ -1,0 +1,169 @@
+package reservoir
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// chi2Uniform returns the chi-square statistic of counts against a
+// uniform distribution over len(counts) buckets.
+func chi2Uniform(counts []int, total int) float64 {
+	expected := float64(total) / float64(len(counts))
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	return chi2
+}
+
+// TestLemma5InsertOnly: after inserting m elements one by one, each is
+// leader with probability exactly 1/m (checked empirically).
+func TestLemma5InsertOnly(t *testing.T) {
+	const m, trials = 8, 80000
+	counts := make([]int, m)
+	for trial := 0; trial < trials; trial++ {
+		l := New(xrand.New(uint64(trial) + 1))
+		for i := 0; i < m; i++ {
+			l.Insert(i)
+		}
+		counts[l.Pos()]++
+	}
+	// 7 dof, 99.9th percentile ~ 24.3.
+	if chi2 := chi2Uniform(counts, trials); chi2 > 24.3 {
+		t.Fatalf("leader not uniform after inserts: chi2 = %v, counts = %v", chi2, counts)
+	}
+}
+
+// TestLemma5WithDeletes: an adversarial insert/delete schedule still
+// leaves the leader uniform over the survivors.
+func TestLemma5WithDeletes(t *testing.T) {
+	// Schedule: insert 0..9, delete positions 0..4 (front-loaded
+	// deletions — maximally history-revealing if leadership leaked).
+	const trials = 60000
+	counts := make([]int, 5) // survivors are 5..9, remapped to 0..4
+	for trial := 0; trial < trials; trial++ {
+		rng := xrand.New(uint64(trial) + 7)
+		l := New(rng)
+		alive := []int{}
+		for i := 0; i < 10; i++ {
+			l.Insert(i)
+			alive = append(alive, i)
+		}
+		for del := 0; del < 5; del++ {
+			// Delete element with position value del.
+			idx := -1
+			for j, v := range alive {
+				if v == del {
+					idx = j
+					break
+				}
+			}
+			alive = append(alive[:idx], alive[idx+1:]...)
+			if l.Delete(l.Pos() == del) {
+				l.Reseat(func(i int) int { return alive[i] })
+			}
+		}
+		counts[l.Pos()-5]++
+	}
+	// 4 dof, 99.9th percentile ~ 18.5.
+	if chi2 := chi2Uniform(counts, trials); chi2 > 18.5 {
+		t.Fatalf("leader not uniform after deletes: chi2 = %v, counts = %v", chi2, counts)
+	}
+}
+
+// TestSlideUniform: the fixed-window simultaneous leave/enter transition
+// preserves uniformity — the PMA's candidate-set case (§3.4).
+func TestSlideUniform(t *testing.T) {
+	const m, slides, trials = 6, 9, 60000
+	// Window holds values [s, s+m); after k slides the window is [k, k+m).
+	counts := make([]int, m)
+	for trial := 0; trial < trials; trial++ {
+		rng := xrand.New(uint64(trial) + 13)
+		l := NewOver(m, rng) // window [0, m), leader pos = value
+		lo := 0
+		for k := 0; k < slides; k++ {
+			leaving := lo
+			entering := lo + m
+			changed, reseat := l.Slide(l.Pos() == leaving, entering)
+			_ = changed
+			if reseat {
+				base := lo + 1
+				l.Reseat(func(i int) int { return base + i })
+			}
+			lo++
+		}
+		counts[l.Pos()-lo]++
+	}
+	// 5 dof, 99.9th percentile ~ 20.5.
+	if chi2 := chi2Uniform(counts, trials); chi2 > 20.5 {
+		t.Fatalf("leader not uniform after slides: chi2 = %v, counts = %v", chi2, counts)
+	}
+}
+
+func TestNewOver(t *testing.T) {
+	const m, trials = 5, 50000
+	counts := make([]int, m)
+	for trial := 0; trial < trials; trial++ {
+		l := NewOver(m, xrand.New(uint64(trial)*2+1))
+		if l.N() != m {
+			t.Fatalf("N = %d", l.N())
+		}
+		counts[l.Pos()]++
+	}
+	if chi2 := chi2Uniform(counts, trials); chi2 > 18.5 {
+		t.Fatalf("initial leader not uniform: chi2 = %v", chi2)
+	}
+}
+
+func TestEmptySet(t *testing.T) {
+	l := New(xrand.New(1))
+	if l.Pos() != -1 || l.N() != 0 {
+		t.Fatal("empty set should have pos -1, n 0")
+	}
+	l.Insert(42)
+	if l.Pos() != 42 {
+		t.Fatal("single element must be leader")
+	}
+	if need := l.Delete(true); need {
+		t.Fatal("deleting the only element should not need reseat")
+	}
+	if l.N() != 0 {
+		t.Fatalf("N = %d after delete", l.N())
+	}
+}
+
+func TestDeleteEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(xrand.New(1)).Delete(false)
+}
+
+func TestSlideEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(xrand.New(1)).Slide(false, 0)
+}
+
+func TestReseatEmpty(t *testing.T) {
+	l := New(xrand.New(1))
+	l.Reseat(func(i int) int { t.Fatal("translate called on empty"); return 0 })
+	if l.Pos() != -1 {
+		t.Fatal("reseat on empty should keep pos -1")
+	}
+}
+
+func TestSetPos(t *testing.T) {
+	l := NewOver(3, xrand.New(9))
+	l.SetPos(77)
+	if l.Pos() != 77 {
+		t.Fatal("SetPos did not stick")
+	}
+}

@@ -1,0 +1,324 @@
+package skiplist
+
+import "fmt"
+
+// Delete removes key and reports whether it was present. Deleting an
+// element of level lvl merges, at each level below lvl, the array the
+// element headed into its predecessor array (§6.2's "merge the leaf
+// array that y started with its predecessor"), and rebuilds the
+// affected leaf node(s).
+func (s *External) Delete(key int64) bool {
+	if key == Front {
+		panic("skiplist: cannot delete the Front sentinel")
+	}
+	path, found := s.searchPath(key)
+	if !found {
+		return false
+	}
+	// The element's level: the highest array in which it appears.
+	lvl := 0
+	for d := 1; d <= s.height; d++ {
+		if path[d].node.elems[path[d].idx] == key {
+			lvl = d
+		}
+	}
+	if lvl == 0 {
+		s.leafDelete(path, key)
+	} else {
+		s.mergeDelete(path, key, lvl)
+	}
+	s.count--
+	s.shrinkRoot()
+	return true
+}
+
+// leafDelete removes a level-0 element in place.
+func (s *External) leafDelete(path []pathEntry, key int64) {
+	L := path[0].node
+	at := path[0].idx
+	L.elems = append(L.elems[:at], L.elems[at+1:]...)
+	resized := s.arrayDeleteSize(L, s.leafFloor)
+	if s.grouped {
+		if resized {
+			s.rebuildBlob(path[1].node)
+		} else {
+			s.rewriteNode(L)
+		}
+		return
+	}
+	if resized {
+		s.replaceNode(L)
+	} else {
+		s.rewriteNode(L)
+	}
+}
+
+// mergeDelete removes an element of level lvl >= 1: it is removed from
+// its level-lvl array, and at every level below, the array it headed is
+// merged into its predecessor.
+func (s *External) mergeDelete(path []pathEntry, key int64, lvl int) {
+	A := path[lvl].node
+	j := path[lvl].idx
+	// The head of A is promoted above lvl, so key (level exactly lvl)
+	// cannot be A's head.
+	if j == 0 {
+		panic("skiplist: internal: deleting the head of its top array")
+	}
+	pred := A.children[j-1]
+	A.elems = append(A.elems[:j], A.elems[j+1:]...)
+	A.children = append(A.children[:j], A.children[j+1:]...)
+	resizedA := s.arrayDeleteSize(A, 1)
+	if resizedA {
+		s.replaceNode(A)
+	} else {
+		s.rewriteNode(A)
+	}
+
+	var merged1 *node // the level-1 array that absorbed key's children
+	for d := lvl - 1; d >= 0; d-- {
+		K := path[d].node // the array headed by key at level d
+		var nextPred *node
+		if d > 0 {
+			nextPred = pred.children[len(pred.children)-1]
+		}
+		pred.elems = append(pred.elems, K.elems[1:]...)
+		if d > 0 {
+			pred.children = append(pred.children, K.children[1:]...)
+		}
+		pred.next = K.next
+		floorP := 1
+		if d == 0 {
+			floorP = s.leafFloor
+		}
+		s.arrayResetSize(pred, floorP)
+		if d >= 1 || !s.grouped {
+			s.replaceNode(pred)
+		}
+		if d == 1 {
+			merged1 = pred
+		}
+		s.freeNodeStorage(K, d)
+		pred = nextPred
+	}
+	if s.grouped {
+		if lvl == 1 {
+			// A is the level-1 array that lost a child.
+			s.rebuildBlob(A)
+		} else {
+			s.rebuildBlob(merged1)
+		}
+	}
+}
+
+// shrinkRoot drops empty top levels (root holding only the sentinel).
+func (s *External) shrinkRoot() {
+	for s.height > 1 && len(s.root.elems) == 1 {
+		old := s.root
+		s.root = old.children[0]
+		s.height--
+		s.freeNodeStorage(old, s.height+1)
+	}
+}
+
+// Range appends all stored keys in [lo, hi] to out, in order: one
+// search plus a scan of the leaf level (Theorem 3's
+// O((1/ε)·log_B N + k/B) I/Os).
+func (s *External) Range(lo, hi int64, out []int64) []int64 {
+	if lo > hi {
+		return out
+	}
+	path, _ := s.searchPath(lo)
+	L := path[0].node
+	idx := path[0].idx
+	if L.elems[idx] < lo {
+		idx++
+	}
+	for L != nil {
+		s.io.Scan(L.addr, L.slots, false)
+		for ; idx < len(L.elems); idx++ {
+			v := L.elems[idx]
+			if v > hi {
+				return out
+			}
+			if v != Front {
+				out = append(out, v)
+			}
+		}
+		L = L.next
+		idx = 0
+	}
+	return out
+}
+
+// Keys returns every stored key in order (test helper; charges scans).
+func (s *External) Keys() []int64 {
+	return s.Range(Front+1, int64(^uint64(0)>>1), nil)
+}
+
+// LevelStats describes the arrays at one level, for the experiments on
+// array-length distributions (Lemmas 17–20).
+type LevelStats struct {
+	Level     int
+	Arrays    int
+	MaxLen    int
+	TotalLen  int
+	MaxSlots  int
+	TotalSlot int
+}
+
+// Stats returns per-level array statistics, top level first.
+func (s *External) Stats() []LevelStats {
+	stats := make([]LevelStats, s.height+1)
+	var walk func(n *node, level int)
+	walk = func(n *node, level int) {
+		st := &stats[level]
+		st.Level = level
+		st.Arrays++
+		if len(n.elems) > st.MaxLen {
+			st.MaxLen = len(n.elems)
+		}
+		st.TotalLen += len(n.elems)
+		if n.slots > st.MaxSlots {
+			st.MaxSlots = n.slots
+		}
+		st.TotalSlot += n.slots
+		for _, c := range n.children {
+			walk(c, level-1)
+		}
+	}
+	walk(s.root, s.height)
+	return stats
+}
+
+// LeafNodeSizes returns the total physical slots of every leaf node
+// (grouped mode) — the quantity Lemma 19 bounds by O(B^{2γ}·log N) whp.
+// In folklore mode it returns each leaf array's slots.
+func (s *External) LeafNodeSizes() []int {
+	var sizes []int
+	var walk func(n *node, level int)
+	walk = func(n *node, level int) {
+		if level == 1 {
+			if s.grouped {
+				sizes = append(sizes, n.blobSlots)
+				return
+			}
+			for _, c := range n.children {
+				sizes = append(sizes, c.slots)
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c, level-1)
+		}
+	}
+	if s.height >= 1 {
+		walk(s.root, s.height)
+	}
+	return sizes
+}
+
+// TotalSlots returns the summed physical slots over all arrays at all
+// levels — the Θ(N) space bound of Lemma 22.
+func (s *External) TotalSlots() int {
+	total := 0
+	var walk func(n *node, level int)
+	walk = func(n *node, level int) {
+		total += n.slots
+		for _, c := range n.children {
+			walk(c, level-1)
+		}
+	}
+	walk(s.root, s.height)
+	return total
+}
+
+// CheckInvariants validates the structural invariants: heads match
+// children, next chains are exact in-order successors, keys are sorted
+// and unique, counts agree, and every array's physical size respects
+// its sizer window (Invariant 16 at the leaves).
+func (s *External) CheckInvariants() error {
+	if s.root.elems[0] != Front {
+		return fmt.Errorf("skiplist: root head is %d, not Front", s.root.elems[0])
+	}
+	// Walk each level's next chain via the tree and compare.
+	var prevAtLevel [maxLevel + 1]*node
+	var walk func(n *node, level int) error
+	walk = func(n *node, level int) error {
+		if len(n.elems) == 0 {
+			return fmt.Errorf("skiplist: empty array at level %d", level)
+		}
+		for i := 1; i < len(n.elems); i++ {
+			if n.elems[i] <= n.elems[i-1] {
+				return fmt.Errorf("skiplist: level %d array not strictly sorted: %d after %d",
+					level, n.elems[i], n.elems[i-1])
+			}
+		}
+		if level > 0 {
+			if len(n.children) != len(n.elems) {
+				return fmt.Errorf("skiplist: level %d array has %d elems but %d children",
+					level, len(n.elems), len(n.children))
+			}
+			for i, c := range n.children {
+				if c.elems[0] != n.elems[i] {
+					return fmt.Errorf("skiplist: child %d head %d != parent elem %d",
+						i, c.elems[0], n.elems[i])
+				}
+			}
+		}
+		floor := 1
+		if level == 0 {
+			floor = s.leafFloor
+		}
+		m := len(n.elems)
+		if m < floor {
+			m = floor
+		}
+		if n.slots < m || n.slots > 2*m-1 {
+			return fmt.Errorf("skiplist: level %d array with %d elems has %d slots outside [%d, %d]",
+				level, len(n.elems), n.slots, m, 2*m-1)
+		}
+		if p := prevAtLevel[level]; p != nil {
+			if p.next != n {
+				return fmt.Errorf("skiplist: level %d next chain broken before head %d", level, n.elems[0])
+			}
+			if p.elems[len(p.elems)-1] >= n.elems[0] {
+				return fmt.Errorf("skiplist: level %d arrays out of order across boundary", level)
+			}
+		}
+		prevAtLevel[level] = n
+		for _, c := range n.children {
+			if err := walk(c, level-1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(s.root, s.height); err != nil {
+		return err
+	}
+	for d := 0; d <= s.height; d++ {
+		if prevAtLevel[d] == nil {
+			return fmt.Errorf("skiplist: no arrays at level %d", d)
+		}
+		if prevAtLevel[d].next != nil {
+			return fmt.Errorf("skiplist: level %d chain does not terminate", d)
+		}
+	}
+	// Count: leaf elements excluding one Front sentinel.
+	total := 0
+	var countLeaves func(n *node, level int)
+	countLeaves = func(n *node, level int) {
+		if level == 0 {
+			total += len(n.elems)
+			return
+		}
+		for _, c := range n.children {
+			countLeaves(c, level-1)
+		}
+	}
+	countLeaves(s.root, s.height)
+	if total-1 != s.count {
+		return fmt.Errorf("skiplist: leaf elements %d (incl. sentinel) vs count %d", total, s.count)
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package skiplist
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// detConfigs returns the Golovin-style strongly-HI variants: hash
+// levels + canonical sizes, with B-skip (folklore) and B^γ promotion.
+func detConfigs() map[string]Config {
+	return map[string]Config{
+		"det-bskip": {B: 16, Folklore: true, Deterministic: true},
+		"det-hi":    {B: 16, Epsilon: 0.5, Deterministic: true},
+	}
+}
+
+func TestDeterministicOracle(t *testing.T) {
+	for name, cfg := range detConfigs() {
+		t.Run(name, func(t *testing.T) {
+			s := MustExternal(cfg, 3, nil)
+			oracle := make(map[int64]bool)
+			rng := xrand.New(7)
+			for op := 0; op < 6000; op++ {
+				k := int64(rng.Intn(1200)) + 1
+				if rng.Intn(3) > 0 {
+					s.Insert(k)
+					oracle[k] = true
+				} else {
+					s.Delete(k)
+					delete(oracle, k)
+				}
+				if op%2000 == 1999 {
+					if err := s.CheckInvariants(); err != nil {
+						t.Fatalf("op %d: %v", op, err)
+					}
+				}
+			}
+			for k := int64(1); k <= 1200; k++ {
+				if s.Contains(k) != oracle[k] {
+					t.Fatalf("Contains(%d) = %v", k, s.Contains(k))
+				}
+			}
+		})
+	}
+}
+
+// TestUniqueRepresentation is the defining SHI property (Hartline et
+// al., §1.4): in deterministic mode, any two operation histories
+// reaching the same key set produce *identical* structures — same
+// topology, same array sizes — not merely identically distributed ones.
+// (Disk addresses still come from the randomized allocator; we compare
+// the canonical parts: shape, contents, slots.)
+func TestUniqueRepresentation(t *testing.T) {
+	cfg := Config{B: 16, Folklore: true, Deterministic: true}
+
+	histA := MustExternal(cfg, 1, nil)
+	for i := int64(1); i <= 800; i++ {
+		histA.Insert(i)
+	}
+
+	histB := MustExternal(cfg, 999, nil) // different seed: must not matter
+	for i := int64(800); i >= 1; i-- {
+		histB.Insert(i)
+	}
+	for i := int64(100); i <= 300; i++ {
+		histB.Delete(i)
+	}
+	for i := int64(100); i <= 300; i++ {
+		histB.Insert(i)
+	}
+
+	var shapeA, shapeB bytes.Buffer
+	dumpShape := func(buf *bytes.Buffer, s *External) {
+		var walk func(n *node, level int)
+		walk = func(n *node, level int) {
+			buf.WriteByte(byte(level))
+			buf.WriteByte(byte(len(n.elems)))
+			buf.WriteByte(byte(n.slots))
+			for _, e := range n.elems {
+				buf.WriteByte(byte(e))
+				buf.WriteByte(byte(e >> 8))
+			}
+			for _, c := range n.children {
+				walk(c, level-1)
+			}
+		}
+		walk(s.root, s.height)
+	}
+	if histA.Height() != histB.Height() {
+		t.Fatalf("heights differ: %d vs %d", histA.Height(), histB.Height())
+	}
+	dumpShape(&shapeA, histA)
+	dumpShape(&shapeB, histB)
+	if !bytes.Equal(shapeA.Bytes(), shapeB.Bytes()) {
+		t.Fatal("deterministic structures differ across histories: unique representation broken")
+	}
+}
+
+// TestRandomizedIsNotUnique is the converse sanity check: the WHI
+// variant's representation must NOT be canonical (different seeds give
+// different layouts for the same set) — otherwise it would be paying
+// SHI's costs without us noticing.
+func TestRandomizedIsNotUnique(t *testing.T) {
+	cfg := Config{B: 16, Epsilon: 0.5}
+	heightsDiffer := false
+	statsDiffer := false
+	base := MustExternal(cfg, 1, nil)
+	for i := int64(1); i <= 500; i++ {
+		base.Insert(i)
+	}
+	baseStats := base.Stats()
+	for seed := uint64(2); seed < 12; seed++ {
+		s := MustExternal(cfg, seed, nil)
+		for i := int64(1); i <= 500; i++ {
+			s.Insert(i)
+		}
+		if s.Height() != base.Height() {
+			heightsDiffer = true
+		}
+		st := s.Stats()
+		if len(st) != len(baseStats) || st[0].TotalSlot != baseStats[0].TotalSlot {
+			statsDiffer = true
+		}
+	}
+	if !heightsDiffer && !statsDiffer {
+		t.Fatal("10 different seeds produced identical WHI structures — randomness broken?")
+	}
+}
+
+func TestDeterministicImageRoundTrip(t *testing.T) {
+	cfg := Config{B: 16, Epsilon: 0.5, Deterministic: true}
+	s := buildRandomList(t, cfg, 61, 2500)
+	var img bytes.Buffer
+	if _, err := s.WriteTo(&img); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadImage(bytes.NewReader(img.Bytes()), 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := s.Keys(), loaded.Keys()
+	if len(a) != len(b) {
+		t.Fatalf("key counts %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("key %d differs", i)
+		}
+	}
+	// Loaded deterministic list keeps identical levels for re-inserts.
+	loaded.Delete(a[len(a)/2])
+	loaded.Insert(a[len(a)/2])
+	if err := loaded.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

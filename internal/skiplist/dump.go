@@ -1,0 +1,79 @@
+package skiplist
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Dump renders the external skip list in the style of the paper's
+// Figure 3: one row per level, arrays separated by '|', the front
+// sentinel as 'F', and leaf-node boundaries (grouped mode) marked with
+// '‖'. Gaps in leaf arrays appear as '.'. Intended for small lists;
+// rows are truncated at width columns (0 means no limit).
+func (s *External) Dump(w io.Writer, width int) {
+	fmt.Fprintf(w, "external skip list: n=%d height=%d 1/p=%d grouped=%v\n",
+		s.count, s.height, s.promoteDen, s.grouped)
+	// Collect the arrays at each level via the next chains, which start
+	// at the front chain.
+	front := make([]*node, s.height+1)
+	cur := s.root
+	for d := s.height; d >= 0; d-- {
+		front[d] = cur
+		if d > 0 {
+			cur = cur.children[0]
+		}
+	}
+	for d := s.height; d >= 0; d-- {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "S%-2d ", d)
+		for n := front[d]; n != nil; n = n.next {
+			if d == 0 && s.grouped && n.headsLeafNode(s) {
+				sb.WriteString("‖ ")
+			} else {
+				sb.WriteString("| ")
+			}
+			for i, e := range n.elems {
+				if e == Front {
+					sb.WriteString("F ")
+				} else {
+					fmt.Fprintf(&sb, "%d ", e)
+				}
+				_ = i
+			}
+			// Show leaf gaps (Invariant 16's extra slots).
+			if d == 0 {
+				for g := len(n.elems); g < n.slots; g++ {
+					sb.WriteString(". ")
+				}
+			}
+		}
+		sb.WriteString("|")
+		line := sb.String()
+		if width > 0 && len(line) > width {
+			line = line[:width-3] + "..."
+		}
+		fmt.Fprintln(w, line)
+	}
+}
+
+// headsLeafNode reports whether a leaf array begins a leaf node, i.e.
+// its head is promoted at least twice (level >= 2). Structurally: the
+// head of a leaf node is the head of its parent level-1 array, and that
+// level-1 array's head is promoted to level >= 2 exactly when it in
+// turn heads its own parent's child — which we detect by comparing
+// against the blob owners' first children.
+func (n *node) headsLeafNode(s *External) bool {
+	// A leaf array heads a leaf node iff it is the first child of a
+	// level-1 array (blob owner). Walk the level-1 chain once.
+	l1 := s.root
+	for lvl := s.height; lvl > 1; lvl-- {
+		l1 = l1.children[0]
+	}
+	for ; l1 != nil; l1 = l1.next {
+		if len(l1.children) > 0 && l1.children[0] == n {
+			return true
+		}
+	}
+	return false
+}

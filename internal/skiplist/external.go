@@ -1,0 +1,478 @@
+// Package skiplist implements the paper's §6 external-memory skip lists:
+//
+//   - External — the history-independent external-memory skip list of
+//     Theorem 3, with promotion probability 1/B^γ (γ = (1+ε)/2), sorted
+//     arrays between promoted elements, leaf arrays packed into leaf
+//     nodes delimited by twice-promoted elements, and Invariant 16 gap
+//     maintenance. Point operations cost O(log_B N) I/Os whp; range
+//     queries cost O((1/ε)·log_B N + k/B) whp.
+//
+//   - The folklore B-skip list (promotion probability 1/B, no leaf-node
+//     grouping), obtained via Config.Folklore — the structure Lemma 15
+//     proves has Ω(√(NB)) elements whose search costs Ω(log(N/B)) I/Os
+//     whp, no better than an in-memory skip list run on disk.
+//
+//   - InMemory — Pugh's classic p = 1/2 skip list (inmemory.go), the
+//     RAM baseline, optionally run "in external memory" where every node
+//     hop is an I/O.
+//
+// The skip list is represented as a multiway search tree that is exactly
+// the array decomposition of §6.2: an array at level i starts with an
+// element promoted to level ≥ i+1 (or the front sentinel) and holds
+// everything up to the next such element; each element of a level-i
+// array heads the level-(i-1) array of elements strictly between it and
+// its successor. A leaf node — contiguous on disk — is precisely the set
+// of leaf arrays headed by the elements of one level-1 array.
+package skiplist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hialloc"
+	"repro/internal/iomodel"
+	"repro/internal/xrand"
+)
+
+// Front is the sentinel key that begins every level. User keys must be
+// strictly greater.
+const Front = math.MinInt64
+
+const maxLevel = 64
+
+// Config selects the skip-list variant.
+type Config struct {
+	// B is the block size in element units (B >= 2).
+	B int
+	// Epsilon is the paper's ε > 0: the promotion probability is
+	// 1/B^γ with γ = (1+ε)/2. It trades worst-case insert cost
+	// O(B^ε·log N) against medium-range-query cost O((1/ε)·log_B N + k/B).
+	// Ignored in Folklore mode. The paper requires
+	// 1/2 < γ <= 1 − log log B / log B; Epsilon = 1/3 (γ = 2/3) is a
+	// good default.
+	Epsilon float64
+	// Folklore selects the folklore B-skip list: promotion probability
+	// 1/B and no leaf-node grouping (each leaf array is its own disk
+	// allocation). This is the Lemma 15 baseline.
+	Folklore bool
+	// Deterministic selects Golovin-style strong history independence
+	// [32, 33]: element levels are a fixed hash of the key (so the
+	// topology is uniquely determined by the key set) and array sizes
+	// are canonical (exactly max(n, floor) slots, no random gaps).
+	// Combine with Folklore for Golovin's B-skip list. Per §2.2 and
+	// Observation 1, canonical sizes forfeit the with-high-probability
+	// update bounds — BenchmarkObservation1 quantifies the cost.
+	Deterministic bool
+}
+
+// DefaultConfig returns the HI external skip list with B = 64, ε = 1/3.
+func DefaultConfig() Config {
+	return Config{B: 64, Epsilon: 1.0 / 3.0}
+}
+
+func (c Config) validate() error {
+	if c.B < 2 {
+		return fmt.Errorf("skiplist: B %d must be >= 2", c.B)
+	}
+	if !c.Folklore && !(c.Epsilon > 0 && c.Epsilon <= 1) {
+		return fmt.Errorf("skiplist: Epsilon %v must be in (0, 1]", c.Epsilon)
+	}
+	return nil
+}
+
+// node is one array of the skip list: a promoted head plus the elements
+// up to the next promoted element, at some level. For level >= 1 nodes,
+// children[j] is the level-(level-1) array headed by elems[j]. Leaf
+// arrays (level 0) have nil children.
+type node struct {
+	elems    []int64
+	children []*node
+	next     *node
+	sizer    *hialloc.FloorSizer
+	slots    int   // physical slots; >= len(elems)
+	addr     int64 // disk address of slot 0
+
+	// Level-1 nodes in grouped (non-folklore) mode own a leaf-node
+	// blob: their children stored contiguously starting at blobAddr.
+	blobAddr  int64
+	blobSlots int
+	hasBlob   bool
+}
+
+// External is the external-memory skip list (HI or folklore variant).
+type External struct {
+	cfg        Config
+	rng        *xrand.Source
+	io         *iomodel.Tracker
+	alloc      *hialloc.Allocator
+	root       *node // front-headed array at level `height`
+	height     int   // root level, >= 1
+	count      int   // user keys stored (excludes sentinels)
+	promoteDen uint64
+	leafFloor  int
+	grouped    bool
+	detLevels  bool // Deterministic: hash-derived levels, canonical sizes
+}
+
+// NewExternal returns an empty skip list. io may be nil.
+func NewExternal(cfg Config, seed uint64, io *iomodel.Tracker) (*External, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &External{cfg: cfg, rng: xrand.New(seed), io: io}
+	s.alloc = hialloc.NewAllocator(cfg.B, s.rng.Split())
+	s.detLevels = cfg.Deterministic
+	if cfg.Folklore {
+		s.promoteDen = uint64(cfg.B)
+		s.leafFloor = 1
+		s.grouped = false
+	} else {
+		gamma := (1 + cfg.Epsilon) / 2
+		den := uint64(math.Round(math.Pow(float64(cfg.B), gamma)))
+		if den < 2 {
+			den = 2
+		}
+		s.promoteDen = den
+		s.leafFloor = int(den) // B^γ, Invariant 16's leaf floor
+		s.grouped = true
+	}
+	leaf := s.newNode(0, []int64{Front}, nil)
+	s.root = s.newNode(1, []int64{Front}, []*node{leaf})
+	s.height = 1
+	s.placeNode(s.root)
+	if s.grouped {
+		s.rebuildBlob(s.root)
+	} else {
+		s.placeNode(leaf)
+	}
+	return s, nil
+}
+
+// MustExternal is NewExternal that panics on config error (for tests
+// and examples with known-good configs).
+func MustExternal(cfg Config, seed uint64, io *iomodel.Tracker) *External {
+	s, err := NewExternal(cfg, seed, io)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of keys stored.
+func (s *External) Len() int { return s.count }
+
+// Height returns the current root level.
+func (s *External) Height() int { return s.height }
+
+// PromotionDenominator returns 1/p as an integer (B^γ, or B in folklore
+// mode).
+func (s *External) PromotionDenominator() uint64 { return s.promoteDen }
+
+// newNode builds a node with a fresh HI size for its element count.
+func (s *External) newNode(level int, elems []int64, children []*node) *node {
+	floor := 1
+	if level == 0 {
+		floor = s.leafFloor
+	}
+	n := &node{elems: elems, children: children}
+	if s.detLevels {
+		n.slots = canonicalSlots(len(elems), floor)
+		return n
+	}
+	n.sizer = hialloc.NewFloorSizer(len(elems), floor, s.rng.Split())
+	n.slots = n.sizer.Size()
+	if n.slots < len(elems) {
+		n.slots = len(elems) // defensive; sizer guarantees this
+	}
+	return n
+}
+
+// canonicalSlots is the deterministic-mode size rule: exactly
+// max(n, floor) slots — a canonical function of the contents, as strong
+// history independence requires (Hartline et al.; §2.2).
+func canonicalSlots(n, floor int) int {
+	if n < floor {
+		return floor
+	}
+	return n
+}
+
+// arrayInsertSize advances a node's size bookkeeping for one insertion
+// and reports whether the physical array must be rebuilt at a new size.
+func (s *External) arrayInsertSize(n *node, floor int) (resized bool) {
+	if s.detLevels {
+		ns := canonicalSlots(len(n.elems), floor)
+		resized = ns != n.slots
+		n.slots = ns
+		return resized
+	}
+	_, resized = n.sizer.Insert()
+	n.slots = max(n.sizer.Size(), len(n.elems))
+	return resized
+}
+
+// arrayDeleteSize is the deletion counterpart of arrayInsertSize.
+func (s *External) arrayDeleteSize(n *node, floor int) (resized bool) {
+	if s.detLevels {
+		ns := canonicalSlots(len(n.elems), floor)
+		resized = ns != n.slots
+		n.slots = ns
+		return resized
+	}
+	_, resized = n.sizer.Delete()
+	n.slots = max(n.sizer.Size(), len(n.elems))
+	return resized
+}
+
+// arrayResetSize re-draws (or canonically recomputes) a node's size
+// after a bulk change (split/merge).
+func (s *External) arrayResetSize(n *node, floor int) {
+	if s.detLevels {
+		n.slots = canonicalSlots(len(n.elems), floor)
+		return
+	}
+	n.sizer.Reset(len(n.elems))
+	n.slots = max(n.sizer.Size(), len(n.elems))
+}
+
+// placeNode allocates a disk address for a node that owns its own
+// storage (all nodes in folklore mode; level >= 1 nodes in grouped
+// mode) and charges the write.
+func (s *External) placeNode(n *node) {
+	n.addr = s.alloc.Alloc(n.slots)
+	s.io.Scan(n.addr, n.slots, true)
+}
+
+// replaceNode frees and re-places a node after a resize.
+func (s *External) replaceNode(n *node) {
+	s.alloc.Free(n.addr)
+	s.placeNode(n)
+}
+
+// rewriteNode charges an in-place rewrite of a node's slots.
+func (s *External) rewriteNode(n *node) {
+	s.io.Scan(n.addr, n.slots, true)
+}
+
+// rebuildBlob lays out the leaf node owned by a level-1 array: all its
+// leaf arrays contiguously on disk (§6.2's "a leaf node is stored
+// consecutively on disk"). Only used in grouped mode.
+func (s *External) rebuildBlob(p1 *node) {
+	if !s.grouped {
+		return
+	}
+	total := 0
+	for _, c := range p1.children {
+		total += c.slots
+	}
+	if p1.hasBlob {
+		s.alloc.Free(p1.blobAddr)
+	}
+	p1.blobAddr = s.alloc.Alloc(total)
+	p1.blobSlots = total
+	p1.hasBlob = true
+	off := p1.blobAddr
+	for _, c := range p1.children {
+		c.addr = off
+		off += int64(c.slots)
+	}
+	s.io.Scan(p1.blobAddr, total, true)
+}
+
+// freeNodeStorage releases a node's own allocation (not blob-resident
+// leaf arrays).
+func (s *External) freeNodeStorage(n *node, level int) {
+	if level >= 1 || !s.grouped {
+		s.alloc.Free(n.addr)
+	}
+	if n.hasBlob {
+		s.alloc.Free(n.blobAddr)
+		n.hasBlob = false
+	}
+}
+
+type pathEntry struct {
+	node *node
+	idx  int // rightmost index with elems[idx] <= key
+}
+
+// searchPath descends from the root, recording at each level the array
+// scanned and the predecessor index, charging the scan prefixes.
+func (s *External) searchPath(key int64) (path []pathEntry, found bool) {
+	path = make([]pathEntry, s.height+1)
+	cur := s.root
+	for d := s.height; d >= 0; d-- {
+		idx := scanArray(cur.elems, key)
+		s.io.Scan(cur.addr, idx+1, false)
+		path[d] = pathEntry{cur, idx}
+		if d > 0 {
+			cur = cur.children[idx]
+		}
+	}
+	leaf := path[0]
+	return path, leaf.node.elems[leaf.idx] == key
+}
+
+// scanArray returns the rightmost index whose element is <= key.
+// elems[0] is a head that is always <= key on a search path.
+func scanArray(elems []int64, key int64) int {
+	idx := 0
+	for idx+1 < len(elems) && elems[idx+1] <= key {
+		idx++
+	}
+	return idx
+}
+
+// Contains reports whether key is stored, charging the search I/Os.
+func (s *External) Contains(key int64) bool {
+	_, found := s.searchPath(key)
+	return found
+}
+
+// drawLevel determines an element's level: the number of consecutive
+// promotions with probability 1/promoteDen each. In deterministic mode
+// the coins come from a fixed hash of the key, so the level — and hence
+// the whole topology — is a canonical function of the key set.
+func (s *External) drawLevel(key int64) int {
+	if s.detLevels {
+		h := xrand.New(uint64(key) * 0x9e3779b97f4a7c15)
+		return h.Geometric(1, s.promoteDen, maxLevel)
+	}
+	return s.rng.Geometric(1, s.promoteDen, maxLevel)
+}
+
+// Insert adds key and reports whether it was absent. Keys must be
+// strictly greater than the Front sentinel.
+func (s *External) Insert(key int64) bool {
+	if key == Front {
+		panic("skiplist: cannot insert the Front sentinel")
+	}
+	path, found := s.searchPath(key)
+	if found {
+		return false
+	}
+	lvl := s.drawLevel(key)
+	if lvl > s.height {
+		path = s.growTo(lvl, path)
+	}
+	if lvl == 0 {
+		s.leafInsert(path, key)
+	} else {
+		s.splitInsert(path, key, lvl)
+	}
+	s.count++
+	return true
+}
+
+// growTo raises the root to the given level, extending the search path
+// with the new front arrays.
+func (s *External) growTo(lvl int, path []pathEntry) []pathEntry {
+	for s.height < lvl {
+		nr := s.newNode(s.height+1, []int64{Front}, []*node{s.root})
+		s.placeNode(nr)
+		s.root = nr
+		s.height++
+		path = append(path, pathEntry{nr, 0})
+	}
+	return path
+}
+
+// leafInsert handles level-0 inserts: splice into the leaf array and
+// re-spread; a resize rebuilds the whole leaf node (§6.2).
+func (s *External) leafInsert(path []pathEntry, key int64) {
+	L := path[0].node
+	at := path[0].idx + 1
+	L.elems = append(L.elems, 0)
+	copy(L.elems[at+1:], L.elems[at:])
+	L.elems[at] = key
+	resized := s.arrayInsertSize(L, s.leafFloor)
+	if s.grouped {
+		if resized {
+			s.rebuildBlob(path[1].node)
+		} else {
+			s.rewriteNode(L)
+		}
+		return
+	}
+	if resized {
+		s.replaceNode(L)
+	} else {
+		s.rewriteNode(L)
+	}
+}
+
+// splitInsert handles inserts with level lvl >= 1: key joins the
+// level-lvl array on the path and splits every lower path array into a
+// kept prefix and a new array headed by key (§6.2's "y starts an array,
+// splitting the existing array into two").
+func (s *External) splitInsert(path []pathEntry, key int64, lvl int) {
+	A := path[lvl].node
+	j := path[lvl].idx
+	A.elems = append(A.elems, 0)
+	copy(A.elems[j+2:], A.elems[j+1:])
+	A.elems[j+1] = key
+
+	var prevNew, new1 *node
+	for d := lvl - 1; d >= 0; d-- {
+		C := path[d].node
+		jd := path[d].idx
+		elems := append([]int64{key}, C.elems[jd+1:]...)
+		var children []*node
+		if d > 0 {
+			children = append([]*node{nil}, C.children[jd+1:]...)
+		}
+		nn := s.newNode(d, elems, children)
+		nn.next = C.next
+		C.elems = C.elems[:jd+1]
+		if d > 0 {
+			C.children = C.children[:jd+1]
+		}
+		C.next = nn
+		floorC := 1
+		if d == 0 {
+			floorC = s.leafFloor
+		}
+		s.arrayResetSize(C, floorC)
+		if d == lvl-1 {
+			// nn is A's child at position j+1.
+			A.children = append(A.children, nil)
+			copy(A.children[j+2:], A.children[j+1:])
+			A.children[j+1] = nn
+		} else {
+			prevNew.children[0] = nn
+		}
+		if d == 1 {
+			new1 = nn
+		}
+		prevNew = nn
+		// Storage: upper arrays own allocations; leaf arrays are
+		// blob-resident in grouped mode.
+		if d >= 1 || !s.grouped {
+			s.placeNode(nn)
+			s.replaceNode(C)
+		}
+	}
+	// Resize A itself (one element added).
+	resized := s.arrayInsertSize(A, 1)
+	if resized {
+		s.replaceNode(A)
+	} else {
+		s.rewriteNode(A)
+	}
+	// Rebuild the affected leaf-node blobs: the level-1 array that was
+	// split (or gained a child when lvl == 1), and the new level-1
+	// array when lvl >= 2.
+	if s.grouped {
+		s.rebuildBlob(path[1].node)
+		if lvl >= 2 && new1 != nil {
+			s.rebuildBlob(new1)
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,322 @@
+package skiplist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/hialloc"
+	"repro/internal/iomodel"
+	"repro/internal/xrand"
+)
+
+// Disk image format for the external skip list. As with the PMA image,
+// the serialized state is exactly the structure's memory
+// representation: every array's contents, physical size AND disk
+// address (addresses are part of the representation per §2), plus the
+// leaf-node blob placements. Next-pointers are not stored — they are
+// derivable from the tree (an array's successor is the next array in
+// in-order) — and neither is any randomness.
+//
+//	magic    [8]byte "HISL\x00\x00v1"
+//	b        int64
+//	epsilon  float64 bits
+//	folklore uint8
+//	determ   uint8
+//	count    int64
+//	height   int64
+//	nodes    pre-order from the root:
+//	           nElems   int64
+//	           slots    int64
+//	           addr     int64
+//	           hasBlob  uint8   (level-1, grouped mode)
+//	           blobAddr int64   (if hasBlob)
+//	           blobSlots int64  (if hasBlob)
+//	           elems    [nElems]int64
+//	           children (recursively; level > 0 has nElems children)
+//	crc32    uint32 (IEEE, over everything above)
+var slImageMagic = [8]byte{'H', 'I', 'S', 'L', 0, 0, 'v', '1'}
+
+// WriteTo serializes the skip list's exact memory representation. It
+// implements io.WriterTo.
+func (s *External) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &crcCountWriter{w: bw}
+	if _, err := cw.Write(slImageMagic[:]); err != nil {
+		return cw.n, err
+	}
+	folk := uint8(0)
+	if s.cfg.Folklore {
+		folk = 1
+	}
+	det := uint8(0)
+	if s.cfg.Deterministic {
+		det = 1
+	}
+	if err := writeVals(cw,
+		uint64(s.cfg.B), math.Float64bits(s.cfg.Epsilon)); err != nil {
+		return cw.n, err
+	}
+	if _, err := cw.Write([]byte{folk, det}); err != nil {
+		return cw.n, err
+	}
+	if err := writeVals(cw, uint64(s.count), uint64(s.height)); err != nil {
+		return cw.n, err
+	}
+	if err := s.writeNode(cw, s.root, s.height); err != nil {
+		return cw.n, err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, cw.crc); err != nil {
+		return cw.n, err
+	}
+	return cw.n + 4, bw.Flush()
+}
+
+func (s *External) writeNode(w io.Writer, n *node, level int) error {
+	if err := writeVals(w, uint64(len(n.elems)), uint64(n.slots), uint64(n.addr)); err != nil {
+		return err
+	}
+	hasBlob := uint8(0)
+	if n.hasBlob {
+		hasBlob = 1
+	}
+	if _, err := w.Write([]byte{hasBlob}); err != nil {
+		return err
+	}
+	if n.hasBlob {
+		if err := writeVals(w, uint64(n.blobAddr), uint64(n.blobSlots)); err != nil {
+			return err
+		}
+	}
+	for _, e := range n.elems {
+		if err := writeVals(w, uint64(e)); err != nil {
+			return err
+		}
+	}
+	if level > 0 {
+		for _, c := range n.children {
+			if err := s.writeNode(w, c, level-1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadImage deserializes a skip-list image. The seed supplies fresh
+// randomness for future operations; io may be nil. The checksum, the
+// allocator reservations and all structural invariants are verified.
+func ReadImage(r io.Reader, seed uint64, io2 *iomodel.Tracker) (*External, error) {
+	cr := &crcCountReader{r: bufio.NewReader(r)}
+	var magic [8]byte
+	if _, err := io.ReadFull(cr, magic[:]); err != nil {
+		return nil, fmt.Errorf("skiplist: reading magic: %w", err)
+	}
+	if magic != slImageMagic {
+		return nil, fmt.Errorf("skiplist: bad magic %q", magic[:])
+	}
+	var bRaw, epsRaw uint64
+	if err := readVals(cr, &bRaw, &epsRaw); err != nil {
+		return nil, err
+	}
+	var flags [2]byte
+	if _, err := io.ReadFull(cr, flags[:]); err != nil {
+		return nil, err
+	}
+	cfg := Config{
+		B:             int(int64(bRaw)),
+		Epsilon:       math.Float64frombits(epsRaw),
+		Folklore:      flags[0] == 1,
+		Deterministic: flags[1] == 1,
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	var countRaw, heightRaw uint64
+	if err := readVals(cr, &countRaw, &heightRaw); err != nil {
+		return nil, err
+	}
+	count, height := int(int64(countRaw)), int(int64(heightRaw))
+	if count < 0 || height < 1 || height > maxLevel {
+		return nil, fmt.Errorf("skiplist: implausible count %d / height %d", count, height)
+	}
+
+	s := &External{cfg: cfg, rng: xrand.New(seed), io: io2}
+	s.alloc = hialloc.NewAllocator(cfg.B, s.rng.Split())
+	s.detLevels = cfg.Deterministic
+	if cfg.Folklore {
+		s.promoteDen = uint64(cfg.B)
+		s.leafFloor = 1
+		s.grouped = false
+	} else {
+		gamma := (1 + cfg.Epsilon) / 2
+		den := uint64(math.Round(math.Pow(float64(cfg.B), gamma)))
+		if den < 2 {
+			den = 2
+		}
+		s.promoteDen = den
+		s.leafFloor = int(den)
+		s.grouped = true
+	}
+	s.count = count
+	s.height = height
+
+	root, err := s.readNode(cr, height)
+	if err != nil {
+		return nil, err
+	}
+	s.root = root
+	wantCRC := cr.crc
+	var gotCRC uint32
+	if err := binary.Read(cr.r, binary.LittleEndian, &gotCRC); err != nil {
+		return nil, fmt.Errorf("skiplist: reading checksum: %w", err)
+	}
+	if gotCRC != wantCRC {
+		return nil, fmt.Errorf("skiplist: checksum mismatch: image %08x, computed %08x", gotCRC, wantCRC)
+	}
+	// Reconstruct the next chains (in-order successors per level).
+	var lastAtLevel [maxLevel + 1]*node
+	var link func(n *node, level int)
+	link = func(n *node, level int) {
+		if prev := lastAtLevel[level]; prev != nil {
+			prev.next = n
+		}
+		lastAtLevel[level] = n
+		for _, c := range n.children {
+			link(c, level-1)
+		}
+	}
+	link(root, height)
+	if err := s.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("skiplist: corrupt image: %w", err)
+	}
+	return s, nil
+}
+
+func (s *External) readNode(r io.Reader, level int) (*node, error) {
+	var nElemsRaw, slotsRaw, addrRaw uint64
+	if err := readVals(r, &nElemsRaw, &slotsRaw, &addrRaw); err != nil {
+		return nil, err
+	}
+	nElems := int(int64(nElemsRaw))
+	slots := int(int64(slotsRaw))
+	if nElems < 0 || nElems > 1<<30 || slots < nElems {
+		return nil, fmt.Errorf("skiplist: implausible array: %d elems, %d slots", nElems, slots)
+	}
+	var blobFlag [1]byte
+	if _, err := io.ReadFull(r, blobFlag[:]); err != nil {
+		return nil, err
+	}
+	n := &node{slots: slots, addr: int64(addrRaw)}
+	if blobFlag[0] == 1 {
+		var blobAddrRaw, blobSlotsRaw uint64
+		if err := readVals(r, &blobAddrRaw, &blobSlotsRaw); err != nil {
+			return nil, err
+		}
+		n.hasBlob = true
+		n.blobAddr = int64(blobAddrRaw)
+		n.blobSlots = int(int64(blobSlotsRaw))
+	}
+	n.elems = make([]int64, nElems)
+	buf := make([]byte, 8)
+	for i := range n.elems {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		n.elems[i] = int64(binary.LittleEndian.Uint64(buf))
+	}
+	// Restore the size bookkeeping around the persisted size.
+	floor := 1
+	if level == 0 {
+		floor = s.leafFloor
+	}
+	if s.detLevels {
+		if slots != canonicalSlots(nElems, floor) {
+			return nil, fmt.Errorf("skiplist: level %d array: non-canonical size %d for %d elems", level, slots, nElems)
+		}
+	} else {
+		sizer, err := hialloc.RestoreFloorSizer(nElems, slots, floor, s.rng.Split())
+		if err != nil {
+			return nil, fmt.Errorf("skiplist: level %d array: %w", level, err)
+		}
+		n.sizer = sizer
+	}
+	// Re-register the address reservations so future Alloc/Free cycles
+	// stay consistent. Blob-resident leaf arrays do not own storage.
+	ownsStorage := level >= 1 || !s.grouped
+	if ownsStorage {
+		if err := s.alloc.Reserve(n.addr, n.slots); err != nil {
+			return nil, err
+		}
+	}
+	if n.hasBlob {
+		if err := s.alloc.Reserve(n.blobAddr, n.blobSlots); err != nil {
+			return nil, err
+		}
+	}
+	if level > 0 {
+		n.children = make([]*node, nElems)
+		for i := range n.children {
+			c, err := s.readNode(r, level-1)
+			if err != nil {
+				return nil, err
+			}
+			if len(c.elems) == 0 || c.elems[0] != n.elems[i] {
+				return nil, fmt.Errorf("skiplist: child head mismatch at level %d", level)
+			}
+			n.children[i] = c
+		}
+	}
+	return n, nil
+}
+
+func writeVals(w io.Writer, vals ...uint64) error {
+	var buf [8]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		if _, err := w.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readVals(r io.Reader, vals ...*uint64) error {
+	var buf [8]byte
+	for _, v := range vals {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return err
+		}
+		*v = binary.LittleEndian.Uint64(buf[:])
+	}
+	return nil
+}
+
+type crcCountWriter struct {
+	w   io.Writer
+	crc uint32
+	n   int64
+}
+
+func (c *crcCountWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	c.n += int64(n)
+	return n, err
+}
+
+type crcCountReader struct {
+	r   io.Reader
+	crc uint32
+	n   int64
+}
+
+func (c *crcCountReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,134 @@
+package skiplist
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func buildRandomList(t *testing.T, cfg Config, seed uint64, ops int) *External {
+	t.Helper()
+	s := MustExternal(cfg, seed, nil)
+	rng := xrand.New(seed + 1)
+	for i := 0; i < ops; i++ {
+		k := int64(rng.Intn(2000)) + 1
+		if rng.Intn(3) > 0 {
+			s.Insert(k)
+		} else {
+			s.Delete(k)
+		}
+	}
+	return s
+}
+
+func TestSkipImageRoundTrip(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"hi":       {B: 16, Epsilon: 0.5},
+		"folklore": {B: 16, Folklore: true},
+	} {
+		t.Run(name, func(t *testing.T) {
+			for _, ops := range []int{0, 1, 100, 4000} {
+				s := buildRandomList(t, cfg, 31, ops)
+				var img bytes.Buffer
+				wrote, err := s.WriteTo(&img)
+				if err != nil {
+					t.Fatalf("ops=%d: %v", ops, err)
+				}
+				if wrote != int64(img.Len()) {
+					t.Fatalf("ops=%d: reported %d bytes, wrote %d", ops, wrote, img.Len())
+				}
+				loaded, err := ReadImage(bytes.NewReader(img.Bytes()), 999, nil)
+				if err != nil {
+					t.Fatalf("ops=%d: ReadImage: %v", ops, err)
+				}
+				if loaded.Len() != s.Len() || loaded.Height() != s.Height() {
+					t.Fatalf("ops=%d: shape mismatch", ops)
+				}
+				a, b := s.Keys(), loaded.Keys()
+				if len(a) != len(b) {
+					t.Fatalf("ops=%d: key counts %d vs %d", ops, len(a), len(b))
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("ops=%d: key %d differs", ops, i)
+					}
+				}
+				if err := loaded.CheckInvariants(); err != nil {
+					t.Fatalf("ops=%d: %v", ops, err)
+				}
+			}
+		})
+	}
+}
+
+func TestSkipImageCanonical(t *testing.T) {
+	s := buildRandomList(t, Config{B: 32, Epsilon: 1.0 / 3.0}, 37, 3000)
+	var img1 bytes.Buffer
+	if _, err := s.WriteTo(&img1); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadImage(bytes.NewReader(img1.Bytes()), 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var img2 bytes.Buffer
+	if _, err := loaded.WriteTo(&img2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(img1.Bytes(), img2.Bytes()) {
+		t.Fatal("image not canonical across load/store")
+	}
+}
+
+func TestSkipImageLoadedRemainsOperational(t *testing.T) {
+	s := buildRandomList(t, Config{B: 16, Epsilon: 0.5}, 41, 2000)
+	var img bytes.Buffer
+	if _, err := s.WriteTo(&img); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadImage(&img, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(43)
+	for i := 0; i < 3000; i++ {
+		k := int64(rng.Intn(5000)) + 1
+		if rng.Intn(2) == 0 {
+			loaded.Insert(k)
+		} else {
+			loaded.Delete(k)
+		}
+	}
+	if err := loaded.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkipImageRejectsCorruption(t *testing.T) {
+	s := buildRandomList(t, Config{B: 16, Epsilon: 0.5}, 47, 800)
+	var img bytes.Buffer
+	if _, err := s.WriteTo(&img); err != nil {
+		t.Fatal(err)
+	}
+	good := img.Bytes()
+
+	if _, err := ReadImage(bytes.NewReader(good[:len(good)/3]), 1, nil); err == nil {
+		t.Error("truncated image accepted")
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xFF
+	if _, err := ReadImage(bytes.NewReader(bad), 1, nil); err == nil {
+		t.Error("bad magic accepted")
+	}
+	bad = append([]byte(nil), good...)
+	bad[len(bad)*2/3] ^= 0x01
+	if _, err := ReadImage(bytes.NewReader(bad), 1, nil); err == nil {
+		t.Error("payload corruption accepted")
+	}
+	bad = append([]byte(nil), good...)
+	bad[len(bad)-2] ^= 0x01
+	if _, err := ReadImage(bytes.NewReader(bad), 1, nil); err == nil {
+		t.Error("checksum corruption accepted")
+	}
+}

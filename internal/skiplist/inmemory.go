@@ -1,0 +1,171 @@
+package skiplist
+
+import (
+	"fmt"
+
+	"repro/internal/hialloc"
+	"repro/internal/iomodel"
+	"repro/internal/xrand"
+)
+
+// InMemory is Pugh's classic skip list with promotion probability 1/2:
+// the paper's RAM baseline. Its pointer structure is weakly history
+// independent [31, 53]. When given an I/O tracker, every node hop
+// charges one block touch — "an in-memory skip list run in external
+// memory" — which is exactly the yardstick Lemma 15 compares the
+// folklore B-skip list against: Θ(log N) I/Os per search whp.
+type InMemory struct {
+	rng    *xrand.Source
+	io     *iomodel.Tracker
+	alloc  *hialloc.Allocator
+	head   *imNode
+	height int
+	count  int
+}
+
+type imNode struct {
+	key  int64
+	next []*imNode
+	addr int64
+}
+
+// NewInMemory returns an empty classic skip list. io may be nil; if
+// present, each node visit costs one block read (nodes are placed at
+// history-independent random addresses).
+func NewInMemory(seed uint64, io *iomodel.Tracker) *InMemory {
+	s := &InMemory{rng: xrand.New(seed), io: io, height: 1}
+	s.alloc = hialloc.NewAllocator(1, s.rng.Split())
+	s.head = s.newNode(Front, maxLevel+1)
+	return s
+}
+
+func (s *InMemory) newNode(key int64, levels int) *imNode {
+	n := &imNode{key: key, next: make([]*imNode, levels)}
+	n.addr = s.alloc.Alloc(1)
+	return n
+}
+
+// Len returns the number of keys stored.
+func (s *InMemory) Len() int { return s.count }
+
+// Height returns the number of levels in use.
+func (s *InMemory) Height() int { return s.height }
+
+func (s *InMemory) visit(n *imNode) {
+	s.io.Read(n.addr)
+}
+
+// findPredecessors returns, for each level, the last node < key.
+func (s *InMemory) findPredecessors(key int64) []*imNode {
+	preds := make([]*imNode, s.height)
+	cur := s.head
+	s.visit(cur)
+	for d := s.height - 1; d >= 0; d-- {
+		for cur.next[d] != nil && cur.next[d].key < key {
+			cur = cur.next[d]
+			s.visit(cur)
+		}
+		preds[d] = cur
+	}
+	return preds
+}
+
+// Contains reports whether key is stored.
+func (s *InMemory) Contains(key int64) bool {
+	preds := s.findPredecessors(key)
+	n := preds[0].next[0]
+	if n != nil {
+		s.visit(n)
+	}
+	return n != nil && n.key == key
+}
+
+// Insert adds key and reports whether it was absent.
+func (s *InMemory) Insert(key int64) bool {
+	if key == Front {
+		panic("skiplist: cannot insert the Front sentinel")
+	}
+	preds := s.findPredecessors(key)
+	if n := preds[0].next[0]; n != nil && n.key == key {
+		return false
+	}
+	lvl := s.rng.Geometric(1, 2, maxLevel) + 1 // node spans lvl levels
+	for s.height < lvl {
+		preds = append(preds, s.head)
+		s.height++
+	}
+	n := s.newNode(key, lvl)
+	s.visit(n)
+	for d := 0; d < lvl; d++ {
+		n.next[d] = preds[d].next[d]
+		preds[d].next[d] = n
+		s.visit(preds[d])
+	}
+	s.count++
+	return true
+}
+
+// Delete removes key and reports whether it was present.
+func (s *InMemory) Delete(key int64) bool {
+	preds := s.findPredecessors(key)
+	n := preds[0].next[0]
+	if n == nil || n.key != key {
+		return false
+	}
+	for d := 0; d < len(n.next); d++ {
+		if preds[d].next[d] == n {
+			preds[d].next[d] = n.next[d]
+			s.visit(preds[d])
+		}
+	}
+	s.alloc.Free(n.addr)
+	for s.height > 1 && s.head.next[s.height-1] == nil {
+		s.height--
+	}
+	s.count--
+	return true
+}
+
+// Range appends all keys in [lo, hi] to out, in order.
+func (s *InMemory) Range(lo, hi int64, out []int64) []int64 {
+	if lo > hi {
+		return out
+	}
+	preds := s.findPredecessors(lo)
+	for n := preds[0].next[0]; n != nil && n.key <= hi; n = n.next[0] {
+		s.visit(n)
+		out = append(out, n.key)
+	}
+	return out
+}
+
+// CheckInvariants validates sortedness and level-nesting.
+func (s *InMemory) CheckInvariants() error {
+	for d := 0; d < s.height; d++ {
+		prev := int64(Front)
+		seen := 0
+		for n := s.head.next[d]; n != nil; n = n.next[d] {
+			if n.key <= prev {
+				return fmt.Errorf("skiplist: level %d out of order: %d after %d", d, n.key, prev)
+			}
+			prev = n.key
+			seen++
+		}
+		if d == 0 && seen != s.count {
+			return fmt.Errorf("skiplist: level 0 has %d nodes, count %d", seen, s.count)
+		}
+	}
+	// Every node at level d+1 appears at level d.
+	for d := 1; d < s.height; d++ {
+		lower := map[int64]bool{}
+		for n := s.head.next[d-1]; n != nil; n = n.next[d-1] {
+			lower[n.key] = true
+		}
+		for n := s.head.next[d]; n != nil; n = n.next[d] {
+			if !lower[n.key] {
+				return fmt.Errorf("skiplist: key %d at level %d missing from level %d", n.key, d, d-1)
+			}
+		}
+	}
+	return nil
+}

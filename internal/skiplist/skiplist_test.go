@@ -1,0 +1,462 @@
+package skiplist
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/iomodel"
+	"repro/internal/xrand"
+)
+
+func extConfigs() map[string]Config {
+	return map[string]Config{
+		"hi-b64":    {B: 64, Epsilon: 1.0 / 3.0},
+		"hi-b16":    {B: 16, Epsilon: 0.5},
+		"hi-b256":   {B: 256, Epsilon: 1.0 / 3.0},
+		"folklore":  {B: 64, Folklore: true},
+		"folklore4": {B: 4, Folklore: true},
+	}
+}
+
+func TestExternalBasic(t *testing.T) {
+	for name, cfg := range extConfigs() {
+		t.Run(name, func(t *testing.T) {
+			s := MustExternal(cfg, 1, nil)
+			if s.Contains(5) {
+				t.Fatal("empty list contains 5")
+			}
+			if !s.Insert(5) || s.Insert(5) {
+				t.Fatal("insert semantics wrong")
+			}
+			if !s.Contains(5) {
+				t.Fatal("5 missing after insert")
+			}
+			if !s.Delete(5) || s.Delete(5) {
+				t.Fatal("delete semantics wrong")
+			}
+			if s.Len() != 0 {
+				t.Fatalf("len = %d", s.Len())
+			}
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestExternalSetOracle(t *testing.T) {
+	for name, cfg := range extConfigs() {
+		t.Run(name, func(t *testing.T) {
+			s := MustExternal(cfg, 7, nil)
+			oracle := make(map[int64]bool)
+			rng := xrand.New(42)
+			for op := 0; op < 8000; op++ {
+				k := int64(rng.Intn(1500)) + 1
+				switch rng.Intn(3) {
+				case 0, 1:
+					if got := s.Insert(k); got != !oracle[k] {
+						t.Fatalf("op %d: Insert(%d) = %v", op, k, got)
+					}
+					oracle[k] = true
+				case 2:
+					if got := s.Delete(k); got != oracle[k] {
+						t.Fatalf("op %d: Delete(%d) = %v", op, k, got)
+					}
+					delete(oracle, k)
+				}
+				if op%2000 == 1999 {
+					if err := s.CheckInvariants(); err != nil {
+						t.Fatalf("op %d: %v", op, err)
+					}
+				}
+			}
+			if s.Len() != len(oracle) {
+				t.Fatalf("len %d vs oracle %d", s.Len(), len(oracle))
+			}
+			var want []int64
+			for k := range oracle {
+				want = append(want, k)
+			}
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			got := s.Keys()
+			if len(got) != len(want) {
+				t.Fatalf("Keys returned %d, want %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("Keys[%d] = %d, want %d", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestExternalRange(t *testing.T) {
+	s := MustExternal(DefaultConfig(), 11, nil)
+	for i := int64(1); i <= 3000; i++ {
+		s.Insert(i * 2)
+	}
+	got := s.Range(100, 200, nil)
+	if len(got) != 51 {
+		t.Fatalf("Range(100,200) = %d keys", len(got))
+	}
+	for i, v := range got {
+		if v != int64(100+2*i) {
+			t.Fatalf("Range[%d] = %d", i, v)
+		}
+	}
+	if got := s.Range(5, 4, nil); len(got) != 0 {
+		t.Fatal("inverted range nonempty")
+	}
+	if got := s.Range(99999, 100001, nil); len(got) != 0 {
+		t.Fatal("out-of-domain range nonempty")
+	}
+}
+
+func TestExternalSequentialAndReverse(t *testing.T) {
+	for _, dir := range []string{"asc", "desc"} {
+		s := MustExternal(DefaultConfig(), 13, nil)
+		const n = 5000
+		for i := 0; i < n; i++ {
+			k := int64(i + 1)
+			if dir == "desc" {
+				k = int64(n - i)
+			}
+			s.Insert(k)
+		}
+		if s.Len() != n {
+			t.Fatalf("%s: len = %d", dir, s.Len())
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		keys := s.Keys()
+		for i, k := range keys {
+			if k != int64(i+1) {
+				t.Fatalf("%s: keys[%d] = %d", dir, i, k)
+			}
+		}
+	}
+}
+
+func TestExternalDeleteEverything(t *testing.T) {
+	s := MustExternal(Config{B: 16, Epsilon: 0.5}, 17, nil)
+	const n = 3000
+	rng := xrand.New(23)
+	perm := make([]int, n)
+	rng.Perm(perm)
+	for i := 0; i < n; i++ {
+		s.Insert(int64(i + 1))
+	}
+	for _, k := range perm {
+		if !s.Delete(int64(k + 1)) {
+			t.Fatalf("Delete(%d) missed", k+1)
+		}
+	}
+	if s.Len() != 0 || s.Height() != 1 {
+		t.Fatalf("len=%d height=%d after deleting all", s.Len(), s.Height())
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInvariant16 verifies the leaf-array gap invariant directly: every
+// leaf array's physical size lies in [max(n, B^γ), 2·max(n, B^γ)-1].
+// (CheckInvariants enforces it too; this test makes the claim explicit
+// on a large instance.)
+func TestInvariant16(t *testing.T) {
+	cfg := Config{B: 64, Epsilon: 1.0 / 3.0}
+	s := MustExternal(cfg, 19, nil)
+	for i := int64(1); i <= 20000; i++ {
+		s.Insert(i * 7 % 100003)
+	}
+	floor := int(s.PromotionDenominator())
+	var walk func(n *node, level int)
+	bad := 0
+	walk = func(n *node, level int) {
+		if level == 0 {
+			m := len(n.elems)
+			if m < floor {
+				m = floor
+			}
+			if n.slots < m || n.slots > 2*m-1 {
+				bad++
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c, level-1)
+		}
+	}
+	walk(s.root, s.height)
+	if bad > 0 {
+		t.Fatalf("%d leaf arrays violate Invariant 16", bad)
+	}
+}
+
+// TestHeightLogarithmic checks Lemma 17: height O(log_{1/p} N) whp.
+func TestHeightLogarithmic(t *testing.T) {
+	cfg := Config{B: 64, Epsilon: 1.0 / 3.0}
+	s := MustExternal(cfg, 29, nil)
+	const n = 50000
+	for i := int64(1); i <= n; i++ {
+		s.Insert(i)
+	}
+	// log_{B^γ} N = ln N / ln(16) for B=64, γ=2/3: ~3.9. Allow 4x.
+	logP := math.Log(float64(n)) / math.Log(float64(s.PromotionDenominator()))
+	if float64(s.Height()) > 4*logP+3 {
+		t.Fatalf("height %d vs log_1/p N = %.1f", s.Height(), logP)
+	}
+}
+
+// TestSearchIOBound checks the Theorem 3 shape: searches cost
+// O(log_B N) I/Os whp for the HI variant.
+func TestSearchIOBound(t *testing.T) {
+	const n = 30000
+	for _, B := range []int{16, 64} {
+		tr := iomodel.New(B, 64)
+		cfg := Config{B: B, Epsilon: 1.0 / 3.0}
+		s := MustExternal(cfg, 31, tr)
+		for i := int64(1); i <= n; i++ {
+			s.Insert(i)
+		}
+		rng := xrand.New(3)
+		tr.Reset()
+		const queries = 300
+		for q := 0; q < queries; q++ {
+			s.Contains(int64(rng.Intn(n)) + 1)
+		}
+		perQ := float64(tr.IOs()) / queries
+		bound := 10*math.Log2(n)/math.Log2(float64(B)) + 10
+		if perQ > bound {
+			t.Errorf("B=%d: %.1f I/Os per search, bound %.1f", B, perQ, bound)
+		}
+	}
+}
+
+func TestExternalConfigValidation(t *testing.T) {
+	if _, err := NewExternal(Config{B: 1}, 1, nil); err == nil {
+		t.Error("B=1 accepted")
+	}
+	if _, err := NewExternal(Config{B: 64, Epsilon: 0}, 1, nil); err == nil {
+		t.Error("Epsilon=0 accepted")
+	}
+	if _, err := NewExternal(Config{B: 64, Epsilon: 1.5}, 1, nil); err == nil {
+		t.Error("Epsilon=1.5 accepted")
+	}
+	if _, err := NewExternal(Config{B: 4, Folklore: true}, 1, nil); err != nil {
+		t.Errorf("folklore config rejected: %v", err)
+	}
+}
+
+func TestExternalSentinelPanics(t *testing.T) {
+	s := MustExternal(DefaultConfig(), 1, nil)
+	for _, f := range []func(){
+		func() { s.Insert(Front) },
+		func() { s.Delete(Front) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPropertyExternalOracle(t *testing.T) {
+	f := func(seed uint64, folklore bool) bool {
+		cfg := Config{B: 8, Epsilon: 0.5, Folklore: folklore}
+		s := MustExternal(cfg, seed, nil)
+		oracle := make(map[int64]bool)
+		rng := xrand.New(seed + 1)
+		for op := 0; op < 600; op++ {
+			k := int64(rng.Intn(150)) + 1
+			if rng.Intn(2) == 0 {
+				s.Insert(k)
+				oracle[k] = true
+			} else {
+				s.Delete(k)
+				delete(oracle, k)
+			}
+		}
+		if s.Len() != len(oracle) {
+			return false
+		}
+		for k := int64(1); k <= 150; k++ {
+			if s.Contains(k) != oracle[k] {
+				return false
+			}
+		}
+		return s.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInMemoryBasic(t *testing.T) {
+	s := NewInMemory(1, nil)
+	if !s.Insert(10) || s.Insert(10) {
+		t.Fatal("insert semantics")
+	}
+	if !s.Contains(10) || s.Contains(11) {
+		t.Fatal("contains wrong")
+	}
+	if !s.Delete(10) || s.Delete(10) {
+		t.Fatal("delete semantics")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInMemoryOracle(t *testing.T) {
+	s := NewInMemory(3, nil)
+	oracle := make(map[int64]bool)
+	rng := xrand.New(5)
+	for op := 0; op < 20000; op++ {
+		k := int64(rng.Intn(3000)) + 1
+		if rng.Intn(2) == 0 {
+			s.Insert(k)
+			oracle[k] = true
+		} else {
+			s.Delete(k)
+			delete(oracle, k)
+		}
+	}
+	if s.Len() != len(oracle) {
+		t.Fatalf("len %d vs %d", s.Len(), len(oracle))
+	}
+	for k := int64(1); k <= 3000; k++ {
+		if s.Contains(k) != oracle[k] {
+			t.Fatalf("Contains(%d) = %v", k, s.Contains(k))
+		}
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInMemoryRange(t *testing.T) {
+	s := NewInMemory(7, nil)
+	for i := int64(1); i <= 1000; i++ {
+		s.Insert(i * 3)
+	}
+	got := s.Range(10, 31, nil)
+	want := []int64{12, 15, 18, 21, 24, 27, 30}
+	if len(got) != len(want) {
+		t.Fatalf("Range = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range[%d] = %d", i, got[i])
+		}
+	}
+}
+
+// TestInMemorySearchCostLogN: the RAM baseline run in external memory
+// costs Θ(log N) I/Os per search — the yardstick of Lemma 15.
+func TestInMemorySearchCostLogN(t *testing.T) {
+	tr := iomodel.New(1, 0)
+	s := NewInMemory(9, tr)
+	const n = 20000
+	for i := int64(1); i <= n; i++ {
+		s.Insert(i)
+	}
+	rng := xrand.New(11)
+	tr.Reset()
+	const queries = 500
+	for q := 0; q < queries; q++ {
+		s.Contains(int64(rng.Intn(n)) + 1)
+	}
+	perQ := float64(tr.IOs()) / queries
+	logN := math.Log2(n)
+	if perQ < logN/2 || perQ > 8*logN {
+		t.Fatalf("in-memory search cost %.1f I/Os, expected Θ(log N) ≈ %.1f", perQ, logN)
+	}
+}
+
+// TestLemma15Shape compares the search-cost tails: the folklore B-skip
+// list must have many keys whose search cost is Ω(log(N/B)) I/Os, while
+// the HI skip list's worst search stays near O(log_B N).
+func TestLemma15Shape(t *testing.T) {
+	const n = 20000
+	const B = 32
+	costs := func(cfg Config) (mean, worst float64) {
+		tr := iomodel.New(B, 16)
+		s := MustExternal(cfg, 13, tr)
+		for i := int64(1); i <= n; i++ {
+			s.Insert(i)
+		}
+		var total, max uint64
+		const stride = 7
+		queries := 0
+		for k := int64(1); k <= n; k += stride {
+			tr.Reset()
+			s.Contains(k)
+			c := tr.IOs()
+			total += c
+			if c > max {
+				max = c
+			}
+			queries++
+		}
+		return float64(total) / float64(queries), float64(max)
+	}
+	_, hiWorst := costs(Config{B: B, Epsilon: 1.0 / 3.0})
+	_, flWorst := costs(Config{B: B, Folklore: true})
+	// Theorem 3: the HI variant's worst search is O(log_B N) — allow
+	// 3·log_B N + 6.
+	logBN := math.Log2(n) / math.Log2(B)
+	if hiWorst > 3*logBN+6 {
+		t.Errorf("HI worst search %.0f I/Os exceeds O(log_B N) envelope %.1f",
+			hiWorst, 3*logBN+6)
+	}
+	// Lemma 15: the folklore variant has searches costing Ω(log(N/B))
+	// I/Os — its longest array alone spans ~B·ln(N/B) elements, i.e.
+	// ~log(N/B) blocks. Require at least half that.
+	if want := 0.5 * math.Log(float64(n)/float64(B)); flWorst < want {
+		t.Errorf("folklore worst search %.0f I/Os below Ω(log(N/B)) floor %.1f",
+			flWorst, want)
+	}
+	// And the folklore tail must not beat the HI tail.
+	if flWorst <= hiWorst {
+		t.Errorf("folklore worst %.0f <= HI worst %.0f: Lemma 15 shape inverted", flWorst, hiWorst)
+	}
+}
+
+func BenchmarkExternalInsert(b *testing.B) {
+	s := MustExternal(DefaultConfig(), 1, nil)
+	rng := xrand.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(int64(rng.Uint64n(1 << 40)))
+	}
+}
+
+func BenchmarkExternalContains(b *testing.B) {
+	s := MustExternal(DefaultConfig(), 1, nil)
+	for i := int64(1); i <= 100000; i++ {
+		s.Insert(i)
+	}
+	rng := xrand.New(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Contains(int64(rng.Intn(100000)) + 1)
+	}
+}
+
+func BenchmarkInMemoryInsert(b *testing.B) {
+	s := NewInMemory(1, nil)
+	rng := xrand.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(int64(rng.Uint64n(1 << 40)))
+	}
+}

@@ -1,0 +1,227 @@
+package skiplist
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// TestWHIDistribution verifies weak history independence for the
+// external skip list (§6.3): two different operation histories reaching
+// the same key set must give identically distributed observables. We
+// compare the distributions of (a) the list height and (b) the number
+// of level-1 arrays across many seeds, via a two-sample chi-square.
+func TestWHIDistribution(t *testing.T) {
+	const n = 250
+	const trials = 2000
+	cfg := Config{B: 16, Epsilon: 0.5}
+
+	histA := func(seed uint64) *External {
+		s := MustExternal(cfg, seed, nil)
+		for i := int64(1); i <= n; i++ {
+			s.Insert(i)
+		}
+		return s
+	}
+	histB := func(seed uint64) *External {
+		s := MustExternal(cfg, seed, nil)
+		// Decoys, reverse inserts, churn, redaction.
+		for i := int64(1); i <= 60; i++ {
+			s.Insert(1000 + i)
+		}
+		for i := int64(n); i >= 1; i-- {
+			s.Insert(i)
+		}
+		for i := int64(1); i <= 60; i++ {
+			s.Delete(1000 + i)
+		}
+		for i := int64(50); i <= 120; i++ {
+			s.Delete(i)
+			s.Insert(i)
+		}
+		return s
+	}
+
+	type obs struct{ height, l1 int }
+	collect := func(build func(uint64) *External, base uint64) []obs {
+		out := make([]obs, trials)
+		for i := 0; i < trials; i++ {
+			s := build(base + uint64(i)*13)
+			if s.Len() != n {
+				t.Fatalf("history reached %d keys, want %d", s.Len(), n)
+			}
+			st := s.Stats()
+			out[i] = obs{height: s.Height(), l1: st[1].Arrays}
+		}
+		return out
+	}
+	a := collect(histA, 1)
+	b := collect(histB, 1_000_003)
+
+	chi2 := func(pick func(obs) int, buckets int, scale int) float64 {
+		ca := make([]int, buckets)
+		cb := make([]int, buckets)
+		clamp := func(v int) int {
+			if v >= buckets {
+				return buckets - 1
+			}
+			return v
+		}
+		for i := 0; i < trials; i++ {
+			ca[clamp(pick(a[i])/scale)]++
+			cb[clamp(pick(b[i])/scale)]++
+		}
+		stat := 0.0
+		for i := range ca {
+			sum := float64(ca[i] + cb[i])
+			if sum == 0 {
+				continue
+			}
+			d := float64(ca[i]) - float64(cb[i])
+			stat += d * d / sum
+		}
+		return stat
+	}
+	// Height takes a handful of values; 8 buckets, ~7 dof, 99.9th ~24.3.
+	if s := chi2(func(o obs) int { return o.height }, 8, 1); s > 24.3 {
+		t.Errorf("height distributions differ across histories: chi2 = %.1f", s)
+	}
+	// Level-1 array count, coarse buckets (~15 dof, 99.9th ~37.7).
+	if s := chi2(func(o obs) int { return o.l1 }, 16, 4); s > 37.7 {
+		t.Errorf("level-1 array-count distributions differ: chi2 = %.1f", s)
+	}
+}
+
+// TestArrayLengthBound checks the §6.1/§6.4 size facts: every array's
+// length is O(B^γ·log N) whp (the longest run of unpromoted elements).
+func TestArrayLengthBound(t *testing.T) {
+	const n = 40000
+	cfg := Config{B: 64, Epsilon: 1.0 / 3.0}
+	s := MustExternal(cfg, 3, nil)
+	for i := int64(1); i <= n; i++ {
+		s.Insert(i)
+	}
+	den := float64(s.PromotionDenominator()) // B^γ
+	bound := 4 * den * math.Log(float64(n))
+	for _, st := range s.Stats() {
+		if float64(st.MaxLen) > bound {
+			t.Errorf("level %d: max array length %d exceeds 4·B^γ·ln N = %.0f",
+				st.Level, st.MaxLen, bound)
+		}
+	}
+}
+
+// TestLeafNodeSizeBound checks Lemma 19's ingredient: leaf nodes have
+// O(B^{2γ}·log N) slots whp.
+func TestLeafNodeSizeBound(t *testing.T) {
+	const n = 40000
+	cfg := Config{B: 64, Epsilon: 1.0 / 3.0}
+	s := MustExternal(cfg, 5, nil)
+	for i := int64(1); i <= n; i++ {
+		s.Insert(i)
+	}
+	den := float64(s.PromotionDenominator())
+	bound := 6 * den * den * math.Log(float64(n))
+	for _, sz := range s.LeafNodeSizes() {
+		if float64(sz) > bound {
+			t.Errorf("leaf node with %d slots exceeds 6·B^{2γ}·ln N = %.0f", sz, bound)
+		}
+	}
+}
+
+// TestSpaceLinear checks Lemma 22: Θ(N) total slots.
+func TestSpaceLinear(t *testing.T) {
+	const n = 40000
+	for name, cfg := range map[string]Config{
+		"hi":       {B: 64, Epsilon: 1.0 / 3.0},
+		"folklore": {B: 64, Folklore: true},
+	} {
+		s := MustExternal(cfg, 7, nil)
+		for i := int64(1); i <= n; i++ {
+			s.Insert(i)
+		}
+		ratio := float64(s.TotalSlots()) / float64(n)
+		if ratio > 8 {
+			t.Errorf("%s: %.1f slots per element — not Θ(N)", name, ratio)
+		}
+		if ratio < 1 {
+			t.Errorf("%s: ratio %.2f < 1, slots unaccounted", name, ratio)
+		}
+	}
+}
+
+// TestLevelOccupancyGeometric: the number of elements at level >= i
+// decays geometrically with factor p (the promotion probability), the
+// structural heart of Lemma 17.
+func TestLevelOccupancyGeometric(t *testing.T) {
+	const n = 60000
+	cfg := Config{B: 256, Epsilon: 1.0 / 3.0} // den = 256^(2/3) = 40.3 -> 40
+	s := MustExternal(cfg, 9, nil)
+	for i := int64(1); i <= n; i++ {
+		s.Insert(i)
+	}
+	st := s.Stats()
+	den := float64(s.PromotionDenominator())
+	// Elements at level >= 1 is Binomial(n, 1/den): mean n/den.
+	// st[1].TotalLen counts level-1 array entries = elements of level
+	// >= 1 plus the front sentinel.
+	got := float64(st[1].TotalLen - 1)
+	want := float64(n) / den
+	sigma := math.Sqrt(want)
+	if math.Abs(got-want) > 6*sigma {
+		t.Errorf("level>=1 population %0.f, want %.0f ± %.0f", got, want, 6*sigma)
+	}
+}
+
+func TestExternalDump(t *testing.T) {
+	s := MustExternal(Config{B: 4, Epsilon: 1}, 11, nil)
+	for i := int64(1); i <= 30; i++ {
+		s.Insert(i)
+	}
+	var buf bytes.Buffer
+	s.Dump(&buf, 0)
+	out := buf.String()
+	if !strings.Contains(out, "S0") || !strings.Contains(out, "F") {
+		t.Fatalf("dump missing leaf level or front sentinel:\n%s", out)
+	}
+	if !strings.Contains(out, "external skip list: n=30") {
+		t.Fatalf("dump header wrong:\n%s", out)
+	}
+	// Truncation respected (the header line is exempt).
+	buf.Reset()
+	s.Dump(&buf, 40)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	for _, line := range lines[1:] {
+		if len(line) > 43 { // width + ellipsis slack
+			t.Fatalf("line exceeds width: %q", line)
+		}
+	}
+}
+
+// TestRandomizedDumpAndStats fuzzes Dump and Stats against random
+// contents (they must not panic and must agree on counts).
+func TestRandomizedDumpAndStats(t *testing.T) {
+	rng := xrand.New(13)
+	for trial := 0; trial < 20; trial++ {
+		cfg := Config{B: 8, Epsilon: 0.5, Folklore: trial%2 == 1}
+		s := MustExternal(cfg, uint64(trial), nil)
+		for op := 0; op < 300; op++ {
+			k := int64(rng.Intn(100)) + 1
+			if rng.Intn(2) == 0 {
+				s.Insert(k)
+			} else {
+				s.Delete(k)
+			}
+		}
+		var buf bytes.Buffer
+		s.Dump(&buf, 200)
+		st := s.Stats()
+		if st[0].TotalLen-1 != s.Len() {
+			t.Fatalf("trial %d: stats leaf population %d vs len %d",
+				trial, st[0].TotalLen-1, s.Len())
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestGammaPKnownValues(t *testing.T) {
+	// P(1, x) = 1 - e^{-x}.
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+		want := 1 - math.Exp(-x)
+		if got := GammaP(1, x); !almostEqual(got, want, 1e-12) {
+			t.Errorf("GammaP(1, %v) = %v, want %v", x, got, want)
+		}
+	}
+	// P(1/2, x) = erf(sqrt(x)).
+	for _, x := range []float64{0.25, 1, 4} {
+		want := math.Erf(math.Sqrt(x))
+		if got := GammaP(0.5, x); !almostEqual(got, want, 1e-12) {
+			t.Errorf("GammaP(0.5, %v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestGammaPQComplement(t *testing.T) {
+	for _, a := range []float64{0.5, 1, 2.5, 10, 74} {
+		for _, x := range []float64{0.01, 0.5, 1, 3, 9, 50, 200} {
+			if s := GammaP(a, x) + GammaQ(a, x); !almostEqual(s, 1, 1e-10) {
+				t.Errorf("P+Q(a=%v, x=%v) = %v", a, x, s)
+			}
+		}
+	}
+}
+
+func TestGammaEdge(t *testing.T) {
+	if GammaP(2, 0) != 0 || GammaQ(2, 0) != 1 {
+		t.Fatal("x=0 edge wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GammaP(-1, 1) did not panic")
+		}
+	}()
+	GammaP(-1, 1)
+}
+
+func TestChiSquareSurvivalKnownValues(t *testing.T) {
+	// Critical values from standard tables.
+	cases := []struct {
+		x    float64
+		k    int
+		want float64
+	}{
+		{3.841, 1, 0.05},
+		{5.991, 2, 0.05},
+		{7.815, 3, 0.05},
+		{18.307, 10, 0.05},
+		{6.635, 1, 0.01},
+		{23.209, 10, 0.01},
+		{2.706, 1, 0.10},
+	}
+	for _, c := range cases {
+		if got := ChiSquareSurvival(c.x, c.k); !almostEqual(got, c.want, 5e-4) {
+			t.Errorf("ChiSquareSurvival(%v, %d) = %v, want %v", c.x, c.k, got, c.want)
+		}
+	}
+	if got := ChiSquareSurvival(-1, 3); got != 1 {
+		t.Errorf("survival at x<=0 = %v, want 1", got)
+	}
+}
+
+func TestChiSquareUniformDetects(t *testing.T) {
+	// A wildly skewed sample must give a tiny p-value.
+	skewed := []int{1000, 10, 10, 10}
+	_, p, err := ChiSquareUniform(skewed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-6 {
+		t.Fatalf("skewed sample got p = %v", p)
+	}
+	// A perfectly uniform sample must give p = 1-ish (statistic 0).
+	uniform := []int{100, 100, 100, 100}
+	stat, p, err := ChiSquareUniform(uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat != 0 || p < 0.999 {
+		t.Fatalf("uniform sample: stat=%v p=%v", stat, p)
+	}
+}
+
+func TestChiSquareErrors(t *testing.T) {
+	if _, _, err := ChiSquare([]int{1, 2}, []float64{1}, 0); err == nil {
+		t.Error("mismatched lengths not rejected")
+	}
+	if _, _, err := ChiSquare([]int{1}, []float64{1}, 0); err == nil {
+		t.Error("single bucket not rejected")
+	}
+	if _, _, err := ChiSquare([]int{1, 2}, []float64{1, 0}, 0); err == nil {
+		t.Error("zero expected not rejected")
+	}
+	if _, _, err := ChiSquare([]int{1, 2}, []float64{1, 2}, 1); err == nil {
+		t.Error("zero dof not rejected")
+	}
+	if _, _, err := ChiSquareUniform([]int{0, 0}); err == nil {
+		t.Error("empty observations not rejected")
+	}
+}
+
+func TestChiSquarePValueDistribution(t *testing.T) {
+	// Under the null, chi-square p-values should themselves be uniform:
+	// the calibration property the paper's protocol depends on.
+	rng := xrand.New(2024)
+	const trials, buckets, samples = 400, 8, 800
+	pvals := make([]float64, 0, trials)
+	for trial := 0; trial < trials; trial++ {
+		counts := make([]int, buckets)
+		for i := 0; i < samples; i++ {
+			counts[rng.Intn(buckets)]++
+		}
+		_, p, err := ChiSquareUniform(counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pvals = append(pvals, p)
+	}
+	_, p2, err := UniformPValues(pvals, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 < 0.001 {
+		t.Fatalf("p-values of null chi-square tests not uniform: second-level p = %v", p2)
+	}
+	// KS cross-check.
+	_, pks, err := KolmogorovSmirnov(pvals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pks < 0.001 {
+		t.Fatalf("KS rejects uniformity of null p-values: p = %v", pks)
+	}
+}
+
+func TestKolmogorovSmirnov(t *testing.T) {
+	// Uniform sample accepted.
+	rng := xrand.New(77)
+	sample := make([]float64, 2000)
+	for i := range sample {
+		sample[i] = rng.Float64()
+	}
+	d, p, err := KolmogorovSmirnov(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.001 {
+		t.Fatalf("KS rejected genuine uniform sample: D=%v p=%v", d, p)
+	}
+	// Clumped sample rejected.
+	for i := range sample {
+		sample[i] = 0.5 + 0.01*rng.Float64()
+	}
+	_, p, err = KolmogorovSmirnov(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-10 {
+		t.Fatalf("KS accepted clumped sample: p=%v", p)
+	}
+	if _, _, err := KolmogorovSmirnov(nil); err == nil {
+		t.Fatal("empty sample not rejected")
+	}
+	if _, _, err := KolmogorovSmirnov([]float64{1.5}); err == nil {
+		t.Fatal("out-of-range sample not rejected")
+	}
+}
+
+func TestUniformPValuesErrors(t *testing.T) {
+	if _, _, err := UniformPValues([]float64{0.5}, 1); err == nil {
+		t.Error("bins<2 not rejected")
+	}
+	if _, _, err := UniformPValues([]float64{1.5}, 4); err == nil {
+		t.Error("out-of-range p-value not rejected")
+	}
+	// p-value exactly 1.0 must land in the top bin, not out of range.
+	if _, _, err := UniformPValues([]float64{1, 1, 0, 0.5}, 2); err != nil {
+		t.Errorf("boundary p-values rejected: %v", err)
+	}
+}
+
+func TestMeanQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if m := Mean(xs); !almostEqual(m, 2.5, 1e-12) {
+		t.Errorf("Mean = %v", m)
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if q := Quantile(xs, 0.5); q != 2 {
+		t.Errorf("median = %v, want 2", q)
+	}
+	if q := Quantile(xs, 1.0); q != 4 {
+		t.Errorf("max = %v, want 4", q)
+	}
+	if q := Quantile(xs, 0.0); q != 1 {
+		t.Errorf("min quantile = %v, want 1", q)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Quantile(empty) did not panic")
+		}
+	}()
+	Quantile(nil, 0.5)
+}

@@ -1,0 +1,216 @@
+package veb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/iomodel"
+)
+
+func TestLayoutIsPermutation(t *testing.T) {
+	for levels := 1; levels <= 14; levels++ {
+		l := NewLayout(levels)
+		n := l.NumNodes()
+		seen := make([]bool, n)
+		for bfs := 1; bfs <= n; bfs++ {
+			p := l.Phys(bfs)
+			if p < 0 || p >= n {
+				t.Fatalf("levels %d: Phys(%d) = %d out of range", levels, bfs, p)
+			}
+			if seen[p] {
+				t.Fatalf("levels %d: slot %d assigned twice", levels, p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestRootIsFirst(t *testing.T) {
+	for levels := 1; levels <= 12; levels++ {
+		if p := NewLayout(levels).Phys(1); p != 0 {
+			t.Fatalf("levels %d: root at slot %d, want 0", levels, p)
+		}
+	}
+}
+
+func TestSmallLayoutsExact(t *testing.T) {
+	// 2 levels: top = 1 level {root}, bottom = two 1-level subtrees.
+	l := NewLayout(2)
+	want := map[int]int{1: 0, 2: 1, 3: 2}
+	for bfs, slot := range want {
+		if got := l.Phys(bfs); got != slot {
+			t.Errorf("levels=2: Phys(%d) = %d, want %d", bfs, got, slot)
+		}
+	}
+	// 3 levels: top = 1 level {1}, bottoms = 2-level trees at 2 and 3.
+	// Order: 1, then subtree(2) = {2,4,5}, then subtree(3) = {3,6,7}.
+	l = NewLayout(3)
+	want = map[int]int{1: 0, 2: 1, 4: 2, 5: 3, 3: 4, 6: 5, 7: 6}
+	for bfs, slot := range want {
+		if got := l.Phys(bfs); got != slot {
+			t.Errorf("levels=3: Phys(%d) = %d, want %d", bfs, got, slot)
+		}
+	}
+}
+
+// TestRecursiveContiguity checks the defining vEB property: for a tree
+// of L levels, the top ⌊L/2⌋ levels occupy one contiguous slot range,
+// and each bottom subtree occupies its own contiguous range.
+func TestRecursiveContiguity(t *testing.T) {
+	var check func(l *Layout, root int64, levels int) (lo, hi int)
+	check = func(l *Layout, root int64, levels int) (int, int) {
+		if levels == 1 {
+			p := l.Phys(int(root))
+			return p, p
+		}
+		top := levels / 2
+		bottom := levels - top
+		lo, hi := check(l, root, top)
+		if hi-lo+1 != (1<<uint(top))-1 {
+			t.Fatalf("top tree at %d not contiguous: [%d, %d]", root, lo, hi)
+		}
+		first := root << uint(top)
+		prevHi := hi
+		for i := int64(0); i < 1<<uint(top); i++ {
+			blo, bhi := check(l, first+i, bottom)
+			if blo != prevHi+1 {
+				t.Fatalf("bottom subtree %d at root %d starts at %d, want %d",
+					i, root, blo, prevHi+1)
+			}
+			if bhi-blo+1 != (1<<uint(bottom))-1 {
+				t.Fatalf("bottom subtree %d not contiguous", i)
+			}
+			prevHi = bhi
+		}
+		return lo, prevHi
+	}
+	for levels := 1; levels <= 12; levels++ {
+		l := NewLayout(levels)
+		lo, hi := check(l, 1, levels)
+		if lo != 0 || hi != l.NumNodes()-1 {
+			t.Fatalf("levels %d: whole tree spans [%d, %d]", levels, lo, hi)
+		}
+	}
+}
+
+// TestRootToLeafIOBound measures the actual number of distinct blocks on
+// root-to-leaf paths and checks it is O(log_B N) — about
+// 2·log N/log B + O(1) blocks — for several B, demonstrating
+// cache-obliviousness. A BFS layout would instead touch ~log N - log B
+// blocks.
+func TestRootToLeafIOBound(t *testing.T) {
+	const levels = 16
+	l := NewLayout(levels)
+	for _, B := range []int{4, 16, 64, 256} {
+		maxBlocks := 0
+		for leaf := 1 << (levels - 1); leaf < 1<<levels; leaf += 37 {
+			blocks := make(map[int]bool)
+			for x := leaf; x >= 1; x /= 2 {
+				blocks[l.Phys(x)/B] = true
+			}
+			if len(blocks) > maxBlocks {
+				maxBlocks = len(blocks)
+			}
+		}
+		// Bound: ceil(levels / floor(log2 B)) * 2 + 2 is a generous
+		// constant-factor envelope for the vEB guarantee.
+		logB := 0
+		for 1<<uint(logB+1) <= B {
+			logB++
+		}
+		bound := 2*(levels/logB) + 4
+		if maxBlocks > bound {
+			t.Errorf("B=%d: path touches %d blocks, bound %d", B, maxBlocks, bound)
+		}
+	}
+}
+
+func TestLayoutPanics(t *testing.T) {
+	for _, levels := range []int{0, -1, 32} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewLayout(%d) did not panic", levels)
+				}
+			}()
+			NewLayout(levels)
+		}()
+	}
+}
+
+func TestTreeGetSetAdd(t *testing.T) {
+	l := NewLayout(5)
+	tr := iomodel.New(4, 0)
+	tree := NewTree(l, 1000, tr)
+	tree.Set(1, 42)
+	tree.Add(1, 8)
+	if got := tree.Get(1); got != 50 {
+		t.Fatalf("Get(1) = %d, want 50", got)
+	}
+	if tr.IOs() == 0 {
+		t.Fatal("tree accesses did not charge I/Os")
+	}
+	// All nodes independently addressable.
+	for bfs := 1; bfs <= l.NumNodes(); bfs++ {
+		tree.Set(bfs, int64(bfs))
+	}
+	for bfs := 1; bfs <= l.NumNodes(); bfs++ {
+		if got := tree.Get(bfs); got != int64(bfs) {
+			t.Fatalf("node %d holds %d", bfs, got)
+		}
+	}
+}
+
+func TestTreeLeafHelpers(t *testing.T) {
+	l := NewLayout(4) // 15 nodes, leaves 8..15
+	tree := NewTree(l, 0, nil)
+	for i := 0; i < l.NumLeaves(); i++ {
+		bfs := tree.LeafBFS(i)
+		if !tree.IsLeaf(bfs) {
+			t.Fatalf("LeafBFS(%d) = %d not a leaf", i, bfs)
+		}
+		if tree.LeafIndex(bfs) != i {
+			t.Fatalf("LeafIndex(LeafBFS(%d)) = %d", i, tree.LeafIndex(bfs))
+		}
+	}
+	if tree.IsLeaf(7) {
+		t.Fatal("internal node 7 reported as leaf")
+	}
+}
+
+func TestPropertyPhysicalSlotsDense(t *testing.T) {
+	f := func(raw uint8) bool {
+		levels := int(raw%12) + 1
+		l := NewLayout(levels)
+		sum := 0
+		for bfs := 1; bfs <= l.NumNodes(); bfs++ {
+			sum += l.Phys(bfs)
+		}
+		n := l.NumNodes()
+		return sum == n*(n-1)/2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLayoutBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		NewLayout(18)
+	}
+}
+
+func BenchmarkRootToLeafTraversal(b *testing.B) {
+	l := NewLayout(20)
+	tree := NewTree(l, 0, nil)
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		x := 1
+		for !tree.IsLeaf(x) {
+			sink += tree.Get(x)
+			x = 2*x + (i & 1)
+		}
+	}
+	_ = sink
+}

@@ -1,0 +1,219 @@
+// Package workload provides the insertion/deletion pattern generators
+// used across the experiment harness. The paper's evaluation uses
+// uniform random inserts (Figure 2) and sequential inserts (§4.3's
+// uniformity experiment); the adversarial patterns — front-loaded,
+// back-loaded, alternating, clustered and Zipfian — exercise exactly
+// the history-dependence hazards §1.2 describes ("if you repeatedly
+// insert towards the front of an array ... the front of the array will
+// be denser than the back").
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// Kind names an access pattern.
+type Kind int
+
+const (
+	// Uniform inserts at uniformly random ranks (Figure 2's workload).
+	Uniform Kind = iota
+	// Sequential inserts always at the back (bulk load, §4.3).
+	Sequential
+	// Reverse inserts always at the front ("pouring sand at one end").
+	Reverse
+	// Hammer inserts repeatedly at a fixed relative position.
+	Hammer
+	// Clustered inserts in runs of consecutive ranks at random spots.
+	Clustered
+	// Zipf inserts at rank positions drawn from a Zipf-like
+	// distribution over the current array, skewed to the front.
+	Zipf
+)
+
+// String returns the pattern name.
+func (k Kind) String() string {
+	switch k {
+	case Uniform:
+		return "uniform"
+	case Sequential:
+		return "sequential"
+	case Reverse:
+		return "reverse"
+	case Hammer:
+		return "hammer"
+	case Clustered:
+		return "clustered"
+	case Zipf:
+		return "zipf"
+	default:
+		return fmt.Sprintf("workload.Kind(%d)", int(k))
+	}
+}
+
+// Kinds lists every pattern, for sweep loops.
+func Kinds() []Kind {
+	return []Kind{Uniform, Sequential, Reverse, Hammer, Clustered, Zipf}
+}
+
+// RankSource produces a stream of insertion ranks for a growing
+// sequence: Next(n) returns a rank in [0, n] given the current size n.
+type RankSource struct {
+	kind Kind
+	rng  *xrand.Source
+
+	hammerFrac float64 // Hammer: relative position in [0, 1]
+	runLeft    int     // Clustered: remaining inserts in the current run
+	runRank    int     // Clustered: current run position
+	zipfS      float64 // Zipf: skew parameter
+}
+
+// NewRankSource returns a rank stream of the given kind.
+func NewRankSource(kind Kind, seed uint64) *RankSource {
+	return &RankSource{
+		kind:       kind,
+		rng:        xrand.New(seed),
+		hammerFrac: 0.25,
+		zipfS:      2.0,
+	}
+}
+
+// SetHammerFraction sets the relative position Hammer inserts at.
+func (r *RankSource) SetHammerFraction(f float64) {
+	if f < 0 || f > 1 {
+		panic("workload: hammer fraction outside [0, 1]")
+	}
+	r.hammerFrac = f
+}
+
+// Next returns the next insertion rank for a structure currently
+// holding n elements; the result is always in [0, n].
+func (r *RankSource) Next(n int) int {
+	switch r.kind {
+	case Uniform:
+		return r.rng.Intn(n + 1)
+	case Sequential:
+		return n
+	case Reverse:
+		return 0
+	case Hammer:
+		return int(r.hammerFrac * float64(n))
+	case Clustered:
+		if r.runLeft == 0 {
+			r.runLeft = 16 + r.rng.Intn(48)
+			r.runRank = r.rng.Intn(n + 1)
+		}
+		r.runLeft--
+		if r.runRank > n {
+			r.runRank = n
+		}
+		rank := r.runRank
+		r.runRank++ // consecutive ranks within the run
+		return rank
+	case Zipf:
+		// Inverse-CDF sampling of P(i) ∝ 1/(i+1)^s over [0, n].
+		if n == 0 {
+			return 0
+		}
+		u := r.rng.Float64()
+		// Approximate inverse: rank = (n+1)^(u^(1/(s-1)))-ish is fussy;
+		// use the standard transform rank = floor((n+1) * u^s) which
+		// skews mass toward 0 monotonically in s.
+		rank := int(float64(n+1) * math.Pow(u, r.zipfS))
+		if rank > n {
+			rank = n
+		}
+		return rank
+	default:
+		panic("workload: unknown kind")
+	}
+}
+
+// MixedOp is one step of a mixed insert/delete/query trace.
+type MixedOp struct {
+	Kind OpKind
+	Rank int // insertion or deletion rank; query start
+	Len  int // query length (Query ops only)
+}
+
+// OpKind distinguishes trace steps.
+type OpKind int
+
+const (
+	OpInsert OpKind = iota
+	OpDelete
+	OpQuery
+)
+
+// Trace generates a reproducible mixed trace of length steps with the
+// given insert/delete/query weights (normalized internally); deletions
+// and queries are skipped while the structure is empty. The rank stream
+// for inserts follows kind; deletes and queries use uniform ranks.
+func Trace(kind Kind, seed uint64, steps int, wIns, wDel, wQry int) []MixedOp {
+	if wIns <= 0 || wDel < 0 || wQry < 0 {
+		panic("workload: invalid weights")
+	}
+	src := NewRankSource(kind, seed)
+	rng := xrand.New(seed + 1)
+	total := wIns + wDel + wQry
+	ops := make([]MixedOp, 0, steps)
+	n := 0
+	for len(ops) < steps {
+		r := rng.Intn(total)
+		switch {
+		case r < wIns:
+			rank := src.Next(n)
+			ops = append(ops, MixedOp{Kind: OpInsert, Rank: rank})
+			n++
+		case r < wIns+wDel:
+			if n == 0 {
+				continue
+			}
+			rank := rng.Intn(n)
+			ops = append(ops, MixedOp{Kind: OpDelete, Rank: rank})
+			n--
+		default:
+			if n == 0 {
+				continue
+			}
+			start := rng.Intn(n)
+			length := 1 + rng.Intn(n-start)
+			if length > 256 {
+				length = 256
+			}
+			ops = append(ops, MixedOp{Kind: OpQuery, Rank: start, Len: length})
+		}
+	}
+	return ops
+}
+
+// KeySource produces keys for key-based dictionaries.
+type KeySource struct {
+	rng  *xrand.Source
+	kind Kind
+	next int64
+}
+
+// NewKeySource returns a key stream: Uniform draws random 40-bit keys,
+// Sequential counts up, Reverse counts down from a high start, others
+// fall back to Uniform.
+func NewKeySource(kind Kind, seed uint64) *KeySource {
+	return &KeySource{rng: xrand.New(seed), kind: kind, next: 1 << 40}
+}
+
+// Next returns the next key.
+func (k *KeySource) Next() int64 {
+	switch k.kind {
+	case Sequential:
+		k.next++
+		return k.next
+	case Reverse:
+		k.next--
+		return k.next
+	default:
+		return int64(k.rng.Uint64n(1 << 40))
+	}
+}

@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRankBounds(t *testing.T) {
+	for _, kind := range Kinds() {
+		src := NewRankSource(kind, 1)
+		n := 0
+		for i := 0; i < 5000; i++ {
+			r := src.Next(n)
+			if r < 0 || r > n {
+				t.Fatalf("%v: Next(%d) = %d out of [0, %d]", kind, n, r, n)
+			}
+			n++
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		Uniform: "uniform", Sequential: "sequential", Reverse: "reverse",
+		Hammer: "hammer", Clustered: "clustered", Zipf: "zipf",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+	if Kind(99).String() != "workload.Kind(99)" {
+		t.Error("unknown kind string wrong")
+	}
+}
+
+func TestSequentialReverseHammer(t *testing.T) {
+	seq := NewRankSource(Sequential, 1)
+	rev := NewRankSource(Reverse, 1)
+	ham := NewRankSource(Hammer, 1)
+	ham.SetHammerFraction(0.5)
+	for n := 0; n < 100; n++ {
+		if seq.Next(n) != n {
+			t.Fatal("sequential not at back")
+		}
+		if rev.Next(n) != 0 {
+			t.Fatal("reverse not at front")
+		}
+		if got := ham.Next(n); got != n/2 {
+			t.Fatalf("hammer(0.5) at n=%d: %d", n, got)
+		}
+	}
+}
+
+func TestHammerFractionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewRankSource(Hammer, 1).SetHammerFraction(1.5)
+}
+
+func TestUniformIsSpread(t *testing.T) {
+	src := NewRankSource(Uniform, 7)
+	const n = 1000
+	var counts [4]int
+	for i := 0; i < 40000; i++ {
+		counts[src.Next(n)*4/(n+1)]++
+	}
+	for q, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Fatalf("quartile %d has %d/40000 inserts", q, c)
+		}
+	}
+}
+
+func TestZipfSkewsFront(t *testing.T) {
+	src := NewRankSource(Zipf, 9)
+	const n = 1000
+	front := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if src.Next(n) < n/4 {
+			front++
+		}
+	}
+	// With s=2, P(rank < n/4) = (1/4)^(1/2) = 0.5, well above uniform 25%.
+	if float64(front)/trials < 0.4 {
+		t.Fatalf("zipf front quartile only %.2f", float64(front)/trials)
+	}
+}
+
+func TestClusteredRuns(t *testing.T) {
+	src := NewRankSource(Clustered, 11)
+	n := 10000
+	consecutive := 0
+	prev := -10
+	for i := 0; i < 1000; i++ {
+		r := src.Next(n)
+		if r == prev+1 {
+			consecutive++
+		}
+		prev = r
+	}
+	if consecutive < 800 {
+		t.Fatalf("only %d/1000 consecutive inserts in clustered runs", consecutive)
+	}
+}
+
+func TestTraceValidity(t *testing.T) {
+	f := func(seed uint64, kindRaw uint8) bool {
+		kind := Kinds()[int(kindRaw)%len(Kinds())]
+		ops := Trace(kind, seed, 500, 3, 1, 1)
+		if len(ops) != 500 {
+			return false
+		}
+		n := 0
+		for _, op := range ops {
+			switch op.Kind {
+			case OpInsert:
+				if op.Rank < 0 || op.Rank > n {
+					return false
+				}
+				n++
+			case OpDelete:
+				if n == 0 || op.Rank < 0 || op.Rank >= n {
+					return false
+				}
+				n--
+			case OpQuery:
+				if n == 0 || op.Rank < 0 || op.Rank >= n || op.Len < 1 || op.Rank+op.Len > n {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracePanicsOnBadWeights(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Trace(Uniform, 1, 10, 0, 1, 1)
+}
+
+func TestKeySource(t *testing.T) {
+	seq := NewKeySource(Sequential, 1)
+	a, b := seq.Next(), seq.Next()
+	if b != a+1 {
+		t.Fatal("sequential keys not increasing")
+	}
+	rev := NewKeySource(Reverse, 1)
+	c, d := rev.Next(), rev.Next()
+	if d != c-1 {
+		t.Fatal("reverse keys not decreasing")
+	}
+	uni := NewKeySource(Uniform, 1)
+	seen := map[int64]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[uni.Next()] = true
+	}
+	if len(seen) < 990 {
+		t.Fatalf("uniform keys collide too much: %d distinct", len(seen))
+	}
+}

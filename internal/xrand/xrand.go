@@ -1,0 +1,136 @@
+// Package xrand provides a small, fast, deterministic pseudo-random number
+// generator used by every randomized structure in this repository.
+//
+// All of the paper's structures (the HI PMA's balance elements, the WHI
+// dynamic-array sizes, skip-list promotions) consume randomness; for the
+// experiments to be reproducible, every structure takes an explicit *Source
+// seeded by the caller. The generator is splitmix64 feeding xoshiro256**,
+// the construction recommended by Blackman & Vigna; it is not
+// cryptographically secure, which is fine: the paper's adversary and
+// observer are both oblivious (§2.3), so statistical quality is what
+// matters.
+package xrand
+
+import "math/bits"
+
+// Source is a deterministic pseudo-random source. It is NOT safe for
+// concurrent use; each goroutine should own its own Source.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded from seed via splitmix64 so that nearby seeds
+// yield uncorrelated streams.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range src.s {
+		src.s[i] = next()
+	}
+	// Avoid the all-zero state, which is a fixed point of xoshiro.
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &src
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Source) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn called with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform integer in [0, n) using Lemire's
+// multiply-shift rejection method. It panics if n == 0.
+func (r *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n called with n == 0")
+	}
+	// Lemire's nearly-divisionless method.
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// IntRange returns a uniform integer in [lo, hi] inclusive. It panics if
+// hi < lo.
+func (r *Source) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("xrand: IntRange with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli returns true with probability num/den. It panics unless
+// 0 <= num <= den and den > 0.
+func (r *Source) Bernoulli(num, den uint64) bool {
+	if den == 0 || num > den {
+		panic("xrand: Bernoulli with invalid probability")
+	}
+	if num == 0 {
+		return false
+	}
+	return r.Uint64n(den) < num
+}
+
+// Geometric returns the number of consecutive successes before the first
+// failure when each trial succeeds with probability num/den — i.e. the
+// skip-list level of an element promoted with probability num/den. The
+// result is capped at max to bound pathological streaks.
+func (r *Source) Geometric(num, den uint64, max int) int {
+	level := 0
+	for level < max && r.Bernoulli(num, den) {
+		level++
+	}
+	return level
+}
+
+// Perm fills out with a uniform random permutation of [0, len(out)).
+func (r *Source) Perm(out []int) {
+	for i := range out {
+		out[i] = i
+	}
+	for i := len(out) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+}
+
+// Split returns a new Source whose stream is independent of r's future
+// output, for handing to a sub-structure.
+func (r *Source) Split() *Source {
+	return New(r.Uint64())
+}

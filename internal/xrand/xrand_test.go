@@ -1,0 +1,207 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestZeroSeedNotStuck(t *testing.T) {
+	r := New(0)
+	var x uint64
+	for i := 0; i < 10; i++ {
+		x |= r.Uint64()
+	}
+	if x == 0 {
+		t.Fatal("seed 0 produced all-zero output")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(7)
+	for n := 1; n <= 64; n++ {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntRange(t *testing.T) {
+	r := New(9)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.IntRange(5, 9)
+		if v < 5 || v > 9 {
+			t.Fatalf("IntRange(5,9) = %d", v)
+		}
+		seen[v] = true
+	}
+	for v := 5; v <= 9; v++ {
+		if !seen[v] {
+			t.Errorf("value %d never produced", v)
+		}
+	}
+}
+
+func TestIntnUniformity(t *testing.T) {
+	// Coarse chi-square check that Intn(10) is roughly uniform.
+	r := New(1234)
+	const n, buckets = 100000, 10
+	var counts [buckets]int
+	for i := 0; i < n; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	expected := float64(n) / buckets
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 9 degrees of freedom; 99.9th percentile is ~27.9.
+	if chi2 > 27.9 {
+		t.Fatalf("chi2 = %v, suspiciously non-uniform", chi2)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	sum := 0.0
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	mean := sum / 100000
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean %v far from 0.5", mean)
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	r := New(5)
+	hits := 0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(1, 4) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.25) > 0.01 {
+		t.Fatalf("Bernoulli(1/4) frequency %v", p)
+	}
+	if r.Bernoulli(0, 10) {
+		t.Fatal("Bernoulli(0, 10) returned true")
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	// With success probability 1/2 the expected level is 1.
+	r := New(11)
+	sum := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Geometric(1, 2, 64)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-1.0) > 0.05 {
+		t.Fatalf("Geometric(1/2) mean %v, want ~1", mean)
+	}
+}
+
+func TestGeometricCap(t *testing.T) {
+	r := New(13)
+	for i := 0; i < 1000; i++ {
+		if lv := r.Geometric(9, 10, 5); lv > 5 {
+			t.Fatalf("Geometric exceeded cap: %d", lv)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(17)
+	if err := quick.Check(func(n uint8) bool {
+		m := int(n%64) + 1
+		out := make([]int, m)
+		r.Perm(out)
+		seen := make([]bool, m)
+		for _, v := range out {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(23)
+	a := r.Split()
+	b := r.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split sources produced %d identical outputs", same)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = r.Intn(1000)
+	}
+	_ = sink
+}
