@@ -31,8 +31,14 @@
 // external-memory B-tree. I/O costs are measured in the
 // disk-access-machine model via IOTracker.
 //
-// All structures are deterministic given their seed and NOT safe for
-// concurrent use; wrap them with your own synchronization.
+// All of the paper's structures are deterministic given their seed and
+// NOT safe for concurrent use. Store is the concurrent entry point: a
+// hash-sharded, lock-striped front-end over Dictionary with batch
+// operations, cross-shard merged range queries, and per-shard canonical
+// persistence — shard assignment is a pure function of (key, seed), so
+// the sharded image set is itself history independent. Use NewStore for
+// multi-goroutine workloads and the bare structures for single-threaded
+// experiments.
 package antipersist
 
 import (
@@ -43,6 +49,7 @@ import (
 	"repro/internal/hipma"
 	"repro/internal/iomodel"
 	"repro/internal/pma"
+	"repro/internal/shard"
 	"repro/internal/skiplist"
 )
 
@@ -157,6 +164,47 @@ func NewClassicPMA(io *IOTracker) *ClassicPMA {
 // NewBTree returns an empty external-memory B-tree with block size b.
 func NewBTree(b int, seed uint64, io *IOTracker) *BTree {
 	return btree.New(b, seed, io)
+}
+
+// Store is a concurrent, hash-sharded key-value store over the HI
+// Dictionary: per-shard RWMutex striping, batch operations that take
+// each shard lock once, k-way-merged Range/Ascend, and aggregated DAM
+// accounting. See repro/internal/shard for the locking contract.
+type Store = shard.Store
+
+// StoreConfig holds the store's construction parameters: the
+// power-of-two shard count and the per-shard PMA constants.
+type StoreConfig = shard.Config
+
+// NewStore returns an empty concurrent store with the given power-of-two
+// shard count. The seed drives the shard-routing hash and every shard's
+// dictionary randomness. Pass no trackers to disable DAM accounting, or
+// exactly one tracker per shard; shards with a tracker serialize their
+// readers so the accounting stays exact.
+func NewStore(shards int, seed uint64, trackers ...*IOTracker) (*Store, error) {
+	if len(trackers) == 0 {
+		return shard.New(shards, seed, nil)
+	}
+	return shard.New(shards, seed, trackers)
+}
+
+// NewStoreWithConfig returns an empty store with custom per-shard PMA
+// constants.
+func NewStoreWithConfig(cfg StoreConfig, seed uint64, trackers ...*IOTracker) (*Store, error) {
+	if len(trackers) == 0 {
+		return shard.NewWithConfig(cfg, seed, nil)
+	}
+	return shard.NewWithConfig(cfg, seed, trackers)
+}
+
+// ReadStore deserializes a store image produced by Store.WriteTo. The
+// caller's seed supplies fresh randomness for future operations; key
+// routing is restored from the image itself.
+func ReadStore(r io.Reader, seed uint64, trackers ...*IOTracker) (*Store, error) {
+	if len(trackers) == 0 {
+		return shard.ReadStore(r, seed, nil)
+	}
+	return shard.ReadStore(r, seed, trackers)
 }
 
 // ReadPMA deserializes a PMA disk image produced by PMA.WriteTo. The

@@ -11,7 +11,9 @@ package antipersist
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/hialloc"
@@ -587,6 +589,119 @@ func BenchmarkAblationEpsilon(b *testing.B) {
 				}
 				b.ReportMetric(float64(worstInsert), "worst-insert-ios")
 				b.ReportMetric(float64(io.IOs()-before)/reps, "range2k-ios")
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// S1 — sharding: Store throughput vs shard count under GOMAXPROCS
+// parallel mixed workloads. The paper's structures are single-threaded;
+// the sharded Store is the repo's scaling layer. With GOMAXPROCS >= 4,
+// shards=8 should beat shards=1 (one global lock) clearly on a mixed
+// 90/10 read/write workload. Run with -cpu 1,4,8 to sweep.
+// ---------------------------------------------------------------------
+
+func benchStoreThroughput(b *testing.B, shards, writePct int) {
+	const keyspace = 1 << 17
+	s, err := NewStore(shards, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	load := make([]Item, 0, keyspace/2)
+	for k := int64(0); k < keyspace; k += 2 {
+		load = append(load, Item{Key: k, Val: k})
+	}
+	s.PutBatch(load)
+	var gid atomic.Uint64
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := xrand.New(gid.Add(1)*7919 + 1)
+		for pb.Next() {
+			k := int64(rng.Intn(keyspace))
+			if int(rng.Intn(100)) < writePct {
+				if rng.Intn(2) == 0 {
+					s.Put(k, k)
+				} else {
+					s.Delete(k)
+				}
+			} else {
+				s.Get(k)
+			}
+		}
+	})
+}
+
+func BenchmarkStoreThroughput(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchStoreThroughput(b, shards, 10)
+		})
+	}
+}
+
+func BenchmarkStoreThroughputWriteHeavy(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchStoreThroughput(b, shards, 50)
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// S2 — batching: PutBatch/GetBatch group keys by shard and take each
+// shard lock once, vs one lock round trip per key. ns/op is per key in
+// both cases, so the batch win is read directly off the ratio.
+// ---------------------------------------------------------------------
+
+func BenchmarkStoreBatch(b *testing.B) {
+	const keyspace = 1 << 16
+	const batch = 256
+	for _, mode := range []string{"single", "batch"} {
+		b.Run(fmt.Sprintf("put/%s", mode), func(b *testing.B) {
+			s, err := NewStore(8, 7)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := xrand.New(8)
+			items := make([]Item, batch)
+			b.ResetTimer()
+			for i := 0; i < b.N; i += batch {
+				for j := range items {
+					items[j] = Item{Key: int64(rng.Intn(keyspace)), Val: int64(j)}
+				}
+				if mode == "batch" {
+					s.PutBatch(items)
+				} else {
+					for _, it := range items {
+						s.Put(it.Key, it.Val)
+					}
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("get/%s", mode), func(b *testing.B) {
+			s, err := NewStore(8, 9)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for k := int64(0); k < keyspace; k++ {
+				s.Put(k, k)
+			}
+			rng := xrand.New(10)
+			keys := make([]int64, batch)
+			b.ResetTimer()
+			for i := 0; i < b.N; i += batch {
+				for j := range keys {
+					keys[j] = int64(rng.Intn(keyspace))
+				}
+				if mode == "batch" {
+					s.GetBatch(keys)
+				} else {
+					for _, k := range keys {
+						s.Get(k)
+					}
+				}
 			}
 		})
 	}

@@ -1,0 +1,140 @@
+// store-bench measures the sharded Store's scaling story end to end:
+// throughput of a mixed Get/Put/Delete workload against the shard count
+// and the number of worker goroutines, plus the batch-vs-single win.
+//
+// Output is TSV, one row per (shards, goroutines) cell:
+//
+//	shards  goroutines  ops/sec  speedup-vs-1shard
+//
+// Run with: go run ./cmd/store-bench [-keys N] [-ms D] [-writes PCT]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	antipersist "repro"
+	"repro/internal/xrand"
+)
+
+func main() {
+	keys := flag.Int("keys", 1<<17, "key-space size")
+	ms := flag.Int("ms", 300, "measurement window per cell, milliseconds")
+	writes := flag.Int("writes", 10, "write percentage of the mixed workload")
+	seed := flag.Uint64("seed", 42, "store seed")
+	flag.Parse()
+
+	shardCounts := []int{1, 2, 4, 8, 16}
+	workerCounts := []int{1, 2, 4, 8}
+
+	fmt.Printf("# store-bench: %d keys, %d%% writes, %dms/cell, GOMAXPROCS=%d\n",
+		*keys, *writes, *ms, runtime.GOMAXPROCS(0))
+	fmt.Println("shards\tgoroutines\tops/sec\tspeedup-vs-1shard")
+
+	base := map[int]float64{} // goroutines -> ops/sec at shards=1
+	for _, nsh := range shardCounts {
+		for _, ng := range workerCounts {
+			rate := measure(nsh, ng, *keys, *writes, *seed, time.Duration(*ms)*time.Millisecond)
+			speedup := 1.0
+			if b, ok := base[ng]; ok && b > 0 {
+				speedup = rate / b
+			} else {
+				base[ng] = rate
+			}
+			fmt.Printf("%d\t%d\t%.0f\t%.2fx\n", nsh, ng, rate, speedup)
+		}
+	}
+
+	fmt.Fprintln(os.Stderr, "\n# batch vs single (8 shards, 1 goroutine, batch=256)")
+	batchBench(*keys, *seed)
+}
+
+// measure runs ng workers for the window and returns total ops/sec.
+func measure(nsh, ng, keys, writePct int, seed uint64, window time.Duration) float64 {
+	s, err := antipersist.NewStore(nsh, seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	load := make([]antipersist.Item, 0, keys/2)
+	for k := 0; k < keys; k += 2 {
+		load = append(load, antipersist.Item{Key: int64(k), Val: int64(k)})
+	}
+	s.PutBatch(load)
+
+	var stop atomic.Bool
+	var total atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < ng; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(g)*7919 + seed + 1)
+			ops := uint64(0)
+			for !stop.Load() {
+				for i := 0; i < 256; i++ { // amortize the stop check
+					k := int64(rng.Intn(keys))
+					if int(rng.Intn(100)) < writePct {
+						if rng.Intn(2) == 0 {
+							s.Put(k, k)
+						} else {
+							s.Delete(k)
+						}
+					} else {
+						s.Get(k)
+					}
+				}
+				ops += 256
+			}
+			total.Add(ops)
+		}(g)
+	}
+	start := time.Now()
+	time.Sleep(window)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	return float64(total.Load()) / elapsed
+}
+
+func batchBench(keys int, seed uint64) {
+	const batch = 256
+	const rounds = 2000
+	s, err := antipersist.NewStore(8, seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rng := xrand.New(seed + 77)
+	items := make([]antipersist.Item, batch)
+
+	t0 := time.Now()
+	for r := 0; r < rounds; r++ {
+		for j := range items {
+			items[j] = antipersist.Item{Key: int64(rng.Intn(keys)), Val: int64(j)}
+		}
+		for _, it := range items {
+			s.Put(it.Key, it.Val)
+		}
+	}
+	single := time.Since(t0)
+
+	t0 = time.Now()
+	for r := 0; r < rounds; r++ {
+		for j := range items {
+			items[j] = antipersist.Item{Key: int64(rng.Intn(keys)), Val: int64(j)}
+		}
+		s.PutBatch(items)
+	}
+	batched := time.Since(t0)
+
+	fmt.Fprintf(os.Stderr, "# put: single %.0f ns/key, batch %.0f ns/key (%.2fx)\n",
+		float64(single.Nanoseconds())/float64(rounds*batch),
+		float64(batched.Nanoseconds())/float64(rounds*batch),
+		float64(single)/float64(batched))
+}

@@ -86,3 +86,41 @@ func ExampleReadDictionary() {
 	// Output:
 	// 700 true
 }
+
+// The concurrent sharded Store: batch upserts, merged range queries,
+// and a canonical persistence round trip.
+func ExampleStore() {
+	store, err := antipersist.NewStore(4, 42)
+	if err != nil {
+		panic(err)
+	}
+	store.PutBatch([]antipersist.Item{
+		{Key: 30, Val: 300}, {Key: 10, Val: 100}, {Key: 20, Val: 200},
+	})
+	store.Delete(10)
+
+	vals, ok := store.GetBatch([]int64{10, 20, 30})
+	for i := range vals {
+		fmt.Println(vals[i], ok[i])
+	}
+	for _, it := range store.Range(0, 100, nil) {
+		fmt.Println(it.Key, it.Val)
+	}
+
+	var img bytes.Buffer
+	if _, err := store.WriteTo(&img); err != nil {
+		panic(err)
+	}
+	reloaded, err := antipersist.ReadStore(&img, 7)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(reloaded.Len())
+	// Output:
+	// 0 false
+	// 200 true
+	// 300 true
+	// 20 200
+	// 30 300
+	// 2
+}

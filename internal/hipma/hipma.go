@@ -161,6 +161,9 @@ func BulkLoadWithConfig(cfg Config, items []Item, seed uint64, io *iomodel.Track
 // Len returns the number of elements stored.
 func (p *PMA) Len() int { return p.n }
 
+// Config returns the constants the PMA was built (or loaded) with.
+func (p *PMA) Config() Config { return p.cfg }
+
 // Nhat returns the current size parameter N̂ (uniform in {N..2N−1}).
 func (p *PMA) Nhat() int { return p.nhat }
 

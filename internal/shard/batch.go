@@ -1,0 +1,114 @@
+package shard
+
+// Batch operations: group keys by destination shard, then visit each
+// shard exactly once, taking its lock once for the whole group. On a
+// store with S shards this turns k point-op lock acquisitions into at
+// most min(k, S), and keeps every key's operations in their original
+// batch order (the grouping below is a stable counting sort), so
+// duplicate keys within a batch apply left to right.
+
+// plan is a reusable shard-grouping of batch indices: order holds the
+// input indices stably sorted by shard; group g occupies
+// order[start[g]:start[g+1]].
+type plan struct {
+	order []int
+	start []int
+}
+
+// groupByShard stably buckets the n batch slots by shard of key(i).
+func (s *Store) groupByShard(n int, key func(i int) int64) plan {
+	nsh := len(s.cells)
+	shardOf := make([]int, n)
+	counts := make([]int, nsh+1)
+	for i := 0; i < n; i++ {
+		sh := s.ShardOf(key(i))
+		shardOf[i] = sh
+		counts[sh+1]++
+	}
+	for g := 0; g < nsh; g++ {
+		counts[g+1] += counts[g]
+	}
+	start := append([]int(nil), counts...)
+	order := make([]int, n)
+	for i := 0; i < n; i++ { // stable scatter: preserves batch order per shard
+		g := shardOf[i]
+		order[counts[g]] = i
+		counts[g]++
+	}
+	return plan{order: order, start: start}
+}
+
+// PutBatch applies every item as an upsert and returns the number of
+// keys that were newly inserted. Items are grouped by shard; each
+// shard's lock is taken once. Duplicate keys within the batch apply in
+// batch order (the last value wins) and count as one insert.
+func (s *Store) PutBatch(items []Item) (inserted int) {
+	if len(items) == 0 {
+		return 0
+	}
+	p := s.groupByShard(len(items), func(i int) int64 { return items[i].Key })
+	for g := range s.cells {
+		lo, hi := p.start[g], p.start[g+1]
+		if lo == hi {
+			continue
+		}
+		c := &s.cells[g]
+		c.mu.Lock()
+		for _, i := range p.order[lo:hi] {
+			if c.dict.Put(items[i].Key, items[i].Val) {
+				inserted++
+			}
+		}
+		c.mu.Unlock()
+	}
+	return inserted
+}
+
+// GetBatch looks up every key and returns values and presence flags
+// aligned with keys. Each shard's lock is taken once.
+func (s *Store) GetBatch(keys []int64) (vals []int64, ok []bool) {
+	vals = make([]int64, len(keys))
+	ok = make([]bool, len(keys))
+	if len(keys) == 0 {
+		return vals, ok
+	}
+	p := s.groupByShard(len(keys), func(i int) int64 { return keys[i] })
+	for g := range s.cells {
+		lo, hi := p.start[g], p.start[g+1]
+		if lo == hi {
+			continue
+		}
+		c := &s.cells[g]
+		c.rlock()
+		for _, i := range p.order[lo:hi] {
+			vals[i], ok[i] = c.dict.Get(keys[i])
+		}
+		c.runlock()
+	}
+	return vals, ok
+}
+
+// DeleteBatch removes every key and returns the number of keys that were
+// present. Each shard's lock is taken once. Duplicate keys within the
+// batch count at most once (the second delete finds nothing).
+func (s *Store) DeleteBatch(keys []int64) (deleted int) {
+	if len(keys) == 0 {
+		return 0
+	}
+	p := s.groupByShard(len(keys), func(i int) int64 { return keys[i] })
+	for g := range s.cells {
+		lo, hi := p.start[g], p.start[g+1]
+		if lo == hi {
+			continue
+		}
+		c := &s.cells[g]
+		c.mu.Lock()
+		for _, i := range p.order[lo:hi] {
+			if c.dict.Delete(keys[i]) {
+				deleted++
+			}
+		}
+		c.mu.Unlock()
+	}
+	return deleted
+}

@@ -1,0 +1,177 @@
+package shard
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestBatchEmpty(t *testing.T) {
+	s, err := New(8, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := s.PutBatch(nil); n != 0 {
+		t.Fatalf("PutBatch(nil) = %d", n)
+	}
+	if n := s.PutBatch([]Item{}); n != 0 {
+		t.Fatalf("PutBatch(empty) = %d", n)
+	}
+	vals, ok := s.GetBatch(nil)
+	if len(vals) != 0 || len(ok) != 0 {
+		t.Fatal("GetBatch(nil) returned non-empty slices")
+	}
+	if n := s.DeleteBatch(nil); n != 0 {
+		t.Fatalf("DeleteBatch(nil) = %d", n)
+	}
+	if s.Len() != 0 {
+		t.Fatal("empty batches changed the store")
+	}
+}
+
+// TestBatchDuplicateKeys: duplicates within one batch apply in batch
+// order — the last put wins, and the key counts once.
+func TestBatchDuplicateKeys(t *testing.T) {
+	s, err := New(4, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := s.PutBatch([]Item{
+		{Key: 7, Val: 1}, {Key: 8, Val: 10}, {Key: 7, Val: 2}, {Key: 7, Val: 3},
+	})
+	if ins != 2 {
+		t.Fatalf("PutBatch inserted %d keys, want 2 (7 and 8)", ins)
+	}
+	if v, ok := s.Get(7); !ok || v != 3 {
+		t.Fatalf("Get(7) = (%d,%v), want last-write value 3", v, ok)
+	}
+	vals, ok := s.GetBatch([]int64{7, 9, 7, 8})
+	want := []int64{3, 0, 3, 10}
+	wantOK := []bool{true, false, true, true}
+	for i := range vals {
+		if vals[i] != want[i] || ok[i] != wantOK[i] {
+			t.Fatalf("GetBatch[%d] = (%d,%v), want (%d,%v)", i, vals[i], ok[i], want[i], wantOK[i])
+		}
+	}
+	if n := s.DeleteBatch([]int64{7, 7, 7}); n != 1 {
+		t.Fatalf("DeleteBatch with duplicates removed %d, want 1", n)
+	}
+	if s.Has(7) {
+		t.Fatal("key 7 survived DeleteBatch")
+	}
+}
+
+// TestBatchSpansAllShards: a batch with at least one key per shard lands
+// every key on its routed shard in one pass.
+func TestBatchSpansAllShards(t *testing.T) {
+	const nsh = 8
+	s, err := New(nsh, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Probe keys until every shard has at least two.
+	perShard := make([]int, nsh)
+	var batch []Item
+	for k := int64(0); ; k++ {
+		sh := s.ShardOf(k)
+		if perShard[sh] < 2 {
+			perShard[sh]++
+			batch = append(batch, Item{Key: k, Val: k * 2})
+		}
+		done := true
+		for _, c := range perShard {
+			if c < 2 {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+	}
+	if ins := s.PutBatch(batch); ins != len(batch) {
+		t.Fatalf("PutBatch inserted %d, want %d", ins, len(batch))
+	}
+	for i := 0; i < nsh; i++ {
+		if s.ShardLen(i) != 2 {
+			t.Fatalf("shard %d holds %d keys, want 2", i, s.ShardLen(i))
+		}
+	}
+	keys := make([]int64, len(batch))
+	for i, it := range batch {
+		keys[i] = it.Key
+	}
+	vals, ok := s.GetBatch(keys)
+	for i := range keys {
+		if !ok[i] || vals[i] != keys[i]*2 {
+			t.Fatalf("GetBatch[%d] = (%d,%v), want (%d,true)", i, vals[i], ok[i], keys[i]*2)
+		}
+	}
+	if n := s.DeleteBatch(keys); n != len(keys) {
+		t.Fatalf("DeleteBatch removed %d, want %d", n, len(keys))
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after deleting everything", s.Len())
+	}
+}
+
+// TestBatchMatchesSingles: a random workload applied via batches and via
+// point ops must produce the same answers and byte-identical images.
+func TestBatchMatchesSingles(t *testing.T) {
+	const seed = 21
+	sb, err := New(8, seed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := New(8, seed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(31)
+	for round := 0; round < 40; round++ {
+		nPut := 1 + rng.Intn(200)
+		puts := make([]Item, nPut)
+		for i := range puts {
+			puts[i] = Item{Key: int64(rng.Intn(3000)), Val: int64(rng.Intn(1 << 16))}
+		}
+		bi := sb.PutBatch(puts)
+		si := 0
+		for _, it := range puts {
+			if ss.Put(it.Key, it.Val) {
+				si++
+			}
+		}
+		if bi != si {
+			t.Fatalf("round %d: PutBatch inserted %d, singles %d", round, bi, si)
+		}
+		nDel := rng.Intn(100)
+		dels := make([]int64, nDel)
+		for i := range dels {
+			dels[i] = int64(rng.Intn(3000))
+		}
+		bd := sb.DeleteBatch(dels)
+		sd := 0
+		for _, k := range dels {
+			if ss.Delete(k) {
+				sd++
+			}
+		}
+		if bd != sd {
+			t.Fatalf("round %d: DeleteBatch removed %d, singles %d", round, bd, sd)
+		}
+	}
+	if sb.Len() != ss.Len() {
+		t.Fatalf("Len disagrees: batch %d, singles %d", sb.Len(), ss.Len())
+	}
+	var ib, is bytes.Buffer
+	if _, err := sb.WriteTo(&ib); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ss.WriteTo(&is); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ib.Bytes(), is.Bytes()) {
+		t.Fatal("batch-built and singles-built stores have different images")
+	}
+}

@@ -1,0 +1,164 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/cobt"
+	"repro/internal/hipma"
+	"repro/internal/iomodel"
+)
+
+// Disk image: a fixed header followed by each shard's dictionary image,
+// length-prefixed, in shard order.
+//
+//	magic   [8]byte  "ASHARD01"
+//	shards  uint64   power of two >= 1
+//	hseed   uint64   routing seed (needed to route lookups after a load)
+//	per shard: len uint64, then len bytes of the shard's PMA image
+//
+// The persisted shard images are CANONICAL: WriteTo does not dump the
+// in-memory incarnation (whose layout depends on the random stream the
+// update history happened to consume — history independent only in
+// distribution), but instead serializes a fresh bulk-load of the shard's
+// sorted contents under a seed derived from (hseed, shard index). The
+// byte stream is therefore a pure function of the store's contents and
+// its persisted randomness: two stores with the same seed and the same
+// key-value set produce byte-identical images for every shard, whatever
+// operation sequences built them. That is the paper's anti-persistence
+// goal stated at the layer the observer actually sees — the disk.
+// Each shard image carries its own checksum (see hipma.WriteTo).
+const storeMagic = "ASHARD01"
+
+// maxImageShards bounds the shard count accepted from an untrusted
+// image, so a corrupt header cannot drive a huge allocation.
+const maxImageShards = 1 << 20
+
+// canonSeed derives shard i's canonical-image seed from the persisted
+// routing seed, so the canonical image survives save/load round trips.
+func canonSeed(hseed uint64, i int) uint64 {
+	return mix((hseed ^ 0xbadc0ffee0ddf00d) + 0x9e3779b97f4a7c15*uint64(i))
+}
+
+// canonicalShardImage writes the canonical image of shard c: a one-shot
+// bulk load of its current sorted contents. The caller holds c's lock.
+func canonicalShardImage(c *cell, cfg hipma.Config, seed uint64, w io.Writer) (int64, error) {
+	var items []Item
+	if n := c.dict.Len(); n > 0 {
+		items = c.dict.PMA().Query(0, n-1, nil)
+	}
+	canon, err := hipma.BulkLoadWithConfig(cfg, items, seed, nil)
+	if err != nil {
+		return 0, err
+	}
+	return canon.WriteTo(w)
+}
+
+// WriteTo serializes the whole store. It holds every shard's lock, so
+// the image is an atomic snapshot. It implements io.WriterTo.
+func (s *Store) WriteTo(w io.Writer) (int64, error) {
+	s.lockAllShared()
+	defer s.unlockAllShared()
+	var hdr [24]byte
+	copy(hdr[:8], storeMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(s.cells)))
+	binary.LittleEndian.PutUint64(hdr[16:], s.hseed)
+	total := int64(0)
+	n, err := w.Write(hdr[:])
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	for i := range s.cells {
+		// The length prefix needs the image size up front, so render the
+		// canonical shard image to memory first (it is 1/S of the store).
+		var buf bytes.Buffer
+		if _, err := canonicalShardImage(&s.cells[i], s.cfg, canonSeed(s.hseed, i), &buf); err != nil {
+			return total, err
+		}
+		var lenHdr [8]byte
+		binary.LittleEndian.PutUint64(lenHdr[:], uint64(buf.Len()))
+		n, err := w.Write(lenHdr[:])
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+		n64, err := buf.WriteTo(w)
+		total += n64
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// WriteShard serializes shard i's canonical dictionary image alone (no
+// container header): a pure function of the shard's contents and the
+// store seed, byte-identical across any two operation histories that
+// reach the same contents.
+func (s *Store) WriteShard(i int, w io.Writer) (int64, error) {
+	if i < 0 || i >= len(s.cells) {
+		return 0, fmt.Errorf("shard: WriteShard(%d) out of range, %d shards", i, len(s.cells))
+	}
+	c := &s.cells[i]
+	c.rlock()
+	defer c.runlock()
+	return canonicalShardImage(c, s.cfg, canonSeed(s.hseed, i), w)
+}
+
+// ReadStore deserializes a store image produced by WriteTo. The routing
+// seed is part of the image (lookups must keep routing to the shards
+// that hold the keys); the caller's seed supplies only fresh randomness
+// for future per-shard operations. trackers must be nil or hold one
+// tracker per stored shard. Shard and routing invariants are verified.
+func ReadStore(r io.Reader, seed uint64, trackers []*iomodel.Tracker) (*Store, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("shard: reading header: %w", err)
+	}
+	if string(hdr[:8]) != storeMagic {
+		return nil, fmt.Errorf("shard: bad magic %q", hdr[:8])
+	}
+	nsh64 := binary.LittleEndian.Uint64(hdr[8:])
+	hseed := binary.LittleEndian.Uint64(hdr[16:])
+	if nsh64 < 1 || nsh64 > maxImageShards || nsh64&(nsh64-1) != 0 {
+		return nil, fmt.Errorf("shard: implausible shard count %d", nsh64)
+	}
+	nsh := int(nsh64)
+	if trackers != nil && len(trackers) != nsh {
+		return nil, fmt.Errorf("shard: %d trackers for %d stored shards", len(trackers), nsh)
+	}
+	s := &Store{mask: nsh64 - 1, hseed: hseed, cells: make([]cell, nsh)}
+	for i := 0; i < nsh; i++ {
+		var lenHdr [8]byte
+		if _, err := io.ReadFull(r, lenHdr[:]); err != nil {
+			return nil, fmt.Errorf("shard: reading shard %d length: %w", i, err)
+		}
+		imgLen := binary.LittleEndian.Uint64(lenHdr[:])
+		var t *iomodel.Tracker
+		if trackers != nil {
+			t = trackers[i]
+		}
+		lr := io.LimitReader(r, int64(imgLen))
+		d, err := cobt.ReadDictionary(lr, shardSeed(seed, i), t)
+		if err != nil {
+			return nil, fmt.Errorf("shard: shard %d: %w", i, err)
+		}
+		// The shard image must fill its declared length exactly; trailing
+		// bytes would misalign every later shard's length header.
+		if extra, err := io.Copy(io.Discard, lr); err != nil {
+			return nil, fmt.Errorf("shard: shard %d: %w", i, err)
+		} else if extra > 0 {
+			return nil, fmt.Errorf("shard: shard %d: %d trailing bytes after image", i, extra)
+		}
+		s.cells[i].dict = d
+		s.cells[i].io = t
+	}
+	s.cfg = s.cells[0].dict.PMA().Config()
+	if err := s.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("shard: corrupt image: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,168 @@
+package shard
+
+// Cross-shard ordered iteration. The hash routing scatters any key
+// interval across all shards, so Range and Ascend query every shard and
+// merge the per-shard sorted streams with a k-way binary heap. Keys are
+// unique across shards (each key routes to exactly one), so the merge
+// needs no tie-breaking.
+
+// cursor walks one shard's items in rank order, fetching them in chunks
+// through the underlying PMA (O(k/B) I/Os per chunk, Theorem 1).
+type cursor struct {
+	c    *cell
+	n    int // shard length at snapshot time
+	next int // next rank to fetch into buf
+	buf  []Item
+	pos  int // index of the current item in buf
+}
+
+const cursorChunk = 512
+
+// head returns the cursor's current item; valid only after a successful
+// refill/advance.
+func (cu *cursor) head() Item { return cu.buf[cu.pos] }
+
+// advance moves to the next item, refilling the chunk buffer as needed.
+// It reports whether a current item exists.
+func (cu *cursor) advance() bool {
+	cu.pos++
+	if cu.pos < len(cu.buf) {
+		return true
+	}
+	if cu.next >= cu.n {
+		return false
+	}
+	j := cu.next + cursorChunk - 1
+	if j >= cu.n {
+		j = cu.n - 1
+	}
+	cu.buf = cu.c.dict.PMA().Query(cu.next, j, cu.buf[:0])
+	cu.next = j + 1
+	cu.pos = 0
+	return len(cu.buf) > 0
+}
+
+// heapify/siftDown maintain a min-heap of cursors ordered by head key.
+func siftDown(h []*cursor, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(h) && h[l].head().Key < h[m].head().Key {
+			m = l
+		}
+		if r < len(h) && h[r].head().Key < h[m].head().Key {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// merge drains the cursors in ascending key order, calling fn on every
+// item until fn returns false. Callers must hold the relevant locks.
+func merge(cursors []*cursor, fn func(Item) bool) {
+	h := cursors[:0]
+	for _, cu := range cursors {
+		cu.pos = -1 // advance() lands on rank 0
+		if cu.advance() {
+			h = append(h, cu)
+		}
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDown(h, i)
+	}
+	for len(h) > 0 {
+		if !fn(h[0].head()) {
+			return
+		}
+		if h[0].advance() {
+			siftDown(h, 0)
+		} else {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+			if len(h) > 0 {
+				siftDown(h, 0)
+			}
+		}
+	}
+}
+
+// newCursors builds one chunked cursor per non-empty shard, each
+// starting at rank 0. Callers must hold all shard locks.
+func (s *Store) newCursors() []*cursor {
+	cursors := make([]*cursor, 0, len(s.cells))
+	for i := range s.cells {
+		c := &s.cells[i]
+		if c.dict.Len() == 0 {
+			continue
+		}
+		cursors = append(cursors, &cursor{c: c, n: c.dict.Len()})
+	}
+	return cursors
+}
+
+// Range appends all items with lo <= key <= hi to out, in ascending key
+// order, merged across shards. The per-shard runs are collected with
+// every shard's lock held, so the result is an atomic snapshot; the
+// merge itself runs on the copied runs after the locks are released.
+func (s *Store) Range(lo, hi int64, out []Item) []Item {
+	if lo > hi {
+		return out
+	}
+	s.lockAllShared()
+	// Collect per-shard sorted runs first (O(log_B N + k_i/B) I/Os each,
+	// Theorem 2), then merge the k sorted runs with the heap.
+	cursors := make([]*cursor, 0, len(s.cells))
+	for i := range s.cells {
+		run := s.cells[i].dict.Range(lo, hi, nil)
+		if len(run) > 0 {
+			// A pre-filled cursor: the run is already in memory, so n
+			// and next mark it fully fetched.
+			cursors = append(cursors, &cursor{buf: run, n: len(run), next: len(run)})
+		}
+	}
+	s.unlockAllShared()
+	merge(cursors, func(it Item) bool {
+		out = append(out, it)
+		return true
+	})
+	return out
+}
+
+// Ascend calls fn on every item in ascending key order, merged across
+// shards, stopping early if fn returns false. All shard locks are held
+// until Ascend returns: fn must not call back into the store.
+func (s *Store) Ascend(fn func(Item) bool) {
+	s.lockAllShared()
+	defer s.unlockAllShared()
+	merge(s.newCursors(), fn)
+}
+
+// Min returns the smallest item across all shards. ok is false when the
+// store is empty.
+func (s *Store) Min() (it Item, ok bool) {
+	s.lockAllShared()
+	defer s.unlockAllShared()
+	for i := range s.cells {
+		if m, found := s.cells[i].dict.Min(); found && (!ok || m.Key < it.Key) {
+			it, ok = m, true
+		}
+	}
+	return it, ok
+}
+
+// Max returns the largest item across all shards. ok is false when the
+// store is empty.
+func (s *Store) Max() (it Item, ok bool) {
+	s.lockAllShared()
+	defer s.unlockAllShared()
+	for i := range s.cells {
+		if m, found := s.cells[i].dict.Max(); found && (!ok || m.Key > it.Key) {
+			it, ok = m, true
+		}
+	}
+	return it, ok
+}

@@ -1,0 +1,282 @@
+// Package shard provides Store, a concurrent, hash-sharded key-value
+// front-end over the history-independent cache-oblivious B-tree
+// (repro/internal/cobt). The paper's structures are single-threaded by
+// design; Store is the standard first scaling step: split the key space
+// into 2^k independent shards by a seeded hash, give each shard its own
+// Dictionary and sync.RWMutex, and let operations on different shards
+// proceed in parallel.
+//
+// The decomposition preserves history independence shard by shard: the
+// shard assignment is a deterministic function of (key, seed) — never of
+// the operation order — so each shard's key set, and therefore each
+// shard's on-disk image, is a pure function of the store's current
+// contents and its randomness. The set of per-shard images leaks nothing
+// about the sequence of operations that produced it, just like a single
+// Dictionary image.
+//
+// Concurrency contract:
+//
+//   - Point ops (Put/Get/Has/Delete) lock exactly one shard.
+//   - Batch ops (PutBatch/GetBatch/DeleteBatch) group keys by shard and
+//     take each shard's lock exactly once, in shard order.
+//   - Snapshot ops (Range, Ascend, Len, WriteTo, Stats, CheckInvariants)
+//     hold every shard's lock simultaneously — acquired in shard order,
+//     so they cannot deadlock against each other or against point ops —
+//     and therefore observe an atomic cut across shards. (Range releases
+//     the locks before merging its already-copied per-shard runs.)
+//   - Shards with a non-nil iomodel.Tracker serialize reads too (the
+//     tracker's LRU cache mutates on every touch), so DAM accounting is
+//     exact; run with nil trackers for maximum read parallelism.
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cobt"
+	"repro/internal/hipma"
+	"repro/internal/iomodel"
+)
+
+// Item re-exports the dictionary element type: a key with a payload.
+type Item = hipma.Item
+
+// Config holds the store's construction parameters.
+type Config struct {
+	// Shards is the number of shards; it must be a power of two >= 1.
+	Shards int
+	// PMA supplies the per-shard dictionary constants.
+	PMA hipma.Config
+}
+
+// DefaultConfig returns cfg with the paper's PMA constants and the given
+// shard count.
+func DefaultConfig(shards int) Config {
+	return Config{Shards: shards, PMA: hipma.DefaultConfig()}
+}
+
+// cell is one shard: a dictionary plus its lock and optional tracker.
+type cell struct {
+	mu   sync.RWMutex
+	dict *cobt.Dictionary
+	io   *iomodel.Tracker
+}
+
+// rlock takes the shard's lock for a read-only dictionary operation.
+// With a tracker attached even reads mutate shared state (I/O counters,
+// LRU cache), so accounting shards fall back to the exclusive lock.
+func (c *cell) rlock() {
+	if c.io != nil {
+		c.mu.Lock()
+	} else {
+		c.mu.RLock()
+	}
+}
+
+func (c *cell) runlock() {
+	if c.io != nil {
+		c.mu.Unlock()
+	} else {
+		c.mu.RUnlock()
+	}
+}
+
+// Store is a concurrent sharded dictionary. It is safe for concurrent
+// use by multiple goroutines; see the package comment for the locking
+// contract. The zero value is unusable; use New.
+type Store struct {
+	mask  uint64 // shards-1
+	hseed uint64 // routing seed: shard assignment is mix(key, hseed)
+	cfg   hipma.Config
+	cells []cell
+}
+
+// New returns an empty store with the given power-of-two shard count.
+// The seed drives all of the store's randomness: the shard-routing hash
+// and every per-shard dictionary's random choices. trackers must be nil
+// (no DAM accounting) or hold exactly one tracker per shard.
+func New(shards int, seed uint64, trackers []*iomodel.Tracker) (*Store, error) {
+	return NewWithConfig(DefaultConfig(shards), seed, trackers)
+}
+
+// NewWithConfig returns an empty store with custom per-shard dictionary
+// constants.
+func NewWithConfig(cfg Config, seed uint64, trackers []*iomodel.Tracker) (*Store, error) {
+	if cfg.Shards < 1 || cfg.Shards&(cfg.Shards-1) != 0 {
+		return nil, fmt.Errorf("shard: shard count %d is not a power of two >= 1", cfg.Shards)
+	}
+	if trackers != nil && len(trackers) != cfg.Shards {
+		return nil, fmt.Errorf("shard: %d trackers for %d shards", len(trackers), cfg.Shards)
+	}
+	s := &Store{
+		mask:  uint64(cfg.Shards - 1),
+		hseed: mix(seed),
+		cfg:   cfg.PMA,
+		cells: make([]cell, cfg.Shards),
+	}
+	for i := range s.cells {
+		var t *iomodel.Tracker
+		if trackers != nil {
+			t = trackers[i]
+		}
+		d, err := cobt.NewWithConfig(cfg.PMA, shardSeed(seed, i), t)
+		if err != nil {
+			return nil, err
+		}
+		s.cells[i].dict = d
+		s.cells[i].io = t
+	}
+	return s, nil
+}
+
+// mix is the splitmix64 finalizer, a strong 64-bit mixing function.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// shardSeed derives shard i's dictionary seed from the master seed so
+// that shards consume independent randomness streams.
+func shardSeed(seed uint64, i int) uint64 {
+	return mix(seed + 0x9e3779b97f4a7c15*uint64(i+1))
+}
+
+// ShardOf returns the shard index key routes to: a deterministic
+// function of (key, seed) only, never of the operation history, which is
+// what keeps the sharded image set history independent.
+func (s *Store) ShardOf(key int64) int {
+	return int(mix(uint64(key)+s.hseed) & s.mask)
+}
+
+// NumShards returns the shard count.
+func (s *Store) NumShards() int { return len(s.cells) }
+
+// Put inserts or updates the value for key and reports whether the key
+// was newly inserted. It locks one shard.
+func (s *Store) Put(key, val int64) (inserted bool) {
+	c := &s.cells[s.ShardOf(key)]
+	c.mu.Lock()
+	inserted = c.dict.Put(key, val)
+	c.mu.Unlock()
+	return inserted
+}
+
+// Get returns the value stored for key and whether it exists. It locks
+// one shard (shared unless the shard has a tracker).
+func (s *Store) Get(key int64) (val int64, ok bool) {
+	c := &s.cells[s.ShardOf(key)]
+	c.rlock()
+	val, ok = c.dict.Get(key)
+	c.runlock()
+	return val, ok
+}
+
+// Has reports whether key is present.
+func (s *Store) Has(key int64) bool {
+	c := &s.cells[s.ShardOf(key)]
+	c.rlock()
+	ok := c.dict.Has(key)
+	c.runlock()
+	return ok
+}
+
+// Delete removes key and reports whether it was present. It locks one
+// shard.
+func (s *Store) Delete(key int64) bool {
+	c := &s.cells[s.ShardOf(key)]
+	c.mu.Lock()
+	deleted := c.dict.Delete(key)
+	c.mu.Unlock()
+	return deleted
+}
+
+// Len returns the total number of keys across all shards, observed at an
+// atomic cut (all shard locks held).
+func (s *Store) Len() int {
+	s.lockAllShared()
+	n := 0
+	for i := range s.cells {
+		n += s.cells[i].dict.Len()
+	}
+	s.unlockAllShared()
+	return n
+}
+
+// ShardLen returns the number of keys in shard i, for load-balance
+// diagnostics.
+func (s *Store) ShardLen(i int) int {
+	c := &s.cells[i]
+	c.rlock()
+	n := c.dict.Len()
+	c.runlock()
+	return n
+}
+
+// Stats returns the aggregated DAM-model counters across all shard
+// trackers (zero if the store was built without trackers). B is taken
+// from the first tracker.
+func (s *Store) Stats() iomodel.Stats {
+	s.lockAllShared()
+	var agg iomodel.Stats
+	agg.B = 1
+	first := true
+	for i := range s.cells {
+		t := s.cells[i].io
+		if t == nil {
+			continue
+		}
+		snap := t.Snapshot()
+		if first {
+			agg.B = snap.B
+			first = false
+		}
+		agg.Reads += snap.Reads
+		agg.Writes += snap.Writes
+		agg.Hits += snap.Hits
+	}
+	s.unlockAllShared()
+	return agg
+}
+
+// CheckInvariants verifies every shard's dictionary invariants plus the
+// sharding invariant: every stored key routes to the shard holding it.
+func (s *Store) CheckInvariants() error {
+	s.lockAllShared()
+	defer s.unlockAllShared()
+	for i := range s.cells {
+		if err := s.cells[i].dict.CheckInvariants(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		var routeErr error
+		s.cells[i].dict.Ascend(func(it Item) bool {
+			if got := s.ShardOf(it.Key); got != i {
+				routeErr = fmt.Errorf("shard: key %d stored in shard %d but routes to %d",
+					it.Key, i, got)
+				return false
+			}
+			return true
+		})
+		if routeErr != nil {
+			return routeErr
+		}
+	}
+	return nil
+}
+
+// lockAllShared acquires every shard's read-path lock in shard order.
+// The fixed order makes concurrent whole-store operations deadlock-free.
+func (s *Store) lockAllShared() {
+	for i := range s.cells {
+		s.cells[i].rlock()
+	}
+}
+
+func (s *Store) unlockAllShared() {
+	for i := range s.cells {
+		s.cells[i].runlock()
+	}
+}
