@@ -39,6 +39,13 @@
 // the sharded image set is itself history independent. Use NewStore for
 // multi-goroutine workloads and the bare structures for single-threaded
 // experiments.
+//
+// DB (via Open) makes the store durable without betraying it: a
+// crash-safe on-disk database with no write-ahead log — a WAL is an
+// operation history, which is exactly what must never reach the disk —
+// just canonical per-shard checkpoint images committed by atomic
+// rename, incrementally rewritten for dirty shards only, recovered and
+// verified on Open.
 package antipersist
 
 import (
@@ -46,6 +53,7 @@ import (
 
 	"repro/internal/btree"
 	"repro/internal/cobt"
+	"repro/internal/durable"
 	"repro/internal/hipma"
 	"repro/internal/iomodel"
 	"repro/internal/pma"
@@ -195,6 +203,29 @@ func NewStoreWithConfig(cfg StoreConfig, seed uint64, trackers ...*IOTracker) (*
 		return shard.NewWithConfig(cfg, seed, nil)
 	}
 	return shard.NewWithConfig(cfg, seed, trackers)
+}
+
+// DB is a durable, crash-safe, history-independent database: the
+// concurrent Store plus a checkpointing engine that keeps one canonical
+// image file per shard and a checksummed manifest inside a directory.
+// There is deliberately no write-ahead log — a WAL is an operation
+// history, exactly what history independence forbids on disk — so
+// commits go temp-file → fsync → atomic rename → manifest swap, and a
+// crash at any point recovers to the last complete checkpoint. See
+// repro/internal/durable for the commit sequence and the crash model.
+type DB = durable.DB
+
+// DBOptions configures Open: shard count and seed for new databases,
+// checkpoint triggers (interval, dirty-op threshold, or explicit
+// DB.Checkpoint), secure-wipe behavior, and the filesystem to commit
+// through. The zero value is production-ready defaults.
+type DBOptions = durable.Options
+
+// Open opens (or creates) the durable database in dir, recovering and
+// verifying the last complete checkpoint if one exists. opts may be
+// nil for defaults.
+func Open(dir string, opts *DBOptions) (*DB, error) {
+	return durable.Open(dir, opts)
 }
 
 // ReadStore deserializes a store image produced by Store.WriteTo. The

@@ -2,14 +2,20 @@
 // throughput of a mixed Get/Put/Delete workload against the shard count
 // and the number of worker goroutines, plus the batch-vs-single win.
 //
-// Output is TSV, one row per (shards, goroutines) cell:
+// Default output is TSV, one row per (shards, goroutines) cell:
 //
 //	shards  goroutines  ops/sec  speedup-vs-1shard
 //
-// Run with: go run ./cmd/store-bench [-keys N] [-ms D] [-writes PCT]
+// With -json the same results are emitted as a single machine-readable
+// JSON document on stdout (ops/sec, ns/op, shards, goroutines, batch
+// comparison, host metadata), so successive runs can be archived as
+// BENCH_*.json files and compared across commits.
+//
+// Run with: go run ./cmd/store-bench [-keys N] [-ms D] [-writes PCT] [-json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,19 +28,57 @@ import (
 	"repro/internal/xrand"
 )
 
+// cellResult is one (shards, goroutines) measurement.
+type cellResult struct {
+	Shards     int     `json:"shards"`
+	Goroutines int     `json:"goroutines"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	Speedup    float64 `json:"speedup_vs_1shard"`
+}
+
+// batchResult compares point puts against PutBatch, per key.
+type batchResult struct {
+	SingleNsPerKey float64 `json:"single_ns_per_key"`
+	BatchNsPerKey  float64 `json:"batch_ns_per_key"`
+	Speedup        float64 `json:"speedup"`
+}
+
+// report is the full -json document.
+type report struct {
+	Keys       int          `json:"keys"`
+	WritesPct  int          `json:"writes_pct"`
+	WindowMs   int          `json:"window_ms"`
+	Seed       uint64       `json:"seed"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Cells      []cellResult `json:"cells"`
+	Batch      batchResult  `json:"batch"`
+}
+
 func main() {
 	keys := flag.Int("keys", 1<<17, "key-space size")
 	ms := flag.Int("ms", 300, "measurement window per cell, milliseconds")
 	writes := flag.Int("writes", 10, "write percentage of the mixed workload")
 	seed := flag.Uint64("seed", 42, "store seed")
+	jsonOut := flag.Bool("json", false, "emit one JSON document instead of TSV")
 	flag.Parse()
 
 	shardCounts := []int{1, 2, 4, 8, 16}
 	workerCounts := []int{1, 2, 4, 8}
 
-	fmt.Printf("# store-bench: %d keys, %d%% writes, %dms/cell, GOMAXPROCS=%d\n",
-		*keys, *writes, *ms, runtime.GOMAXPROCS(0))
-	fmt.Println("shards\tgoroutines\tops/sec\tspeedup-vs-1shard")
+	rep := report{
+		Keys:       *keys,
+		WritesPct:  *writes,
+		WindowMs:   *ms,
+		Seed:       *seed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+
+	if !*jsonOut {
+		fmt.Printf("# store-bench: %d keys, %d%% writes, %dms/cell, GOMAXPROCS=%d\n",
+			*keys, *writes, *ms, rep.GoMaxProcs)
+		fmt.Println("shards\tgoroutines\tops/sec\tspeedup-vs-1shard")
+	}
 
 	base := map[int]float64{} // goroutines -> ops/sec at shards=1
 	for _, nsh := range shardCounts {
@@ -46,12 +90,30 @@ func main() {
 			} else {
 				base[ng] = rate
 			}
-			fmt.Printf("%d\t%d\t%.0f\t%.2fx\n", nsh, ng, rate, speedup)
+			cell := cellResult{
+				Shards:     nsh,
+				Goroutines: ng,
+				OpsPerSec:  rate,
+				NsPerOp:    1e9 / rate,
+				Speedup:    speedup,
+			}
+			rep.Cells = append(rep.Cells, cell)
+			if !*jsonOut {
+				fmt.Printf("%d\t%d\t%.0f\t%.2fx\n", nsh, ng, rate, speedup)
+			}
 		}
 	}
 
-	fmt.Fprintln(os.Stderr, "\n# batch vs single (8 shards, 1 goroutine, batch=256)")
-	batchBench(*keys, *seed)
+	rep.Batch = batchBench(*keys, *seed, !*jsonOut)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 }
 
 // measure runs ng workers for the window and returns total ops/sec.
@@ -102,7 +164,7 @@ func measure(nsh, ng, keys, writePct int, seed uint64, window time.Duration) flo
 	return float64(total.Load()) / elapsed
 }
 
-func batchBench(keys int, seed uint64) {
+func batchBench(keys int, seed uint64, verbose bool) batchResult {
 	const batch = 256
 	const rounds = 2000
 	s, err := antipersist.NewStore(8, seed)
@@ -133,8 +195,15 @@ func batchBench(keys int, seed uint64) {
 	}
 	batched := time.Since(t0)
 
-	fmt.Fprintf(os.Stderr, "# put: single %.0f ns/key, batch %.0f ns/key (%.2fx)\n",
-		float64(single.Nanoseconds())/float64(rounds*batch),
-		float64(batched.Nanoseconds())/float64(rounds*batch),
-		float64(single)/float64(batched))
+	res := batchResult{
+		SingleNsPerKey: float64(single.Nanoseconds()) / float64(rounds*batch),
+		BatchNsPerKey:  float64(batched.Nanoseconds()) / float64(rounds*batch),
+		Speedup:        float64(single) / float64(batched),
+	}
+	if verbose {
+		fmt.Fprintln(os.Stderr, "\n# batch vs single (8 shards, 1 goroutine, batch=256)")
+		fmt.Fprintf(os.Stderr, "# put: single %.0f ns/key, batch %.0f ns/key (%.2fx)\n",
+			res.SingleNsPerKey, res.BatchNsPerKey, res.Speedup)
+	}
+	return res
 }

@@ -3,6 +3,7 @@ package antipersist_test
 import (
 	"bytes"
 	"fmt"
+	"os"
 
 	antipersist "repro"
 )
@@ -123,4 +124,40 @@ func ExampleStore() {
 	// 20 200
 	// 30 300
 	// 2
+}
+
+// Durable operation: a DB directory survives crashes and process
+// restarts, holding nothing but canonical per-shard images and a
+// checksummed manifest — no write-ahead log, because a WAL is an
+// operation history and history must never reach the disk.
+func ExampleOpen() {
+	dir, err := os.MkdirTemp("", "antipersist-example-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := antipersist.Open(dir+"/db", &antipersist.DBOptions{
+		Shards: 4, Seed: 42, NoBackground: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	db.Put(1, 100)
+	db.Put(2, 200)
+	db.Delete(1) // unrecoverable, even forensically, after the next commit
+	if err := db.Close(); err != nil {
+		panic(err)
+	}
+
+	// Reopen: recovery verifies checksums, hashes, and invariants.
+	db, err = antipersist.Open(dir+"/db", nil)
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+	v, ok := db.Get(2)
+	_, gone := db.Get(1)
+	fmt.Println(db.Len(), v, ok, gone)
+	// Output: 1 200 true false
 }

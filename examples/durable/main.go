@@ -1,0 +1,136 @@
+// Durable demonstrates the crash-safe on-disk database: a DB directory
+// whose every byte is a pure function of (contents, seed) — no
+// write-ahead log, no timestamps, no generation counters — so the disk
+// image a forensic examiner sees after a crash, a recovery, or a
+// thousand checkpoints is byte-identical to one produced by a single
+// clean bulk load of the same data.
+//
+// The demo builds the same final contents through two different
+// on-disk lives:
+//
+//	life A: open, bulk-load, close — one checkpoint, no drama;
+//	life B: open, churn keys across several explicit checkpoints with
+//	        deletes and overwrites, close, REOPEN (recovery), churn
+//	        back to the same contents, close.
+//
+// It then compares the two directories file by file.
+//
+// Run with: go run ./examples/durable
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	antipersist "repro"
+)
+
+const (
+	nKeys  = 1000
+	shards = 8
+	seed   = 2016 // PODS 2016
+)
+
+func opts() *antipersist.DBOptions {
+	return &antipersist.DBOptions{Shards: shards, Seed: seed, NoBackground: true}
+}
+
+// lifeA is the quiet history: one bulk load, one checkpoint.
+func lifeA(dir string) {
+	db, err := antipersist.Open(dir, opts())
+	check(err)
+	items := make([]antipersist.Item, 0, nKeys)
+	for k := int64(0); k < nKeys; k++ {
+		items = append(items, antipersist.Item{Key: k, Val: k * 7})
+	}
+	db.PutBatch(items)
+	check(db.Close())
+}
+
+// lifeB reaches the same contents through churn, mid-life checkpoints,
+// and a full crash-recovery cycle.
+func lifeB(dir string) {
+	db, err := antipersist.Open(dir, opts())
+	check(err)
+	for k := int64(nKeys - 1); k >= 0; k-- {
+		db.Put(k, -k)          // wrong value, fixed later
+		db.Put(k+50000, 12345) // transient key, deleted later
+	}
+	check(db.Checkpoint()) // persist the embarrassing intermediate state
+	for k := int64(0); k < nKeys; k += 2 {
+		db.Put(k, k*7)
+		db.Delete(k + 50000)
+	}
+	check(db.Checkpoint())
+	check(db.Close())
+
+	// Reopen: recovery verifies the manifest checksum, every shard
+	// image's hash, and the store invariants.
+	db, err = antipersist.Open(dir, opts())
+	check(err)
+	for k := int64(1); k < nKeys; k += 2 {
+		db.Put(k, k*7)
+		db.Delete(k + 50000)
+	}
+	check(db.Close())
+}
+
+func snapshot(dir string) map[string][]byte {
+	ents, err := os.ReadDir(dir)
+	check(err)
+	out := map[string][]byte{}
+	for _, e := range ents {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		check(err)
+		out[e.Name()] = b
+	}
+	return out
+}
+
+func main() {
+	root, err := os.MkdirTemp("", "antipersist-durable-*")
+	check(err)
+	defer os.RemoveAll(root)
+	dirA, dirB := filepath.Join(root, "a"), filepath.Join(root, "b")
+
+	lifeA(dirA)
+	lifeB(dirB)
+
+	a, b := snapshot(dirA), snapshot(dirB)
+	names := make([]string, 0, len(a))
+	for n := range a {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("life A (1 bulk load):            %d files\n", len(a))
+	fmt.Printf("life B (churn + crash recovery): %d files\n", len(b))
+	identical := len(a) == len(b)
+	for _, n := range names {
+		same := bytes.Equal(a[n], b[n])
+		identical = identical && same
+		fmt.Printf("  %-28s %6d bytes  identical=%v\n", n, len(a[n]), same)
+	}
+	if !identical {
+		fmt.Println("DIRECTORIES DIVERGE — history leaked to disk!")
+		os.Exit(1)
+	}
+	fmt.Println("\nbyte-identical directories: the disk remembers the data, not its past.")
+
+	// And the recovered data really is all there.
+	db, err := antipersist.Open(dirB, opts())
+	check(err)
+	v, ok := db.Get(999)
+	fmt.Printf("reopened life B: %d keys, Get(999) = %d, %v\n", db.Len(), v, ok)
+	check(db.Close())
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

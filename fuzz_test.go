@@ -1,0 +1,82 @@
+package antipersist_test
+
+// Native Go fuzz targets for the image readers. The readers consume
+// untrusted bytes (a DB directory can be tampered with between runs),
+// so they must reject corruption with an error — never panic, never
+// allocate memory disproportionate to the input. The corpus is seeded
+// with valid WriteTo output plus truncations and bit flips of it, so
+// the fuzzer starts at the format boundary instead of random noise.
+
+import (
+	"bytes"
+	"testing"
+
+	antipersist "repro"
+)
+
+// seedImages adds img, a truncation, and a bit flip to the corpus.
+func seedImages(f *testing.F, img []byte) {
+	f.Add(img)
+	f.Add(img[:len(img)/2])
+	flipped := append([]byte(nil), img...)
+	flipped[len(flipped)/3] ^= 0x10
+	f.Add(flipped)
+}
+
+func FuzzReadPMA(f *testing.F) {
+	for _, n := range []int{0, 1, 7, 130} {
+		p := antipersist.NewPMA(uint64(n)+1, nil)
+		for i := 0; i < n; i++ {
+			p.InsertKey(int64(i*3), int64(i))
+		}
+		var buf bytes.Buffer
+		if _, err := p.WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		seedImages(f, buf.Bytes())
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := antipersist.ReadPMA(bytes.NewReader(data), 42, nil)
+		if err != nil {
+			return // rejection is the expected outcome for corrupt input
+		}
+		// Anything accepted must be fully coherent and usable.
+		if err := p.CheckInvariants(); err != nil {
+			t.Fatalf("accepted image violates invariants: %v", err)
+		}
+		p.InsertKey(-12345, 1)
+		if err := p.CheckInvariants(); err != nil {
+			t.Fatalf("accepted image broke on first insert: %v", err)
+		}
+	})
+}
+
+func FuzzReadStore(f *testing.F) {
+	for _, shards := range []int{1, 4} {
+		s, err := antipersist.NewStore(shards, uint64(shards))
+		if err != nil {
+			f.Fatal(err)
+		}
+		for i := int64(0); i < 60; i++ {
+			s.Put(i*5, i)
+		}
+		var buf bytes.Buffer
+		if _, err := s.WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		seedImages(f, buf.Bytes())
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := antipersist.ReadStore(bytes.NewReader(data), 7)
+		if err != nil {
+			return
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("accepted image violates invariants: %v", err)
+		}
+		s.Put(-99999, 1)
+		if _, ok := s.Get(-99999); !ok {
+			t.Fatal("accepted store lost a fresh insert")
+		}
+	})
+}

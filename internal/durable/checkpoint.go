@@ -1,0 +1,192 @@
+package durable
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"time"
+)
+
+// Checkpoint persists the store's current contents: it renders a
+// canonical image for every shard whose version counter moved since the
+// last commit, publishes the changed images and a new manifest with the
+// atomic commit sequence, then wipes and unlinks whatever the new
+// manifest no longer references. A checkpoint that changes nothing is a
+// no-op. Checkpoints serialize with each other; readers and writers on
+// clean shards are never blocked (each dirty shard is snapshotted under
+// its own brief read lock).
+func (db *DB) Checkpoint() error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	return db.checkpoint()
+}
+
+// pendingShard is one shard image staged for publication.
+type pendingShard struct {
+	idx     int
+	data    []byte
+	hash    [32]byte
+	version uint64
+}
+
+func (db *DB) checkpoint() error {
+	db.cpMu.Lock()
+	defer db.cpMu.Unlock()
+
+	// Operations that land while the checkpoint runs must keep their
+	// claim on the threshold trigger, so only the ops seen up to this
+	// point are deducted after the commit (never a blanket reset).
+	dirtyAtStart := db.dirtyOps.Load()
+
+	s := db.store
+	nsh := s.NumShards()
+	newMan := &manifest{hseed: s.RoutingSeed(), shards: make([]shardEntry, nsh)}
+	var writes []pendingShard
+	for i := 0; i < nsh; i++ {
+		if db.man != nil && s.ShardVersion(i) == db.cpVersions[i] {
+			newMan.shards[i] = db.man.shards[i] // image still current
+			continue
+		}
+		var buf bytes.Buffer
+		ver, _, err := s.SnapshotShard(i, &buf)
+		if err != nil {
+			return fmt.Errorf("durable: snapshotting shard %d: %w", i, err)
+		}
+		h := sha256.Sum256(buf.Bytes())
+		newMan.shards[i] = shardEntry{size: int64(buf.Len()), hash: h}
+		if db.man != nil && h == db.man.shards[i].hash {
+			// Version moved but the canonical bytes did not (e.g. an
+			// insert undone by a delete): the committed file is already
+			// exact, so just advance the version floor.
+			db.cpVersions[i] = ver
+			continue
+		}
+		writes = append(writes, pendingShard{idx: i, data: buf.Bytes(), hash: h, version: ver})
+	}
+	if db.man != nil && len(writes) == 0 {
+		return nil // nothing changed; the manifest bytes would be identical
+	}
+
+	// Commit sequence. Steps 1-2 publish the new shard images under
+	// content-addressed names the old manifest does not reference, so
+	// they are invisible to recovery until step 3-4 swaps the manifest —
+	// the single commit point.
+	for _, p := range writes {
+		if err := db.writeFileAtomic(shardFileName(p.idx, p.hash), p.data); err != nil {
+			return fmt.Errorf("durable: publishing shard %d image: %w", p.idx, err)
+		}
+	}
+	if err := db.fs.SyncDir(db.dir); err != nil {
+		return fmt.Errorf("durable: syncing %s: %w", db.dir, err)
+	}
+	if err := db.writeFileAtomic(manifestName, newMan.encode()); err != nil {
+		return fmt.Errorf("durable: publishing manifest: %w", err)
+	}
+	if err := db.fs.SyncDir(db.dir); err != nil {
+		return fmt.Errorf("durable: syncing %s after manifest swap: %w", db.dir, err)
+	}
+
+	// Committed. Everything below is housekeeping.
+	db.man = newMan
+	for _, p := range writes {
+		db.cpVersions[p.idx] = p.version
+	}
+	db.dirtyOps.Add(-dirtyAtStart)
+	db.checkpoints.Add(1)
+	db.sweep()
+	return nil
+}
+
+// writeFileAtomic publishes data under name via the temp-file dance:
+// the bytes are complete and fsynced before the name ever exists.
+func (db *DB) writeFileAtomic(name string, data []byte) error {
+	tmp := db.path(name + ".tmp")
+	f, err := db.fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return db.fs.Rename(tmp, db.path(name))
+}
+
+// sweep wipes and unlinks every file in the directory that the current
+// manifest does not reference: temp files and superseded or orphaned
+// shard images. Best-effort — the commit has already happened, and
+// anything left behind is picked up by the next sweep or by Open.
+// Caller holds cpMu.
+func (db *DB) sweep() {
+	names, err := db.fs.List(db.dir)
+	if err != nil {
+		return
+	}
+	keep := make(map[string]bool, len(db.man.shards)+1)
+	keep[manifestName] = true
+	for i, e := range db.man.shards {
+		keep[shardFileName(i, e.hash)] = true
+	}
+	for _, n := range names {
+		if !keep[n] {
+			db.wipeRemove(n)
+		}
+	}
+}
+
+// wipeRemove overwrites name with zeros (unless NoWipe), fsyncs the
+// overwrite, and unlinks the file. Secure deletion on modern storage is
+// inherently best-effort — journaling filesystems and SSD FTLs may keep
+// stale blocks — so errors are swallowed: the file's confidentiality
+// already rests on the history independence of its contents, and its
+// *existence* is removed either way.
+func (db *DB) wipeRemove(name string) {
+	p := db.path(name)
+	if !db.opts.NoWipe {
+		if size, err := db.fs.Size(p); err == nil && size > 0 {
+			if f, err := db.fs.OpenWrite(p); err == nil {
+				zeros := make([]byte, 32*1024)
+				for left := size; left > 0; {
+					n := int64(len(zeros))
+					if n > left {
+						n = left
+					}
+					if _, err := f.Write(zeros[:n]); err != nil {
+						break
+					}
+					left -= n
+				}
+				f.Sync()
+				f.Close()
+			}
+		}
+	}
+	db.fs.Remove(p)
+}
+
+// background is the checkpointer goroutine: it commits dirty state
+// every CheckpointInterval, or sooner when the dirty-op threshold
+// kicks. Errors are not fatal — the next tick retries, and Close
+// surfaces the final attempt's error.
+func (db *DB) background() {
+	defer db.wg.Done()
+	t := time.NewTicker(db.opts.CheckpointInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-db.stop:
+			return
+		case <-t.C:
+		case <-db.kick:
+		}
+		db.checkpoint() //nolint:errcheck // retried next tick; Close reports
+	}
+}

@@ -1,0 +1,377 @@
+// Package durable is a crash-safe on-disk database over the sharded
+// history-independent store (repro/internal/shard).
+//
+// A conventional durable engine pairs its data files with a write-ahead
+// log, but under history independence a WAL is forbidden: a log of
+// operations IS the operation history the paper's structures exist to
+// erase (Bender et al., PODS 2016). This engine therefore persists
+// nothing but canonical state. A DB directory holds one canonical image
+// file per shard — a pure function of (shard contents, seed), already
+// byte-identical across operation histories — plus a checksummed
+// manifest naming them by content hash. Commits follow the classic
+// atomic-publish sequence:
+//
+//	write shard images to *.tmp → fsync each → rename into place →
+//	fsync dir → write MANIFEST.tmp → fsync → rename over MANIFEST →
+//	fsync dir → secure-wipe and unlink superseded files
+//
+// The manifest rename is the single commit point, so a crash at any
+// step recovers to the last complete checkpoint with no partial state;
+// and because every persisted byte is canonical, the recovered disk
+// leaks nothing about the operations (or crashes) that preceded it.
+//
+// Checkpoints are incremental: each shard carries a version counter
+// bumped under its write lock, and the checkpointer rewrites only
+// shards whose version moved — then only those whose canonical bytes
+// actually changed. Incrementality cannot leak history: skipping an
+// unchanged shard reproduces, by definition, the byte-identical file a
+// full rewrite would have produced.
+//
+// All filesystem access goes through the FS interface so the
+// crash-injection suite (MemFS) can fail or halt the commit sequence
+// at every single step and prove recovery.
+package durable
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"path"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hipma"
+	"repro/internal/shard"
+)
+
+// Item re-exports the store element type.
+type Item = shard.Item
+
+// ErrClosed is returned by operations on a closed DB.
+var ErrClosed = errors.New("durable: database is closed")
+
+// Options configures Open. The zero value is usable: 8 shards, seed 0,
+// the paper's PMA constants, background checkpointing every second or
+// every 4096 dirty operations, secure wipe on, real filesystem.
+type Options struct {
+	// Shards is the shard count for a NEWLY CREATED database (power of
+	// two; 0 means 8). Ignored when opening an existing directory — the
+	// shard count is part of the durable state.
+	Shards int
+	// Seed drives all randomness. For a new database it also fixes the
+	// routing seed and therefore the canonical image bytes; for an
+	// existing one it supplies only fresh randomness for future
+	// operations (the routing seed is restored from the manifest).
+	Seed uint64
+	// PMA overrides the per-shard dictionary constants for a newly
+	// created database (zero value: the paper's defaults). Ignored on
+	// recovery — the constants are part of each shard image.
+	PMA hipma.Config
+	// CheckpointInterval is the background checkpointer's poll period
+	// (0: one second). Each tick persists all dirty shards.
+	CheckpointInterval time.Duration
+	// CheckpointThreshold triggers an early background checkpoint once
+	// this many mutating operations have accumulated (0: 4096).
+	CheckpointThreshold int
+	// NoBackground disables the checkpointer goroutine; persistence
+	// then happens only on explicit Checkpoint or Close.
+	NoBackground bool
+	// NoWipe disables the best-effort zero-overwrite of superseded
+	// image files before unlink.
+	NoWipe bool
+	// FS is the filesystem to commit through (nil: the real one).
+	FS FS
+}
+
+func (o *Options) withDefaults() Options {
+	var out Options
+	if o != nil {
+		out = *o
+	}
+	if out.Shards == 0 {
+		out.Shards = 8
+	}
+	if out.PMA == (hipma.Config{}) {
+		out.PMA = hipma.DefaultConfig()
+	}
+	// Non-positive trigger values get the defaults too: a negative
+	// interval would panic time.NewTicker in the background goroutine,
+	// and a negative threshold would wrap to a huge uint64 and silently
+	// disable the dirty-op trigger.
+	if out.CheckpointInterval <= 0 {
+		out.CheckpointInterval = time.Second
+	}
+	if out.CheckpointThreshold <= 0 {
+		out.CheckpointThreshold = 4096
+	}
+	if out.FS == nil {
+		out.FS = OS()
+	}
+	return out
+}
+
+// DB is a durable, crash-safe, history-independent key-value database:
+// the concurrent sharded Store plus a checkpointing engine that keeps a
+// canonical on-disk image of it inside one directory. All methods are
+// safe for concurrent use.
+type DB struct {
+	dir   string
+	fs    FS
+	opts  Options
+	store *shard.Store
+
+	// cpMu serializes checkpoints and guards the committed-state
+	// fields below.
+	cpMu sync.Mutex
+	man  *manifest // last committed manifest (nil: none yet)
+	// cpVersions[i] is shard i's version counter at the moment its
+	// committed image was snapshotted; ShardVersion(i) == cpVersions[i]
+	// means the on-disk image is current.
+	cpVersions []uint64
+
+	dirtyOps    atomic.Uint64 // mutating ops since the last checkpoint
+	checkpoints atomic.Uint64 // committed checkpoints (in-memory stat)
+	closed      atomic.Bool
+
+	kick chan struct{} // threshold trigger for the background loop
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Open opens the database directory dir, creating it (and an initial
+// empty checkpoint) if no manifest exists, or recovering and verifying
+// the last complete checkpoint if one does. Recovery checks the
+// manifest checksum, every shard file's size and SHA-256 against the
+// manifest, every shard image's own checksum, and the store's
+// structural and routing invariants; any leftover temporary or
+// superseded files from an interrupted commit are wiped and removed.
+func Open(dir string, opts *Options) (*DB, error) {
+	o := opts.withDefaults()
+	fs := o.FS
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("durable: creating %s: %w", dir, err)
+	}
+	names, err := fs.List(dir)
+	if err != nil {
+		return nil, fmt.Errorf("durable: listing %s: %w", dir, err)
+	}
+	hasManifest := false
+	for _, n := range names {
+		if n == manifestName {
+			hasManifest = true
+			break
+		}
+	}
+
+	db := &DB{dir: dir, fs: fs, opts: o}
+	if hasManifest {
+		if err := db.recover(o.Seed); err != nil {
+			return nil, err
+		}
+	} else {
+		// No commit record: any files present are debris from a crash
+		// before the first commit. Wipe them and start empty.
+		for _, n := range names {
+			db.wipeRemove(n)
+		}
+		cfg := shard.Config{Shards: o.Shards, PMA: o.PMA}
+		s, err := shard.NewWithConfig(cfg, o.Seed, nil)
+		if err != nil {
+			return nil, fmt.Errorf("durable: %w", err)
+		}
+		db.store = s
+		db.cpVersions = make([]uint64, s.NumShards())
+		if err := db.checkpoint(); err != nil {
+			return nil, fmt.Errorf("durable: initial checkpoint: %w", err)
+		}
+	}
+
+	if !o.NoBackground {
+		db.kick = make(chan struct{}, 1)
+		db.stop = make(chan struct{})
+		db.wg.Add(1)
+		go db.background()
+	}
+	return db, nil
+}
+
+// recover rebuilds the store from the last committed checkpoint.
+func (db *DB) recover(seed uint64) error {
+	data, err := db.readFile(manifestName)
+	if err != nil {
+		return fmt.Errorf("durable: reading manifest: %w", err)
+	}
+	man, err := decodeManifest(data)
+	if err != nil {
+		return err
+	}
+	readers := make([]io.Reader, len(man.shards))
+	for i, e := range man.shards {
+		img, err := db.readFile(shardFileName(i, e.hash))
+		if err != nil {
+			return fmt.Errorf("durable: shard %d image: %w", i, err)
+		}
+		if int64(len(img)) != e.size {
+			return fmt.Errorf("durable: shard %d image is %d bytes, manifest says %d",
+				i, len(img), e.size)
+		}
+		if sha256.Sum256(img) != e.hash {
+			return fmt.Errorf("durable: shard %d image hash mismatch", i)
+		}
+		readers[i] = bytes.NewReader(img)
+	}
+	s, err := shard.AssembleStore(man.hseed, readers, seed, nil)
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	db.store = s
+	db.man = man
+	db.cpVersions = make([]uint64, s.NumShards())
+	for i := range db.cpVersions {
+		db.cpVersions[i] = s.ShardVersion(i)
+	}
+	db.sweep() // clear debris from any interrupted commit
+	return nil
+}
+
+func (db *DB) path(name string) string { return path.Join(db.dir, name) }
+
+func (db *DB) readFile(name string) ([]byte, error) {
+	f, err := db.fs.Open(db.path(name))
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return data, err
+}
+
+// Store returns the underlying concurrent store. Mutations made
+// directly on it are picked up by the next checkpoint via the shard
+// version counters, but do not count toward the dirty-op threshold.
+func (db *DB) Store() *shard.Store { return db.store }
+
+// Dir returns the database directory.
+func (db *DB) Dir() string { return db.dir }
+
+// Checkpoints returns the number of checkpoints committed since Open.
+func (db *DB) Checkpoints() uint64 { return db.checkpoints.Load() }
+
+// noteDirty accumulates mutating operations toward the threshold
+// trigger.
+func (db *DB) noteDirty(n int) {
+	if n <= 0 {
+		return
+	}
+	if db.dirtyOps.Add(uint64(n)) >= uint64(db.opts.CheckpointThreshold) && db.kick != nil {
+		select {
+		case db.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Put inserts or updates the value for key and reports whether the key
+// was newly inserted.
+func (db *DB) Put(key, val int64) bool {
+	inserted := db.store.Put(key, val)
+	db.noteDirty(1)
+	return inserted
+}
+
+// Get returns the value stored for key and whether it exists.
+func (db *DB) Get(key int64) (int64, bool) { return db.store.Get(key) }
+
+// Has reports whether key is present.
+func (db *DB) Has(key int64) bool { return db.store.Has(key) }
+
+// Delete removes key and reports whether it was present.
+func (db *DB) Delete(key int64) bool {
+	deleted := db.store.Delete(key)
+	db.noteDirty(1)
+	return deleted
+}
+
+// PutBatch applies every item as an upsert and returns the number of
+// keys newly inserted.
+func (db *DB) PutBatch(items []Item) int {
+	inserted := db.store.PutBatch(items)
+	db.noteDirty(len(items))
+	return inserted
+}
+
+// GetBatch looks up every key; values and presence flags align with
+// keys.
+func (db *DB) GetBatch(keys []int64) ([]int64, []bool) { return db.store.GetBatch(keys) }
+
+// DeleteBatch removes every key and returns the number that were
+// present.
+func (db *DB) DeleteBatch(keys []int64) int {
+	deleted := db.store.DeleteBatch(keys)
+	db.noteDirty(len(keys))
+	return deleted
+}
+
+// Range appends all items with lo <= key <= hi to out in ascending key
+// order.
+func (db *DB) Range(lo, hi int64, out []Item) []Item { return db.store.Range(lo, hi, out) }
+
+// Ascend calls fn on every item in ascending key order until fn
+// returns false.
+func (db *DB) Ascend(fn func(Item) bool) { db.store.Ascend(fn) }
+
+// Len returns the number of keys.
+func (db *DB) Len() int { return db.store.Len() }
+
+// Close stops the background checkpointer, commits a final checkpoint,
+// and marks the DB closed. Operations after Close are not persisted.
+func (db *DB) Close() error {
+	if db.closed.Swap(true) {
+		return ErrClosed
+	}
+	if db.stop != nil {
+		close(db.stop)
+		db.wg.Wait()
+	}
+	return db.checkpoint()
+}
+
+// VerifyCanonical re-renders every shard's canonical image in memory
+// and compares it byte for byte against the committed on-disk file,
+// confirming that the directory is exactly the canonical image of the
+// current contents. It fails if uncheckpointed changes are pending.
+func (db *DB) VerifyCanonical() error {
+	db.cpMu.Lock()
+	defer db.cpMu.Unlock()
+	if db.man == nil {
+		return errors.New("durable: no committed checkpoint")
+	}
+	for i := range db.man.shards {
+		ver := db.store.ShardVersion(i)
+		if ver != db.cpVersions[i] {
+			return fmt.Errorf("durable: shard %d has uncheckpointed changes (version %d, committed %d)",
+				i, ver, db.cpVersions[i])
+		}
+		var buf bytes.Buffer
+		if _, _, err := db.store.SnapshotShard(i, &buf); err != nil {
+			return fmt.Errorf("durable: rendering shard %d: %w", i, err)
+		}
+		e := db.man.shards[i]
+		if sha256.Sum256(buf.Bytes()) != e.hash {
+			return fmt.Errorf("durable: shard %d canonical image diverges from manifest", i)
+		}
+		disk, err := db.readFile(shardFileName(i, e.hash))
+		if err != nil {
+			return fmt.Errorf("durable: shard %d image: %w", i, err)
+		}
+		if !bytes.Equal(disk, buf.Bytes()) {
+			return fmt.Errorf("durable: shard %d on-disk image is not canonical", i)
+		}
+	}
+	return nil
+}

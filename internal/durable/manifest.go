@@ -1,0 +1,103 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// The manifest is the database's single commit record. It is
+// deliberately free of anything history-shaped: no generation counter,
+// no timestamps, no log sequence numbers — every field is a pure
+// function of the store's current contents and its persisted seed, so
+// the manifest bytes themselves are canonical (two databases with the
+// same seed and the same key-value set have byte-identical manifests,
+// whatever operation sequences or checkpoint schedules produced them).
+//
+//	magic   [8]byte  "HIDBMF01"
+//	shards  uint64   power of two >= 1
+//	hseed   uint64   routing seed (mixed), restored verbatim on open
+//	per shard: size uint64, sha256 [32]byte of the shard image file
+//	crc32   uint32   IEEE, over everything above
+//
+// Shard image files are content-addressed — shardFileName derives the
+// name from the index and the image hash — so a crash can never leave
+// a half-written file under a name the manifest already trusts: the
+// manifest swap is the only commit point.
+const manifestMagic = "HIDBMF01"
+
+// manifestName is the manifest's filename inside a DB directory.
+const manifestName = "MANIFEST"
+
+// maxManifestShards bounds the shard count accepted from an untrusted
+// manifest so a corrupt header cannot drive a huge allocation.
+const maxManifestShards = 1 << 16
+
+// shardEntry describes one shard's committed image file.
+type shardEntry struct {
+	size int64
+	hash [32]byte
+}
+
+// manifest is the decoded commit record.
+type manifest struct {
+	hseed  uint64
+	shards []shardEntry
+}
+
+// shardFileName returns the content-addressed name of shard i's image:
+// a pure function of (index, image bytes), so the directory listing
+// leaks nothing beyond the contents either.
+func shardFileName(i int, hash [32]byte) string {
+	return fmt.Sprintf("shard-%04d-%016x.img", i, binary.BigEndian.Uint64(hash[:8]))
+}
+
+// encode renders the manifest with its trailing checksum.
+func (m *manifest) encode() []byte {
+	buf := make([]byte, 0, 8+8+8+len(m.shards)*40+4)
+	buf = append(buf, manifestMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(m.shards)))
+	buf = binary.LittleEndian.AppendUint64(buf, m.hseed)
+	for _, e := range m.shards {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.size))
+		buf = append(buf, e.hash[:]...)
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// decodeManifest parses and verifies a manifest image.
+func decodeManifest(b []byte) (*manifest, error) {
+	if len(b) < 8+8+8+4 {
+		return nil, fmt.Errorf("durable: manifest too short (%d bytes)", len(b))
+	}
+	if string(b[:8]) != manifestMagic {
+		return nil, fmt.Errorf("durable: bad manifest magic %q", b[:8])
+	}
+	body, sum := b[:len(b)-4], binary.LittleEndian.Uint32(b[len(b)-4:])
+	if got := crc32.ChecksumIEEE(body); got != sum {
+		return nil, fmt.Errorf("durable: manifest checksum mismatch: stored %08x, computed %08x", sum, got)
+	}
+	nsh64 := binary.LittleEndian.Uint64(b[8:16])
+	if nsh64 < 1 || nsh64 > maxManifestShards || nsh64&(nsh64-1) != 0 {
+		return nil, fmt.Errorf("durable: implausible shard count %d in manifest", nsh64)
+	}
+	nsh := int(nsh64)
+	if want := 8 + 8 + 8 + nsh*40 + 4; len(b) != want {
+		return nil, fmt.Errorf("durable: manifest is %d bytes, want %d for %d shards", len(b), want, nsh)
+	}
+	m := &manifest{
+		hseed:  binary.LittleEndian.Uint64(b[16:24]),
+		shards: make([]shardEntry, nsh),
+	}
+	off := 24
+	for i := range m.shards {
+		size := int64(binary.LittleEndian.Uint64(b[off:]))
+		if size < 0 {
+			return nil, fmt.Errorf("durable: negative size for shard %d in manifest", i)
+		}
+		m.shards[i].size = size
+		copy(m.shards[i].hash[:], b[off+8:off+40])
+		off += 40
+	}
+	return m, nil
+}

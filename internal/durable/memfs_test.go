@@ -1,0 +1,118 @@
+package durable
+
+import (
+	"errors"
+	"io"
+	"testing"
+)
+
+// The crash model must be pessimistic: nothing is durable until the
+// right fsyncs happened, in the right order.
+func TestMemFSCrashSemantics(t *testing.T) {
+	// Each case lives in its own directory: SyncDir persists every
+	// entry of the directory it is called on, so mixing cases in one
+	// directory would let one case's fsync rescue another's file.
+	write := func(m *MemFS, dir, name, data string, syncFile, syncDir bool) {
+		t.Helper()
+		f, err := m.Create(dir + "/" + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte(data)); err != nil {
+			t.Fatal(err)
+		}
+		if syncFile {
+			if err := f.Sync(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		f.Close()
+		if syncDir {
+			if err := m.SyncDir(dir); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	read := func(m *MemFS, dir, name string) (string, bool) {
+		t.Helper()
+		f, err := m.Open(dir + "/" + name)
+		if err != nil {
+			return "", false
+		}
+		b, err := io.ReadAll(f)
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b), true
+	}
+
+	m := NewMemFS()
+	write(m, "d1", "lost", "xx", false, false)       // neither sync: gone
+	write(m, "d2", "named", "yy", false, true)       // dir synced, content not: empty
+	write(m, "d3", "full", "zz", true, true)         // both: survives intact
+	write(m, "d4", "contentonly", "ww", true, false) // content synced, name not: gone
+
+	c := m.Crash()
+	if _, ok := read(c, "d1", "lost"); ok {
+		t.Error("unsynced file survived the crash")
+	}
+	if _, ok := read(c, "d4", "contentonly"); ok {
+		t.Error("file with unsynced directory entry survived the crash")
+	}
+	if got, ok := read(c, "d2", "named"); !ok || got != "" {
+		t.Errorf("dir-synced/content-unsynced file = %q, %v; want empty file", got, ok)
+	}
+	if got, ok := read(c, "d3", "full"); !ok || got != "zz" {
+		t.Errorf("fully synced file = %q, %v; want \"zz\"", got, ok)
+	}
+
+	// Rename durability: until SyncDir, a crash rolls the name back.
+	write(m, "d", "a", "v1", true, true)
+	if err := m.Rename("d/a", "d/b"); err != nil {
+		t.Fatal(err)
+	}
+	c2 := m.Crash()
+	if _, ok := read(c2, "d", "b"); ok {
+		t.Error("un-dir-synced rename survived the crash")
+	}
+	if got, ok := read(c2, "d", "a"); !ok || got != "v1" {
+		t.Errorf("old name after crashed rename = %q, %v; want \"v1\"", got, ok)
+	}
+	if err := m.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	c3 := m.Crash()
+	if got, ok := read(c3, "d", "b"); !ok || got != "v1" {
+		t.Errorf("dir-synced rename lost: %q, %v", got, ok)
+	}
+	if _, ok := read(c3, "d", "a"); ok {
+		t.Error("old name survived a dir-synced rename")
+	}
+}
+
+func TestMemFSFailAfter(t *testing.T) {
+	m := NewMemFS()
+	f, err := m.Create("d/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	m.FailAfter(2) // next op succeeds, the one after fails
+	if _, err := m.Create("d/y"); err != nil {
+		t.Fatalf("op before the fault point failed: %v", err)
+	}
+	if _, err := m.Create("d/z"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("op at the fault point = %v, want ErrInjected", err)
+	}
+	// Halted: every later mutating op fails too, reads still work.
+	if err := m.SyncDir("d"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("op after the fault point = %v, want ErrInjected", err)
+	}
+	if _, err := m.Open("d/x"); err != nil {
+		t.Fatalf("read after halt failed: %v", err)
+	}
+	if _, err := m.List("d"); err != nil {
+		t.Fatalf("list after halt failed: %v", err)
+	}
+}

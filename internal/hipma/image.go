@@ -162,6 +162,11 @@ func ReadImage(r io.Reader, seed uint64, io2 *iomodel.Tracker) (*PMA, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("hipma: negative n %d in image", n)
 	}
+	// A plausibility ceiling keeps the geometry arithmetic below far
+	// from overflow on a hostile header; real images are nowhere near.
+	if n > 1<<48 {
+		return nil, fmt.Errorf("hipma: implausible n %d in image", n)
+	}
 	switch {
 	case n == 0 && nhat != 0, n == 1 && nhat != 1:
 		return nil, fmt.Errorf("hipma: Nhat %d invalid for n=%d", nhat, n)
@@ -178,16 +183,26 @@ func ReadImage(r io.Reader, seed uint64, io2 *iomodel.Tracker) (*PMA, error) {
 	p.nhat = nhat
 	p.h, p.leafSlots, p.cand = p.geometry(nhat)
 	ns := (1 << uint(p.h)) * p.leafSlots
-	p.slots = make([]Item, ns)
 	p.n = n
 
-	buf := make([]byte, 16)
-	for i := range p.slots {
-		if _, err := io.ReadFull(cr, buf); err != nil {
-			return nil, fmt.Errorf("hipma: reading slot %d: %w", i, err)
+	// The slot array is grown as bytes actually arrive rather than
+	// allocated to the header-declared size up front, so a corrupt or
+	// truncated image can never cost more memory than its own length
+	// (the fuzz targets feed exactly such images).
+	const slotChunk = 512
+	p.slots = make([]Item, 0, min(ns, slotChunk))
+	buf := make([]byte, 16*slotChunk)
+	for len(p.slots) < ns {
+		c := min(ns-len(p.slots), slotChunk)
+		if _, err := io.ReadFull(cr, buf[:16*c]); err != nil {
+			return nil, fmt.Errorf("hipma: reading slot %d: %w", len(p.slots), err)
 		}
-		p.slots[i].Key = int64(binary.LittleEndian.Uint64(buf[0:]))
-		p.slots[i].Val = int64(binary.LittleEndian.Uint64(buf[8:]))
+		for j := 0; j < c; j++ {
+			p.slots = append(p.slots, Item{
+				Key: int64(binary.LittleEndian.Uint64(buf[16*j:])),
+				Val: int64(binary.LittleEndian.Uint64(buf[16*j+8:])),
+			})
+		}
 	}
 	layout := veb.NewLayout(p.h + 1)
 	p.ranks = veb.NewTree(layout, int64(ns), io2)

@@ -59,6 +59,7 @@ func (s *Store) PutBatch(items []Item) (inserted int) {
 				inserted++
 			}
 		}
+		c.version++
 		c.mu.Unlock()
 	}
 	return inserted
@@ -103,10 +104,14 @@ func (s *Store) DeleteBatch(keys []int64) (deleted int) {
 		}
 		c := &s.cells[g]
 		c.mu.Lock()
+		before := deleted
 		for _, i := range p.order[lo:hi] {
 			if c.dict.Delete(keys[i]) {
 				deleted++
 			}
+		}
+		if deleted > before {
+			c.version++
 		}
 		c.mu.Unlock()
 	}

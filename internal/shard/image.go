@@ -33,8 +33,9 @@ import (
 const storeMagic = "ASHARD01"
 
 // maxImageShards bounds the shard count accepted from an untrusted
-// image, so a corrupt header cannot drive a huge allocation.
-const maxImageShards = 1 << 20
+// image, so a corrupt header cannot drive a huge allocation (the cell
+// slice is allocated before any shard data is read).
+const maxImageShards = 1 << 16
 
 // canonSeed derives shard i's canonical-image seed from the persisted
 // routing seed, so the canonical image survives save/load round trips.
@@ -106,6 +107,59 @@ func (s *Store) WriteShard(i int, w io.Writer) (int64, error) {
 	c.rlock()
 	defer c.runlock()
 	return canonicalShardImage(c, s.cfg, canonSeed(s.hseed, i), w)
+}
+
+// SnapshotShard writes shard i's canonical dictionary image to w, like
+// WriteShard, and additionally returns the shard's version counter at
+// the moment of the snapshot. The version and the image are captured
+// under the same lock hold, so a later ShardVersion(i) == version
+// guarantees the image still describes the shard's exact contents —
+// the contract an incremental checkpointer needs.
+func (s *Store) SnapshotShard(i int, w io.Writer) (version uint64, written int64, err error) {
+	if i < 0 || i >= len(s.cells) {
+		return 0, 0, fmt.Errorf("shard: SnapshotShard(%d) out of range, %d shards", i, len(s.cells))
+	}
+	c := &s.cells[i]
+	c.rlock()
+	defer c.runlock()
+	version = c.version
+	written, err = canonicalShardImage(c, s.cfg, canonSeed(s.hseed, i), w)
+	return version, written, err
+}
+
+// AssembleStore rebuilds a store from one canonical dictionary image
+// per shard (as produced by WriteShard or SnapshotShard) plus the
+// persisted routing seed. It is the recovery path of the durable layer:
+// the manifest carries hseed and the shard files carry the images.
+// len(images) must be a power of two >= 1; trackers must be nil or hold
+// one tracker per shard. The caller's seed supplies fresh randomness
+// for future operations. Shard and routing invariants are verified.
+func AssembleStore(hseed uint64, images []io.Reader, seed uint64, trackers []*iomodel.Tracker) (*Store, error) {
+	nsh := len(images)
+	if nsh < 1 || nsh&(nsh-1) != 0 {
+		return nil, fmt.Errorf("shard: %d shard images is not a power of two >= 1", nsh)
+	}
+	if trackers != nil && len(trackers) != nsh {
+		return nil, fmt.Errorf("shard: %d trackers for %d shard images", len(trackers), nsh)
+	}
+	s := &Store{mask: uint64(nsh - 1), hseed: hseed, cells: make([]cell, nsh)}
+	for i, r := range images {
+		var t *iomodel.Tracker
+		if trackers != nil {
+			t = trackers[i]
+		}
+		d, err := cobt.ReadDictionary(r, shardSeed(seed, i), t)
+		if err != nil {
+			return nil, fmt.Errorf("shard: shard %d: %w", i, err)
+		}
+		s.cells[i].dict = d
+		s.cells[i].io = t
+	}
+	s.cfg = s.cells[0].dict.PMA().Config()
+	if err := s.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("shard: corrupt shard images: %w", err)
+	}
+	return s, nil
 }
 
 // ReadStore deserializes a store image produced by WriteTo. The routing

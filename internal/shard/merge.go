@@ -1,49 +1,91 @@
 package shard
 
+import "math"
+
 // Cross-shard ordered iteration. The hash routing scatters any key
 // interval across all shards, so Range and Ascend query every shard and
 // merge the per-shard sorted streams with a k-way binary heap. Keys are
 // unique across shards (each key routes to exactly one), so the merge
 // needs no tie-breaking.
+//
+// Locking: Range and Ascend do NOT hold all shard locks for the
+// duration of the scan, and never hold more than one lock at a time.
+// Range copies each shard's [lo,hi] run under that shard's own brief
+// read lock, then merges the copies with no locks held. Ascend streams
+// each shard in fixed-size chunks, re-taking the shard's lock per
+// refill and continuing strictly above the last key seen, so an early-
+// exiting caller pays O(shards·chunk), not O(N), and a long scan never
+// blocks writers on unrelated shards
+// (BenchmarkStoreWriterLatencyDuringScan at the repo root measures the
+// writer-latency win). The price is snapshot granularity: Range is
+// per-shard consistent, Ascend per-chunk consistent; neither is a
+// cross-shard atomic cut. Callers that need one should use WriteTo,
+// which still holds every lock.
 
-// cursor walks one shard's items in rank order, fetching them in chunks
-// through the underlying PMA (O(k/B) I/Os per chunk, Theorem 1).
-type cursor struct {
-	c    *cell
-	n    int // shard length at snapshot time
-	next int // next rank to fetch into buf
-	buf  []Item
-	pos  int // index of the current item in buf
+// runChunk is the Ascend refill size, in items.
+const runChunk = 512
+
+// run is one shard's contribution to a merge: either a fully copied
+// window (Range) or a lazily refilled chunk stream (Ascend).
+type run struct {
+	c       *cell // non-nil: refill lazily from this shard; nil: buf is complete
+	buf     []Item
+	pos     int
+	last    int64 // largest key fetched so far (valid once started)
+	started bool
 }
 
-const cursorChunk = 512
+func (r *run) head() Item { return r.buf[r.pos] }
 
-// head returns the cursor's current item; valid only after a successful
-// refill/advance.
-func (cu *cursor) head() Item { return cu.buf[cu.pos] }
-
-// advance moves to the next item, refilling the chunk buffer as needed.
-// It reports whether a current item exists.
-func (cu *cursor) advance() bool {
-	cu.pos++
-	if cu.pos < len(cu.buf) {
-		return true
-	}
-	if cu.next >= cu.n {
+// refill fetches the next chunk of keys strictly above r.last under the
+// shard's own brief read lock and reports whether a head item exists.
+// Anchoring on the last key (rather than a remembered rank) keeps the
+// stream strictly increasing and duplicate-free even when the shard
+// mutates between refills.
+func (r *run) refill() bool {
+	c := r.c
+	if c == nil {
 		return false
 	}
-	j := cu.next + cursorChunk - 1
-	if j >= cu.n {
-		j = cu.n - 1
+	var lo int
+	c.rlock()
+	if !r.started {
+		r.started = true
+		lo = 0
+	} else if r.last == math.MaxInt64 {
+		lo = c.dict.Len() // nothing can follow the maximum key
+	} else {
+		lo = c.dict.RankOf(r.last + 1)
 	}
-	cu.buf = cu.c.dict.PMA().Query(cu.next, j, cu.buf[:0])
-	cu.next = j + 1
-	cu.pos = 0
-	return len(cu.buf) > 0
+	n := c.dict.Len()
+	if lo >= n {
+		c.runlock()
+		r.c = nil // drained
+		return false
+	}
+	hi := lo + runChunk - 1
+	if hi >= n {
+		hi = n - 1
+	}
+	r.buf = c.dict.PMA().Query(lo, hi, r.buf[:0])
+	c.runlock()
+	r.pos = 0
+	r.last = r.buf[len(r.buf)-1].Key
+	return true
 }
 
-// heapify/siftDown maintain a min-heap of cursors ordered by head key.
-func siftDown(h []*cursor, i int) {
+// advance moves to the next item, refilling lazily for shard-backed
+// runs. It reports whether a current item exists.
+func (r *run) advance() bool {
+	r.pos++
+	if r.pos < len(r.buf) {
+		return true
+	}
+	return r.refill()
+}
+
+// siftDown maintains a min-heap of runs ordered by head key.
+func siftDown(h []*run, i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		m := i
@@ -61,16 +103,9 @@ func siftDown(h []*cursor, i int) {
 	}
 }
 
-// merge drains the cursors in ascending key order, calling fn on every
-// item until fn returns false. Callers must hold the relevant locks.
-func merge(cursors []*cursor, fn func(Item) bool) {
-	h := cursors[:0]
-	for _, cu := range cursors {
-		cu.pos = -1 // advance() lands on rank 0
-		if cu.advance() {
-			h = append(h, cu)
-		}
-	}
+// merge drains the runs in ascending key order, calling fn on every
+// item until fn returns false. Runs must be non-empty (have a head).
+func merge(h []*run, fn func(Item) bool) {
 	for i := len(h)/2 - 1; i >= 0; i-- {
 		siftDown(h, i)
 	}
@@ -90,42 +125,26 @@ func merge(cursors []*cursor, fn func(Item) bool) {
 	}
 }
 
-// newCursors builds one chunked cursor per non-empty shard, each
-// starting at rank 0. Callers must hold all shard locks.
-func (s *Store) newCursors() []*cursor {
-	cursors := make([]*cursor, 0, len(s.cells))
-	for i := range s.cells {
-		c := &s.cells[i]
-		if c.dict.Len() == 0 {
-			continue
-		}
-		cursors = append(cursors, &cursor{c: c, n: c.dict.Len()})
-	}
-	return cursors
-}
-
 // Range appends all items with lo <= key <= hi to out, in ascending key
-// order, merged across shards. The per-shard runs are collected with
-// every shard's lock held, so the result is an atomic snapshot; the
-// merge itself runs on the copied runs after the locks are released.
+// order, merged across shards. Each shard's run is copied under its own
+// brief read lock (O(log_B N + k_i/B) I/Os, Theorem 2), so writers on
+// other shards are never blocked; the merged result is per-shard
+// consistent, not a cross-shard atomic cut.
 func (s *Store) Range(lo, hi int64, out []Item) []Item {
 	if lo > hi {
 		return out
 	}
-	s.lockAllShared()
-	// Collect per-shard sorted runs first (O(log_B N + k_i/B) I/Os each,
-	// Theorem 2), then merge the k sorted runs with the heap.
-	cursors := make([]*cursor, 0, len(s.cells))
+	runs := make([]*run, 0, len(s.cells))
 	for i := range s.cells {
-		run := s.cells[i].dict.Range(lo, hi, nil)
-		if len(run) > 0 {
-			// A pre-filled cursor: the run is already in memory, so n
-			// and next mark it fully fetched.
-			cursors = append(cursors, &cursor{buf: run, n: len(run), next: len(run)})
+		c := &s.cells[i]
+		c.rlock()
+		items := c.dict.Range(lo, hi, nil)
+		c.runlock()
+		if len(items) > 0 {
+			runs = append(runs, &run{buf: items})
 		}
 	}
-	s.unlockAllShared()
-	merge(cursors, func(it Item) bool {
+	merge(runs, func(it Item) bool {
 		out = append(out, it)
 		return true
 	})
@@ -133,12 +152,22 @@ func (s *Store) Range(lo, hi int64, out []Item) []Item {
 }
 
 // Ascend calls fn on every item in ascending key order, merged across
-// shards, stopping early if fn returns false. All shard locks are held
-// until Ascend returns: fn must not call back into the store.
+// shards, stopping early if fn returns false. Shards are streamed in
+// runChunk-item chunks, each fetched under its shard's own brief read
+// lock, so memory stays O(shards·chunk) and an early stop costs the
+// same; no locks are held while fn runs, so fn may call back into the
+// store. The iteration is per-chunk consistent: items are yielded in
+// strictly increasing key order, but concurrent mutations may or may
+// not be observed.
 func (s *Store) Ascend(fn func(Item) bool) {
-	s.lockAllShared()
-	defer s.unlockAllShared()
-	merge(s.newCursors(), fn)
+	runs := make([]*run, 0, len(s.cells))
+	for i := range s.cells {
+		r := &run{c: &s.cells[i]}
+		if r.refill() {
+			runs = append(runs, r)
+		}
+	}
+	merge(runs, fn)
 }
 
 // Min returns the smallest item across all shards. ok is false when the

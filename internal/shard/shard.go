@@ -19,14 +19,27 @@
 //   - Point ops (Put/Get/Has/Delete) lock exactly one shard.
 //   - Batch ops (PutBatch/GetBatch/DeleteBatch) group keys by shard and
 //     take each shard's lock exactly once, in shard order.
-//   - Snapshot ops (Range, Ascend, Len, WriteTo, Stats, CheckInvariants)
+//   - Scan ops never hold more than one shard lock at a time: Range
+//     copies each shard's window under that shard's own brief read
+//     lock; Ascend streams each shard in fixed-size chunks, re-locking
+//     per refill. A long scan never blocks writers on unrelated shards.
+//     Range is per-shard consistent, Ascend per-chunk consistent;
+//     neither is a cross-shard atomic cut.
+//   - Whole-store ops (Len, WriteTo, Stats, CheckInvariants, Min, Max)
 //     hold every shard's lock simultaneously — acquired in shard order,
 //     so they cannot deadlock against each other or against point ops —
-//     and therefore observe an atomic cut across shards. (Range releases
-//     the locks before merging its already-copied per-shard runs.)
+//     and therefore observe an atomic cut across shards.
 //   - Shards with a non-nil iomodel.Tracker serialize reads too (the
 //     tracker's LRU cache mutates on every touch), so DAM accounting is
 //     exact; run with nil trackers for maximum read parallelism.
+//
+// Every shard carries a version counter, bumped under its write lock by
+// every operation that may have changed the shard's contents. A
+// checkpointer (repro/internal/durable) pairs ShardVersion with
+// SnapshotShard to persist only the shards that changed since the last
+// checkpoint — incrementality stays history independent because each
+// shard's canonical image is a pure function of (contents, seed), never
+// of which operations dirtied it.
 package shard
 
 import (
@@ -60,6 +73,10 @@ type cell struct {
 	mu   sync.RWMutex
 	dict *cobt.Dictionary
 	io   *iomodel.Tracker
+	// version counts content mutations, bumped under mu by every
+	// operation that may have changed the dictionary. Readers take at
+	// least the shared lock.
+	version uint64
 }
 
 // rlock takes the shard's lock for a read-only dictionary operation.
@@ -155,12 +172,32 @@ func (s *Store) ShardOf(key int64) int {
 // NumShards returns the shard count.
 func (s *Store) NumShards() int { return len(s.cells) }
 
+// RoutingSeed returns the store's mixed routing seed. It is part of the
+// persistent identity of the store: shard assignment and the canonical
+// per-shard image seeds are both derived from it, so a durable layer
+// must persist it to keep lookups routing to the shards that hold the
+// keys and to keep checkpoint images canonical across reopenings.
+func (s *Store) RoutingSeed() uint64 { return s.hseed }
+
+// ShardVersion returns shard i's modification counter: it advances on
+// every operation that may have changed the shard's contents, and is
+// stable otherwise. Compare against the value returned by SnapshotShard
+// to decide whether a persisted image of the shard is stale.
+func (s *Store) ShardVersion(i int) uint64 {
+	c := &s.cells[i]
+	c.rlock()
+	v := c.version
+	c.runlock()
+	return v
+}
+
 // Put inserts or updates the value for key and reports whether the key
 // was newly inserted. It locks one shard.
 func (s *Store) Put(key, val int64) (inserted bool) {
 	c := &s.cells[s.ShardOf(key)]
 	c.mu.Lock()
 	inserted = c.dict.Put(key, val)
+	c.version++
 	c.mu.Unlock()
 	return inserted
 }
@@ -190,6 +227,9 @@ func (s *Store) Delete(key int64) bool {
 	c := &s.cells[s.ShardOf(key)]
 	c.mu.Lock()
 	deleted := c.dict.Delete(key)
+	if deleted {
+		c.version++
+	}
 	c.mu.Unlock()
 	return deleted
 }
