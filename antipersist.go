@@ -46,6 +46,12 @@
 // just canonical per-shard checkpoint images committed by atomic
 // rename, incrementally rewritten for dirty shards only, recovered and
 // verified on Open.
+//
+// For serving a DB over the network, cmd/hidbd is the TCP daemon
+// (pipelined binary protocol, server-side write coalescing; see
+// docs/PROTOCOL.md) and repro/client is its Go client. The layer
+// stack, the invariant each layer owns, and the threat model are
+// documented in ARCHITECTURE.md and the README.
 package antipersist
 
 import (

@@ -1,0 +1,166 @@
+package client_test
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/durable"
+	"repro/internal/proto"
+	"repro/internal/server"
+)
+
+func startServer(t *testing.T) (addr string, stop func()) {
+	t.Helper()
+	db, err := durable.Open("db", &durable.Options{
+		Shards: 4, Seed: 7, NoBackground: true, FS: durable.NewMemFS(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(db, server.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() {
+		srv.Close()
+		db.Close()
+	}
+}
+
+// TestPool drives the pooled Client concurrently and checks that the
+// pool spreads work across its connections.
+func TestPool(t *testing.T) {
+	addr, stop := startServer(t)
+	defer stop()
+	cl, err := client.Open(addr, 3, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for i := int64(0); i < 50; i++ {
+				k := base*100 + i
+				if _, err := cl.Put(k, k); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if n, err := cl.Len(); err != nil || n != 400 {
+		t.Fatalf("len = %d (%v), want 400", n, err)
+	}
+	vals, ok, err := cl.GetBatch([]int64{0, 101, 999999})
+	if err != nil || !ok[0] || !ok[1] || ok[2] || vals[1] != 101 {
+		t.Fatalf("get batch: %v %v %v", vals, ok, err)
+	}
+	if cps, err := cl.Checkpoint(); err != nil || cps == 0 {
+		t.Fatalf("checkpoint: %d %v", cps, err)
+	}
+	if err := cl.Ping([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Distinct pool connections really exist: Conn() cycles.
+	c1, c2 := cl.Conn(), cl.Conn()
+	if c1 == c2 {
+		t.Fatal("pool of 3 returned the same conn twice in a row")
+	}
+}
+
+// TestConnClosedErrors checks that operations on a dead connection
+// surface ErrConnClosed rather than hanging.
+func TestConnClosedErrors(t *testing.T) {
+	addr, stop := startServer(t)
+	defer stop()
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if _, _, err := c.Get(1); !errors.Is(err, client.ErrConnClosed) {
+		t.Fatalf("get on closed conn: %v", err)
+	}
+	if _, err := c.Put(2, 2); !errors.Is(err, client.ErrConnClosed) {
+		t.Fatalf("put on closed conn: %v", err)
+	}
+}
+
+// TestServerGoneMidFlight checks that requests in flight when the
+// server dies fail with an error instead of hanging forever.
+func TestServerGoneMidFlight(t *testing.T) {
+	addr, stop := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Put(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, _, err := c.Get(1); err != nil {
+			break // the dead conn surfaced
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("requests kept succeeding after server close")
+		}
+	}
+}
+
+// TestRemoteErrorSurface checks that a server-side rejection arrives as
+// a typed RemoteError.
+func TestRemoteErrorSurface(t *testing.T) {
+	db, err := durable.Open("db", &durable.Options{
+		Shards: 4, Seed: 7, NoBackground: true, FS: durable.NewMemFS(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	srv := server.New(db, server.Config{MaxConns: 1})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	c1, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if err := c1.Ping(nil); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	err = c2.Ping(nil)
+	var re *proto.RemoteError
+	if !errors.As(err, &re) || re.Code != proto.ErrCodeBusy {
+		t.Fatalf("over-limit conn: %v", err)
+	}
+}

@@ -1,0 +1,338 @@
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/proto"
+)
+
+// Item is a key plus its value, the element type of batch and range
+// operations. Values are fixed 8-byte integers — the data model of the
+// underlying history-independent structures.
+type Item = proto.Item
+
+// ErrConnClosed is returned by operations on a closed connection (or
+// one whose peer went away). The detailed cause is wrapped.
+var ErrConnClosed = errors.New("client: connection closed")
+
+// Conn is one pipelined protocol connection. It is safe for concurrent
+// use: every method may be called from any goroutine, and concurrent
+// calls share the connection as in-flight pipelined requests.
+type Conn struct {
+	nc     net.Conn
+	nextID atomic.Uint64
+
+	wch chan []byte // encoded request frames to the writer
+
+	mu      sync.Mutex
+	pending map[uint64]chan proto.Frame
+	err     error // set once broken; guards future calls
+	closed  bool
+
+	done    chan struct{} // closed when the reader exits
+	timeout time.Duration
+}
+
+// Dial connects to a hidbd server at addr ("host:port").
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(nc), nil
+}
+
+// DialTimeout is Dial with a connect timeout, and sets the same value
+// as the per-request reply timeout (0: none).
+func DialTimeout(addr string, d time.Duration) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, d)
+	if err != nil {
+		return nil, err
+	}
+	c := NewConn(nc)
+	c.timeout = d
+	return c, nil
+}
+
+// NewConn wraps an established net.Conn (a TCP conn, one end of a
+// net.Pipe, ...) in a protocol connection and starts its reader and
+// writer goroutines.
+func NewConn(nc net.Conn) *Conn {
+	c := &Conn{
+		nc:      nc,
+		wch:     make(chan []byte, 256),
+		pending: map[uint64]chan proto.Frame{},
+		done:    make(chan struct{}),
+	}
+	go c.writeLoop()
+	go c.readLoop()
+	return c
+}
+
+// Close tears the connection down. In-flight requests fail with
+// ErrConnClosed.
+func (c *Conn) Close() error {
+	c.fail(ErrConnClosed)
+	return nil
+}
+
+// fail marks the connection broken, closes the socket, and fails every
+// in-flight request. First cause wins.
+func (c *Conn) fail(cause error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.err = cause
+	waiters := c.pending
+	c.pending = map[uint64]chan proto.Frame{}
+	c.mu.Unlock()
+	c.nc.Close()
+	for _, ch := range waiters {
+		close(ch) // receivers translate a closed channel into c.err
+	}
+}
+
+// writeLoop serializes request frames, flushing when the queue goes
+// idle so concurrent callers share syscalls.
+func (c *Conn) writeLoop() {
+	bw := bufio.NewWriterSize(c.nc, 64<<10)
+	for {
+		var buf []byte
+		select {
+		case buf = <-c.wch:
+		case <-c.done:
+			return // conn dead; senders unblock on done too
+		}
+		_, err := bw.Write(buf)
+	more:
+		for err == nil {
+			select {
+			case buf2 := <-c.wch:
+				_, err = bw.Write(buf2)
+			default:
+				break more
+			}
+		}
+		if err == nil {
+			err = bw.Flush()
+		}
+		if err != nil {
+			c.fail(fmt.Errorf("%w: write: %w", ErrConnClosed, err))
+		}
+	}
+}
+
+// readLoop routes replies to their waiting callers by request id.
+func (c *Conn) readLoop() {
+	defer close(c.done)
+	br := bufio.NewReaderSize(c.nc, 64<<10)
+	for {
+		f, err := proto.ReadFrame(br, proto.MaxPayload)
+		if err != nil {
+			c.fail(fmt.Errorf("%w: read: %w", ErrConnClosed, err))
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[f.ID]
+		delete(c.pending, f.ID)
+		c.mu.Unlock()
+		if ok {
+			ch <- f // buffered; never blocks
+			continue
+		}
+		// No waiting caller. An error frame with id 0 addresses the
+		// connection itself (the server rejected us: busy, shutdown, a
+		// framing violation we made — see docs/PROTOCOL.md) — surface
+		// it as the connection's terminal error. Anything else,
+		// including a per-request error frame whose caller already
+		// timed out and deregistered, is a reply to an abandoned
+		// request; drop it and keep the stream alive.
+		if f.Op == proto.OpError && f.ID == 0 {
+			if code, msg, derr := proto.DecodeError(f.Payload); derr == nil {
+				c.fail(&proto.RemoteError{Code: code, Msg: msg})
+				return
+			}
+		}
+	}
+}
+
+// call sends one request and waits for its reply, enforcing the
+// version and error-frame conventions.
+func (c *Conn) call(op byte, payload []byte) (proto.Frame, error) {
+	id := c.nextID.Add(1)
+	ch := make(chan proto.Frame, 1)
+
+	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		return proto.Frame{}, err
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	buf := proto.AppendFrame(nil, proto.Frame{Ver: proto.Version, Op: op, ID: id, Payload: payload})
+	select {
+	case c.wch <- buf:
+	case <-c.done:
+		return proto.Frame{}, c.lastErr()
+	}
+
+	var timeout <-chan time.Time
+	if c.timeout > 0 {
+		t := time.NewTimer(c.timeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case f, ok := <-ch:
+		if !ok {
+			return proto.Frame{}, c.lastErr()
+		}
+		if f.Op == proto.OpError {
+			code, msg, err := proto.DecodeError(f.Payload)
+			if err != nil {
+				return proto.Frame{}, fmt.Errorf("client: bad error frame: %w", err)
+			}
+			return proto.Frame{}, &proto.RemoteError{Code: code, Msg: msg}
+		}
+		if f.Op != op|proto.FlagReply {
+			return proto.Frame{}, fmt.Errorf("client: reply opcode %s to request %s",
+				proto.OpName(f.Op), proto.OpName(op))
+		}
+		return f, nil
+	case <-timeout:
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return proto.Frame{}, fmt.Errorf("client: %s timed out after %v", proto.OpName(op), c.timeout)
+	}
+}
+
+func (c *Conn) lastErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	return ErrConnClosed
+}
+
+// Get returns the value stored for key and whether it exists.
+func (c *Conn) Get(key int64) (val int64, ok bool, err error) {
+	f, err := c.call(proto.OpGet, proto.AppendKey(nil, key))
+	if err != nil {
+		return 0, false, err
+	}
+	return proto.DecodeFound(f.Payload)
+}
+
+// Put upserts the value for key and reports whether the key was newly
+// inserted.
+func (c *Conn) Put(key, val int64) (inserted bool, err error) {
+	f, err := c.call(proto.OpPut, proto.AppendKeyVal(nil, key, val))
+	if err != nil {
+		return false, err
+	}
+	return proto.DecodeBool(f.Payload)
+}
+
+// Delete removes key and reports whether it was present.
+func (c *Conn) Delete(key int64) (deleted bool, err error) {
+	f, err := c.call(proto.OpDel, proto.AppendKey(nil, key))
+	if err != nil {
+		return false, err
+	}
+	return proto.DecodeBool(f.Payload)
+}
+
+// PutBatch upserts every item in one request and returns the number of
+// keys newly inserted. Duplicate keys apply in batch order.
+func (c *Conn) PutBatch(items []Item) (inserted int, err error) {
+	f, err := c.call(proto.OpBatch, proto.AppendBatchPut(nil, items))
+	if err != nil {
+		return 0, err
+	}
+	n, err := proto.DecodeU32(f.Payload)
+	return int(n), err
+}
+
+// GetBatch looks up every key in one request; values and presence
+// flags align with keys. len(keys) must not exceed proto.MaxBatchGet
+// (the reply-size cap, ~116k keys); split larger lookups.
+func (c *Conn) GetBatch(keys []int64) (vals []int64, ok []bool, err error) {
+	if len(keys) > proto.MaxBatchGet {
+		return nil, nil, fmt.Errorf("client: batch-get of %d keys exceeds the %d-key reply cap",
+			len(keys), proto.MaxBatchGet)
+	}
+	f, err := c.call(proto.OpBatch, proto.AppendBatchKeys(nil, proto.BatchGet, keys))
+	if err != nil {
+		return nil, nil, err
+	}
+	return proto.DecodeBatchGetReply(f.Payload)
+}
+
+// DeleteBatch removes every key in one request and returns the number
+// that were present.
+func (c *Conn) DeleteBatch(keys []int64) (deleted int, err error) {
+	f, err := c.call(proto.OpBatch, proto.AppendBatchKeys(nil, proto.BatchDel, keys))
+	if err != nil {
+		return 0, err
+	}
+	n, err := proto.DecodeU32(f.Payload)
+	return int(n), err
+}
+
+// Range returns up to max items with lo <= key <= hi in ascending key
+// order (max 0: the server's cap). more reports that the scan was
+// truncated; resume with lo = last key + 1.
+func (c *Conn) Range(lo, hi int64, max int) (items []Item, more bool, err error) {
+	f, err := c.call(proto.OpRange, proto.AppendRangeReq(nil, lo, hi, uint32(max)))
+	if err != nil {
+		return nil, false, err
+	}
+	return proto.DecodeRangeReply(f.Payload)
+}
+
+// Len returns the number of keys in the database.
+func (c *Conn) Len() (int, error) {
+	f, err := c.call(proto.OpLen, nil)
+	if err != nil {
+		return 0, err
+	}
+	n, err := proto.DecodeU64(f.Payload)
+	return int(n), err
+}
+
+// Checkpoint commits a checkpoint and returns the server's total
+// committed-checkpoint count. It is a durability barrier for this
+// connection: every previously acknowledged operation is on disk when
+// it returns.
+func (c *Conn) Checkpoint() (uint64, error) {
+	f, err := c.call(proto.OpCheckpoint, nil)
+	if err != nil {
+		return 0, err
+	}
+	return proto.DecodeU64(f.Payload)
+}
+
+// Ping round-trips payload (may be nil) through the server.
+func (c *Conn) Ping(payload []byte) error {
+	f, err := c.call(proto.OpPing, payload)
+	if err != nil {
+		return err
+	}
+	if string(f.Payload) != string(payload) {
+		return fmt.Errorf("client: ping echoed %d bytes, sent %d", len(f.Payload), len(payload))
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+// Package client is the Go client for hidbd, the network server over
+// the durable history-independent database (see repro/internal/server
+// and cmd/hidbd). It speaks the length-prefixed binary protocol of
+// repro/internal/proto, documented in docs/PROTOCOL.md.
+//
+// Conn is one pipelined connection: any number of goroutines may issue
+// requests on it concurrently, each request gets a fresh id, and a
+// dedicated reader routes every reply — which may arrive out of request
+// order — back to its caller. A dedicated writer coalesces concurrent
+// requests into single flushes, so pipelining costs one syscall per
+// burst, not per request. Client is a fixed-size pool of Conns with the
+// same method set, spreading callers round-robin when one connection's
+// reply stream would otherwise serialize them.
+//
+// Server-side ordering is program order per connection: a request
+// issued after a reply was received is ordered after it, and a
+// pipelined read is ordered after the same connection's in-flight
+// writes. Checkpoint is a durability barrier: when it returns, every
+// operation this connection has had acknowledged is on disk.
+package client

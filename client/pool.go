@@ -1,0 +1,93 @@
+package client
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Client is a fixed-size pool of pipelined Conns to one server,
+// spreading requests round-robin. One Conn already pipelines, but its
+// replies arrive on a single reader goroutine; a small pool keeps many
+// CPU-bound callers from serializing behind it. All methods are safe
+// for concurrent use.
+type Client struct {
+	conns []*Conn
+	next  atomic.Uint64
+}
+
+// Open dials nconns connections (minimum 1) to addr. timeout bounds
+// each dial and each request's reply wait (0: none).
+func Open(addr string, nconns int, timeout time.Duration) (*Client, error) {
+	if nconns < 1 {
+		nconns = 1
+	}
+	cl := &Client{conns: make([]*Conn, nconns)}
+	for i := range cl.conns {
+		c, err := DialTimeout(addr, timeout)
+		if err != nil {
+			cl.Close()
+			return nil, fmt.Errorf("client: conn %d/%d: %w", i+1, nconns, err)
+		}
+		cl.conns[i] = c
+	}
+	return cl, nil
+}
+
+// Conn returns one of the pool's connections, round-robin. Use it when
+// an operation sequence needs the per-connection ordering guarantee
+// (e.g. a put then a get that must observe it, without waiting for the
+// put reply on the same goroutine).
+func (cl *Client) Conn() *Conn {
+	return cl.conns[cl.next.Add(1)%uint64(len(cl.conns))]
+}
+
+// Close closes every connection in the pool.
+func (cl *Client) Close() error {
+	for _, c := range cl.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+	return nil
+}
+
+// Get returns the value stored for key and whether it exists.
+func (cl *Client) Get(key int64) (int64, bool, error) { return cl.Conn().Get(key) }
+
+// Put upserts the value for key and reports whether it was newly
+// inserted.
+func (cl *Client) Put(key, val int64) (bool, error) { return cl.Conn().Put(key, val) }
+
+// Delete removes key and reports whether it was present.
+func (cl *Client) Delete(key int64) (bool, error) { return cl.Conn().Delete(key) }
+
+// PutBatch upserts every item in one request and returns the number of
+// keys newly inserted.
+func (cl *Client) PutBatch(items []Item) (int, error) { return cl.Conn().PutBatch(items) }
+
+// GetBatch looks up every key in one request; values and presence
+// flags align with keys.
+func (cl *Client) GetBatch(keys []int64) ([]int64, []bool, error) { return cl.Conn().GetBatch(keys) }
+
+// DeleteBatch removes every key in one request and returns the number
+// that were present.
+func (cl *Client) DeleteBatch(keys []int64) (int, error) { return cl.Conn().DeleteBatch(keys) }
+
+// Range returns up to max items with lo <= key <= hi in ascending key
+// order; more reports truncation (resume with lo = last key + 1).
+func (cl *Client) Range(lo, hi int64, max int) ([]Item, bool, error) {
+	return cl.Conn().Range(lo, hi, max)
+}
+
+// Len returns the number of keys in the database.
+func (cl *Client) Len() (int, error) { return cl.Conn().Len() }
+
+// Checkpoint commits a checkpoint; when it returns, every operation
+// acknowledged on the chosen connection is on disk. For a barrier over
+// operations issued through the whole pool, checkpoint after the
+// operations' replies have been received.
+func (cl *Client) Checkpoint() (uint64, error) { return cl.Conn().Checkpoint() }
+
+// Ping round-trips a payload through the server on one connection.
+func (cl *Client) Ping(payload []byte) error { return cl.Conn().Ping(payload) }

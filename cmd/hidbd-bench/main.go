@@ -1,0 +1,253 @@
+// hidbd-bench is a closed-loop load generator for hidbd: every worker
+// issues one request, waits for its reply, and immediately issues the
+// next, so offered load self-regulates to the server's capacity.
+// Concurrency is conns × depth: -conns pipelined connections, each
+// shared by -depth workers, which is exactly how the protocol's
+// request-id pipelining is meant to be used.
+//
+// Usage:
+//
+//	hidbd-bench [-addr HOST:PORT] [-conns 8] [-depth 16] [-read-frac 0.9]
+//	            [-keys 100000] [-batch 0] [-duration 5s] [-min-ops 1] [-json]
+//
+// With no -addr, the bench self-hosts: it starts an in-process hidbd
+// server over a fresh temporary directory on a loopback port, runs the
+// load over real TCP, and tears everything down — one command for a
+// smoke run (CI uses -duration 1s -json). Values are fixed 8-byte
+// integers end to end; that is the store's data model (the paper's
+// structures hold int64 pairs), so there is no -value-size knob to lie
+// with. -batch n switches workers from single ops to n-key batch
+// requests, measuring the wire-level batching win; ops counts keys, not
+// requests.
+//
+// The process exits nonzero if total completed ops fall below -min-ops,
+// so a wedged server fails loudly in CI.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	antipersist "repro"
+	"repro/client"
+	"repro/internal/server"
+)
+
+type result struct {
+	Addr       string  `json:"addr"`
+	SelfHosted bool    `json:"self_hosted"`
+	Conns      int     `json:"conns"`
+	Depth      int     `json:"depth"`
+	ReadFrac   float64 `json:"read_frac"`
+	Keys       int     `json:"key_space"`
+	Batch      int     `json:"batch"`
+	DurationMS float64 `json:"duration_ms"`
+	Ops        uint64  `json:"ops"`
+	Reads      uint64  `json:"reads"`
+	Writes     uint64  `json:"writes"`
+	Errors     uint64  `json:"errors"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	P50us      float64 `json:"p50_us"`
+	P99us      float64 `json:"p99_us"`
+	MaxUS      float64 `json:"max_us"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	GoVersion  string  `json:"go_version"`
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "server address; empty self-hosts an in-process hidbd")
+		conns    = flag.Int("conns", 8, "pipelined connections")
+		depth    = flag.Int("depth", 16, "workers (in-flight requests) per connection")
+		readFrac = flag.Float64("read-frac", 0.9, "fraction of ops that are reads")
+		keys     = flag.Int("keys", 100_000, "key space size")
+		batch    = flag.Int("batch", 0, "use n-key batch requests instead of single ops (0: single)")
+		duration = flag.Duration("duration", 5*time.Second, "measurement window")
+		minOps   = flag.Uint64("min-ops", 1, "exit nonzero below this many completed ops")
+		jsonOut  = flag.Bool("json", false, "emit one JSON document instead of text")
+	)
+	flag.Parse()
+
+	res := result{
+		Conns: *conns, Depth: *depth, ReadFrac: *readFrac, Keys: *keys, Batch: *batch,
+		GoMaxProcs: runtime.GOMAXPROCS(0), GoVersion: runtime.Version(),
+	}
+
+	target := *addr
+	var stopServer func()
+	if target == "" {
+		res.SelfHosted = true
+		var err error
+		target, stopServer, err = selfHost()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hidbd-bench: self-host: %v\n", err)
+			os.Exit(1)
+		}
+		defer stopServer()
+	}
+	res.Addr = target
+
+	cl, err := client.Open(target, *conns, 30*time.Second)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hidbd-bench: %v\n", err)
+		os.Exit(1)
+	}
+	defer cl.Close()
+	if err := cl.Ping(nil); err != nil {
+		fmt.Fprintf(os.Stderr, "hidbd-bench: ping: %v\n", err)
+		os.Exit(1)
+	}
+
+	var ops, reads, writes, errs atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	workers := *conns * *depth
+	// Each worker samples every 64th op's latency into its own slice;
+	// percentiles merge the samples afterward.
+	samples := make([][]time.Duration, workers)
+
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)*2654435761 + 1))
+			conn := cl.Conn() // round-robin: depth workers per conn
+			kbuf := make([]int64, 0, *batch)
+			ibuf := make([]client.Item, 0, *batch)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				isRead := rng.Float64() < *readFrac
+				var t0 time.Time
+				if i%64 == 0 {
+					t0 = time.Now()
+				}
+				var err error
+				n := 1
+				switch {
+				case *batch > 1 && isRead:
+					kbuf = kbuf[:0]
+					for j := 0; j < *batch; j++ {
+						kbuf = append(kbuf, rng.Int63n(int64(*keys)))
+					}
+					_, _, err = conn.GetBatch(kbuf)
+					n = *batch
+				case *batch > 1:
+					ibuf = ibuf[:0]
+					for j := 0; j < *batch; j++ {
+						ibuf = append(ibuf, client.Item{Key: rng.Int63n(int64(*keys)), Val: rng.Int63()})
+					}
+					_, err = conn.PutBatch(ibuf)
+					n = *batch
+				case isRead:
+					_, _, err = conn.Get(rng.Int63n(int64(*keys)))
+				default:
+					_, err = conn.Put(rng.Int63n(int64(*keys)), rng.Int63())
+				}
+				if err != nil {
+					select {
+					case <-stop: // a teardown race, not a server error
+					default:
+						errs.Add(1)
+					}
+					return
+				}
+				if i%64 == 0 {
+					samples[w] = append(samples[w], time.Since(t0))
+				}
+				ops.Add(uint64(n))
+				if isRead {
+					reads.Add(uint64(n))
+				} else {
+					writes.Add(uint64(n))
+				}
+			}
+		}(w)
+	}
+	time.Sleep(*duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, s := range samples {
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return float64(all[i].Nanoseconds()) / 1e3
+	}
+
+	res.DurationMS = float64(elapsed.Nanoseconds()) / 1e6
+	res.Ops = ops.Load()
+	res.Reads = reads.Load()
+	res.Writes = writes.Load()
+	res.Errors = errs.Load()
+	res.OpsPerSec = float64(res.Ops) / elapsed.Seconds()
+	res.P50us, res.P99us, res.MaxUS = pct(0.50), pct(0.99), pct(1.0)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(res)
+	} else {
+		mode := "single ops"
+		if *batch > 1 {
+			mode = fmt.Sprintf("%d-key batches", *batch)
+		}
+		fmt.Printf("hidbd-bench: %s, %d conns x %d depth, %.0f%% reads, %s\n",
+			res.Addr, res.Conns, res.Depth, res.ReadFrac*100, mode)
+		fmt.Printf("  %d ops in %.2fs = %.0f ops/s (%d reads, %d writes, %d errors)\n",
+			res.Ops, elapsed.Seconds(), res.OpsPerSec, res.Reads, res.Writes, res.Errors)
+		fmt.Printf("  latency p50 %.1fus  p99 %.1fus  max %.1fus (request round trips)\n",
+			res.P50us, res.P99us, res.MaxUS)
+	}
+	if res.Ops < *minOps {
+		fmt.Fprintf(os.Stderr, "hidbd-bench: %d ops < minimum %d\n", res.Ops, *minOps)
+		os.Exit(1)
+	}
+}
+
+// selfHost starts an in-process hidbd over a fresh temp directory on a
+// loopback port and returns its address plus a teardown.
+func selfHost() (addr string, stop func(), err error) {
+	dir, err := os.MkdirTemp("", "hidbd-bench-*")
+	if err != nil {
+		return "", nil, err
+	}
+	db, err := antipersist.Open(dir, &antipersist.DBOptions{Shards: 16, Seed: 42})
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	srv := server.New(db, server.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		db.Close()
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() {
+		srv.Close()
+		db.Close()
+		os.RemoveAll(dir)
+	}, nil
+}

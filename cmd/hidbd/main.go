@@ -1,0 +1,128 @@
+// hidbd is the network server over the durable history-independent
+// database: a TCP daemon speaking the length-prefixed binary protocol
+// of docs/PROTOCOL.md (GET/PUT/DEL/BATCH/RANGE/LEN/CHECKPOINT/PING)
+// with per-connection pipelining and server-side write coalescing.
+//
+// Usage:
+//
+//	hidbd -dir D [-addr :4545] [-shards N] [-seed S] [flags]
+//
+// The directory is opened through full recovery (manifest checksum,
+// per-shard hashes, structural invariants). SIGINT/SIGTERM trigger a
+// graceful shutdown: stop accepting, drain in-flight requests, commit
+// a final checkpoint. A second signal forces an immediate stop — the
+// directory stays at the last checkpoint, which is exactly the state a
+// crash would leave (that is the durable layer's whole design).
+//
+// With -debug-addr, an HTTP listener serves expvar counters at
+// /debug/vars, including the server's request/coalescing stats under
+// the "hidbd" key.
+package main
+
+import (
+	"context"
+	"expvar"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	antipersist "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":4545", "TCP listen address")
+		dir        = flag.String("dir", "", "database directory (required)")
+		shards     = flag.Int("shards", 8, "shard count for a new database (power of two)")
+		seed       = flag.Uint64("seed", 42, "seed for a new database")
+		maxConns   = flag.Int("max-conns", 1024, "concurrent connection limit")
+		readTO     = flag.Duration("read-timeout", 5*time.Minute, "idle connection deadline")
+		writeTO    = flag.Duration("write-timeout", 30*time.Second, "per-flush write deadline")
+		cpInterval = flag.Duration("checkpoint-interval", time.Second, "background checkpoint period")
+		cpOps      = flag.Int("checkpoint-ops", 4096, "dirty-op count that forces an early checkpoint")
+		rangeMax   = flag.Int("range-max", 4096, "items per RANGE reply (clients paginate past it)")
+		drainTO    = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain budget")
+		debugAddr  = flag.String("debug-addr", "", "optional HTTP address for expvar (/debug/vars)")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "usage: hidbd -dir DIR [-addr :4545] [flags]")
+		os.Exit(2)
+	}
+
+	db, err := antipersist.Open(*dir, &antipersist.DBOptions{
+		Shards:              *shards,
+		Seed:                *seed,
+		CheckpointInterval:  *cpInterval,
+		CheckpointThreshold: *cpOps,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hidbd: %v\n", err)
+		os.Exit(1)
+	}
+
+	srv := server.New(db, server.Config{
+		MaxConns:      *maxConns,
+		ReadTimeout:   *readTO,
+		WriteTimeout:  *writeTO,
+		MaxRangeItems: *rangeMax,
+	})
+
+	if *debugAddr != "" {
+		expvar.Publish("hidbd", expvar.Func(func() any { return srv.Stats() }))
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "hidbd: debug listener: %v\n", err)
+			}
+		}()
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hidbd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("hidbd: serving %s (%d keys, %d shards) on %s\n",
+		*dir, db.Len(), db.Store().NumShards(), ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("hidbd: %v — draining (final checkpoint); signal again to force stop\n", sig)
+		go func() {
+			<-sigc
+			fmt.Println("hidbd: forced stop, state stays at last checkpoint")
+			srv.Close()
+			os.Exit(1)
+		}()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "hidbd: shutdown checkpoint: %v\n", err)
+			os.Exit(1)
+		}
+	case err := <-errc:
+		if err != nil && err != server.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "hidbd: serve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	st := srv.Stats()
+	if err := db.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "hidbd: close: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("hidbd: clean shutdown — %d reqs (%d reads, %d writes in %d batches), %d checkpoints\n",
+		st.Requests, st.Reads, st.Writes, st.WriteBatches, st.Checkpoints)
+}

@@ -90,7 +90,15 @@ func (d *Dictionary) Delete(key int64) bool {
 // Range appends all items with lo <= key <= hi to out, in key order:
 // one search plus a scan, O(log_B N + k/B) I/Os (Theorem 2).
 func (d *Dictionary) Range(lo, hi int64, out []Item) []Item {
-	if lo > hi || d.pma.Len() == 0 {
+	return d.RangeN(lo, hi, d.pma.Len(), out)
+}
+
+// RangeN is Range bounded to at most max items: the scan stops after
+// max elements instead of materializing the whole [lo, hi] window, so
+// the cost is O(log_B N + max/B) I/Os regardless of how many keys the
+// window holds. max <= 0 returns out unchanged.
+func (d *Dictionary) RangeN(lo, hi int64, max int, out []Item) []Item {
+	if lo > hi || max <= 0 || d.pma.Len() == 0 {
 		return out
 	}
 	start, _ := d.pma.SearchKey(lo)
@@ -106,6 +114,9 @@ func (d *Dictionary) Range(lo, hi int64, out []Item) []Item {
 	} else {
 		end, _ = d.pma.SearchKey(hi + 1)
 		end--
+	}
+	if end-start+1 > max {
+		end = start + max - 1
 	}
 	if end < start {
 		return out

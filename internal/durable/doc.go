@@ -1,0 +1,41 @@
+// Package durable is a crash-safe on-disk database over the sharded
+// history-independent store (repro/internal/shard).
+//
+// A conventional durable engine pairs its data files with a write-ahead
+// log, but under history independence a WAL is forbidden: a log of
+// operations IS the operation history the paper's structures exist to
+// erase (Bender et al., PODS 2016). This engine therefore persists
+// nothing but canonical state. A DB directory holds one canonical image
+// file per shard — a pure function of (shard contents, seed), already
+// byte-identical across operation histories — plus a checksummed
+// manifest naming them by content hash. Commits follow the classic
+// atomic-publish sequence:
+//
+//	write shard images to *.tmp → fsync each → rename into place →
+//	fsync dir → write MANIFEST.tmp → fsync → rename over MANIFEST →
+//	fsync dir → secure-wipe and unlink superseded files
+//
+// The manifest rename is the single commit point, so a crash at any
+// step recovers to the last complete checkpoint with no partial state;
+// and because every persisted byte is canonical, the recovered disk
+// leaks nothing about the operations (or crashes) that preceded it.
+//
+// Checkpoints are incremental: each shard carries a version counter
+// bumped under its write lock, and the checkpointer rewrites only
+// shards whose version moved — then only those whose canonical bytes
+// actually changed. Incrementality cannot leak history: skipping an
+// unchanged shard reproduces, by definition, the byte-identical file a
+// full rewrite would have produced.
+//
+// DB is safe for concurrent use and is the storage engine behind the
+// network server (repro/internal/server): point and batch operations
+// (including the server's mixed-write ApplyBatch) count toward a
+// dirty-op threshold that, with a poll interval, drives the background
+// checkpointer; Checkpoint is an explicit durability barrier; Close
+// commits a final checkpoint while Abandon deliberately does not —
+// the kill -9 path whose recovery the crash suite proves.
+//
+// All filesystem access goes through the FS interface so the
+// crash-injection suite (MemFS) can fail or halt the commit sequence
+// at every single step and prove recovery.
+package durable

@@ -1,35 +1,3 @@
-// Package durable is a crash-safe on-disk database over the sharded
-// history-independent store (repro/internal/shard).
-//
-// A conventional durable engine pairs its data files with a write-ahead
-// log, but under history independence a WAL is forbidden: a log of
-// operations IS the operation history the paper's structures exist to
-// erase (Bender et al., PODS 2016). This engine therefore persists
-// nothing but canonical state. A DB directory holds one canonical image
-// file per shard — a pure function of (shard contents, seed), already
-// byte-identical across operation histories — plus a checksummed
-// manifest naming them by content hash. Commits follow the classic
-// atomic-publish sequence:
-//
-//	write shard images to *.tmp → fsync each → rename into place →
-//	fsync dir → write MANIFEST.tmp → fsync → rename over MANIFEST →
-//	fsync dir → secure-wipe and unlink superseded files
-//
-// The manifest rename is the single commit point, so a crash at any
-// step recovers to the last complete checkpoint with no partial state;
-// and because every persisted byte is canonical, the recovered disk
-// leaks nothing about the operations (or crashes) that preceded it.
-//
-// Checkpoints are incremental: each shard carries a version counter
-// bumped under its write lock, and the checkpointer rewrites only
-// shards whose version moved — then only those whose canonical bytes
-// actually changed. Incrementality cannot leak history: skipping an
-// unchanged shard reproduces, by definition, the byte-identical file a
-// full rewrite would have produced.
-//
-// All filesystem access goes through the FS interface so the
-// crash-injection suite (MemFS) can fail or halt the commit sequence
-// at every single step and prove recovery.
 package durable
 
 import (
@@ -317,9 +285,28 @@ func (db *DB) DeleteBatch(keys []int64) int {
 	return deleted
 }
 
+// ApplyBatch applies a mixed sequence of upserts and deletes with each
+// shard's lock taken exactly once, recording per-op outcomes in changed
+// (nil to discard; otherwise len(ops)) and returning the number of ops
+// that changed key presence. Same-shard operations apply in batch
+// order. This is the write path the network server's coalescer uses:
+// many connections' pipelined writes become one batch, one lock take
+// per shard, one dirty-op note per operation.
+func (db *DB) ApplyBatch(ops []shard.Op, changed []bool) (int, error) {
+	n, err := db.store.ApplyBatch(ops, changed)
+	db.noteDirty(len(ops))
+	return n, err
+}
+
 // Range appends all items with lo <= key <= hi to out in ascending key
 // order.
 func (db *DB) Range(lo, hi int64, out []Item) []Item { return db.store.Range(lo, hi, out) }
+
+// RangeN appends at most max such items and reports whether the window
+// held more; work and memory are bounded by max, not the window size.
+func (db *DB) RangeN(lo, hi int64, max int, out []Item) ([]Item, bool) {
+	return db.store.RangeN(lo, hi, max, out)
+}
 
 // Ascend calls fn on every item in ascending key order until fn
 // returns false.
@@ -327,6 +314,13 @@ func (db *DB) Ascend(fn func(Item) bool) { db.store.Ascend(fn) }
 
 // Len returns the number of keys.
 func (db *DB) Len() int { return db.store.Len() }
+
+// PendingOps returns the number of mutating operations accepted since
+// the last committed checkpoint — the write-loss window a power cut
+// right now would expose. It is zero immediately after a successful
+// Checkpoint with no concurrent writers. Operations applied directly on
+// Store() bypass this counter (see Store).
+func (db *DB) PendingOps() uint64 { return db.dirtyOps.Load() }
 
 // Close stops the background checkpointer, commits a final checkpoint,
 // and marks the DB closed. Operations after Close are not persisted.
@@ -339,6 +333,22 @@ func (db *DB) Close() error {
 		db.wg.Wait()
 	}
 	return db.checkpoint()
+}
+
+// Abandon stops the background checkpointer and marks the DB closed
+// WITHOUT committing a final checkpoint: every operation since the last
+// commit is deliberately dropped, exactly as a crash would drop it. The
+// on-disk directory is untouched and remains a valid last-checkpoint
+// state. This is the kill -9 path — crash drills, torture tests, and
+// supervisors that prefer losing the tail to blocking on a slow disk.
+func (db *DB) Abandon() {
+	if db.closed.Swap(true) {
+		return
+	}
+	if db.stop != nil {
+		close(db.stop)
+		db.wg.Wait()
+	}
 }
 
 // VerifyCanonical re-renders every shard's canonical image in memory

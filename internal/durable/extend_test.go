@@ -1,0 +1,89 @@
+package durable
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/shard"
+)
+
+// TestDBApplyBatchAndPendingOps drives the server-facing write path:
+// mixed batches land atomically per shard, count toward the dirty-op
+// window, and a checkpoint drains the window.
+func TestDBApplyBatchAndPendingOps(t *testing.T) {
+	fs := NewMemFS()
+	db, err := Open("db", &Options{Shards: 4, Seed: 11, NoBackground: true, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.PendingOps(); got != 0 {
+		t.Fatalf("fresh DB has %d pending ops", got)
+	}
+	changed := make([]bool, 3)
+	n, err := db.ApplyBatch([]shard.Op{
+		{Key: 1, Val: 10},
+		{Key: 2, Val: 20},
+		{Key: 1, Delete: true},
+	}, changed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || !changed[0] || !changed[1] || !changed[2] {
+		t.Fatalf("n=%d changed=%v", n, changed)
+	}
+	if db.Has(1) || !db.Has(2) {
+		t.Fatal("batch order not preserved")
+	}
+	if got := db.PendingOps(); got != 3 {
+		t.Fatalf("PendingOps = %d, want 3", got)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.PendingOps(); got != 0 {
+		t.Fatalf("PendingOps after checkpoint = %d, want 0", got)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAbandon checks the kill -9 path: Abandon drops uncheckpointed
+// operations, keeps the directory at the last commit, and a reopen
+// recovers exactly that state.
+func TestAbandon(t *testing.T) {
+	fs := NewMemFS()
+	db, err := Open("db", &Options{Shards: 4, Seed: 5, FS: fs,
+		CheckpointInterval: time.Hour, CheckpointThreshold: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Put(1, 100)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	db.Put(2, 200) // never checkpointed
+	db.Abandon()
+	db.Abandon() // idempotent
+	if err := db.Checkpoint(); err != ErrClosed {
+		t.Fatalf("Checkpoint after Abandon: %v, want ErrClosed", err)
+	}
+
+	// Power cut: only durable state survives.
+	db2, err := Open("db", &Options{Seed: 5, FS: fs.Crash(), NoBackground: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := db2.Get(1); !ok || v != 100 {
+		t.Fatalf("checkpointed key lost: %d %v", v, ok)
+	}
+	if db2.Has(2) {
+		t.Fatal("abandoned write survived")
+	}
+	if err := db2.VerifyCanonical(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

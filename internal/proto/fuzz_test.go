@@ -1,0 +1,87 @@
+package proto
+
+// FuzzDecodeFrame mirrors the repo's image-reader fuzz targets
+// (FuzzReadPMA, FuzzReadStore): the frame decoder consumes bytes
+// straight off a network socket, so hostile input must produce an
+// error — never a panic, and never an allocation disproportionate to
+// the input. Whatever decodes successfully must re-encode to the exact
+// bytes consumed (the codec is bijective on valid frames).
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzDecodeFrame(f *testing.F) {
+	// Seed with one valid frame per opcode and payload shape, plus the
+	// usual truncation and bit flip of each.
+	seeds := []Frame{
+		{Ver: Version, Op: OpGet, ID: 1, Payload: AppendKey(nil, 42)},
+		{Ver: Version, Op: OpPut, ID: 2, Payload: AppendKeyVal(nil, 1, 2)},
+		{Ver: Version, Op: OpDel, ID: 3, Payload: AppendKey(nil, -1)},
+		{Ver: Version, Op: OpBatch, ID: 4, Payload: AppendBatchPut(nil, []Item{{Key: 1, Val: 2}, {Key: 3, Val: 4}})},
+		{Ver: Version, Op: OpBatch, ID: 5, Payload: AppendBatchKeys(nil, BatchGet, []int64{5, 6, 7})},
+		{Ver: Version, Op: OpRange, ID: 6, Payload: AppendRangeReq(nil, -100, 100, 10)},
+		{Ver: Version, Op: OpLen, ID: 7},
+		{Ver: Version, Op: OpCheckpoint, ID: 8},
+		{Ver: Version, Op: OpPing, ID: 9, Payload: []byte("ping")},
+		{Ver: Version, Op: OpGet | FlagReply, ID: 1, Payload: AppendFound(nil, true, 42)},
+		{Ver: Version, Op: OpRange | FlagReply, ID: 6, Payload: AppendRangeReply(nil, []Item{{Key: 1, Val: 2}}, false)},
+		{Ver: Version, Op: OpBatch | FlagReply, ID: 5, Payload: AppendBatchGetReply(nil, []int64{1}, []bool{true})},
+		{Ver: Version, Op: OpError, ID: 2, Payload: AppendError(nil, ErrCodeBadFrame, "boom")},
+	}
+	for _, fr := range seeds {
+		wire := AppendFrame(nil, fr)
+		f.Add(wire)
+		f.Add(wire[:len(wire)/2])
+		flipped := append([]byte(nil), wire...)
+		flipped[len(flipped)/3] ^= 0x40
+		f.Add(flipped)
+	}
+
+	const payloadCap = 1 << 12 // small cap so the fuzzer can exercise ErrFrameTooLarge
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := DecodeFrame(data, payloadCap)
+		if err != nil {
+			// Rejection is the expected outcome for hostile bytes; the
+			// incomplete-frame signal must be the sentinel so a stream
+			// reader knows to wait for more input.
+			if n != 0 {
+				t.Fatalf("error with %d bytes consumed", n)
+			}
+			return
+		}
+		if n < HeaderSize || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		if len(fr.Payload) > payloadCap {
+			t.Fatalf("payload %d exceeds cap %d", len(fr.Payload), payloadCap)
+		}
+		// Re-encoding must reproduce exactly the consumed bytes.
+		if back := AppendFrame(nil, fr); !bytes.Equal(back, data[:n]) {
+			t.Fatalf("re-encode mismatch:\n got % x\nwant % x", back, data[:n])
+		}
+		// The typed payload decoders must be panic-free on whatever the
+		// frame carried, whether or not it matches the opcode.
+		DecodeKey(fr.Payload)
+		DecodeKeyVal(fr.Payload)
+		DecodeBool(fr.Payload)
+		DecodeU32(fr.Payload)
+		DecodeU64(fr.Payload)
+		DecodeFound(fr.Payload)
+		DecodeBatch(fr.Payload)
+		DecodeBatchGetReply(fr.Payload)
+		DecodeRangeReq(fr.Payload)
+		DecodeRangeReply(fr.Payload)
+		DecodeError(fr.Payload)
+
+		// The streaming reader must agree with the buffer decoder.
+		sf, serr := ReadFrame(bytes.NewReader(data), payloadCap)
+		if serr != nil {
+			t.Fatalf("DecodeFrame ok but ReadFrame failed: %v", serr)
+		}
+		if sf.Op != fr.Op || sf.ID != fr.ID || !bytes.Equal(sf.Payload, fr.Payload) {
+			t.Fatalf("stream/buffer disagree: %+v vs %+v", sf, fr)
+		}
+	})
+}

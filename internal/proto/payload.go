@@ -1,0 +1,280 @@
+package proto
+
+// Payload codecs for each opcode. Encoders append to a caller-supplied
+// slice so hot paths can reuse buffers; decoders validate every count
+// against the actual payload length BEFORE allocating, so hostile
+// payloads error instead of over-allocating. Signed keys and values
+// travel as big-endian two's-complement u64.
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// AppendKey appends a bare key payload (OpGet/OpDel requests).
+func AppendKey(dst []byte, key int64) []byte {
+	return binary.BigEndian.AppendUint64(dst, uint64(key))
+}
+
+// DecodeKey decodes a bare key payload.
+func DecodeKey(p []byte) (int64, error) {
+	if len(p) != 8 {
+		return 0, fmt.Errorf("proto: key payload is %d bytes, want 8", len(p))
+	}
+	return int64(binary.BigEndian.Uint64(p)), nil
+}
+
+// AppendKeyVal appends a key-value payload (OpPut requests).
+func AppendKeyVal(dst []byte, key, val int64) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, uint64(key))
+	return binary.BigEndian.AppendUint64(dst, uint64(val))
+}
+
+// DecodeKeyVal decodes a key-value payload.
+func DecodeKeyVal(p []byte) (key, val int64, err error) {
+	if len(p) != 16 {
+		return 0, 0, fmt.Errorf("proto: key-val payload is %d bytes, want 16", len(p))
+	}
+	return int64(binary.BigEndian.Uint64(p)), int64(binary.BigEndian.Uint64(p[8:])), nil
+}
+
+// AppendBool appends a one-byte boolean payload (OpPut/OpDel replies).
+func AppendBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// DecodeBool decodes a one-byte boolean payload.
+func DecodeBool(p []byte) (bool, error) {
+	if len(p) != 1 || p[0] > 1 {
+		return false, fmt.Errorf("proto: bad bool payload % x", p)
+	}
+	return p[0] == 1, nil
+}
+
+// AppendU64 appends an unsigned counter payload (OpLen/OpCheckpoint
+// replies).
+func AppendU64(dst []byte, v uint64) []byte {
+	return binary.BigEndian.AppendUint64(dst, v)
+}
+
+// DecodeU64 decodes an unsigned counter payload.
+func DecodeU64(p []byte) (uint64, error) {
+	if len(p) != 8 {
+		return 0, fmt.Errorf("proto: u64 payload is %d bytes, want 8", len(p))
+	}
+	return binary.BigEndian.Uint64(p), nil
+}
+
+// AppendFound appends an OpGet reply: found flag plus the value (zero
+// when absent).
+func AppendFound(dst []byte, found bool, val int64) []byte {
+	dst = AppendBool(dst, found)
+	return binary.BigEndian.AppendUint64(dst, uint64(val))
+}
+
+// DecodeFound decodes an OpGet reply.
+func DecodeFound(p []byte) (val int64, found bool, err error) {
+	if len(p) != 9 || p[0] > 1 {
+		return 0, false, fmt.Errorf("proto: bad get reply payload (%d bytes)", len(p))
+	}
+	return int64(binary.BigEndian.Uint64(p[1:])), p[0] == 1, nil
+}
+
+// Entry ceilings derived from MaxPayload. Request payload sizes bound
+// most batch shapes implicitly, but two replies are BIGGER than the
+// requests that elicit them, so the smaller reply-side bound is the
+// real protocol limit — servers reject requests over it with
+// ErrCodeTooLarge rather than emit a reply frame no client could read.
+const (
+	// MaxBatchGet caps keys in one BatchGet: the reply carries
+	// 4 + 9·n bytes (count, then found+val per key).
+	MaxBatchGet = (MaxPayload - 4) / 9
+	// MaxRangeItems caps items in one OpRange reply: 5 + 16·n bytes
+	// (more flag, count, then key+val pairs). Servers clamp their
+	// configured range cap to it.
+	MaxRangeItems = (MaxPayload - 5) / 16
+)
+
+// AppendBatchPut appends an OpBatch request payload of kind BatchPut.
+func AppendBatchPut(dst []byte, items []Item) []byte {
+	dst = append(dst, BatchPut)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(items)))
+	for _, it := range items {
+		dst = binary.BigEndian.AppendUint64(dst, uint64(it.Key))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(it.Val))
+	}
+	return dst
+}
+
+// AppendBatchKeys appends an OpBatch request payload of kind BatchGet
+// or BatchDel: a key list.
+func AppendBatchKeys(dst []byte, kind byte, keys []int64) []byte {
+	dst = append(dst, kind)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(keys)))
+	for _, k := range keys {
+		dst = binary.BigEndian.AppendUint64(dst, uint64(k))
+	}
+	return dst
+}
+
+// DecodeBatch decodes an OpBatch request payload. Exactly one of items
+// (kind BatchPut) and keys (BatchGet/BatchDel) is non-nil for a
+// non-empty batch.
+func DecodeBatch(p []byte) (kind byte, items []Item, keys []int64, err error) {
+	if len(p) < 5 {
+		return 0, nil, nil, fmt.Errorf("proto: batch payload is %d bytes, want >= 5", len(p))
+	}
+	kind = p[0]
+	n := binary.BigEndian.Uint32(p[1:])
+	body := p[5:]
+	switch kind {
+	case BatchPut:
+		if uint64(len(body)) != uint64(n)*16 {
+			return 0, nil, nil, fmt.Errorf("proto: batch-put of %d entries has %d payload bytes", n, len(body))
+		}
+		items = make([]Item, n)
+		for i := range items {
+			items[i].Key = int64(binary.BigEndian.Uint64(body[i*16:]))
+			items[i].Val = int64(binary.BigEndian.Uint64(body[i*16+8:]))
+		}
+	case BatchGet, BatchDel:
+		if uint64(len(body)) != uint64(n)*8 {
+			return 0, nil, nil, fmt.Errorf("proto: batch key list of %d entries has %d payload bytes", n, len(body))
+		}
+		keys = make([]int64, n)
+		for i := range keys {
+			keys[i] = int64(binary.BigEndian.Uint64(body[i*8:]))
+		}
+	default:
+		return 0, nil, nil, fmt.Errorf("proto: unknown batch kind %d", kind)
+	}
+	return kind, items, keys, nil
+}
+
+// AppendU32 appends a 32-bit count payload (batch-put/batch-del
+// replies: the number of keys whose presence changed).
+func AppendU32(dst []byte, v uint32) []byte {
+	return binary.BigEndian.AppendUint32(dst, v)
+}
+
+// DecodeU32 decodes a 32-bit count payload.
+func DecodeU32(p []byte) (uint32, error) {
+	if len(p) != 4 {
+		return 0, fmt.Errorf("proto: u32 payload is %d bytes, want 4", len(p))
+	}
+	return binary.BigEndian.Uint32(p), nil
+}
+
+// AppendBatchGetReply appends a BatchGet reply: count then a
+// found(1) val(8) pair per requested key, in request order.
+func AppendBatchGetReply(dst []byte, vals []int64, found []bool) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(vals)))
+	for i, v := range vals {
+		dst = AppendBool(dst, found[i])
+		dst = binary.BigEndian.AppendUint64(dst, uint64(v))
+	}
+	return dst
+}
+
+// DecodeBatchGetReply decodes a BatchGet reply.
+func DecodeBatchGetReply(p []byte) (vals []int64, found []bool, err error) {
+	if len(p) < 4 {
+		return nil, nil, fmt.Errorf("proto: batch-get reply is %d bytes, want >= 4", len(p))
+	}
+	n := binary.BigEndian.Uint32(p)
+	body := p[4:]
+	if uint64(len(body)) != uint64(n)*9 {
+		return nil, nil, fmt.Errorf("proto: batch-get reply of %d entries has %d payload bytes", n, len(body))
+	}
+	vals = make([]int64, n)
+	found = make([]bool, n)
+	for i := range vals {
+		e := body[i*9 : i*9+9]
+		if e[0] > 1 {
+			return nil, nil, fmt.Errorf("proto: batch-get reply entry %d has bad found byte", i)
+		}
+		found[i] = e[0] == 1
+		vals[i] = int64(binary.BigEndian.Uint64(e[1:]))
+	}
+	return vals, found, nil
+}
+
+// AppendRangeReq appends an OpRange request: inclusive bounds plus a
+// cap on returned items (0: server default).
+func AppendRangeReq(dst []byte, lo, hi int64, max uint32) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, uint64(lo))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(hi))
+	return binary.BigEndian.AppendUint32(dst, max)
+}
+
+// DecodeRangeReq decodes an OpRange request.
+func DecodeRangeReq(p []byte) (lo, hi int64, max uint32, err error) {
+	if len(p) != 20 {
+		return 0, 0, 0, fmt.Errorf("proto: range request is %d bytes, want 20", len(p))
+	}
+	lo = int64(binary.BigEndian.Uint64(p))
+	hi = int64(binary.BigEndian.Uint64(p[8:]))
+	max = binary.BigEndian.Uint32(p[16:])
+	return lo, hi, max, nil
+}
+
+// AppendRangeReply appends an OpRange reply: a more flag (the cap
+// truncated the scan), a count, then key(8) val(8) pairs in ascending
+// key order.
+func AppendRangeReply(dst []byte, items []Item, more bool) []byte {
+	dst = AppendBool(dst, more)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(items)))
+	for _, it := range items {
+		dst = binary.BigEndian.AppendUint64(dst, uint64(it.Key))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(it.Val))
+	}
+	return dst
+}
+
+// DecodeRangeReply decodes an OpRange reply.
+func DecodeRangeReply(p []byte) (items []Item, more bool, err error) {
+	if len(p) < 5 || p[0] > 1 {
+		return nil, false, fmt.Errorf("proto: range reply is %d bytes, want >= 5", len(p))
+	}
+	more = p[0] == 1
+	n := binary.BigEndian.Uint32(p[1:])
+	body := p[5:]
+	if uint64(len(body)) != uint64(n)*16 {
+		return nil, false, fmt.Errorf("proto: range reply of %d items has %d payload bytes", n, len(body))
+	}
+	items = make([]Item, n)
+	for i := range items {
+		items[i].Key = int64(binary.BigEndian.Uint64(body[i*16:]))
+		items[i].Val = int64(binary.BigEndian.Uint64(body[i*16+8:]))
+	}
+	return items, more, nil
+}
+
+// AppendError appends an OpError payload: the code plus a human-readable
+// message.
+func AppendError(dst []byte, code byte, msg string) []byte {
+	dst = append(dst, code)
+	return append(dst, msg...)
+}
+
+// DecodeError decodes an OpError payload.
+func DecodeError(p []byte) (code byte, msg string, err error) {
+	if len(p) < 1 {
+		return 0, "", fmt.Errorf("proto: empty error payload")
+	}
+	return p[0], string(p[1:]), nil
+}
+
+// RemoteError is an OpError reply surfaced as a Go error by the client.
+type RemoteError struct {
+	Code byte
+	Msg  string
+}
+
+// Error renders the remote error with its symbolic code name.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("hidbd: %s: %s", ErrCodeName(e.Code), e.Msg)
+}

@@ -1,0 +1,212 @@
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/hipma"
+)
+
+// Item re-exports the store element type: a key with an int64 payload.
+// Values are fixed 8-byte integers end to end — that is the data model
+// of the paper's structures, not a protocol limitation.
+type Item = hipma.Item
+
+// Version is the protocol version spoken by this package. Every frame
+// carries it; a peer that receives a frame with a different version
+// must reject it with ErrCodeVersion and may close the connection.
+const Version = 1
+
+// HeaderSize is the fixed frame overhead: the 4-byte length prefix plus
+// version, opcode, and request id.
+const HeaderSize = 4 + 1 + 1 + 8
+
+// MaxPayload is the default cap on a frame's payload size. Both sides
+// enforce a cap before allocating, so a hostile length prefix cannot
+// drive a large allocation. Servers may configure a different cap; this
+// is the default and the hard ceiling for the stock client.
+const MaxPayload = 1 << 20
+
+// Request opcodes. Replies to an opcode op carry op|FlagReply; error
+// replies carry OpError regardless of the request opcode.
+const (
+	OpGet        byte = 0x01 // payload: key(8) → reply: found(1) val(8)
+	OpPut        byte = 0x02 // payload: key(8) val(8) → reply: changed(1)
+	OpDel        byte = 0x03 // payload: key(8) → reply: changed(1)
+	OpBatch      byte = 0x04 // payload: kind(1) count(4) entries → reply: kind-specific
+	OpRange      byte = 0x05 // payload: lo(8) hi(8) max(4) → reply: more(1) count(4) pairs
+	OpLen        byte = 0x06 // payload: empty → reply: count(8)
+	OpCheckpoint byte = 0x07 // payload: empty → reply: checkpoints(8)
+	OpPing       byte = 0x08 // payload: arbitrary → reply: the same bytes
+)
+
+// FlagReply marks a frame as the successful reply to the request opcode
+// in its low bits.
+const FlagReply byte = 0x80
+
+// OpError is the opcode of an error reply. Its payload is
+// code(1) msg(rest); the id names the failed request.
+const OpError byte = 0xFF
+
+// Batch kinds, the first payload byte of an OpBatch request.
+const (
+	BatchPut byte = 0 // entries: key(8) val(8) each → reply: changed(4)
+	BatchGet byte = 1 // entries: key(8) each → reply: count(4), found(1) val(8) each
+	BatchDel byte = 2 // entries: key(8) each → reply: changed(4)
+)
+
+// Error codes carried by OpError replies.
+const (
+	ErrCodeBadFrame  byte = 1 // malformed frame or payload
+	ErrCodeVersion   byte = 2 // unsupported protocol version
+	ErrCodeUnknownOp byte = 3 // opcode not in the table
+	ErrCodeTooLarge  byte = 4 // frame or batch exceeds the server's limits
+	ErrCodeBusy      byte = 5 // connection limit reached; retry later
+	ErrCodeShutdown  byte = 6 // server is draining; connection will close
+	ErrCodeInternal  byte = 7 // server-side failure (e.g. checkpoint error)
+)
+
+// opNames is the authoritative opcode table; docs/PROTOCOL.md mirrors
+// it and TestProtocolDocLockstep keeps the two in sync.
+var opNames = map[byte]string{
+	OpGet:        "OpGet",
+	OpPut:        "OpPut",
+	OpDel:        "OpDel",
+	OpBatch:      "OpBatch",
+	OpRange:      "OpRange",
+	OpLen:        "OpLen",
+	OpCheckpoint: "OpCheckpoint",
+	OpPing:       "OpPing",
+	OpError:      "OpError",
+}
+
+// errNames is the authoritative error-code table, mirrored by
+// docs/PROTOCOL.md under the same lockstep test.
+var errNames = map[byte]string{
+	ErrCodeBadFrame:  "ErrCodeBadFrame",
+	ErrCodeVersion:   "ErrCodeVersion",
+	ErrCodeUnknownOp: "ErrCodeUnknownOp",
+	ErrCodeTooLarge:  "ErrCodeTooLarge",
+	ErrCodeBusy:      "ErrCodeBusy",
+	ErrCodeShutdown:  "ErrCodeShutdown",
+	ErrCodeInternal:  "ErrCodeInternal",
+}
+
+// OpName returns the symbolic name of an opcode ("OpGet"), or a hex
+// rendering for opcodes outside the table.
+func OpName(op byte) string {
+	if n, ok := opNames[op]; ok {
+		return n
+	}
+	return fmt.Sprintf("Op(0x%02x)", op)
+}
+
+// ErrCodeName returns the symbolic name of an error code
+// ("ErrCodeBusy"), or a hex rendering for codes outside the table.
+func ErrCodeName(code byte) string {
+	if n, ok := errNames[code]; ok {
+		return n
+	}
+	return fmt.Sprintf("ErrCode(0x%02x)", code)
+}
+
+// Frame is one decoded protocol frame.
+type Frame struct {
+	Ver     byte
+	Op      byte
+	ID      uint64
+	Payload []byte
+}
+
+// ErrFrameTooLarge is returned when a frame's declared length exceeds
+// the decoder's payload cap.
+var ErrFrameTooLarge = errors.New("proto: frame exceeds payload cap")
+
+// ErrShortFrame is returned by DecodeFrame when b does not yet hold a
+// complete frame (more bytes are needed).
+var ErrShortFrame = errors.New("proto: incomplete frame")
+
+// AppendFrame appends the encoded frame to dst and returns the extended
+// slice. It does not enforce the payload cap; writers construct their
+// own payloads and the cap protects readers.
+func AppendFrame(dst []byte, f Frame) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(HeaderSize-4+len(f.Payload)))
+	dst = append(dst, f.Ver, f.Op)
+	dst = binary.BigEndian.AppendUint64(dst, f.ID)
+	return append(dst, f.Payload...)
+}
+
+// DecodeFrame decodes one frame from the front of b, returning the
+// frame and the number of bytes consumed. The returned payload aliases
+// b. A frame whose declared payload exceeds maxPayload (<=0 means
+// MaxPayload) fails with ErrFrameTooLarge; a prefix of a valid frame
+// fails with ErrShortFrame.
+func DecodeFrame(b []byte, maxPayload int) (Frame, int, error) {
+	if maxPayload <= 0 {
+		maxPayload = MaxPayload
+	}
+	if len(b) < 4 {
+		return Frame{}, 0, ErrShortFrame
+	}
+	n := binary.BigEndian.Uint32(b)
+	if n < HeaderSize-4 {
+		return Frame{}, 0, fmt.Errorf("proto: frame length %d below header size", n)
+	}
+	if n > uint32(HeaderSize-4+maxPayload) {
+		return Frame{}, 0, fmt.Errorf("%w: %d bytes, cap %d", ErrFrameTooLarge, n, HeaderSize-4+maxPayload)
+	}
+	if len(b) < 4+int(n) {
+		return Frame{}, 0, ErrShortFrame
+	}
+	f := Frame{
+		Ver:     b[4],
+		Op:      b[5],
+		ID:      binary.BigEndian.Uint64(b[6:]),
+		Payload: b[HeaderSize : 4+n],
+	}
+	return f, 4 + int(n), nil
+}
+
+// ReadFrame reads exactly one frame from r, allocating at most
+// maxPayload bytes for the payload (<=0 means MaxPayload). It never
+// over-reads: the length prefix is validated before the body is read.
+func ReadFrame(r io.Reader, maxPayload int) (Frame, error) {
+	if maxPayload <= 0 {
+		maxPayload = MaxPayload
+	}
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n < HeaderSize-4 {
+		return Frame{}, fmt.Errorf("proto: frame length %d below header size", n)
+	}
+	if n > uint32(HeaderSize-4+maxPayload) {
+		return Frame{}, fmt.Errorf("%w: %d bytes, cap %d", ErrFrameTooLarge, n, HeaderSize-4+maxPayload)
+	}
+	if _, err := io.ReadFull(r, hdr[4:]); err != nil {
+		return Frame{}, fmt.Errorf("proto: reading frame header: %w", err)
+	}
+	f := Frame{
+		Ver: hdr[4],
+		Op:  hdr[5],
+		ID:  binary.BigEndian.Uint64(hdr[6:]),
+	}
+	if body := int(n) - (HeaderSize - 4); body > 0 {
+		f.Payload = make([]byte, body)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			return Frame{}, fmt.Errorf("proto: reading frame payload: %w", err)
+		}
+	}
+	return f, nil
+}
+
+// WriteFrame encodes f and writes it to w in one call.
+func WriteFrame(w io.Writer, f Frame) error {
+	buf := AppendFrame(make([]byte, 0, HeaderSize+len(f.Payload)), f)
+	_, err := w.Write(buf)
+	return err
+}

@@ -1,0 +1,168 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Ver: Version, Op: OpPing, ID: 0},
+		{Ver: Version, Op: OpGet, ID: 1, Payload: AppendKey(nil, -42)},
+		{Ver: Version, Op: OpPut, ID: math.MaxUint64, Payload: AppendKeyVal(nil, 7, -7)},
+		{Ver: Version, Op: OpError, ID: 3, Payload: AppendError(nil, ErrCodeBusy, "full")},
+	}
+	var wire []byte
+	for _, f := range frames {
+		wire = AppendFrame(wire, f)
+	}
+
+	// Streaming reads.
+	r := bytes.NewReader(wire)
+	for i, want := range frames {
+		got, err := ReadFrame(r, 0)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Ver != want.Ver || got.Op != want.Op || got.ID != want.ID ||
+			!bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := ReadFrame(r, 0); err != io.EOF {
+		t.Fatalf("after last frame: %v, want EOF", err)
+	}
+
+	// Buffer decodes consume exactly the same boundaries.
+	rest := wire
+	for i, want := range frames {
+		got, n, err := DecodeFrame(rest, 0)
+		if err != nil {
+			t.Fatalf("decode frame %d: %v", i, err)
+		}
+		if got.Op != want.Op || got.ID != want.ID || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("decode frame %d: got %+v want %+v", i, got, want)
+		}
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+}
+
+func TestFrameHostile(t *testing.T) {
+	// A declared length below the header minimum.
+	short := []byte{0, 0, 0, 5, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0}
+	if _, _, err := DecodeFrame(short, 0); err == nil || errors.Is(err, ErrShortFrame) {
+		t.Fatalf("undersized length: %v", err)
+	}
+	// A declared length over the cap must fail BEFORE the body arrives.
+	huge := []byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 1}
+	if _, _, err := DecodeFrame(huge, 0); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized length: %v", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(huge), 0); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized length (stream): %v", err)
+	}
+	// An incomplete frame asks for more bytes.
+	whole := AppendFrame(nil, Frame{Ver: Version, Op: OpPing, ID: 9, Payload: []byte("abc")})
+	for cut := 0; cut < len(whole); cut++ {
+		if _, _, err := DecodeFrame(whole[:cut], 0); !errors.Is(err, ErrShortFrame) {
+			t.Fatalf("cut %d: %v, want ErrShortFrame", cut, err)
+		}
+	}
+}
+
+func TestPayloadRoundTrips(t *testing.T) {
+	if k, err := DecodeKey(AppendKey(nil, -5)); err != nil || k != -5 {
+		t.Fatalf("key: %d %v", k, err)
+	}
+	if k, v, err := DecodeKeyVal(AppendKeyVal(nil, 1, -2)); err != nil || k != 1 || v != -2 {
+		t.Fatalf("keyval: %d %d %v", k, v, err)
+	}
+	if b, err := DecodeBool(AppendBool(nil, true)); err != nil || !b {
+		t.Fatalf("bool: %v %v", b, err)
+	}
+	if v, err := DecodeU64(AppendU64(nil, 99)); err != nil || v != 99 {
+		t.Fatalf("u64: %d %v", v, err)
+	}
+	if v, err := DecodeU32(AppendU32(nil, 7)); err != nil || v != 7 {
+		t.Fatalf("u32: %d %v", v, err)
+	}
+	if v, ok, err := DecodeFound(AppendFound(nil, true, -9)); err != nil || !ok || v != -9 {
+		t.Fatalf("found: %d %v %v", v, ok, err)
+	}
+
+	items := []Item{{Key: 1, Val: 10}, {Key: -2, Val: 20}}
+	kind, gotItems, gotKeys, err := DecodeBatch(AppendBatchPut(nil, items))
+	if err != nil || kind != BatchPut || gotKeys != nil || len(gotItems) != 2 ||
+		gotItems[1] != items[1] {
+		t.Fatalf("batch put: %d %v %v %v", kind, gotItems, gotKeys, err)
+	}
+	keys := []int64{3, -4, 5}
+	kind, gotItems, gotKeys, err = DecodeBatch(AppendBatchKeys(nil, BatchDel, keys))
+	if err != nil || kind != BatchDel || gotItems != nil || len(gotKeys) != 3 || gotKeys[2] != 5 {
+		t.Fatalf("batch del: %d %v %v %v", kind, gotItems, gotKeys, err)
+	}
+
+	vals, found, err := DecodeBatchGetReply(AppendBatchGetReply(nil, []int64{7, 0}, []bool{true, false}))
+	if err != nil || len(vals) != 2 || vals[0] != 7 || !found[0] || found[1] {
+		t.Fatalf("batch get reply: %v %v %v", vals, found, err)
+	}
+
+	lo, hi, max, err := DecodeRangeReq(AppendRangeReq(nil, -10, 10, 3))
+	if err != nil || lo != -10 || hi != 10 || max != 3 {
+		t.Fatalf("range req: %d %d %d %v", lo, hi, max, err)
+	}
+	gotItems, more, err := DecodeRangeReply(AppendRangeReply(nil, items, true))
+	if err != nil || !more || len(gotItems) != 2 || gotItems[0] != items[0] {
+		t.Fatalf("range reply: %v %v %v", gotItems, more, err)
+	}
+
+	code, msg, err := DecodeError(AppendError(nil, ErrCodeShutdown, "bye"))
+	if err != nil || code != ErrCodeShutdown || msg != "bye" {
+		t.Fatalf("error: %d %q %v", code, msg, err)
+	}
+}
+
+func TestHostilePayloads(t *testing.T) {
+	// A batch count that promises more entries than the payload holds
+	// must be rejected before any allocation sized by the count.
+	lie := []byte{BatchPut, 0xFF, 0xFF, 0xFF, 0xFF, 0, 0}
+	if _, _, _, err := DecodeBatch(lie); err == nil {
+		t.Fatal("batch count lie accepted")
+	}
+	lie = append([]byte{BatchGet, 0, 0, 0, 2}, make([]byte, 8)...) // count 2, one key
+	if _, _, _, err := DecodeBatch(lie); err == nil {
+		t.Fatal("truncated batch accepted")
+	}
+	if _, _, err := DecodeBatchGetReply([]byte{0xFF, 0xFF, 0xFF, 0xFF}); err == nil {
+		t.Fatal("batch-get reply count lie accepted")
+	}
+	if _, _, err := DecodeRangeReply([]byte{0, 0xFF, 0xFF, 0xFF, 0xFF}); err == nil {
+		t.Fatal("range reply count lie accepted")
+	}
+	if _, _, _, err := DecodeBatch([]byte{9, 0, 0, 0, 0}); err == nil {
+		t.Fatal("unknown batch kind accepted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if got := OpName(OpCheckpoint); got != "OpCheckpoint" {
+		t.Fatalf("OpName: %q", got)
+	}
+	if got := OpName(0x55); !strings.Contains(got, "0x55") {
+		t.Fatalf("OpName unknown: %q", got)
+	}
+	if got := ErrCodeName(ErrCodeTooLarge); got != "ErrCodeTooLarge" {
+		t.Fatalf("ErrCodeName: %q", got)
+	}
+	e := &RemoteError{Code: ErrCodeBusy, Msg: "connection limit"}
+	if !strings.Contains(e.Error(), "ErrCodeBusy") {
+		t.Fatalf("RemoteError: %q", e.Error())
+	}
+}

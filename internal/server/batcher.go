@@ -1,0 +1,116 @@
+package server
+
+import (
+	"sync"
+
+	"repro/internal/durable"
+	"repro/internal/proto"
+	"repro/internal/shard"
+)
+
+// writeReq is one connection's PUT or DEL handed to the coalescer,
+// carrying everything needed to route the reply back.
+type writeReq struct {
+	key, val int64
+	del      bool
+	id       uint64
+	c        *conn
+}
+
+// batcher is the server-wide write coalescer: a single goroutine that
+// drains pending writes from every connection into one mixed
+// shard.Op batch and applies it with DB.ApplyBatch, taking each shard's
+// write lock once per drain instead of once per operation. Submission
+// order per connection is preserved (the channel is FIFO and the batch
+// applies same-shard ops in order), so the reply each connection sees
+// is exactly what the equivalent point op would have returned.
+type batcher struct {
+	db        *durable.DB
+	ch        chan writeReq
+	st        *stats
+	done      chan struct{}
+	closeOnce sync.Once
+	// maxBatch caps one drain so a firehose of writers cannot grow the
+	// staging slices without bound.
+	maxBatch int
+}
+
+func newBatcher(db *durable.DB, st *stats, queue, maxBatch int) *batcher {
+	return &batcher{
+		db:       db,
+		ch:       make(chan writeReq, queue),
+		st:       st,
+		done:     make(chan struct{}),
+		maxBatch: maxBatch,
+	}
+}
+
+// submit hands a write to the coalescer. It blocks when the queue is
+// full — backpressure, not unbounded buffering. The caller must have
+// incremented its connection's pending-write count first.
+func (b *batcher) submit(r writeReq) { b.ch <- r }
+
+// close stops the coalescer after the queue drains. All submitters must
+// have exited first, and run must have been started.
+func (b *batcher) close() {
+	b.closeOnce.Do(func() { close(b.ch) })
+	<-b.done
+}
+
+// run is the coalescer loop: block for one write, then greedily drain
+// whatever else is queued (up to maxBatch), apply the whole batch in
+// one ApplyBatch, and fan the per-op outcomes back out as replies.
+func (b *batcher) run() {
+	defer close(b.done)
+	var (
+		reqs    []writeReq
+		ops     []shard.Op
+		changed []bool
+	)
+	for first := range b.ch {
+		reqs = append(reqs[:0], first)
+	drain:
+		for len(reqs) < b.maxBatch {
+			select {
+			case r, ok := <-b.ch:
+				if !ok {
+					break drain
+				}
+				reqs = append(reqs, r)
+			default:
+				break drain
+			}
+		}
+
+		ops = ops[:0]
+		for _, r := range reqs {
+			ops = append(ops, shard.Op{Key: r.key, Val: r.val, Delete: r.del})
+		}
+		if cap(changed) < len(ops) {
+			changed = make([]bool, len(ops))
+		}
+		changed = changed[:len(ops)]
+		_, err := b.db.ApplyBatch(ops, changed)
+		b.st.noteBatch(len(ops))
+
+		for i, r := range reqs {
+			var f proto.Frame
+			if err != nil {
+				f = errorFrame(r.id, proto.ErrCodeInternal, err.Error())
+			} else {
+				op := proto.OpPut
+				if r.del {
+					op = proto.OpDel
+				}
+				f = proto.Frame{
+					Ver:     proto.Version,
+					Op:      op | proto.FlagReply,
+					ID:      r.id,
+					Payload: proto.AppendBool(nil, changed[i]),
+				}
+			}
+			r.c.send(f)
+			r.c.pending.Done()
+		}
+	}
+}

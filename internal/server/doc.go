@@ -1,0 +1,48 @@
+// Package server implements hidbd, the network front-end over the
+// durable history-independent database (repro/internal/durable). It
+// speaks the length-prefixed binary protocol of repro/internal/proto
+// over TCP (or any net.Conn via ServeConn — the tests drive it over
+// net.Pipe).
+//
+// # Connection model
+//
+// Each connection gets two goroutines: a reader that decodes frames and
+// dispatches them, and a writer that serializes replies from a channel
+// through a buffered writer, flushing when the queue goes idle — so a
+// burst of pipelined replies costs one syscall, not one per reply.
+// Replies carry the request id of the frame they answer and may be
+// written out of request order.
+//
+// # Write coalescing
+//
+// Reads (GET, BATCH-get, RANGE, LEN) execute inline on the reader
+// goroutine — they take one shard read-lock and return. Writes (PUT,
+// DEL, BATCH-put, BATCH-del) are handed to a server-wide batcher: a
+// single goroutine that drains every connection's pending writes into
+// one shard.Op slice and applies it with DB.ApplyBatch, taking each
+// shard's write lock once per drain instead of once per operation. The
+// batch preserves each connection's submission order, and per-op
+// outcome flags route each reply back to its connection. Under
+// concurrent load the batcher turns k lock acquisitions into at most
+// min(k, shards) — the same trick PutBatch plays for one caller,
+// applied across callers.
+//
+// # Ordering
+//
+// Effects on one connection follow program order: before executing a
+// read or a checkpoint, the reader waits for that connection's in-flight
+// writes to be applied, so a pipelined PUT→GET of the same key on one
+// connection always reads its own write. No ordering holds across
+// connections beyond the linearizability of the store itself.
+//
+// # Limits and shutdown
+//
+// MaxConns bounds concurrent connections (excess connections receive an
+// ErrCodeBusy error frame and are closed). An idle read deadline and a
+// per-flush write deadline bound resource capture by dead peers.
+// Shutdown stops accepting, unblocks idle readers, drains in-flight
+// requests, then commits a final checkpoint so a clean shutdown loses
+// nothing. Close is the impolite variant: it severs connections and
+// skips the checkpoint, leaving the directory at the last commit —
+// exactly the crash the durable layer is built to absorb.
+package server

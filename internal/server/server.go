@@ -1,0 +1,627 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/proto"
+)
+
+// ErrServerClosed is returned by Serve and ListenAndServe after
+// Shutdown or Close.
+var ErrServerClosed = errors.New("server: closed")
+
+// Config tunes a Server. The zero value is production-ready defaults.
+type Config struct {
+	// MaxConns bounds concurrently served connections (0: 1024). A
+	// connection over the limit receives an ErrCodeBusy error frame and
+	// is closed.
+	MaxConns int
+	// ReadTimeout is the idle deadline: a connection that sends no
+	// frame for this long is closed (0: 5 minutes; negative: none).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each reply flush (0: 30 seconds; negative:
+	// none). A peer that stops reading is disconnected rather than
+	// allowed to pin server memory.
+	WriteTimeout time.Duration
+	// MaxPayload caps accepted frame payloads (0: proto.MaxPayload).
+	MaxPayload int
+	// MaxRangeItems caps the items in one RANGE reply (0: 4096; always
+	// clamped to proto.MaxRangeItems so the reply fits a frame). Longer
+	// scans paginate: the reply's more flag tells the client to reissue
+	// from its last key + 1.
+	MaxRangeItems int
+	// WriteQueue is the coalescer's queue depth in operations
+	// (0: 4096); submitters block when it is full.
+	WriteQueue int
+	// MaxWriteBatch caps one coalesced ApplyBatch (0: 4096).
+	MaxWriteBatch int
+}
+
+func (c Config) withDefaults() Config {
+	// Sizes get their defaults for any non-positive value (a negative
+	// size would panic make(chan)); only the timeouts use negative to
+	// mean "none".
+	if c.MaxConns <= 0 {
+		c.MaxConns = 1024
+	}
+	if c.ReadTimeout == 0 {
+		c.ReadTimeout = 5 * time.Minute
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	if c.MaxPayload <= 0 || c.MaxPayload > proto.MaxPayload {
+		c.MaxPayload = proto.MaxPayload
+	}
+	if c.MaxRangeItems <= 0 || c.MaxRangeItems > proto.MaxRangeItems {
+		// The protocol bound keeps every RANGE reply under the frame
+		// payload cap; a larger configured value could emit frames no
+		// client can read.
+		if c.MaxRangeItems > proto.MaxRangeItems {
+			c.MaxRangeItems = proto.MaxRangeItems
+		} else {
+			c.MaxRangeItems = 4096
+		}
+	}
+	if c.WriteQueue <= 0 {
+		c.WriteQueue = 4096
+	}
+	if c.MaxWriteBatch <= 0 {
+		c.MaxWriteBatch = 4096
+	}
+	return c
+}
+
+// Server serves the hidbd wire protocol over a durable.DB. Create one
+// with New, start it with Serve or ListenAndServe (or hand it raw
+// connections via ServeConn), and stop it with Shutdown (graceful,
+// final checkpoint) or Close (severed connections, no checkpoint). The
+// Server does not own the DB: closing the DB is the caller's job, after
+// the server has stopped.
+type Server struct {
+	db  *durable.DB
+	cfg Config
+	st  stats
+	bat *batcher
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[*conn]struct{}
+	sem       chan struct{}
+
+	closing atomic.Bool    // draining: reject new work (set under mu)
+	batOnce sync.Once      // starts the coalescer on first use
+	wg      sync.WaitGroup // live connection handlers (Add under mu)
+}
+
+// New returns an unstarted server over db.
+func New(db *durable.DB, cfg Config) *Server {
+	c := cfg.withDefaults()
+	s := &Server{
+		db:        db,
+		cfg:       c,
+		listeners: map[net.Listener]struct{}{},
+		conns:     map[*conn]struct{}{},
+		sem:       make(chan struct{}, c.MaxConns),
+	}
+	s.bat = newBatcher(db, &s.st, c.WriteQueue, c.MaxWriteBatch)
+	return s
+}
+
+// startBatcher launches the coalescer exactly once.
+func (s *Server) startBatcher() {
+	s.batOnce.Do(func() { go s.bat.run() })
+}
+
+// ListenAndServe listens on addr ("host:port") and serves until
+// Shutdown or Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown or Close, then returns
+// ErrServerClosed. Multiple Serve calls on different listeners may run
+// concurrently.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closing.Load() {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.listeners[ln] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, ln)
+		s.mu.Unlock()
+	}()
+	s.startBatcher()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if s.closing.Load() {
+				return ErrServerClosed
+			}
+			return err
+		}
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.st.connsRejected.Add(1)
+			s.refuse(nc, proto.ErrCodeBusy, "connection limit reached")
+			continue
+		}
+		if !s.admit(nc) {
+			<-s.sem
+			continue
+		}
+		go func() {
+			defer func() { <-s.sem }()
+			s.handle(nc)
+		}()
+	}
+}
+
+// admit reserves a handler slot in the connection WaitGroup, or refuses
+// the connection if the server is draining. The check and the Add
+// happen under mu — the same lock stop() holds while setting closing —
+// so an Add can never race a Shutdown that already started Wait
+// (sync.WaitGroup forbids Add concurrent with a Wait at zero).
+func (s *Server) admit(nc net.Conn) bool {
+	s.mu.Lock()
+	if s.closing.Load() {
+		s.mu.Unlock()
+		s.refuse(nc, proto.ErrCodeShutdown, "server is shutting down")
+		return false
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	return true
+}
+
+// ServeConn serves a single pre-established connection (net.Pipe in
+// tests, a socketpair, an accepted TLS conn, ...) to completion. It
+// counts against MaxConns only in the sense of sharing the batcher and
+// stats; the semaphore governs Serve's accepts.
+func (s *Server) ServeConn(nc net.Conn) {
+	if !s.admit(nc) {
+		return
+	}
+	s.startBatcher()
+	go s.handle(nc)
+}
+
+// refuse sends one error frame (best effort, bounded) and closes.
+func (s *Server) refuse(nc net.Conn, code byte, msg string) {
+	go func() {
+		nc.SetWriteDeadline(time.Now().Add(time.Second))
+		proto.WriteFrame(nc, errorFrame(0, code, msg))
+		nc.Close()
+	}()
+}
+
+// Shutdown gracefully stops the server: it closes the listeners, wakes
+// idle readers, lets in-flight requests finish and their replies flush,
+// stops the write coalescer, and commits a final checkpoint. If ctx
+// expires first, remaining connections are severed (their unapplied
+// requests are dropped; the checkpoint still runs). Shutdown returns
+// the checkpoint's error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.stop(false)
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.severConns()
+		<-done
+	}
+	s.bat.close()
+	return s.db.Checkpoint()
+}
+
+// Close force-stops the server: listeners closed, connections severed,
+// no final checkpoint — the on-disk state stays at the last commit,
+// exactly as if the process had been killed. It never blocks on peers.
+func (s *Server) Close() {
+	s.stop(true)
+	s.wg.Wait()
+	s.bat.close()
+}
+
+// stop closes listeners and either wakes (graceful) or severs (force)
+// the live connections. Idempotent via stopOnce for the listener part;
+// conn poking is safe to repeat.
+func (s *Server) stop(force bool) {
+	// closing is set under mu so it cannot interleave with admit():
+	// after this critical section, no new handler can join the
+	// WaitGroup that Shutdown/Close is about to Wait on.
+	s.mu.Lock()
+	s.closing.Store(true)
+	for ln := range s.listeners {
+		ln.Close()
+	}
+	s.mu.Unlock()
+	// Ensure the coalescer goroutine exists: bat.close() waits for it
+	// to exit, even if the server never served a connection.
+	s.startBatcher()
+	if force {
+		s.severConns()
+	} else {
+		s.mu.Lock()
+		for c := range s.conns {
+			// Expire the blocked read; the reader drains its buffered
+			// frames and exits cleanly, flushing pending replies.
+			c.nc.SetReadDeadline(time.Now())
+		}
+		s.mu.Unlock()
+	}
+}
+
+func (s *Server) severConns() {
+	s.mu.Lock()
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.close()
+	}
+}
+
+// maxReplyQueue bounds the per-connection outbound queue in frames. A
+// healthy peer's queue is bounded by its pipeline depth; a peer that
+// pipelines past this without reading replies is disconnected rather
+// than allowed to grow server memory.
+const maxReplyQueue = 1 << 14
+
+// conn is one served connection.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+
+	// Outbound replies. send() never blocks — it appends under qmu and
+	// signals qsig — so the server-wide write coalescer can never be
+	// stalled by one slow connection (it just disconnects a peer whose
+	// queue passes maxReplyQueue). qdone marks end-of-stream: the
+	// reader finished (flush what remains) or the conn died (discard).
+	qmu   sync.Mutex
+	queue []proto.Frame
+	qdone bool
+	qsig  chan struct{} // capacity 1: wake the writer
+
+	// done closes when the connection is dead.
+	done      chan struct{}
+	closeOnce sync.Once
+	// pending counts writes handed to the coalescer and not yet
+	// replied. Only the reader goroutine Adds, so Wait in the reader is
+	// race-free; reads and barriers Wait to preserve program order.
+	pending sync.WaitGroup
+}
+
+func (c *conn) close() {
+	c.closeOnce.Do(func() {
+		close(c.done)
+		c.nc.Close()
+		c.markDone()
+	})
+}
+
+// markDone ends the outbound stream and wakes the writer.
+func (c *conn) markDone() {
+	c.qmu.Lock()
+	c.qdone = true
+	c.qmu.Unlock()
+	select {
+	case c.qsig <- struct{}{}:
+	default:
+	}
+}
+
+// send queues a reply for the writer without ever blocking the caller.
+// Replies after end-of-stream are dropped; a peer whose queue is full
+// (it stopped reading) is disconnected.
+func (c *conn) send(f proto.Frame) {
+	c.qmu.Lock()
+	if c.qdone {
+		c.qmu.Unlock()
+		return
+	}
+	if len(c.queue) >= maxReplyQueue {
+		c.qmu.Unlock()
+		c.close()
+		return
+	}
+	c.queue = append(c.queue, f)
+	c.qmu.Unlock()
+	select {
+	case c.qsig <- struct{}{}:
+	default:
+	}
+}
+
+func errorFrame(id uint64, code byte, msg string) proto.Frame {
+	return proto.Frame{
+		Ver:     proto.Version,
+		Op:      proto.OpError,
+		ID:      id,
+		Payload: proto.AppendError(nil, code, msg),
+	}
+}
+
+// handle runs one connection to completion: a writer goroutine plus the
+// read-dispatch loop on this goroutine. Must be preceded by wg.Add(1).
+func (s *Server) handle(nc net.Conn) {
+	defer s.wg.Done()
+	c := &conn{
+		srv:  s,
+		nc:   nc,
+		qsig: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	s.mu.Lock()
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+	if s.closing.Load() {
+		// Shutdown may have poked the registered conns just before this
+		// one registered; make sure it cannot sit in a blocked read.
+		nc.SetReadDeadline(time.Now())
+	}
+	s.st.connsAccepted.Add(1)
+	s.st.connsActive.Add(1)
+
+	var writerDone sync.WaitGroup
+	writerDone.Add(1)
+	go func() {
+		defer writerDone.Done()
+		c.writeLoop()
+	}()
+
+	c.readLoop()
+
+	// The reader is done submitting. Wait for the coalescer to answer
+	// every in-flight write, end the reply stream so the writer flushes
+	// and exits, then tear the connection down.
+	c.pending.Wait()
+	c.markDone()
+	writerDone.Wait()
+	c.close()
+
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	s.st.connsActive.Add(-1)
+}
+
+// writeLoop serializes replies: swap out the whole pending queue,
+// write every frame, flush, repeat — so a burst of pipelined replies
+// costs one syscall. After a write error the connection is closed and
+// later replies are discarded; senders never block either way.
+func (c *conn) writeLoop() {
+	bw := bufio.NewWriterSize(c.nc, 64<<10)
+	var scratch []byte
+	var batch []proto.Frame
+	failed := false
+	wt := c.srv.cfg.WriteTimeout
+	for {
+		c.qmu.Lock()
+		batch, c.queue = c.queue, batch[:0]
+		done := c.qdone
+		c.qmu.Unlock()
+
+		if len(batch) > 0 && !failed {
+			if wt > 0 {
+				c.nc.SetWriteDeadline(time.Now().Add(wt))
+			}
+			var err error
+			for _, f := range batch {
+				scratch = proto.AppendFrame(scratch[:0], f)
+				c.srv.st.bytesOut.Add(uint64(len(scratch)))
+				if _, err = bw.Write(scratch); err != nil {
+					break
+				}
+			}
+			if err == nil {
+				err = bw.Flush()
+			}
+			if err != nil {
+				failed = true
+				c.close()
+			}
+		}
+		if done {
+			c.qmu.Lock()
+			empty := len(c.queue) == 0
+			c.qmu.Unlock()
+			if empty {
+				return
+			}
+			continue // drain what raced in with markDone
+		}
+		if len(batch) == 0 {
+			<-c.qsig // sleep until there is work or end-of-stream
+		}
+	}
+}
+
+// readLoop decodes and dispatches frames until the peer goes away, the
+// stream turns hostile, or shutdown expires the read deadline.
+func (c *conn) readLoop() {
+	s := c.srv
+	br := bufio.NewReaderSize(c.nc, 64<<10)
+	for {
+		if s.closing.Load() {
+			// Draining: stop accepting new frames. Without this check a
+			// busy pipeliner would overwrite Shutdown's deadline poke
+			// below and keep the server "draining" until the force
+			// timeout. In-flight writes still get their replies flushed
+			// by the teardown in handle.
+			return
+		}
+		if s.cfg.ReadTimeout > 0 {
+			c.nc.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		}
+		f, err := proto.ReadFrame(br, s.cfg.MaxPayload)
+		if err != nil {
+			// Framing violations get a parting error frame; EOF and
+			// deadline expiry are normal ends. Either way the stream
+			// cannot be resynchronized, so the connection ends.
+			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) &&
+				!isTimeout(err) && !errors.Is(err, net.ErrClosed) {
+				code := byte(proto.ErrCodeBadFrame)
+				if errors.Is(err, proto.ErrFrameTooLarge) {
+					code = proto.ErrCodeTooLarge
+				}
+				c.sendError(0, code, err.Error())
+			}
+			return
+		}
+		s.st.bytesIn.Add(uint64(proto.HeaderSize + len(f.Payload)))
+		s.st.requests.Add(1)
+		if f.Ver != proto.Version {
+			c.sendError(f.ID, proto.ErrCodeVersion,
+				fmt.Sprintf("protocol version %d, server speaks %d", f.Ver, proto.Version))
+			return
+		}
+		if !c.dispatch(f) {
+			return
+		}
+	}
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+func (c *conn) sendError(id uint64, code byte, msg string) {
+	c.srv.st.errors.Add(1)
+	c.send(errorFrame(id, code, msg))
+}
+
+func (c *conn) reply(id uint64, op byte, payload []byte) {
+	c.send(proto.Frame{Ver: proto.Version, Op: op | proto.FlagReply, ID: id, Payload: payload})
+}
+
+// dispatch executes one request. It returns false when the connection
+// must close (protocol violation so severe the stream is untrustworthy
+// — currently nothing below qualifies; malformed payloads get an error
+// reply and the stream continues, since framing is still intact).
+func (c *conn) dispatch(f proto.Frame) bool {
+	s := c.srv
+	switch f.Op {
+	case proto.OpPut:
+		key, val, err := proto.DecodeKeyVal(f.Payload)
+		if err != nil {
+			c.sendError(f.ID, proto.ErrCodeBadFrame, err.Error())
+			return true
+		}
+		s.st.writes.Add(1)
+		c.pending.Add(1)
+		s.bat.submit(writeReq{key: key, val: val, id: f.ID, c: c})
+
+	case proto.OpDel:
+		key, err := proto.DecodeKey(f.Payload)
+		if err != nil {
+			c.sendError(f.ID, proto.ErrCodeBadFrame, err.Error())
+			return true
+		}
+		s.st.writes.Add(1)
+		c.pending.Add(1)
+		s.bat.submit(writeReq{key: key, del: true, id: f.ID, c: c})
+
+	case proto.OpGet:
+		key, err := proto.DecodeKey(f.Payload)
+		if err != nil {
+			c.sendError(f.ID, proto.ErrCodeBadFrame, err.Error())
+			return true
+		}
+		s.st.reads.Add(1)
+		c.pending.Wait() // program order: reads see this conn's writes
+		val, ok := s.db.Get(key)
+		c.reply(f.ID, proto.OpGet, proto.AppendFound(nil, ok, val))
+
+	case proto.OpBatch:
+		kind, items, keys, err := proto.DecodeBatch(f.Payload)
+		if err != nil {
+			c.sendError(f.ID, proto.ErrCodeBadFrame, err.Error())
+			return true
+		}
+		c.pending.Wait()
+		switch kind {
+		case proto.BatchPut:
+			s.st.writes.Add(uint64(len(items)))
+			n := s.db.PutBatch(items)
+			c.reply(f.ID, proto.OpBatch, proto.AppendU32(nil, uint32(n)))
+		case proto.BatchGet:
+			if len(keys) > proto.MaxBatchGet {
+				// The reply (9 bytes per key) would exceed the frame
+				// payload cap even though the request fit under it.
+				c.sendError(f.ID, proto.ErrCodeTooLarge,
+					fmt.Sprintf("batch-get of %d keys exceeds the %d-key reply cap", len(keys), proto.MaxBatchGet))
+				return true
+			}
+			s.st.reads.Add(uint64(len(keys)))
+			vals, ok := s.db.GetBatch(keys)
+			c.reply(f.ID, proto.OpBatch, proto.AppendBatchGetReply(nil, vals, ok))
+		case proto.BatchDel:
+			s.st.writes.Add(uint64(len(keys)))
+			n := s.db.DeleteBatch(keys)
+			c.reply(f.ID, proto.OpBatch, proto.AppendU32(nil, uint32(n)))
+		}
+
+	case proto.OpRange:
+		lo, hi, max, err := proto.DecodeRangeReq(f.Payload)
+		if err != nil {
+			c.sendError(f.ID, proto.ErrCodeBadFrame, err.Error())
+			return true
+		}
+		s.st.reads.Add(1)
+		c.pending.Wait()
+		limit := s.cfg.MaxRangeItems
+		if max > 0 && int(max) < limit {
+			limit = int(max)
+		}
+		// RangeN bounds work and memory by the limit, not the window
+		// size, so a whole-keyspace RANGE costs O(shards·limit).
+		items, more := s.db.RangeN(lo, hi, limit, nil)
+		c.reply(f.ID, proto.OpRange, proto.AppendRangeReply(nil, items, more))
+
+	case proto.OpLen:
+		s.st.reads.Add(1)
+		c.pending.Wait()
+		c.reply(f.ID, proto.OpLen, proto.AppendU64(nil, uint64(s.db.Len())))
+
+	case proto.OpCheckpoint:
+		// A durability barrier: everything this connection has been
+		// acknowledged for is on disk when the reply arrives.
+		c.pending.Wait()
+		if err := s.db.Checkpoint(); err != nil {
+			c.sendError(f.ID, proto.ErrCodeInternal, err.Error())
+			return true
+		}
+		c.reply(f.ID, proto.OpCheckpoint, proto.AppendU64(nil, s.db.Checkpoints()))
+
+	case proto.OpPing:
+		c.reply(f.ID, proto.OpPing, f.Payload)
+
+	default:
+		c.sendError(f.ID, proto.ErrCodeUnknownOp, proto.OpName(f.Op))
+	}
+	return true
+}

@@ -1,0 +1,82 @@
+package server
+
+import "sync/atomic"
+
+// stats holds the server's hot-path counters. Everything is atomic so
+// the handlers never synchronize just to count.
+type stats struct {
+	connsAccepted atomic.Uint64
+	connsRejected atomic.Uint64
+	connsActive   atomic.Int64
+	requests      atomic.Uint64
+	reads         atomic.Uint64 // GET, batch-get, RANGE, LEN
+	writes        atomic.Uint64 // PUT, DEL, batch-put/del entries
+	errors        atomic.Uint64 // error frames sent
+	wBatches      atomic.Uint64 // coalescer drains applied
+	wBatchedOps   atomic.Uint64 // write ops that went through the coalescer
+	wMaxBatch     atomic.Uint64 // largest single coalesced batch
+	bytesIn       atomic.Uint64
+	bytesOut      atomic.Uint64
+}
+
+func (s *stats) noteBatch(n int) {
+	s.wBatches.Add(1)
+	s.wBatchedOps.Add(uint64(n))
+	for {
+		old := s.wMaxBatch.Load()
+		if uint64(n) <= old || s.wMaxBatch.CompareAndSwap(old, uint64(n)) {
+			return
+		}
+	}
+}
+
+// Stats is a point-in-time snapshot of the server's counters, shaped
+// for expvar publication (every field marshals to JSON).
+type Stats struct {
+	ConnsAccepted uint64 `json:"conns_accepted"`
+	ConnsRejected uint64 `json:"conns_rejected"`
+	ConnsActive   int64  `json:"conns_active"`
+	Requests      uint64 `json:"requests"`
+	Reads         uint64 `json:"reads"`
+	Writes        uint64 `json:"writes"`
+	Errors        uint64 `json:"errors"`
+	WriteBatches  uint64 `json:"write_batches"`
+	WriteBatched  uint64 `json:"write_batched_ops"`
+	WriteMaxBatch uint64 `json:"write_max_batch"`
+	BytesIn       uint64 `json:"bytes_in"`
+	BytesOut      uint64 `json:"bytes_out"`
+	Keys          int    `json:"keys"`
+	Checkpoints   uint64 `json:"checkpoints"`
+	PendingOps    uint64 `json:"pending_ops"`
+}
+
+// Stats returns a snapshot of the server's counters plus the durable
+// layer's key count, committed checkpoints, and uncheckpointed-op
+// window. It is safe to call at any time, including during shutdown,
+// and cheap enough to scrape: the key count sums the shards one brief
+// lock at a time (a consistent-enough reading for monitoring) instead
+// of taking the whole-store atomic cut that DB.Len costs.
+func (s *Server) Stats() Stats {
+	keys := 0
+	store := s.db.Store()
+	for i := 0; i < store.NumShards(); i++ {
+		keys += store.ShardLen(i)
+	}
+	return Stats{
+		ConnsAccepted: s.st.connsAccepted.Load(),
+		ConnsRejected: s.st.connsRejected.Load(),
+		ConnsActive:   s.st.connsActive.Load(),
+		Requests:      s.st.requests.Load(),
+		Reads:         s.st.reads.Load(),
+		Writes:        s.st.writes.Load(),
+		Errors:        s.st.errors.Load(),
+		WriteBatches:  s.st.wBatches.Load(),
+		WriteBatched:  s.st.wBatchedOps.Load(),
+		WriteMaxBatch: s.st.wMaxBatch.Load(),
+		BytesIn:       s.st.bytesIn.Load(),
+		BytesOut:      s.st.bytesOut.Load(),
+		Keys:          keys,
+		Checkpoints:   s.db.Checkpoints(),
+		PendingOps:    s.db.PendingOps(),
+	}
+}

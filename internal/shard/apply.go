@@ -1,0 +1,65 @@
+package shard
+
+import "fmt"
+
+// Op is one mutation in a mixed ApplyBatch: an upsert of (Key, Val), or
+// a delete of Key when Delete is set.
+type Op struct {
+	Key, Val int64
+	Delete   bool
+}
+
+// ApplyBatch applies a mixed sequence of upserts and deletes, grouped
+// by shard with each shard's lock taken exactly once, and reports the
+// per-operation outcome: changed[i] is true when op i changed key
+// presence (a fresh insert, or a delete that found its key). The return
+// value is the number of true entries. Operations on the same shard
+// apply in batch order (the grouping is stable), so a put and a delete
+// of the same key within one batch resolve exactly as the equivalent
+// sequence of point operations would.
+//
+// This is the server-side coalescing primitive: writes from many
+// network connections are gathered into one ApplyBatch, turning k
+// point-op lock acquisitions into at most min(k, shards) while
+// preserving every connection's submission order and per-op result.
+//
+// changed must be nil (outcomes discarded) or have len(ops).
+func (s *Store) ApplyBatch(ops []Op, changed []bool) (n int, err error) {
+	if changed != nil && len(changed) != len(ops) {
+		return 0, fmt.Errorf("shard: ApplyBatch: %d outcome slots for %d ops", len(changed), len(ops))
+	}
+	if len(ops) == 0 {
+		return 0, nil
+	}
+	p := s.groupByShard(len(ops), func(i int) int64 { return ops[i].Key })
+	for g := range s.cells {
+		lo, hi := p.start[g], p.start[g+1]
+		if lo == hi {
+			continue
+		}
+		c := &s.cells[g]
+		c.mu.Lock()
+		shardChanged := false
+		for _, i := range p.order[lo:hi] {
+			var ch bool
+			if ops[i].Delete {
+				ch = c.dict.Delete(ops[i].Key)
+			} else {
+				ch = c.dict.Put(ops[i].Key, ops[i].Val)
+				shardChanged = true // an upsert may rewrite the value either way
+			}
+			if ch {
+				n++
+				shardChanged = true
+			}
+			if changed != nil {
+				changed[i] = ch
+			}
+		}
+		if shardChanged {
+			c.version++
+		}
+		c.mu.Unlock()
+	}
+	return n, nil
+}

@@ -1,0 +1,145 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestApplyBatchDifferential checks a mixed put/delete batch against the
+// equivalent sequence of point operations on a reference map, including
+// the per-op changed flags.
+func TestApplyBatchDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		s, err := New(8, uint64(trial), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := map[int64]int64{}
+		// Preload some keys.
+		for i := 0; i < 50; i++ {
+			k := int64(rng.Intn(100))
+			v := rng.Int63n(1000)
+			s.Put(k, v)
+			ref[k] = v
+		}
+		ops := make([]Op, 120)
+		wantChanged := make([]bool, len(ops))
+		wantN := 0
+		for i := range ops {
+			k := int64(rng.Intn(100))
+			if rng.Intn(3) == 0 {
+				ops[i] = Op{Key: k, Delete: true}
+				if _, ok := ref[k]; ok {
+					wantChanged[i] = true
+					wantN++
+					delete(ref, k)
+				}
+			} else {
+				v := rng.Int63n(1000)
+				ops[i] = Op{Key: k, Val: v}
+				if _, ok := ref[k]; !ok {
+					wantChanged[i] = true
+					wantN++
+				}
+				ref[k] = v
+			}
+		}
+		changed := make([]bool, len(ops))
+		n, err := s.ApplyBatch(ops, changed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != wantN {
+			t.Fatalf("trial %d: %d changed, want %d", trial, n, wantN)
+		}
+		for i := range changed {
+			if changed[i] != wantChanged[i] {
+				t.Fatalf("trial %d: op %d (%+v) changed=%v want %v",
+					trial, i, ops[i], changed[i], wantChanged[i])
+			}
+		}
+		if s.Len() != len(ref) {
+			t.Fatalf("trial %d: len %d, want %d", trial, s.Len(), len(ref))
+		}
+		for k, v := range ref {
+			if got, ok := s.Get(k); !ok || got != v {
+				t.Fatalf("trial %d: key %d = %d,%v, want %d", trial, k, got, ok, v)
+			}
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestApplyBatchOrder pins same-key ordering: within one batch, a put
+// then a delete of the same key must leave the key absent, and the
+// reverse must leave it present — exactly like point ops.
+func TestApplyBatchOrder(t *testing.T) {
+	s, err := New(4, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := make([]bool, 4)
+	n, err := s.ApplyBatch([]Op{
+		{Key: 1, Val: 10},      // insert: changed
+		{Key: 1, Delete: true}, // delete it: changed
+		{Key: 2, Delete: true}, // absent: unchanged
+		{Key: 2, Val: 20},      // insert: changed
+	}, changed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("n = %d, want 3", n)
+	}
+	want := []bool{true, true, false, true}
+	for i := range want {
+		if changed[i] != want[i] {
+			t.Fatalf("changed = %v, want %v", changed, want)
+		}
+	}
+	if s.Has(1) || !s.Has(2) {
+		t.Fatalf("final state wrong: has(1)=%v has(2)=%v", s.Has(1), s.Has(2))
+	}
+}
+
+// TestApplyBatchVersions checks that only touched shards bump their
+// version counters, and untouched ones stay checkpoint-clean.
+func TestApplyBatchVersions(t *testing.T) {
+	s, err := New(8, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]uint64, s.NumShards())
+	for i := range before {
+		before[i] = s.ShardVersion(i)
+	}
+	key := int64(12345)
+	if _, err := s.ApplyBatch([]Op{{Key: key, Val: 1}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	touched := s.ShardOf(key)
+	for i := range before {
+		moved := s.ShardVersion(i) != before[i]
+		if moved != (i == touched) {
+			t.Fatalf("shard %d: version moved=%v, touched shard is %d", i, moved, touched)
+		}
+	}
+	// A delete that finds nothing must not dirty any shard.
+	for i := range before {
+		before[i] = s.ShardVersion(i)
+	}
+	if _, err := s.ApplyBatch([]Op{{Key: 999999, Delete: true}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if s.ShardVersion(i) != before[i] {
+			t.Fatalf("no-op delete dirtied shard %d", i)
+		}
+	}
+	if _, err := s.ApplyBatch([]Op{{Key: 1}}, make([]bool, 2)); err == nil {
+		t.Fatal("mismatched changed length accepted")
+	}
+}

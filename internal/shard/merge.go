@@ -151,6 +151,44 @@ func (s *Store) Range(lo, hi int64, out []Item) []Item {
 	return out
 }
 
+// RangeN appends at most max items with lo <= key <= hi to out in
+// ascending key order and reports whether the window held more. Each
+// shard contributes a window bounded at max+1 items under its own
+// brief lock (the merged prefix of length max+1 can draw at most that
+// many from any one shard), so memory and work are O(shards·max)
+// however large the full window is — the form a network server must
+// use, where max is the reply-size cap and clients paginate. Like
+// Range, the result is per-shard consistent, not a cross-shard cut.
+func (s *Store) RangeN(lo, hi int64, max int, out []Item) (_ []Item, more bool) {
+	if lo > hi || max <= 0 {
+		return out, false
+	}
+	if max > int(^uint(0)>>1)-1 {
+		max = int(^uint(0)>>1) - 1 // keep the max+1 sentinel below from overflowing
+	}
+	runs := make([]*run, 0, len(s.cells))
+	for i := range s.cells {
+		c := &s.cells[i]
+		c.rlock()
+		items := c.dict.RangeN(lo, hi, max+1, nil)
+		c.runlock()
+		if len(items) > 0 {
+			runs = append(runs, &run{buf: items})
+		}
+	}
+	n := 0
+	merge(runs, func(it Item) bool {
+		if n == max {
+			more = true
+			return false
+		}
+		out = append(out, it)
+		n++
+		return true
+	})
+	return out, more
+}
+
 // Ascend calls fn on every item in ascending key order, merged across
 // shards, stopping early if fn returns false. Shards are streamed in
 // runChunk-item chunks, each fetched under its shard's own brief read

@@ -1,0 +1,60 @@
+package shard
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestRangeN checks the bounded range against the unbounded one: same
+// prefix, correct more flag, and a whole-keyspace scan with a tiny
+// limit must not materialize the store.
+func TestRangeN(t *testing.T) {
+	s, err := New(8, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		s.Put(rng.Int63n(20000), int64(i))
+	}
+	full := s.Range(0, math.MaxInt64, nil)
+	for _, max := range []int{1, 7, 100, len(full), len(full) + 10} {
+		got, more := s.RangeN(math.MinInt64, math.MaxInt64, max, nil)
+		wantN := max
+		if wantN > len(full) {
+			wantN = len(full)
+		}
+		if len(got) != wantN {
+			t.Fatalf("max %d: got %d items, want %d", max, len(got), wantN)
+		}
+		if more != (len(full) > max) {
+			t.Fatalf("max %d: more=%v with %d total", max, more, len(full))
+		}
+		for i := range got {
+			if got[i] != full[i] {
+				t.Fatalf("max %d: item %d = %+v, want %+v", max, i, got[i], full[i])
+			}
+		}
+	}
+	// Bounds and degenerate cases.
+	if got, more := s.RangeN(10, 5, 100, nil); len(got) != 0 || more {
+		t.Fatal("inverted bounds returned items")
+	}
+	if got, more := s.RangeN(0, 100, 0, nil); len(got) != 0 || more {
+		t.Fatal("zero max returned items")
+	}
+	// An effectively unlimited max must not overflow the internal
+	// max+1 sentinel into "no items".
+	if got, more := s.RangeN(math.MinInt64, math.MaxInt64, math.MaxInt, nil); len(got) != len(full) || more {
+		t.Fatalf("max=MaxInt: %d items (more=%v), want %d", len(got), more, len(full))
+	}
+	// A window with exactly max items reports more=false.
+	if len(full) >= 3 {
+		lo, hi := full[0].Key, full[2].Key
+		got, more := s.RangeN(lo, hi, 3, nil)
+		if len(got) != 3 || more {
+			t.Fatalf("exact window: %d items, more=%v", len(got), more)
+		}
+	}
+}
