@@ -127,6 +127,74 @@ func TestServerGoneMidFlight(t *testing.T) {
 	}
 }
 
+// TestReadOnlyRemoteError checks the read-only error path: every
+// mutating operation against a replica surfaces a typed RemoteError
+// carrying ErrCodeReadOnly AND matches the ErrReadOnly sentinel, while
+// the same connection keeps serving reads — the write-path twin of
+// TestRemoteErrorSurface.
+func TestReadOnlyRemoteError(t *testing.T) {
+	db, err := durable.Open("db", &durable.Options{
+		Shards: 4, Seed: 7, NoBackground: true, FS: durable.NewMemFS(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.Put(10, 100)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(db, server.Config{ReadOnly: true})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	c, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	wantReadOnly := func(what string, err error) {
+		t.Helper()
+		if !errors.Is(err, client.ErrReadOnly) {
+			t.Fatalf("%s on replica: %v, want ErrReadOnly in the chain", what, err)
+		}
+		var re *proto.RemoteError
+		if !errors.As(err, &re) || re.Code != proto.ErrCodeReadOnly {
+			t.Fatalf("%s on replica: %v, want RemoteError{ErrCodeReadOnly}", what, err)
+		}
+	}
+	_, err = c.Put(1, 1)
+	wantReadOnly("put", err)
+	_, err = c.Delete(10)
+	wantReadOnly("delete", err)
+	_, err = c.PutBatch([]client.Item{{Key: 2, Val: 2}})
+	wantReadOnly("put batch", err)
+	_, err = c.DeleteBatch([]int64{10})
+	wantReadOnly("delete batch", err)
+	_, err = c.Checkpoint()
+	wantReadOnly("checkpoint", err)
+
+	// The refusals must not have poisoned the connection: reads work and
+	// see the replica's installed state, and the write never applied.
+	if v, ok, err := c.Get(10); err != nil || !ok || v != 100 {
+		t.Fatalf("get after refusals: %d %v %v", v, ok, err)
+	}
+	if _, ok, err := c.Get(1); err != nil || ok {
+		t.Fatalf("refused put leaked into the store: %v %v", ok, err)
+	}
+	if vals, ok, err := c.GetBatch([]int64{10}); err != nil || !ok[0] || vals[0] != 100 {
+		t.Fatalf("batch get on replica: %v %v %v", vals, ok, err)
+	}
+	if n, err := c.Len(); err != nil || n != 1 {
+		t.Fatalf("len on replica: %d %v", n, err)
+	}
+}
+
 // TestRemoteErrorSurface checks that a server-side rejection arrives as
 // a typed RemoteError.
 func TestRemoteErrorSurface(t *testing.T) {

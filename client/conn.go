@@ -21,6 +21,17 @@ type Item = proto.Item
 // one whose peer went away). The detailed cause is wrapped.
 var ErrConnClosed = errors.New("client: connection closed")
 
+// ErrReadOnly is wrapped into the error a mutating operation gets back
+// from a read replica (server code ErrCodeReadOnly). Check it with
+// errors.Is and redirect the write to the primary; the connection
+// stays usable for reads. The underlying *proto.RemoteError is also in
+// the chain for errors.As.
+var ErrReadOnly = errors.New("client: server is a read-only replica")
+
+// ShardHash re-exports the per-shard checkpoint descriptor returned by
+// SyncShardHashes: the committed canonical image's size and SHA-256.
+type ShardHash = proto.ShardHash
+
 // Conn is one pipelined protocol connection. It is safe for concurrent
 // use: every method may be called from any goroutine, and concurrent
 // calls share the connection as in-flight pipelined requests.
@@ -58,6 +69,16 @@ func DialTimeout(addr string, d time.Duration) (*Conn, error) {
 	c := NewConn(nc)
 	c.timeout = d
 	return c, nil
+}
+
+// NewConnTimeout is NewConn with a per-request reply timeout (0:
+// none): a call whose reply does not arrive within d fails instead of
+// waiting forever, so a peer that accepts the connection but never
+// answers cannot wedge the caller.
+func NewConnTimeout(nc net.Conn, d time.Duration) *Conn {
+	c := NewConn(nc)
+	c.timeout = d
+	return c
 }
 
 // NewConn wraps an established net.Conn (a TCP conn, one end of a
@@ -203,7 +224,13 @@ func (c *Conn) call(op byte, payload []byte) (proto.Frame, error) {
 			if err != nil {
 				return proto.Frame{}, fmt.Errorf("client: bad error frame: %w", err)
 			}
-			return proto.Frame{}, &proto.RemoteError{Code: code, Msg: msg}
+			rerr := &proto.RemoteError{Code: code, Msg: msg}
+			if code == proto.ErrCodeReadOnly {
+				// Both sentinels stay in the chain: errors.Is(err,
+				// ErrReadOnly) for routing, errors.As for the code.
+				return proto.Frame{}, fmt.Errorf("%w: %w", ErrReadOnly, rerr)
+			}
+			return proto.Frame{}, rerr
 		}
 		if f.Op != op|proto.FlagReply {
 			return proto.Frame{}, fmt.Errorf("client: reply opcode %s to request %s",
@@ -323,6 +350,35 @@ func (c *Conn) Checkpoint() (uint64, error) {
 		return 0, err
 	}
 	return proto.DecodeU64(f.Payload)
+}
+
+// SyncShardHashes fetches the server's last committed checkpoint
+// descriptor: its routing seed and, per shard, the canonical image's
+// size and SHA-256. Two nodes with equal contents return equal hashes
+// for every shard, so this is the comparison an anti-entropy round
+// starts with.
+func (c *Conn) SyncShardHashes() (hseed uint64, entries []ShardHash, err error) {
+	f, err := c.call(proto.OpShardHash, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	return proto.DecodeShardHashes(f.Payload)
+}
+
+// SyncShardChunk fetches up to maxLen bytes (0: the server's default)
+// of shard i's committed canonical image, identified by the hash a
+// SyncShardHashes call advertised, starting at offset. more reports
+// that the image continues past the returned bytes. A hash superseded
+// by a newer checkpoint fails with a RemoteError carrying
+// proto.ErrCodeStale — re-fetch the hashes and retry. Callers
+// assembling a whole image must verify its SHA-256 against the
+// advertised hash.
+func (c *Conn) SyncShardChunk(i int, hash [32]byte, offset uint64, maxLen int) (data []byte, more bool, err error) {
+	f, err := c.call(proto.OpSync, proto.AppendSyncReq(nil, uint32(i), hash, offset, uint32(maxLen)))
+	if err != nil {
+		return nil, false, err
+	}
+	return proto.DecodeSyncChunk(f.Payload)
 }
 
 // Ping round-trips payload (may be nil) through the server.

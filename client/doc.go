@@ -17,4 +17,11 @@
 // pipelined read is ordered after the same connection's in-flight
 // writes. Checkpoint is a durability barrier: when it returns, every
 // operation this connection has had acknowledged is on disk.
+//
+// A connection may point at a read replica. Reads behave identically;
+// mutating calls fail with an error matching both the ErrReadOnly
+// sentinel (errors.Is — route the write to the primary) and a typed
+// *proto.RemoteError with code ErrCodeReadOnly (errors.As). The
+// SyncShardHashes and SyncShardChunk methods expose the replication
+// opcodes replicas converge with (see repro/internal/replica).
 package client

@@ -20,6 +20,13 @@
 // requests, measuring the wire-level batching win; ops counts keys, not
 // requests.
 //
+// Read-scaling mode: -replicas N (self-host only) stands up N read
+// replicas next to the in-process primary, preloads the key space,
+// waits for the replicas to converge, and then sends reads to the
+// replicas (round-robin) while writes keep hitting the primary — the
+// fan-out read tier measured end to end. Against an external cluster,
+// -replica-addrs lists replica addresses for the same split.
+//
 // The process exits nonzero if total completed ops fall below -min-ops,
 // so a wedged server fails loudly in CI.
 package main
@@ -33,18 +40,21 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	antipersist "repro"
 	"repro/client"
+	"repro/internal/replica"
 	"repro/internal/server"
 )
 
 type result struct {
 	Addr       string  `json:"addr"`
 	SelfHosted bool    `json:"self_hosted"`
+	Replicas   int     `json:"replicas"`
 	Conns      int     `json:"conns"`
 	Depth      int     `json:"depth"`
 	ReadFrac   float64 `json:"read_frac"`
@@ -74,8 +84,14 @@ func main() {
 		duration = flag.Duration("duration", 5*time.Second, "measurement window")
 		minOps   = flag.Uint64("min-ops", 1, "exit nonzero below this many completed ops")
 		jsonOut  = flag.Bool("json", false, "emit one JSON document instead of text")
+		replicas = flag.Int("replicas", 0, "self-host this many read replicas and send reads to them")
+		repAddrs = flag.String("replica-addrs", "", "comma-separated external replica addresses for reads")
 	)
 	flag.Parse()
+	if *replicas > 0 && *addr != "" {
+		fmt.Fprintln(os.Stderr, "hidbd-bench: -replicas requires self-hosting (omit -addr); use -replica-addrs against an external cluster")
+		os.Exit(2)
+	}
 
 	res := result{
 		Conns: *conns, Depth: *depth, ReadFrac: *readFrac, Keys: *keys, Batch: *batch,
@@ -84,17 +100,26 @@ func main() {
 
 	target := *addr
 	var stopServer func()
+	var replicaTargets []string
 	if target == "" {
 		res.SelfHosted = true
 		var err error
-		target, stopServer, err = selfHost()
+		target, replicaTargets, stopServer, err = selfHost(*replicas)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hidbd-bench: self-host: %v\n", err)
 			os.Exit(1)
 		}
 		defer stopServer()
 	}
+	if *repAddrs != "" {
+		for _, a := range strings.Split(*repAddrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				replicaTargets = append(replicaTargets, a)
+			}
+		}
+	}
 	res.Addr = target
+	res.Replicas = len(replicaTargets)
 
 	cl, err := client.Open(target, *conns, 30*time.Second)
 	if err != nil {
@@ -105,6 +130,28 @@ func main() {
 	if err := cl.Ping(nil); err != nil {
 		fmt.Fprintf(os.Stderr, "hidbd-bench: ping: %v\n", err)
 		os.Exit(1)
+	}
+
+	// The read pool: with replicas, reads go to them round-robin per
+	// worker; without, everything hits the primary.
+	readPools := []*client.Client{cl}
+	if len(replicaTargets) > 0 {
+		readPools = readPools[:0]
+		for _, a := range replicaTargets {
+			rcl, err := client.Open(a, *conns, 30*time.Second)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hidbd-bench: replica %s: %v\n", a, err)
+				os.Exit(1)
+			}
+			defer rcl.Close()
+			readPools = append(readPools, rcl)
+		}
+		// Preload the key space and let every replica converge onto the
+		// preloaded checkpoint so the read tier answers real lookups.
+		if err := preload(cl, readPools, *keys); err != nil {
+			fmt.Fprintf(os.Stderr, "hidbd-bench: preload: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	var ops, reads, writes, errs atomic.Uint64
@@ -122,6 +169,14 @@ func main() {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(w)*2654435761 + 1))
 			conn := cl.Conn() // round-robin: depth workers per conn
+			// Reads go to this worker's replica connection when a read
+			// tier exists; without one they stay on the SAME connection
+			// as the writes, preserving the classic single-node profile
+			// (depth workers per conn, per-conn read-after-write order).
+			rconn := conn
+			if len(replicaTargets) > 0 {
+				rconn = readPools[w%len(readPools)].Conn()
+			}
 			kbuf := make([]int64, 0, *batch)
 			ibuf := make([]client.Item, 0, *batch)
 			for i := 0; ; i++ {
@@ -143,7 +198,7 @@ func main() {
 					for j := 0; j < *batch; j++ {
 						kbuf = append(kbuf, rng.Int63n(int64(*keys)))
 					}
-					_, _, err = conn.GetBatch(kbuf)
+					_, _, err = rconn.GetBatch(kbuf)
 					n = *batch
 				case *batch > 1:
 					ibuf = ibuf[:0]
@@ -153,7 +208,7 @@ func main() {
 					_, err = conn.PutBatch(ibuf)
 					n = *batch
 				case isRead:
-					_, _, err = conn.Get(rng.Int63n(int64(*keys)))
+					_, _, err = rconn.Get(rng.Int63n(int64(*keys)))
 				default:
 					_, err = conn.Put(rng.Int63n(int64(*keys)), rng.Int63())
 				}
@@ -212,6 +267,9 @@ func main() {
 		if *batch > 1 {
 			mode = fmt.Sprintf("%d-key batches", *batch)
 		}
+		if res.Replicas > 0 {
+			mode += fmt.Sprintf(", reads fanned out to %d replica(s)", res.Replicas)
+		}
 		fmt.Printf("hidbd-bench: %s, %d conns x %d depth, %.0f%% reads, %s\n",
 			res.Addr, res.Conns, res.Depth, res.ReadFrac*100, mode)
 		fmt.Printf("  %d ops in %.2fs = %.0f ops/s (%d reads, %d writes, %d errors)\n",
@@ -226,28 +284,106 @@ func main() {
 }
 
 // selfHost starts an in-process hidbd over a fresh temp directory on a
-// loopback port and returns its address plus a teardown.
-func selfHost() (addr string, stop func(), err error) {
+// loopback port — plus nReplicas read replicas, each with its own
+// directory, continuously syncing off the primary — and returns the
+// primary address, the replica addresses, and one teardown.
+func selfHost(nReplicas int) (addr string, replicaAddrs []string, stop func(), err error) {
+	var stops []func()
+	stop = func() {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+	}
+	fail := func(err error) (string, []string, func(), error) {
+		stop()
+		return "", nil, nil, err
+	}
+
 	dir, err := os.MkdirTemp("", "hidbd-bench-*")
 	if err != nil {
-		return "", nil, err
+		return fail(err)
 	}
+	stops = append(stops, func() { os.RemoveAll(dir) })
 	db, err := antipersist.Open(dir, &antipersist.DBOptions{Shards: 16, Seed: 42})
 	if err != nil {
-		os.RemoveAll(dir)
-		return "", nil, err
+		return fail(err)
 	}
+	stops = append(stops, func() { db.Close() })
 	srv := server.New(db, server.Config{})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		db.Close()
-		os.RemoveAll(dir)
-		return "", nil, err
+		return fail(err)
 	}
 	go srv.Serve(ln)
-	return ln.Addr().String(), func() {
-		srv.Close()
-		db.Close()
-		os.RemoveAll(dir)
-	}, nil
+	stops = append(stops, srv.Close)
+	addr = ln.Addr().String()
+
+	for i := 0; i < nReplicas; i++ {
+		rdir, err := os.MkdirTemp("", "hidbd-bench-replica-*")
+		if err != nil {
+			return fail(err)
+		}
+		stops = append(stops, func() { os.RemoveAll(rdir) })
+		rdb, err := antipersist.Open(rdir, &antipersist.DBOptions{
+			Shards: 16, Seed: uint64(1000 + i), NoBackground: true,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		stops = append(stops, func() { rdb.Close() })
+		rep, err := replica.New(rdb, replica.Config{
+			Interval: 50 * time.Millisecond,
+			Dial: func() (net.Conn, error) {
+				return net.DialTimeout("tcp", addr, 5*time.Second)
+			},
+		})
+		if err != nil {
+			return fail(err)
+		}
+		rep.Start()
+		stops = append(stops, rep.Stop)
+		rsrv := server.New(rdb, server.Config{ReadOnly: true})
+		rln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fail(err)
+		}
+		go rsrv.Serve(rln)
+		stops = append(stops, rsrv.Close)
+		replicaAddrs = append(replicaAddrs, rln.Addr().String())
+	}
+	return addr, replicaAddrs, stop, nil
+}
+
+// preload writes the whole key space to the primary, checkpoints, and
+// waits (bounded) for every read target to hold the full count, so the
+// measured window exercises converged replicas.
+func preload(primary *client.Client, readPools []*client.Client, keys int) error {
+	const chunk = 4096
+	items := make([]client.Item, 0, chunk)
+	for k := 0; k < keys; k += chunk {
+		items = items[:0]
+		for j := k; j < k+chunk && j < keys; j++ {
+			items = append(items, client.Item{Key: int64(j), Val: int64(j)})
+		}
+		if _, err := primary.PutBatch(items); err != nil {
+			return err
+		}
+	}
+	if _, err := primary.Checkpoint(); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for _, rp := range readPools {
+		for {
+			n, err := rp.Len()
+			if err == nil && n >= keys {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("replica still at %d/%d keys after preload (last error: %v)", n, keys, err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	return nil
 }

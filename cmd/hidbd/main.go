@@ -14,9 +14,18 @@
 // directory stays at the last checkpoint, which is exactly the state a
 // crash would leave (that is the durable layer's whole design).
 //
+// With -replica-of PRIMARY:PORT, the daemon runs as a read replica:
+// it serves GET/RANGE/LEN (writes are refused with ErrCodeReadOnly)
+// while continuously converging its directory onto the primary's
+// committed checkpoints by canonical-state anti-entropy — per-shard
+// content hashes compared, only divergent shard images shipped, each
+// install atomic. After a sync the replica's directory is
+// byte-identical to the primary's checkpoint. Replicas also serve the
+// sync opcodes, so replicas can chain off replicas.
+//
 // With -debug-addr, an HTTP listener serves expvar counters at
 // /debug/vars, including the server's request/coalescing stats under
-// the "hidbd" key.
+// the "hidbd" key (and, on a replica, sync stats under "replica").
 package main
 
 import (
@@ -32,6 +41,7 @@ import (
 	"time"
 
 	antipersist "repro"
+	"repro/internal/replica"
 	"repro/internal/server"
 )
 
@@ -49,6 +59,8 @@ func main() {
 		rangeMax   = flag.Int("range-max", 4096, "items per RANGE reply (clients paginate past it)")
 		drainTO    = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain budget")
 		debugAddr  = flag.String("debug-addr", "", "optional HTTP address for expvar (/debug/vars)")
+		replicaOf  = flag.String("replica-of", "", "primary address; serve read-only and replicate from it")
+		syncEvery  = flag.Duration("sync-interval", 250*time.Millisecond, "replica anti-entropy poll period")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -61,6 +73,10 @@ func main() {
 		Seed:                *seed,
 		CheckpointInterval:  *cpInterval,
 		CheckpointThreshold: *cpOps,
+		// A replica's durable state advances only by installing the
+		// primary's checkpoints; its own checkpointer would have nothing
+		// to do and is left off.
+		NoBackground: *replicaOf != "",
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hidbd: %v\n", err)
@@ -72,10 +88,29 @@ func main() {
 		ReadTimeout:   *readTO,
 		WriteTimeout:  *writeTO,
 		MaxRangeItems: *rangeMax,
+		ReadOnly:      *replicaOf != "",
 	})
+
+	var rep *replica.Replica
+	if *replicaOf != "" {
+		rep, err = replica.New(db, replica.Config{
+			Interval: *syncEvery,
+			Dial: func() (net.Conn, error) {
+				return net.DialTimeout("tcp", *replicaOf, 5*time.Second)
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hidbd: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Start()
+	}
 
 	if *debugAddr != "" {
 		expvar.Publish("hidbd", expvar.Func(func() any { return srv.Stats() }))
+		if rep != nil {
+			expvar.Publish("replica", expvar.Func(func() any { return rep.Stats() }))
+		}
 		go func() {
 			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
 				fmt.Fprintf(os.Stderr, "hidbd: debug listener: %v\n", err)
@@ -88,8 +123,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hidbd: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("hidbd: serving %s (%d keys, %d shards) on %s\n",
-		*dir, db.Len(), db.Store().NumShards(), ln.Addr())
+	role := "primary"
+	if rep != nil {
+		role = fmt.Sprintf("read replica of %s", *replicaOf)
+	}
+	fmt.Printf("hidbd: serving %s (%d keys, %d shards) on %s as %s\n",
+		*dir, db.Len(), db.Store().NumShards(), ln.Addr(), role)
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -118,11 +157,20 @@ func main() {
 		}
 	}
 
+	if rep != nil {
+		rep.Stop()
+	}
 	st := srv.Stats()
 	if err := db.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "hidbd: close: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("hidbd: clean shutdown — %d reqs (%d reads, %d writes in %d batches), %d checkpoints\n",
-		st.Requests, st.Reads, st.Writes, st.WriteBatches, st.Checkpoints)
+	if rep != nil {
+		rst := rep.Stats()
+		fmt.Printf("hidbd: clean shutdown — %d reqs (%d reads), %d syncs (%d installs, %d shard images, %d bytes)\n",
+			st.Requests, st.Reads, rst.Rounds, rst.Installs, rst.ShardsFetched, rst.BytesFetched)
+	} else {
+		fmt.Printf("hidbd: clean shutdown — %d reqs (%d reads, %d writes in %d batches), %d checkpoints\n",
+			st.Requests, st.Reads, st.Writes, st.WriteBatches, st.Checkpoints)
+	}
 }

@@ -39,7 +39,7 @@ func (db *DB) checkpoint() error {
 	// point are deducted after the commit (never a blanket reset).
 	dirtyAtStart := db.dirtyOps.Load()
 
-	s := db.store
+	s := db.store.Load()
 	nsh := s.NumShards()
 	newMan := &manifest{hseed: s.RoutingSeed(), shards: make([]shardEntry, nsh)}
 	var writes []pendingShard

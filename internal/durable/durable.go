@@ -86,10 +86,16 @@ func (o *Options) withDefaults() Options {
 // canonical on-disk image of it inside one directory. All methods are
 // safe for concurrent use.
 type DB struct {
-	dir   string
-	fs    FS
-	opts  Options
-	store *shard.Store
+	dir  string
+	fs   FS
+	opts Options
+	// store is the live in-memory state. It is a swappable pointer
+	// because a read replica installs a whole new checkpoint at once:
+	// InstallCheckpoint assembles a fresh Store from the primary's
+	// canonical images and publishes it here while concurrent readers
+	// keep using whichever store they loaded — before or after, both are
+	// consistent snapshots.
+	store atomic.Pointer[shard.Store]
 
 	// cpMu serializes checkpoints and guards the committed-state
 	// fields below.
@@ -150,7 +156,7 @@ func Open(dir string, opts *Options) (*DB, error) {
 		if err != nil {
 			return nil, fmt.Errorf("durable: %w", err)
 		}
-		db.store = s
+		db.store.Store(s)
 		db.cpVersions = make([]uint64, s.NumShards())
 		if err := db.checkpoint(); err != nil {
 			return nil, fmt.Errorf("durable: initial checkpoint: %w", err)
@@ -195,7 +201,7 @@ func (db *DB) recover(seed uint64) error {
 	if err != nil {
 		return fmt.Errorf("durable: %w", err)
 	}
-	db.store = s
+	db.store.Store(s)
 	db.man = man
 	db.cpVersions = make([]uint64, s.NumShards())
 	for i := range db.cpVersions {
@@ -222,7 +228,7 @@ func (db *DB) readFile(name string) ([]byte, error) {
 // Store returns the underlying concurrent store. Mutations made
 // directly on it are picked up by the next checkpoint via the shard
 // version counters, but do not count toward the dirty-op threshold.
-func (db *DB) Store() *shard.Store { return db.store }
+func (db *DB) Store() *shard.Store { return db.store.Load() }
 
 // Dir returns the database directory.
 func (db *DB) Dir() string { return db.dir }
@@ -247,20 +253,20 @@ func (db *DB) noteDirty(n int) {
 // Put inserts or updates the value for key and reports whether the key
 // was newly inserted.
 func (db *DB) Put(key, val int64) bool {
-	inserted := db.store.Put(key, val)
+	inserted := db.store.Load().Put(key, val)
 	db.noteDirty(1)
 	return inserted
 }
 
 // Get returns the value stored for key and whether it exists.
-func (db *DB) Get(key int64) (int64, bool) { return db.store.Get(key) }
+func (db *DB) Get(key int64) (int64, bool) { return db.store.Load().Get(key) }
 
 // Has reports whether key is present.
-func (db *DB) Has(key int64) bool { return db.store.Has(key) }
+func (db *DB) Has(key int64) bool { return db.store.Load().Has(key) }
 
 // Delete removes key and reports whether it was present.
 func (db *DB) Delete(key int64) bool {
-	deleted := db.store.Delete(key)
+	deleted := db.store.Load().Delete(key)
 	db.noteDirty(1)
 	return deleted
 }
@@ -268,19 +274,19 @@ func (db *DB) Delete(key int64) bool {
 // PutBatch applies every item as an upsert and returns the number of
 // keys newly inserted.
 func (db *DB) PutBatch(items []Item) int {
-	inserted := db.store.PutBatch(items)
+	inserted := db.store.Load().PutBatch(items)
 	db.noteDirty(len(items))
 	return inserted
 }
 
 // GetBatch looks up every key; values and presence flags align with
 // keys.
-func (db *DB) GetBatch(keys []int64) ([]int64, []bool) { return db.store.GetBatch(keys) }
+func (db *DB) GetBatch(keys []int64) ([]int64, []bool) { return db.store.Load().GetBatch(keys) }
 
 // DeleteBatch removes every key and returns the number that were
 // present.
 func (db *DB) DeleteBatch(keys []int64) int {
-	deleted := db.store.DeleteBatch(keys)
+	deleted := db.store.Load().DeleteBatch(keys)
 	db.noteDirty(len(keys))
 	return deleted
 }
@@ -293,27 +299,27 @@ func (db *DB) DeleteBatch(keys []int64) int {
 // many connections' pipelined writes become one batch, one lock take
 // per shard, one dirty-op note per operation.
 func (db *DB) ApplyBatch(ops []shard.Op, changed []bool) (int, error) {
-	n, err := db.store.ApplyBatch(ops, changed)
+	n, err := db.store.Load().ApplyBatch(ops, changed)
 	db.noteDirty(len(ops))
 	return n, err
 }
 
 // Range appends all items with lo <= key <= hi to out in ascending key
 // order.
-func (db *DB) Range(lo, hi int64, out []Item) []Item { return db.store.Range(lo, hi, out) }
+func (db *DB) Range(lo, hi int64, out []Item) []Item { return db.store.Load().Range(lo, hi, out) }
 
 // RangeN appends at most max such items and reports whether the window
 // held more; work and memory are bounded by max, not the window size.
 func (db *DB) RangeN(lo, hi int64, max int, out []Item) ([]Item, bool) {
-	return db.store.RangeN(lo, hi, max, out)
+	return db.store.Load().RangeN(lo, hi, max, out)
 }
 
 // Ascend calls fn on every item in ascending key order until fn
 // returns false.
-func (db *DB) Ascend(fn func(Item) bool) { db.store.Ascend(fn) }
+func (db *DB) Ascend(fn func(Item) bool) { db.store.Load().Ascend(fn) }
 
 // Len returns the number of keys.
-func (db *DB) Len() int { return db.store.Len() }
+func (db *DB) Len() int { return db.store.Load().Len() }
 
 // PendingOps returns the number of mutating operations accepted since
 // the last committed checkpoint — the write-loss window a power cut
@@ -362,13 +368,13 @@ func (db *DB) VerifyCanonical() error {
 		return errors.New("durable: no committed checkpoint")
 	}
 	for i := range db.man.shards {
-		ver := db.store.ShardVersion(i)
+		ver := db.store.Load().ShardVersion(i)
 		if ver != db.cpVersions[i] {
 			return fmt.Errorf("durable: shard %d has uncheckpointed changes (version %d, committed %d)",
 				i, ver, db.cpVersions[i])
 		}
 		var buf bytes.Buffer
-		if _, _, err := db.store.SnapshotShard(i, &buf); err != nil {
+		if _, _, err := db.store.Load().SnapshotShard(i, &buf); err != nil {
 			return fmt.Errorf("durable: rendering shard %d: %w", i, err)
 		}
 		e := db.man.shards[i]

@@ -1,0 +1,176 @@
+package durable
+
+// Replication surface: export the committed checkpoint as per-shard
+// canonical images, and install a checkpoint shipped from elsewhere.
+//
+// Because every shard image is a pure function of (contents, seed),
+// replication needs no operation log — an oplog would be an operation
+// history, the exact artifact this system keeps off the disk. A replica
+// compares content hashes, fetches only divergent images, and installs
+// them through the same atomic commit sequence checkpoints use. After a
+// successful install the replica's directory is byte-identical to the
+// primary's checkpoint: same manifest bytes, same content-addressed
+// file names, same image bytes.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/shard"
+)
+
+// ErrStaleShard is returned by ShardImage when the requested hash is no
+// longer the committed image for that shard — a newer checkpoint
+// superseded it between the caller's hash fetch and the image fetch.
+// The caller should re-fetch the hashes and retry.
+var ErrStaleShard = errors.New("durable: shard image superseded by a newer checkpoint")
+
+// ShardHash describes one shard's committed canonical image.
+type ShardHash struct {
+	Size int64
+	Hash [32]byte
+}
+
+// ShardHashes returns the routing seed and per-shard canonical image
+// hashes of the last committed checkpoint. Two databases with equal
+// contents and equal seeds return equal hashes for every shard — the
+// comparison a replica's anti-entropy round starts with.
+func (db *DB) ShardHashes() (hseed uint64, entries []ShardHash, err error) {
+	db.cpMu.Lock()
+	defer db.cpMu.Unlock()
+	if db.man == nil {
+		return 0, nil, errors.New("durable: no committed checkpoint")
+	}
+	entries = make([]ShardHash, len(db.man.shards))
+	for i, e := range db.man.shards {
+		entries[i] = ShardHash{Size: e.size, Hash: e.hash}
+	}
+	return db.man.hseed, entries, nil
+}
+
+// ShardImage returns the committed canonical image of shard i, which
+// must still be the checkpointed one: a hash that is no longer current
+// fails with ErrStaleShard (re-fetch ShardHashes and retry). The bytes
+// are verified against the manifest hash before they are returned, so a
+// corrupted file cannot propagate.
+func (db *DB) ShardImage(i int, hash [32]byte) ([]byte, error) {
+	db.cpMu.Lock()
+	defer db.cpMu.Unlock()
+	if db.man == nil {
+		return nil, errors.New("durable: no committed checkpoint")
+	}
+	if i < 0 || i >= len(db.man.shards) {
+		return nil, fmt.Errorf("durable: shard %d out of range, %d shards", i, len(db.man.shards))
+	}
+	if db.man.shards[i].hash != hash {
+		return nil, fmt.Errorf("%w: shard %d", ErrStaleShard, i)
+	}
+	img, err := db.readFile(shardFileName(i, hash))
+	if err != nil {
+		return nil, fmt.Errorf("durable: shard %d image: %w", i, err)
+	}
+	if sha256.Sum256(img) != hash {
+		return nil, fmt.Errorf("durable: shard %d image corrupt on disk", i)
+	}
+	return img, nil
+}
+
+// InstallCheckpoint replaces the database's entire state — in memory
+// and on disk — with the checkpoint described by hseed and one
+// canonical image per shard (len(images) must be a power of two >= 1).
+// The images are verified (per-image checksums, structural and routing
+// invariants) by assembling the new store BEFORE anything touches the
+// directory; publication then follows the standard atomic commit
+// sequence (content-addressed image files → dir fsync → manifest swap →
+// dir fsync), so a crash at any step recovers to either the old or the
+// new checkpoint, never a mix. Images whose bytes are already committed
+// under the same hash are not rewritten.
+//
+// This is the read-replica install path. It assumes no concurrent local
+// writers: operations applied between the images' capture and the
+// install are silently superseded (that is the semantics of replacing
+// state). Concurrent readers are safe — they keep the store snapshot
+// they loaded until the swap publishes the new one.
+//
+// The whole store is re-assembled even when only a few shards changed.
+// That costs O(total contents) per install, but it is what makes every
+// install a CONSISTENT cut: swapping dictionaries into the live store
+// shard by shard would let a concurrent cross-shard read (Range, Len)
+// observe half of one checkpoint and half of another. Replicas that
+// need cheaper installs should shard more finely, not trade away the
+// snapshot.
+func (db *DB) InstallCheckpoint(hseed uint64, images [][]byte) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	readers := make([]io.Reader, len(images))
+	for i, img := range images {
+		readers[i] = bytes.NewReader(img)
+	}
+	s, err := shard.AssembleStore(hseed, readers, db.opts.Seed, nil)
+	if err != nil {
+		return fmt.Errorf("durable: installing checkpoint: %w", err)
+	}
+
+	db.cpMu.Lock()
+	defer db.cpMu.Unlock()
+	newMan := &manifest{hseed: hseed, shards: make([]shardEntry, len(images))}
+	for i, img := range images {
+		newMan.shards[i] = shardEntry{size: int64(len(img)), hash: sha256.Sum256(img)}
+	}
+	if db.man != nil && manifestsEqual(db.man, newMan) {
+		// Already exactly this checkpoint; installing again would change
+		// no byte on disk. Leave the live store untouched too.
+		return nil
+	}
+
+	sameShardCount := db.man != nil && len(db.man.shards) == len(newMan.shards)
+	for i, img := range images {
+		if sameShardCount && db.man.shards[i].hash == newMan.shards[i].hash {
+			continue // committed file already has these exact bytes
+		}
+		if err := db.writeFileAtomic(shardFileName(i, newMan.shards[i].hash), img); err != nil {
+			return fmt.Errorf("durable: publishing shard %d image: %w", i, err)
+		}
+	}
+	if err := db.fs.SyncDir(db.dir); err != nil {
+		return fmt.Errorf("durable: syncing %s: %w", db.dir, err)
+	}
+	if err := db.writeFileAtomic(manifestName, newMan.encode()); err != nil {
+		return fmt.Errorf("durable: publishing manifest: %w", err)
+	}
+	if err := db.fs.SyncDir(db.dir); err != nil {
+		return fmt.Errorf("durable: syncing %s after manifest swap: %w", db.dir, err)
+	}
+
+	// Committed: publish the new state to readers and reset the
+	// checkpoint bookkeeping to "clean at exactly this image set".
+	db.man = newMan
+	db.store.Store(s)
+	db.cpVersions = make([]uint64, s.NumShards())
+	for i := range db.cpVersions {
+		db.cpVersions[i] = s.ShardVersion(i)
+	}
+	db.dirtyOps.Store(0)
+	db.checkpoints.Add(1)
+	db.sweep()
+	return nil
+}
+
+// manifestsEqual reports whether two manifests describe the same
+// checkpoint (equal seeds, sizes, and hashes — and therefore equal
+// encoded bytes).
+func manifestsEqual(a, b *manifest) bool {
+	if a.hseed != b.hseed || len(a.shards) != len(b.shards) {
+		return false
+	}
+	for i := range a.shards {
+		if a.shards[i] != b.shards[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -92,8 +92,15 @@ func TestProtocolDocLockstep(t *testing.T) {
 	if MaxRangeItems != (1<<20-5)/16 {
 		t.Errorf("MaxRangeItems = %d, doc says floor((1 MiB - 5)/16)", MaxRangeItems)
 	}
+	if MaxSyncShards != (1<<20-12)/40 {
+		t.Errorf("MaxSyncShards = %d, doc says floor((1 MiB - 12)/40)", MaxSyncShards)
+	}
+	if MaxSyncChunk != 1<<20-1 {
+		t.Errorf("MaxSyncChunk = %d, doc says 1 MiB - 1", MaxSyncChunk)
+	}
 	// The bounds must actually keep the replies under the cap.
-	if 4+9*MaxBatchGet > MaxPayload || 5+16*MaxRangeItems > MaxPayload {
+	if 4+9*MaxBatchGet > MaxPayload || 5+16*MaxRangeItems > MaxPayload ||
+		12+40*MaxSyncShards > MaxPayload || 1+MaxSyncChunk > MaxPayload {
 		t.Error("reply-size bounds do not fit MaxPayload")
 	}
 }

@@ -29,6 +29,11 @@ func FuzzDecodeFrame(f *testing.F) {
 		{Ver: Version, Op: OpRange | FlagReply, ID: 6, Payload: AppendRangeReply(nil, []Item{{Key: 1, Val: 2}}, false)},
 		{Ver: Version, Op: OpBatch | FlagReply, ID: 5, Payload: AppendBatchGetReply(nil, []int64{1}, []bool{true})},
 		{Ver: Version, Op: OpError, ID: 2, Payload: AppendError(nil, ErrCodeBadFrame, "boom")},
+		{Ver: Version, Op: OpShardHash, ID: 10},
+		{Ver: Version, Op: OpShardHash | FlagReply, ID: 10,
+			Payload: AppendShardHashes(nil, 0xfeed, []ShardHash{{Size: 64, Hash: [32]byte{1, 2}}, {Size: 0}})},
+		{Ver: Version, Op: OpSync, ID: 11, Payload: AppendSyncReq(nil, 3, [32]byte{9}, 128, 4096)},
+		{Ver: Version, Op: OpSync | FlagReply, ID: 11, Payload: AppendSyncChunk(nil, true, []byte("img"))},
 	}
 	for _, fr := range seeds {
 		wire := AppendFrame(nil, fr)
@@ -74,6 +79,15 @@ func FuzzDecodeFrame(f *testing.F) {
 		DecodeRangeReq(fr.Payload)
 		DecodeRangeReply(fr.Payload)
 		DecodeError(fr.Payload)
+		if _, entries, err := DecodeShardHashes(fr.Payload); err == nil {
+			// The count was validated against the payload length, so a
+			// hostile count can never out-allocate its own frame.
+			if len(entries)*40+12 != len(fr.Payload) {
+				t.Fatalf("shard-hash entries %d disagree with payload %d", len(entries), len(fr.Payload))
+			}
+		}
+		DecodeSyncReq(fr.Payload)
+		DecodeSyncChunk(fr.Payload)
 
 		// The streaming reader must agree with the buffer decoder.
 		sf, serr := ReadFrame(bytes.NewReader(data), payloadCap)

@@ -253,6 +253,106 @@ func DecodeRangeReply(p []byte) (items []Item, more bool, err error) {
 	return items, more, nil
 }
 
+// ShardHash describes one shard's committed canonical image: its size
+// and SHA-256. A SHARDHASH reply carries one per shard; two nodes with
+// equal contents have equal hashes for every shard (the images are
+// canonical), so anti-entropy is hash comparison plus image shipping.
+type ShardHash struct {
+	Size int64
+	Hash [32]byte
+}
+
+// Replication ceilings derived from MaxPayload.
+const (
+	// MaxSyncShards caps the shards in one SHARDHASH reply: the reply
+	// carries 12 + 40·n bytes (hseed, count, then size+hash per shard).
+	// Servers with more shards reject SHARDHASH with ErrCodeTooLarge.
+	MaxSyncShards = (MaxPayload - 12) / 40
+	// MaxSyncChunk caps the bytes in one SYNC reply: 1 + n bytes (more
+	// flag, then image bytes). Servers clamp the request's maxlen to it.
+	MaxSyncChunk = MaxPayload - 1
+)
+
+// AppendShardHashes appends an OpShardHash reply: the routing seed, a
+// shard count, then each shard's committed image size and SHA-256 in
+// shard order.
+func AppendShardHashes(dst []byte, hseed uint64, entries []ShardHash) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, hseed)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(entries)))
+	for _, e := range entries {
+		dst = binary.BigEndian.AppendUint64(dst, uint64(e.Size))
+		dst = append(dst, e.Hash[:]...)
+	}
+	return dst
+}
+
+// DecodeShardHashes decodes an OpShardHash reply. The count is
+// validated against the actual payload length and MaxSyncShards before
+// allocating.
+func DecodeShardHashes(p []byte) (hseed uint64, entries []ShardHash, err error) {
+	if len(p) < 12 {
+		return 0, nil, fmt.Errorf("proto: shard-hash reply is %d bytes, want >= 12", len(p))
+	}
+	hseed = binary.BigEndian.Uint64(p)
+	n := binary.BigEndian.Uint32(p[8:])
+	if n > MaxSyncShards {
+		return 0, nil, fmt.Errorf("proto: shard-hash reply claims %d shards, cap %d", n, MaxSyncShards)
+	}
+	body := p[12:]
+	if uint64(len(body)) != uint64(n)*40 {
+		return 0, nil, fmt.Errorf("proto: shard-hash reply of %d shards has %d payload bytes", n, len(body))
+	}
+	entries = make([]ShardHash, n)
+	for i := range entries {
+		e := body[i*40 : i*40+40]
+		size := int64(binary.BigEndian.Uint64(e))
+		if size < 0 {
+			return 0, nil, fmt.Errorf("proto: shard-hash entry %d has negative size", i)
+		}
+		entries[i].Size = size
+		copy(entries[i].Hash[:], e[8:])
+	}
+	return hseed, entries, nil
+}
+
+// AppendSyncReq appends an OpSync request: the shard index, the
+// expected image hash (from a SHARDHASH reply), a byte offset into the
+// image, and the maximum bytes wanted back (0: the server's default;
+// always clamped to MaxSyncChunk).
+func AppendSyncReq(dst []byte, shard uint32, hash [32]byte, offset uint64, maxLen uint32) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, shard)
+	dst = append(dst, hash[:]...)
+	dst = binary.BigEndian.AppendUint64(dst, offset)
+	return binary.BigEndian.AppendUint32(dst, maxLen)
+}
+
+// DecodeSyncReq decodes an OpSync request.
+func DecodeSyncReq(p []byte) (shard uint32, hash [32]byte, offset uint64, maxLen uint32, err error) {
+	if len(p) != 48 {
+		return 0, hash, 0, 0, fmt.Errorf("proto: sync request is %d bytes, want 48", len(p))
+	}
+	shard = binary.BigEndian.Uint32(p)
+	copy(hash[:], p[4:36])
+	offset = binary.BigEndian.Uint64(p[36:])
+	maxLen = binary.BigEndian.Uint32(p[44:])
+	return shard, hash, offset, maxLen, nil
+}
+
+// AppendSyncChunk appends an OpSync reply: a more flag (the image has
+// bytes past this chunk) and the chunk itself.
+func AppendSyncChunk(dst []byte, more bool, data []byte) []byte {
+	dst = AppendBool(dst, more)
+	return append(dst, data...)
+}
+
+// DecodeSyncChunk decodes an OpSync reply. The returned data aliases p.
+func DecodeSyncChunk(p []byte) (data []byte, more bool, err error) {
+	if len(p) < 1 || p[0] > 1 {
+		return nil, false, fmt.Errorf("proto: sync chunk is %d bytes, want >= 1 with a bool flag", len(p))
+	}
+	return p[1:], p[0] == 1, nil
+}
+
 // AppendError appends an OpError payload: the code plus a human-readable
 // message.
 func AppendError(dst []byte, code byte, msg string) []byte {

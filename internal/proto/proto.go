@@ -40,6 +40,13 @@ const (
 	OpLen        byte = 0x06 // payload: empty → reply: count(8)
 	OpCheckpoint byte = 0x07 // payload: empty → reply: checkpoints(8)
 	OpPing       byte = 0x08 // payload: arbitrary → reply: the same bytes
+
+	// Replication opcodes. A replica compares the primary's last
+	// committed checkpoint against its own — per-shard canonical content
+	// hashes, never an operation log — and ships only divergent shard
+	// images. See docs/PROTOCOL.md "Replication".
+	OpShardHash byte = 0x09 // payload: empty → reply: hseed(8) count(4) [size(8) hash(32)]…
+	OpSync      byte = 0x0A // payload: shard(4) hash(32) offset(8) maxlen(4) → reply: more(1) bytes
 )
 
 // FlagReply marks a frame as the successful reply to the request opcode
@@ -66,6 +73,8 @@ const (
 	ErrCodeBusy      byte = 5 // connection limit reached; retry later
 	ErrCodeShutdown  byte = 6 // server is draining; connection will close
 	ErrCodeInternal  byte = 7 // server-side failure (e.g. checkpoint error)
+	ErrCodeReadOnly  byte = 8 // server is a read replica; writes go to the primary
+	ErrCodeStale     byte = 9 // requested shard image superseded; re-fetch SHARDHASH
 )
 
 // opNames is the authoritative opcode table; docs/PROTOCOL.md mirrors
@@ -79,6 +88,8 @@ var opNames = map[byte]string{
 	OpLen:        "OpLen",
 	OpCheckpoint: "OpCheckpoint",
 	OpPing:       "OpPing",
+	OpShardHash:  "OpShardHash",
+	OpSync:       "OpSync",
 	OpError:      "OpError",
 }
 
@@ -92,6 +103,8 @@ var errNames = map[byte]string{
 	ErrCodeBusy:      "ErrCodeBusy",
 	ErrCodeShutdown:  "ErrCodeShutdown",
 	ErrCodeInternal:  "ErrCodeInternal",
+	ErrCodeReadOnly:  "ErrCodeReadOnly",
+	ErrCodeStale:     "ErrCodeStale",
 }
 
 // OpName returns the symbolic name of an opcode ("OpGet"), or a hex

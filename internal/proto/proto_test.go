@@ -127,6 +127,28 @@ func TestPayloadRoundTrips(t *testing.T) {
 	if err != nil || code != ErrCodeShutdown || msg != "bye" {
 		t.Fatalf("error: %d %q %v", code, msg, err)
 	}
+
+	entries := []ShardHash{{Size: 100, Hash: [32]byte{1}}, {Size: 0, Hash: [32]byte{0xAA}}}
+	hseed, gotEntries, err := DecodeShardHashes(AppendShardHashes(nil, 0xdead, entries))
+	if err != nil || hseed != 0xdead || len(gotEntries) != 2 ||
+		gotEntries[0] != entries[0] || gotEntries[1] != entries[1] {
+		t.Fatalf("shard hashes: %x %v %v", hseed, gotEntries, err)
+	}
+	if _, e0, err := DecodeShardHashes(AppendShardHashes(nil, 1, nil)); err != nil || len(e0) != 0 {
+		t.Fatalf("empty shard hashes: %v %v", e0, err)
+	}
+
+	sh, h, off, maxLen, err := DecodeSyncReq(AppendSyncReq(nil, 9, [32]byte{7, 7}, 1<<40, 512))
+	if err != nil || sh != 9 || h != ([32]byte{7, 7}) || off != 1<<40 || maxLen != 512 {
+		t.Fatalf("sync req: %d %x %d %d %v", sh, h[:2], off, maxLen, err)
+	}
+	data, more, err := DecodeSyncChunk(AppendSyncChunk(nil, true, []byte("bytes")))
+	if err != nil || !more || string(data) != "bytes" {
+		t.Fatalf("sync chunk: %q %v %v", data, more, err)
+	}
+	if data, more, err = DecodeSyncChunk(AppendSyncChunk(nil, false, nil)); err != nil || more || len(data) != 0 {
+		t.Fatalf("empty sync chunk: %q %v %v", data, more, err)
+	}
 }
 
 func TestHostilePayloads(t *testing.T) {
@@ -148,6 +170,27 @@ func TestHostilePayloads(t *testing.T) {
 	}
 	if _, _, _, err := DecodeBatch([]byte{9, 0, 0, 0, 0}); err == nil {
 		t.Fatal("unknown batch kind accepted")
+	}
+	// A shard-hash count that promises more entries than the payload
+	// holds, or more than the protocol ceiling, must be rejected before
+	// any count-sized allocation.
+	lie = append(make([]byte, 8), 0xFF, 0xFF, 0xFF, 0xFF)
+	if _, _, err := DecodeShardHashes(lie); err == nil {
+		t.Fatal("shard-hash count lie accepted")
+	}
+	overCap := append(make([]byte, 8), 0x00, 0x01, 0x00, 0x00) // 65536 > MaxSyncShards
+	overCap = append(overCap, make([]byte, 65536*40)...)
+	if _, _, err := DecodeShardHashes(overCap); err == nil {
+		t.Fatal("shard-hash count over MaxSyncShards accepted")
+	}
+	if _, _, _, _, err := DecodeSyncReq(make([]byte, 47)); err == nil {
+		t.Fatal("short sync request accepted")
+	}
+	if _, _, err := DecodeSyncChunk(nil); err == nil {
+		t.Fatal("empty sync chunk accepted")
+	}
+	if _, _, err := DecodeSyncChunk([]byte{2}); err == nil {
+		t.Fatal("bad sync-chunk flag accepted")
 	}
 }
 

@@ -1,0 +1,142 @@
+package replica
+
+// The convergence property, end to end over the wire: two primaries
+// built by DIFFERENT random operation histories that reach the same
+// final contents have byte-identical directories (the repo's standing
+// HI permutation guarantee), and a fresh replica syncing from either
+// one produces that same byte-identical directory — so WHICH primary a
+// replica followed, and WHAT schedule built that primary, are both
+// unrecoverable from any disk in the cluster.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/durable"
+)
+
+// applyHistory drives ops over the wire to n and returns the client's
+// view of the final contents.
+func applyHistory(t *testing.T, n *node, rng *rand.Rand, final map[int64]int64) {
+	t.Helper()
+	c := dialNode(t, n)
+	defer c.Close()
+
+	keys := make([]int64, 0, len(final))
+	for k := range final {
+		keys = append(keys, k)
+	}
+	// A history: shuffled inserts of the final contents with wrong
+	// values, interleaved churn on transient keys, then fix-ups to the
+	// final values in another shuffled order, deleting the transients.
+	rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	transients := make([]int64, 0, len(keys)/2)
+	for _, k := range keys {
+		if _, err := c.Put(k, rng.Int63()); err != nil {
+			t.Fatal(err)
+		}
+		if rng.Intn(2) == 0 {
+			tk := 1_000_000 + rng.Int63n(10_000)
+			if _, err := c.Put(tk, rng.Int63()); err != nil {
+				t.Fatal(err)
+			}
+			transients = append(transients, tk)
+		}
+	}
+	rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	for _, k := range keys {
+		if _, err := c.Put(k, final[k]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tk := range transients {
+		if _, err := c.Delete(tk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConvergenceAcrossHistories extends the HI permutation tests
+// across the wire: same contents via different histories, synced to
+// fresh replicas, must yield four byte-identical directories.
+func TestConvergenceAcrossHistories(t *testing.T) {
+	iters := tortureScale(t, 2, 5)
+	for iter := 0; iter < iters; iter++ {
+		rng := rand.New(rand.NewSource(int64(500 + iter)))
+		final := map[int64]int64{}
+		for len(final) < 800 {
+			final[rng.Int63n(100_000)] = rng.Int63()
+		}
+
+		// Two primaries, SAME seed (canonicality is a function of
+		// (contents, seed)), different histories.
+		pa := newNode(t, durable.NewMemFS(), 7, 8, false)
+		pb := newNode(t, durable.NewMemFS(), 7, 8, false)
+		applyHistory(t, pa, rand.New(rand.NewSource(int64(iter*2+1))), final)
+		applyHistory(t, pb, rand.New(rand.NewSource(int64(iter*2+2))), final)
+
+		// The standing guarantee, restated at cluster scope: the two
+		// primaries already agree byte for byte.
+		sameDirs(t, pa.fs, pb.fs)
+
+		// Fresh replicas with unrelated local seeds, one per primary.
+		ra := newNode(t, durable.NewMemFS(), 31, 8, true)
+		rb := newNode(t, durable.NewMemFS(), 47, 8, true)
+		repA, err := New(ra.db, Config{Dial: pa.dialTo()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		repB, err := New(rb.db, Config{Dial: pb.dialTo()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum, err := repA.SyncOnce(); err != nil || !sum.Installed {
+			t.Fatalf("iter %d: replica A: %+v %v", iter, sum, err)
+		}
+		if sum, err := repB.SyncOnce(); err != nil || !sum.Installed {
+			t.Fatalf("iter %d: replica B: %+v %v", iter, sum, err)
+		}
+		sameDirs(t, pa.fs, pb.fs, ra.fs, rb.fs)
+
+		// The punchline: a replica of A re-pointed at B recognizes B's
+		// checkpoint as its own state — zero shards cross the wire.
+		repA.Stop()
+		repA2, err := New(ra.db, Config{Dial: pb.dialTo()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := repA2.SyncOnce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sum.Converged || sum.ShardsFetched != 0 || sum.BytesFetched != 0 {
+			t.Fatalf("iter %d: failover sync shipped data despite equal contents: %+v", iter, sum)
+		}
+
+		// And the replicas really serve the contents.
+		c := dialNode(t, rb)
+		checked := 0
+		for k, v := range final {
+			gotV, ok, err := c.Get(k)
+			if err != nil || !ok || gotV != v {
+				t.Fatalf("iter %d: replica get(%d) = %d,%v,%v want %d", iter, k, gotV, ok, err, v)
+			}
+			if checked++; checked == 100 {
+				break
+			}
+		}
+		if n, err := c.Len(); err != nil || n != len(final) {
+			t.Fatalf("iter %d: replica len = %d (%v), want %d", iter, n, err, len(final))
+		}
+		c.Close()
+
+		repA2.Stop()
+		repB.Stop()
+		for _, n := range []*node{pa, pb, ra, rb} {
+			n.close()
+		}
+	}
+}

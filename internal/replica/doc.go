@@ -1,0 +1,32 @@
+// Package replica turns a durable.DB into a read replica of a remote
+// primary by canonical-state anti-entropy.
+//
+// The paper's property makes replication uniquely easy to get provably
+// right: every shard's durable image is a pure function of (contents,
+// seed), so two nodes with equal contents hold byte-identical images.
+// Anti-entropy therefore reduces to comparing per-shard content hashes
+// (SHARDHASH) and shipping the canonical images of the shards that
+// differ (SYNC) — no oplog, no sequence numbers, no vector clocks. An
+// operation log would also be an operation *history*, the exact
+// artifact this system exists to keep off the disk; replication ships
+// state, never operations, so history independence survives the hop:
+// after a sync the replica's DB directory is byte-identical to the
+// primary's checkpoint, and an adversary imaging either disk learns
+// the same nothing.
+//
+// A Replica owns one connection to the primary (redialed on error) and
+// runs rounds: fetch the primary's checkpoint descriptor, compare with
+// its own, fetch only divergent shard images chunk by chunk, verify
+// each image's SHA-256 against the advertised hash, and install the
+// whole set through durable.DB.InstallCheckpoint — the same atomic
+// commit sequence checkpoints use, so a power cut mid-install recovers
+// to either the old or the new checkpoint, never a mix. Reads keep
+// being served throughout: the store swap is a single atomic pointer
+// publication.
+//
+// The replica only ever installs state the primary has *committed*, so
+// a replica can never run ahead of its primary's disk: a primary crash
+// rolls back, at worst, to a checkpoint every replica already had or
+// can re-converge to. Serving the installed checkpoint (rather than
+// the primary's live memory) is what makes the guarantee exact.
+package replica

@@ -1,0 +1,290 @@
+package replica
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/client"
+	"repro/internal/durable"
+	"repro/internal/proto"
+)
+
+// Config tunes a Replica. Dial is required; everything else has
+// defaults.
+type Config struct {
+	// Dial establishes a connection to the primary (or to another
+	// replica — replicas serve SHARDHASH/SYNC too, so trees work). The
+	// replica redials after any connection error.
+	Dial func() (net.Conn, error)
+	// Interval is the poll period between anti-entropy rounds in Run
+	// (0: 250ms). A converged round is one SHARDHASH round trip.
+	Interval time.Duration
+	// ChunkSize caps the image bytes requested per SYNC fetch
+	// (0: 256 KiB; clamped to proto.MaxSyncChunk).
+	ChunkSize int
+	// Timeout bounds each request's reply wait (0: 30 seconds;
+	// negative: none). Without it a primary that accepts the connection
+	// but never answers would wedge the sync round — and therefore
+	// Stop — forever.
+	Timeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = 250 * time.Millisecond
+	}
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = 256 << 10
+	} else if c.ChunkSize > proto.MaxSyncChunk {
+		c.ChunkSize = proto.MaxSyncChunk
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 30 * time.Second
+	} else if c.Timeout < 0 {
+		c.Timeout = 0
+	}
+	return c
+}
+
+// Summary describes one anti-entropy round.
+type Summary struct {
+	// Converged: the local checkpoint already matched the primary's —
+	// nothing crossed the wire beyond the hash comparison.
+	Converged bool
+	// Installed: a new checkpoint was committed locally this round.
+	Installed bool
+	// ShardsFetched counts shard images that crossed the wire (divergent
+	// shards only; matching shards are reused from the local disk).
+	ShardsFetched int
+	// BytesFetched counts image bytes that crossed the wire.
+	BytesFetched int64
+}
+
+// Stats is a point-in-time snapshot of a Replica's counters.
+type Stats struct {
+	Rounds        uint64 `json:"rounds"`
+	Installs      uint64 `json:"installs"`
+	ShardsFetched uint64 `json:"shards_fetched"`
+	BytesFetched  uint64 `json:"bytes_fetched"`
+	Errors        uint64 `json:"errors"`
+}
+
+// Replica keeps a durable.DB converged onto a primary's committed
+// checkpoints. Create one with New, drive it manually with SyncOnce
+// (deterministic tests) or in the background with Start/Stop. The
+// Replica does not serve the network itself — run an
+// internal/server.Server with Config.ReadOnly over the same DB for
+// that — and it does not own the DB: closing it is the caller's job.
+type Replica struct {
+	db  *durable.DB
+	cfg Config
+
+	mu   sync.Mutex // guards conn and serializes SyncOnce rounds
+	conn *client.Conn
+
+	rounds, installs, shardsFetched, bytesFetched, errs atomic.Uint64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	started  atomic.Bool
+}
+
+// New returns a Replica over db. The db should have been opened with
+// NoBackground: a replica's durable state advances by installing the
+// primary's checkpoints, not by checkpointing its own.
+func New(db *durable.DB, cfg Config) (*Replica, error) {
+	if cfg.Dial == nil {
+		return nil, errors.New("replica: Config.Dial is required")
+	}
+	return &Replica{db: db, cfg: cfg.withDefaults(), stop: make(chan struct{})}, nil
+}
+
+// Stats returns a snapshot of the replica's counters.
+func (r *Replica) Stats() Stats {
+	return Stats{
+		Rounds:        r.rounds.Load(),
+		Installs:      r.installs.Load(),
+		ShardsFetched: r.shardsFetched.Load(),
+		BytesFetched:  r.bytesFetched.Load(),
+		Errors:        r.errs.Load(),
+	}
+}
+
+// connect returns the live connection, dialing if needed. Caller holds
+// r.mu.
+func (r *Replica) connect() (*client.Conn, error) {
+	if r.conn != nil {
+		return r.conn, nil
+	}
+	nc, err := r.cfg.Dial()
+	if err != nil {
+		return nil, fmt.Errorf("replica: dialing primary: %w", err)
+	}
+	r.conn = client.NewConnTimeout(nc, r.cfg.Timeout)
+	return r.conn, nil
+}
+
+// dropConn discards the connection after an error so the next round
+// redials. Caller holds r.mu.
+func (r *Replica) dropConn() {
+	if r.conn != nil {
+		r.conn.Close()
+		r.conn = nil
+	}
+}
+
+// SyncOnce runs one anti-entropy round: compare checkpoint descriptors
+// with the primary, fetch the divergent shard images, verify them, and
+// install. It is safe to call concurrently with reads on the DB and
+// with other SyncOnce calls (rounds serialize). On any error the
+// connection is dropped and the next call redials; a RemoteError with
+// proto.ErrCodeStale simply means the primary checkpointed mid-round —
+// retry and the round converges.
+func (r *Replica) SyncOnce() (Summary, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rounds.Add(1)
+	sum, err := r.syncLocked()
+	if err != nil {
+		r.errs.Add(1)
+		r.dropConn()
+		return sum, err
+	}
+	return sum, nil
+}
+
+func (r *Replica) syncLocked() (Summary, error) {
+	var sum Summary
+	conn, err := r.connect()
+	if err != nil {
+		return sum, err
+	}
+	hseed, remote, err := conn.SyncShardHashes()
+	if err != nil {
+		return sum, fmt.Errorf("replica: fetching shard hashes: %w", err)
+	}
+
+	localSeed, local, lerr := r.db.ShardHashes()
+	sameLayout := lerr == nil && localSeed == hseed && len(local) == len(remote)
+	if sameLayout {
+		same := true
+		for i := range remote {
+			if local[i].Hash != remote[i].Hash {
+				same = false
+				break
+			}
+		}
+		if same {
+			sum.Converged = true
+			return sum, nil
+		}
+	}
+
+	images := make([][]byte, len(remote))
+	for i, e := range remote {
+		if sameLayout && local[i].Hash == e.Hash {
+			// This shard already matches: reuse the committed local bytes
+			// instead of shipping them again. The images are content
+			// addressed, so "same hash" IS "same bytes".
+			img, err := r.db.ShardImage(i, e.Hash)
+			if err == nil && int64(len(img)) == e.Size {
+				images[i] = img
+				continue
+			}
+			// Local file unexpectedly unusable — fall through and fetch.
+		}
+		img, err := r.fetchShard(conn, i, e)
+		if err != nil {
+			return sum, err
+		}
+		images[i] = img
+		sum.ShardsFetched++
+		sum.BytesFetched += int64(len(img))
+		r.shardsFetched.Add(1)
+		r.bytesFetched.Add(uint64(len(img)))
+	}
+
+	if err := r.db.InstallCheckpoint(hseed, images); err != nil {
+		return sum, err
+	}
+	sum.Installed = true
+	r.installs.Add(1)
+	return sum, nil
+}
+
+// fetchShard pulls one shard image chunk by chunk and verifies it
+// against the advertised size and hash, so a lying or corrupted peer
+// cannot hand us installable garbage.
+func (r *Replica) fetchShard(conn *client.Conn, i int, e proto.ShardHash) ([]byte, error) {
+	buf := make([]byte, 0, e.Size)
+	for {
+		data, more, err := conn.SyncShardChunk(i, e.Hash, uint64(len(buf)), r.cfg.ChunkSize)
+		if err != nil {
+			return nil, fmt.Errorf("replica: fetching shard %d at offset %d: %w", i, len(buf), err)
+		}
+		buf = append(buf, data...)
+		if int64(len(buf)) > e.Size {
+			return nil, fmt.Errorf("replica: shard %d grew past its advertised %d bytes", i, e.Size)
+		}
+		if !more {
+			break
+		}
+		if len(data) == 0 {
+			return nil, fmt.Errorf("replica: shard %d fetch stalled at offset %d", i, len(buf))
+		}
+	}
+	if int64(len(buf)) != e.Size {
+		return nil, fmt.Errorf("replica: shard %d image is %d bytes, advertised %d", i, len(buf), e.Size)
+	}
+	if sha256.Sum256(buf) != e.Hash {
+		return nil, fmt.Errorf("replica: shard %d image does not match its advertised hash", i)
+	}
+	return buf, nil
+}
+
+// Start launches the background anti-entropy loop: a round every
+// Interval until Stop. Errors are counted and retried next round.
+func (r *Replica) Start() {
+	if r.started.Swap(true) {
+		return
+	}
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		t := time.NewTicker(r.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-t.C:
+			}
+			r.SyncOnce() //nolint:errcheck // counted in Stats; retried next tick
+		}
+	}()
+}
+
+// Stop halts the background loop (if running) and closes the
+// connection to the primary. The DB is left untouched, at its last
+// installed checkpoint, still serving reads.
+func (r *Replica) Stop() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.wg.Wait()
+	r.mu.Lock()
+	r.dropConn()
+	r.mu.Unlock()
+}
+
+// IsStale reports whether err is the primary telling us our image
+// request was superseded by a newer checkpoint — the retryable
+// mid-round race, not a failure.
+func IsStale(err error) bool {
+	var re *proto.RemoteError
+	return errors.As(err, &re) && re.Code == proto.ErrCodeStale
+}

@@ -1,0 +1,306 @@
+package replica
+
+// The cluster torture test: one primary and two replicas, all over
+// net.Pipe and MemFS, under a deterministic seeded schedule of mixed
+// writes, checkpoints, anti-entropy rounds, and power cuts injected
+// mid-commit on both the primary and the replicas. After quiesce every
+// node's DB directory must be byte-identical to the primary's last
+// checkpoint, and the replicas must answer reads from exactly that
+// state. Concurrent wire readers run throughout so the race detector
+// sees reads overlapping installs and crashes; they assert nothing
+// (their replies race the schedule) and mutate nothing, so the final
+// state stays deterministic.
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/client"
+	"repro/internal/durable"
+)
+
+func tortureScale(t *testing.T, short, long int) int {
+	t.Helper()
+	if testing.Short() {
+		return short
+	}
+	return long
+}
+
+// TestClusterTorture is the crash/partition drill demanded by the
+// acceptance criteria; CI runs it under -race with -short.
+func TestClusterTorture(t *testing.T) {
+	rounds := tortureScale(t, 40, 160)
+	opsPerRound := tortureScale(t, 60, 200)
+	const (
+		shards   = 8
+		keySpace = 4000
+		seed     = 0xC0FFEE
+	)
+	rng := rand.New(rand.NewSource(17))
+
+	// The primary and its write client. Rebuilt on every power cut.
+	pfs := durable.NewMemFS()
+	prim := newNode(t, pfs, seed, shards, false)
+	pconn := dialNode(t, prim)
+
+	// model mirrors every acknowledged write; committed mirrors the
+	// state at the last successful checkpoint — the only state a power
+	// cut may roll the primary back to, and therefore the only state a
+	// replica can ever have installed.
+	model := map[int64]int64{}
+	committed := map[int64]int64{}
+	checkpoint := func() bool {
+		_, err := pconn.Checkpoint()
+		if err == nil {
+			committed = make(map[int64]int64, len(model))
+			for k, v := range model {
+				committed[k] = v
+			}
+		}
+		return err == nil
+	}
+	if !checkpoint() {
+		t.Fatal("initial checkpoint failed")
+	}
+
+	// Replicas. curRep lets the concurrent readers follow crashes.
+	type slot struct {
+		fs  *durable.MemFS
+		n   *node
+		rep *Replica
+	}
+	mkSlot := func(localSeed uint64) *slot {
+		s := &slot{fs: durable.NewMemFS()}
+		s.n = newNode(t, s.fs, localSeed, shards, true)
+		rep, err := New(s.n.db, Config{Dial: prim.dialTo()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.rep = rep
+		return s
+	}
+	slots := []*slot{mkSlot(1), mkSlot(2)}
+	var curRep [2]atomic.Pointer[node]
+	for i, s := range slots {
+		curRep[i].Store(s.n)
+	}
+
+	// Concurrent wire readers: GET/RANGE/LEN against whichever node
+	// currently occupies the slot. Errors are expected whenever the
+	// schedule crashes the node under them.
+	stopReaders := make(chan struct{})
+	var readerWG sync.WaitGroup
+	for i := range curRep {
+		readerWG.Add(1)
+		go func(i int) {
+			defer readerWG.Done()
+			rrng := rand.New(rand.NewSource(int64(1000 + i)))
+			for {
+				select {
+				case <-stopReaders:
+					return
+				default:
+				}
+				n := curRep[i].Load()
+				nc, err := n.dialTo()()
+				if err != nil {
+					continue
+				}
+				c := client.NewConn(nc)
+				for j := 0; j < 32; j++ {
+					k := rrng.Int63n(keySpace)
+					if _, _, err := c.Get(k); err != nil {
+						break
+					}
+					if j%8 == 0 {
+						if _, _, err := c.Range(k, k+50, 16); err != nil {
+							break
+						}
+					}
+					if j%16 == 0 {
+						if _, err := c.Len(); err != nil {
+							break
+						}
+					}
+				}
+				c.Close()
+			}
+		}(i)
+	}
+
+	crashPrimary := func() {
+		pconn.Close()
+		prim.srv.Close()
+		prim.db.Abandon()
+		pfs = pfs.Crash()
+		prim = newNode(t, pfs, seed, shards, false)
+		pconn = dialNode(t, prim)
+		// Everything past the last successful checkpoint is gone.
+		model = make(map[int64]int64, len(committed))
+		for k, v := range committed {
+			model[k] = v
+		}
+		// Replicas must redial the new incarnation.
+		for _, s := range slots {
+			s.rep.Stop()
+			rep, err := New(s.n.db, Config{Dial: prim.dialTo()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.rep = rep
+		}
+	}
+
+	crashReplica := func(i int) {
+		s := slots[i]
+		s.rep.Stop()
+		s.n.srv.Close()
+		s.n.db.Abandon()
+		s.fs = s.fs.Crash()
+		s.n = newNode(t, s.fs, uint64(100+i), shards, true)
+		rep, err := New(s.n.db, Config{Dial: prim.dialTo()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.rep = rep
+		curRep[i].Store(s.n)
+	}
+
+	for round := 0; round < rounds; round++ {
+		// Mixed write load on the primary: point puts/deletes and small
+		// batches, every ack mirrored into the model.
+		for op := 0; op < opsPerRound; op++ {
+			k := rng.Int63n(keySpace)
+			switch rng.Intn(10) {
+			case 0, 1: // delete
+				if _, err := pconn.Delete(k); err != nil {
+					t.Fatalf("round %d: delete: %v", round, err)
+				}
+				delete(model, k)
+			case 2: // batch put
+				items := make([]client.Item, 1+rng.Intn(4))
+				for j := range items {
+					items[j] = client.Item{Key: rng.Int63n(keySpace), Val: rng.Int63()}
+				}
+				if _, err := pconn.PutBatch(items); err != nil {
+					t.Fatalf("round %d: batch put: %v", round, err)
+				}
+				for _, it := range items {
+					model[it.Key] = it.Val
+				}
+			default: // put
+				v := rng.Int63()
+				if _, err := pconn.Put(k, v); err != nil {
+					t.Fatalf("round %d: put: %v", round, err)
+				}
+				model[k] = v
+			}
+		}
+
+		switch ev := rng.Intn(10); {
+		case ev < 4: // checkpoint, then let some replicas sync
+			if !checkpoint() {
+				t.Fatalf("round %d: clean checkpoint failed", round)
+			}
+			for i, s := range slots {
+				if rng.Intn(2) == 0 {
+					if _, err := s.rep.SyncOnce(); err != nil && !IsStale(err) {
+						t.Fatalf("round %d: replica %d sync: %v", round, i, err)
+					}
+				}
+			}
+		case ev < 6: // power-cut a replica mid-install
+			i := rng.Intn(len(slots))
+			checkpoint() // make sure there is usually something to ship
+			slots[i].fs.FailAfter(1 + rng.Intn(12))
+			slots[i].rep.SyncOnce() //nolint:errcheck // the installed fault makes failure legal
+			crashReplica(i)
+			// Recovery must have landed on a valid checkpoint; converge it.
+			if _, err := slots[i].rep.SyncOnce(); err != nil && !IsStale(err) {
+				t.Fatalf("round %d: replica %d post-crash sync: %v", round, i, err)
+			}
+		case ev < 8: // power-cut the primary mid-checkpoint
+			pfs.FailAfter(1 + rng.Intn(16))
+			pconn.Checkpoint() //nolint:errcheck // may fail at the injected fault; may commit first
+			crashPrimary()
+		default: // quiet round: replicas sync whatever is committed
+			for i, s := range slots {
+				if _, err := s.rep.SyncOnce(); err != nil && !IsStale(err) {
+					t.Fatalf("round %d: replica %d idle sync: %v", round, i, err)
+				}
+			}
+		}
+	}
+
+	// Quiesce: final checkpoint, converge both replicas, stop readers.
+	if !checkpoint() {
+		t.Fatal("final checkpoint failed")
+	}
+	for i, s := range slots {
+		var done bool
+		for attempt := 0; attempt < 5 && !done; attempt++ {
+			sum, err := s.rep.SyncOnce()
+			if err != nil {
+				if IsStale(err) {
+					continue
+				}
+				t.Fatalf("replica %d: final sync: %v", i, err)
+			}
+			done = sum.Converged || sum.Installed
+		}
+		if !done {
+			t.Fatalf("replica %d did not converge", i)
+		}
+	}
+	close(stopReaders)
+	readerWG.Wait()
+
+	// THE acceptance criterion: every node's DB directory is
+	// byte-identical to the primary's last checkpoint.
+	if err := prim.db.VerifyCanonical(); err != nil {
+		t.Fatal(err)
+	}
+	sameDirs(t, pfs, slots[0].fs, slots[1].fs)
+	for i, s := range slots {
+		if err := s.n.db.VerifyCanonical(); err != nil {
+			t.Fatalf("replica %d: %v", i, err)
+		}
+	}
+
+	// The replicas answer reads from exactly the committed state, and
+	// still refuse writes.
+	for i, s := range slots {
+		c := dialNode(t, s.n)
+		if n, err := c.Len(); err != nil || n != len(model) {
+			t.Fatalf("replica %d: len = %d (%v), want %d", i, n, err, len(model))
+		}
+		checked := 0
+		for k, v := range model {
+			gotV, ok, err := c.Get(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok || gotV != v {
+				t.Fatalf("replica %d: get(%d) = %d,%v, want %d", i, k, gotV, ok, v)
+			}
+			if checked++; checked == 500 {
+				break // spot check; Len already pinned the cardinality
+			}
+		}
+		if _, err := c.Put(1, 1); err == nil {
+			t.Fatalf("replica %d accepted a write after the torture", i)
+		}
+		c.Close()
+	}
+
+	for _, s := range slots {
+		s.rep.Stop()
+		s.n.close()
+	}
+	pconn.Close()
+	prim.srv.Close()
+	prim.db.Close()
+}

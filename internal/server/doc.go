@@ -35,6 +35,17 @@
 // connection always reads its own write. No ordering holds across
 // connections beyond the linearizability of the store itself.
 //
+// # Replication
+//
+// The server is also the serving side of the read-replica protocol:
+// SHARDHASH advertises the last committed checkpoint's per-shard
+// canonical content hashes, and SYNC ships a shard image (by content
+// hash, chunked) out of that checkpoint. With Config.ReadOnly the
+// server is itself a replica: mutating requests are refused with
+// ErrCodeReadOnly while reads and the sync opcodes keep working, so
+// replicas both serve read traffic and feed downstream replicas. See
+// repro/internal/replica for the fetching/installing side.
+//
 // # Limits and shutdown
 //
 // MaxConns bounds concurrent connections (excess connections receive an

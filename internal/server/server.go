@@ -44,6 +44,15 @@ type Config struct {
 	WriteQueue int
 	// MaxWriteBatch caps one coalesced ApplyBatch (0: 4096).
 	MaxWriteBatch int
+	// ReadOnly makes this a read replica: PUT, DEL, mutating BATCH
+	// kinds, and CHECKPOINT are answered with ErrCodeReadOnly (the
+	// connection stays open — reads continue). SHARDHASH/SYNC still
+	// serve the node's own last installed checkpoint, so replicas can
+	// chain off replicas.
+	ReadOnly bool
+	// MaxSyncChunk caps the image bytes in one SYNC reply (0: 256 KiB;
+	// always clamped to proto.MaxSyncChunk so the reply fits a frame).
+	MaxSyncChunk int
 }
 
 func (c Config) withDefaults() Config {
@@ -78,6 +87,11 @@ func (c Config) withDefaults() Config {
 	if c.MaxWriteBatch <= 0 {
 		c.MaxWriteBatch = 4096
 	}
+	if c.MaxSyncChunk <= 0 {
+		c.MaxSyncChunk = 256 << 10
+	} else if c.MaxSyncChunk > proto.MaxSyncChunk {
+		c.MaxSyncChunk = proto.MaxSyncChunk
+	}
 	return c
 }
 
@@ -101,6 +115,15 @@ type Server struct {
 	closing atomic.Bool    // draining: reject new work (set under mu)
 	batOnce sync.Once      // starts the coalescer on first use
 	wg      sync.WaitGroup // live connection handlers (Add under mu)
+
+	// One-entry cache of the last shard image served to a SYNC fetch,
+	// so a replica pulling an image chunk by chunk costs one disk read,
+	// not one per chunk. Content-addressed, so it can never serve the
+	// wrong bytes — at worst it misses.
+	syncMu    sync.Mutex
+	syncIdx   int
+	syncHash  [32]byte
+	syncImage []byte
 }
 
 // New returns an unstarted server over db.
@@ -524,6 +547,12 @@ func (c *conn) reply(id uint64, op byte, payload []byte) {
 // reply and the stream continues, since framing is still intact).
 func (c *conn) dispatch(f proto.Frame) bool {
 	s := c.srv
+	if s.cfg.ReadOnly && mutates(f) {
+		s.st.readOnlyRejected.Add(1)
+		c.sendError(f.ID, proto.ErrCodeReadOnly,
+			fmt.Sprintf("%s: this node is a read replica; send writes to the primary", proto.OpName(f.Op)))
+		return true
+	}
 	switch f.Op {
 	case proto.OpPut:
 		key, val, err := proto.DecodeKeyVal(f.Payload)
@@ -620,8 +649,111 @@ func (c *conn) dispatch(f proto.Frame) bool {
 	case proto.OpPing:
 		c.reply(f.ID, proto.OpPing, f.Payload)
 
+	case proto.OpShardHash:
+		// Replication: advertise the last committed checkpoint's
+		// canonical per-shard hashes. A barrier over this connection's
+		// writes makes SHARDHASH-after-CHECKPOINT see that checkpoint.
+		if len(f.Payload) != 0 {
+			c.sendError(f.ID, proto.ErrCodeBadFrame, "shard-hash request carries a payload")
+			return true
+		}
+		s.st.syncHashes.Add(1)
+		c.pending.Wait()
+		hseed, entries, err := s.db.ShardHashes()
+		if err != nil {
+			c.sendError(f.ID, proto.ErrCodeInternal, err.Error())
+			return true
+		}
+		if len(entries) > proto.MaxSyncShards {
+			c.sendError(f.ID, proto.ErrCodeTooLarge,
+				fmt.Sprintf("%d shards exceed the %d-shard reply cap", len(entries), proto.MaxSyncShards))
+			return true
+		}
+		out := make([]proto.ShardHash, len(entries))
+		for i, e := range entries {
+			out[i] = proto.ShardHash{Size: e.Size, Hash: e.Hash}
+		}
+		c.reply(f.ID, proto.OpShardHash, proto.AppendShardHashes(nil, hseed, out))
+
+	case proto.OpSync:
+		shardIdx, hash, off, maxLen, err := proto.DecodeSyncReq(f.Payload)
+		if err != nil {
+			c.sendError(f.ID, proto.ErrCodeBadFrame, err.Error())
+			return true
+		}
+		s.st.syncChunks.Add(1)
+		img, err := s.shardImage(int(shardIdx), hash)
+		switch {
+		case errors.Is(err, durable.ErrStaleShard):
+			c.sendError(f.ID, proto.ErrCodeStale, err.Error())
+			return true
+		case err != nil:
+			c.sendError(f.ID, proto.ErrCodeInternal, err.Error())
+			return true
+		}
+		if off > uint64(len(img)) {
+			c.sendError(f.ID, proto.ErrCodeBadFrame,
+				fmt.Sprintf("offset %d past the %d-byte image", off, len(img)))
+			return true
+		}
+		limit := s.cfg.MaxSyncChunk
+		if maxLen > 0 && int(maxLen) < limit {
+			limit = int(maxLen)
+		}
+		end := int(off) + limit
+		if end > len(img) {
+			end = len(img)
+		}
+		chunk := img[off:end]
+		more := end < len(img)
+		if !more {
+			// The fetcher just took the image's last chunk; release the
+			// cache rather than pin a whole shard image between syncs.
+			s.syncMu.Lock()
+			if s.syncIdx == int(shardIdx) && s.syncHash == hash {
+				s.syncImage = nil
+			}
+			s.syncMu.Unlock()
+		}
+		s.st.syncBytesOut.Add(uint64(len(chunk)))
+		c.reply(f.ID, proto.OpSync, proto.AppendSyncChunk(nil, more, chunk))
+
 	default:
 		c.sendError(f.ID, proto.ErrCodeUnknownOp, proto.OpName(f.Op))
 	}
 	return true
+}
+
+// shardImage returns the committed image for (idx, hash) through the
+// one-entry sync cache.
+func (s *Server) shardImage(idx int, hash [32]byte) ([]byte, error) {
+	s.syncMu.Lock()
+	if s.syncImage != nil && s.syncIdx == idx && s.syncHash == hash {
+		img := s.syncImage
+		s.syncMu.Unlock()
+		return img, nil
+	}
+	s.syncMu.Unlock()
+	img, err := s.db.ShardImage(idx, hash)
+	if err != nil {
+		return nil, err
+	}
+	s.syncMu.Lock()
+	s.syncIdx, s.syncHash, s.syncImage = idx, hash, img
+	s.syncMu.Unlock()
+	return img, nil
+}
+
+// mutates reports whether a request would change the database: the ops
+// a read replica must refuse. Malformed mutating payloads are also
+// refused (rejection is decided before decoding), which is fine — the
+// error the client gets is the one that tells it where writes go.
+func mutates(f proto.Frame) bool {
+	switch f.Op {
+	case proto.OpPut, proto.OpDel, proto.OpCheckpoint:
+		return true
+	case proto.OpBatch:
+		return len(f.Payload) < 1 || f.Payload[0] != proto.BatchGet
+	}
+	return false
 }

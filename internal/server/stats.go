@@ -17,6 +17,11 @@ type stats struct {
 	wMaxBatch     atomic.Uint64 // largest single coalesced batch
 	bytesIn       atomic.Uint64
 	bytesOut      atomic.Uint64
+
+	readOnlyRejected atomic.Uint64 // writes refused because this node is a replica
+	syncHashes       atomic.Uint64 // SHARDHASH requests served
+	syncChunks       atomic.Uint64 // SYNC chunk requests served
+	syncBytesOut     atomic.Uint64 // image bytes shipped to replicas
 }
 
 func (s *stats) noteBatch(n int) {
@@ -33,6 +38,7 @@ func (s *stats) noteBatch(n int) {
 // Stats is a point-in-time snapshot of the server's counters, shaped
 // for expvar publication (every field marshals to JSON).
 type Stats struct {
+	Role          string `json:"role"` // "primary" or "replica"
 	ConnsAccepted uint64 `json:"conns_accepted"`
 	ConnsRejected uint64 `json:"conns_rejected"`
 	ConnsActive   int64  `json:"conns_active"`
@@ -48,6 +54,11 @@ type Stats struct {
 	Keys          int    `json:"keys"`
 	Checkpoints   uint64 `json:"checkpoints"`
 	PendingOps    uint64 `json:"pending_ops"`
+
+	ReadOnlyRejected uint64 `json:"read_only_rejected"`
+	SyncHashes       uint64 `json:"sync_hashes"`
+	SyncChunks       uint64 `json:"sync_chunks"`
+	SyncBytesOut     uint64 `json:"sync_bytes_out"`
 }
 
 // Stats returns a snapshot of the server's counters plus the durable
@@ -62,7 +73,12 @@ func (s *Server) Stats() Stats {
 	for i := 0; i < store.NumShards(); i++ {
 		keys += store.ShardLen(i)
 	}
+	role := "primary"
+	if s.cfg.ReadOnly {
+		role = "replica"
+	}
 	return Stats{
+		Role:          role,
 		ConnsAccepted: s.st.connsAccepted.Load(),
 		ConnsRejected: s.st.connsRejected.Load(),
 		ConnsActive:   s.st.connsActive.Load(),
@@ -78,5 +94,10 @@ func (s *Server) Stats() Stats {
 		Keys:          keys,
 		Checkpoints:   s.db.Checkpoints(),
 		PendingOps:    s.db.PendingOps(),
+
+		ReadOnlyRejected: s.st.readOnlyRejected.Load(),
+		SyncHashes:       s.st.syncHashes.Load(),
+		SyncChunks:       s.st.syncChunks.Load(),
+		SyncBytesOut:     s.st.syncBytesOut.Load(),
 	}
 }
