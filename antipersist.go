@@ -45,7 +45,10 @@
 // operation history, which is exactly what must never reach the disk —
 // just canonical per-shard checkpoint images committed by atomic
 // rename, incrementally rewritten for dirty shards only, recovered and
-// verified on Open.
+// verified on Open. Entries may carry a TTL (PutTTL/GetTTL): expiry is
+// a pure function of (contents, epoch) — lazily filtered on reads,
+// deterministically swept before each checkpoint — so retention-bounded
+// data ages out without the sweep's timing ever reaching the image.
 //
 // For serving a DB over the network, cmd/hidbd is the TCP daemon
 // (pipelined binary protocol, server-side write coalescing; see
@@ -60,6 +63,7 @@ import (
 	"repro/internal/btree"
 	"repro/internal/cobt"
 	"repro/internal/durable"
+	"repro/internal/expiry"
 	"repro/internal/hipma"
 	"repro/internal/iomodel"
 	"repro/internal/pma"
@@ -233,6 +237,26 @@ type DBOptions = durable.Options
 func Open(dir string, opts *DBOptions) (*DB, error) {
 	return durable.Open(dir, opts)
 }
+
+// Clock supplies the TTL epoch (unix seconds) that drives entry expiry:
+// an entry written with PutTTL is logically gone the moment the epoch
+// passes its expiry, and physically removed by the deterministic sweep
+// — whose result depends only on (contents, epoch), never on when it
+// ran, so expiry does not break the canonical-bytes guarantee. See
+// repro/internal/expiry.
+type Clock = expiry.Clock
+
+// SystemClock returns the wall clock: unix seconds.
+func SystemClock() Clock { return expiry.System() }
+
+// ManualClock is a settable epoch clock for tests and deterministic
+// drills; see NewManualClock.
+type ManualClock = expiry.Manual
+
+// NewManualClock returns a manual clock at the given epoch. Inject it
+// via DBOptions.Clock to make expiry — and therefore the checkpoint
+// bytes of TTL workloads — deterministic.
+func NewManualClock(epoch int64) *ManualClock { return expiry.NewManual(epoch) }
 
 // ReadStore deserializes a store image produced by Store.WriteTo. The
 // caller's seed supplies fresh randomness for future operations; key

@@ -232,3 +232,59 @@ func TestRemoteErrorSurface(t *testing.T) {
 		t.Fatalf("over-limit conn: %v", err)
 	}
 }
+
+// TestTTLRoundTrip drives PutTTL/GetTTL through both the Conn and the
+// pooled Client, including the expiry echo and the expired-read path.
+func TestTTLRoundTrip(t *testing.T) {
+	addr, stop := startServer(t)
+	defer stop()
+	cl, err := client.Open(addr, 2, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// The test server runs the system clock, so a far-future expiry is
+	// live and a 1970s expiry is long dead.
+	farFuture := time.Now().Unix() + 3600
+	if ins, err := cl.PutTTL(1, 10, farFuture); err != nil || !ins {
+		t.Fatalf("put-ttl: %v %v", ins, err)
+	}
+	if v, exp, ok, err := cl.GetTTL(1); err != nil || !ok || v != 10 || exp != farFuture {
+		t.Fatalf("get-ttl: %d %d %v %v", v, exp, ok, err)
+	}
+	if v, ok, err := cl.Get(1); err != nil || !ok || v != 10 {
+		t.Fatalf("plain get of live ttl entry: %d %v %v", v, ok, err)
+	}
+	// An entry whose expiry is already past reads as absent immediately
+	// (lazy filtering; no sweeper needs to run).
+	if ins, err := cl.PutTTL(2, 20, 1000); err != nil || !ins {
+		t.Fatalf("dead-on-arrival put-ttl: %v %v", ins, err)
+	}
+	if _, _, ok, err := cl.GetTTL(2); err != nil || ok {
+		t.Fatalf("expired entry visible: %v %v", ok, err)
+	}
+	// Rewriting it is a fresh insert.
+	if ins, err := cl.Conn().PutTTL(2, 21, farFuture); err != nil || !ins {
+		t.Fatalf("resurrect: %v %v", ins, err)
+	}
+	if v, exp, ok, err := cl.Conn().GetTTL(2); err != nil || !ok || v != 21 || exp != farFuture {
+		t.Fatalf("resurrected: %d %d %v %v", v, exp, ok, err)
+	}
+	// Absent key: found=false with zero value and expiry.
+	if v, exp, ok, err := cl.GetTTL(999); err != nil || ok || v != 0 || exp != 0 {
+		t.Fatalf("absent get-ttl: %d %d %v %v", v, exp, ok, err)
+	}
+	// Negative expiry is a client-side arithmetic bug; the server
+	// refuses it without killing the connection.
+	if _, err := cl.Conn().PutTTL(3, 30, -1); err == nil {
+		t.Fatal("negative expiry accepted")
+	}
+	var rerr *proto.RemoteError
+	if _, err := cl.Conn().PutTTL(3, 30, -1); !errors.As(err, &rerr) || rerr.Code != proto.ErrCodeBadFrame {
+		t.Fatalf("negative expiry error = %v, want ErrCodeBadFrame", err)
+	}
+	if err := cl.Ping(nil); err != nil {
+		t.Fatalf("connection dead after refused put-ttl: %v", err)
+	}
+}

@@ -273,6 +273,38 @@ func (c *Conn) Put(key, val int64) (inserted bool, err error) {
 	return proto.DecodeBool(f.Payload)
 }
 
+// PutTTL upserts the value for key with an ABSOLUTE expiry epoch (unix
+// seconds; 0: never expires) and reports whether the key was newly
+// inserted — counting a key whose previous entry had already expired as
+// new. The server echoes the applied expiry back. A relative TTL is the
+// caller's arithmetic (time.Now().Unix() + seconds): the wire
+// deliberately carries only absolute state, never request timing.
+func (c *Conn) PutTTL(key, val, exp int64) (inserted bool, err error) {
+	f, err := c.call(proto.OpPutTTL, proto.AppendKeyValExp(nil, key, val, exp))
+	if err != nil {
+		return false, err
+	}
+	inserted, echoed, err := proto.DecodeTTLAck(f.Payload)
+	if err != nil {
+		return false, err
+	}
+	if echoed != exp {
+		return inserted, fmt.Errorf("client: put-ttl echoed expiry %d, sent %d", echoed, exp)
+	}
+	return inserted, nil
+}
+
+// GetTTL returns the value and recorded absolute expiry (0: none) for
+// key, and whether the key is live. An entry whose expiry has passed
+// reads as absent from the moment the epoch passes it.
+func (c *Conn) GetTTL(key int64) (val, exp int64, ok bool, err error) {
+	f, err := c.call(proto.OpGetTTL, proto.AppendKey(nil, key))
+	if err != nil {
+		return 0, 0, false, err
+	}
+	return proto.DecodeFoundTTL(f.Payload)
+}
+
 // Delete removes key and reports whether it was present.
 func (c *Conn) Delete(key int64) (deleted bool, err error) {
 	f, err := c.call(proto.OpDel, proto.AppendKey(nil, key))

@@ -18,6 +18,13 @@
 // writes. Checkpoint is a durability barrier: when it returns, every
 // operation this connection has had acknowledged is on disk.
 //
+// Entries may carry a TTL: PutTTL writes an ABSOLUTE expiry epoch
+// (unix seconds — callers resolve "30 seconds from now" themselves, so
+// the wire carries state, never request timing) and GetTTL echoes it
+// back. An entry whose expiry has passed reads as absent everywhere
+// from the moment the epoch passes it; the server removes the bytes
+// with its deterministic sweep.
+//
 // A connection may point at a read replica. Reads behave identically;
 // mutating calls fail with an error matching both the ErrReadOnly
 // sentinel (errors.Is — route the write to the primary) and a typed

@@ -59,6 +59,16 @@ func (cl *Client) Get(key int64) (int64, bool, error) { return cl.Conn().Get(key
 // inserted.
 func (cl *Client) Put(key, val int64) (bool, error) { return cl.Conn().Put(key, val) }
 
+// PutTTL upserts the value for key with an absolute expiry epoch (unix
+// seconds; 0: never expires) and reports whether it was newly inserted.
+func (cl *Client) PutTTL(key, val, exp int64) (bool, error) { return cl.Conn().PutTTL(key, val, exp) }
+
+// GetTTL returns the value and recorded absolute expiry (0: none) for
+// key, and whether the key is live.
+func (cl *Client) GetTTL(key int64) (val, exp int64, ok bool, err error) {
+	return cl.Conn().GetTTL(key)
+}
+
 // Delete removes key and reports whether it was present.
 func (cl *Client) Delete(key int64) (bool, error) { return cl.Conn().Delete(key) }
 

@@ -27,6 +27,16 @@
 // fan-out read tier measured end to end. Against an external cluster,
 // -replica-addrs lists replica addresses for the same split.
 //
+// Session-churn mode: -ttl D makes writes carry an absolute expiry of
+// now + D (for the -ttl-frac fraction of them; the rest stay plain),
+// and turns reads into GETTTLs that count "expired reads" — lookups
+// that found nothing because the session died. With a short -ttl the
+// key space continuously expires under the read load, which is the
+// retention-bounded workload (sessions, caches, compliance-expired
+// records) the expiry subsystem exists for: the server sweeps dead
+// entries epoch by epoch while the bench measures read-until-gone
+// rates. The JSON output reports expired_reads and expired_read_rate.
+//
 // The process exits nonzero if total completed ops fall below -min-ops,
 // so a wedged server fails loudly in CI.
 package main
@@ -66,11 +76,17 @@ type result struct {
 	Writes     uint64  `json:"writes"`
 	Errors     uint64  `json:"errors"`
 	OpsPerSec  float64 `json:"ops_per_sec"`
-	P50us      float64 `json:"p50_us"`
-	P99us      float64 `json:"p99_us"`
-	MaxUS      float64 `json:"max_us"`
-	GoMaxProcs int     `json:"gomaxprocs"`
-	GoVersion  string  `json:"go_version"`
+
+	// Session-churn (-ttl) fields.
+	TTLSeconds      float64 `json:"ttl_seconds,omitempty"`
+	TTLFrac         float64 `json:"ttl_frac,omitempty"`
+	ExpiredReads    uint64  `json:"expired_reads"`
+	ExpiredReadRate float64 `json:"expired_read_rate"`
+	P50us           float64 `json:"p50_us"`
+	P99us           float64 `json:"p99_us"`
+	MaxUS           float64 `json:"max_us"`
+	GoMaxProcs      int     `json:"gomaxprocs"`
+	GoVersion       string  `json:"go_version"`
 }
 
 func main() {
@@ -86,15 +102,26 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit one JSON document instead of text")
 		replicas = flag.Int("replicas", 0, "self-host this many read replicas and send reads to them")
 		repAddrs = flag.String("replica-addrs", "", "comma-separated external replica addresses for reads")
+		ttl      = flag.Duration("ttl", 0, "session-churn: writes expire this long after they land (0: no TTL workload)")
+		ttlFrac  = flag.Float64("ttl-frac", 1.0, "fraction of writes that carry the -ttl expiry")
 	)
 	flag.Parse()
 	if *replicas > 0 && *addr != "" {
 		fmt.Fprintln(os.Stderr, "hidbd-bench: -replicas requires self-hosting (omit -addr); use -replica-addrs against an external cluster")
 		os.Exit(2)
 	}
+	if *ttl > 0 && *batch > 1 {
+		fmt.Fprintln(os.Stderr, "hidbd-bench: -ttl measures single-op session churn; drop -batch")
+		os.Exit(2)
+	}
+	ttlSec := int64(ttl.Seconds())
+	if *ttl > 0 && ttlSec == 0 {
+		ttlSec = 1 // sub-second TTLs round up: epochs are whole seconds
+	}
 
 	res := result{
 		Conns: *conns, Depth: *depth, ReadFrac: *readFrac, Keys: *keys, Batch: *batch,
+		TTLSeconds: ttl.Seconds(), TTLFrac: *ttlFrac,
 		GoMaxProcs: runtime.GOMAXPROCS(0), GoVersion: runtime.Version(),
 	}
 
@@ -154,7 +181,7 @@ func main() {
 		}
 	}
 
-	var ops, reads, writes, errs atomic.Uint64
+	var ops, reads, writes, errs, expiredReads atomic.Uint64
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	workers := *conns * *depth
@@ -207,8 +234,23 @@ func main() {
 					}
 					_, err = conn.PutBatch(ibuf)
 					n = *batch
+				case isRead && ttlSec > 0:
+					// Read-until-gone: a miss means the session expired
+					// (the key space is continuously rewritten, so misses
+					// are deaths, not never-written keys, at steady state).
+					var ok bool
+					_, _, ok, err = rconn.GetTTL(rng.Int63n(int64(*keys)))
+					if err == nil && !ok {
+						expiredReads.Add(1)
+					}
 				case isRead:
 					_, _, err = rconn.Get(rng.Int63n(int64(*keys)))
+				case ttlSec > 0 && rng.Float64() < *ttlFrac:
+					// Write-with-TTL: the session dies ttlSec from now.
+					// The client does the relative→absolute arithmetic;
+					// the wire carries only the absolute epoch.
+					_, err = conn.PutTTL(rng.Int63n(int64(*keys)), rng.Int63(),
+						time.Now().Unix()+ttlSec)
 				default:
 					_, err = conn.Put(rng.Int63n(int64(*keys)), rng.Int63())
 				}
@@ -257,6 +299,10 @@ func main() {
 	res.Errors = errs.Load()
 	res.OpsPerSec = float64(res.Ops) / elapsed.Seconds()
 	res.P50us, res.P99us, res.MaxUS = pct(0.50), pct(0.99), pct(1.0)
+	res.ExpiredReads = expiredReads.Load()
+	if res.Reads > 0 {
+		res.ExpiredReadRate = float64(res.ExpiredReads) / float64(res.Reads)
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -267,6 +313,9 @@ func main() {
 		if *batch > 1 {
 			mode = fmt.Sprintf("%d-key batches", *batch)
 		}
+		if *ttl > 0 {
+			mode += fmt.Sprintf(", session churn (ttl %v, %.0f%% of writes)", *ttl, *ttlFrac*100)
+		}
 		if res.Replicas > 0 {
 			mode += fmt.Sprintf(", reads fanned out to %d replica(s)", res.Replicas)
 		}
@@ -276,6 +325,10 @@ func main() {
 			res.Ops, elapsed.Seconds(), res.OpsPerSec, res.Reads, res.Writes, res.Errors)
 		fmt.Printf("  latency p50 %.1fus  p99 %.1fus  max %.1fus (request round trips)\n",
 			res.P50us, res.P99us, res.MaxUS)
+		if *ttl > 0 {
+			fmt.Printf("  expired reads %d (%.1f%% of reads): sessions found already gone\n",
+				res.ExpiredReads, res.ExpiredReadRate*100)
+		}
 	}
 	if res.Ops < *minOps {
 		fmt.Fprintf(os.Stderr, "hidbd-bench: %d ops < minimum %d\n", res.Ops, *minOps)
@@ -325,7 +378,7 @@ func selfHost(nReplicas int) (addr string, replicaAddrs []string, stop func(), e
 		}
 		stops = append(stops, func() { os.RemoveAll(rdir) })
 		rdb, err := antipersist.Open(rdir, &antipersist.DBOptions{
-			Shards: 16, Seed: uint64(1000 + i), NoBackground: true,
+			Shards: 16, Seed: uint64(1000 + i), NoBackground: true, NoSweep: true,
 		})
 		if err != nil {
 			return fail(err)

@@ -61,6 +61,7 @@ func main() {
 		debugAddr  = flag.String("debug-addr", "", "optional HTTP address for expvar (/debug/vars)")
 		replicaOf  = flag.String("replica-of", "", "primary address; serve read-only and replicate from it")
 		syncEvery  = flag.Duration("sync-interval", 250*time.Millisecond, "replica anti-entropy poll period")
+		sweepEvery = flag.Duration("sweep-interval", time.Second, "TTL expiry sweeper poll period (negative: no sweeper)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -75,8 +76,11 @@ func main() {
 		CheckpointThreshold: *cpOps,
 		// A replica's durable state advances only by installing the
 		// primary's checkpoints; its own checkpointer would have nothing
-		// to do and is left off.
+		// to do and is left off — and it must not sweep on its own
+		// schedule either (dead entries leave when the primary's swept
+		// checkpoint ships).
 		NoBackground: *replicaOf != "",
+		NoSweep:      *replicaOf != "",
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hidbd: %v\n", err)
@@ -89,6 +93,7 @@ func main() {
 		WriteTimeout:  *writeTO,
 		MaxRangeItems: *rangeMax,
 		ReadOnly:      *replicaOf != "",
+		SweepInterval: *sweepEvery,
 	})
 
 	var rep *replica.Replica

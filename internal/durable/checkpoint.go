@@ -5,16 +5,23 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"time"
+
+	"repro/internal/expiry"
 )
 
-// Checkpoint persists the store's current contents: it renders a
-// canonical image for every shard whose version counter moved since the
-// last commit, publishes the changed images and a new manifest with the
-// atomic commit sequence, then wipes and unlinks whatever the new
-// manifest no longer references. A checkpoint that changes nothing is a
-// no-op. Checkpoints serialize with each other; readers and writers on
-// clean shards are never blocked (each dirty shard is snapshotted under
-// its own brief read lock).
+// Checkpoint persists the store's current contents: it first sweeps
+// every entry already expired at the current epoch (unless
+// Options.NoSweep), so the committed images hold exactly the
+// live-set-at-E — an expired entry can never outlive the checkpoint
+// that follows its deadline, and WHEN earlier sweeps happened to run
+// leaves no trace in the bytes. It then renders a canonical image for
+// every shard whose version counter moved since the last commit,
+// publishes the changed images and a new manifest with the atomic
+// commit sequence, and wipes and unlinks whatever the new manifest no
+// longer references. A checkpoint that changes nothing is a no-op.
+// Checkpoints serialize with each other; readers and writers on clean
+// shards are never blocked (each dirty shard is snapshotted under its
+// own brief read lock).
 func (db *DB) Checkpoint() error {
 	if db.closed.Load() {
 		return ErrClosed
@@ -40,6 +47,15 @@ func (db *DB) checkpoint() error {
 	dirtyAtStart := db.dirtyOps.Load()
 
 	s := db.store.Load()
+	// The live-set-at-E sweep: what gets committed is a pure function of
+	// (contents, epoch), never of any earlier sweeper's schedule.
+	if !db.opts.NoSweep {
+		if epoch := expiry.Epoch(db.opts.Clock); epoch > 0 {
+			if n := s.SweepExpired(epoch); n > 0 {
+				db.sweptKeys.Add(uint64(n))
+			}
+		}
+	}
 	nsh := s.NumShards()
 	newMan := &manifest{hseed: s.RoutingSeed(), shards: make([]shardEntry, nsh)}
 	var writes []pendingShard

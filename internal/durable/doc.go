@@ -27,6 +27,16 @@
 // unchanged shard reproduces, by definition, the byte-identical file a
 // full rewrite would have produced.
 //
+// TTL expiry composes with all of this without weakening it: every
+// checkpoint first sweeps the entries already expired at the current
+// epoch (see repro/internal/expiry), so committed directories hold
+// exactly the live-set-at-E and an expired entry's bytes cannot
+// outlive the checkpoint after its deadline — the superseded images
+// that held them are zero-wiped as always. Two databases with
+// different TTL operation histories but the same live set at epoch E
+// commit byte-identical directories. Read replicas open with NoSweep:
+// their dead entries leave when the primary's swept checkpoint ships.
+//
 // DB is safe for concurrent use and is the storage engine behind the
 // network server (repro/internal/server): point and batch operations
 // (including the server's mixed-write ApplyBatch) count toward a

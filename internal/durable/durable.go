@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/expiry"
 	"repro/internal/hipma"
 	"repro/internal/shard"
 )
@@ -50,6 +51,17 @@ type Options struct {
 	// NoWipe disables the best-effort zero-overwrite of superseded
 	// image files before unlink.
 	NoWipe bool
+	// Clock supplies the TTL epoch (nil: the system clock, unix
+	// seconds). Tests inject an expiry.Manual to make expiry — and
+	// therefore the checkpoint bytes of TTL workloads — deterministic.
+	Clock expiry.Clock
+	// NoSweep disables the pre-checkpoint expiry sweep. Read replicas
+	// set it: their directories must track the primary's committed
+	// images exactly, so dead entries leave when the primary's swept
+	// checkpoint ships, never on the replica's own schedule. (Lazy read
+	// filtering still applies either way — a dead entry is invisible
+	// from the moment it expires.)
+	NoSweep bool
 	// FS is the filesystem to commit through (nil: the real one).
 	FS FS
 }
@@ -74,6 +86,9 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.CheckpointThreshold <= 0 {
 		out.CheckpointThreshold = 4096
+	}
+	if out.Clock == nil {
+		out.Clock = expiry.System()
 	}
 	if out.FS == nil {
 		out.FS = OS()
@@ -108,6 +123,7 @@ type DB struct {
 
 	dirtyOps    atomic.Uint64 // mutating ops since the last checkpoint
 	checkpoints atomic.Uint64 // committed checkpoints (in-memory stat)
+	sweptKeys   atomic.Uint64 // expired entries physically removed since Open
 	closed      atomic.Bool
 
 	kick chan struct{} // threshold trigger for the background loop
@@ -156,6 +172,7 @@ func Open(dir string, opts *Options) (*DB, error) {
 		if err != nil {
 			return nil, fmt.Errorf("durable: %w", err)
 		}
+		s.SetClock(o.Clock)
 		db.store.Store(s)
 		db.cpVersions = make([]uint64, s.NumShards())
 		if err := db.checkpoint(); err != nil {
@@ -201,6 +218,7 @@ func (db *DB) recover(seed uint64) error {
 	if err != nil {
 		return fmt.Errorf("durable: %w", err)
 	}
+	s.SetClock(db.opts.Clock)
 	db.store.Store(s)
 	db.man = man
 	db.cpVersions = make([]uint64, s.NumShards())
@@ -251,12 +269,51 @@ func (db *DB) noteDirty(n int) {
 }
 
 // Put inserts or updates the value for key and reports whether the key
-// was newly inserted.
+// was newly inserted. A plain Put clears any previously recorded TTL.
 func (db *DB) Put(key, val int64) bool {
 	inserted := db.store.Load().Put(key, val)
 	db.noteDirty(1)
 	return inserted
 }
+
+// PutTTL inserts or updates the value for key with an absolute expiry
+// epoch (unix seconds; 0: never expires) and reports whether the key
+// was newly inserted — counting a key whose previous entry had already
+// expired as new.
+func (db *DB) PutTTL(key, val, exp int64) bool {
+	inserted := db.store.Load().PutTTL(key, val, exp)
+	db.noteDirty(1)
+	return inserted
+}
+
+// GetTTL returns the value and recorded absolute expiry (0: none) for
+// key, and whether the key is live at the current epoch.
+func (db *DB) GetTTL(key int64) (val, exp int64, ok bool) { return db.store.Load().GetTTL(key) }
+
+// Clock returns the database's TTL epoch clock.
+func (db *DB) Clock() expiry.Clock { return db.opts.Clock }
+
+// Epoch returns the database's current TTL epoch.
+func (db *DB) Epoch() int64 { return expiry.Epoch(db.opts.Clock) }
+
+// SweepExpired physically removes every entry already expired at epoch
+// and returns how many it removed. Checkpoint runs it automatically at
+// the current epoch (unless Options.NoSweep), so committed directories
+// always hold exactly the live-set-at-E; call it directly only to sweep
+// at an explicit epoch.
+func (db *DB) SweepExpired(epoch int64) int {
+	n := db.store.Load().SweepExpired(epoch)
+	if n > 0 {
+		db.sweptKeys.Add(uint64(n))
+		db.noteDirty(n)
+	}
+	return n
+}
+
+// SweptKeys returns the number of expired entries physically removed
+// since Open — by explicit sweeps, checkpoint-time sweeps, and Expire
+// ops applied through ApplyBatch.
+func (db *DB) SweptKeys() uint64 { return db.sweptKeys.Load() }
 
 // Get returns the value stored for key and whether it exists.
 func (db *DB) Get(key int64) (int64, bool) { return db.store.Load().Get(key) }
@@ -299,7 +356,28 @@ func (db *DB) DeleteBatch(keys []int64) int {
 // many connections' pipelined writes become one batch, one lock take
 // per shard, one dirty-op note per operation.
 func (db *DB) ApplyBatch(ops []shard.Op, changed []bool) (int, error) {
+	hasExpire := false
+	for i := range ops {
+		if ops[i].Expire {
+			hasExpire = true
+			break
+		}
+	}
+	if hasExpire && changed == nil {
+		changed = make([]bool, len(ops)) // needed below to count removals
+	}
 	n, err := db.store.Load().ApplyBatch(ops, changed)
+	if err == nil && hasExpire {
+		swept := uint64(0)
+		for i := range ops {
+			if ops[i].Expire && changed[i] {
+				swept++
+			}
+		}
+		if swept > 0 {
+			db.sweptKeys.Add(swept)
+		}
+	}
 	db.noteDirty(len(ops))
 	return n, err
 }

@@ -114,6 +114,7 @@ func (db *DB) InstallCheckpoint(hseed uint64, images [][]byte) error {
 	if err != nil {
 		return fmt.Errorf("durable: installing checkpoint: %w", err)
 	}
+	s.SetClock(db.opts.Clock)
 
 	db.cpMu.Lock()
 	defer db.cpMu.Unlock()

@@ -1,0 +1,292 @@
+package durable
+
+// TTL at the durable layer: committed directories are a pure function
+// of (live contents, epoch) whatever TTL operation history produced
+// them, expired entries' bytes are forensically absent after sweep +
+// checkpoint, and the expiry index survives recovery.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+
+	"repro/internal/expiry"
+)
+
+// ttlDirBytes snapshots every file of the DB directory.
+func ttlDirBytes(t *testing.T, fs FS, dir string) map[string][]byte {
+	t.Helper()
+	names, err := fs.List(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string][]byte, len(names))
+	for _, name := range names {
+		f, err := fs.Open(dir + "/" + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := io.ReadAll(f)
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = data
+	}
+	return out
+}
+
+// TestTTLDeterministicDirectories is the acceptance criterion: two DBs
+// fed DIFFERENT TTL operation histories — different intermediate
+// expiries, sweeps at different epochs, interleaved checkpoints — but
+// the same live set at epoch E produce byte-identical directories once
+// each commits a checkpoint at E.
+func TestTTLDeterministicDirectories(t *testing.T) {
+	const (
+		seed  = 42
+		E     = int64(5000)
+		nKeys = 600
+	)
+	type entry struct{ key, val, exp int64 }
+	var finals []entry
+	for k := int64(0); k < nKeys; k++ {
+		switch k % 3 {
+		case 0:
+			finals = append(finals, entry{k, k * 13, 0})
+		case 1:
+			finals = append(finals, entry{k, k * 13, E + 100 + k})
+		}
+		// k%3 == 2: absent from the final state
+	}
+
+	// History A: the final state written directly at epoch E, one
+	// checkpoint.
+	clkA := expiry.NewManual(E)
+	fsA := NewMemFS()
+	dbA, err := Open("db", &Options{Shards: 8, Seed: seed, FS: fsA, NoBackground: true, Clock: clkA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range finals {
+		dbA.PutTTL(e.key, e.val, e.exp)
+	}
+	if err := dbA.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// History B: a mess. Short-lived sessions that expire and get swept
+	// at scattered epochs, checkpoints in between (each commits
+	// different intermediate images), deletes, overwrites — and finally
+	// the same live set, checkpointed at the same epoch E.
+	clkB := expiry.NewManual(10)
+	fsB := NewMemFS()
+	dbB, err := Open("db", &Options{Shards: 8, Seed: seed, FS: fsB, NoBackground: true, Clock: clkB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(0); k < nKeys; k++ {
+		dbB.PutTTL(k, k+1, 20+k%30) // all die by epoch 50
+	}
+	if err := dbB.Checkpoint(); err != nil { // commits the short-lived state
+		t.Fatal(err)
+	}
+	clkB.Set(100)
+	dbB.SweepExpired(60) // explicit sweep at yet another epoch
+	for k := int64(0); k < nKeys; k += 2 {
+		dbB.Put(k, k*999)
+	}
+	if err := dbB.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	clkB.Set(E)
+	for k := int64(0); k < nKeys; k++ { // clear everything, then load finals
+		dbB.Delete(k)
+	}
+	for _, e := range finals {
+		dbB.PutTTL(e.key, e.val, e.exp)
+	}
+	// Some extra entries already dead at E: the checkpoint's
+	// live-set-at-E sweep must erase them from the committed state.
+	for k := int64(100_000); k < 100_050; k++ {
+		dbB.PutTTL(k, k, E)
+	}
+	if err := dbB.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	da, db_ := ttlDirBytes(t, fsA, "db"), ttlDirBytes(t, fsB, "db")
+	if len(da) != len(db_) {
+		t.Fatalf("directory listings differ: %d vs %d files", len(da), len(db_))
+	}
+	for name, want := range da {
+		got, ok := db_[name]
+		if !ok {
+			t.Fatalf("file %s missing from history B's directory", name)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("file %s differs across TTL histories", name)
+		}
+	}
+
+	if err := dbA.VerifyCanonical(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dbB.VerifyCanonical(); err != nil {
+		t.Fatal(err)
+	}
+	dbA.Abandon()
+	dbB.Abandon()
+}
+
+// forensic byte patterns: distinctive 8-byte constants that cannot
+// collide with structural integers.
+func ttlPatterns(v int64) [][]byte {
+	le := binary.LittleEndian.AppendUint64(nil, uint64(v))
+	be := binary.BigEndian.AppendUint64(nil, uint64(v))
+	return [][]byte{le, be}
+}
+
+// TestTTLForensicExpiredBytesAbsent seizes the disk after sweep +
+// checkpoint and greps every surviving file for the expired keys' and
+// values' byte patterns — none may appear, and every superseded image
+// file that held them must have been zero-wiped before its unlink.
+func TestTTLForensicExpiredBytesAbsent(t *testing.T) {
+	clk := expiry.NewManual(100)
+	fs := NewMemFS()
+	db, err := Open("db", &Options{Shards: 4, Seed: 7, FS: fs, NoBackground: true, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Distinctive high-entropy keys and values for the doomed entries.
+	const nDead = 40
+	deadKey := func(i int64) int64 { return 0x5EC4E7_0000_0000 + i*0x01_0101 }
+	deadVal := func(i int64) int64 { return -0x7A11_DEAD_0000_0000 + i*0x0107 }
+	for i := int64(0); i < nDead; i++ {
+		db.PutTTL(deadKey(i), deadVal(i), 200) // all die at epoch 200
+	}
+	// Live bystanders that must survive everything below.
+	for k := int64(0); k < 100; k++ {
+		db.Put(k, k*3)
+	}
+	// Commit the pre-expiry state: the dead entries' bytes ARE on disk
+	// now — they are live, that is correct.
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for name, data := range ttlDirBytes(t, fs, "db") {
+		for i := int64(0); i < nDead; i++ {
+			for _, pat := range ttlPatterns(deadKey(i)) {
+				if bytes.Contains(data, pat) {
+					found++
+					_ = name
+				}
+			}
+		}
+	}
+	if found == 0 {
+		t.Fatal("sanity: live TTL'd keys should be present in the committed images")
+	}
+
+	// The epoch passes; sweep + checkpoint. (Checkpoint alone would
+	// sweep too — exercise the explicit path as well.)
+	clk.Set(200)
+	if n := db.SweepExpired(200); n != nDead {
+		t.Fatalf("swept %d, want %d", n, nDead)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Forensics: no expired key or value bytes anywhere in the seized
+	// directory — not in shard images, not in the manifest, not in any
+	// leftover file.
+	for name, data := range ttlDirBytes(t, fs, "db") {
+		for i := int64(0); i < nDead; i++ {
+			for _, pat := range append(ttlPatterns(deadKey(i)), ttlPatterns(deadVal(i))...) {
+				if bytes.Contains(data, pat) {
+					t.Fatalf("expired entry %d's bytes (% x) survive in %s after sweep + checkpoint",
+						i, pat, name)
+				}
+			}
+		}
+	}
+	// The superseded images (which held the doomed bytes) were
+	// zero-wiped before removal.
+	wiped, unwiped := 0, 0
+	for _, rm := range fs.Removals() {
+		if rm.Wiped {
+			wiped++
+		} else {
+			unwiped++
+		}
+	}
+	if wiped == 0 {
+		t.Fatal("no zero-wiped removals recorded; superseded images left readable debris")
+	}
+	if unwiped > 0 {
+		t.Fatalf("%d removals skipped the zero-wipe", unwiped)
+	}
+
+	// The live bystanders survive, canonically.
+	if err := db.VerifyCanonical(); err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(0); k < 100; k++ {
+		if v, ok := db.Get(k); !ok || v != k*3 {
+			t.Fatalf("bystander %d = (%d,%v) after sweep", k, v, ok)
+		}
+	}
+	db.Abandon()
+}
+
+// TestTTLRecovery: the expiry index is part of the durable state — a
+// reopened database still knows every entry's expiry, filters lazily at
+// the restored clock's epoch, and sweeps deterministically.
+func TestTTLRecovery(t *testing.T) {
+	clk := expiry.NewManual(50)
+	fs := NewMemFS()
+	db, err := Open("db", &Options{Shards: 4, Seed: 3, FS: fs, NoBackground: true, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.PutTTL(1, 10, 80)
+	db.PutTTL(2, 20, 200)
+	db.Put(3, 30)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen later: entry 1 has expired in the meantime.
+	clk2 := expiry.NewManual(100)
+	db2, err := Open("db", &Options{Seed: 3, FS: fs, NoBackground: true, Clock: clk2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Abandon()
+	if _, _, ok := db2.GetTTL(1); ok {
+		t.Fatal("entry expired while closed still reads as live after recovery")
+	}
+	if v, exp, ok := db2.GetTTL(2); !ok || v != 20 || exp != 200 {
+		t.Fatalf("recovered TTL entry = (%d,%d,%v), want (20,200,true)", v, exp, ok)
+	}
+	if v, exp, ok := db2.GetTTL(3); !ok || v != 30 || exp != 0 {
+		t.Fatalf("recovered plain entry = (%d,%d,%v)", v, exp, ok)
+	}
+	if n := db2.Len(); n != 2 {
+		t.Fatalf("recovered Len = %d, want 2", n)
+	}
+	// The recovery-time physical state still holds entry 1 (it expired
+	// while closed; nothing has swept); the next checkpoint erases it.
+	if err := db2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if db2.SweptKeys() != 1 {
+		t.Fatalf("SweptKeys = %d, want 1", db2.SweptKeys())
+	}
+	if err := db2.VerifyCanonical(); err != nil {
+		t.Fatal(err)
+	}
+}

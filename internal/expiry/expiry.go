@@ -1,0 +1,139 @@
+// Package expiry defines the history-independent TTL model shared by
+// every layer of the database: the epoch clock, the liveness predicate,
+// and the sweep schedule.
+//
+// The design constraint is the same one the rest of the system lives
+// under: nothing on persistent storage may depend on WHEN anything
+// happened — only on what the logical contents are. Expiry therefore
+// cannot be implemented the usual way (a reaper that deletes entries
+// whenever it happens to run, leaving its timing fingerprinted in the
+// structure). Instead:
+//
+//   - Every entry carries an optional absolute expiry epoch (unix
+//     seconds; 0 = never expires). The expiry is part of the entry's
+//     LOGICAL state — it is echoed back by GetTTL — so two stores with
+//     the same (key, value, expiry) set are "equal contents" and must
+//     produce byte-identical canonical images.
+//
+//   - The logical state at epoch E is a pure function: exactly the
+//     entries with Live(exp, E). Reads filter lazily against the
+//     current epoch, so an entry is invisible from the moment it
+//     expires, whether or not anything has physically removed it yet.
+//
+//   - The sweep physically removes the entries that are already
+//     logically dead at epoch E. Because a sweep at epoch E always
+//     removes exactly {entries with exp != 0, exp <= E}, the surviving
+//     contents — and therefore the canonical images — are a pure
+//     function of (prior contents, E). WHEN the sweep ran, how many
+//     sweeps ran, or whether expired entries were instead removed one
+//     by one, is unrecoverable from the bytes. Sweep timing never
+//     reaches the image.
+//
+// This package owns the model; repro/internal/shard executes the lazy
+// filtering and the per-shard sweep under the shard locks, and
+// repro/internal/durable sweeps at the current epoch before rendering a
+// checkpoint so committed directories always hold the live-set-at-E.
+package expiry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Clock supplies the epoch: the current time in unix seconds. Epochs
+// must be non-negative and non-decreasing; epoch 0 means "no epoch has
+// ever passed", under which nothing expires.
+type Clock interface {
+	Now() int64
+}
+
+// Live reports whether an entry with absolute expiry exp is logically
+// present at the given epoch: exp == 0 (no expiry) or exp strictly in
+// the future. It is THE liveness predicate — every layer must agree on
+// it, or reads and sweeps would disagree about the logical state.
+func Live(exp, epoch int64) bool {
+	return exp == 0 || exp > epoch
+}
+
+// Epoch returns c's current epoch, treating a nil clock as epoch 0
+// (nothing expires). Stores without TTL workloads never construct a
+// clock and pay nothing.
+func Epoch(c Clock) int64 {
+	if c == nil {
+		return 0
+	}
+	return c.Now()
+}
+
+// System returns the wall clock: unix seconds.
+func System() Clock { return systemClock{} }
+
+type systemClock struct{}
+
+func (systemClock) Now() int64 { return time.Now().Unix() }
+
+// Manual is a settable clock for tests and deterministic drills: the
+// epoch is exactly what the test last set, so "time passes" only when
+// the schedule says so. Safe for concurrent use.
+type Manual struct {
+	epoch atomic.Int64
+}
+
+// NewManual returns a manual clock at the given epoch.
+func NewManual(epoch int64) *Manual {
+	m := &Manual{}
+	m.epoch.Store(epoch)
+	return m
+}
+
+// Now returns the current manual epoch.
+func (m *Manual) Now() int64 { return m.epoch.Load() }
+
+// Set moves the clock to epoch.
+func (m *Manual) Set(epoch int64) { m.epoch.Store(epoch) }
+
+// Advance moves the clock forward by d epochs and returns the new
+// epoch.
+func (m *Manual) Advance(d int64) int64 { return m.epoch.Add(d) }
+
+// Schedule decides when a sweep is owed: once per epoch transition,
+// never on a timer's own authority. A sweeper polls Due; a true result
+// hands it the epoch to sweep at, and MarkDone records that the epoch
+// has been handled so the next poll is quiet until the clock moves
+// again. This is what makes sweeping EPOCH-triggered rather than
+// schedule-triggered — two servers polling at wildly different rates
+// still sweep at exactly the same epochs, so their physical states
+// (and their canonical images) stay equal.
+type Schedule struct {
+	clock Clock
+
+	mu   sync.Mutex
+	last int64 // highest epoch already swept (0: none)
+}
+
+// NewSchedule returns a sweep schedule over c.
+func NewSchedule(c Clock) *Schedule { return &Schedule{clock: c} }
+
+// Due reports whether a sweep is owed and at which epoch: the clock has
+// advanced past the last MarkDone (epoch 0 is never due — nothing can
+// be expired at it).
+func (s *Schedule) Due() (epoch int64, due bool) {
+	epoch = Epoch(s.clock)
+	if epoch <= 0 {
+		return epoch, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return epoch, epoch > s.last
+}
+
+// MarkDone records that a sweep at epoch has completed. Older epochs
+// never regress the mark.
+func (s *Schedule) MarkDone(epoch int64) {
+	s.mu.Lock()
+	if epoch > s.last {
+		s.last = epoch
+	}
+	s.mu.Unlock()
+}

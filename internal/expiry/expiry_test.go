@@ -1,0 +1,122 @@
+package expiry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLive(t *testing.T) {
+	cases := []struct {
+		exp, epoch int64
+		want       bool
+	}{
+		{0, 0, true},         // no expiry, no epoch
+		{0, 1 << 40, true},   // no expiry, far future
+		{1, 0, true},         // expiry ahead of epoch 0
+		{100, 99, true},      // strictly before the deadline
+		{100, 100, false},    // exactly at the deadline: dead
+		{100, 101, false},    // past the deadline
+		{-5, 0, false},       // malformed negative expiry: never live
+		{5, 1 << 40, false},  // long dead
+		{1 << 40, 100, true}, // far-future expiry
+		{1 << 40, 1<<40 - 1, true},
+	}
+	for _, c := range cases {
+		if got := Live(c.exp, c.epoch); got != c.want {
+			t.Errorf("Live(%d, %d) = %v, want %v", c.exp, c.epoch, got, c.want)
+		}
+	}
+}
+
+func TestEpochNilClock(t *testing.T) {
+	if got := Epoch(nil); got != 0 {
+		t.Fatalf("Epoch(nil) = %d, want 0", got)
+	}
+	if got := Epoch(NewManual(77)); got != 77 {
+		t.Fatalf("Epoch(manual@77) = %d, want 77", got)
+	}
+}
+
+func TestSystemClock(t *testing.T) {
+	now := time.Now().Unix()
+	got := System().Now()
+	if got < now || got > now+2 {
+		t.Fatalf("System().Now() = %d, wall clock says %d", got, now)
+	}
+}
+
+func TestManualClock(t *testing.T) {
+	m := NewManual(10)
+	if m.Now() != 10 {
+		t.Fatalf("Now = %d, want 10", m.Now())
+	}
+	if got := m.Advance(5); got != 15 {
+		t.Fatalf("Advance(5) = %d, want 15", got)
+	}
+	m.Set(100)
+	if m.Now() != 100 {
+		t.Fatalf("Now after Set = %d, want 100", m.Now())
+	}
+}
+
+func TestScheduleEpochTriggered(t *testing.T) {
+	clk := NewManual(0)
+	s := NewSchedule(clk)
+
+	// Epoch 0 is never due, however often it is polled.
+	for i := 0; i < 3; i++ {
+		if e, due := s.Due(); due {
+			t.Fatalf("poll %d: due at epoch %d, want quiet at epoch 0", i, e)
+		}
+	}
+
+	// The clock moving makes exactly one sweep due, at the new epoch.
+	clk.Set(5)
+	e, due := s.Due()
+	if !due || e != 5 {
+		t.Fatalf("Due after advance = (%d, %v), want (5, true)", e, due)
+	}
+	// Still due until marked done — polling must not consume the owe.
+	if _, due := s.Due(); !due {
+		t.Fatal("second poll before MarkDone is not due")
+	}
+	s.MarkDone(5)
+	if _, due := s.Due(); due {
+		t.Fatal("due again immediately after MarkDone at the same epoch")
+	}
+
+	// A later epoch owes again; a stale MarkDone cannot regress it.
+	clk.Set(9)
+	s.MarkDone(5) // stale
+	if e, due := s.Due(); !due || e != 9 {
+		t.Fatalf("Due at epoch 9 = (%d, %v), want (9, true)", e, due)
+	}
+	s.MarkDone(9)
+	if _, due := s.Due(); due {
+		t.Fatal("due after MarkDone(9)")
+	}
+}
+
+func TestScheduleConcurrent(t *testing.T) {
+	clk := NewManual(1)
+	s := NewSchedule(clk)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := int64(1); j < 200; j++ {
+				clk.Set(j)
+				if e, due := s.Due(); due {
+					s.MarkDone(e)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	clk.Set(1000)
+	if e, due := s.Due(); !due || e != 1000 {
+		t.Fatalf("after churn, Due = (%d, %v), want (1000, true)", e, due)
+	}
+}

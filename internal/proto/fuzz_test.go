@@ -34,6 +34,10 @@ func FuzzDecodeFrame(f *testing.F) {
 			Payload: AppendShardHashes(nil, 0xfeed, []ShardHash{{Size: 64, Hash: [32]byte{1, 2}}, {Size: 0}})},
 		{Ver: Version, Op: OpSync, ID: 11, Payload: AppendSyncReq(nil, 3, [32]byte{9}, 128, 4096)},
 		{Ver: Version, Op: OpSync | FlagReply, ID: 11, Payload: AppendSyncChunk(nil, true, []byte("img"))},
+		{Ver: Version, Op: OpPutTTL, ID: 12, Payload: AppendKeyValExp(nil, 7, 70, 1_900_000_000)},
+		{Ver: Version, Op: OpPutTTL | FlagReply, ID: 12, Payload: AppendTTLAck(nil, true, 1_900_000_000)},
+		{Ver: Version, Op: OpGetTTL, ID: 13, Payload: AppendKey(nil, 7)},
+		{Ver: Version, Op: OpGetTTL | FlagReply, ID: 13, Payload: AppendFoundTTL(nil, true, 70, 1_900_000_000)},
 	}
 	for _, fr := range seeds {
 		wire := AppendFrame(nil, fr)
@@ -88,6 +92,9 @@ func FuzzDecodeFrame(f *testing.F) {
 		}
 		DecodeSyncReq(fr.Payload)
 		DecodeSyncChunk(fr.Payload)
+		DecodeKeyValExp(fr.Payload)
+		DecodeTTLAck(fr.Payload)
+		DecodeFoundTTL(fr.Payload)
 
 		// The streaming reader must agree with the buffer decoder.
 		sf, serr := ReadFrame(bytes.NewReader(data), payloadCap)

@@ -68,6 +68,71 @@ func DecodeU64(p []byte) (uint64, error) {
 	return binary.BigEndian.Uint64(p), nil
 }
 
+// AppendKeyValExp appends an OpPutTTL request: key, value, and the
+// absolute expiry epoch in unix seconds (0: never expires).
+func AppendKeyValExp(dst []byte, key, val, exp int64) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, uint64(key))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(val))
+	return binary.BigEndian.AppendUint64(dst, uint64(exp))
+}
+
+// DecodeKeyValExp decodes an OpPutTTL request. A negative expiry is
+// rejected — epochs are unix seconds, and an entry that should be gone
+// already is expressed by an expiry in the past, not a negative one.
+func DecodeKeyValExp(p []byte) (key, val, exp int64, err error) {
+	if len(p) != 24 {
+		return 0, 0, 0, fmt.Errorf("proto: key-val-exp payload is %d bytes, want 24", len(p))
+	}
+	key = int64(binary.BigEndian.Uint64(p))
+	val = int64(binary.BigEndian.Uint64(p[8:]))
+	exp = int64(binary.BigEndian.Uint64(p[16:]))
+	if exp < 0 {
+		return 0, 0, 0, fmt.Errorf("proto: negative expiry epoch %d", exp)
+	}
+	return key, val, exp, nil
+}
+
+// AppendTTLAck appends an OpPutTTL reply: the changed flag plus the
+// absolute expiry now in force, echoed back.
+func AppendTTLAck(dst []byte, changed bool, exp int64) []byte {
+	dst = AppendBool(dst, changed)
+	return binary.BigEndian.AppendUint64(dst, uint64(exp))
+}
+
+// DecodeTTLAck decodes an OpPutTTL reply.
+func DecodeTTLAck(p []byte) (changed bool, exp int64, err error) {
+	if len(p) != 9 || p[0] > 1 {
+		return false, 0, fmt.Errorf("proto: bad put-ttl reply payload (%d bytes)", len(p))
+	}
+	exp = int64(binary.BigEndian.Uint64(p[1:]))
+	if exp < 0 {
+		return false, 0, fmt.Errorf("proto: negative expiry epoch %d in reply", exp)
+	}
+	return p[0] == 1, exp, nil
+}
+
+// AppendFoundTTL appends an OpGetTTL reply: found flag, the value, and
+// the entry's recorded absolute expiry (both zero when absent; expiry
+// zero also means "never expires" on a found entry).
+func AppendFoundTTL(dst []byte, found bool, val, exp int64) []byte {
+	dst = AppendBool(dst, found)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(val))
+	return binary.BigEndian.AppendUint64(dst, uint64(exp))
+}
+
+// DecodeFoundTTL decodes an OpGetTTL reply.
+func DecodeFoundTTL(p []byte) (val, exp int64, found bool, err error) {
+	if len(p) != 17 || p[0] > 1 {
+		return 0, 0, false, fmt.Errorf("proto: bad get-ttl reply payload (%d bytes)", len(p))
+	}
+	val = int64(binary.BigEndian.Uint64(p[1:]))
+	exp = int64(binary.BigEndian.Uint64(p[9:]))
+	if exp < 0 {
+		return 0, 0, false, fmt.Errorf("proto: negative expiry epoch %d in reply", exp)
+	}
+	return val, exp, p[0] == 1, nil
+}
+
 // AppendFound appends an OpGet reply: found flag plus the value (zero
 // when absent).
 func AppendFound(dst []byte, found bool, val int64) []byte {

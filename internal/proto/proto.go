@@ -47,6 +47,14 @@ const (
 	// images. See docs/PROTOCOL.md "Replication".
 	OpShardHash byte = 0x09 // payload: empty → reply: hseed(8) count(4) [size(8) hash(32)]…
 	OpSync      byte = 0x0A // payload: shard(4) hash(32) offset(8) maxlen(4) → reply: more(1) bytes
+
+	// TTL opcodes. The expiry is an ABSOLUTE epoch in unix seconds
+	// (0: never expires), recorded as part of the entry's logical state
+	// and echoed back; the server never stores "when the request
+	// arrived" — relative TTLs are resolved by the client, so the wire
+	// carries only state, never timing. See docs/PROTOCOL.md "Expiry".
+	OpPutTTL byte = 0x0B // payload: key(8) val(8) exp(8) → reply: changed(1) exp(8)
+	OpGetTTL byte = 0x0C // payload: key(8) → reply: found(1) val(8) exp(8)
 )
 
 // FlagReply marks a frame as the successful reply to the request opcode
@@ -90,6 +98,8 @@ var opNames = map[byte]string{
 	OpPing:       "OpPing",
 	OpShardHash:  "OpShardHash",
 	OpSync:       "OpSync",
+	OpPutTTL:     "OpPutTTL",
+	OpGetTTL:     "OpGetTTL",
 	OpError:      "OpError",
 }
 

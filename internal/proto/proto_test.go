@@ -149,6 +149,20 @@ func TestPayloadRoundTrips(t *testing.T) {
 	if data, more, err = DecodeSyncChunk(AppendSyncChunk(nil, false, nil)); err != nil || more || len(data) != 0 {
 		t.Fatalf("empty sync chunk: %q %v %v", data, more, err)
 	}
+
+	k, v, exp, err := DecodeKeyValExp(AppendKeyValExp(nil, -7, 70, 1_900_000_000))
+	if err != nil || k != -7 || v != 70 || exp != 1_900_000_000 {
+		t.Fatalf("key-val-exp: %d %d %d %v", k, v, exp, err)
+	}
+	if ch, exp, err := DecodeTTLAck(AppendTTLAck(nil, true, 123)); err != nil || !ch || exp != 123 {
+		t.Fatalf("ttl ack: %v %d %v", ch, exp, err)
+	}
+	if v, exp, ok, err := DecodeFoundTTL(AppendFoundTTL(nil, true, -3, 456)); err != nil || !ok || v != -3 || exp != 456 {
+		t.Fatalf("found-ttl: %d %d %v %v", v, exp, ok, err)
+	}
+	if v, exp, ok, err := DecodeFoundTTL(AppendFoundTTL(nil, false, 0, 0)); err != nil || ok || v != 0 || exp != 0 {
+		t.Fatalf("absent found-ttl: %d %d %v %v", v, exp, ok, err)
+	}
 }
 
 func TestHostilePayloads(t *testing.T) {
@@ -191,6 +205,25 @@ func TestHostilePayloads(t *testing.T) {
 	}
 	if _, _, err := DecodeSyncChunk([]byte{2}); err == nil {
 		t.Fatal("bad sync-chunk flag accepted")
+	}
+	// TTL payloads: wrong sizes and negative epochs are rejected.
+	if _, _, _, err := DecodeKeyValExp(make([]byte, 16)); err == nil {
+		t.Fatal("short put-ttl request accepted")
+	}
+	if _, _, _, err := DecodeKeyValExp(AppendKeyValExp(nil, 1, 2, -3)); err == nil {
+		t.Fatal("negative expiry accepted")
+	}
+	if _, _, err := DecodeTTLAck([]byte{2, 0, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Fatal("bad put-ttl reply flag accepted")
+	}
+	if _, _, err := DecodeTTLAck(AppendTTLAck(nil, true, -1)); err == nil {
+		t.Fatal("negative expiry in put-ttl reply accepted")
+	}
+	if _, _, _, err := DecodeFoundTTL(make([]byte, 9)); err == nil {
+		t.Fatal("short get-ttl reply accepted")
+	}
+	if _, _, _, err := DecodeFoundTTL(AppendFoundTTL(nil, true, 1, -9)); err == nil {
+		t.Fatal("negative expiry in get-ttl reply accepted")
 	}
 }
 

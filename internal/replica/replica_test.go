@@ -7,6 +7,7 @@ import (
 
 	"repro/client"
 	"repro/internal/durable"
+	"repro/internal/expiry"
 	"repro/internal/server"
 )
 
@@ -23,8 +24,18 @@ const nodeDir = "db"
 
 func newNode(t *testing.T, fs *durable.MemFS, seed uint64, shards int, readOnly bool) *node {
 	t.Helper()
+	return newNodeClock(t, fs, seed, shards, readOnly, nil)
+}
+
+// newNodeClock is newNode with an injected TTL epoch clock (nil: the
+// system clock). Read-only nodes open with NoSweep — a replica's dead
+// entries leave when the primary's swept checkpoint ships, never on the
+// replica's own schedule.
+func newNodeClock(t *testing.T, fs *durable.MemFS, seed uint64, shards int, readOnly bool, clk expiry.Clock) *node {
+	t.Helper()
 	db, err := durable.Open(nodeDir, &durable.Options{
 		Shards: shards, Seed: seed, NoBackground: true, FS: fs,
+		Clock: clk, NoSweep: readOnly,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -2,14 +2,17 @@ package replica
 
 // The cluster torture test: one primary and two replicas, all over
 // net.Pipe and MemFS, under a deterministic seeded schedule of mixed
-// writes, checkpoints, anti-entropy rounds, and power cuts injected
-// mid-commit on both the primary and the replicas. After quiesce every
-// node's DB directory must be byte-identical to the primary's last
-// checkpoint, and the replicas must answer reads from exactly that
-// state. Concurrent wire readers run throughout so the race detector
-// sees reads overlapping installs and crashes; they assert nothing
-// (their replies race the schedule) and mutate nothing, so the final
-// state stays deterministic.
+// writes, TTL writes and expirations (a shared manual epoch clock ticks
+// forward mid-load), checkpoints, anti-entropy rounds, and power cuts
+// injected mid-commit on both the primary and the replicas. After
+// quiesce every node's DB directory must be byte-identical to the
+// primary's last checkpoint, and the replicas must answer reads from
+// exactly that state — with every expired entry invisible and every
+// live TTL'd entry carrying its expiry. Concurrent wire readers run
+// throughout so the race detector sees reads overlapping installs,
+// epoch transitions, and crashes; they assert nothing (their replies
+// race the schedule) and mutate nothing, so the final state stays
+// deterministic.
 
 import (
 	"math/rand"
@@ -19,6 +22,7 @@ import (
 
 	"repro/client"
 	"repro/internal/durable"
+	"repro/internal/expiry"
 )
 
 func tortureScale(t *testing.T, short, long int) int {
@@ -41,23 +45,40 @@ func TestClusterTorture(t *testing.T) {
 	)
 	rng := rand.New(rand.NewSource(17))
 
+	// One epoch clock shared by every node in the cluster: expiry is a
+	// function of (contents, epoch), and the cluster's nodes must agree
+	// on the epoch just as they agree on the seed.
+	clk := expiry.NewManual(1)
+
 	// The primary and its write client. Rebuilt on every power cut.
 	pfs := durable.NewMemFS()
-	prim := newNode(t, pfs, seed, shards, false)
+	prim := newNodeClock(t, pfs, seed, shards, false, clk)
 	pconn := dialNode(t, prim)
 
-	// model mirrors every acknowledged write; committed mirrors the
-	// state at the last successful checkpoint — the only state a power
-	// cut may roll the primary back to, and therefore the only state a
-	// replica can ever have installed.
+	// model mirrors every acknowledged write (values and expiries);
+	// committed mirrors the state at the last successful checkpoint —
+	// the only state a power cut may roll the primary back to, and
+	// therefore the only state a replica can ever have installed.
+	// Entries whose expiry has passed stay in the maps: liveness is
+	// decided at read time, exactly as the store decides it.
 	model := map[int64]int64{}
+	modelExp := map[int64]int64{} // key -> expiry, only nonzero
 	committed := map[int64]int64{}
+	committedExp := map[int64]int64{}
+	live := func(k int64) bool {
+		exp, ok := modelExp[k]
+		return !ok || expiry.Live(exp, clk.Now())
+	}
 	checkpoint := func() bool {
 		_, err := pconn.Checkpoint()
 		if err == nil {
 			committed = make(map[int64]int64, len(model))
 			for k, v := range model {
 				committed[k] = v
+			}
+			committedExp = make(map[int64]int64, len(modelExp))
+			for k, v := range modelExp {
+				committedExp[k] = v
 			}
 		}
 		return err == nil
@@ -74,7 +95,7 @@ func TestClusterTorture(t *testing.T) {
 	}
 	mkSlot := func(localSeed uint64) *slot {
 		s := &slot{fs: durable.NewMemFS()}
-		s.n = newNode(t, s.fs, localSeed, shards, true)
+		s.n = newNodeClock(t, s.fs, localSeed, shards, true, clk)
 		rep, err := New(s.n.db, Config{Dial: prim.dialTo()})
 		if err != nil {
 			t.Fatal(err)
@@ -136,12 +157,16 @@ func TestClusterTorture(t *testing.T) {
 		prim.srv.Close()
 		prim.db.Abandon()
 		pfs = pfs.Crash()
-		prim = newNode(t, pfs, seed, shards, false)
+		prim = newNodeClock(t, pfs, seed, shards, false, clk)
 		pconn = dialNode(t, prim)
 		// Everything past the last successful checkpoint is gone.
 		model = make(map[int64]int64, len(committed))
 		for k, v := range committed {
 			model[k] = v
+		}
+		modelExp = make(map[int64]int64, len(committedExp))
+		for k, v := range committedExp {
+			modelExp[k] = v
 		}
 		// Replicas must redial the new incarnation.
 		for _, s := range slots {
@@ -160,7 +185,7 @@ func TestClusterTorture(t *testing.T) {
 		s.n.srv.Close()
 		s.n.db.Abandon()
 		s.fs = s.fs.Crash()
-		s.n = newNode(t, s.fs, uint64(100+i), shards, true)
+		s.n = newNodeClock(t, s.fs, uint64(100+i), shards, true, clk)
 		rep, err := New(s.n.db, Config{Dial: prim.dialTo()})
 		if err != nil {
 			t.Fatal(err)
@@ -170,8 +195,15 @@ func TestClusterTorture(t *testing.T) {
 	}
 
 	for round := 0; round < rounds; round++ {
-		// Mixed write load on the primary: point puts/deletes and small
-		// batches, every ack mirrored into the model.
+		// The epoch ticks forward on some rounds, expiring whatever TTL
+		// writes have fallen due — on every node at once, since the
+		// cluster shares the clock.
+		if round%3 == 2 {
+			clk.Advance(1)
+		}
+
+		// Mixed write load on the primary: point puts/deletes, TTL puts,
+		// and small batches, every ack mirrored into the model.
 		for op := 0; op < opsPerRound; op++ {
 			k := rng.Int63n(keySpace)
 			switch rng.Intn(10) {
@@ -180,6 +212,7 @@ func TestClusterTorture(t *testing.T) {
 					t.Fatalf("round %d: delete: %v", round, err)
 				}
 				delete(model, k)
+				delete(modelExp, k)
 			case 2: // batch put
 				items := make([]client.Item, 1+rng.Intn(4))
 				for j := range items {
@@ -190,13 +223,23 @@ func TestClusterTorture(t *testing.T) {
 				}
 				for _, it := range items {
 					model[it.Key] = it.Val
+					delete(modelExp, it.Key) // a plain put clears any TTL
 				}
+			case 3, 4: // TTL put: sessions that die a few epochs out
+				v := rng.Int63()
+				exp := clk.Now() + 1 + rng.Int63n(4)
+				if _, err := pconn.PutTTL(k, v, exp); err != nil {
+					t.Fatalf("round %d: put-ttl: %v", round, err)
+				}
+				model[k] = v
+				modelExp[k] = exp
 			default: // put
 				v := rng.Int63()
 				if _, err := pconn.Put(k, v); err != nil {
 					t.Fatalf("round %d: put: %v", round, err)
 				}
 				model[k] = v
+				delete(modelExp, k) // a plain put clears any TTL
 			}
 		}
 
@@ -270,28 +313,51 @@ func TestClusterTorture(t *testing.T) {
 		}
 	}
 
-	// The replicas answer reads from exactly the committed state, and
-	// still refuse writes.
+	// The replicas answer reads from exactly the committed state — every
+	// expired entry invisible, every live TTL'd entry carrying its
+	// expiry — and still refuse writes.
+	liveCount := 0
+	for k := range model {
+		if live(k) {
+			liveCount++
+		}
+	}
+	if liveCount == len(model) {
+		t.Fatal("schedule produced no expirations; the torture is not exercising TTL")
+	}
 	for i, s := range slots {
 		c := dialNode(t, s.n)
-		if n, err := c.Len(); err != nil || n != len(model) {
-			t.Fatalf("replica %d: len = %d (%v), want %d", i, n, err, len(model))
+		if n, err := c.Len(); err != nil || n != liveCount {
+			t.Fatalf("replica %d: len = %d (%v), want %d live of %d", i, n, err, liveCount, len(model))
 		}
-		checked := 0
+		checked, deadChecked := 0, 0
 		for k, v := range model {
-			gotV, ok, err := c.Get(k)
+			gotV, gotExp, ok, err := c.GetTTL(k)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if !ok || gotV != v {
-				t.Fatalf("replica %d: get(%d) = %d,%v, want %d", i, k, gotV, ok, v)
+			if !live(k) {
+				if ok {
+					t.Fatalf("replica %d: expired key %d still visible as (%d,%d)", i, k, gotV, gotExp)
+				}
+				if deadChecked++; checked >= 500 && deadChecked >= 100 {
+					break
+				}
+				continue
 			}
-			if checked++; checked == 500 {
+			if !ok || gotV != v || gotExp != modelExp[k] {
+				t.Fatalf("replica %d: get-ttl(%d) = (%d,%d,%v), want (%d,%d,true)",
+					i, k, gotV, gotExp, ok, v, modelExp[k])
+			}
+			if checked++; checked >= 500 && deadChecked >= 100 {
 				break // spot check; Len already pinned the cardinality
 			}
 		}
 		if _, err := c.Put(1, 1); err == nil {
 			t.Fatalf("replica %d accepted a write after the torture", i)
+		}
+		if _, err := c.PutTTL(1, 1, clk.Now()+100); err == nil {
+			t.Fatalf("replica %d accepted a TTL write after the torture", i)
 		}
 		c.Close()
 	}

@@ -8,11 +8,15 @@ import (
 	"repro/internal/shard"
 )
 
-// writeReq is one connection's PUT or DEL handed to the coalescer,
-// carrying everything needed to route the reply back.
+// writeReq is one connection's PUT, PUTTTL, or DEL handed to the
+// coalescer, carrying everything needed to route the reply back — or a
+// server-internal expire op from the sweeper (c nil: no reply).
 type writeReq struct {
 	key, val int64
+	exp      int64 // PUTTTL: absolute expiry; expire op: epoch bound
 	del      bool
+	ttl      bool // PUTTTL (reply carries the echoed expiry)
+	expire   bool // sweeper-issued conditional delete; c is nil
 	id       uint64
 	c        *conn
 }
@@ -84,7 +88,7 @@ func (b *batcher) run() {
 
 		ops = ops[:0]
 		for _, r := range reqs {
-			ops = append(ops, shard.Op{Key: r.key, Val: r.val, Delete: r.del})
+			ops = append(ops, shard.Op{Key: r.key, Val: r.val, Exp: r.exp, Delete: r.del, Expire: r.expire})
 		}
 		if cap(changed) < len(ops) {
 			changed = make([]bool, len(ops))
@@ -94,19 +98,27 @@ func (b *batcher) run() {
 		b.st.noteBatch(len(ops))
 
 		for i, r := range reqs {
+			if r.c == nil {
+				continue // server-internal op (expiry sweep): no reply owed
+			}
 			var f proto.Frame
 			if err != nil {
 				f = errorFrame(r.id, proto.ErrCodeInternal, err.Error())
 			} else {
 				op := proto.OpPut
-				if r.del {
+				payload := proto.AppendBool(nil, changed[i])
+				switch {
+				case r.del:
 					op = proto.OpDel
+				case r.ttl:
+					op = proto.OpPutTTL
+					payload = proto.AppendTTLAck(nil, changed[i], r.exp)
 				}
 				f = proto.Frame{
 					Ver:     proto.Version,
 					Op:      op | proto.FlagReply,
 					ID:      r.id,
-					Payload: proto.AppendBool(nil, changed[i]),
+					Payload: payload,
 				}
 			}
 			r.c.send(f)

@@ -35,6 +35,22 @@
 // connection always reads its own write. No ordering holds across
 // connections beyond the linearizability of the store itself.
 //
+// # Expiry sweeping
+//
+// PUTTTL writes ride the same coalescer as PUTs; GETTTL reads execute
+// inline like GETs. The server additionally runs an epoch-triggered
+// sweeper (Config.SweepInterval bounds only its reaction latency): when
+// the database clock's epoch advances, it lists the entries already
+// dead at the new epoch and submits conditional Expire ops through the
+// write coalescer, so physical removals serialize with the pipelined
+// client writes they race — each Expire op re-checks the entry's
+// recorded expiry under the shard lock, so a key a client resurrects
+// mid-sweep survives. What gets removed is a pure function of
+// (contents, epoch), never of the sweeper's schedule; a server whose
+// sweeper never fires converges to the same bytes at its next
+// checkpoint, which sweeps at its own epoch before rendering.
+// Read-only replicas run no sweeper at all.
+//
 // # Replication
 //
 // The server is also the serving side of the read-replica protocol:

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/durable"
+	"repro/internal/expiry"
 	"repro/internal/proto"
 )
 
@@ -53,6 +54,14 @@ type Config struct {
 	// MaxSyncChunk caps the image bytes in one SYNC reply (0: 256 KiB;
 	// always clamped to proto.MaxSyncChunk so the reply fits a frame).
 	MaxSyncChunk int
+	// SweepInterval is the expiry sweeper's poll period (0: 1 second;
+	// negative: no sweeper). The interval only bounds how soon after an
+	// epoch transition the sweeper NOTICES it — sweeps themselves are
+	// epoch-triggered (at most one per epoch, of exactly the entries
+	// already dead at it), so poll frequency never reaches the disk
+	// state. Read-only replicas never run a sweeper: their dead entries
+	// leave when the primary's swept checkpoint ships.
+	SweepInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -92,6 +101,9 @@ func (c Config) withDefaults() Config {
 	} else if c.MaxSyncChunk > proto.MaxSyncChunk {
 		c.MaxSyncChunk = proto.MaxSyncChunk
 	}
+	if c.SweepInterval == 0 {
+		c.SweepInterval = time.Second
+	}
 	return c
 }
 
@@ -113,8 +125,18 @@ type Server struct {
 	sem       chan struct{}
 
 	closing atomic.Bool    // draining: reject new work (set under mu)
-	batOnce sync.Once      // starts the coalescer on first use
+	batOnce sync.Once      // starts the coalescer (and sweeper) on first use
 	wg      sync.WaitGroup // live connection handlers (Add under mu)
+
+	start time.Time // for the uptime stat
+
+	// Expiry sweeper: an epoch-triggered loop that feeds conditional
+	// expire-deletes through the write coalescer. sweepDone is non-nil
+	// exactly when the goroutine was started (under batOnce).
+	sweep     *expiry.Schedule
+	sweepStop chan struct{}
+	sweepOnce sync.Once
+	sweepDone chan struct{}
 
 	// One-entry cache of the last shard image served to a SYNC fetch,
 	// so a replica pulling an image chunk by chunk costs one disk read,
@@ -135,14 +157,71 @@ func New(db *durable.DB, cfg Config) *Server {
 		listeners: map[net.Listener]struct{}{},
 		conns:     map[*conn]struct{}{},
 		sem:       make(chan struct{}, c.MaxConns),
+		start:     time.Now(),
+		sweep:     expiry.NewSchedule(db.Clock()),
+		sweepStop: make(chan struct{}),
 	}
 	s.bat = newBatcher(db, &s.st, c.WriteQueue, c.MaxWriteBatch)
 	return s
 }
 
-// startBatcher launches the coalescer exactly once.
+// startBatcher launches the coalescer — and, on a writable server, the
+// expiry sweeper that submits through it — exactly once.
 func (s *Server) startBatcher() {
-	s.batOnce.Do(func() { go s.bat.run() })
+	s.batOnce.Do(func() {
+		go s.bat.run()
+		if !s.cfg.ReadOnly && s.cfg.SweepInterval > 0 {
+			s.sweepDone = make(chan struct{})
+			go s.sweepLoop()
+		}
+	})
+}
+
+// sweepLoop polls the sweep schedule. The ticker only bounds reaction
+// latency; what gets removed is a pure function of (contents, epoch).
+func (s *Server) sweepLoop() {
+	defer close(s.sweepDone)
+	t := time.NewTicker(s.cfg.SweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.sweepStop:
+			return
+		case <-t.C:
+		}
+		s.sweepOnceNow()
+	}
+}
+
+// sweepOnceNow runs one epoch-triggered sweep if one is due: list the
+// keys already dead at the current epoch and push conditional
+// expire-deletes through the write coalescer, so the physical removals
+// serialize with the pipelined client writes they race — an expire op
+// re-checks the entry's recorded expiry under the shard lock, so a key
+// a client resurrects mid-sweep survives.
+func (s *Server) sweepOnceNow() {
+	epoch, due := s.sweep.Due()
+	if !due {
+		return
+	}
+	keys := s.db.Store().ExpiredKeys(epoch, nil)
+	for _, k := range keys {
+		s.bat.submit(writeReq{key: k, exp: epoch, expire: true})
+	}
+	s.sweep.MarkDone(epoch)
+	if len(keys) > 0 {
+		s.st.sweeps.Add(1)
+	}
+}
+
+// stopSweeper stops the sweep loop and waits for it to exit. It must
+// run before the batcher closes — the loop submits into the batcher's
+// queue.
+func (s *Server) stopSweeper() {
+	s.sweepOnce.Do(func() { close(s.sweepStop) })
+	if s.sweepDone != nil {
+		<-s.sweepDone
+	}
 }
 
 // ListenAndServe listens on addr ("host:port") and serves until
@@ -253,6 +332,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.severConns()
 		<-done
 	}
+	s.stopSweeper()
 	s.bat.close()
 	return s.db.Checkpoint()
 }
@@ -263,6 +343,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 func (s *Server) Close() {
 	s.stop(true)
 	s.wg.Wait()
+	s.stopSweeper()
 	s.bat.close()
 }
 
@@ -564,6 +645,16 @@ func (c *conn) dispatch(f proto.Frame) bool {
 		c.pending.Add(1)
 		s.bat.submit(writeReq{key: key, val: val, id: f.ID, c: c})
 
+	case proto.OpPutTTL:
+		key, val, exp, err := proto.DecodeKeyValExp(f.Payload)
+		if err != nil {
+			c.sendError(f.ID, proto.ErrCodeBadFrame, err.Error())
+			return true
+		}
+		s.st.writes.Add(1)
+		c.pending.Add(1)
+		s.bat.submit(writeReq{key: key, val: val, exp: exp, ttl: true, id: f.ID, c: c})
+
 	case proto.OpDel:
 		key, err := proto.DecodeKey(f.Payload)
 		if err != nil {
@@ -584,6 +675,17 @@ func (c *conn) dispatch(f proto.Frame) bool {
 		c.pending.Wait() // program order: reads see this conn's writes
 		val, ok := s.db.Get(key)
 		c.reply(f.ID, proto.OpGet, proto.AppendFound(nil, ok, val))
+
+	case proto.OpGetTTL:
+		key, err := proto.DecodeKey(f.Payload)
+		if err != nil {
+			c.sendError(f.ID, proto.ErrCodeBadFrame, err.Error())
+			return true
+		}
+		s.st.reads.Add(1)
+		c.pending.Wait()
+		val, exp, ok := s.db.GetTTL(key)
+		c.reply(f.ID, proto.OpGetTTL, proto.AppendFoundTTL(nil, ok, val, exp))
 
 	case proto.OpBatch:
 		kind, items, keys, err := proto.DecodeBatch(f.Payload)
@@ -750,7 +852,7 @@ func (s *Server) shardImage(idx int, hash [32]byte) ([]byte, error) {
 // error the client gets is the one that tells it where writes go.
 func mutates(f proto.Frame) bool {
 	switch f.Op {
-	case proto.OpPut, proto.OpDel, proto.OpCheckpoint:
+	case proto.OpPut, proto.OpPutTTL, proto.OpDel, proto.OpCheckpoint:
 		return true
 	case proto.OpBatch:
 		return len(f.Payload) < 1 || f.Payload[0] != proto.BatchGet

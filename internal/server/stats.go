@@ -1,6 +1,9 @@
 package server
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // stats holds the server's hot-path counters. Everything is atomic so
 // the handlers never synchronize just to count.
@@ -22,6 +25,8 @@ type stats struct {
 	syncHashes       atomic.Uint64 // SHARDHASH requests served
 	syncChunks       atomic.Uint64 // SYNC chunk requests served
 	syncBytesOut     atomic.Uint64 // image bytes shipped to replicas
+
+	sweeps atomic.Uint64 // epoch sweeps that found candidates and submitted expire ops
 }
 
 func (s *stats) noteBatch(n int) {
@@ -59,6 +64,18 @@ type Stats struct {
 	SyncHashes       uint64 `json:"sync_hashes"`
 	SyncChunks       uint64 `json:"sync_chunks"`
 	SyncBytesOut     uint64 `json:"sync_bytes_out"`
+
+	// TTL expiry. Epoch is the database's current epoch (unix seconds
+	// under the default clock); SweptKeys counts expired entries
+	// physically removed since Open (wire sweeps and checkpoint sweeps
+	// alike); Sweeps counts epoch sweeps that found candidates and
+	// submitted expire ops (a candidate resurrected before its op
+	// applies is counted here but not in SweptKeys — the ops are
+	// conditional by design).
+	Epoch         int64   `json:"epoch"`
+	SweptKeys     uint64  `json:"swept_keys"`
+	Sweeps        uint64  `json:"sweeps"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
 // Stats returns a snapshot of the server's counters plus the durable
@@ -99,5 +116,10 @@ func (s *Server) Stats() Stats {
 		SyncHashes:       s.st.syncHashes.Load(),
 		SyncChunks:       s.st.syncChunks.Load(),
 		SyncBytesOut:     s.st.syncBytesOut.Load(),
+
+		Epoch:         s.db.Epoch(),
+		SweptKeys:     s.db.SweptKeys(),
+		Sweeps:        s.st.sweeps.Load(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
 	}
 }

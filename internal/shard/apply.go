@@ -1,27 +1,47 @@
 package shard
 
-import "fmt"
+import (
+	"fmt"
 
-// Op is one mutation in a mixed ApplyBatch: an upsert of (Key, Val), or
-// a delete of Key when Delete is set.
+	"repro/internal/expiry"
+)
+
+// Op is one mutation in a mixed ApplyBatch: an upsert of (Key, Val)
+// with optional expiry, a delete of Key when Delete is set, or a
+// conditional expiry removal when Expire is set.
 type Op struct {
 	Key, Val int64
-	Delete   bool
+	// Exp is the absolute expiry epoch for an upsert (0: never expires —
+	// and any previously recorded expiry is cleared), or the epoch bound
+	// for an Expire op.
+	Exp int64
+	// Delete makes the op an unconditional removal of Key.
+	Delete bool
+	// Expire marks a sweeper-issued conditional removal: Key is deleted
+	// only if its recorded expiry is nonzero and <= Exp. The condition is
+	// re-checked under the shard lock, so a concurrent upsert that
+	// resurrected the key with a fresh value or expiry is never clobbered
+	// by a sweep planned against an older snapshot.
+	Expire bool
 }
 
 // ApplyBatch applies a mixed sequence of upserts and deletes, grouped
 // by shard with each shard's lock taken exactly once, and reports the
-// per-operation outcome: changed[i] is true when op i changed key
-// presence (a fresh insert, or a delete that found its key). The return
-// value is the number of true entries. Operations on the same shard
-// apply in batch order (the grouping is stable), so a put and a delete
-// of the same key within one batch resolve exactly as the equivalent
-// sequence of point operations would.
+// per-operation outcome: changed[i] is true when op i changed LOGICAL
+// key presence (a fresh insert — including over an expired entry — or a
+// delete that found a live key), or, for Expire ops, when the op
+// physically removed a dead entry. The return value is the number of
+// true entries. Operations on the same shard apply in batch order (the
+// grouping is stable), so a put and a delete of the same key within one
+// batch resolve exactly as the equivalent sequence of point operations
+// would.
 //
 // This is the server-side coalescing primitive: writes from many
 // network connections are gathered into one ApplyBatch, turning k
 // point-op lock acquisitions into at most min(k, shards) while
 // preserving every connection's submission order and per-op result.
+// Expire ops ride the same path, so a sweep serializes with the
+// pipelined writes it races.
 //
 // changed must be nil (outcomes discarded) or have len(ops).
 func (s *Store) ApplyBatch(ops []Op, changed []bool) (n int, err error) {
@@ -31,6 +51,7 @@ func (s *Store) ApplyBatch(ops []Op, changed []bool) (n int, err error) {
 	if len(ops) == 0 {
 		return 0, nil
 	}
+	epoch := s.epoch()
 	p := s.groupByShard(len(ops), func(i int) int64 { return ops[i].Key })
 	for g := range s.cells {
 		lo, hi := p.start[g], p.start[g+1]
@@ -41,11 +62,26 @@ func (s *Store) ApplyBatch(ops []Op, changed []bool) (n int, err error) {
 		c.mu.Lock()
 		shardChanged := false
 		for _, i := range p.order[lo:hi] {
+			op := &ops[i]
 			var ch bool
-			if ops[i].Delete {
-				ch = c.dict.Delete(ops[i].Key)
-			} else {
-				ch = c.dict.Put(ops[i].Key, ops[i].Val)
+			switch {
+			case op.Expire:
+				if e := c.expOf(op.Key); e != 0 && e <= op.Exp {
+					c.exps.Delete(op.Key)
+					ch = c.dict.Delete(op.Key)
+				}
+			case op.Delete:
+				exp := c.expOf(op.Key)
+				if c.dict.Delete(op.Key) {
+					c.setExp(op.Key, 0)
+					ch = expiry.Live(exp, epoch)
+					shardChanged = true
+				}
+			default:
+				prevExp := c.expOf(op.Key)
+				physIns := c.dict.Put(op.Key, op.Val)
+				ch = physIns || !expiry.Live(prevExp, epoch)
+				c.setExp(op.Key, op.Exp)
 				shardChanged = true // an upsert may rewrite the value either way
 			}
 			if ch {

@@ -7,6 +7,8 @@ package shard
 // batch order (the grouping below is a stable counting sort), so
 // duplicate keys within a batch apply left to right.
 
+import "repro/internal/expiry"
+
 // plan is a reusable shard-grouping of batch indices: order holds the
 // input indices stably sorted by shard; group g occupies
 // order[start[g]:start[g+1]].
@@ -39,13 +41,16 @@ func (s *Store) groupByShard(n int, key func(i int) int64) plan {
 }
 
 // PutBatch applies every item as an upsert and returns the number of
-// keys that were newly inserted. Items are grouped by shard; each
-// shard's lock is taken once. Duplicate keys within the batch apply in
-// batch order (the last value wins) and count as one insert.
+// keys that were newly inserted (counting keys whose previous entry had
+// already expired as new). Like Put, a batch upsert clears any
+// previously recorded expiry. Items are grouped by shard; each shard's
+// lock is taken once. Duplicate keys within the batch apply in batch
+// order (the last value wins) and count as one insert.
 func (s *Store) PutBatch(items []Item) (inserted int) {
 	if len(items) == 0 {
 		return 0
 	}
+	epoch := s.epoch()
 	p := s.groupByShard(len(items), func(i int) int64 { return items[i].Key })
 	for g := range s.cells {
 		lo, hi := p.start[g], p.start[g+1]
@@ -55,9 +60,12 @@ func (s *Store) PutBatch(items []Item) (inserted int) {
 		c := &s.cells[g]
 		c.mu.Lock()
 		for _, i := range p.order[lo:hi] {
-			if c.dict.Put(items[i].Key, items[i].Val) {
+			k := items[i].Key
+			prevExp := c.expOf(k)
+			if c.dict.Put(k, items[i].Val) || !expiry.Live(prevExp, epoch) {
 				inserted++
 			}
+			c.setExp(k, 0)
 		}
 		c.version++
 		c.mu.Unlock()
@@ -66,13 +74,15 @@ func (s *Store) PutBatch(items []Item) (inserted int) {
 }
 
 // GetBatch looks up every key and returns values and presence flags
-// aligned with keys. Each shard's lock is taken once.
+// aligned with keys; entries whose expiry has passed read as absent.
+// Each shard's lock is taken once.
 func (s *Store) GetBatch(keys []int64) (vals []int64, ok []bool) {
 	vals = make([]int64, len(keys))
 	ok = make([]bool, len(keys))
 	if len(keys) == 0 {
 		return vals, ok
 	}
+	epoch := s.epoch()
 	p := s.groupByShard(len(keys), func(i int) int64 { return keys[i] })
 	for g := range s.cells {
 		lo, hi := p.start[g], p.start[g+1]
@@ -83,19 +93,25 @@ func (s *Store) GetBatch(keys []int64) (vals []int64, ok []bool) {
 		c.rlock()
 		for _, i := range p.order[lo:hi] {
 			vals[i], ok[i] = c.dict.Get(keys[i])
+			if ok[i] && !c.liveAt(keys[i], epoch) {
+				vals[i], ok[i] = 0, false
+			}
 		}
 		c.runlock()
 	}
 	return vals, ok
 }
 
-// DeleteBatch removes every key and returns the number of keys that were
-// present. Each shard's lock is taken once. Duplicate keys within the
-// batch count at most once (the second delete finds nothing).
+// DeleteBatch removes every key and returns the number of keys that
+// were LOGICALLY present; physically present entries whose expiry has
+// passed are removed too, but not counted. Each shard's lock is taken
+// once. Duplicate keys within the batch count at most once (the second
+// delete finds nothing).
 func (s *Store) DeleteBatch(keys []int64) (deleted int) {
 	if len(keys) == 0 {
 		return 0
 	}
+	epoch := s.epoch()
 	p := s.groupByShard(len(keys), func(i int) int64 { return keys[i] })
 	for g := range s.cells {
 		lo, hi := p.start[g], p.start[g+1]
@@ -104,13 +120,18 @@ func (s *Store) DeleteBatch(keys []int64) (deleted int) {
 		}
 		c := &s.cells[g]
 		c.mu.Lock()
-		before := deleted
+		removed := false
 		for _, i := range p.order[lo:hi] {
+			exp := c.expOf(keys[i])
 			if c.dict.Delete(keys[i]) {
-				deleted++
+				c.setExp(keys[i], 0)
+				removed = true
+				if expiry.Live(exp, epoch) {
+					deleted++
+				}
 			}
 		}
-		if deleted > before {
+		if removed {
 			c.version++
 		}
 		c.mu.Unlock()

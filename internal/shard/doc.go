@@ -36,6 +36,18 @@
 //     tracker's LRU cache mutates on every touch), so DAM accounting is
 //     exact; run with nil trackers for maximum read parallelism.
 //
+// Entries may carry a TTL (PutTTL/GetTTL): each shard keeps an expiry
+// index next to its data dictionary, under the same lock and inside
+// the same canonical image. Liveness follows repro/internal/expiry —
+// the logical state at epoch E is exactly the entries with exp == 0 or
+// exp > E — with reads filtering lazily against the store's injected
+// clock and SweepExpired(E) physically removing exactly the entries
+// dead at E, so the surviving bytes are a pure function of (contents,
+// epoch), never of the sweep schedule. ApplyBatch additionally accepts
+// Expire ops: conditional removals that re-check the recorded expiry
+// under the shard lock, the primitive a server-side sweeper feeds
+// through the write coalescer.
+//
 // Every shard carries a version counter, bumped under its write lock by
 // every operation that may have changed the shard's contents. A
 // checkpointer (repro/internal/durable) pairs ShardVersion with

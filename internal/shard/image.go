@@ -11,13 +11,21 @@ import (
 	"repro/internal/iomodel"
 )
 
-// Disk image: a fixed header followed by each shard's dictionary image,
+// Disk image: a fixed header followed by each shard's canonical image,
 // length-prefixed, in shard order.
 //
-//	magic   [8]byte  "ASHARD01"
+//	magic   [8]byte  "ASHARD02"
 //	shards  uint64   power of two >= 1
 //	hseed   uint64   routing seed (needed to route lookups after a load)
-//	per shard: len uint64, then len bytes of the shard's PMA image
+//	per shard: len uint64, then len bytes of the shard's canonical image
+//
+// A shard's canonical image is a pair of PMA images (each carrying its
+// own checksum, see hipma.WriteTo): the data dictionary, then the TTL
+// expiry index (key -> absolute expiry for exactly the keys that have
+// one; empty when no TTLs are in play). The data image is length-
+// prefixed (u64 little-endian) so each part is read through its own
+// bounded reader — the PMA image reader buffers, so back-to-back images
+// cannot share one stream.
 //
 // The persisted shard images are CANONICAL: WriteTo does not dump the
 // in-memory incarnation (whose layout depends on the random stream the
@@ -26,11 +34,12 @@ import (
 // sorted contents under a seed derived from (hseed, shard index). The
 // byte stream is therefore a pure function of the store's contents and
 // its persisted randomness: two stores with the same seed and the same
-// key-value set produce byte-identical images for every shard, whatever
-// operation sequences built them. That is the paper's anti-persistence
-// goal stated at the layer the observer actually sees — the disk.
-// Each shard image carries its own checksum (see hipma.WriteTo).
-const storeMagic = "ASHARD01"
+// (key, value, expiry) set produce byte-identical images for every
+// shard, whatever operation sequences built them — including whatever
+// schedule of TTL sweeps physically removed their dead entries. That is
+// the paper's anti-persistence goal stated at the layer the observer
+// actually sees — the disk.
+const storeMagic = "ASHARD02"
 
 // maxImageShards bounds the shard count accepted from an untrusted
 // image, so a corrupt header cannot drive a huge allocation (the cell
@@ -43,18 +52,87 @@ func canonSeed(hseed uint64, i int) uint64 {
 	return mix((hseed ^ 0xbadc0ffee0ddf00d) + 0x9e3779b97f4a7c15*uint64(i))
 }
 
-// canonicalShardImage writes the canonical image of shard c: a one-shot
-// bulk load of its current sorted contents. The caller holds c's lock.
-func canonicalShardImage(c *cell, cfg hipma.Config, seed uint64, w io.Writer) (int64, error) {
+// canonExpSeed derives shard i's canonical expiry-index seed, a stream
+// independent of the data image's but equally a pure function of the
+// persisted routing seed.
+func canonExpSeed(hseed uint64, i int) uint64 {
+	return mix(canonSeed(hseed, i) ^ 0x7ee150deadc0ffee)
+}
+
+// canonicalDictImage writes the canonical image of one dictionary: a
+// one-shot bulk load of its current sorted contents under the given
+// seed. The caller holds the owning cell's lock.
+func canonicalDictImage(d *cobt.Dictionary, cfg hipma.Config, seed uint64, w io.Writer) (int64, error) {
 	var items []Item
-	if n := c.dict.Len(); n > 0 {
-		items = c.dict.PMA().Query(0, n-1, nil)
+	if n := d.Len(); n > 0 {
+		items = d.PMA().Query(0, n-1, nil)
 	}
 	canon, err := hipma.BulkLoadWithConfig(cfg, items, seed, nil)
 	if err != nil {
 		return 0, err
 	}
 	return canon.WriteTo(w)
+}
+
+// canonicalShardImage writes the canonical image of shard c: the data
+// dictionary's bulk-loaded image (length-prefixed) followed by the
+// expiry index's. The caller holds c's lock.
+func canonicalShardImage(c *cell, cfg hipma.Config, hseed uint64, i int, w io.Writer) (int64, error) {
+	var data bytes.Buffer
+	if _, err := canonicalDictImage(c.dict, cfg, canonSeed(hseed, i), &data); err != nil {
+		return 0, err
+	}
+	var lenHdr [8]byte
+	binary.LittleEndian.PutUint64(lenHdr[:], uint64(data.Len()))
+	total := int64(0)
+	n, err := w.Write(lenHdr[:])
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	n64, err := data.WriteTo(w)
+	total += n64
+	if err != nil {
+		return total, err
+	}
+	n64, err = canonicalDictImage(c.exps, cfg, canonExpSeed(hseed, i), w)
+	return total + n64, err
+}
+
+// maxDictImageLen bounds the data-part length accepted from an
+// untrusted shard image; the PMA reader's own incremental allocation
+// bounds memory, this just rejects absurd prefixes before wrapping a
+// reader around them.
+const maxDictImageLen = int64(1) << 48
+
+// readShardImage reads one shard's canonical image pair from r,
+// returning the data dictionary and the expiry index.
+func readShardImage(r io.Reader, seed uint64, i int, t *iomodel.Tracker) (dict, exps *cobt.Dictionary, err error) {
+	var lenHdr [8]byte
+	if _, err := io.ReadFull(r, lenHdr[:]); err != nil {
+		return nil, nil, fmt.Errorf("reading data image length: %w", err)
+	}
+	dataLen := int64(binary.LittleEndian.Uint64(lenHdr[:]))
+	if dataLen < 0 || dataLen > maxDictImageLen {
+		return nil, nil, fmt.Errorf("implausible data image length %d", dataLen)
+	}
+	dlr := io.LimitReader(r, dataLen)
+	dict, err = cobt.ReadDictionary(dlr, shardSeed(seed, i), t)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The data image must fill its declared length exactly, or the
+	// expiry read below would start misaligned.
+	if extra, err := io.Copy(io.Discard, dlr); err != nil {
+		return nil, nil, err
+	} else if extra > 0 {
+		return nil, nil, fmt.Errorf("%d trailing bytes after data image", extra)
+	}
+	exps, err = cobt.ReadDictionary(r, expShardSeed(seed, i), nil)
+	if err != nil {
+		return nil, nil, fmt.Errorf("expiry index: %w", err)
+	}
+	return dict, exps, nil
 }
 
 // WriteTo serializes the whole store. It holds every shard's lock, so
@@ -76,7 +154,7 @@ func (s *Store) WriteTo(w io.Writer) (int64, error) {
 		// The length prefix needs the image size up front, so render the
 		// canonical shard image to memory first (it is 1/S of the store).
 		var buf bytes.Buffer
-		if _, err := canonicalShardImage(&s.cells[i], s.cfg, canonSeed(s.hseed, i), &buf); err != nil {
+		if _, err := canonicalShardImage(&s.cells[i], s.cfg, s.hseed, i, &buf); err != nil {
 			return total, err
 		}
 		var lenHdr [8]byte
@@ -95,10 +173,10 @@ func (s *Store) WriteTo(w io.Writer) (int64, error) {
 	return total, nil
 }
 
-// WriteShard serializes shard i's canonical dictionary image alone (no
-// container header): a pure function of the shard's contents and the
-// store seed, byte-identical across any two operation histories that
-// reach the same contents.
+// WriteShard serializes shard i's canonical image alone (no container
+// header): a pure function of the shard's contents and the store seed,
+// byte-identical across any two operation histories that reach the same
+// contents.
 func (s *Store) WriteShard(i int, w io.Writer) (int64, error) {
 	if i < 0 || i >= len(s.cells) {
 		return 0, fmt.Errorf("shard: WriteShard(%d) out of range, %d shards", i, len(s.cells))
@@ -106,15 +184,15 @@ func (s *Store) WriteShard(i int, w io.Writer) (int64, error) {
 	c := &s.cells[i]
 	c.rlock()
 	defer c.runlock()
-	return canonicalShardImage(c, s.cfg, canonSeed(s.hseed, i), w)
+	return canonicalShardImage(c, s.cfg, s.hseed, i, w)
 }
 
-// SnapshotShard writes shard i's canonical dictionary image to w, like
-// WriteShard, and additionally returns the shard's version counter at
-// the moment of the snapshot. The version and the image are captured
-// under the same lock hold, so a later ShardVersion(i) == version
-// guarantees the image still describes the shard's exact contents —
-// the contract an incremental checkpointer needs.
+// SnapshotShard writes shard i's canonical image to w, like WriteShard,
+// and additionally returns the shard's version counter at the moment of
+// the snapshot. The version and the image are captured under the same
+// lock hold, so a later ShardVersion(i) == version guarantees the image
+// still describes the shard's exact contents — the contract an
+// incremental checkpointer needs.
 func (s *Store) SnapshotShard(i int, w io.Writer) (version uint64, written int64, err error) {
 	if i < 0 || i >= len(s.cells) {
 		return 0, 0, fmt.Errorf("shard: SnapshotShard(%d) out of range, %d shards", i, len(s.cells))
@@ -123,17 +201,19 @@ func (s *Store) SnapshotShard(i int, w io.Writer) (version uint64, written int64
 	c.rlock()
 	defer c.runlock()
 	version = c.version
-	written, err = canonicalShardImage(c, s.cfg, canonSeed(s.hseed, i), w)
+	written, err = canonicalShardImage(c, s.cfg, s.hseed, i, w)
 	return version, written, err
 }
 
-// AssembleStore rebuilds a store from one canonical dictionary image
-// per shard (as produced by WriteShard or SnapshotShard) plus the
-// persisted routing seed. It is the recovery path of the durable layer:
-// the manifest carries hseed and the shard files carry the images.
-// len(images) must be a power of two >= 1; trackers must be nil or hold
-// one tracker per shard. The caller's seed supplies fresh randomness
-// for future operations. Shard and routing invariants are verified.
+// AssembleStore rebuilds a store from one canonical image per shard (as
+// produced by WriteShard or SnapshotShard) plus the persisted routing
+// seed. It is the recovery path of the durable layer: the manifest
+// carries hseed and the shard files carry the images. len(images) must
+// be a power of two >= 1; trackers must be nil or hold one tracker per
+// shard. The caller's seed supplies fresh randomness for future
+// operations. Shard, routing, and TTL invariants are verified. The
+// returned store has no clock; the caller attaches one with SetClock
+// before sharing it.
 func AssembleStore(hseed uint64, images []io.Reader, seed uint64, trackers []*iomodel.Tracker) (*Store, error) {
 	nsh := len(images)
 	if nsh < 1 || nsh&(nsh-1) != 0 {
@@ -148,11 +228,19 @@ func AssembleStore(hseed uint64, images []io.Reader, seed uint64, trackers []*io
 		if trackers != nil {
 			t = trackers[i]
 		}
-		d, err := cobt.ReadDictionary(r, shardSeed(seed, i), t)
+		d, e, err := readShardImage(r, seed, i, t)
 		if err != nil {
 			return nil, fmt.Errorf("shard: shard %d: %w", i, err)
 		}
+		// The pair must fill its image exactly; trailing bytes mean a
+		// corrupt or truncated-and-padded file.
+		if extra, err := io.Copy(io.Discard, r); err != nil {
+			return nil, fmt.Errorf("shard: shard %d: %w", i, err)
+		} else if extra > 0 {
+			return nil, fmt.Errorf("shard: shard %d: %d trailing bytes after image", i, extra)
+		}
 		s.cells[i].dict = d
+		s.cells[i].exps = e
 		s.cells[i].io = t
 	}
 	s.cfg = s.cells[0].dict.PMA().Config()
@@ -166,7 +254,8 @@ func AssembleStore(hseed uint64, images []io.Reader, seed uint64, trackers []*io
 // seed is part of the image (lookups must keep routing to the shards
 // that hold the keys); the caller's seed supplies only fresh randomness
 // for future per-shard operations. trackers must be nil or hold one
-// tracker per stored shard. Shard and routing invariants are verified.
+// tracker per stored shard. Shard, routing, and TTL invariants are
+// verified.
 func ReadStore(r io.Reader, seed uint64, trackers []*iomodel.Tracker) (*Store, error) {
 	var hdr [24]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -196,7 +285,7 @@ func ReadStore(r io.Reader, seed uint64, trackers []*iomodel.Tracker) (*Store, e
 			t = trackers[i]
 		}
 		lr := io.LimitReader(r, int64(imgLen))
-		d, err := cobt.ReadDictionary(lr, shardSeed(seed, i), t)
+		d, e, err := readShardImage(lr, seed, i, t)
 		if err != nil {
 			return nil, fmt.Errorf("shard: shard %d: %w", i, err)
 		}
@@ -208,6 +297,7 @@ func ReadStore(r io.Reader, seed uint64, trackers []*iomodel.Tracker) (*Store, e
 			return nil, fmt.Errorf("shard: shard %d: %d trailing bytes after image", i, extra)
 		}
 		s.cells[i].dict = d
+		s.cells[i].exps = e
 		s.cells[i].io = t
 	}
 	s.cfg = s.cells[0].dict.PMA().Config()

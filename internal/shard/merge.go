@@ -6,7 +6,9 @@ import "math"
 // interval across all shards, so Range and Ascend query every shard and
 // merge the per-shard sorted streams with a k-way binary heap. Keys are
 // unique across shards (each key routes to exactly one), so the merge
-// needs no tie-breaking.
+// needs no tie-breaking. Every variant yields only LIVE items: entries
+// whose TTL expiry has passed are filtered under the same lock hold
+// that copied them, before the merge ever sees them.
 //
 // Locking: Range and Ascend do NOT hold all shard locks for the
 // duration of the scan, and never hold more than one lock at a time.
@@ -29,6 +31,7 @@ const runChunk = 512
 // window (Range) or a lazily refilled chunk stream (Ascend).
 type run struct {
 	c       *cell // non-nil: refill lazily from this shard; nil: buf is complete
+	epoch   int64 // TTL epoch for refill-side liveness filtering
 	buf     []Item
 	pos     int
 	last    int64 // largest key fetched so far (valid once started)
@@ -41,37 +44,45 @@ func (r *run) head() Item { return r.buf[r.pos] }
 // shard's own brief read lock and reports whether a head item exists.
 // Anchoring on the last key (rather than a remembered rank) keeps the
 // stream strictly increasing and duplicate-free even when the shard
-// mutates between refills.
+// mutates between refills. Chunks whose items have all expired are
+// skipped — the anchor advances past them — so a dead-heavy region
+// costs extra refills, never a wrong result.
 func (r *run) refill() bool {
 	c := r.c
 	if c == nil {
 		return false
 	}
-	var lo int
-	c.rlock()
-	if !r.started {
-		r.started = true
-		lo = 0
-	} else if r.last == math.MaxInt64 {
-		lo = c.dict.Len() // nothing can follow the maximum key
-	} else {
-		lo = c.dict.RankOf(r.last + 1)
-	}
-	n := c.dict.Len()
-	if lo >= n {
+	for {
+		var lo int
+		c.rlock()
+		if !r.started {
+			r.started = true
+			lo = 0
+		} else if r.last == math.MaxInt64 {
+			lo = c.dict.Len() // nothing can follow the maximum key
+		} else {
+			lo = c.dict.RankOf(r.last + 1)
+		}
+		n := c.dict.Len()
+		if lo >= n {
+			c.runlock()
+			r.c = nil // drained
+			return false
+		}
+		hi := lo + runChunk - 1
+		if hi >= n {
+			hi = n - 1
+		}
+		r.buf = c.dict.PMA().Query(lo, hi, r.buf[:0])
+		last := r.buf[len(r.buf)-1].Key
+		r.buf = c.filterLive(r.buf, r.epoch)
 		c.runlock()
-		r.c = nil // drained
-		return false
+		r.last = last
+		if len(r.buf) > 0 {
+			r.pos = 0
+			return true
+		}
 	}
-	hi := lo + runChunk - 1
-	if hi >= n {
-		hi = n - 1
-	}
-	r.buf = c.dict.PMA().Query(lo, hi, r.buf[:0])
-	c.runlock()
-	r.pos = 0
-	r.last = r.buf[len(r.buf)-1].Key
-	return true
 }
 
 // advance moves to the next item, refilling lazily for shard-backed
@@ -125,20 +136,22 @@ func merge(h []*run, fn func(Item) bool) {
 	}
 }
 
-// Range appends all items with lo <= key <= hi to out, in ascending key
-// order, merged across shards. Each shard's run is copied under its own
-// brief read lock (O(log_B N + k_i/B) I/Os, Theorem 2), so writers on
-// other shards are never blocked; the merged result is per-shard
-// consistent, not a cross-shard atomic cut.
+// Range appends all live items with lo <= key <= hi to out, in
+// ascending key order, merged across shards. Each shard's run is copied
+// and liveness-filtered under its own brief read lock (O(log_B N +
+// k_i/B) I/Os, Theorem 2), so writers on other shards are never
+// blocked; the merged result is per-shard consistent, not a cross-shard
+// atomic cut.
 func (s *Store) Range(lo, hi int64, out []Item) []Item {
 	if lo > hi {
 		return out
 	}
+	epoch := s.epoch()
 	runs := make([]*run, 0, len(s.cells))
 	for i := range s.cells {
 		c := &s.cells[i]
 		c.rlock()
-		items := c.dict.Range(lo, hi, nil)
+		items := c.filterLive(c.dict.Range(lo, hi, nil), epoch)
 		c.runlock()
 		if len(items) > 0 {
 			runs = append(runs, &run{buf: items})
@@ -151,14 +164,45 @@ func (s *Store) Range(lo, hi int64, out []Item) []Item {
 	return out
 }
 
-// RangeN appends at most max items with lo <= key <= hi to out in
+// rangeLiveN collects up to max live items of [lo, hi] from c. Without
+// TTLs in play it is a single dictionary call; with them it refetches
+// past expired entries so a dead-heavy prefix cannot starve the window
+// of the live items beyond it. The caller holds the cell's lock.
+func (c *cell) rangeLiveN(lo, hi int64, max int, epoch int64) []Item {
+	if epoch <= 0 || c.exps.Len() == 0 {
+		return c.dict.RangeN(lo, hi, max, nil)
+	}
+	var out []Item
+	cur := lo
+	for len(out) < max {
+		need := max - len(out)
+		batch := c.dict.RangeN(cur, hi, need, nil)
+		for _, it := range batch {
+			if c.liveAt(it.Key, epoch) {
+				out = append(out, it)
+			}
+		}
+		if len(batch) < need {
+			break // window exhausted
+		}
+		last := batch[len(batch)-1].Key
+		if last >= hi || last == math.MaxInt64 {
+			break
+		}
+		cur = last + 1
+	}
+	return out
+}
+
+// RangeN appends at most max live items with lo <= key <= hi to out in
 // ascending key order and reports whether the window held more. Each
-// shard contributes a window bounded at max+1 items under its own
+// shard contributes a window bounded at max+1 live items under its own
 // brief lock (the merged prefix of length max+1 can draw at most that
-// many from any one shard), so memory and work are O(shards·max)
-// however large the full window is — the form a network server must
-// use, where max is the reply-size cap and clients paginate. Like
-// Range, the result is per-shard consistent, not a cross-shard cut.
+// many from any one shard), so memory and work are O(shards·max) plus
+// the expired entries stepped over, however large the full window is —
+// the form a network server must use, where max is the reply-size cap
+// and clients paginate. Like Range, the result is per-shard consistent,
+// not a cross-shard cut.
 func (s *Store) RangeN(lo, hi int64, max int, out []Item) (_ []Item, more bool) {
 	if lo > hi || max <= 0 {
 		return out, false
@@ -166,11 +210,12 @@ func (s *Store) RangeN(lo, hi int64, max int, out []Item) (_ []Item, more bool) 
 	if max > int(^uint(0)>>1)-1 {
 		max = int(^uint(0)>>1) - 1 // keep the max+1 sentinel below from overflowing
 	}
+	epoch := s.epoch()
 	runs := make([]*run, 0, len(s.cells))
 	for i := range s.cells {
 		c := &s.cells[i]
 		c.rlock()
-		items := c.dict.RangeN(lo, hi, max+1, nil)
+		items := c.rangeLiveN(lo, hi, max+1, epoch)
 		c.runlock()
 		if len(items) > 0 {
 			runs = append(runs, &run{buf: items})
@@ -189,18 +234,19 @@ func (s *Store) RangeN(lo, hi int64, max int, out []Item) (_ []Item, more bool) 
 	return out, more
 }
 
-// Ascend calls fn on every item in ascending key order, merged across
-// shards, stopping early if fn returns false. Shards are streamed in
-// runChunk-item chunks, each fetched under its shard's own brief read
-// lock, so memory stays O(shards·chunk) and an early stop costs the
-// same; no locks are held while fn runs, so fn may call back into the
-// store. The iteration is per-chunk consistent: items are yielded in
-// strictly increasing key order, but concurrent mutations may or may
-// not be observed.
+// Ascend calls fn on every live item in ascending key order, merged
+// across shards, stopping early if fn returns false. Shards are
+// streamed in runChunk-item chunks, each fetched under its shard's own
+// brief read lock, so memory stays O(shards·chunk) and an early stop
+// costs the same; no locks are held while fn runs, so fn may call back
+// into the store. The iteration is per-chunk consistent: items are
+// yielded in strictly increasing key order, but concurrent mutations
+// may or may not be observed.
 func (s *Store) Ascend(fn func(Item) bool) {
+	epoch := s.epoch()
 	runs := make([]*run, 0, len(s.cells))
 	for i := range s.cells {
-		r := &run{c: &s.cells[i]}
+		r := &run{c: &s.cells[i], epoch: epoch}
 		if r.refill() {
 			runs = append(runs, r)
 		}
@@ -208,26 +254,60 @@ func (s *Store) Ascend(fn func(Item) bool) {
 	merge(runs, fn)
 }
 
-// Min returns the smallest item across all shards. ok is false when the
-// store is empty.
+// minLive returns the cell's smallest live item. The caller holds the
+// cell's lock.
+func (c *cell) minLive(epoch int64) (Item, bool) {
+	if epoch <= 0 || c.exps.Len() == 0 {
+		return c.dict.Min()
+	}
+	var out Item
+	found := false
+	c.dict.Ascend(func(it Item) bool {
+		if c.liveAt(it.Key, epoch) {
+			out, found = it, true
+			return false
+		}
+		return true
+	})
+	return out, found
+}
+
+// maxLive returns the cell's largest live item. The caller holds the
+// cell's lock.
+func (c *cell) maxLive(epoch int64) (Item, bool) {
+	if epoch <= 0 || c.exps.Len() == 0 {
+		return c.dict.Max()
+	}
+	for r := c.dict.Len() - 1; r >= 0; r-- {
+		if it := c.dict.Select(r); c.liveAt(it.Key, epoch) {
+			return it, true
+		}
+	}
+	return Item{}, false
+}
+
+// Min returns the smallest live item across all shards. ok is false
+// when the store is (logically) empty.
 func (s *Store) Min() (it Item, ok bool) {
+	epoch := s.epoch()
 	s.lockAllShared()
 	defer s.unlockAllShared()
 	for i := range s.cells {
-		if m, found := s.cells[i].dict.Min(); found && (!ok || m.Key < it.Key) {
+		if m, found := s.cells[i].minLive(epoch); found && (!ok || m.Key < it.Key) {
 			it, ok = m, true
 		}
 	}
 	return it, ok
 }
 
-// Max returns the largest item across all shards. ok is false when the
-// store is empty.
+// Max returns the largest live item across all shards. ok is false when
+// the store is (logically) empty.
 func (s *Store) Max() (it Item, ok bool) {
+	epoch := s.epoch()
 	s.lockAllShared()
 	defer s.unlockAllShared()
 	for i := range s.cells {
-		if m, found := s.cells[i].dict.Max(); found && (!ok || m.Key > it.Key) {
+		if m, found := s.cells[i].maxLive(epoch); found && (!ok || m.Key > it.Key) {
 			it, ok = m, true
 		}
 	}

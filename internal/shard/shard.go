@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/cobt"
+	"repro/internal/expiry"
 	"repro/internal/hipma"
 	"repro/internal/iomodel"
 )
@@ -30,6 +31,12 @@ func DefaultConfig(shards int) Config {
 type cell struct {
 	mu   sync.RWMutex
 	dict *cobt.Dictionary
+	// exps maps key -> absolute expiry epoch for exactly the keys that
+	// have one; recorded expiries are never zero, and every recorded key
+	// is present in dict. It lives under the same lock as dict, so an
+	// entry and its expiry always mutate together. Stores that never use
+	// TTLs keep it empty and pay one Len() == 0 check per operation.
+	exps *cobt.Dictionary
 	io   *iomodel.Tracker
 	// version counts content mutations, bumped under mu by every
 	// operation that may have changed the dictionary. Readers take at
@@ -63,6 +70,10 @@ type Store struct {
 	mask  uint64 // shards-1
 	hseed uint64 // routing seed: shard assignment is mix(key, hseed)
 	cfg   hipma.Config
+	// clock supplies the TTL epoch for lazy read-side filtering. nil
+	// pins the store at epoch 0, under which nothing ever expires. Set
+	// it with SetClock before the store is shared.
+	clock expiry.Clock
 	cells []cell
 }
 
@@ -98,7 +109,15 @@ func NewWithConfig(cfg Config, seed uint64, trackers []*iomodel.Tracker) (*Store
 		if err != nil {
 			return nil, err
 		}
+		// The expiry index never carries a tracker: it is TTL metadata,
+		// and charging its probes to the DAM counters would distort the
+		// paper's I/O accounting of the data structure itself.
+		e, err := cobt.NewWithConfig(cfg.PMA, expShardSeed(seed, i), nil)
+		if err != nil {
+			return nil, err
+		}
 		s.cells[i].dict = d
+		s.cells[i].exps = e
 		s.cells[i].io = t
 	}
 	return s, nil
@@ -120,6 +139,12 @@ func shardSeed(seed uint64, i int) uint64 {
 	return mix(seed + 0x9e3779b97f4a7c15*uint64(i+1))
 }
 
+// expShardSeed derives shard i's expiry-index seed, a stream independent
+// of the data dictionary's.
+func expShardSeed(seed uint64, i int) uint64 {
+	return mix(shardSeed(seed, i) ^ 0x7ee150deadc0ffee)
+}
+
 // ShardOf returns the shard index key routes to: a deterministic
 // function of (key, seed) only, never of the operation history, which is
 // what keeps the sharded image set history independent.
@@ -137,6 +162,21 @@ func (s *Store) NumShards() int { return len(s.cells) }
 // keys and to keep checkpoint images canonical across reopenings.
 func (s *Store) RoutingSeed() uint64 { return s.hseed }
 
+// SetClock attaches the epoch clock that drives TTL expiry (see
+// repro/internal/expiry). It must be called before the store is shared
+// between goroutines — the field is read without synchronization on
+// every operation. A store without a clock sits at epoch 0 forever,
+// under which nothing expires. The clock governs only the LAZY read
+// filtering; sweeps take their epoch explicitly, so physical removal
+// stays a deterministic function of (contents, epoch).
+func (s *Store) SetClock(c expiry.Clock) { s.clock = c }
+
+// Clock returns the store's epoch clock (nil: none attached).
+func (s *Store) Clock() expiry.Clock { return s.clock }
+
+// epoch reads the current TTL epoch (0 without a clock).
+func (s *Store) epoch() int64 { return expiry.Epoch(s.clock) }
+
 // ShardVersion returns shard i's modification counter: it advances on
 // every operation that may have changed the shard's contents, and is
 // stable otherwise. Compare against the value returned by SnapshotShard
@@ -150,62 +190,76 @@ func (s *Store) ShardVersion(i int) uint64 {
 }
 
 // Put inserts or updates the value for key and reports whether the key
-// was newly inserted. It locks one shard.
+// was newly inserted (counting a key whose previous entry had already
+// expired as new). A plain Put clears any previously recorded expiry:
+// the entry never expires until a PutTTL says otherwise. It locks one
+// shard.
 func (s *Store) Put(key, val int64) (inserted bool) {
-	c := &s.cells[s.ShardOf(key)]
-	c.mu.Lock()
-	inserted = c.dict.Put(key, val)
-	c.version++
-	c.mu.Unlock()
-	return inserted
+	return s.PutTTL(key, val, 0)
 }
 
-// Get returns the value stored for key and whether it exists. It locks
-// one shard (shared unless the shard has a tracker).
+// Get returns the value stored for key and whether it exists. An entry
+// whose expiry has passed is reported absent even before a sweep has
+// physically removed it. It locks one shard (shared unless the shard
+// has a tracker).
 func (s *Store) Get(key int64) (val int64, ok bool) {
+	epoch := s.epoch()
 	c := &s.cells[s.ShardOf(key)]
 	c.rlock()
 	val, ok = c.dict.Get(key)
+	if ok && !c.liveAt(key, epoch) {
+		val, ok = 0, false
+	}
 	c.runlock()
 	return val, ok
 }
 
-// Has reports whether key is present.
+// Has reports whether key is present (and not expired).
 func (s *Store) Has(key int64) bool {
+	epoch := s.epoch()
 	c := &s.cells[s.ShardOf(key)]
 	c.rlock()
-	ok := c.dict.Has(key)
+	ok := c.dict.Has(key) && c.liveAt(key, epoch)
 	c.runlock()
 	return ok
 }
 
-// Delete removes key and reports whether it was present. It locks one
-// shard.
+// Delete removes key and reports whether it was LOGICALLY present: a
+// physically present entry whose expiry has passed is removed too (the
+// bytes must go either way) but reported absent, exactly as Get would
+// have reported it. It locks one shard.
 func (s *Store) Delete(key int64) bool {
+	epoch := s.epoch()
 	c := &s.cells[s.ShardOf(key)]
 	c.mu.Lock()
+	exp := c.expOf(key)
 	deleted := c.dict.Delete(key)
 	if deleted {
+		c.setExp(key, 0)
 		c.version++
 	}
 	c.mu.Unlock()
-	return deleted
+	return deleted && expiry.Live(exp, epoch)
 }
 
-// Len returns the total number of keys across all shards, observed at an
-// atomic cut (all shard locks held).
+// Len returns the number of live keys across all shards — entries whose
+// expiry has passed are excluded even before a sweep physically removes
+// them — observed at an atomic cut (all shard locks held). The cost is
+// O(shards + TTL'd entries): shards without expiries pay nothing extra.
 func (s *Store) Len() int {
+	epoch := s.epoch()
 	s.lockAllShared()
 	n := 0
 	for i := range s.cells {
-		n += s.cells[i].dict.Len()
+		c := &s.cells[i]
+		n += c.dict.Len() - c.deadCount(epoch)
 	}
 	s.unlockAllShared()
 	return n
 }
 
-// ShardLen returns the number of keys in shard i, for load-balance
-// diagnostics.
+// ShardLen returns the number of PHYSICAL keys in shard i — including
+// expired-but-unswept entries — for load-balance diagnostics.
 func (s *Store) ShardLen(i int) int {
 	c := &s.cells[i]
 	c.rlock()
@@ -241,13 +295,18 @@ func (s *Store) Stats() iomodel.Stats {
 }
 
 // CheckInvariants verifies every shard's dictionary invariants plus the
-// sharding invariant: every stored key routes to the shard holding it.
+// sharding invariant (every stored key routes to the shard holding it)
+// and the TTL invariants: every recorded expiry is nonzero, routes to
+// its shard, and names a key the shard actually holds.
 func (s *Store) CheckInvariants() error {
 	s.lockAllShared()
 	defer s.unlockAllShared()
 	for i := range s.cells {
 		if err := s.cells[i].dict.CheckInvariants(); err != nil {
 			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		if err := s.cells[i].exps.CheckInvariants(); err != nil {
+			return fmt.Errorf("shard %d expiry index: %w", i, err)
 		}
 		var routeErr error
 		s.cells[i].dict.Ascend(func(it Item) bool {
@@ -257,6 +316,21 @@ func (s *Store) CheckInvariants() error {
 				return false
 			}
 			return true
+		})
+		if routeErr != nil {
+			return routeErr
+		}
+		s.cells[i].exps.Ascend(func(it Item) bool {
+			switch {
+			case it.Val == 0:
+				routeErr = fmt.Errorf("shard: key %d has a zero expiry recorded in shard %d", it.Key, i)
+			case s.ShardOf(it.Key) != i:
+				routeErr = fmt.Errorf("shard: expiry for key %d stored in shard %d but routes to %d",
+					it.Key, i, s.ShardOf(it.Key))
+			case !s.cells[i].dict.Has(it.Key):
+				routeErr = fmt.Errorf("shard: shard %d records an expiry for absent key %d", i, it.Key)
+			}
+			return routeErr == nil
 		})
 		if routeErr != nil {
 			return routeErr

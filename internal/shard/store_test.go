@@ -2,6 +2,7 @@ package shard
 
 import (
 	"bytes"
+	"encoding/binary"
 	"sort"
 	"testing"
 
@@ -216,6 +217,8 @@ func TestSingleShardMatchesDictionary(t *testing.T) {
 	}
 	// The persisted image is the canonical (bulk-load) serialization of
 	// the same contents: reproducible from the bare Dictionary's items.
+	// The shard image is a pair — length-prefixed data image, then the
+	// (here empty) expiry index image.
 	var si, di bytes.Buffer
 	if _, err := s.WriteShard(0, &si); err != nil {
 		t.Fatal(err)
@@ -225,7 +228,19 @@ func TestSingleShardMatchesDictionary(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := canon.WriteTo(&di); err != nil {
+	var data bytes.Buffer
+	if _, err := canon.WriteTo(&data); err != nil {
+		t.Fatal(err)
+	}
+	var lenHdr [8]byte
+	binary.LittleEndian.PutUint64(lenHdr[:], uint64(data.Len()))
+	di.Write(lenHdr[:])
+	di.Write(data.Bytes())
+	canonExp, err := hipma.BulkLoadWithConfig(hipma.DefaultConfig(), nil, canonExpSeed(s.hseed, 0), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := canonExp.WriteTo(&di); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(si.Bytes(), di.Bytes()) {

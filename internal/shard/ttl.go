@@ -1,0 +1,189 @@
+package shard
+
+// TTL support. The model (epoch clock, liveness predicate, sweep
+// schedule) is owned by repro/internal/expiry; this file executes it
+// under the shard locks:
+//
+//   - Each cell keeps an expiry index (exps) next to its data
+//     dictionary, holding key -> absolute expiry for exactly the keys
+//     that have one. Both mutate under the same lock, so an entry and
+//     its expiry are always consistent.
+//
+//   - Reads filter lazily against the store clock's current epoch: a
+//     dead entry is invisible the moment it expires, before anything
+//     physically removes it.
+//
+//   - SweepExpired physically removes the entries dead at a given
+//     epoch. The epoch is an explicit argument, never the wall clock,
+//     so the surviving contents — and the canonical images rendered
+//     from them — are a pure function of (contents, epoch). When the
+//     sweep ran is unrecoverable from the bytes.
+
+import "repro/internal/expiry"
+
+// liveAt reports whether key is live at epoch. The caller holds the
+// cell's lock; key need not be present (absent keys report live, which
+// composes with a preceding dict presence check).
+func (c *cell) liveAt(key, epoch int64) bool {
+	if epoch <= 0 || c.exps.Len() == 0 {
+		return true
+	}
+	e, ok := c.exps.Get(key)
+	return !ok || expiry.Live(e, epoch)
+}
+
+// expOf returns key's recorded absolute expiry (0: none). The caller
+// holds the cell's lock.
+func (c *cell) expOf(key int64) int64 {
+	if c.exps.Len() == 0 {
+		return 0
+	}
+	e, ok := c.exps.Get(key)
+	if !ok {
+		return 0
+	}
+	return e
+}
+
+// setExp records (exp != 0) or clears (exp == 0) key's expiry. The
+// caller holds the cell's exclusive lock.
+func (c *cell) setExp(key, exp int64) {
+	if exp != 0 {
+		c.exps.Put(key, exp)
+	} else if c.exps.Len() > 0 {
+		c.exps.Delete(key)
+	}
+}
+
+// deadCount counts entries already expired at epoch. The caller holds
+// the cell's lock.
+func (c *cell) deadCount(epoch int64) int {
+	if epoch <= 0 || c.exps.Len() == 0 {
+		return 0
+	}
+	dead := 0
+	c.exps.Ascend(func(it Item) bool {
+		if !expiry.Live(it.Val, epoch) {
+			dead++
+		}
+		return true
+	})
+	return dead
+}
+
+// filterLive drops the items already expired at epoch, in place. The
+// caller holds the cell's lock; items must belong to this cell.
+func (c *cell) filterLive(items []Item, epoch int64) []Item {
+	if epoch <= 0 || c.exps.Len() == 0 {
+		return items
+	}
+	out := items[:0]
+	for _, it := range items {
+		if c.liveAt(it.Key, epoch) {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// PutTTL inserts or updates the value for key with an absolute expiry
+// epoch (unix seconds; 0: never expires) and reports whether the key
+// was newly inserted — counting a key whose previous entry had already
+// expired as new, exactly as a reader would have seen it. The recorded
+// expiry replaces any previous one. It locks one shard.
+func (s *Store) PutTTL(key, val, exp int64) (inserted bool) {
+	epoch := s.epoch()
+	c := &s.cells[s.ShardOf(key)]
+	c.mu.Lock()
+	prevExp := c.expOf(key)
+	physIns := c.dict.Put(key, val)
+	inserted = physIns || !expiry.Live(prevExp, epoch)
+	c.setExp(key, exp)
+	c.version++
+	c.mu.Unlock()
+	return inserted
+}
+
+// GetTTL returns the value and recorded absolute expiry (0: none) for
+// key, and whether the key is live. An entry whose expiry has passed is
+// reported absent. It locks one shard.
+func (s *Store) GetTTL(key int64) (val, exp int64, ok bool) {
+	epoch := s.epoch()
+	c := &s.cells[s.ShardOf(key)]
+	c.rlock()
+	defer c.runlock()
+	val, ok = c.dict.Get(key)
+	if !ok {
+		return 0, 0, false
+	}
+	exp = c.expOf(key)
+	if !expiry.Live(exp, epoch) {
+		return 0, 0, false
+	}
+	return val, exp, true
+}
+
+// ExpiredKeys appends every key already dead at epoch to out — the
+// worklist a sweeper feeds back through ApplyBatch as Expire ops. Each
+// shard's expiry index is scanned under its own brief read lock, so the
+// listing does not block writers on other shards; the result is
+// per-shard consistent. Cost is O(TTL'd entries), not O(N).
+func (s *Store) ExpiredKeys(epoch int64, out []int64) []int64 {
+	if epoch <= 0 {
+		return out
+	}
+	for i := range s.cells {
+		c := &s.cells[i]
+		c.rlock()
+		if c.exps.Len() > 0 {
+			c.exps.Ascend(func(it Item) bool {
+				if !expiry.Live(it.Val, epoch) {
+					out = append(out, it.Key)
+				}
+				return true
+			})
+		}
+		c.runlock()
+	}
+	return out
+}
+
+// SweepExpired physically removes every entry that is already dead at
+// epoch and returns how many it removed. The removal set is exactly
+// {keys with 0 < exp <= epoch}, so the surviving contents are a pure
+// function of (prior contents, epoch) — running the sweep late, twice,
+// or shard by shard yields identical bytes, which is what keeps sweep
+// TIMING out of the canonical images. Each shard is swept under its own
+// exclusive lock; the cut is per-shard, which is harmless because a
+// dead entry is invisible to readers whether or not it has been swept.
+func (s *Store) SweepExpired(epoch int64) (swept int) {
+	if epoch <= 0 {
+		return 0
+	}
+	var dead []int64
+	for i := range s.cells {
+		c := &s.cells[i]
+		c.mu.Lock()
+		if c.exps.Len() == 0 {
+			c.mu.Unlock()
+			continue
+		}
+		dead = dead[:0]
+		c.exps.Ascend(func(it Item) bool {
+			if !expiry.Live(it.Val, epoch) {
+				dead = append(dead, it.Key)
+			}
+			return true
+		})
+		for _, k := range dead {
+			c.exps.Delete(k)
+			c.dict.Delete(k)
+		}
+		if len(dead) > 0 {
+			c.version++
+		}
+		c.mu.Unlock()
+		swept += len(dead)
+	}
+	return swept
+}
