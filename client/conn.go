@@ -45,6 +45,7 @@ type Conn struct {
 	pending map[uint64]chan proto.Frame
 	err     error // set once broken; guards future calls
 	closed  bool
+	dead    atomic.Bool // mirrors closed for lock-free health checks
 
 	done    chan struct{} // closed when the reader exits
 	timeout time.Duration
@@ -96,30 +97,41 @@ func NewConn(nc net.Conn) *Conn {
 	return c
 }
 
-// Close tears the connection down. In-flight requests fail with
-// ErrConnClosed.
+// Close tears the connection down and returns the socket's close
+// error. In-flight requests fail with ErrConnClosed. Close is
+// idempotent: only the call that actually tears the connection down
+// can return an error; every later call (including one racing the
+// reader or writer noticing a dead peer) returns nil.
 func (c *Conn) Close() error {
-	c.fail(ErrConnClosed)
-	return nil
+	return c.fail(ErrConnClosed)
 }
 
+// broken reports whether the connection has been torn down (by Close
+// or by a transport failure). A false result is advisory — the peer
+// may die between the check and the next call — but a true result is
+// permanent: a Conn never comes back.
+func (c *Conn) broken() bool { return c.dead.Load() }
+
 // fail marks the connection broken, closes the socket, and fails every
-// in-flight request. First cause wins.
-func (c *Conn) fail(cause error) {
+// in-flight request. First cause wins; the socket close error is
+// returned by the invocation that actually performed the teardown.
+func (c *Conn) fail(cause error) error {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return
+		return nil
 	}
 	c.closed = true
+	c.dead.Store(true)
 	c.err = cause
 	waiters := c.pending
 	c.pending = map[uint64]chan proto.Frame{}
 	c.mu.Unlock()
-	c.nc.Close()
+	cerr := c.nc.Close()
 	for _, ch := range waiters {
 		close(ch) // receivers translate a closed channel into c.err
 	}
+	return cerr
 }
 
 // writeLoop serializes request frames, flushing when the queue goes

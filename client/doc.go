@@ -12,6 +12,16 @@
 // same method set, spreading callers round-robin when one connection's
 // reply stream would otherwise serialize them.
 //
+// The pool is self-healing. A Conn never recovers once its transport
+// fails — in-flight and future calls on it return ErrConnClosed — but
+// the Client detects broken members on the next selection, skips them
+// in favor of live connections, and redials the dead slot in the
+// background with exponential backoff (20ms doubling to a 1s cap)
+// until the server is reachable again. The pool stays fixed-size
+// (slots are replaced, never dropped or added) and never replays
+// failed requests: callers see ErrConnClosed for work that was in
+// flight when the connection died and decide idempotency themselves.
+//
 // Server-side ordering is program order per connection: a request
 // issued after a reply was received is ordered after it, and a
 // pipelined read is ordered after the same connection's in-flight

@@ -1,0 +1,199 @@
+package client
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/server"
+)
+
+// White-box tests for the pool's self-healing and close-error
+// semantics: they reach into Client's slots, so they live in the
+// package rather than client_test.
+
+func startTestServer(t *testing.T) (addr string, stop func()) {
+	t.Helper()
+	db, err := durable.Open("db", &durable.Options{
+		Shards: 4, Seed: 7, NoBackground: true, FS: durable.NewMemFS(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(db, server.Config{SweepInterval: -1})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() {
+		srv.Close()
+		db.Close()
+	}
+}
+
+// TestPoolRecoversFromKilledConn severs one pooled connection's socket
+// mid-load and proves the pool heals: requests keep succeeding on the
+// surviving connections, and the dead slot is redialed so that every
+// slot eventually holds a live connection again — no permanently
+// failing slot.
+func TestPoolRecoversFromKilledConn(t *testing.T) {
+	addr, stop := startTestServer(t)
+	defer stop()
+	cl, err := Open(addr, 3, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	victim := cl.slots[1].conn.Load()
+	// Sever the transport underneath the Conn — the failure mode of a
+	// network fault or server-side disconnect, not a client Close.
+	victim.nc.Close()
+
+	// Drive load. Requests that land on the severed conn fail with
+	// ErrConnClosed (the pool does not replay); everything else must
+	// succeed, and the failures must stop once the slot is skipped.
+	failures := 0
+	for i := int64(0); i < 400; i++ {
+		if _, err := cl.Put(i, i*2); err != nil {
+			if !errors.Is(err, ErrConnClosed) {
+				t.Fatalf("put %d: unexpected error: %v", i, err)
+			}
+			failures++
+		}
+	}
+	// The broken conn can absorb at most the requests routed to it
+	// before its failure is observed; if errors kept flowing for the
+	// whole run, the pool never routed around the dead slot.
+	if failures > 100 {
+		t.Fatalf("%d/400 puts failed: pool kept routing to the dead conn", failures)
+	}
+
+	// The severed slot must come back: a live, working connection in
+	// every slot within the redial budget.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		healthy := 0
+		for i := range cl.slots {
+			if c := cl.slots[i].conn.Load(); c != nil && !c.broken() {
+				healthy++
+			}
+		}
+		if healthy == len(cl.slots) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d slots healthy after redial window", healthy, len(cl.slots))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for i := range cl.slots {
+		if _, err := cl.slots[i].conn.Load().Put(int64(1000+i), 1); err != nil {
+			t.Fatalf("slot %d unusable after recovery: %v", i, err)
+		}
+	}
+	if cl.slots[1].conn.Load() == victim {
+		t.Fatal("severed slot still holds the dead conn")
+	}
+}
+
+// errCloseConn wraps a net.Conn to make Close report a fixed error
+// after actually closing, modeling a transport whose teardown fails.
+type errCloseConn struct {
+	net.Conn
+	err error
+}
+
+func (c *errCloseConn) Close() error {
+	c.Conn.Close()
+	return c.err
+}
+
+// TestConnCloseReturnsSocketError checks that Conn.Close surfaces the
+// socket's close error exactly once: the teardown call reports it,
+// every later Close (idempotent double-close) returns nil.
+func TestConnCloseReturnsSocketError(t *testing.T) {
+	sentinel := errors.New("teardown failed")
+	p1, p2 := net.Pipe()
+	defer p2.Close()
+	c := NewConn(&errCloseConn{Conn: p1, err: sentinel})
+	if err := c.Close(); !errors.Is(err, sentinel) {
+		t.Fatalf("first Close = %v, want the socket error", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("second Close = %v, want nil (idempotent)", err)
+	}
+	if !c.broken() {
+		t.Fatal("closed conn not marked broken")
+	}
+}
+
+// TestClientCloseReturnsFirstError checks that the pool's Close
+// propagates the first per-conn close error instead of swallowing it,
+// while still closing every connection.
+func TestClientCloseReturnsFirstError(t *testing.T) {
+	sentinel := errors.New("slot 1 teardown failed")
+	cl := &Client{slots: make([]poolSlot, 3)}
+	var peers []net.Conn
+	for i := range cl.slots {
+		p1, p2 := net.Pipe()
+		peers = append(peers, p2)
+		nc := net.Conn(p1)
+		if i == 1 {
+			nc = &errCloseConn{Conn: p1, err: sentinel}
+		}
+		cl.slots[i].conn.Store(NewConn(nc))
+	}
+	defer func() {
+		for _, p := range peers {
+			p.Close()
+		}
+	}()
+	if err := cl.Close(); !errors.Is(err, sentinel) {
+		t.Fatalf("Close = %v, want first conn error", err)
+	}
+	for i := range cl.slots {
+		if !cl.slots[i].conn.Load().broken() {
+			t.Fatalf("conn %d left open after pool Close", i)
+		}
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatalf("second pool Close = %v, want nil", err)
+	}
+}
+
+// TestRedialStopsAfterClose checks that a pool closed while a slot is
+// mid-redial does not resurrect connections: any conn a racing redial
+// establishes is closed, not leaked into service.
+func TestRedialStopsAfterClose(t *testing.T) {
+	addr, stop := startTestServer(t)
+	defer stop()
+	cl, err := Open(addr, 2, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.slots[0].conn.Load().nc.Close()
+	cl.Conn() // notice the dead conn; kick off the redial
+	cl.Close()
+	// Give any racing redial time to land, then verify every slot's
+	// conn is closed.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		allBroken := true
+		for i := range cl.slots {
+			if c := cl.slots[i].conn.Load(); c != nil && !c.broken() {
+				allBroken = false
+			}
+		}
+		if allBroken && !cl.slots[0].redialing.Load() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("redial outlived pool Close")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

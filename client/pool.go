@@ -6,14 +6,44 @@ import (
 	"time"
 )
 
+// Redial backoff bounds: the first attempt after a slot's connection
+// breaks waits redialMinBackoff, doubling per failure up to
+// redialMaxBackoff, so a down server costs a bounded trickle of dials
+// rather than a reconnect storm.
+const (
+	redialMinBackoff = 20 * time.Millisecond
+	redialMaxBackoff = time.Second
+)
+
+// poolSlot is one position in the pool. The slot, not the Conn, is the
+// unit of liveness: a Conn never heals once broken, but a slot replaces
+// its broken Conn with a freshly dialed one, so the pool's size is
+// fixed while its members turn over.
+type poolSlot struct {
+	conn      atomic.Pointer[Conn] // always non-nil after Open succeeds
+	redialing atomic.Bool          // one redial goroutine per slot at a time
+}
+
 // Client is a fixed-size pool of pipelined Conns to one server,
 // spreading requests round-robin. One Conn already pipelines, but its
 // replies arrive on a single reader goroutine; a small pool keeps many
 // CPU-bound callers from serializing behind it. All methods are safe
 // for concurrent use.
+//
+// The pool is self-healing: a connection that dies (server restart,
+// network fault, idle-timeout disconnect) is detected on the next Conn
+// selection, skipped in favor of a live one, and redialed in the
+// background with exponential backoff (20ms doubling to a 1s cap).
+// In-flight requests on the dead connection still fail with
+// ErrConnClosed — the pool restores capacity, it does not replay
+// requests — but no slot stays dead forever while the server is
+// reachable.
 type Client struct {
-	conns []*Conn
-	next  atomic.Uint64
+	addr    string
+	timeout time.Duration
+	slots   []poolSlot
+	next    atomic.Uint64
+	closed  atomic.Bool
 }
 
 // Open dials nconns connections (minimum 1) to addr. timeout bounds
@@ -22,34 +52,86 @@ func Open(addr string, nconns int, timeout time.Duration) (*Client, error) {
 	if nconns < 1 {
 		nconns = 1
 	}
-	cl := &Client{conns: make([]*Conn, nconns)}
-	for i := range cl.conns {
+	cl := &Client{addr: addr, timeout: timeout, slots: make([]poolSlot, nconns)}
+	for i := range cl.slots {
 		c, err := DialTimeout(addr, timeout)
 		if err != nil {
 			cl.Close()
 			return nil, fmt.Errorf("client: conn %d/%d: %w", i+1, nconns, err)
 		}
-		cl.conns[i] = c
+		cl.slots[i].conn.Store(c)
 	}
 	return cl, nil
 }
 
-// Conn returns one of the pool's connections, round-robin. Use it when
-// an operation sequence needs the per-connection ordering guarantee
-// (e.g. a put then a get that must observe it, without waiting for the
-// put reply on the same goroutine).
+// Conn returns one of the pool's connections, round-robin, preferring
+// live ones: a slot whose connection has died is skipped (and its
+// background redial kicked off) in favor of the next live slot. Use it
+// when an operation sequence needs the per-connection ordering
+// guarantee (e.g. a put then a get that must observe it, without
+// waiting for the put reply on the same goroutine). When every
+// connection is down, the round-robin pick is returned anyway so the
+// caller gets a prompt ErrConnClosed instead of blocking on recovery.
 func (cl *Client) Conn() *Conn {
-	return cl.conns[cl.next.Add(1)%uint64(len(cl.conns))]
+	n := uint64(len(cl.slots))
+	start := cl.next.Add(1)
+	for i := uint64(0); i < n; i++ {
+		s := &cl.slots[(start+i)%n]
+		c := s.conn.Load()
+		if !c.broken() {
+			return c
+		}
+		cl.redial(s)
+	}
+	return cl.slots[start%n].conn.Load()
 }
 
-// Close closes every connection in the pool.
+// redial starts (at most) one background goroutine replacing the
+// slot's broken connection. Attempts back off exponentially and stop
+// when the pool is closed.
+func (cl *Client) redial(s *poolSlot) {
+	if cl.closed.Load() || !s.redialing.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer s.redialing.Store(false)
+		backoff := redialMinBackoff
+		for !cl.closed.Load() {
+			c, err := DialTimeout(cl.addr, cl.timeout)
+			if err == nil {
+				if old := s.conn.Swap(c); old != nil {
+					old.Close()
+				}
+				if cl.closed.Load() {
+					// Close ran while we were dialing and may have missed
+					// the new conn; closing it here is idempotent either way.
+					c.Close()
+				}
+				return
+			}
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > redialMaxBackoff {
+				backoff = redialMaxBackoff
+			}
+		}
+	}()
+}
+
+// Close closes every connection in the pool and stops background
+// redials. It returns the first connection-close error encountered
+// (nil in the common case); the remaining connections are still closed
+// either way.
 func (cl *Client) Close() error {
-	for _, c := range cl.conns {
-		if c != nil {
-			c.Close()
+	cl.closed.Store(true)
+	var first error
+	for i := range cl.slots {
+		if c := cl.slots[i].conn.Load(); c != nil {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
 		}
 	}
-	return nil
+	return first
 }
 
 // Get returns the value stored for key and whether it exists.

@@ -1,0 +1,495 @@
+// bench-trajectory measures the four hot layers of the stack — proto
+// encode/decode, server dispatch, shard ApplyBatch + scans, and
+// checkpoint render — and records each area's result as a run appended
+// to BENCH_<area>.json at the repo root (see repro/internal/benchjson
+// for the schema). Every run lands next to the runs before it, so the
+// files are a machine-readable performance trajectory: a regression is
+// a diff between two array elements.
+//
+// Usage:
+//
+//	bench-trajectory [-dir .] [-label NAME] [-areas proto,server,shard,checkpoint]
+//	                 [-duration 2s] [-short] [-check] [-max-regress 0.2] [-validate]
+//
+// Default mode runs the benchmarks and appends one run per area file
+// (creating absent files). -check runs them in short mode and exits
+// nonzero if any benchmark's throughput falls more than -max-regress
+// below the latest committed run — the CI regression gate. -validate
+// only parses and validates the committed files. All failures,
+// including unwritable output files, exit nonzero with a message on
+// stderr.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/client"
+	"repro/internal/benchjson"
+	"repro/internal/durable"
+	"repro/internal/proto"
+	"repro/internal/server"
+	"repro/internal/shard"
+)
+
+func main() {
+	var (
+		dir        = flag.String("dir", ".", "directory holding the BENCH_*.json files")
+		label      = flag.String("label", "run", "label for the appended run")
+		areasFlag  = flag.String("areas", strings.Join(benchjson.Areas, ","), "comma-separated areas to measure")
+		duration   = flag.Duration("duration", 2*time.Second, "measurement window per benchmark")
+		short      = flag.Bool("short", false, "smoke-length windows (250ms) unless -duration is set explicitly")
+		check      = flag.Bool("check", false, "run short and fail on regression vs the committed snapshots (writes nothing)")
+		maxRegress = flag.Float64("max-regress", 0.20, "throughput regression budget for -check")
+		validate   = flag.Bool("validate", false, "only parse and validate the committed snapshots")
+	)
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "bench-trajectory: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	areas := strings.Split(*areasFlag, ",")
+	for _, a := range areas {
+		if benches[a] == nil {
+			fail("unknown area %q (have %s)", a, strings.Join(benchjson.Areas, ", "))
+		}
+	}
+
+	if *validate || *check {
+		committed, err := benchjson.LoadAll(*dir)
+		if err != nil {
+			fail("%v", err)
+		}
+		for _, a := range areas {
+			if committed[a] == nil {
+				fail("no committed %s in %s", benchjson.FileName(a), *dir)
+			}
+		}
+		if *validate {
+			fmt.Printf("bench-trajectory: %d snapshot(s) in %s valid\n", len(committed), *dir)
+			return
+		}
+		// -check: short windows, compare, never write.
+		d := 250 * time.Millisecond
+		if isFlagSet("duration") {
+			d = *duration
+		}
+		failed := false
+		for _, a := range areas {
+			run := benchjson.NewRun("check", true)
+			run.Benchmarks = benches[a](d)
+			base := committed[a].Latest()
+			if err := benchjson.CompareThroughput(base, &run, *maxRegress); err != nil {
+				fmt.Fprintf(os.Stderr, "bench-trajectory: %s vs run %q: %v\n", a, base.Label, err)
+				failed = true
+			} else {
+				fmt.Printf("%s: within %.0f%% of run %q (%d benchmarks)\n",
+					a, *maxRegress*100, base.Label, len(run.Benchmarks))
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
+
+	d := *duration
+	if *short && !isFlagSet("duration") {
+		d = 250 * time.Millisecond
+	}
+	for _, a := range areas {
+		run := benchjson.NewRun(*label, *short)
+		run.Benchmarks = benches[a](d)
+		path := filepath.Join(*dir, benchjson.FileName(a))
+		snap, err := benchjson.Load(path)
+		if os.IsNotExist(err) {
+			snap = &benchjson.Snapshot{Schema: benchjson.SchemaVersion, Area: a}
+		} else if err != nil {
+			fail("%v", err)
+		}
+		snap.Append(run)
+		if err := benchjson.Save(path, snap); err != nil {
+			fail("writing %s: %v", path, err)
+		}
+		fmt.Printf("%s: appended run %q (%d runs total)\n", path, *label, len(snap.Runs))
+		for name, m := range run.Benchmarks {
+			fmt.Printf("  %-24s %12.0f ops/s  p50 %7.1fus  p99 %7.1fus  %6.2f allocs/op\n",
+				name, m.ThroughputOpsPerSec, m.P50us, m.P99us, m.AllocsPerOp)
+		}
+	}
+}
+
+func isFlagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// benches maps each area to its measurement function.
+var benches = map[string]func(d time.Duration) map[string]benchjson.Metrics{
+	"proto":      benchProto,
+	"server":     benchServer,
+	"shard":      benchShard,
+	"checkpoint": benchCheckpoint,
+}
+
+// ---------------------------------------------------------------- proto
+
+// loopReader replays one byte slice forever: an endless frame stream
+// with no syscalls, so the benchmark isolates codec cost.
+type loopReader struct {
+	data []byte
+	off  int
+}
+
+func (l *loopReader) Read(p []byte) (int, error) {
+	if l.off == len(l.data) {
+		l.off = 0
+	}
+	n := copy(p, l.data[l.off:])
+	l.off += n
+	return n, nil
+}
+
+var sink int
+
+// benchProto measures the wire codec exactly as the server's hot loops
+// use it: request encoding into reused scratch, streaming frame reads
+// off a connection, and reply framing.
+func benchProto(d time.Duration) map[string]benchjson.Metrics {
+	out := map[string]benchjson.Metrics{}
+
+	// encode_request: one PUT request frame built into reused buffers,
+	// the client writer's per-request work.
+	var fbuf, pbuf []byte
+	id := uint64(0)
+	out["encode_request"] = benchjson.Measure(d, 1, func() {
+		id++
+		pbuf = proto.AppendKeyVal(pbuf[:0], int64(id), int64(id)*3)
+		fbuf = proto.AppendFrame(fbuf[:0], proto.Frame{
+			Ver: proto.Version, Op: proto.OpPut, ID: id, Payload: pbuf,
+		})
+		sink += len(fbuf)
+	})
+
+	// stream_read: frames decoded back-to-back from a buffered stream,
+	// the server reader loop's per-frame work (one frame per op). Reads
+	// through FrameReader, the reusable-buffer path readLoop uses.
+	stream := buildFrameStream()
+	fr := proto.NewFrameReader(bufio.NewReaderSize(&loopReader{data: stream}, 64<<10), 0)
+	out["stream_read"] = benchjson.Measure(d, 1, func() {
+		f, err := fr.Next()
+		if err != nil {
+			panic(err)
+		}
+		sink += len(f.Payload)
+	})
+
+	// put_reply_frame: a PUT reply (bool payload) framed for the writer,
+	// the per-write reply cost in the coalescer fan-out: payload built
+	// in reused scratch, frame appended to the outbound buffer exactly
+	// as sendFrame does.
+	var wbuf, pscratch []byte
+	out["put_reply_frame"] = benchjson.Measure(d, 1, func() {
+		id++
+		pscratch = proto.AppendBool(pscratch[:0], true)
+		wbuf = proto.AppendFrame(wbuf[:0], proto.Frame{
+			Ver: proto.Version, Op: proto.OpPut | proto.FlagReply, ID: id, Payload: pscratch,
+		})
+		sink += len(wbuf)
+	})
+	return out
+}
+
+// buildFrameStream encodes a mixed request burst: the opcode mix of a
+// 90/10 read-heavy pipeline, with a RANGE and a PING for size variety.
+func buildFrameStream() []byte {
+	var b []byte
+	id := uint64(0)
+	for i := 0; i < 256; i++ {
+		id++
+		switch i % 10 {
+		case 0:
+			b = proto.AppendFrame(b, proto.Frame{Ver: proto.Version, Op: proto.OpPut, ID: id,
+				Payload: proto.AppendKeyVal(nil, int64(i), int64(i))})
+		case 1:
+			b = proto.AppendFrame(b, proto.Frame{Ver: proto.Version, Op: proto.OpRange, ID: id,
+				Payload: proto.AppendRangeReq(nil, 0, int64(i)*100, 64)})
+		case 2:
+			b = proto.AppendFrame(b, proto.Frame{Ver: proto.Version, Op: proto.OpPing, ID: id,
+				Payload: []byte("0123456789abcdef")})
+		default:
+			b = proto.AppendFrame(b, proto.Frame{Ver: proto.Version, Op: proto.OpGet, ID: id,
+				Payload: proto.AppendKey(nil, int64(i))})
+		}
+	}
+	return b
+}
+
+// --------------------------------------------------------------- server
+
+// benchServer measures end-to-end dispatch: an in-process server over a
+// MemFS-backed DB on loopback TCP, driven by the stock client pool with
+// pipelined workers. Allocations count both ends — the full cost of one
+// served request in this process.
+func benchServer(d time.Duration) map[string]benchjson.Metrics {
+	out := map[string]benchjson.Metrics{}
+	const conns, depth, keys = 4, 16, 100_000
+
+	withServer := func(fn func(cl *client.Client)) {
+		db, err := durable.Open("benchdb", &durable.Options{
+			Shards: 16, Seed: 42, NoBackground: true, FS: durable.NewMemFS(),
+		})
+		must(err)
+		srv := server.New(db, server.Config{SweepInterval: -1})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		must(err)
+		go srv.Serve(ln)
+		cl, err := client.Open(ln.Addr().String(), conns, 30*time.Second)
+		must(err)
+		preload(cl, keys)
+		fn(cl)
+		cl.Close()
+		srv.Close()
+		must(db.Close())
+	}
+
+	withServer(func(cl *client.Client) {
+		out["mixed_90r"] = measureConcurrent(d, conns*depth, func(w int) func() {
+			rng := rand.New(rand.NewSource(int64(w)*2654435761 + 1))
+			conn := cl.Conn()
+			return func() {
+				if rng.Float64() < 0.9 {
+					_, _, err := conn.Get(rng.Int63n(keys))
+					must(err)
+				} else {
+					_, err := conn.Put(rng.Int63n(keys), rng.Int63())
+					must(err)
+				}
+			}
+		})
+	})
+
+	withServer(func(cl *client.Client) {
+		out["put_coalesced"] = measureConcurrent(d, conns*depth, func(w int) func() {
+			rng := rand.New(rand.NewSource(int64(w)*2654435761 + 1))
+			conn := cl.Conn()
+			return func() {
+				_, err := conn.Put(rng.Int63n(keys), rng.Int63())
+				must(err)
+			}
+		})
+	})
+	return out
+}
+
+func preload(cl *client.Client, keys int) {
+	const chunk = 4096
+	items := make([]client.Item, 0, chunk)
+	for k := 0; k < keys; k += chunk {
+		items = items[:0]
+		for j := k; j < k+chunk && j < keys; j++ {
+			items = append(items, client.Item{Key: int64(j), Val: int64(j)})
+		}
+		_, err := cl.PutBatch(items)
+		must(err)
+	}
+}
+
+// ---------------------------------------------------------------- shard
+
+// benchShard measures the storage engine's two server-facing paths: the
+// coalesced mixed ApplyBatch and the bounded k-way-merged scan.
+func benchShard(d time.Duration) map[string]benchjson.Metrics {
+	out := map[string]benchjson.Metrics{}
+	const keys = 200_000
+	st, err := shard.NewWithConfig(shard.DefaultConfig(16), 42, nil)
+	must(err)
+	items := make([]shard.Item, 0, 4096)
+	for k := 0; k < keys; k += 4096 {
+		items = items[:0]
+		for j := k; j < k+4096 && j < keys; j++ {
+			items = append(items, shard.Item{Key: int64(j), Val: int64(j)})
+		}
+		st.PutBatch(items)
+	}
+
+	// apply_batch_1k: one coalescer drain — 1024 mixed ops (80% put,
+	// 20% delete), outcome slots reused.
+	const batch = 1024
+	rng := rand.New(rand.NewSource(99))
+	ops := make([]shard.Op, batch)
+	changed := make([]bool, batch)
+	out["apply_batch_1k"] = benchjson.Measure(d, batch, func() {
+		for i := range ops {
+			k := rng.Int63n(keys)
+			ops[i] = shard.Op{Key: k, Val: k * 7, Delete: i%5 == 4}
+		}
+		_, err := st.ApplyBatch(ops, changed)
+		must(err)
+	})
+
+	// range_n_100: the server's RANGE path — a bounded window merged
+	// across all shards, output buffer reused.
+	var rbuf []shard.Item
+	out["range_n_100"] = benchjson.Measure(d, 1, func() {
+		lo := rng.Int63n(keys)
+		var more bool
+		rbuf, more = st.RangeN(lo, lo+10_000, 100, rbuf[:0])
+		if more {
+			sink++
+		}
+		rbuf = rbuf[:0]
+	})
+
+	// range_1k: a wide copied-window merge (Range), output reused.
+	out["range_1k"] = benchjson.Measure(d, 1, func() {
+		lo := rng.Int63n(keys - 2000)
+		rbuf = st.Range(lo, lo+1000, rbuf[:0])
+		sink += len(rbuf)
+		rbuf = rbuf[:0]
+	})
+	return out
+}
+
+// ----------------------------------------------------------- checkpoint
+
+// benchCheckpoint measures the persistence layer's render-and-commit
+// path over MemFS: dirty a few shards (incremental) or all of them
+// (full), then checkpoint. One op = one committed checkpoint.
+func benchCheckpoint(d time.Duration) map[string]benchjson.Metrics {
+	out := map[string]benchjson.Metrics{}
+	const keys = 50_000
+	open := func() *durable.DB {
+		db, err := durable.Open("cpdb", &durable.Options{
+			Shards: 16, Seed: 42, NoBackground: true, FS: durable.NewMemFS(),
+		})
+		must(err)
+		items := make([]shard.Item, 0, keys)
+		for j := 0; j < keys; j++ {
+			items = append(items, shard.Item{Key: int64(j), Val: int64(j)})
+		}
+		db.PutBatch(items)
+		must(db.Checkpoint())
+		return db
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	db := open()
+	st := db.Store()
+	out["incremental"] = benchjson.Measure(d, 1, func() {
+		// Dirty roughly one shard: a handful of keys routed to wherever
+		// the seeded hash puts them, then commit just those images.
+		k := rng.Int63n(keys)
+		want := st.ShardOf(k)
+		db.Put(k, rng.Int63())
+		for extra := 0; extra < 8; extra++ {
+			k2 := rng.Int63n(keys)
+			if st.ShardOf(k2) == want {
+				db.Put(k2, rng.Int63())
+			}
+		}
+		must(db.Checkpoint())
+	})
+	must(db.Close())
+
+	db = open()
+	batch := make([]shard.Item, 1024)
+	out["full"] = benchjson.Measure(d, 1, func() {
+		for i := range batch {
+			batch[i] = shard.Item{Key: rng.Int63n(keys), Val: rng.Int63()}
+		}
+		db.PutBatch(batch)
+		must(db.Checkpoint())
+	})
+	must(db.Close())
+	return out
+}
+
+// ------------------------------------------------------------- plumbing
+
+// measureConcurrent runs one op function per worker in a closed loop
+// for d, sampling every 32nd op's latency per worker, and merges the
+// result into one Metrics. Allocations are the process-wide delta over
+// the window divided by completed ops.
+func measureConcurrent(d time.Duration, workers int, mk func(w int) func()) benchjson.Metrics {
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	var ops atomic.Uint64
+	samples := make([][]time.Duration, workers)
+
+	var ms0, ms1 struct{ mallocs, bytes uint64 }
+	ms0.mallocs, ms0.bytes = readMemCounters()
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			op := mk(w)
+			for i := 0; !stop.Load(); i++ {
+				if i%32 == 0 {
+					t0 := time.Now()
+					op()
+					samples[w] = append(samples[w], time.Since(t0))
+				} else {
+					op()
+				}
+				ops.Add(1)
+			}
+		}(w)
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	ms1.mallocs, ms1.bytes = readMemCounters()
+
+	var all []time.Duration
+	for _, s := range samples {
+		all = append(all, s...)
+	}
+	p50, p99, max := benchjson.Quantiles(all)
+	n := ops.Load()
+	return benchjson.Metrics{
+		Ops:                 n,
+		ThroughputOpsPerSec: float64(n) / elapsed.Seconds(),
+		NsPerOp:             float64(elapsed.Nanoseconds()) / float64(n),
+		P50us:               p50,
+		P99us:               p99,
+		MaxUS:               max,
+		AllocsPerOp:         float64(ms1.mallocs-ms0.mallocs) / float64(n),
+		BytesPerOp:          float64(ms1.bytes-ms0.bytes) / float64(n),
+	}
+}
+
+func readMemCounters() (mallocs, bytes uint64) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs, ms.TotalAlloc
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-trajectory:", err)
+		os.Exit(1)
+	}
+}
+
+var _ io.Reader = (*loopReader)(nil)

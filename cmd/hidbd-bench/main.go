@@ -85,8 +85,12 @@ type result struct {
 	P50us           float64 `json:"p50_us"`
 	P99us           float64 `json:"p99_us"`
 	MaxUS           float64 `json:"max_us"`
-	GoMaxProcs      int     `json:"gomaxprocs"`
-	GoVersion       string  `json:"go_version"`
+	// AllocsPerOp is the bench process's own heap allocations per
+	// completed operation — the CLIENT side's cost, measured the same
+	// way the bench-trajectory harness measures the server layers.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
+	GoVersion   string  `json:"go_version"`
 }
 
 func main() {
@@ -100,6 +104,7 @@ func main() {
 		duration = flag.Duration("duration", 5*time.Second, "measurement window")
 		minOps   = flag.Uint64("min-ops", 1, "exit nonzero below this many completed ops")
 		jsonOut  = flag.Bool("json", false, "emit one JSON document instead of text")
+		outPath  = flag.String("out", "", "write the JSON document to this file (implies -json)")
 		replicas = flag.Int("replicas", 0, "self-host this many read replicas and send reads to them")
 		repAddrs = flag.String("replica-addrs", "", "comma-separated external replica addresses for reads")
 		ttl      = flag.Duration("ttl", 0, "session-churn: writes expire this long after they land (0: no TTL workload)")
@@ -189,6 +194,8 @@ func main() {
 	// percentiles merge the samples afterward.
 	samples := make([][]time.Duration, workers)
 
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -278,6 +285,7 @@ func main() {
 	close(stop)
 	wg.Wait()
 	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
 
 	var all []time.Duration
 	for _, s := range samples {
@@ -303,11 +311,18 @@ func main() {
 	if res.Reads > 0 {
 		res.ExpiredReadRate = float64(res.ExpiredReads) / float64(res.Reads)
 	}
+	if res.Ops > 0 {
+		res.AllocsPerOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(res.Ops)
+	}
 
-	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		enc.Encode(res)
+	if *jsonOut || *outPath != "" {
+		// A bench whose results cannot be recorded has failed: CI parses
+		// this output, so a short write must be a nonzero exit, never a
+		// silently truncated document.
+		if err := writeJSON(*outPath, res); err != nil {
+			fmt.Fprintf(os.Stderr, "hidbd-bench: writing results: %v\n", err)
+			os.Exit(1)
+		}
 	} else {
 		mode := "single ops"
 		if *batch > 1 {
@@ -325,6 +340,7 @@ func main() {
 			res.Ops, elapsed.Seconds(), res.OpsPerSec, res.Reads, res.Writes, res.Errors)
 		fmt.Printf("  latency p50 %.1fus  p99 %.1fus  max %.1fus (request round trips)\n",
 			res.P50us, res.P99us, res.MaxUS)
+		fmt.Printf("  client-side allocs/op %.2f\n", res.AllocsPerOp)
 		if *ttl > 0 {
 			fmt.Printf("  expired reads %d (%.1f%% of reads): sessions found already gone\n",
 				res.ExpiredReads, res.ExpiredReadRate*100)
@@ -334,6 +350,31 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hidbd-bench: %d ops < minimum %d\n", res.Ops, *minOps)
 		os.Exit(1)
 	}
+}
+
+// writeJSON emits res as one indented JSON document to path, or to
+// stdout when path is empty. Every write and close error is returned —
+// a result that didn't land on disk (ENOSPC, a bad path, a full pipe)
+// must fail the run, not truncate silently.
+func writeJSON(path string, res result) error {
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if path == "" {
+		_, err := os.Stdout.Write(buf)
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // selfHost starts an in-process hidbd over a fresh temp directory on a

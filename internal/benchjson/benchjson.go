@@ -1,0 +1,263 @@
+// Package benchjson defines the machine-readable performance
+// trajectory committed at the repo root as BENCH_<area>.json files.
+//
+// Each file holds one Snapshot: an ordered list of Runs for one hot
+// layer ("proto", "server", "shard", "checkpoint"), appended to by
+// cmd/bench-trajectory. A Run is a labelled measurement session — a map
+// from benchmark name to Metrics (throughput, p50/p99 latency,
+// allocs/op) — so a regression is a diff between two array elements,
+// not an archaeology project. The schema is validated on load and in
+// CI; CompareThroughput is the regression gate.
+//
+// The format is deliberately append-only: the pre-optimization baseline
+// a PR measured against stays in the file next to the run that beat it,
+// so "2x faster" is a recorded pair of numbers, not prose.
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// SchemaVersion is bumped when a field changes meaning; loaders reject
+// files from a different schema rather than misread them.
+const SchemaVersion = 1
+
+// Areas is the canonical list of measured hot layers, in pipeline
+// order: wire codec, request dispatch, storage mutation, persistence.
+var Areas = []string{"proto", "server", "shard", "checkpoint"}
+
+// Metrics is one benchmark's measured result within a Run.
+type Metrics struct {
+	// Ops is the number of operations completed in the window.
+	Ops uint64 `json:"ops"`
+	// ThroughputOpsPerSec is ops divided by the wall-clock window.
+	ThroughputOpsPerSec float64 `json:"throughput_ops_per_sec"`
+	// NsPerOp is the inverse view of throughput (wall time, not CPU).
+	NsPerOp float64 `json:"ns_per_op"`
+	// P50us / P99us / MaxUS are sampled per-invocation latencies in
+	// microseconds. For batch-shaped benchmarks an invocation covers the
+	// whole batch while throughput counts its items; BatchOps records
+	// that factor.
+	P50us float64 `json:"p50_us"`
+	P99us float64 `json:"p99_us"`
+	MaxUS float64 `json:"max_us"`
+	// AllocsPerOp and BytesPerOp are heap allocation deltas (process-
+	// wide runtime.MemStats) divided by ops.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// BatchOps is the number of ops one timed invocation performs (1 for
+	// point benchmarks).
+	BatchOps int `json:"batch_ops,omitempty"`
+}
+
+// Run is one measurement session: every benchmark of one area, measured
+// on one machine at one commit, under one label.
+type Run struct {
+	// Label names the run in the trajectory, e.g. "pr6-baseline" (the
+	// pre-optimization measurement) or "pr6-optimized".
+	Label string `json:"label"`
+	// When is the measurement time, RFC 3339.
+	When string `json:"when"`
+	// GoVersion and GoMaxProcs qualify the numbers: cross-machine
+	// comparisons are indicative, same-machine pairs are the contract.
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// Short marks a smoke-length run (CI); short runs are valid for the
+	// regression gate but should not replace a full baseline.
+	Short bool `json:"short,omitempty"`
+	// Benchmarks maps benchmark name to its measured metrics.
+	Benchmarks map[string]Metrics `json:"benchmarks"`
+}
+
+// Snapshot is one BENCH_<area>.json document.
+type Snapshot struct {
+	Schema int    `json:"schema"`
+	Area   string `json:"area"`
+	Runs   []Run  `json:"runs"`
+}
+
+// FileName returns the repo-root file name for an area's trajectory.
+func FileName(area string) string { return "BENCH_" + area + ".json" }
+
+// NewRun returns an empty run stamped with the current environment.
+func NewRun(label string, short bool) Run {
+	return Run{
+		Label:      label,
+		When:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Short:      short,
+		Benchmarks: map[string]Metrics{},
+	}
+}
+
+// Load reads and validates one snapshot file.
+func Load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// Save validates s and writes it to path (indented, trailing newline)
+// via a temp-file rename so a crash cannot leave a torn snapshot.
+func Save(path string, s *Snapshot) error {
+	if err := s.Validate(); err != nil {
+		return fmt.Errorf("benchjson: refusing to save %s: %w", path, err)
+	}
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Validate checks the structural invariants every snapshot must hold.
+func (s *Snapshot) Validate() error {
+	if s.Schema != SchemaVersion {
+		return fmt.Errorf("schema %d, this tool speaks %d", s.Schema, SchemaVersion)
+	}
+	if s.Area == "" {
+		return fmt.Errorf("empty area")
+	}
+	if len(s.Runs) == 0 {
+		return fmt.Errorf("no runs")
+	}
+	for i, r := range s.Runs {
+		if r.Label == "" {
+			return fmt.Errorf("run %d: empty label", i)
+		}
+		if len(r.Benchmarks) == 0 {
+			return fmt.Errorf("run %q: no benchmarks", r.Label)
+		}
+		for name, m := range r.Benchmarks {
+			if name == "" {
+				return fmt.Errorf("run %q: empty benchmark name", r.Label)
+			}
+			for _, v := range []struct {
+				field string
+				val   float64
+			}{
+				{"throughput_ops_per_sec", m.ThroughputOpsPerSec},
+				{"ns_per_op", m.NsPerOp},
+				{"p50_us", m.P50us},
+				{"p99_us", m.P99us},
+				{"max_us", m.MaxUS},
+				{"allocs_per_op", m.AllocsPerOp},
+				{"bytes_per_op", m.BytesPerOp},
+			} {
+				if math.IsNaN(v.val) || math.IsInf(v.val, 0) || v.val < 0 {
+					return fmt.Errorf("run %q: %s: bad %s %v", r.Label, name, v.field, v.val)
+				}
+			}
+			if m.ThroughputOpsPerSec == 0 || m.Ops == 0 {
+				return fmt.Errorf("run %q: %s: zero throughput", r.Label, name)
+			}
+		}
+	}
+	return nil
+}
+
+// Append adds a run to the trajectory.
+func (s *Snapshot) Append(r Run) { s.Runs = append(s.Runs, r) }
+
+// Latest returns the most recent run, or nil for an empty snapshot.
+func (s *Snapshot) Latest() *Run {
+	if len(s.Runs) == 0 {
+		return nil
+	}
+	return &s.Runs[len(s.Runs)-1]
+}
+
+// RunByLabel returns the first run with the given label, or nil.
+func (s *Snapshot) RunByLabel(label string) *Run {
+	for i := range s.Runs {
+		if s.Runs[i].Label == label {
+			return &s.Runs[i]
+		}
+	}
+	return nil
+}
+
+// CompareThroughput is the regression gate: for every benchmark present
+// in both runs, cur's throughput must be at least (1-maxRegress) of
+// base's. It returns one error naming every violation, or nil.
+func CompareThroughput(base, cur *Run, maxRegress float64) error {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var bad []string
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			continue // a removed benchmark is a schema change, not a regression
+		}
+		floor := b.ThroughputOpsPerSec * (1 - maxRegress)
+		if c.ThroughputOpsPerSec < floor {
+			bad = append(bad, fmt.Sprintf(
+				"%s: %.0f ops/s vs committed %.0f (floor %.0f, -%.1f%%)",
+				name, c.ThroughputOpsPerSec, b.ThroughputOpsPerSec, floor,
+				100*(1-c.ThroughputOpsPerSec/b.ThroughputOpsPerSec)))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("throughput regression past %.0f%%:\n  %s",
+			maxRegress*100, joinLines(bad))
+	}
+	return nil
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for i, l := range lines {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += l
+	}
+	return out
+}
+
+// LoadAll loads every area's snapshot from dir, skipping absent files.
+// It errors on a file that exists but fails validation.
+func LoadAll(dir string) (map[string]*Snapshot, error) {
+	out := map[string]*Snapshot{}
+	for _, area := range Areas {
+		path := filepath.Join(dir, FileName(area))
+		s, err := Load(path)
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		if s.Area != area {
+			return nil, fmt.Errorf("benchjson: %s declares area %q", path, s.Area)
+		}
+		out[area] = s
+	}
+	return out, nil
+}

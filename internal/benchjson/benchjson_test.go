@@ -1,0 +1,179 @@
+package benchjson
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleRun(label string, tput float64) Run {
+	r := NewRun(label, false)
+	r.Benchmarks["encode"] = Metrics{
+		Ops: 1000, ThroughputOpsPerSec: tput, NsPerOp: 1e9 / tput,
+		P50us: 1, P99us: 2, MaxUS: 3, AllocsPerOp: 0.5, BytesPerOp: 16,
+	}
+	return r
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, FileName("proto"))
+	s := &Snapshot{Schema: SchemaVersion, Area: "proto"}
+	s.Append(sampleRun("baseline", 1e6))
+	s.Append(sampleRun("optimized", 2e6))
+	if err := Save(path, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Area != "proto" || len(got.Runs) != 2 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if got.Latest().Label != "optimized" {
+		t.Fatalf("latest = %q", got.Latest().Label)
+	}
+	if got.RunByLabel("baseline") == nil || got.RunByLabel("missing") != nil {
+		t.Fatal("RunByLabel lookup broken")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	base := func() *Snapshot {
+		s := &Snapshot{Schema: SchemaVersion, Area: "proto"}
+		s.Append(sampleRun("ok", 1e6))
+		return s
+	}
+	cases := []struct {
+		name  string
+		mut   func(*Snapshot)
+		wants string
+	}{
+		{"wrong schema", func(s *Snapshot) { s.Schema = 99 }, "schema"},
+		{"empty area", func(s *Snapshot) { s.Area = "" }, "area"},
+		{"no runs", func(s *Snapshot) { s.Runs = nil }, "no runs"},
+		{"empty label", func(s *Snapshot) { s.Runs[0].Label = "" }, "label"},
+		{"no benchmarks", func(s *Snapshot) { s.Runs[0].Benchmarks = nil }, "no benchmarks"},
+		{"nan metric", func(s *Snapshot) {
+			m := s.Runs[0].Benchmarks["encode"]
+			m.P99us = math.NaN()
+			s.Runs[0].Benchmarks["encode"] = m
+		}, "p99_us"},
+		{"negative metric", func(s *Snapshot) {
+			m := s.Runs[0].Benchmarks["encode"]
+			m.AllocsPerOp = -1
+			s.Runs[0].Benchmarks["encode"] = m
+		}, "allocs_per_op"},
+		{"zero throughput", func(s *Snapshot) {
+			m := s.Runs[0].Benchmarks["encode"]
+			m.ThroughputOpsPerSec = 0
+			s.Runs[0].Benchmarks["encode"] = m
+		}, "zero throughput"},
+	}
+	for _, tc := range cases {
+		s := base()
+		tc.mut(s)
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.wants) {
+			t.Errorf("%s: error = %v, want mention of %q", tc.name, err, tc.wants)
+		}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+}
+
+func TestSaveRefusesInvalid(t *testing.T) {
+	dir := t.TempDir()
+	s := &Snapshot{Schema: 99, Area: "proto"}
+	if err := Save(filepath.Join(dir, "x.json"), s); err == nil {
+		t.Fatal("Save accepted an invalid snapshot")
+	}
+}
+
+func TestCompareThroughput(t *testing.T) {
+	base := sampleRun("base", 1000)
+	ok := sampleRun("cur", 900) // -10%: inside a 20% budget
+	if err := CompareThroughput(&base, &ok, 0.20); err != nil {
+		t.Fatalf("10%% dip flagged: %v", err)
+	}
+	bad := sampleRun("cur", 700) // -30%: past the budget
+	err := CompareThroughput(&base, &bad, 0.20)
+	if err == nil || !strings.Contains(err.Error(), "encode") {
+		t.Fatalf("30%% regression not flagged: %v", err)
+	}
+	// A benchmark missing from cur is not a regression (renames are
+	// schema changes handled by review, not the gate).
+	delete(bad.Benchmarks, "encode")
+	if err := CompareThroughput(&base, &bad, 0.20); err != nil {
+		t.Fatalf("missing benchmark flagged: %v", err)
+	}
+}
+
+func TestLoadAll(t *testing.T) {
+	dir := t.TempDir()
+	s := &Snapshot{Schema: SchemaVersion, Area: "shard"}
+	s.Append(sampleRun("r", 1e6))
+	if err := Save(filepath.Join(dir, FileName("shard")), s); err != nil {
+		t.Fatal(err)
+	}
+	all, err := LoadAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 1 || all["shard"] == nil {
+		t.Fatalf("LoadAll = %v", all)
+	}
+	// A corrupt file must fail the load, not be skipped.
+	if err := os.WriteFile(filepath.Join(dir, FileName("proto")), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadAll(dir); err == nil {
+		t.Fatal("corrupt snapshot not rejected")
+	}
+	// A file whose declared area disagrees with its name must fail too.
+	wrong := &Snapshot{Schema: SchemaVersion, Area: "shard"}
+	wrong.Append(sampleRun("r", 1e6))
+	if err := Save(filepath.Join(dir, FileName("proto")), wrong); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadAll(dir); err == nil {
+		t.Fatal("area/name mismatch not rejected")
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	n := 0
+	m := Measure(20*time.Millisecond, 1, func() { n++ })
+	if m.Ops == 0 || m.ThroughputOpsPerSec <= 0 || m.NsPerOp <= 0 {
+		t.Fatalf("empty metrics: %+v", m)
+	}
+	if uint64(n) != m.Ops+1 { // +1 warm-up call outside the window
+		t.Fatalf("ops %d but fn ran %d times", m.Ops, n)
+	}
+	mb := Measure(10*time.Millisecond, 64, func() {})
+	if mb.BatchOps != 64 || mb.Ops%64 != 0 {
+		t.Fatalf("batch accounting wrong: %+v", mb)
+	}
+	if mb.Ops <= m.Ops {
+		t.Fatalf("64-op batches should count more ops: %d vs %d", mb.Ops, m.Ops)
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	var s []time.Duration
+	for i := 1; i <= 100; i++ {
+		s = append(s, time.Duration(i)*time.Microsecond)
+	}
+	p50, p99, max := Quantiles(s)
+	if p50 < 49 || p50 > 51 || p99 < 98 || p99 > 100 || max != 100 {
+		t.Fatalf("quantiles p50=%v p99=%v max=%v", p50, p99, max)
+	}
+	if a, b, c := Quantiles(nil); a != 0 || b != 0 || c != 0 {
+		t.Fatal("empty quantiles not zero")
+	}
+}

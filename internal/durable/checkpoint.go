@@ -59,13 +59,27 @@ func (db *DB) checkpoint() error {
 	nsh := s.NumShards()
 	newMan := &manifest{hseed: s.RoutingSeed(), shards: make([]shardEntry, nsh)}
 	var writes []pendingShard
+	// Render buffers come from (and return to) renderPool; pendingShard
+	// data aliases them, so they go back only at exit, after the images
+	// have been published.
+	var bufs []*bytes.Buffer
+	defer func() {
+		for _, b := range bufs {
+			db.renderPool.Put(b)
+		}
+	}()
 	for i := 0; i < nsh; i++ {
 		if db.man != nil && s.ShardVersion(i) == db.cpVersions[i] {
 			newMan.shards[i] = db.man.shards[i] // image still current
 			continue
 		}
-		var buf bytes.Buffer
-		ver, _, err := s.SnapshotShard(i, &buf)
+		buf, _ := db.renderPool.Get().(*bytes.Buffer)
+		if buf == nil {
+			buf = new(bytes.Buffer)
+		}
+		buf.Reset()
+		bufs = append(bufs, buf)
+		ver, _, err := s.SnapshotShard(i, buf)
 		if err != nil {
 			return fmt.Errorf("durable: snapshotting shard %d: %w", i, err)
 		}
@@ -158,6 +172,10 @@ func (db *DB) sweep() {
 	}
 }
 
+// zeros is the shared wipe block: read-only, so every wipeRemove can
+// use it without allocating its own.
+var zeros = make([]byte, 32*1024)
+
 // wipeRemove overwrites name with zeros (unless NoWipe), fsyncs the
 // overwrite, and unlinks the file. Secure deletion on modern storage is
 // inherently best-effort — journaling filesystems and SSD FTLs may keep
@@ -169,7 +187,6 @@ func (db *DB) wipeRemove(name string) {
 	if !db.opts.NoWipe {
 		if size, err := db.fs.Size(p); err == nil && size > 0 {
 			if f, err := db.fs.OpenWrite(p); err == nil {
-				zeros := make([]byte, 32*1024)
 				for left := size; left > 0; {
 					n := int64(len(zeros))
 					if n > left {

@@ -120,6 +120,10 @@ type DB struct {
 	// committed image was snapshotted; ShardVersion(i) == cpVersions[i]
 	// means the on-disk image is current.
 	cpVersions []uint64
+	// renderPool recycles the bytes.Buffers that stage shard images
+	// during a checkpoint, so steady-state checkpoints stop paying the
+	// image-sized allocation per dirty shard.
+	renderPool sync.Pool
 
 	dirtyOps    atomic.Uint64 // mutating ops since the last checkpoint
 	checkpoints atomic.Uint64 // committed checkpoints (in-memory stat)

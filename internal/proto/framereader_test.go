@@ -1,0 +1,80 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestFrameReaderReuse pins down the FrameReader aliasing contract: the
+// payload returned by Next lives in a reused buffer, so it is valid
+// until the next Next call and no longer — and a copy taken before that
+// call survives intact. This is the regression test for the server's
+// reader loop, which hands reused payloads to dispatch and relies on
+// every retention point (the Ping echo, coalescer submissions) copying
+// before the next frame arrives.
+func TestFrameReaderReuse(t *testing.T) {
+	frames := []Frame{
+		{Ver: Version, Op: OpPing, ID: 1, Payload: []byte("aaaaaaaa")},
+		{Ver: Version, Op: OpPing, ID: 2, Payload: []byte("bbbbbbbb")},
+		{Ver: Version, Op: OpPing, ID: 3, Payload: []byte("cccccccc")},
+	}
+	var wire []byte
+	for _, f := range frames {
+		wire = AppendFrame(wire, f)
+	}
+	fr := NewFrameReader(bytes.NewReader(wire), 0)
+
+	f1, err := fr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	alias := f1.Payload // retained WITHOUT copying: invalidated by the next Next
+	saved := append([]byte(nil), f1.Payload...)
+
+	f2, err := fr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same-size payloads share the one internal buffer, so the aliased
+	// slice must now show frame 2's bytes — retaining without a copy is
+	// exactly the bug this guards against.
+	if &alias[0] != &f2.Payload[0] {
+		t.Fatal("second Next did not reuse the payload buffer")
+	}
+	if !bytes.Equal(alias, []byte("bbbbbbbb")) {
+		t.Fatalf("aliased payload = %q, want it overwritten by frame 2", alias)
+	}
+	// The copy taken in time is untouched.
+	if !bytes.Equal(saved, []byte("aaaaaaaa")) {
+		t.Fatalf("copied payload corrupted: %q", saved)
+	}
+	if f3, err := fr.Next(); err != nil || !bytes.Equal(f3.Payload, []byte("cccccccc")) || f3.ID != 3 {
+		t.Fatalf("third frame = %+v, %v", f3, err)
+	}
+	if _, err := fr.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("read past end = %v, want EOF", err)
+	}
+}
+
+// TestFrameReaderRejects checks the reader's framing validation: an
+// oversized length prefix fails with ErrFrameTooLarge, a length below
+// the header size fails, and a truncated body fails — all without
+// panicking or over-reading.
+func TestFrameReaderRejects(t *testing.T) {
+	big := AppendFrame(nil, Frame{Ver: Version, Op: OpPing, ID: 1, Payload: make([]byte, 256)})
+	if _, err := NewFrameReader(bytes.NewReader(big), 64).Next(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame = %v, want ErrFrameTooLarge", err)
+	}
+
+	short := []byte{0, 0, 0, 1} // length 1 < header remainder
+	if _, err := NewFrameReader(bytes.NewReader(short), 0).Next(); err == nil {
+		t.Fatal("undersized length accepted")
+	}
+
+	whole := AppendFrame(nil, Frame{Ver: Version, Op: OpPing, ID: 1, Payload: []byte("payload")})
+	if _, err := NewFrameReader(bytes.NewReader(whole[:len(whole)-3]), 0).Next(); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+}

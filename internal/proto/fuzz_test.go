@@ -104,5 +104,30 @@ func FuzzDecodeFrame(f *testing.F) {
 		if sf.Op != fr.Op || sf.ID != fr.ID || !bytes.Equal(sf.Payload, fr.Payload) {
 			t.Fatalf("stream/buffer disagree: %+v vs %+v", sf, fr)
 		}
+
+		// The pooled-buffer reader must agree too — and its buffer reuse
+		// must never corrupt a frame that was fully consumed (copied)
+		// before the next Next call. Feeding the same frame twice through
+		// one reader is exactly the reuse path: the second decode
+		// overwrites the first's payload in place.
+		rd := NewFrameReader(bytes.NewReader(append(append([]byte(nil), data[:n]...), data[:n]...)), payloadCap)
+		pf1, perr := rd.Next()
+		if perr != nil {
+			t.Fatalf("DecodeFrame ok but FrameReader failed: %v", perr)
+		}
+		if pf1.Op != fr.Op || pf1.ID != fr.ID || !bytes.Equal(pf1.Payload, fr.Payload) {
+			t.Fatalf("pooled/buffer disagree: %+v vs %+v", pf1, fr)
+		}
+		saved := append([]byte(nil), pf1.Payload...)
+		pf2, perr := rd.Next()
+		if perr != nil {
+			t.Fatalf("second pooled read failed: %v", perr)
+		}
+		if !bytes.Equal(pf2.Payload, saved) {
+			t.Fatalf("pooled re-read disagrees: % x vs % x", pf2.Payload, saved)
+		}
+		if !bytes.Equal(saved, fr.Payload) {
+			t.Fatalf("copied payload corrupted by buffer reuse: % x vs % x", saved, fr.Payload)
+		}
 	})
 }

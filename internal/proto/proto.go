@@ -233,3 +233,70 @@ func WriteFrame(w io.Writer, f Frame) error {
 	_, err := w.Write(buf)
 	return err
 }
+
+// FrameReader decodes a stream of frames into one reusable payload
+// buffer, so a long-lived connection's read loop allocates nothing at
+// steady state (ReadFrame, by contrast, allocates a fresh payload per
+// frame). The buffer grows to the largest payload seen and is retained,
+// bounded by the reader's payload cap.
+//
+// ALIASING CONTRACT: the payload returned by Next aliases the internal
+// buffer and is valid only until the next Next call. A caller that
+// retains payload bytes past that point (to echo them later, hand them
+// to another goroutine, ...) must copy them first. FuzzDecodeFrame and
+// TestFrameReaderReuse enforce the decode equivalence and the reuse
+// semantics.
+type FrameReader struct {
+	r          io.Reader
+	buf        []byte
+	maxPayload int
+	// hdr lives in the struct rather than Next's frame so the interface
+	// call to io.ReadFull cannot force a per-frame heap allocation.
+	hdr [HeaderSize]byte
+}
+
+// NewFrameReader returns a FrameReader over r with the given payload
+// cap (<=0 means MaxPayload).
+func NewFrameReader(r io.Reader, maxPayload int) *FrameReader {
+	if maxPayload <= 0 {
+		maxPayload = MaxPayload
+	}
+	return &FrameReader{r: r, maxPayload: maxPayload}
+}
+
+// Next reads and decodes one frame. It never over-reads (the length
+// prefix is validated before the body is read) and never allocates
+// beyond the payload cap. The returned frame's payload is valid only
+// until the next call — see the aliasing contract above.
+func (fr *FrameReader) Next() (Frame, error) {
+	hdr := fr.hdr[:]
+	if _, err := io.ReadFull(fr.r, hdr[:4]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n < HeaderSize-4 {
+		return Frame{}, fmt.Errorf("proto: frame length %d below header size", n)
+	}
+	if n > uint32(HeaderSize-4+fr.maxPayload) {
+		return Frame{}, fmt.Errorf("%w: %d bytes, cap %d", ErrFrameTooLarge, n, HeaderSize-4+fr.maxPayload)
+	}
+	if _, err := io.ReadFull(fr.r, hdr[4:]); err != nil {
+		return Frame{}, fmt.Errorf("proto: reading frame header: %w", err)
+	}
+	f := Frame{
+		Ver: hdr[4],
+		Op:  hdr[5],
+		ID:  binary.BigEndian.Uint64(hdr[6:]),
+	}
+	if body := int(n) - (HeaderSize - 4); body > 0 {
+		if cap(fr.buf) < body {
+			fr.buf = make([]byte, body)
+		}
+		fr.buf = fr.buf[:body]
+		if _, err := io.ReadFull(fr.r, fr.buf); err != nil {
+			return Frame{}, fmt.Errorf("proto: reading frame payload: %w", err)
+		}
+		f.Payload = fr.buf
+	}
+	return f, nil
+}

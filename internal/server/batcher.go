@@ -1,6 +1,7 @@
 package server
 
 import (
+	"runtime"
 	"sync"
 
 	"repro/internal/durable"
@@ -61,28 +62,34 @@ func (b *batcher) close() {
 	<-b.done
 }
 
+// extendThreshold is the adaptive batch window: a greedy drain that
+// collected at least this many writes is evidence of concurrent
+// pipelining, so the coalescer yields the processor once and drains
+// again before taking the shard locks — submitters that were mid-send
+// land in this batch instead of forcing another full lock-take. A
+// smaller drain skips the yield: latency stays tight when load is
+// light.
+const extendThreshold = 8
+
 // run is the coalescer loop: block for one write, then greedily drain
-// whatever else is queued (up to maxBatch), apply the whole batch in
-// one ApplyBatch, and fan the per-op outcomes back out as replies.
+// whatever else is queued (up to maxBatch, with one adaptive window
+// extension under load), apply the whole batch in one ApplyBatch, and
+// fan the per-op outcomes back out as replies.
 func (b *batcher) run() {
 	defer close(b.done)
 	var (
-		reqs    []writeReq
-		ops     []shard.Op
-		changed []bool
+		reqs     []writeReq
+		ops      []shard.Op
+		changed  []bool
+		pscratch []byte
 	)
 	for first := range b.ch {
 		reqs = append(reqs[:0], first)
-	drain:
-		for len(reqs) < b.maxBatch {
-			select {
-			case r, ok := <-b.ch:
-				if !ok {
-					break drain
-				}
-				reqs = append(reqs, r)
-			default:
-				break drain
+		reqs = b.drain(reqs)
+		if n := len(reqs); n >= extendThreshold && n < b.maxBatch {
+			runtime.Gosched()
+			if reqs = b.drain(reqs); len(reqs) > n {
+				b.st.wExtends.Add(1)
 			}
 		}
 
@@ -101,28 +108,45 @@ func (b *batcher) run() {
 			if r.c == nil {
 				continue // server-internal op (expiry sweep): no reply owed
 			}
-			var f proto.Frame
+			// Payloads are built in a loop-lifetime scratch: sendFrame
+			// copies them into the connection's outbound buffer before
+			// returning, so the next iteration may overwrite it.
 			if err != nil {
-				f = errorFrame(r.id, proto.ErrCodeInternal, err.Error())
+				pscratch = proto.AppendError(pscratch[:0], proto.ErrCodeInternal, err.Error())
+				r.c.sendFrame(proto.OpError, r.id, pscratch)
 			} else {
 				op := proto.OpPut
-				payload := proto.AppendBool(nil, changed[i])
 				switch {
 				case r.del:
 					op = proto.OpDel
 				case r.ttl:
 					op = proto.OpPutTTL
-					payload = proto.AppendTTLAck(nil, changed[i], r.exp)
 				}
-				f = proto.Frame{
-					Ver:     proto.Version,
-					Op:      op | proto.FlagReply,
-					ID:      r.id,
-					Payload: payload,
+				if r.ttl {
+					pscratch = proto.AppendTTLAck(pscratch[:0], changed[i], r.exp)
+				} else {
+					pscratch = proto.AppendBool(pscratch[:0], changed[i])
 				}
+				r.c.sendFrame(op|proto.FlagReply, r.id, pscratch)
 			}
-			r.c.send(f)
 			r.c.pending.Done()
 		}
 	}
+}
+
+// drain greedily moves queued writes into reqs without blocking, up to
+// maxBatch.
+func (b *batcher) drain(reqs []writeReq) []writeReq {
+	for len(reqs) < b.maxBatch {
+		select {
+		case r, ok := <-b.ch:
+			if !ok {
+				return reqs
+			}
+			reqs = append(reqs, r)
+		default:
+			return reqs
+		}
+	}
+	return reqs
 }

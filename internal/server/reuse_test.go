@@ -1,0 +1,54 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/client"
+)
+
+// TestPipelinedPingEchoNoAliasing hammers one pipelined connection with
+// concurrent distinct-payload pings (interleaved with writes so the
+// reader's reused frame buffer turns over constantly) and relies on
+// client.Ping's echo check: if the server retained a ping payload that
+// aliases the FrameReader's buffer past the next frame — instead of
+// copying it into the outbound queue synchronously — echoes would come
+// back corrupted by later requests' bytes.
+func TestPipelinedPingEchoNoAliasing(t *testing.T) {
+	db := newTestDB(t, 4)
+	defer db.Close()
+	srv, addr := startTCP(t, db, Config{SweepInterval: -1})
+	defer srv.Close()
+
+	c, err := client.DialTimeout(addr, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				// Varying lengths and contents: every frame rewrites the
+				// server's reader buffer with different bytes.
+				payload := []byte(fmt.Sprintf("g%02d-i%04d-%s", g, i, string(make([]byte, i%32))))
+				if err := c.Ping(payload); err != nil {
+					t.Errorf("ping g%d i%d: %v", g, i, err)
+					return
+				}
+				if i%5 == 0 {
+					if _, err := c.Put(int64(g*1000+i), int64(i)); err != nil {
+						t.Errorf("put g%d i%d: %v", g, i, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -399,13 +399,18 @@ type conn struct {
 	srv *Server
 	nc  net.Conn
 
-	// Outbound replies. send() never blocks — it appends under qmu and
-	// signals qsig — so the server-wide write coalescer can never be
-	// stalled by one slow connection (it just disconnects a peer whose
-	// queue passes maxReplyQueue). qdone marks end-of-stream: the
-	// reader finished (flush what remains) or the conn died (discard).
+	// Outbound replies, pre-encoded. sendFrame never blocks — it
+	// appends the encoded frame to out under qmu and signals qsig — so
+	// the server-wide write coalescer can never be stalled by one slow
+	// connection (it just disconnects a peer whose queue passes
+	// maxReplyQueue frames). The writer swaps out for its spare buffer
+	// and writes the whole burst with one syscall; the two buffers
+	// alternate, so a steady pipeline allocates nothing. qdone marks
+	// end-of-stream: the reader finished (flush what remains) or the
+	// conn died (discard).
 	qmu   sync.Mutex
-	queue []proto.Frame
+	out   []byte // encoded frames awaiting the writer
+	nq    int    // frames currently in out
 	qdone bool
 	qsig  chan struct{} // capacity 1: wake the writer
 
@@ -416,6 +421,13 @@ type conn struct {
 	// replied. Only the reader goroutine Adds, so Wait in the reader is
 	// race-free; reads and barriers Wait to preserve program order.
 	pending sync.WaitGroup
+
+	// Reader-goroutine scratch, reused across requests. Reply payloads
+	// are built in pscratch and copied into out by sendFrame before the
+	// call returns, so reuse is safe; rangeBuf holds RANGE windows the
+	// same way. Only the reader goroutine touches either.
+	pscratch []byte
+	rangeBuf []proto.Item
 }
 
 func (c *conn) close() {
@@ -437,21 +449,24 @@ func (c *conn) markDone() {
 	}
 }
 
-// send queues a reply for the writer without ever blocking the caller.
+// sendFrame encodes a reply straight into the outbound buffer without
+// ever blocking the caller. The payload is copied before sendFrame
+// returns, so callers may reuse their payload scratch immediately.
 // Replies after end-of-stream are dropped; a peer whose queue is full
 // (it stopped reading) is disconnected.
-func (c *conn) send(f proto.Frame) {
+func (c *conn) sendFrame(op byte, id uint64, payload []byte) {
 	c.qmu.Lock()
 	if c.qdone {
 		c.qmu.Unlock()
 		return
 	}
-	if len(c.queue) >= maxReplyQueue {
+	if c.nq >= maxReplyQueue {
 		c.qmu.Unlock()
 		c.close()
 		return
 	}
-	c.queue = append(c.queue, f)
+	c.out = proto.AppendFrame(c.out, proto.Frame{Ver: proto.Version, Op: op, ID: id, Payload: payload})
+	c.nq++
 	c.qmu.Unlock()
 	select {
 	case c.qsig <- struct{}{}:
@@ -512,45 +527,39 @@ func (s *Server) handle(nc net.Conn) {
 	s.st.connsActive.Add(-1)
 }
 
-// writeLoop serializes replies: swap out the whole pending queue,
-// write every frame, flush, repeat — so a burst of pipelined replies
-// costs one syscall. After a write error the connection is closed and
-// later replies are discarded; senders never block either way.
+// writeLoop serializes replies: swap the whole pending byte buffer for
+// a spare, write it with one syscall, repeat — so a burst of pipelined
+// replies costs one Write and zero per-frame work (frames were encoded
+// by sendFrame as they were queued). The two buffers alternate forever,
+// so a steady pipeline stops allocating once both have grown to the
+// burst size. After a write error the connection is closed and later
+// replies are discarded; senders never block either way.
 func (c *conn) writeLoop() {
-	bw := bufio.NewWriterSize(c.nc, 64<<10)
-	var scratch []byte
-	var batch []proto.Frame
+	var spare []byte
 	failed := false
 	wt := c.srv.cfg.WriteTimeout
 	for {
 		c.qmu.Lock()
-		batch, c.queue = c.queue, batch[:0]
+		batch := c.out
+		c.out = spare[:0]
+		c.nq = 0
 		done := c.qdone
 		c.qmu.Unlock()
+		spare = batch
 
 		if len(batch) > 0 && !failed {
 			if wt > 0 {
 				c.nc.SetWriteDeadline(time.Now().Add(wt))
 			}
-			var err error
-			for _, f := range batch {
-				scratch = proto.AppendFrame(scratch[:0], f)
-				c.srv.st.bytesOut.Add(uint64(len(scratch)))
-				if _, err = bw.Write(scratch); err != nil {
-					break
-				}
-			}
-			if err == nil {
-				err = bw.Flush()
-			}
-			if err != nil {
+			c.srv.st.bytesOut.Add(uint64(len(batch)))
+			if _, err := c.nc.Write(batch); err != nil {
 				failed = true
 				c.close()
 			}
 		}
 		if done {
 			c.qmu.Lock()
-			empty := len(c.queue) == 0
+			empty := len(c.out) == 0
 			c.qmu.Unlock()
 			if empty {
 				return
@@ -567,7 +576,10 @@ func (c *conn) writeLoop() {
 // stream turns hostile, or shutdown expires the read deadline.
 func (c *conn) readLoop() {
 	s := c.srv
-	br := bufio.NewReaderSize(c.nc, 64<<10)
+	// FrameReader reuses one payload buffer across frames; dispatch
+	// honors its aliasing contract by fully consuming (decoding or
+	// copying) each payload before returning.
+	fr := proto.NewFrameReader(bufio.NewReaderSize(c.nc, 64<<10), s.cfg.MaxPayload)
 	for {
 		if s.closing.Load() {
 			// Draining: stop accepting new frames. Without this check a
@@ -580,7 +592,7 @@ func (c *conn) readLoop() {
 		if s.cfg.ReadTimeout > 0 {
 			c.nc.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
 		}
-		f, err := proto.ReadFrame(br, s.cfg.MaxPayload)
+		f, err := fr.Next()
 		if err != nil {
 			// Framing violations get a parting error frame; EOF and
 			// deadline expiry are normal ends. Either way the stream
@@ -605,6 +617,11 @@ func (c *conn) readLoop() {
 		if !c.dispatch(f) {
 			return
 		}
+		if cap(c.pscratch) > 64<<10 {
+			// A jumbo batch or range reply grew the scratch; don't pin
+			// it for the connection's lifetime.
+			c.pscratch = nil
+		}
 	}
 }
 
@@ -615,11 +632,13 @@ func isTimeout(err error) bool {
 
 func (c *conn) sendError(id uint64, code byte, msg string) {
 	c.srv.st.errors.Add(1)
-	c.send(errorFrame(id, code, msg))
+	// Errors are cold; building the payload fresh keeps pscratch free
+	// for whatever reply construction the caller was in the middle of.
+	c.sendFrame(proto.OpError, id, proto.AppendError(nil, code, msg))
 }
 
 func (c *conn) reply(id uint64, op byte, payload []byte) {
-	c.send(proto.Frame{Ver: proto.Version, Op: op | proto.FlagReply, ID: id, Payload: payload})
+	c.sendFrame(op|proto.FlagReply, id, payload)
 }
 
 // dispatch executes one request. It returns false when the connection
@@ -674,7 +693,8 @@ func (c *conn) dispatch(f proto.Frame) bool {
 		s.st.reads.Add(1)
 		c.pending.Wait() // program order: reads see this conn's writes
 		val, ok := s.db.Get(key)
-		c.reply(f.ID, proto.OpGet, proto.AppendFound(nil, ok, val))
+		c.pscratch = proto.AppendFound(c.pscratch[:0], ok, val)
+		c.reply(f.ID, proto.OpGet, c.pscratch)
 
 	case proto.OpGetTTL:
 		key, err := proto.DecodeKey(f.Payload)
@@ -685,7 +705,8 @@ func (c *conn) dispatch(f proto.Frame) bool {
 		s.st.reads.Add(1)
 		c.pending.Wait()
 		val, exp, ok := s.db.GetTTL(key)
-		c.reply(f.ID, proto.OpGetTTL, proto.AppendFoundTTL(nil, ok, val, exp))
+		c.pscratch = proto.AppendFoundTTL(c.pscratch[:0], ok, val, exp)
+		c.reply(f.ID, proto.OpGetTTL, c.pscratch)
 
 	case proto.OpBatch:
 		kind, items, keys, err := proto.DecodeBatch(f.Payload)
@@ -698,7 +719,8 @@ func (c *conn) dispatch(f proto.Frame) bool {
 		case proto.BatchPut:
 			s.st.writes.Add(uint64(len(items)))
 			n := s.db.PutBatch(items)
-			c.reply(f.ID, proto.OpBatch, proto.AppendU32(nil, uint32(n)))
+			c.pscratch = proto.AppendU32(c.pscratch[:0], uint32(n))
+			c.reply(f.ID, proto.OpBatch, c.pscratch)
 		case proto.BatchGet:
 			if len(keys) > proto.MaxBatchGet {
 				// The reply (9 bytes per key) would exceed the frame
@@ -709,11 +731,13 @@ func (c *conn) dispatch(f proto.Frame) bool {
 			}
 			s.st.reads.Add(uint64(len(keys)))
 			vals, ok := s.db.GetBatch(keys)
-			c.reply(f.ID, proto.OpBatch, proto.AppendBatchGetReply(nil, vals, ok))
+			c.pscratch = proto.AppendBatchGetReply(c.pscratch[:0], vals, ok)
+			c.reply(f.ID, proto.OpBatch, c.pscratch)
 		case proto.BatchDel:
 			s.st.writes.Add(uint64(len(keys)))
 			n := s.db.DeleteBatch(keys)
-			c.reply(f.ID, proto.OpBatch, proto.AppendU32(nil, uint32(n)))
+			c.pscratch = proto.AppendU32(c.pscratch[:0], uint32(n))
+			c.reply(f.ID, proto.OpBatch, c.pscratch)
 		}
 
 	case proto.OpRange:
@@ -730,13 +754,16 @@ func (c *conn) dispatch(f proto.Frame) bool {
 		}
 		// RangeN bounds work and memory by the limit, not the window
 		// size, so a whole-keyspace RANGE costs O(shards·limit).
-		items, more := s.db.RangeN(lo, hi, limit, nil)
-		c.reply(f.ID, proto.OpRange, proto.AppendRangeReply(nil, items, more))
+		items, more := s.db.RangeN(lo, hi, limit, c.rangeBuf[:0])
+		c.rangeBuf = items
+		c.pscratch = proto.AppendRangeReply(c.pscratch[:0], items, more)
+		c.reply(f.ID, proto.OpRange, c.pscratch)
 
 	case proto.OpLen:
 		s.st.reads.Add(1)
 		c.pending.Wait()
-		c.reply(f.ID, proto.OpLen, proto.AppendU64(nil, uint64(s.db.Len())))
+		c.pscratch = proto.AppendU64(c.pscratch[:0], uint64(s.db.Len()))
+		c.reply(f.ID, proto.OpLen, c.pscratch)
 
 	case proto.OpCheckpoint:
 		// A durability barrier: everything this connection has been
@@ -746,9 +773,13 @@ func (c *conn) dispatch(f proto.Frame) bool {
 			c.sendError(f.ID, proto.ErrCodeInternal, err.Error())
 			return true
 		}
-		c.reply(f.ID, proto.OpCheckpoint, proto.AppendU64(nil, s.db.Checkpoints()))
+		c.pscratch = proto.AppendU64(c.pscratch[:0], s.db.Checkpoints())
+		c.reply(f.ID, proto.OpCheckpoint, c.pscratch)
 
 	case proto.OpPing:
+		// f.Payload may alias the FrameReader's reused buffer; sendFrame
+		// copies it into the outbound queue before returning, so the
+		// echo is captured before the next frame overwrites it.
 		c.reply(f.ID, proto.OpPing, f.Payload)
 
 	case proto.OpShardHash:

@@ -18,6 +18,7 @@ type stats struct {
 	wBatches      atomic.Uint64 // coalescer drains applied
 	wBatchedOps   atomic.Uint64 // write ops that went through the coalescer
 	wMaxBatch     atomic.Uint64 // largest single coalesced batch
+	wExtends      atomic.Uint64 // adaptive-window drain extensions that found more work
 	bytesIn       atomic.Uint64
 	bytesOut      atomic.Uint64
 
@@ -54,6 +55,7 @@ type Stats struct {
 	WriteBatches  uint64 `json:"write_batches"`
 	WriteBatched  uint64 `json:"write_batched_ops"`
 	WriteMaxBatch uint64 `json:"write_max_batch"`
+	WriteExtends  uint64 `json:"write_window_extends"`
 	BytesIn       uint64 `json:"bytes_in"`
 	BytesOut      uint64 `json:"bytes_out"`
 	Keys          int    `json:"keys"`
@@ -106,6 +108,7 @@ func (s *Server) Stats() Stats {
 		WriteBatches:  s.st.wBatches.Load(),
 		WriteBatched:  s.st.wBatchedOps.Load(),
 		WriteMaxBatch: s.st.wMaxBatch.Load(),
+		WriteExtends:  s.st.wExtends.Load(),
 		BytesIn:       s.st.bytesIn.Load(),
 		BytesOut:      s.st.bytesOut.Load(),
 		Keys:          keys,

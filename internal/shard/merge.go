@@ -27,6 +27,47 @@ import "math"
 // runChunk is the Ascend refill size, in items.
 const runChunk = 512
 
+// mergeScratch is one scan's reusable state: a run struct and an item
+// buffer per shard, plus the heap's pointer slice. Recycled through
+// Store.mergePool so a steady scan workload stops allocating once the
+// buffers have grown to its working set.
+type mergeScratch struct {
+	runs []run
+	heap []*run
+	bufs [][]Item
+}
+
+// scratchKeepCap bounds the per-shard item buffers a scratch may keep
+// when returned to the pool: a whole-keyspace Range can grow a buffer
+// to the shard's size, and pinning that forever would trade the
+// allocation win for resident memory.
+const scratchKeepCap = 64 << 10
+
+func (s *Store) getScratch() *mergeScratch {
+	if v := s.mergePool.Get(); v != nil {
+		return v.(*mergeScratch)
+	}
+	n := len(s.cells)
+	return &mergeScratch{
+		runs: make([]run, n),
+		heap: make([]*run, 0, n),
+		bufs: make([][]Item, n),
+	}
+}
+
+// putScratch reclaims the buffers the runs grew (refill may have
+// reallocated them) and returns the scratch to the pool.
+func (s *Store) putScratch(ms *mergeScratch) {
+	for i := range ms.runs {
+		if buf := ms.runs[i].buf; buf != nil && cap(buf) <= scratchKeepCap {
+			ms.bufs[i] = buf[:0]
+		}
+		ms.runs[i] = run{}
+	}
+	ms.heap = ms.heap[:0]
+	s.mergePool.Put(ms)
+}
+
 // run is one shard's contribution to a merge: either a fully copied
 // window (Range) or a lazily refilled chunk stream (Ascend).
 type run struct {
@@ -147,35 +188,39 @@ func (s *Store) Range(lo, hi int64, out []Item) []Item {
 		return out
 	}
 	epoch := s.epoch()
-	runs := make([]*run, 0, len(s.cells))
+	ms := s.getScratch()
+	runs := ms.heap
 	for i := range s.cells {
 		c := &s.cells[i]
 		c.rlock()
-		items := c.filterLive(c.dict.Range(lo, hi, nil), epoch)
+		items := c.filterLive(c.dict.Range(lo, hi, ms.bufs[i][:0]), epoch)
 		c.runlock()
+		ms.runs[i].buf = items
 		if len(items) > 0 {
-			runs = append(runs, &run{buf: items})
+			runs = append(runs, &ms.runs[i])
 		}
 	}
 	merge(runs, func(it Item) bool {
 		out = append(out, it)
 		return true
 	})
+	s.putScratch(ms)
 	return out
 }
 
-// rangeLiveN collects up to max live items of [lo, hi] from c. Without
-// TTLs in play it is a single dictionary call; with them it refetches
-// past expired entries so a dead-heavy prefix cannot starve the window
-// of the live items beyond it. The caller holds the cell's lock.
-func (c *cell) rangeLiveN(lo, hi int64, max int, epoch int64) []Item {
+// rangeLiveN appends up to max live items of [lo, hi] from c to out.
+// Without TTLs in play it is a single dictionary call; with them it
+// refetches past expired entries so a dead-heavy prefix cannot starve
+// the window of the live items beyond it. The caller holds the cell's
+// lock.
+func (c *cell) rangeLiveN(lo, hi int64, max int, epoch int64, out []Item) []Item {
 	if epoch <= 0 || c.exps.Len() == 0 {
-		return c.dict.RangeN(lo, hi, max, nil)
+		return c.dict.RangeN(lo, hi, max, out)
 	}
-	var out []Item
+	base := len(out)
 	cur := lo
-	for len(out) < max {
-		need := max - len(out)
+	for len(out)-base < max {
+		need := max - (len(out) - base)
 		batch := c.dict.RangeN(cur, hi, need, nil)
 		for _, it := range batch {
 			if c.liveAt(it.Key, epoch) {
@@ -211,14 +256,16 @@ func (s *Store) RangeN(lo, hi int64, max int, out []Item) (_ []Item, more bool) 
 		max = int(^uint(0)>>1) - 1 // keep the max+1 sentinel below from overflowing
 	}
 	epoch := s.epoch()
-	runs := make([]*run, 0, len(s.cells))
+	ms := s.getScratch()
+	runs := ms.heap
 	for i := range s.cells {
 		c := &s.cells[i]
 		c.rlock()
-		items := c.rangeLiveN(lo, hi, max+1, epoch)
+		items := c.rangeLiveN(lo, hi, max+1, epoch, ms.bufs[i][:0])
 		c.runlock()
+		ms.runs[i].buf = items
 		if len(items) > 0 {
-			runs = append(runs, &run{buf: items})
+			runs = append(runs, &ms.runs[i])
 		}
 	}
 	n := 0
@@ -231,6 +278,7 @@ func (s *Store) RangeN(lo, hi int64, max int, out []Item) (_ []Item, more bool) 
 		n++
 		return true
 	})
+	s.putScratch(ms)
 	return out, more
 }
 
@@ -244,14 +292,17 @@ func (s *Store) RangeN(lo, hi int64, max int, out []Item) (_ []Item, more bool) 
 // may or may not be observed.
 func (s *Store) Ascend(fn func(Item) bool) {
 	epoch := s.epoch()
-	runs := make([]*run, 0, len(s.cells))
+	ms := s.getScratch()
+	runs := ms.heap
 	for i := range s.cells {
-		r := &run{c: &s.cells[i], epoch: epoch}
+		r := &ms.runs[i]
+		*r = run{c: &s.cells[i], epoch: epoch, buf: ms.bufs[i][:0]}
 		if r.refill() {
 			runs = append(runs, r)
 		}
 	}
 	merge(runs, fn)
+	s.putScratch(ms)
 }
 
 // minLive returns the cell's smallest live item. The caller holds the

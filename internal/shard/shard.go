@@ -75,6 +75,10 @@ type Store struct {
 	// it with SetClock before the store is shared.
 	clock expiry.Clock
 	cells []cell
+	// mergePool recycles the k-way merge's per-scan state (run structs
+	// and per-shard item buffers) across Range/RangeN/Ascend calls.
+	// Item is pointer-free, so pooled buffers pin no user data.
+	mergePool sync.Pool
 }
 
 // New returns an empty store with the given power-of-two shard count.
