@@ -49,6 +49,10 @@ type Conn struct {
 
 	done    chan struct{} // closed when the reader exits
 	timeout time.Duration
+
+	// m is never nil: Conns outside an observed pool share
+	// defaultClientMetrics (live, unregistered).
+	m *clientMetrics
 }
 
 // Dial connects to a hidbd server at addr ("host:port").
@@ -91,6 +95,7 @@ func NewConn(nc net.Conn) *Conn {
 		wch:     make(chan []byte, 256),
 		pending: map[uint64]chan proto.Frame{},
 		done:    make(chan struct{}),
+		m:       defaultClientMetrics,
 	}
 	go c.writeLoop()
 	go c.readLoop()
@@ -201,6 +206,18 @@ func (c *Conn) readLoop() {
 // call sends one request and waits for its reply, enforcing the
 // version and error-frame conventions.
 func (c *Conn) call(op byte, payload []byte) (proto.Frame, error) {
+	t0 := time.Now()
+	c.m.inflight.Add(1)
+	f, err := c.doCall(op, payload)
+	c.m.inflight.Add(-1)
+	c.m.reqSecs.ObserveSince(t0)
+	if err != nil {
+		c.m.requestErrors.Inc()
+	}
+	return f, err
+}
+
+func (c *Conn) doCall(op byte, payload []byte) (proto.Frame, error) {
 	id := c.nextID.Add(1)
 	ch := make(chan proto.Frame, 1)
 

@@ -1,0 +1,34 @@
+package client
+
+import "repro/internal/obs"
+
+// clientMetrics is the pool-health metric set: how often connections
+// break and get redialed, how deep the in-flight pipeline runs, and
+// the client-observed request latency. Conns made by plain Dial/Open
+// share a default instance backed by a nil registry — live metrics,
+// nothing scraped — so the call path never branches on observability.
+// Nothing here can carry a key or value: request opcodes, counts, and
+// durations only.
+type clientMetrics struct {
+	redials       *obs.Counter   // broken connections successfully replaced
+	redialFails   *obs.Counter   // redial attempts that failed (and backed off)
+	brokenSkips   *obs.Counter   // round-robin picks that skipped a dead conn
+	requestErrors *obs.Counter   // calls that returned an error (remote or transport)
+	inflight      *obs.Gauge     // requests awaiting replies right now
+	reqSecs       *obs.Histogram // request latency, send to reply (client view)
+}
+
+func newClientMetrics(r *obs.Registry) *clientMetrics {
+	return &clientMetrics{
+		redials:       r.Counter("hidb_client_redials_total", "broken pool connections successfully replaced"),
+		redialFails:   r.Counter("hidb_client_redial_failures_total", "redial attempts that failed and backed off"),
+		brokenSkips:   r.Counter("hidb_client_broken_skips_total", "pool picks that skipped a broken connection"),
+		requestErrors: r.Counter("hidb_client_request_errors_total", "requests that returned an error, remote or transport"),
+		inflight:      r.Gauge("hidb_client_inflight", "requests currently awaiting replies"),
+		reqSecs:       r.Histogram("hidb_client_request_seconds", "request latency from send to reply, as the client sees it", obs.UnitSeconds),
+	}
+}
+
+// defaultClientMetrics backs every Conn that was not built through
+// OpenObserved: recording works, scraping just never sees it.
+var defaultClientMetrics = newClientMetrics(nil)

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Redial backoff bounds: the first attempt after a slot's connection
@@ -44,21 +46,35 @@ type Client struct {
 	slots   []poolSlot
 	next    atomic.Uint64
 	closed  atomic.Bool
+	m       *clientMetrics // never nil; default is unregistered
 }
 
 // Open dials nconns connections (minimum 1) to addr. timeout bounds
 // each dial and each request's reply wait (0: none).
 func Open(addr string, nconns int, timeout time.Duration) (*Client, error) {
+	return OpenObserved(addr, nconns, timeout, nil)
+}
+
+// OpenObserved is Open with the pool's health metrics (redials,
+// broken-conn skips, in-flight depth, request latency) registered on
+// reg. A nil registry degrades to plain Open: the metrics still
+// record, nothing scrapes them.
+func OpenObserved(addr string, nconns int, timeout time.Duration, reg *obs.Registry) (*Client, error) {
 	if nconns < 1 {
 		nconns = 1
 	}
 	cl := &Client{addr: addr, timeout: timeout, slots: make([]poolSlot, nconns)}
+	cl.m = defaultClientMetrics
+	if reg != nil {
+		cl.m = newClientMetrics(reg)
+	}
 	for i := range cl.slots {
 		c, err := DialTimeout(addr, timeout)
 		if err != nil {
 			cl.Close()
 			return nil, fmt.Errorf("client: conn %d/%d: %w", i+1, nconns, err)
 		}
+		c.m = cl.m
 		cl.slots[i].conn.Store(c)
 	}
 	return cl, nil
@@ -81,6 +97,7 @@ func (cl *Client) Conn() *Conn {
 		if !c.broken() {
 			return c
 		}
+		cl.m.brokenSkips.Inc()
 		cl.redial(s)
 	}
 	return cl.slots[start%n].conn.Load()
@@ -99,6 +116,8 @@ func (cl *Client) redial(s *poolSlot) {
 		for !cl.closed.Load() {
 			c, err := DialTimeout(cl.addr, cl.timeout)
 			if err == nil {
+				c.m = cl.m
+				cl.m.redials.Inc()
 				if old := s.conn.Swap(c); old != nil {
 					old.Close()
 				}
@@ -109,6 +128,7 @@ func (cl *Client) redial(s *poolSlot) {
 				}
 				return
 			}
+			cl.m.redialFails.Inc()
 			time.Sleep(backoff)
 			if backoff *= 2; backoff > redialMaxBackoff {
 				backoff = redialMaxBackoff

@@ -23,9 +23,16 @@
 // byte-identical to the primary's checkpoint. Replicas also serve the
 // sync opcodes, so replicas can chain off replicas.
 //
-// With -debug-addr, an HTTP listener serves expvar counters at
-// /debug/vars, including the server's request/coalescing stats under
-// the "hidbd" key (and, on a replica, sync stats under "replica").
+// With -debug-addr, an HTTP listener serves the observability surface
+// on an explicit mux (nothing leaks onto http.DefaultServeMux):
+// Prometheus-style metrics at /metrics (docs/OBSERVABILITY.md is the
+// catalog), expvar counters at /debug/vars — including the server's
+// request/coalescing stats under the "hidbd" key and, on a replica,
+// sync stats under "replica" — and the runtime profiler under
+// /debug/pprof/. With -slow-op-threshold, operations slower than the
+// threshold are logged to stderr as structured one-liners that carry
+// opcode, sizes, shard index, and phase durations — never key or
+// value bytes (the forensic-cleanliness contract).
 package main
 
 import (
@@ -35,15 +42,32 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	antipersist "repro"
+	"repro/internal/obs"
 	"repro/internal/replica"
 	"repro/internal/server"
 )
+
+// debugMux builds the debug listener's explicit mux: expvar, the
+// metric registry's text exposition, and pprof, all mounted by hand so
+// nothing depends on (or leaks onto) http.DefaultServeMux.
+func debugMux(reg *obs.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
 func main() {
 	var (
@@ -58,7 +82,8 @@ func main() {
 		cpOps      = flag.Int("checkpoint-ops", 4096, "dirty-op count that forces an early checkpoint")
 		rangeMax   = flag.Int("range-max", 4096, "items per RANGE reply (clients paginate past it)")
 		drainTO    = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain budget")
-		debugAddr  = flag.String("debug-addr", "", "optional HTTP address for expvar (/debug/vars)")
+		debugAddr  = flag.String("debug-addr", "", "optional HTTP address for /metrics, /debug/vars, and /debug/pprof/")
+		slowOp     = flag.Duration("slow-op-threshold", 0, "log operations slower than this to stderr (0: off); the log carries sizes and timings, never keys or values")
 		replicaOf  = flag.String("replica-of", "", "primary address; serve read-only and replicate from it")
 		syncEvery  = flag.Duration("sync-interval", 250*time.Millisecond, "replica anti-entropy poll period")
 		sweepEvery = flag.Duration("sweep-interval", time.Second, "TTL expiry sweeper poll period (negative: no sweeper)")
@@ -69,11 +94,13 @@ func main() {
 		os.Exit(2)
 	}
 
+	reg := obs.NewRegistry()
 	db, err := antipersist.Open(*dir, &antipersist.DBOptions{
 		Shards:              *shards,
 		Seed:                *seed,
 		CheckpointInterval:  *cpInterval,
 		CheckpointThreshold: *cpOps,
+		Metrics:             reg,
 		// A replica's durable state advances only by installing the
 		// primary's checkpoints; its own checkpointer would have nothing
 		// to do and is left off — and it must not sweep on its own
@@ -87,19 +114,26 @@ func main() {
 		os.Exit(1)
 	}
 
-	srv := server.New(db, server.Config{
-		MaxConns:      *maxConns,
-		ReadTimeout:   *readTO,
-		WriteTimeout:  *writeTO,
-		MaxRangeItems: *rangeMax,
-		ReadOnly:      *replicaOf != "",
-		SweepInterval: *sweepEvery,
-	})
+	srvCfg := server.Config{
+		MaxConns:        *maxConns,
+		ReadTimeout:     *readTO,
+		WriteTimeout:    *writeTO,
+		MaxRangeItems:   *rangeMax,
+		ReadOnly:        *replicaOf != "",
+		SweepInterval:   *sweepEvery,
+		Metrics:         reg,
+		SlowOpThreshold: *slowOp,
+	}
+	if *slowOp > 0 {
+		srvCfg.SlowOpLog = os.Stderr
+	}
+	srv := server.New(db, srvCfg)
 
 	var rep *replica.Replica
 	if *replicaOf != "" {
 		rep, err = replica.New(db, replica.Config{
 			Interval: *syncEvery,
+			Metrics:  reg,
 			Dial: func() (net.Conn, error) {
 				return net.DialTimeout("tcp", *replicaOf, 5*time.Second)
 			},
@@ -116,8 +150,15 @@ func main() {
 		if rep != nil {
 			expvar.Publish("replica", expvar.Func(func() any { return rep.Stats() }))
 		}
+		dsrv := &http.Server{
+			Addr:    *debugAddr,
+			Handler: debugMux(reg),
+			// A client that opens a socket and goes silent must not pin a
+			// handler goroutine forever.
+			ReadHeaderTimeout: 10 * time.Second,
+		}
 		go func() {
-			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+			if err := dsrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintf(os.Stderr, "hidbd: debug listener: %v\n", err)
 			}
 		}()

@@ -40,6 +40,7 @@ type pendingShard struct {
 func (db *DB) checkpoint() error {
 	db.cpMu.Lock()
 	defer db.cpMu.Unlock()
+	cpStart := time.Now()
 
 	// Operations that land while the checkpoint runs must keep their
 	// claim on the threshold trigger, so only the ops seen up to this
@@ -53,7 +54,9 @@ func (db *DB) checkpoint() error {
 		if epoch := expiry.Epoch(db.opts.Clock); epoch > 0 {
 			if n := s.SweepExpired(epoch); n > 0 {
 				db.sweptKeys.Add(uint64(n))
+				db.m.sweptPerRun.Observe(int64(n))
 			}
+			db.m.sweepSecs.ObserveSince(cpStart)
 		}
 	}
 	nsh := s.NumShards()
@@ -102,17 +105,21 @@ func (db *DB) checkpoint() error {
 	// content-addressed names the old manifest does not reference, so
 	// they are invisible to recovery until step 3-4 swaps the manifest —
 	// the single commit point.
+	cpBytes := 0
 	for _, p := range writes {
 		if err := db.writeFileAtomic(shardFileName(p.idx, p.hash), p.data); err != nil {
 			return fmt.Errorf("durable: publishing shard %d image: %w", p.idx, err)
 		}
+		cpBytes += len(p.data)
 	}
 	if err := db.fs.SyncDir(db.dir); err != nil {
 		return fmt.Errorf("durable: syncing %s: %w", db.dir, err)
 	}
-	if err := db.writeFileAtomic(manifestName, newMan.encode()); err != nil {
+	manBytes := newMan.encode()
+	if err := db.writeFileAtomic(manifestName, manBytes); err != nil {
 		return fmt.Errorf("durable: publishing manifest: %w", err)
 	}
+	cpBytes += len(manBytes)
 	if err := db.fs.SyncDir(db.dir); err != nil {
 		return fmt.Errorf("durable: syncing %s after manifest swap: %w", db.dir, err)
 	}
@@ -125,6 +132,9 @@ func (db *DB) checkpoint() error {
 	db.dirtyOps.Add(-dirtyAtStart)
 	db.checkpoints.Add(1)
 	db.sweep()
+	db.m.cpSeconds.ObserveSince(cpStart)
+	db.m.cpBytes.Observe(int64(cpBytes))
+	db.m.cpShards.Observe(int64(len(writes)))
 	return nil
 }
 

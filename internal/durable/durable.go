@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/expiry"
 	"repro/internal/hipma"
+	"repro/internal/obs"
 	"repro/internal/shard"
 )
 
@@ -64,6 +65,10 @@ type Options struct {
 	NoSweep bool
 	// FS is the filesystem to commit through (nil: the real one).
 	FS FS
+	// Metrics registers the durable layer's checkpoint and sweep
+	// histograms (duration and bytes) on the given registry. Nil is
+	// valid: the metrics still record, they just aren't scraped.
+	Metrics *obs.Registry
 }
 
 func (o *Options) withDefaults() Options {
@@ -130,6 +135,8 @@ type DB struct {
 	sweptKeys   atomic.Uint64 // expired entries physically removed since Open
 	closed      atomic.Bool
 
+	m dbMetrics
+
 	kick chan struct{} // threshold trigger for the background loop
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -161,6 +168,7 @@ func Open(dir string, opts *Options) (*DB, error) {
 	}
 
 	db := &DB{dir: dir, fs: fs, opts: o}
+	db.m.init(o.Metrics)
 	if hasManifest {
 		if err := db.recover(o.Seed); err != nil {
 			return nil, err

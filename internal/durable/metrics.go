@@ -1,0 +1,26 @@
+package durable
+
+import "repro/internal/obs"
+
+// dbMetrics is the durable layer's histogram set: how long checkpoints
+// take and how much they write, how long the pre-checkpoint expiry
+// sweep takes and how many entries it removes. All metrics are numbers
+// about the commit machinery — never about which keys were committed —
+// so scraping them leaks nothing the checkpoint bytes don't already
+// expose. The zero value (nil registry) records into live unregistered
+// histograms, so checkpoint code never branches on observability.
+type dbMetrics struct {
+	cpSeconds   *obs.Histogram // full checkpoint wall time, sweep included
+	cpBytes     *obs.Histogram // bytes published per checkpoint (images + manifest)
+	cpShards    *obs.Histogram // dirty shard images rewritten per checkpoint
+	sweepSecs   *obs.Histogram // pre-checkpoint expiry sweep wall time
+	sweptPerRun *obs.Histogram // entries removed per sweep that found any
+}
+
+func (m *dbMetrics) init(r *obs.Registry) {
+	m.cpSeconds = r.Histogram("hidb_checkpoint_seconds", "checkpoint wall time, pre-sweep included", obs.UnitSeconds)
+	m.cpBytes = r.Histogram("hidb_checkpoint_bytes", "bytes published per checkpoint: rewritten shard images plus the manifest", obs.UnitBytes)
+	m.cpShards = r.Histogram("hidb_checkpoint_shards", "dirty shard images rewritten per checkpoint", obs.UnitNone)
+	m.sweepSecs = r.Histogram("hidb_sweep_seconds", "pre-checkpoint expiry sweep wall time", obs.UnitSeconds)
+	m.sweptPerRun = r.Histogram("hidb_sweep_removed_keys", "expired entries physically removed per sweep", obs.UnitNone)
+}

@@ -1,0 +1,115 @@
+package obs_test
+
+// TestObservabilityDocLockstep keeps docs/OBSERVABILITY.md and the
+// live metric set from drifting apart: it builds the full stack —
+// durable DB, server with a slow-op log, replica, observed client
+// pool — on one registry, then asserts that every registered family
+// appears in the doc's catalog table with the right kind, and that
+// every cataloged metric is actually registered, in both directions.
+
+import (
+	"io"
+	"net"
+	"os"
+	"regexp"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/durable"
+	"repro/internal/obs"
+	"repro/internal/replica"
+	"repro/internal/server"
+)
+
+// catalogRow matches a catalog table row: | `name` | kind | ...
+var catalogRow = regexp.MustCompile("(?m)^\\| `(hidb_[a-z0-9_]+)` \\| (counter|gauge|histogram) \\|")
+
+func readDoc() ([]byte, error) { return os.ReadFile("../../docs/OBSERVABILITY.md") }
+
+func parseCatalog(t *testing.T) map[string]string {
+	t.Helper()
+	data, err := readDoc()
+	if err != nil {
+		t.Fatalf("the observability doc must exist next to the obs package: %v", err)
+	}
+	out := map[string]string{}
+	for _, m := range catalogRow.FindAllStringSubmatch(string(data), -1) {
+		name, kind := m[1], m[2]
+		if prev, dup := out[name]; dup && prev != kind {
+			t.Fatalf("doc lists %s twice with different kinds", name)
+		}
+		out[name] = kind
+	}
+	if len(out) == 0 {
+		t.Fatal("no catalog rows parsed from docs/OBSERVABILITY.md — table format changed?")
+	}
+	return out
+}
+
+// fullStackRegistry registers every layer's metrics on one registry,
+// exactly as cmd/hidbd wires them.
+func fullStackRegistry(t *testing.T) *obs.Registry {
+	t.Helper()
+	reg := obs.NewRegistry()
+	db, err := durable.Open("db", &durable.Options{
+		Shards: 4, Seed: 1, NoBackground: true, FS: durable.NewMemFS(), Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(db.Abandon)
+	srv := server.New(db, server.Config{
+		SweepInterval:   -1,
+		Metrics:         reg,
+		SlowOpThreshold: time.Millisecond,
+		SlowOpLog:       io.Discard,
+	})
+	t.Cleanup(func() { srv.Close() })
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	cl, err := client.OpenObserved(ln.Addr().String(), 1, 5*time.Second, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	rep, err := replica.New(db, replica.Config{
+		Metrics: reg,
+		Dial:    func() (net.Conn, error) { return nil, io.ErrClosedPipe },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rep.Stop)
+	return reg
+}
+
+func TestObservabilityDocLockstep(t *testing.T) {
+	doc := parseCatalog(t)
+	reg := fullStackRegistry(t)
+
+	fams := reg.Families()
+	if len(fams) == 0 {
+		t.Fatal("full stack registered no metric families")
+	}
+	live := map[string]string{}
+	for _, f := range fams {
+		live[f.Name] = f.Kind.String()
+		kind, ok := doc[f.Name]
+		if !ok {
+			t.Errorf("%s (%s) is registered but not cataloged in docs/OBSERVABILITY.md", f.Name, f.Kind)
+			continue
+		}
+		if kind != f.Kind.String() {
+			t.Errorf("%s is a %s in code but cataloged as %s", f.Name, f.Kind, kind)
+		}
+	}
+	for name := range doc {
+		if _, ok := live[name]; !ok {
+			t.Errorf("docs/OBSERVABILITY.md catalogs %s, which no layer registers", name)
+		}
+	}
+}

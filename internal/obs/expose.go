@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// WriteText renders every registered metric in the Prometheus text
+// exposition format (text/plain; version=0.0.4): one HELP/TYPE block
+// per family, then one sample line per instance — counters and gauges
+// as bare values, histograms as cumulative le-buckets plus _sum and
+// _count. Histogram bucket bounds are the power-of-two edges the
+// lock-free buckets use, scaled by the histogram's unit (seconds for
+// latency histograms); only buckets up to the highest populated one
+// are emitted, plus +Inf, so an idle histogram costs one line.
+//
+// The output is numbers and fixed names only — nothing in the data
+// model can carry key or value bytes, which is what keeps a scraped
+// (and therefore possibly disk-persisted) metrics page forensically
+// clean. See docs/OBSERVABILITY.md.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	entries := r.snapshotEntries()
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	helped := map[string]bool{}
+	for _, e := range entries {
+		if !helped[e.name] {
+			helped[e.name] = true
+			p("# HELP %s %s\n", e.name, e.help)
+			p("# TYPE %s %s\n", e.name, e.kind)
+		}
+		switch {
+		case e.c != nil:
+			p("%s%s %d\n", e.name, labelStr(e, ""), e.c.Value())
+		case e.cfn != nil:
+			p("%s%s %d\n", e.name, labelStr(e, ""), e.cfn())
+		case e.g != nil:
+			p("%s%s %d\n", e.name, labelStr(e, ""), e.g.Value())
+		case e.gfn != nil:
+			p("%s%s %s\n", e.name, labelStr(e, ""), formatFloat(e.gfn()))
+		case e.h != nil:
+			writeHist(p, e)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return err
+}
+
+// writeHist emits one histogram instance: cumulative buckets, sum,
+// count, and a _max gauge-style convenience sample (not part of the
+// Prometheus histogram type, but the forensic slow-path readers want
+// the true max, which quantile interpolation cannot exceed).
+func writeHist(p func(string, ...any), e *entry) {
+	s := e.h.Snapshot()
+	scale := unitScale(e.h.unit)
+	top := -1
+	for i, n := range s.Buckets {
+		if n > 0 {
+			top = i
+		}
+	}
+	cum := uint64(0)
+	for i := 0; i <= top; i++ {
+		cum += s.Buckets[i]
+		_, hi := bucketBounds(i)
+		p("%s_bucket%s %d\n", e.name, labelStr(e, `le="`+formatFloat(hi*scale)+`"`), cum)
+	}
+	p("%s_bucket%s %d\n", e.name, labelStr(e, `le="+Inf"`), s.Count)
+	p("%s_sum%s %s\n", e.name, labelStr(e, ""), formatFloat(float64(s.Sum)*scale))
+	p("%s_count%s %d\n", e.name, labelStr(e, ""), s.Count)
+	p("%s_max%s %s\n", e.name, labelStr(e, ""), formatFloat(float64(s.Max)*scale))
+}
+
+// labelStr renders an instance's label set, merging the entry's own
+// label with an extra pair (the histogram le bound).
+func labelStr(e *entry, extra string) string {
+	own := ""
+	if e.labelKey != "" {
+		own = e.labelKey + `="` + e.labelVal + `"`
+	}
+	switch {
+	case own == "" && extra == "":
+		return ""
+	case own == "":
+		return "{" + extra + "}"
+	case extra == "":
+		return "{" + own + "}"
+	}
+	return "{" + own + "," + extra + "}"
+}
+
+func unitScale(u Unit) float64 {
+	if u == UnitSeconds {
+		return 1e-9 // observations are nanoseconds
+	}
+	return 1
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the registry's text
+// exposition — mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w) //nolint:errcheck // a broken scraper connection is its problem
+	})
+}

@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Add(3)
+	g.Add(-5)
+	if got := g.Value(); got != -2 {
+		t.Fatalf("gauge = %d, want -2", got)
+	}
+	g.Set(7)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestRegistryReuseAndKindMismatch(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "h")
+	b := r.Counter("dup_total", "h")
+	if a != b {
+		t.Fatal("re-registering the same counter must return the same instance")
+	}
+	h1 := r.HistogramL("fam_seconds", "op", "get", "h", UnitSeconds)
+	h2 := r.HistogramL("fam_seconds", "op", "put", "h", UnitSeconds)
+	if h1 == h2 {
+		t.Fatal("distinct labels must get distinct instances")
+	}
+	if h1 != r.HistogramL("fam_seconds", "op", "get", "h", UnitSeconds) {
+		t.Fatal("same label must reuse the instance")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch must panic")
+		}
+	}()
+	r.Gauge("dup_total", "h")
+}
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("x_total", "h").Inc()
+	r.Gauge("y", "h").Set(3)
+	r.Histogram("z_seconds", "h", UnitSeconds).Observe(100)
+	r.HistogramL("w_seconds", "op", "get", "h", UnitSeconds).Observe(1)
+	r.CounterFunc("f_total", "h", func() uint64 { return 0 })
+	r.GaugeFunc("fg", "h", func() float64 { return 0 })
+	if fams := r.Families(); fams != nil {
+		t.Fatalf("nil registry has families: %v", fams)
+	}
+	if err := r.WriteText(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3},
+		{1 << 20, 20}, {math.MaxInt64, NumBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1000 observations uniform over [0, 100µs) in ns.
+	for i := int64(0); i < 1000; i++ {
+		h.Observe(i * 100_000 / 1000)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	p50 := s.Quantile(0.5)
+	// Log bucketing has 2x resolution: p50 of uniform [0,100µs) is
+	// ~50µs; accept [25µs, 100µs].
+	if p50 < 25_000 || p50 > 100_000 {
+		t.Fatalf("p50 = %.0fns, want ~50µs within 2x", p50)
+	}
+	if max := s.Quantile(1); max > float64(s.Max) {
+		t.Fatalf("p100 %.0f exceeds observed max %d", max, s.Max)
+	}
+	if got := (HistSnapshot{}).Quantile(0.99); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+}
+
+func TestHistogramObserveNoAllocs(t *testing.T) {
+	var h Histogram
+	allocs := testing.AllocsPerRun(1000, func() { h.Observe(12345) })
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %.1f/op, want 0", allocs)
+	}
+	c := &Counter{}
+	if a := testing.AllocsPerRun(1000, func() { c.Inc() }); a != 0 {
+		t.Fatalf("Counter.Inc allocates %.1f/op, want 0", a)
+	}
+}
+
+func TestExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "counts a").Add(7)
+	r.Gauge("b", "level of b").Set(-3)
+	r.CounterFunc("c_total", "external c", func() uint64 { return 99 })
+	r.GaugeFunc("d", "external d", func() float64 { return 1.5 })
+	h := r.HistogramL("lat_seconds", "op", "get", "latency", UnitSeconds)
+	h.Observe(1500) // 1.5µs
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP a_total counts a\n# TYPE a_total counter\na_total 7\n",
+		"# TYPE b gauge\nb -3\n",
+		"c_total 99\n",
+		"d 1.5\n",
+		"# TYPE lat_seconds histogram\n",
+		`lat_seconds_bucket{op="get",le="+Inf"} 1`,
+		`lat_seconds_count{op="get"} 1`,
+		`lat_seconds_sum{op="get"} 1.5e-06`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Cumulative buckets: the last emitted finite bucket must equal the
+	// count for a single observation.
+	if !strings.Contains(out, `lat_seconds_bucket{op="get",le="2.048e-06"} 1`) {
+		t.Errorf("expected the 2.048µs bucket to hold the 1.5µs observation:\n%s", out)
+	}
+}
+
+func TestConcurrentObserveAndScrape(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x_seconds", "h", UnitSeconds)
+	c := r.Counter("x_total", "h")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(int64(i % 100000))
+				c.Inc()
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		if err := r.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf.Len() == 0 {
+			t.Fatal("empty scrape")
+		}
+	}
+	close(stop)
+	wg.Wait()
+	s := h.Snapshot()
+	var cum uint64
+	for _, n := range s.Buckets {
+		cum += n
+	}
+	if cum != s.Count {
+		t.Fatalf("bucket sum %d != count %d after quiesce", cum, s.Count)
+	}
+}
+
+func TestSlowLog(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRegistry()
+	l := NewSlowLog(&buf, time.Millisecond, r)
+	if l.Slow(time.Microsecond) {
+		t.Fatal("sub-threshold duration reported slow")
+	}
+	if !l.Slow(2 * time.Millisecond) {
+		t.Fatal("over-threshold duration not reported slow")
+	}
+	l.Record(SlowOp{Op: "GET", ReqID: 42, Shard: 3, BytesIn: 9, BytesOut: 17,
+		Total: 2 * time.Millisecond, Decode: time.Microsecond, Wait: 10 * time.Microsecond,
+		Apply: 1900 * time.Microsecond, Encode: 2 * time.Microsecond})
+	line := buf.String()
+	for _, want := range []string{"slowop ts=", " op=GET", " id=42", " shard=3",
+		" in=9", " out=17", " batch=0", " total_us=2000", " apply_us=1900"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("slow-op line missing %q: %s", want, line)
+		}
+	}
+	if !strings.HasSuffix(line, "\n") {
+		t.Error("line not newline-terminated")
+	}
+
+	// Rate limit: a flood in one window emits at most perSec lines and
+	// counts the rest as dropped.
+	buf.Reset()
+	for i := 0; i < defaultSlowLogPerSec*2; i++ {
+		l.Record(SlowOp{Op: "PUT", Total: 2 * time.Millisecond})
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines > defaultSlowLogPerSec {
+		t.Fatalf("%d lines emitted, rate limit is %d", lines, defaultSlowLogPerSec)
+	}
+	dropped := r.Counter("hidb_slow_ops_dropped_total", "").Value()
+	if dropped == 0 {
+		t.Fatal("flood dropped nothing")
+	}
+
+	// Disabled forms.
+	if NewSlowLog(nil, time.Second, r) != nil {
+		t.Fatal("nil writer must disable the log")
+	}
+	if NewSlowLog(&buf, 0, r) != nil {
+		t.Fatal("zero threshold must disable the log")
+	}
+	var nilLog *SlowLog
+	nilLog.Record(SlowOp{}) // must not panic
+	if nilLog.Slow(time.Hour) {
+		t.Fatal("nil log reported slow")
+	}
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// SlowOp is one slow operation's record. The struct is the whole
+// forensic-cleanliness argument for the slow-op log: there is no field
+// that *can* hold key or value bytes — only the opcode name (a fixed
+// vocabulary), the client-chosen request id (a sequence number, not
+// data), the shard index, payload sizes, the coalesced batch size, and
+// phase durations. A log shaped this way cannot become the operation
+// history the storage layer erases, no matter what gets logged or how
+// long the log is retained. Do not add payload-carrying fields; the
+// forensic tests grep emitted logs for key/value bytes and will fail.
+type SlowOp struct {
+	Op       string // opcode name, e.g. "GET"
+	ReqID    uint64 // wire request id
+	Shard    int    // routing shard for single-key ops, -1 otherwise
+	BytesIn  int    // request payload bytes
+	BytesOut int    // reply payload bytes
+	Batch    int    // ops in the coalesced write batch (0: not coalesced)
+
+	Total  time.Duration // receipt → reply enqueued
+	Decode time.Duration // payload decode
+	Wait   time.Duration // coalesce-wait (writes) / in-flight-write barrier (reads)
+	Apply  time.Duration // store/db work
+	Encode time.Duration // reply build + enqueue
+}
+
+// defaultSlowLogPerSec bounds emitted lines per wall-clock second. A
+// pathological workload (every op slow) costs a bounded trickle of
+// log I/O; dropped records are counted, never silently lost.
+const defaultSlowLogPerSec = 128
+
+// SlowLog writes sampled structured records of operations slower than
+// a threshold, one logfmt line per record, rate-limited per second.
+// A nil *SlowLog is valid and records nothing.
+type SlowLog struct {
+	threshold time.Duration
+	perSec    int
+
+	logged  *Counter
+	dropped *Counter
+
+	mu       sync.Mutex
+	w        io.Writer
+	winStart int64 // unix second of the current rate window
+	winCount int
+	buf      []byte // line scratch, reused under mu
+}
+
+// NewSlowLog returns a slow-op log writing to w for operations taking
+// at least threshold. Counters for emitted and rate-dropped records
+// are registered on reg (which may be nil). If w is nil or threshold
+// is non-positive, NewSlowLog returns nil — the disabled log.
+func NewSlowLog(w io.Writer, threshold time.Duration, reg *Registry) *SlowLog {
+	if w == nil || threshold <= 0 {
+		return nil
+	}
+	return &SlowLog{
+		threshold: threshold,
+		perSec:    defaultSlowLogPerSec,
+		logged:    reg.Counter("hidb_slow_ops_total", "slow-op log records emitted"),
+		dropped:   reg.Counter("hidb_slow_ops_dropped_total", "slow-op records dropped by the per-second rate limit"),
+		w:         w,
+	}
+}
+
+// Slow reports whether a total duration crosses the log's threshold.
+// Callers use it to keep record construction off the fast path.
+func (l *SlowLog) Slow(d time.Duration) bool {
+	return l != nil && d >= l.threshold
+}
+
+// Record emits one slow-op line (subject to the rate limit). Safe for
+// concurrent use.
+func (l *SlowLog) Record(rec SlowOp) {
+	if l == nil {
+		return
+	}
+	now := time.Now().Unix()
+	l.mu.Lock()
+	if now != l.winStart {
+		l.winStart, l.winCount = now, 0
+	}
+	if l.winCount >= l.perSec {
+		l.mu.Unlock()
+		l.dropped.Inc()
+		return
+	}
+	l.winCount++
+	b := l.buf[:0]
+	b = append(b, "slowop ts="...)
+	b = strconv.AppendInt(b, now, 10)
+	b = append(b, " op="...)
+	b = append(b, rec.Op...)
+	b = append(b, " id="...)
+	b = strconv.AppendUint(b, rec.ReqID, 10)
+	b = append(b, " shard="...)
+	b = strconv.AppendInt(b, int64(rec.Shard), 10)
+	b = append(b, " in="...)
+	b = strconv.AppendInt(b, int64(rec.BytesIn), 10)
+	b = append(b, " out="...)
+	b = strconv.AppendInt(b, int64(rec.BytesOut), 10)
+	b = append(b, " batch="...)
+	b = strconv.AppendInt(b, int64(rec.Batch), 10)
+	b = appendDur(b, " total_us=", rec.Total)
+	b = appendDur(b, " decode_us=", rec.Decode)
+	b = appendDur(b, " wait_us=", rec.Wait)
+	b = appendDur(b, " apply_us=", rec.Apply)
+	b = appendDur(b, " encode_us=", rec.Encode)
+	b = append(b, '\n')
+	l.buf = b
+	l.w.Write(b) //nolint:errcheck // logging is best-effort by design
+	l.mu.Unlock()
+	l.logged.Inc()
+}
+
+func appendDur(b []byte, label string, d time.Duration) []byte {
+	b = append(b, label...)
+	return strconv.AppendInt(b, d.Microseconds(), 10)
+}

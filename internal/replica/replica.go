@@ -11,6 +11,7 @@ import (
 
 	"repro/client"
 	"repro/internal/durable"
+	"repro/internal/obs"
 	"repro/internal/proto"
 )
 
@@ -32,6 +33,10 @@ type Config struct {
 	// but never answers would wedge the sync round — and therefore
 	// Stop — forever.
 	Timeout time.Duration
+	// Metrics registers the replica's anti-entropy metrics (round
+	// counts and duration, divergent shards, bytes fetched, verify
+	// failures) on the given registry. Nil is valid.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +94,8 @@ type Replica struct {
 
 	rounds, installs, shardsFetched, bytesFetched, errs atomic.Uint64
 
+	m replicaMetrics
+
 	stopOnce sync.Once
 	stop     chan struct{}
 	wg       sync.WaitGroup
@@ -102,7 +109,9 @@ func New(db *durable.DB, cfg Config) (*Replica, error) {
 	if cfg.Dial == nil {
 		return nil, errors.New("replica: Config.Dial is required")
 	}
-	return &Replica{db: db, cfg: cfg.withDefaults(), stop: make(chan struct{})}, nil
+	r := &Replica{db: db, cfg: cfg.withDefaults(), stop: make(chan struct{})}
+	r.m.init(cfg.Metrics, r)
+	return r, nil
 }
 
 // Stats returns a snapshot of the replica's counters.
@@ -150,11 +159,16 @@ func (r *Replica) SyncOnce() (Summary, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.rounds.Add(1)
+	t0 := time.Now()
 	sum, err := r.syncLocked()
+	r.m.roundSecs.ObserveSince(t0)
 	if err != nil {
 		r.errs.Add(1)
 		r.dropConn()
 		return sum, err
+	}
+	if sum.Converged {
+		r.m.converged.Inc()
 	}
 	return sum, nil
 }
@@ -240,9 +254,11 @@ func (r *Replica) fetchShard(conn *client.Conn, i int, e proto.ShardHash) ([]byt
 		}
 	}
 	if int64(len(buf)) != e.Size {
+		r.m.verifyFails.Inc()
 		return nil, fmt.Errorf("replica: shard %d image is %d bytes, advertised %d", i, len(buf), e.Size)
 	}
 	if sha256.Sum256(buf) != e.Hash {
+		r.m.verifyFails.Inc()
 		return nil, fmt.Errorf("replica: shard %d image does not match its advertised hash", i)
 	}
 	return buf, nil

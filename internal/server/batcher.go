@@ -3,8 +3,10 @@ package server
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/durable"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/shard"
 )
@@ -20,6 +22,9 @@ type writeReq struct {
 	expire   bool // sweeper-issued conditional delete; c is nil
 	id       uint64
 	c        *conn
+
+	t0 time.Time // frame receipt, for phase timing (zero for sweeper ops)
+	in int       // request payload bytes, for the slow-op log
 }
 
 // batcher is the server-wide write coalescer: a single goroutine that
@@ -33,6 +38,8 @@ type batcher struct {
 	db        *durable.DB
 	ch        chan writeReq
 	st        *stats
+	sm        *serverMetrics
+	slow      *obs.SlowLog
 	done      chan struct{}
 	closeOnce sync.Once
 	// maxBatch caps one drain so a firehose of writers cannot grow the
@@ -40,11 +47,13 @@ type batcher struct {
 	maxBatch int
 }
 
-func newBatcher(db *durable.DB, st *stats, queue, maxBatch int) *batcher {
+func newBatcher(db *durable.DB, st *stats, sm *serverMetrics, slow *obs.SlowLog, queue, maxBatch int) *batcher {
 	return &batcher{
 		db:       db,
 		ch:       make(chan writeReq, queue),
 		st:       st,
+		sm:       sm,
+		slow:     slow,
 		done:     make(chan struct{}),
 		maxBatch: maxBatch,
 	}
@@ -93,9 +102,16 @@ func (b *batcher) run() {
 			}
 		}
 
+		// tw: end of coalesce-wait for everything in this drain. Per-req
+		// wait is tw−r.t0 (receipt to batch formation); apply and encode
+		// are per-batch costs shared by every member.
+		tw := time.Now()
 		ops = ops[:0]
 		for _, r := range reqs {
 			ops = append(ops, shard.Op{Key: r.key, Val: r.val, Exp: r.exp, Delete: r.del, Expire: r.expire})
+			if r.c != nil {
+				b.sm.phaseWait.Observe(int64(tw.Sub(r.t0)))
+			}
 		}
 		if cap(changed) < len(ops) {
 			changed = make([]bool, len(ops))
@@ -103,6 +119,9 @@ func (b *batcher) run() {
 		changed = changed[:len(ops)]
 		_, err := b.db.ApplyBatch(ops, changed)
 		b.st.noteBatch(len(ops))
+		ta := time.Now()
+		b.sm.phaseApply.Observe(int64(ta.Sub(tw)))
+		b.sm.batchOps.Observe(int64(len(ops)))
 
 		for i, r := range reqs {
 			if r.c == nil {
@@ -111,26 +130,42 @@ func (b *batcher) run() {
 			// Payloads are built in a loop-lifetime scratch: sendFrame
 			// copies them into the connection's outbound buffer before
 			// returning, so the next iteration may overwrite it.
+			opb := proto.OpPut
+			switch {
+			case r.del:
+				opb = proto.OpDel
+			case r.ttl:
+				opb = proto.OpPutTTL
+			}
 			if err != nil {
 				pscratch = proto.AppendError(pscratch[:0], proto.ErrCodeInternal, err.Error())
 				r.c.sendFrame(proto.OpError, r.id, pscratch)
 			} else {
-				op := proto.OpPut
-				switch {
-				case r.del:
-					op = proto.OpDel
-				case r.ttl:
-					op = proto.OpPutTTL
-				}
 				if r.ttl {
 					pscratch = proto.AppendTTLAck(pscratch[:0], changed[i], r.exp)
 				} else {
 					pscratch = proto.AppendBool(pscratch[:0], changed[i])
 				}
-				r.c.sendFrame(op|proto.FlagReply, r.id, pscratch)
+				r.c.sendFrame(opb|proto.FlagReply, r.id, pscratch)
 			}
 			r.c.pending.Done()
+
+			now := time.Now()
+			total := now.Sub(r.t0)
+			if h := b.sm.ops[opb]; h != nil {
+				h.Observe(int64(total))
+			}
+			if b.slow.Slow(total) {
+				b.slow.Record(obs.SlowOp{
+					Op: opLabels[opb], ReqID: r.id,
+					Shard:   b.db.Store().ShardOf(r.key),
+					BytesIn: r.in, BytesOut: len(pscratch), Batch: len(reqs),
+					Total: total, Wait: tw.Sub(r.t0),
+					Apply: ta.Sub(tw), Encode: now.Sub(ta),
+				})
+			}
 		}
+		b.sm.phaseEncode.Observe(int64(time.Since(ta)))
 	}
 }
 

@@ -1,0 +1,134 @@
+package server
+
+import (
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/obs"
+	"repro/internal/proto"
+)
+
+// opLabels maps each request opcode to its metric label — the fixed
+// vocabulary the per-opcode latency histograms and the slow-op log
+// use. Only names from this table ever reach telemetry output.
+var opLabels = map[byte]string{
+	proto.OpGet:        "get",
+	proto.OpPut:        "put",
+	proto.OpDel:        "del",
+	proto.OpBatch:      "batch",
+	proto.OpRange:      "range",
+	proto.OpLen:        "len",
+	proto.OpCheckpoint: "checkpoint",
+	proto.OpPing:       "ping",
+	proto.OpShardHash:  "shard_hash",
+	proto.OpSync:       "sync",
+	proto.OpPutTTL:     "put_ttl",
+	proto.OpGetTTL:     "get_ttl",
+}
+
+// serverMetrics is the server's hot-path metric set: one latency
+// histogram per opcode, one histogram per request phase, and size
+// histograms for flush bursts and coalesced batches. Every field is
+// non-nil even without a registry (obs is nil-registry safe), so
+// recording sites never branch. Recording is a few atomic adds —
+// the instrumented paths keep their 0-alloc budgets.
+type serverMetrics struct {
+	// ops is indexed directly by opcode byte; unknown opcodes map to
+	// nil and are simply not timed.
+	ops [256]*obs.Histogram
+
+	phaseDecode *obs.Histogram // payload decode
+	phaseWait   *obs.Histogram // coalesce-wait (writes) / in-flight-write barrier (reads)
+	phaseApply  *obs.Histogram // store/db work
+	phaseEncode *obs.Histogram // reply build + enqueue
+	phaseFlush  *obs.Histogram // one outbound burst's syscall
+	flushBytes  *obs.Histogram // bytes per outbound burst
+	batchOps    *obs.Histogram // ops per coalesced write batch
+}
+
+func newServerMetrics(r *obs.Registry) *serverMetrics {
+	m := &serverMetrics{}
+	const opHelp = "request latency by opcode, receipt to reply enqueued"
+	for op, label := range opLabels {
+		m.ops[op] = r.HistogramL("hidb_server_op_seconds", "op", label, opHelp, obs.UnitSeconds)
+	}
+	const phaseHelp = "time per request phase: decode, coalesce_wait, apply, encode, flush"
+	m.phaseDecode = r.HistogramL("hidb_server_phase_seconds", "phase", "decode", phaseHelp, obs.UnitSeconds)
+	m.phaseWait = r.HistogramL("hidb_server_phase_seconds", "phase", "coalesce_wait", phaseHelp, obs.UnitSeconds)
+	m.phaseApply = r.HistogramL("hidb_server_phase_seconds", "phase", "apply", phaseHelp, obs.UnitSeconds)
+	m.phaseEncode = r.HistogramL("hidb_server_phase_seconds", "phase", "encode", phaseHelp, obs.UnitSeconds)
+	m.phaseFlush = r.HistogramL("hidb_server_phase_seconds", "phase", "flush", phaseHelp, obs.UnitSeconds)
+	m.flushBytes = r.Histogram("hidb_server_flush_bytes", "bytes written per outbound reply burst", obs.UnitBytes)
+	m.batchOps = r.Histogram("hidb_server_write_batch_ops", "operations per coalesced write batch", obs.UnitNone)
+	return m
+}
+
+// registerServerFuncs exposes the server's existing atomic counters
+// (and the durable layer's totals) on the registry as read-at-scrape
+// functions — no double counting anywhere on the hot path.
+func registerServerFuncs(r *obs.Registry, s *Server) {
+	st, db := &s.st, s.db
+	r.CounterFunc("hidb_server_requests_total", "frames dispatched", func() uint64 { return st.requests.Load() })
+	r.CounterFunc("hidb_server_errors_total", "error frames sent", func() uint64 { return st.errors.Load() })
+	r.CounterFunc("hidb_server_bytes_in_total", "request bytes received", func() uint64 { return st.bytesIn.Load() })
+	r.CounterFunc("hidb_server_bytes_out_total", "reply bytes written", func() uint64 { return st.bytesOut.Load() })
+	r.CounterFunc("hidb_server_conns_accepted_total", "connections accepted", func() uint64 { return st.connsAccepted.Load() })
+	r.CounterFunc("hidb_server_conns_rejected_total", "connections refused at the MaxConns limit", func() uint64 { return st.connsRejected.Load() })
+	r.GaugeFunc("hidb_server_conns_active", "connections currently served", func() float64 { return float64(st.connsActive.Load()) })
+	r.CounterFunc("hidb_server_write_batches_total", "coalescer drains applied", func() uint64 { return st.wBatches.Load() })
+	r.CounterFunc("hidb_server_write_batched_ops_total", "write ops through the coalescer", func() uint64 { return st.wBatchedOps.Load() })
+	r.CounterFunc("hidb_server_read_only_rejected_total", "writes refused because this node is a replica", func() uint64 { return st.readOnlyRejected.Load() })
+	r.CounterFunc("hidb_server_sweeps_total", "epoch sweeps that submitted expire ops", func() uint64 { return st.sweeps.Load() })
+	r.CounterFunc("hidb_server_swept_keys_total", "expired entries physically removed", func() uint64 { return db.SweptKeys() })
+	r.CounterFunc("hidb_server_checkpoints_total", "checkpoints committed", func() uint64 { return db.Checkpoints() })
+	r.GaugeFunc("hidb_server_pending_ops", "mutations not yet covered by a checkpoint", func() float64 { return float64(db.PendingOps()) })
+	r.GaugeFunc("hidb_server_keys_physical", "keys physically present, including expired-but-unswept entries (per-shard sums, no atomic cut)",
+		func() float64 { return float64(physicalLen(db)) })
+	r.GaugeFunc("hidb_server_keys_logical", "live keys — expired entries excluded — at an atomic cut",
+		func() float64 { return float64(db.Store().Len()) })
+}
+
+// physicalLen sums the shards' physical entry counts one brief lock at
+// a time: cheap to scrape, and deliberately DISTINCT from the logical
+// length — under TTL load the physical count includes entries that are
+// already dead but not yet swept, so the two disagreeing is signal
+// (sweep backlog), not a bug. See docs/OBSERVABILITY.md.
+func physicalLen(db *durable.DB) int {
+	store := db.Store()
+	n := 0
+	for i := 0; i < store.NumShards(); i++ {
+		n += store.ShardLen(i)
+	}
+	return n
+}
+
+// noteInline records one inline-dispatched (non-coalesced) request's
+// phases and total latency, and feeds the slow-op log when the total
+// crosses its threshold. Timestamps: t0 receipt, td decode done, tw
+// barrier wait done, ta apply done; encode runs from ta to now. For
+// key-addressed ops hasKey routes the slow-op record's shard index;
+// the key itself never reaches telemetry.
+func (c *conn) noteInline(op byte, id uint64, inBytes, outBytes int, key int64, hasKey bool, t0, td, tw, ta time.Time) {
+	sm := c.srv.sm
+	te := time.Now()
+	sm.phaseDecode.Observe(int64(td.Sub(t0)))
+	sm.phaseWait.Observe(int64(tw.Sub(td)))
+	sm.phaseApply.Observe(int64(ta.Sub(tw)))
+	sm.phaseEncode.Observe(int64(te.Sub(ta)))
+	total := te.Sub(t0)
+	if h := sm.ops[op]; h != nil {
+		h.Observe(int64(total))
+	}
+	if sl := c.srv.slow; sl.Slow(total) {
+		shard := -1
+		if hasKey {
+			shard = c.srv.db.Store().ShardOf(key)
+		}
+		sl.Record(obs.SlowOp{
+			Op: opLabels[op], ReqID: id, Shard: shard,
+			BytesIn: inBytes, BytesOut: outBytes,
+			Total: total, Decode: td.Sub(t0), Wait: tw.Sub(td),
+			Apply: ta.Sub(tw), Encode: te.Sub(ta),
+		})
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/durable"
 	"repro/internal/expiry"
+	"repro/internal/obs"
 	"repro/internal/proto"
 )
 
@@ -62,6 +63,22 @@ type Config struct {
 	// state. Read-only replicas never run a sweeper: their dead entries
 	// leave when the primary's swept checkpoint ships.
 	SweepInterval time.Duration
+	// Metrics registers the server's metric set — per-opcode latency
+	// histograms, phase timings (decode → coalesce-wait → apply →
+	// encode → flush), and counter mirrors — on the given registry,
+	// scraped via its /metrics handler. nil: the same recording happens
+	// into unregistered instances (the hot path never branches on
+	// observability) and is exposed nowhere.
+	Metrics *obs.Registry
+	// SlowOpThreshold enables the sampled slow-op structured log:
+	// operations whose total latency reaches the threshold are recorded
+	// to SlowOpLog, rate-limited per second (0: disabled). The record
+	// format is forensically clean by construction — opcode, sizes,
+	// shard index, durations, request id; never key or value bytes. See
+	// internal/obs.SlowOp and docs/OBSERVABILITY.md.
+	SlowOpThreshold time.Duration
+	// SlowOpLog receives slow-op records (nil: disabled).
+	SlowOpLog io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -114,10 +131,12 @@ func (c Config) withDefaults() Config {
 // Server does not own the DB: closing the DB is the caller's job, after
 // the server has stopped.
 type Server struct {
-	db  *durable.DB
-	cfg Config
-	st  stats
-	bat *batcher
+	db   *durable.DB
+	cfg  Config
+	st   stats
+	sm   *serverMetrics
+	slow *obs.SlowLog
+	bat  *batcher
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
@@ -161,7 +180,12 @@ func New(db *durable.DB, cfg Config) *Server {
 		sweep:     expiry.NewSchedule(db.Clock()),
 		sweepStop: make(chan struct{}),
 	}
-	s.bat = newBatcher(db, &s.st, c.WriteQueue, c.MaxWriteBatch)
+	s.sm = newServerMetrics(c.Metrics)
+	s.slow = obs.NewSlowLog(c.SlowOpLog, c.SlowOpThreshold, c.Metrics)
+	if c.Metrics != nil {
+		registerServerFuncs(c.Metrics, s)
+	}
+	s.bat = newBatcher(db, &s.st, s.sm, s.slow, c.WriteQueue, c.MaxWriteBatch)
 	return s
 }
 
@@ -552,10 +576,13 @@ func (c *conn) writeLoop() {
 				c.nc.SetWriteDeadline(time.Now().Add(wt))
 			}
 			c.srv.st.bytesOut.Add(uint64(len(batch)))
+			t0 := time.Now()
 			if _, err := c.nc.Write(batch); err != nil {
 				failed = true
 				c.close()
 			}
+			c.srv.sm.phaseFlush.ObserveSince(t0)
+			c.srv.sm.flushBytes.Observe(int64(len(batch)))
 		}
 		if done {
 			c.qmu.Lock()
@@ -607,6 +634,7 @@ func (c *conn) readLoop() {
 			}
 			return
 		}
+		t0 := time.Now() // receipt: phase timing starts here
 		s.st.bytesIn.Add(uint64(proto.HeaderSize + len(f.Payload)))
 		s.st.requests.Add(1)
 		if f.Ver != proto.Version {
@@ -614,7 +642,7 @@ func (c *conn) readLoop() {
 				fmt.Sprintf("protocol version %d, server speaks %d", f.Ver, proto.Version))
 			return
 		}
-		if !c.dispatch(f) {
+		if !c.dispatch(f, t0) {
 			return
 		}
 		if cap(c.pscratch) > 64<<10 {
@@ -645,7 +673,14 @@ func (c *conn) reply(id uint64, op byte, payload []byte) {
 // must close (protocol violation so severe the stream is untrustworthy
 // — currently nothing below qualifies; malformed payloads get an error
 // reply and the stream continues, since framing is still intact).
-func (c *conn) dispatch(f proto.Frame) bool {
+//
+// t0 is the frame's receipt time. Each inline-served case captures the
+// phase boundaries (decode done / barrier-wait done / apply done) and
+// hands them to noteInline; coalesced writes record their decode phase
+// here and carry t0 into the batcher, which owns their wait/apply/
+// encode phases and total latency. Error paths are not timed — the
+// errors counter covers them.
+func (c *conn) dispatch(f proto.Frame, t0 time.Time) bool {
 	s := c.srv
 	if s.cfg.ReadOnly && mutates(f) {
 		s.st.readOnlyRejected.Add(1)
@@ -661,8 +696,9 @@ func (c *conn) dispatch(f proto.Frame) bool {
 			return true
 		}
 		s.st.writes.Add(1)
+		s.sm.phaseDecode.ObserveSince(t0)
 		c.pending.Add(1)
-		s.bat.submit(writeReq{key: key, val: val, id: f.ID, c: c})
+		s.bat.submit(writeReq{key: key, val: val, id: f.ID, c: c, t0: t0, in: len(f.Payload)})
 
 	case proto.OpPutTTL:
 		key, val, exp, err := proto.DecodeKeyValExp(f.Payload)
@@ -671,8 +707,9 @@ func (c *conn) dispatch(f proto.Frame) bool {
 			return true
 		}
 		s.st.writes.Add(1)
+		s.sm.phaseDecode.ObserveSince(t0)
 		c.pending.Add(1)
-		s.bat.submit(writeReq{key: key, val: val, exp: exp, ttl: true, id: f.ID, c: c})
+		s.bat.submit(writeReq{key: key, val: val, exp: exp, ttl: true, id: f.ID, c: c, t0: t0, in: len(f.Payload)})
 
 	case proto.OpDel:
 		key, err := proto.DecodeKey(f.Payload)
@@ -681,8 +718,9 @@ func (c *conn) dispatch(f proto.Frame) bool {
 			return true
 		}
 		s.st.writes.Add(1)
+		s.sm.phaseDecode.ObserveSince(t0)
 		c.pending.Add(1)
-		s.bat.submit(writeReq{key: key, del: true, id: f.ID, c: c})
+		s.bat.submit(writeReq{key: key, del: true, id: f.ID, c: c, t0: t0, in: len(f.Payload)})
 
 	case proto.OpGet:
 		key, err := proto.DecodeKey(f.Payload)
@@ -691,10 +729,14 @@ func (c *conn) dispatch(f proto.Frame) bool {
 			return true
 		}
 		s.st.reads.Add(1)
+		td := time.Now()
 		c.pending.Wait() // program order: reads see this conn's writes
+		tw := time.Now()
 		val, ok := s.db.Get(key)
+		ta := time.Now()
 		c.pscratch = proto.AppendFound(c.pscratch[:0], ok, val)
 		c.reply(f.ID, proto.OpGet, c.pscratch)
+		c.noteInline(proto.OpGet, f.ID, len(f.Payload), len(c.pscratch), key, true, t0, td, tw, ta)
 
 	case proto.OpGetTTL:
 		key, err := proto.DecodeKey(f.Payload)
@@ -703,10 +745,14 @@ func (c *conn) dispatch(f proto.Frame) bool {
 			return true
 		}
 		s.st.reads.Add(1)
+		td := time.Now()
 		c.pending.Wait()
+		tw := time.Now()
 		val, exp, ok := s.db.GetTTL(key)
+		ta := time.Now()
 		c.pscratch = proto.AppendFoundTTL(c.pscratch[:0], ok, val, exp)
 		c.reply(f.ID, proto.OpGetTTL, c.pscratch)
+		c.noteInline(proto.OpGetTTL, f.ID, len(f.Payload), len(c.pscratch), key, true, t0, td, tw, ta)
 
 	case proto.OpBatch:
 		kind, items, keys, err := proto.DecodeBatch(f.Payload)
@@ -714,13 +760,17 @@ func (c *conn) dispatch(f proto.Frame) bool {
 			c.sendError(f.ID, proto.ErrCodeBadFrame, err.Error())
 			return true
 		}
+		td := time.Now()
 		c.pending.Wait()
+		tw := time.Now()
 		switch kind {
 		case proto.BatchPut:
 			s.st.writes.Add(uint64(len(items)))
 			n := s.db.PutBatch(items)
+			ta := time.Now()
 			c.pscratch = proto.AppendU32(c.pscratch[:0], uint32(n))
 			c.reply(f.ID, proto.OpBatch, c.pscratch)
+			c.noteInline(proto.OpBatch, f.ID, len(f.Payload), len(c.pscratch), 0, false, t0, td, tw, ta)
 		case proto.BatchGet:
 			if len(keys) > proto.MaxBatchGet {
 				// The reply (9 bytes per key) would exceed the frame
@@ -731,13 +781,17 @@ func (c *conn) dispatch(f proto.Frame) bool {
 			}
 			s.st.reads.Add(uint64(len(keys)))
 			vals, ok := s.db.GetBatch(keys)
+			ta := time.Now()
 			c.pscratch = proto.AppendBatchGetReply(c.pscratch[:0], vals, ok)
 			c.reply(f.ID, proto.OpBatch, c.pscratch)
+			c.noteInline(proto.OpBatch, f.ID, len(f.Payload), len(c.pscratch), 0, false, t0, td, tw, ta)
 		case proto.BatchDel:
 			s.st.writes.Add(uint64(len(keys)))
 			n := s.db.DeleteBatch(keys)
+			ta := time.Now()
 			c.pscratch = proto.AppendU32(c.pscratch[:0], uint32(n))
 			c.reply(f.ID, proto.OpBatch, c.pscratch)
+			c.noteInline(proto.OpBatch, f.ID, len(f.Payload), len(c.pscratch), 0, false, t0, td, tw, ta)
 		}
 
 	case proto.OpRange:
@@ -747,7 +801,9 @@ func (c *conn) dispatch(f proto.Frame) bool {
 			return true
 		}
 		s.st.reads.Add(1)
+		td := time.Now()
 		c.pending.Wait()
+		tw := time.Now()
 		limit := s.cfg.MaxRangeItems
 		if max > 0 && int(max) < limit {
 			limit = int(max)
@@ -755,32 +811,45 @@ func (c *conn) dispatch(f proto.Frame) bool {
 		// RangeN bounds work and memory by the limit, not the window
 		// size, so a whole-keyspace RANGE costs O(shards·limit).
 		items, more := s.db.RangeN(lo, hi, limit, c.rangeBuf[:0])
+		ta := time.Now()
 		c.rangeBuf = items
 		c.pscratch = proto.AppendRangeReply(c.pscratch[:0], items, more)
 		c.reply(f.ID, proto.OpRange, c.pscratch)
+		c.noteInline(proto.OpRange, f.ID, len(f.Payload), len(c.pscratch), 0, false, t0, td, tw, ta)
 
 	case proto.OpLen:
 		s.st.reads.Add(1)
+		td := time.Now()
 		c.pending.Wait()
-		c.pscratch = proto.AppendU64(c.pscratch[:0], uint64(s.db.Len()))
+		tw := time.Now()
+		n := uint64(s.db.Len())
+		ta := time.Now()
+		c.pscratch = proto.AppendU64(c.pscratch[:0], n)
 		c.reply(f.ID, proto.OpLen, c.pscratch)
+		c.noteInline(proto.OpLen, f.ID, len(f.Payload), len(c.pscratch), 0, false, t0, td, tw, ta)
 
 	case proto.OpCheckpoint:
 		// A durability barrier: everything this connection has been
 		// acknowledged for is on disk when the reply arrives.
+		td := time.Now()
 		c.pending.Wait()
+		tw := time.Now()
 		if err := s.db.Checkpoint(); err != nil {
 			c.sendError(f.ID, proto.ErrCodeInternal, err.Error())
 			return true
 		}
+		ta := time.Now() // apply phase = the checkpoint commit itself
 		c.pscratch = proto.AppendU64(c.pscratch[:0], s.db.Checkpoints())
 		c.reply(f.ID, proto.OpCheckpoint, c.pscratch)
+		c.noteInline(proto.OpCheckpoint, f.ID, len(f.Payload), len(c.pscratch), 0, false, t0, td, tw, ta)
 
 	case proto.OpPing:
 		// f.Payload may alias the FrameReader's reused buffer; sendFrame
 		// copies it into the outbound queue before returning, so the
 		// echo is captured before the next frame overwrites it.
+		tn := time.Now()
 		c.reply(f.ID, proto.OpPing, f.Payload)
+		c.noteInline(proto.OpPing, f.ID, len(f.Payload), len(f.Payload), 0, false, t0, tn, tn, tn)
 
 	case proto.OpShardHash:
 		// Replication: advertise the last committed checkpoint's
@@ -791,12 +860,15 @@ func (c *conn) dispatch(f proto.Frame) bool {
 			return true
 		}
 		s.st.syncHashes.Add(1)
+		td := time.Now()
 		c.pending.Wait()
+		tw := time.Now()
 		hseed, entries, err := s.db.ShardHashes()
 		if err != nil {
 			c.sendError(f.ID, proto.ErrCodeInternal, err.Error())
 			return true
 		}
+		ta := time.Now()
 		if len(entries) > proto.MaxSyncShards {
 			c.sendError(f.ID, proto.ErrCodeTooLarge,
 				fmt.Sprintf("%d shards exceed the %d-shard reply cap", len(entries), proto.MaxSyncShards))
@@ -806,7 +878,9 @@ func (c *conn) dispatch(f proto.Frame) bool {
 		for i, e := range entries {
 			out[i] = proto.ShardHash{Size: e.Size, Hash: e.Hash}
 		}
-		c.reply(f.ID, proto.OpShardHash, proto.AppendShardHashes(nil, hseed, out))
+		payload := proto.AppendShardHashes(nil, hseed, out)
+		c.reply(f.ID, proto.OpShardHash, payload)
+		c.noteInline(proto.OpShardHash, f.ID, len(f.Payload), len(payload), 0, false, t0, td, tw, ta)
 
 	case proto.OpSync:
 		shardIdx, hash, off, maxLen, err := proto.DecodeSyncReq(f.Payload)
@@ -815,6 +889,7 @@ func (c *conn) dispatch(f proto.Frame) bool {
 			return true
 		}
 		s.st.syncChunks.Add(1)
+		td := time.Now()
 		img, err := s.shardImage(int(shardIdx), hash)
 		switch {
 		case errors.Is(err, durable.ErrStaleShard):
@@ -849,7 +924,10 @@ func (c *conn) dispatch(f proto.Frame) bool {
 			s.syncMu.Unlock()
 		}
 		s.st.syncBytesOut.Add(uint64(len(chunk)))
-		c.reply(f.ID, proto.OpSync, proto.AppendSyncChunk(nil, more, chunk))
+		ta := time.Now()
+		payload := proto.AppendSyncChunk(nil, more, chunk)
+		c.reply(f.ID, proto.OpSync, payload)
+		c.noteInline(proto.OpSync, f.ID, len(f.Payload), len(payload), 0, false, t0, td, td, ta)
 
 	default:
 		c.sendError(f.ID, proto.ErrCodeUnknownOp, proto.OpName(f.Op))

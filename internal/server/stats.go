@@ -58,9 +58,19 @@ type Stats struct {
 	WriteExtends  uint64 `json:"write_window_extends"`
 	BytesIn       uint64 `json:"bytes_in"`
 	BytesOut      uint64 `json:"bytes_out"`
-	Keys          int    `json:"keys"`
-	Checkpoints   uint64 `json:"checkpoints"`
-	PendingOps    uint64 `json:"pending_ops"`
+
+	// KeysPhysical counts entries physically present in the shards —
+	// including TTL-expired entries the sweeper has not removed yet —
+	// summed one brief per-shard lock at a time (no atomic cut).
+	// KeysLogical counts live keys at an atomic cut: expired entries
+	// are excluded even before they are swept. Under TTL load the two
+	// legitimately disagree; the gap is the sweep backlog, and reporting
+	// it as a single "keys" number hid real behavior.
+	KeysPhysical int `json:"keys_physical"`
+	KeysLogical  int `json:"keys_logical"`
+
+	Checkpoints uint64 `json:"checkpoints"`
+	PendingOps  uint64 `json:"pending_ops"`
 
 	ReadOnlyRejected uint64 `json:"read_only_rejected"`
 	SyncHashes       uint64 `json:"sync_hashes"`
@@ -81,17 +91,13 @@ type Stats struct {
 }
 
 // Stats returns a snapshot of the server's counters plus the durable
-// layer's key count, committed checkpoints, and uncheckpointed-op
+// layer's key counts, committed checkpoints, and uncheckpointed-op
 // window. It is safe to call at any time, including during shutdown,
-// and cheap enough to scrape: the key count sums the shards one brief
-// lock at a time (a consistent-enough reading for monitoring) instead
-// of taking the whole-store atomic cut that DB.Len costs.
+// and cheap enough to scrape: the physical count sums the shards one
+// brief lock at a time (a consistent-enough reading for monitoring);
+// the logical count pays DB.Len's atomic cut to exclude expired
+// entries. See the KeysPhysical/KeysLogical field docs.
 func (s *Server) Stats() Stats {
-	keys := 0
-	store := s.db.Store()
-	for i := 0; i < store.NumShards(); i++ {
-		keys += store.ShardLen(i)
-	}
 	role := "primary"
 	if s.cfg.ReadOnly {
 		role = "replica"
@@ -111,7 +117,8 @@ func (s *Server) Stats() Stats {
 		WriteExtends:  s.st.wExtends.Load(),
 		BytesIn:       s.st.bytesIn.Load(),
 		BytesOut:      s.st.bytesOut.Load(),
-		Keys:          keys,
+		KeysPhysical:  physicalLen(s.db),
+		KeysLogical:   s.db.Store().Len(),
 		Checkpoints:   s.db.Checkpoints(),
 		PendingOps:    s.db.PendingOps(),
 
