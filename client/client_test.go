@@ -76,7 +76,11 @@ func TestPool(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Distinct pool connections really exist: Conn() cycles.
-	c1, c2 := cl.Conn(), cl.Conn()
+	c1, err1 := cl.Conn()
+	c2, err2 := cl.Conn()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("conn from healthy pool: %v %v", err1, err2)
+	}
 	if c1 == c2 {
 		t.Fatal("pool of 3 returned the same conn twice in a row")
 	}
@@ -265,10 +269,14 @@ func TestTTLRoundTrip(t *testing.T) {
 		t.Fatalf("expired entry visible: %v %v", ok, err)
 	}
 	// Rewriting it is a fresh insert.
-	if ins, err := cl.Conn().PutTTL(2, 21, farFuture); err != nil || !ins {
+	cc, err := cl.Conn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins, err := cc.PutTTL(2, 21, farFuture); err != nil || !ins {
 		t.Fatalf("resurrect: %v %v", ins, err)
 	}
-	if v, exp, ok, err := cl.Conn().GetTTL(2); err != nil || !ok || v != 21 || exp != farFuture {
+	if v, exp, ok, err := cc.GetTTL(2); err != nil || !ok || v != 21 || exp != farFuture {
 		t.Fatalf("resurrected: %d %d %v %v", v, exp, ok, err)
 	}
 	// Absent key: found=false with zero value and expiry.
@@ -277,11 +285,11 @@ func TestTTLRoundTrip(t *testing.T) {
 	}
 	// Negative expiry is a client-side arithmetic bug; the server
 	// refuses it without killing the connection.
-	if _, err := cl.Conn().PutTTL(3, 30, -1); err == nil {
+	if _, err := cc.PutTTL(3, 30, -1); err == nil {
 		t.Fatal("negative expiry accepted")
 	}
 	var rerr *proto.RemoteError
-	if _, err := cl.Conn().PutTTL(3, 30, -1); !errors.As(err, &rerr) || rerr.Code != proto.ErrCodeBadFrame {
+	if _, err := cc.PutTTL(3, 30, -1); !errors.As(err, &rerr) || rerr.Code != proto.ErrCodeBadFrame {
 		t.Fatalf("negative expiry error = %v, want ErrCodeBadFrame", err)
 	}
 	if err := cl.Ping(nil); err != nil {

@@ -28,6 +28,15 @@ var ErrConnClosed = errors.New("client: connection closed")
 // the chain for errors.As.
 var ErrReadOnly = errors.New("client: server is a read-only replica")
 
+// ErrNotReplica is wrapped into the error Promote gets back from a
+// node that is already writable (server code ErrCodeNotReplica) —
+// a double promotion, or a PROMOTE aimed at the primary.
+var ErrNotReplica = errors.New("client: server is already writable")
+
+// Health re-exports the OpHealth reply: the node's role, promotion
+// count, checkpoint epoch, and committed-manifest hash.
+type Health = proto.Health
+
 // ShardHash re-exports the per-shard checkpoint descriptor returned by
 // SyncShardHashes: the committed canonical image's size and SHA-256.
 type ShardHash = proto.ShardHash
@@ -49,6 +58,11 @@ type Conn struct {
 
 	done    chan struct{} // closed when the reader exits
 	timeout time.Duration
+
+	// lastEpoch is the highest checkpoint epoch seen in any stamped
+	// read reply on this connection — the client side of the
+	// bounded-staleness contract (see LastEpoch).
+	lastEpoch atomic.Uint64
 
 	// m is never nil: Conns outside an observed pool share
 	// defaultClientMetrics (live, unregistered).
@@ -254,10 +268,13 @@ func (c *Conn) doCall(op byte, payload []byte) (proto.Frame, error) {
 				return proto.Frame{}, fmt.Errorf("client: bad error frame: %w", err)
 			}
 			rerr := &proto.RemoteError{Code: code, Msg: msg}
-			if code == proto.ErrCodeReadOnly {
+			switch code {
+			case proto.ErrCodeReadOnly:
 				// Both sentinels stay in the chain: errors.Is(err,
 				// ErrReadOnly) for routing, errors.As for the code.
 				return proto.Frame{}, fmt.Errorf("%w: %w", ErrReadOnly, rerr)
+			case proto.ErrCodeNotReplica:
+				return proto.Frame{}, fmt.Errorf("%w: %w", ErrNotReplica, rerr)
 			}
 			return proto.Frame{}, rerr
 		}
@@ -283,13 +300,45 @@ func (c *Conn) lastErr() error {
 	return ErrConnClosed
 }
 
+// noteEpoch records a stamped reply's checkpoint epoch, keeping the
+// connection-local high-water mark monotonic.
+func (c *Conn) noteEpoch(epoch uint64) {
+	for {
+		old := c.lastEpoch.Load()
+		if epoch <= old || c.lastEpoch.CompareAndSwap(old, epoch) {
+			return
+		}
+	}
+}
+
+// LastEpoch returns the highest checkpoint epoch stamped on any read
+// reply this connection has seen. The epoch is NODE-LOCAL (checkpoints
+// committed or installed since that process started), so it is only
+// comparable between replies from the same node incarnation — which is
+// exactly what read-your-writes needs: write to the primary,
+// CHECKPOINT, then read from a replica until its stamp advances past
+// the epoch it reported before the checkpoint.
+func (c *Conn) LastEpoch() uint64 { return c.lastEpoch.Load() }
+
 // Get returns the value stored for key and whether it exists.
 func (c *Conn) Get(key int64) (val int64, ok bool, err error) {
+	val, _, ok, err = c.GetStamped(key)
+	return val, ok, err
+}
+
+// GetStamped is Get plus the serving node's checkpoint epoch stamp —
+// the bounded-staleness contract made visible. On a replica the stamp
+// identifies exactly which installed checkpoint served the read.
+func (c *Conn) GetStamped(key int64) (val int64, epoch uint64, ok bool, err error) {
 	f, err := c.call(proto.OpGet, proto.AppendKey(nil, key))
 	if err != nil {
-		return 0, false, err
+		return 0, 0, false, err
 	}
-	return proto.DecodeFound(f.Payload)
+	val, epoch, ok, err = proto.DecodeFound(f.Payload)
+	if err == nil {
+		c.noteEpoch(epoch)
+	}
+	return val, epoch, ok, err
 }
 
 // Put upserts the value for key and reports whether the key was newly
@@ -331,7 +380,11 @@ func (c *Conn) GetTTL(key int64) (val, exp int64, ok bool, err error) {
 	if err != nil {
 		return 0, 0, false, err
 	}
-	return proto.DecodeFoundTTL(f.Payload)
+	val, exp, epoch, ok, err := proto.DecodeFoundTTL(f.Payload)
+	if err == nil {
+		c.noteEpoch(epoch)
+	}
+	return val, exp, ok, err
 }
 
 // Delete removes key and reports whether it was present.
@@ -366,7 +419,11 @@ func (c *Conn) GetBatch(keys []int64) (vals []int64, ok []bool, err error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return proto.DecodeBatchGetReply(f.Payload)
+	vals, ok, epoch, err := proto.DecodeBatchGetReply(f.Payload)
+	if err == nil {
+		c.noteEpoch(epoch)
+	}
+	return vals, ok, err
 }
 
 // DeleteBatch removes every key in one request and returns the number
@@ -388,7 +445,11 @@ func (c *Conn) Range(lo, hi int64, max int) (items []Item, more bool, err error)
 	if err != nil {
 		return nil, false, err
 	}
-	return proto.DecodeRangeReply(f.Payload)
+	items, epoch, more, err := proto.DecodeRangeReply(f.Payload)
+	if err == nil {
+		c.noteEpoch(epoch)
+	}
+	return items, more, err
 }
 
 // Len returns the number of keys in the database.
@@ -397,7 +458,10 @@ func (c *Conn) Len() (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	n, err := proto.DecodeU64(f.Payload)
+	n, epoch, err := proto.DecodeLenReply(f.Payload)
+	if err == nil {
+		c.noteEpoch(epoch)
+	}
 	return int(n), err
 }
 
@@ -440,6 +504,37 @@ func (c *Conn) SyncShardChunk(i int, hash [32]byte, offset uint64, maxLen int) (
 		return nil, false, err
 	}
 	return proto.DecodeSyncChunk(f.Payload)
+}
+
+// Health fetches the server's role and checkpoint position: whether it
+// is read-only, how many times the process has been promoted, its
+// checkpoint epoch, and the SHA-256 of its committed manifest. The
+// server answers without queueing behind writes, so Health stays
+// responsive as a liveness probe even when the write path is backed
+// up. Two nodes serving identical checkpoints report identical hashes.
+func (c *Conn) Health() (Health, error) {
+	f, err := c.call(proto.OpHealth, nil)
+	if err != nil {
+		return Health{}, err
+	}
+	h, err := proto.DecodeHealth(f.Payload)
+	if err == nil {
+		c.noteEpoch(h.Epoch)
+	}
+	return h, err
+}
+
+// Promote asks a read replica to become the writable primary and
+// returns the node's promotion count. A node that is already writable
+// refuses with an error satisfying errors.Is(err, ErrNotReplica).
+// Promotion is in-memory and wire-visible only; the caller is
+// responsible for making sure the old primary is actually gone.
+func (c *Conn) Promote() (uint64, error) {
+	f, err := c.call(proto.OpPromote, nil)
+	if err != nil {
+		return 0, err
+	}
+	return proto.DecodeU64(f.Payload)
 }
 
 // Ping round-trips payload (may be nil) through the server.

@@ -176,7 +176,7 @@ func TestRedialStopsAfterClose(t *testing.T) {
 		t.Fatal(err)
 	}
 	cl.slots[0].conn.Load().nc.Close()
-	cl.Conn() // notice the dead conn; kick off the redial
+	cl.Conn() //nolint:errcheck // notice the dead conn; kick off the redial
 	cl.Close()
 	// Give any racing redial time to land, then verify every slot's
 	// conn is closed.

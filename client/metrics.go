@@ -13,6 +13,7 @@ type clientMetrics struct {
 	redials       *obs.Counter   // broken connections successfully replaced
 	redialFails   *obs.Counter   // redial attempts that failed (and backed off)
 	brokenSkips   *obs.Counter   // round-robin picks that skipped a dead conn
+	failovers     *obs.Counter   // completed pool failovers to another endpoint
 	requestErrors *obs.Counter   // calls that returned an error (remote or transport)
 	inflight      *obs.Gauge     // requests awaiting replies right now
 	reqSecs       *obs.Histogram // request latency, send to reply (client view)
@@ -23,6 +24,7 @@ func newClientMetrics(r *obs.Registry) *clientMetrics {
 		redials:       r.Counter("hidb_client_redials_total", "broken pool connections successfully replaced"),
 		redialFails:   r.Counter("hidb_client_redial_failures_total", "redial attempts that failed and backed off"),
 		brokenSkips:   r.Counter("hidb_client_broken_skips_total", "pool picks that skipped a broken connection"),
+		failovers:     r.Counter("hidb_client_failovers_total", "completed pool failovers to another endpoint"),
 		requestErrors: r.Counter("hidb_client_request_errors_total", "requests that returned an error, remote or transport"),
 		inflight:      r.Gauge("hidb_client_inflight", "requests currently awaiting replies"),
 		reqSecs:       r.Histogram("hidb_client_request_seconds", "request latency from send to reply, as the client sees it", obs.UnitSeconds),

@@ -274,7 +274,8 @@ func benchServer(d time.Duration) map[string]benchjson.Metrics {
 	withServer(func(cl *client.Client) {
 		out["mixed_90r"] = measureConcurrent(d, conns*depth, func(w int) func() {
 			rng := rand.New(rand.NewSource(int64(w)*2654435761 + 1))
-			conn := cl.Conn()
+			conn, err := cl.Conn()
+			must(err)
 			return func() {
 				if rng.Float64() < 0.9 {
 					_, _, err := conn.Get(rng.Int63n(keys))
@@ -290,7 +291,8 @@ func benchServer(d time.Duration) map[string]benchjson.Metrics {
 	withServer(func(cl *client.Client) {
 		out["put_coalesced"] = measureConcurrent(d, conns*depth, func(w int) func() {
 			rng := rand.New(rand.NewSource(int64(w)*2654435761 + 1))
-			conn := cl.Conn()
+			conn, err := cl.Conn()
+			must(err)
 			return func() {
 				_, err := conn.Put(rng.Int63n(keys), rng.Int63())
 				must(err)

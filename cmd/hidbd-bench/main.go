@@ -37,6 +37,15 @@
 // entries epoch by epoch while the bench measures read-until-gone
 // rates. The JSON output reports expired_reads and expired_read_rate.
 //
+// Failover mode: -failover (self-host only, needs -replicas >= 1)
+// points the client pool at the whole cluster as a ranked endpoint
+// list, then kills the primary — listener and all — halfway through
+// the window and promotes replica 0 over the wire with a PROMOTE
+// frame. Workers tolerate the outage (errors are counted, not fatal)
+// and keep going once the pool fails over to the promoted node, so
+// -min-ops enforces that the cluster actually came back. This is the
+// HA path measured end to end: kill, promote, redirect, finish.
+//
 // The process exits nonzero if total completed ops fall below -min-ops,
 // so a wedged server fails loudly in CI.
 package main
@@ -70,6 +79,7 @@ type result struct {
 	ReadFrac   float64 `json:"read_frac"`
 	Keys       int     `json:"key_space"`
 	Batch      int     `json:"batch"`
+	Failover   bool    `json:"failover,omitempty"`
 	DurationMS float64 `json:"duration_ms"`
 	Ops        uint64  `json:"ops"`
 	Reads      uint64  `json:"reads"`
@@ -109,10 +119,15 @@ func main() {
 		repAddrs = flag.String("replica-addrs", "", "comma-separated external replica addresses for reads")
 		ttl      = flag.Duration("ttl", 0, "session-churn: writes expire this long after they land (0: no TTL workload)")
 		ttlFrac  = flag.Float64("ttl-frac", 1.0, "fraction of writes that carry the -ttl expiry")
+		failover = flag.Bool("failover", false, "kill the self-hosted primary mid-run and promote replica 0 (needs -replicas >= 1)")
 	)
 	flag.Parse()
 	if *replicas > 0 && *addr != "" {
 		fmt.Fprintln(os.Stderr, "hidbd-bench: -replicas requires self-hosting (omit -addr); use -replica-addrs against an external cluster")
+		os.Exit(2)
+	}
+	if *failover && (*addr != "" || *replicas < 1) {
+		fmt.Fprintln(os.Stderr, "hidbd-bench: -failover requires self-hosting with -replicas >= 1")
 		os.Exit(2)
 	}
 	if *ttl > 0 && *batch > 1 {
@@ -131,12 +146,12 @@ func main() {
 	}
 
 	target := *addr
-	var stopServer func()
+	var stopServer, killPrimary func()
 	var replicaTargets []string
 	if target == "" {
 		res.SelfHosted = true
 		var err error
-		target, replicaTargets, stopServer, err = selfHost(*replicas)
+		target, replicaTargets, killPrimary, stopServer, err = selfHost(*replicas)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hidbd-bench: self-host: %v\n", err)
 			os.Exit(1)
@@ -153,7 +168,13 @@ func main() {
 	res.Addr = target
 	res.Replicas = len(replicaTargets)
 
-	cl, err := client.Open(target, *conns, 30*time.Second)
+	// In failover mode the pool knows the whole cluster as a ranked
+	// endpoint list, so it can find the promoted node on its own.
+	endpoints := []string{target}
+	if *failover {
+		endpoints = append(endpoints, replicaTargets...)
+	}
+	cl, err := client.OpenEndpoints(endpoints, *conns, 30*time.Second)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hidbd-bench: %v\n", err)
 		os.Exit(1)
@@ -202,14 +223,31 @@ func main() {
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(w)*2654435761 + 1))
-			conn := cl.Conn() // round-robin: depth workers per conn
-			// Reads go to this worker's replica connection when a read
-			// tier exists; without one they stay on the SAME connection
-			// as the writes, preserving the classic single-node profile
-			// (depth workers per conn, per-conn read-after-write order).
-			rconn := conn
-			if len(replicaTargets) > 0 {
-				rconn = readPools[w%len(readPools)].Conn()
+			var conn, rconn kvOps
+			if *failover {
+				// Everything goes through the pool so its endpoint
+				// failover — not a pinned connection — carries the
+				// worker across the primary's death.
+				conn, rconn = cl, cl
+			} else {
+				c, cerr := cl.Conn() // round-robin: depth workers per conn
+				if cerr != nil {
+					errs.Add(1)
+					return
+				}
+				// Reads go to this worker's replica connection when a read
+				// tier exists; without one they stay on the SAME connection
+				// as the writes, preserving the classic single-node profile
+				// (depth workers per conn, per-conn read-after-write order).
+				conn, rconn = c, c
+				if len(replicaTargets) > 0 {
+					rc, cerr := readPools[w%len(readPools)].Conn()
+					if cerr != nil {
+						errs.Add(1)
+						return
+					}
+					rconn = rc
+				}
 			}
 			kbuf := make([]int64, 0, *batch)
 			ibuf := make([]client.Item, 0, *batch)
@@ -264,8 +302,16 @@ func main() {
 				if err != nil {
 					select {
 					case <-stop: // a teardown race, not a server error
+						return
 					default:
 						errs.Add(1)
+					}
+					if *failover {
+						// The outage is the point: back off briefly and
+						// keep offering load so the post-promotion
+						// cluster gets measured too.
+						time.Sleep(5 * time.Millisecond)
+						continue
 					}
 					return
 				}
@@ -281,7 +327,27 @@ func main() {
 			}
 		}(w)
 	}
-	time.Sleep(*duration)
+	if *failover {
+		// Halfway through: power-cut the primary (listener, conns, and
+		// all — the durable state is abandoned, not checkpointed), then
+		// promote replica 0 over the wire. The PROMOTE frame is the
+		// same opcode an operator's tooling would send.
+		time.Sleep(*duration / 2)
+		killPrimary()
+		pc, perr := client.DialTimeout(replicaTargets[0], 5*time.Second)
+		if perr == nil {
+			_, perr = pc.Promote()
+			pc.Close()
+		}
+		if perr != nil {
+			fmt.Fprintf(os.Stderr, "hidbd-bench: promote %s: %v\n", replicaTargets[0], perr)
+			os.Exit(1)
+		}
+		res.Failover = true
+		time.Sleep(*duration - *duration/2)
+	} else {
+		time.Sleep(*duration)
+	}
 	close(stop)
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -377,20 +443,34 @@ func writeJSON(path string, res result) error {
 	return f.Close()
 }
 
+// kvOps is the slice of the client API the workers use — satisfied by
+// both *client.Conn (pinned connection, the classic profile) and
+// *client.Client (the pool, whose failover carries workers across a
+// primary's death).
+type kvOps interface {
+	Get(key int64) (int64, bool, error)
+	GetTTL(key int64) (val, exp int64, ok bool, err error)
+	GetBatch(keys []int64) ([]int64, []bool, error)
+	Put(key, val int64) (bool, error)
+	PutTTL(key, val, exp int64) (bool, error)
+	PutBatch(items []client.Item) (int, error)
+}
+
 // selfHost starts an in-process hidbd over a fresh temp directory on a
 // loopback port — plus nReplicas read replicas, each with its own
 // directory, continuously syncing off the primary — and returns the
-// primary address, the replica addresses, and one teardown.
-func selfHost(nReplicas int) (addr string, replicaAddrs []string, stop func(), err error) {
+// primary address, the replica addresses, a kill switch that
+// power-cuts the primary (for -failover), and one teardown.
+func selfHost(nReplicas int) (addr string, replicaAddrs []string, killPrimary, stop func(), err error) {
 	var stops []func()
 	stop = func() {
 		for i := len(stops) - 1; i >= 0; i-- {
 			stops[i]()
 		}
 	}
-	fail := func(err error) (string, []string, func(), error) {
+	fail := func(err error) (string, []string, func(), func(), error) {
 		stop()
-		return "", nil, nil, err
+		return "", nil, nil, nil, err
 	}
 
 	dir, err := os.MkdirTemp("", "hidbd-bench-*")
@@ -402,7 +482,12 @@ func selfHost(nReplicas int) (addr string, replicaAddrs []string, stop func(), e
 	if err != nil {
 		return fail(err)
 	}
-	stops = append(stops, func() { db.Close() })
+	var dead atomic.Bool
+	stops = append(stops, func() {
+		if !dead.Load() {
+			db.Close()
+		}
+	})
 	srv := server.New(db, server.Config{})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -411,6 +496,17 @@ func selfHost(nReplicas int) (addr string, replicaAddrs []string, stop func(), e
 	go srv.Serve(ln)
 	stops = append(stops, srv.Close)
 	addr = ln.Addr().String()
+	killPrimary = func() {
+		// Power cut, not shutdown: the listener and every conn drop,
+		// and the durable state is abandoned without the clean-close
+		// checkpoint — whatever wasn't checkpointed is gone, exactly
+		// like a crash.
+		if dead.Swap(true) {
+			return
+		}
+		srv.Close()
+		db.Abandon()
+	}
 
 	for i := 0; i < nReplicas; i++ {
 		rdir, err := os.MkdirTemp("", "hidbd-bench-replica-*")
@@ -436,7 +532,13 @@ func selfHost(nReplicas int) (addr string, replicaAddrs []string, stop func(), e
 		}
 		rep.Start()
 		stops = append(stops, rep.Stop)
-		rsrv := server.New(rdb, server.Config{ReadOnly: true})
+		rsrv := server.New(rdb, server.Config{
+			ReadOnly: true,
+			// A PROMOTE frame lifts this node to primary: anti-entropy
+			// abdicates first, then the background checkpointer starts.
+			OnPromote:         rep.Abdicate,
+			PromoteBackground: true,
+		})
 		rln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return fail(err)
@@ -445,7 +547,7 @@ func selfHost(nReplicas int) (addr string, replicaAddrs []string, stop func(), e
 		stops = append(stops, rsrv.Close)
 		replicaAddrs = append(replicaAddrs, rln.Addr().String())
 	}
-	return addr, replicaAddrs, stop, nil
+	return addr, replicaAddrs, killPrimary, stop, nil
 }
 
 // preload writes the whole key space to the primary, checkpoints, and

@@ -23,6 +23,16 @@
 // byte-identical to the primary's checkpoint. Replicas also serve the
 // sync opcodes, so replicas can chain off replicas.
 //
+// A replica can be lifted to primary: a PROMOTE frame (see
+// docs/PROTOCOL.md) quiesces anti-entropy, re-arms sweeping and
+// background checkpointing, and flips the node writable. With
+// -health-interval the replica PINGs the primary on a dedicated
+// connection and declares it down after -health-threshold consecutive
+// failures; -auto-promote then promotes this node automatically
+// (single-replica topologies only — two auto-promoting replicas can
+// split-brain). Promotion state is memory and wire only; nothing about
+// an election ever reaches the disk.
+//
 // With -debug-addr, an HTTP listener serves the observability surface
 // on an explicit mux (nothing leaks onto http.DefaultServeMux):
 // Prometheus-style metrics at /metrics (docs/OBSERVABILITY.md is the
@@ -87,10 +97,17 @@ func main() {
 		replicaOf  = flag.String("replica-of", "", "primary address; serve read-only and replicate from it")
 		syncEvery  = flag.Duration("sync-interval", 250*time.Millisecond, "replica anti-entropy poll period")
 		sweepEvery = flag.Duration("sweep-interval", time.Second, "TTL expiry sweeper poll period (negative: no sweeper)")
+		healthIntv = flag.Duration("health-interval", 0, "replica: PING the primary this often (0: no health checking)")
+		healthN    = flag.Int("health-threshold", 3, "replica: consecutive failed probes before the primary is declared down")
+		autoProm   = flag.Bool("auto-promote", false, "replica: self-promote to primary when health checking declares the primary down (single-replica topologies only — two auto-promoting replicas can split-brain)")
 	)
 	flag.Parse()
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "usage: hidbd -dir DIR [-addr :4545] [flags]")
+		os.Exit(2)
+	}
+	if (*autoProm || *healthIntv > 0) && *replicaOf == "" {
+		fmt.Fprintln(os.Stderr, "hidbd: -auto-promote and -health-interval only apply to a replica (-replica-of)")
 		os.Exit(2)
 	}
 
@@ -127,17 +144,43 @@ func main() {
 	if *slowOp > 0 {
 		srvCfg.SlowOpLog = os.Stderr
 	}
-	srv := server.New(db, srvCfg)
-
+	// A replica can be promoted to primary by a PROMOTE frame (or by
+	// -auto-promote): anti-entropy abdicates first, then the background
+	// checkpointer starts, then writes are accepted. The closure reads
+	// rep at promotion time, after both objects exist.
 	var rep *replica.Replica
 	if *replicaOf != "" {
-		rep, err = replica.New(db, replica.Config{
+		srvCfg.OnPromote = func() {
+			if rep != nil {
+				rep.Abdicate()
+			}
+		}
+		srvCfg.PromoteBackground = true
+	}
+	srv := server.New(db, srvCfg)
+
+	if *replicaOf != "" {
+		repCfg := replica.Config{
 			Interval: *syncEvery,
 			Metrics:  reg,
 			Dial: func() (net.Conn, error) {
 				return net.DialTimeout("tcp", *replicaOf, 5*time.Second)
 			},
-		})
+			Server:          srv,
+			HealthInterval:  *healthIntv,
+			HealthThreshold: *healthN,
+		}
+		if *autoProm {
+			repCfg.OnPrimaryDown = func() {
+				n, perr := rep.Promote()
+				if perr != nil {
+					fmt.Fprintf(os.Stderr, "hidbd: auto-promote: %v\n", perr)
+					return
+				}
+				fmt.Printf("hidbd: primary %s declared down — promoted to primary (promotion %d)\n", *replicaOf, n)
+			}
+		}
+		rep, err = replica.New(db, repCfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hidbd: %v\n", err)
 			os.Exit(1)

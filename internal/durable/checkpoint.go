@@ -50,7 +50,7 @@ func (db *DB) checkpoint() error {
 	s := db.store.Load()
 	// The live-set-at-E sweep: what gets committed is a pure function of
 	// (contents, epoch), never of any earlier sweeper's schedule.
-	if !db.opts.NoSweep {
+	if !db.noSweep.Load() {
 		if epoch := expiry.Epoch(db.opts.Clock); epoch > 0 {
 			if n := s.SweepExpired(epoch); n > 0 {
 				db.sweptKeys.Add(uint64(n))

@@ -134,12 +134,21 @@ type DB struct {
 	checkpoints atomic.Uint64 // committed checkpoints (in-memory stat)
 	sweptKeys   atomic.Uint64 // expired entries physically removed since Open
 	closed      atomic.Bool
+	// noSweep is Options.NoSweep made switchable at runtime: a replica
+	// opens with sweeping off and Promote turns it back on. It is an
+	// in-memory role bit only — nothing about it reaches the disk.
+	noSweep atomic.Bool
 
 	m dbMetrics
 
 	kick chan struct{} // threshold trigger for the background loop
 	stop chan struct{}
-	wg   sync.WaitGroup
+	// bgMu guards bgRunning, the start/stop handshake for the background
+	// checkpointer: Open may start it, Promote may start it later on a
+	// replica, and Close/Abandon must stop it exactly once.
+	bgMu      sync.Mutex
+	bgRunning bool
+	wg        sync.WaitGroup
 }
 
 // Open opens the database directory dir, creating it (and an initial
@@ -192,9 +201,14 @@ func Open(dir string, opts *Options) (*DB, error) {
 		}
 	}
 
+	// kick and stop exist even when the checkpointer is not running, so
+	// a later Promote can start it without racing writers that already
+	// consult the kick channel.
+	db.kick = make(chan struct{}, 1)
+	db.stop = make(chan struct{})
+	db.noSweep.Store(o.NoSweep)
 	if !o.NoBackground {
-		db.kick = make(chan struct{}, 1)
-		db.stop = make(chan struct{})
+		db.bgRunning = true
 		db.wg.Add(1)
 		go db.background()
 	}
@@ -272,7 +286,7 @@ func (db *DB) noteDirty(n int) {
 	if n <= 0 {
 		return
 	}
-	if db.dirtyOps.Add(uint64(n)) >= uint64(db.opts.CheckpointThreshold) && db.kick != nil {
+	if db.dirtyOps.Add(uint64(n)) >= uint64(db.opts.CheckpointThreshold) {
 		select {
 		case db.kick <- struct{}{}:
 		default:
@@ -424,10 +438,7 @@ func (db *DB) Close() error {
 	if db.closed.Swap(true) {
 		return ErrClosed
 	}
-	if db.stop != nil {
-		close(db.stop)
-		db.wg.Wait()
-	}
+	db.stopBackground()
 	return db.checkpoint()
 }
 
@@ -441,10 +452,68 @@ func (db *DB) Abandon() {
 	if db.closed.Swap(true) {
 		return
 	}
-	if db.stop != nil {
+	db.stopBackground()
+}
+
+// stopBackground stops the checkpointer goroutine if one is running.
+// Callers have already marked the DB closed, so no new start can race
+// in behind the bgMu window.
+func (db *DB) stopBackground() {
+	db.bgMu.Lock()
+	running := db.bgRunning
+	db.bgRunning = false
+	if running {
 		close(db.stop)
+	}
+	db.bgMu.Unlock()
+	if running {
 		db.wg.Wait()
 	}
+}
+
+// Promote flips a read replica's DB into primary duty: checkpoint-time
+// expiry sweeping is re-enabled (the node now owns the live-set-at-E
+// contract instead of mirroring the old primary's swept images), and,
+// if background is set, the background checkpointer is started if it
+// is not already running. Promotion writes nothing to disk by itself —
+// the directory stays a pure function of contents, and the role change
+// becomes visible on disk only through what future checkpoints sweep.
+func (db *DB) Promote(background bool) {
+	db.noSweep.Store(false)
+	if !background {
+		return
+	}
+	db.bgMu.Lock()
+	defer db.bgMu.Unlock()
+	if db.bgRunning || db.closed.Load() {
+		return
+	}
+	db.bgRunning = true
+	db.wg.Add(1)
+	go db.background()
+}
+
+// Demote returns the DB to replica duty: checkpoint-time sweeping is
+// disabled again so the directory can track a new primary's committed
+// images exactly. The background checkpointer, if running, is left
+// running — InstallCheckpoint keeps the directory correct either way.
+func (db *DB) Demote() {
+	db.noSweep.Store(true)
+}
+
+// CheckpointStamp returns the node's checkpoint epoch — checkpoints
+// committed or installed since process start — together with the
+// SHA-256 of the committed manifest encoding. Two nodes serving
+// identical checkpoints report identical hashes (the manifest is
+// canonical), so a failover coordinator can rank replicas by content.
+// Both values are in-memory state; neither is ever persisted.
+func (db *DB) CheckpointStamp() (epoch uint64, hash [32]byte) {
+	db.cpMu.Lock()
+	defer db.cpMu.Unlock()
+	if db.man != nil {
+		hash = sha256.Sum256(db.man.encode())
+	}
+	return db.checkpoints.Load(), hash
 }
 
 // VerifyCanonical re-renders every shard's canonical image in memory

@@ -80,17 +80,17 @@ func TestProtocolDocLockstep(t *testing.T) {
 	if FlagReply != 0x80 {
 		t.Errorf("FlagReply = 0x%02x, doc says 0x80", FlagReply)
 	}
-	if Version != 1 {
-		t.Errorf("Version = %d, doc says 1", Version)
+	if Version != 2 {
+		t.Errorf("Version = %d, doc says 2", Version)
 	}
 	if MaxPayload != 1<<20 {
 		t.Errorf("MaxPayload = %d, doc says 1 MiB", MaxPayload)
 	}
-	if MaxBatchGet != (1<<20-4)/9 {
-		t.Errorf("MaxBatchGet = %d, doc says floor((1 MiB - 4)/9)", MaxBatchGet)
+	if MaxBatchGet != (1<<20-12)/9 {
+		t.Errorf("MaxBatchGet = %d, doc says floor((1 MiB - 12)/9)", MaxBatchGet)
 	}
-	if MaxRangeItems != (1<<20-5)/16 {
-		t.Errorf("MaxRangeItems = %d, doc says floor((1 MiB - 5)/16)", MaxRangeItems)
+	if MaxRangeItems != (1<<20-13)/16 {
+		t.Errorf("MaxRangeItems = %d, doc says floor((1 MiB - 13)/16)", MaxRangeItems)
 	}
 	if MaxSyncShards != (1<<20-12)/40 {
 		t.Errorf("MaxSyncShards = %d, doc says floor((1 MiB - 12)/40)", MaxSyncShards)
@@ -99,7 +99,7 @@ func TestProtocolDocLockstep(t *testing.T) {
 		t.Errorf("MaxSyncChunk = %d, doc says 1 MiB - 1", MaxSyncChunk)
 	}
 	// The bounds must actually keep the replies under the cap.
-	if 4+9*MaxBatchGet > MaxPayload || 5+16*MaxRangeItems > MaxPayload ||
+	if 12+9*MaxBatchGet > MaxPayload || 13+16*MaxRangeItems > MaxPayload ||
 		12+40*MaxSyncShards > MaxPayload || 1+MaxSyncChunk > MaxPayload {
 		t.Error("reply-size bounds do not fit MaxPayload")
 	}

@@ -25,9 +25,10 @@ func FuzzDecodeFrame(f *testing.F) {
 		{Ver: Version, Op: OpLen, ID: 7},
 		{Ver: Version, Op: OpCheckpoint, ID: 8},
 		{Ver: Version, Op: OpPing, ID: 9, Payload: []byte("ping")},
-		{Ver: Version, Op: OpGet | FlagReply, ID: 1, Payload: AppendFound(nil, true, 42)},
-		{Ver: Version, Op: OpRange | FlagReply, ID: 6, Payload: AppendRangeReply(nil, []Item{{Key: 1, Val: 2}}, false)},
-		{Ver: Version, Op: OpBatch | FlagReply, ID: 5, Payload: AppendBatchGetReply(nil, []int64{1}, []bool{true})},
+		{Ver: Version, Op: OpGet | FlagReply, ID: 1, Payload: AppendFound(nil, true, 42, 7)},
+		{Ver: Version, Op: OpLen | FlagReply, ID: 7, Payload: AppendLenReply(nil, 1000, 7)},
+		{Ver: Version, Op: OpRange | FlagReply, ID: 6, Payload: AppendRangeReply(nil, []Item{{Key: 1, Val: 2}}, false, 7)},
+		{Ver: Version, Op: OpBatch | FlagReply, ID: 5, Payload: AppendBatchGetReply(nil, []int64{1}, []bool{true}, 7)},
 		{Ver: Version, Op: OpError, ID: 2, Payload: AppendError(nil, ErrCodeBadFrame, "boom")},
 		{Ver: Version, Op: OpShardHash, ID: 10},
 		{Ver: Version, Op: OpShardHash | FlagReply, ID: 10,
@@ -37,7 +38,13 @@ func FuzzDecodeFrame(f *testing.F) {
 		{Ver: Version, Op: OpPutTTL, ID: 12, Payload: AppendKeyValExp(nil, 7, 70, 1_900_000_000)},
 		{Ver: Version, Op: OpPutTTL | FlagReply, ID: 12, Payload: AppendTTLAck(nil, true, 1_900_000_000)},
 		{Ver: Version, Op: OpGetTTL, ID: 13, Payload: AppendKey(nil, 7)},
-		{Ver: Version, Op: OpGetTTL | FlagReply, ID: 13, Payload: AppendFoundTTL(nil, true, 70, 1_900_000_000)},
+		{Ver: Version, Op: OpGetTTL | FlagReply, ID: 13, Payload: AppendFoundTTL(nil, true, 70, 1_900_000_000, 7)},
+		{Ver: Version, Op: OpHealth, ID: 14},
+		{Ver: Version, Op: OpHealth | FlagReply, ID: 14,
+			Payload: AppendHealth(nil, Health{ReadOnly: true, Promotions: 1, Epoch: 9, Hash: [32]byte{3, 1}})},
+		{Ver: Version, Op: OpPromote, ID: 15},
+		{Ver: Version, Op: OpPromote | FlagReply, ID: 15, Payload: AppendU64(nil, 1)},
+		{Ver: Version, Op: OpError, ID: 15, Payload: AppendError(nil, ErrCodeNotReplica, "already primary")},
 	}
 	for _, fr := range seeds {
 		wire := AppendFrame(nil, fr)
@@ -95,6 +102,8 @@ func FuzzDecodeFrame(f *testing.F) {
 		DecodeKeyValExp(fr.Payload)
 		DecodeTTLAck(fr.Payload)
 		DecodeFoundTTL(fr.Payload)
+		DecodeLenReply(fr.Payload)
+		DecodeHealth(fr.Payload)
 
 		// The streaming reader must agree with the buffer decoder.
 		sf, serr := ReadFrame(bytes.NewReader(data), payloadCap)

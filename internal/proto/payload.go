@@ -111,41 +111,63 @@ func DecodeTTLAck(p []byte) (changed bool, exp int64, err error) {
 	return p[0] == 1, exp, nil
 }
 
-// AppendFoundTTL appends an OpGetTTL reply: found flag, the value, and
-// the entry's recorded absolute expiry (both zero when absent; expiry
-// zero also means "never expires" on a found entry).
-func AppendFoundTTL(dst []byte, found bool, val, exp int64) []byte {
+// AppendFoundTTL appends an OpGetTTL reply: found flag, the value, the
+// entry's recorded absolute expiry (both zero when absent; expiry zero
+// also means "never expires" on a found entry), and the serving node's
+// checkpoint epoch.
+func AppendFoundTTL(dst []byte, found bool, val, exp int64, epoch uint64) []byte {
 	dst = AppendBool(dst, found)
 	dst = binary.BigEndian.AppendUint64(dst, uint64(val))
-	return binary.BigEndian.AppendUint64(dst, uint64(exp))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(exp))
+	return binary.BigEndian.AppendUint64(dst, epoch)
 }
 
 // DecodeFoundTTL decodes an OpGetTTL reply.
-func DecodeFoundTTL(p []byte) (val, exp int64, found bool, err error) {
-	if len(p) != 17 || p[0] > 1 {
-		return 0, 0, false, fmt.Errorf("proto: bad get-ttl reply payload (%d bytes)", len(p))
+func DecodeFoundTTL(p []byte) (val, exp int64, epoch uint64, found bool, err error) {
+	if len(p) != 25 || p[0] > 1 {
+		return 0, 0, 0, false, fmt.Errorf("proto: bad get-ttl reply payload (%d bytes)", len(p))
 	}
 	val = int64(binary.BigEndian.Uint64(p[1:]))
 	exp = int64(binary.BigEndian.Uint64(p[9:]))
 	if exp < 0 {
-		return 0, 0, false, fmt.Errorf("proto: negative expiry epoch %d in reply", exp)
+		return 0, 0, 0, false, fmt.Errorf("proto: negative expiry epoch %d in reply", exp)
 	}
-	return val, exp, p[0] == 1, nil
+	return val, exp, binary.BigEndian.Uint64(p[17:]), p[0] == 1, nil
 }
 
-// AppendFound appends an OpGet reply: found flag plus the value (zero
-// when absent).
-func AppendFound(dst []byte, found bool, val int64) []byte {
+// AppendFound appends an OpGet reply: found flag, the value (zero when
+// absent), and the serving node's checkpoint epoch — the count of
+// checkpoints this node has committed or installed since process start.
+// The epoch is the bounded-staleness stamp: on a replica it identifies
+// exactly which installed checkpoint served the read. It is node-local,
+// in-memory state, never persisted, so it leaks no history to disk.
+func AppendFound(dst []byte, found bool, val int64, epoch uint64) []byte {
 	dst = AppendBool(dst, found)
-	return binary.BigEndian.AppendUint64(dst, uint64(val))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(val))
+	return binary.BigEndian.AppendUint64(dst, epoch)
 }
 
 // DecodeFound decodes an OpGet reply.
-func DecodeFound(p []byte) (val int64, found bool, err error) {
-	if len(p) != 9 || p[0] > 1 {
-		return 0, false, fmt.Errorf("proto: bad get reply payload (%d bytes)", len(p))
+func DecodeFound(p []byte) (val int64, epoch uint64, found bool, err error) {
+	if len(p) != 17 || p[0] > 1 {
+		return 0, 0, false, fmt.Errorf("proto: bad get reply payload (%d bytes)", len(p))
 	}
-	return int64(binary.BigEndian.Uint64(p[1:])), p[0] == 1, nil
+	return int64(binary.BigEndian.Uint64(p[1:])), binary.BigEndian.Uint64(p[9:]), p[0] == 1, nil
+}
+
+// AppendLenReply appends an OpLen reply: the element count plus the
+// serving node's checkpoint epoch.
+func AppendLenReply(dst []byte, count, epoch uint64) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, count)
+	return binary.BigEndian.AppendUint64(dst, epoch)
+}
+
+// DecodeLenReply decodes an OpLen reply.
+func DecodeLenReply(p []byte) (count, epoch uint64, err error) {
+	if len(p) != 16 {
+		return 0, 0, fmt.Errorf("proto: len reply is %d bytes, want 16", len(p))
+	}
+	return binary.BigEndian.Uint64(p), binary.BigEndian.Uint64(p[8:]), nil
 }
 
 // Entry ceilings derived from MaxPayload. Request payload sizes bound
@@ -155,12 +177,12 @@ func DecodeFound(p []byte) (val int64, found bool, err error) {
 // ErrCodeTooLarge rather than emit a reply frame no client could read.
 const (
 	// MaxBatchGet caps keys in one BatchGet: the reply carries
-	// 4 + 9·n bytes (count, then found+val per key).
-	MaxBatchGet = (MaxPayload - 4) / 9
-	// MaxRangeItems caps items in one OpRange reply: 5 + 16·n bytes
-	// (more flag, count, then key+val pairs). Servers clamp their
-	// configured range cap to it.
-	MaxRangeItems = (MaxPayload - 5) / 16
+	// 12 + 9·n bytes (epoch, count, then found+val per key).
+	MaxBatchGet = (MaxPayload - 12) / 9
+	// MaxRangeItems caps items in one OpRange reply: 13 + 16·n bytes
+	// (more flag, epoch, count, then key+val pairs). Servers clamp
+	// their configured range cap to it.
+	MaxRangeItems = (MaxPayload - 13) / 16
 )
 
 // AppendBatchPut appends an OpBatch request payload of kind BatchPut.
@@ -233,9 +255,11 @@ func DecodeU32(p []byte) (uint32, error) {
 	return binary.BigEndian.Uint32(p), nil
 }
 
-// AppendBatchGetReply appends a BatchGet reply: count then a
-// found(1) val(8) pair per requested key, in request order.
-func AppendBatchGetReply(dst []byte, vals []int64, found []bool) []byte {
+// AppendBatchGetReply appends a BatchGet reply: the serving node's
+// checkpoint epoch, a count, then a found(1) val(8) pair per requested
+// key, in request order.
+func AppendBatchGetReply(dst []byte, vals []int64, found []bool, epoch uint64) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, epoch)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(vals)))
 	for i, v := range vals {
 		dst = AppendBool(dst, found[i])
@@ -245,26 +269,27 @@ func AppendBatchGetReply(dst []byte, vals []int64, found []bool) []byte {
 }
 
 // DecodeBatchGetReply decodes a BatchGet reply.
-func DecodeBatchGetReply(p []byte) (vals []int64, found []bool, err error) {
-	if len(p) < 4 {
-		return nil, nil, fmt.Errorf("proto: batch-get reply is %d bytes, want >= 4", len(p))
+func DecodeBatchGetReply(p []byte) (vals []int64, found []bool, epoch uint64, err error) {
+	if len(p) < 12 {
+		return nil, nil, 0, fmt.Errorf("proto: batch-get reply is %d bytes, want >= 12", len(p))
 	}
-	n := binary.BigEndian.Uint32(p)
-	body := p[4:]
+	epoch = binary.BigEndian.Uint64(p)
+	n := binary.BigEndian.Uint32(p[8:])
+	body := p[12:]
 	if uint64(len(body)) != uint64(n)*9 {
-		return nil, nil, fmt.Errorf("proto: batch-get reply of %d entries has %d payload bytes", n, len(body))
+		return nil, nil, 0, fmt.Errorf("proto: batch-get reply of %d entries has %d payload bytes", n, len(body))
 	}
 	vals = make([]int64, n)
 	found = make([]bool, n)
 	for i := range vals {
 		e := body[i*9 : i*9+9]
 		if e[0] > 1 {
-			return nil, nil, fmt.Errorf("proto: batch-get reply entry %d has bad found byte", i)
+			return nil, nil, 0, fmt.Errorf("proto: batch-get reply entry %d has bad found byte", i)
 		}
 		found[i] = e[0] == 1
 		vals[i] = int64(binary.BigEndian.Uint64(e[1:]))
 	}
-	return vals, found, nil
+	return vals, found, epoch, nil
 }
 
 // AppendRangeReq appends an OpRange request: inclusive bounds plus a
@@ -287,10 +312,11 @@ func DecodeRangeReq(p []byte) (lo, hi int64, max uint32, err error) {
 }
 
 // AppendRangeReply appends an OpRange reply: a more flag (the cap
-// truncated the scan), a count, then key(8) val(8) pairs in ascending
-// key order.
-func AppendRangeReply(dst []byte, items []Item, more bool) []byte {
+// truncated the scan), the serving node's checkpoint epoch, a count,
+// then key(8) val(8) pairs in ascending key order.
+func AppendRangeReply(dst []byte, items []Item, more bool, epoch uint64) []byte {
 	dst = AppendBool(dst, more)
+	dst = binary.BigEndian.AppendUint64(dst, epoch)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(items)))
 	for _, it := range items {
 		dst = binary.BigEndian.AppendUint64(dst, uint64(it.Key))
@@ -300,22 +326,23 @@ func AppendRangeReply(dst []byte, items []Item, more bool) []byte {
 }
 
 // DecodeRangeReply decodes an OpRange reply.
-func DecodeRangeReply(p []byte) (items []Item, more bool, err error) {
-	if len(p) < 5 || p[0] > 1 {
-		return nil, false, fmt.Errorf("proto: range reply is %d bytes, want >= 5", len(p))
+func DecodeRangeReply(p []byte) (items []Item, epoch uint64, more bool, err error) {
+	if len(p) < 13 || p[0] > 1 {
+		return nil, 0, false, fmt.Errorf("proto: range reply is %d bytes, want >= 13", len(p))
 	}
 	more = p[0] == 1
-	n := binary.BigEndian.Uint32(p[1:])
-	body := p[5:]
+	epoch = binary.BigEndian.Uint64(p[1:])
+	n := binary.BigEndian.Uint32(p[9:])
+	body := p[13:]
 	if uint64(len(body)) != uint64(n)*16 {
-		return nil, false, fmt.Errorf("proto: range reply of %d items has %d payload bytes", n, len(body))
+		return nil, 0, false, fmt.Errorf("proto: range reply of %d items has %d payload bytes", n, len(body))
 	}
 	items = make([]Item, n)
 	for i := range items {
 		items[i].Key = int64(binary.BigEndian.Uint64(body[i*16:]))
 		items[i].Val = int64(binary.BigEndian.Uint64(body[i*16+8:]))
 	}
-	return items, more, nil
+	return items, epoch, more, nil
 }
 
 // ShardHash describes one shard's committed canonical image: its size
@@ -416,6 +443,42 @@ func DecodeSyncChunk(p []byte) (data []byte, more bool, err error) {
 		return nil, false, fmt.Errorf("proto: sync chunk is %d bytes, want >= 1 with a bool flag", len(p))
 	}
 	return p[1:], p[0] == 1, nil
+}
+
+// Health is an OpHealth reply: the node's role and checkpoint
+// position. Promotions counts the times this process has been promoted
+// to primary (zero for a node started writable); Epoch is the node's
+// checkpoint epoch (checkpoints committed or installed since process
+// start); Hash is the SHA-256 of the committed manifest encoding —
+// two nodes serving identical checkpoints report identical hashes, so
+// a failover coordinator can pick the freshest replica by content, not
+// by any persisted election record. All fields are in-memory state.
+type Health struct {
+	ReadOnly   bool
+	Promotions uint64
+	Epoch      uint64
+	Hash       [32]byte
+}
+
+// AppendHealth appends an OpHealth reply.
+func AppendHealth(dst []byte, h Health) []byte {
+	dst = AppendBool(dst, h.ReadOnly)
+	dst = binary.BigEndian.AppendUint64(dst, h.Promotions)
+	dst = binary.BigEndian.AppendUint64(dst, h.Epoch)
+	return append(dst, h.Hash[:]...)
+}
+
+// DecodeHealth decodes an OpHealth reply.
+func DecodeHealth(p []byte) (Health, error) {
+	var h Health
+	if len(p) != 49 || p[0] > 1 {
+		return h, fmt.Errorf("proto: health reply is %d bytes, want 49", len(p))
+	}
+	h.ReadOnly = p[0] == 1
+	h.Promotions = binary.BigEndian.Uint64(p[1:])
+	h.Epoch = binary.BigEndian.Uint64(p[9:])
+	copy(h.Hash[:], p[17:])
+	return h, nil
 }
 
 // AppendError appends an OpError payload: the code plus a human-readable

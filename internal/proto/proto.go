@@ -17,7 +17,9 @@ type Item = hipma.Item
 // Version is the protocol version spoken by this package. Every frame
 // carries it; a peer that receives a frame with a different version
 // must reject it with ErrCodeVersion and may close the connection.
-const Version = 1
+// Version 2 added the HEALTH/PROMOTE opcodes and stamped every read
+// reply with the serving node's checkpoint epoch (bounded staleness).
+const Version = 2
 
 // HeaderSize is the fixed frame overhead: the 4-byte length prefix plus
 // version, opcode, and request id.
@@ -32,12 +34,12 @@ const MaxPayload = 1 << 20
 // Request opcodes. Replies to an opcode op carry op|FlagReply; error
 // replies carry OpError regardless of the request opcode.
 const (
-	OpGet        byte = 0x01 // payload: key(8) → reply: found(1) val(8)
+	OpGet        byte = 0x01 // payload: key(8) → reply: found(1) val(8) epoch(8)
 	OpPut        byte = 0x02 // payload: key(8) val(8) → reply: changed(1)
 	OpDel        byte = 0x03 // payload: key(8) → reply: changed(1)
 	OpBatch      byte = 0x04 // payload: kind(1) count(4) entries → reply: kind-specific
-	OpRange      byte = 0x05 // payload: lo(8) hi(8) max(4) → reply: more(1) count(4) pairs
-	OpLen        byte = 0x06 // payload: empty → reply: count(8)
+	OpRange      byte = 0x05 // payload: lo(8) hi(8) max(4) → reply: more(1) epoch(8) count(4) pairs
+	OpLen        byte = 0x06 // payload: empty → reply: count(8) epoch(8)
 	OpCheckpoint byte = 0x07 // payload: empty → reply: checkpoints(8)
 	OpPing       byte = 0x08 // payload: arbitrary → reply: the same bytes
 
@@ -54,7 +56,16 @@ const (
 	// arrived" — relative TTLs are resolved by the client, so the wire
 	// carries only state, never timing. See docs/PROTOCOL.md "Expiry".
 	OpPutTTL byte = 0x0B // payload: key(8) val(8) exp(8) → reply: changed(1) exp(8)
-	OpGetTTL byte = 0x0C // payload: key(8) → reply: found(1) val(8) exp(8)
+	OpGetTTL byte = 0x0C // payload: key(8) → reply: found(1) val(8) exp(8) epoch(8)
+
+	// HA opcodes. HEALTH reports the node's role and checkpoint position
+	// (a liveness probe that never queues behind writes); PROMOTE lifts a
+	// read replica into a writable primary and returns the node's
+	// promotion epoch. Promotion state is wire- and memory-only — it is
+	// never persisted, so on-disk state stays a pure function of
+	// contents. See docs/PROTOCOL.md "Failover".
+	OpHealth  byte = 0x0D // payload: empty → reply: role(1) promotions(8) epoch(8) manifest-hash(32)
+	OpPromote byte = 0x0E // payload: empty → reply: promotions(8)
 )
 
 // FlagReply marks a frame as the successful reply to the request opcode
@@ -83,6 +94,8 @@ const (
 	ErrCodeInternal  byte = 7 // server-side failure (e.g. checkpoint error)
 	ErrCodeReadOnly  byte = 8 // server is a read replica; writes go to the primary
 	ErrCodeStale     byte = 9 // requested shard image superseded; re-fetch SHARDHASH
+
+	ErrCodeNotReplica byte = 10 // PROMOTE sent to a node that is already writable
 )
 
 // opNames is the authoritative opcode table; docs/PROTOCOL.md mirrors
@@ -100,21 +113,24 @@ var opNames = map[byte]string{
 	OpSync:       "OpSync",
 	OpPutTTL:     "OpPutTTL",
 	OpGetTTL:     "OpGetTTL",
+	OpHealth:     "OpHealth",
+	OpPromote:    "OpPromote",
 	OpError:      "OpError",
 }
 
 // errNames is the authoritative error-code table, mirrored by
 // docs/PROTOCOL.md under the same lockstep test.
 var errNames = map[byte]string{
-	ErrCodeBadFrame:  "ErrCodeBadFrame",
-	ErrCodeVersion:   "ErrCodeVersion",
-	ErrCodeUnknownOp: "ErrCodeUnknownOp",
-	ErrCodeTooLarge:  "ErrCodeTooLarge",
-	ErrCodeBusy:      "ErrCodeBusy",
-	ErrCodeShutdown:  "ErrCodeShutdown",
-	ErrCodeInternal:  "ErrCodeInternal",
-	ErrCodeReadOnly:  "ErrCodeReadOnly",
-	ErrCodeStale:     "ErrCodeStale",
+	ErrCodeBadFrame:   "ErrCodeBadFrame",
+	ErrCodeVersion:    "ErrCodeVersion",
+	ErrCodeUnknownOp:  "ErrCodeUnknownOp",
+	ErrCodeTooLarge:   "ErrCodeTooLarge",
+	ErrCodeBusy:       "ErrCodeBusy",
+	ErrCodeShutdown:   "ErrCodeShutdown",
+	ErrCodeInternal:   "ErrCodeInternal",
+	ErrCodeReadOnly:   "ErrCodeReadOnly",
+	ErrCodeStale:      "ErrCodeStale",
+	ErrCodeNotReplica: "ErrCodeNotReplica",
 }
 
 // OpName returns the symbolic name of an opcode ("OpGet"), or a hex

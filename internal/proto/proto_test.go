@@ -93,8 +93,15 @@ func TestPayloadRoundTrips(t *testing.T) {
 	if v, err := DecodeU32(AppendU32(nil, 7)); err != nil || v != 7 {
 		t.Fatalf("u32: %d %v", v, err)
 	}
-	if v, ok, err := DecodeFound(AppendFound(nil, true, -9)); err != nil || !ok || v != -9 {
-		t.Fatalf("found: %d %v %v", v, ok, err)
+	if v, ep, ok, err := DecodeFound(AppendFound(nil, true, -9, 5)); err != nil || !ok || v != -9 || ep != 5 {
+		t.Fatalf("found: %d %d %v %v", v, ep, ok, err)
+	}
+	if n, ep, err := DecodeLenReply(AppendLenReply(nil, 42, 6)); err != nil || n != 42 || ep != 6 {
+		t.Fatalf("len reply: %d %d %v", n, ep, err)
+	}
+	hl := Health{ReadOnly: true, Promotions: 2, Epoch: 11, Hash: [32]byte{9, 8, 7}}
+	if got, err := DecodeHealth(AppendHealth(nil, hl)); err != nil || got != hl {
+		t.Fatalf("health: %+v %v", got, err)
 	}
 
 	items := []Item{{Key: 1, Val: 10}, {Key: -2, Val: 20}}
@@ -109,18 +116,18 @@ func TestPayloadRoundTrips(t *testing.T) {
 		t.Fatalf("batch del: %d %v %v %v", kind, gotItems, gotKeys, err)
 	}
 
-	vals, found, err := DecodeBatchGetReply(AppendBatchGetReply(nil, []int64{7, 0}, []bool{true, false}))
-	if err != nil || len(vals) != 2 || vals[0] != 7 || !found[0] || found[1] {
-		t.Fatalf("batch get reply: %v %v %v", vals, found, err)
+	vals, found, bep, err := DecodeBatchGetReply(AppendBatchGetReply(nil, []int64{7, 0}, []bool{true, false}, 8))
+	if err != nil || len(vals) != 2 || vals[0] != 7 || !found[0] || found[1] || bep != 8 {
+		t.Fatalf("batch get reply: %v %v %d %v", vals, found, bep, err)
 	}
 
 	lo, hi, max, err := DecodeRangeReq(AppendRangeReq(nil, -10, 10, 3))
 	if err != nil || lo != -10 || hi != 10 || max != 3 {
 		t.Fatalf("range req: %d %d %d %v", lo, hi, max, err)
 	}
-	gotItems, more, err := DecodeRangeReply(AppendRangeReply(nil, items, true))
-	if err != nil || !more || len(gotItems) != 2 || gotItems[0] != items[0] {
-		t.Fatalf("range reply: %v %v %v", gotItems, more, err)
+	gotItems, rep, more, err := DecodeRangeReply(AppendRangeReply(nil, items, true, 9))
+	if err != nil || !more || len(gotItems) != 2 || gotItems[0] != items[0] || rep != 9 {
+		t.Fatalf("range reply: %v %d %v %v", gotItems, rep, more, err)
 	}
 
 	code, msg, err := DecodeError(AppendError(nil, ErrCodeShutdown, "bye"))
@@ -157,11 +164,11 @@ func TestPayloadRoundTrips(t *testing.T) {
 	if ch, exp, err := DecodeTTLAck(AppendTTLAck(nil, true, 123)); err != nil || !ch || exp != 123 {
 		t.Fatalf("ttl ack: %v %d %v", ch, exp, err)
 	}
-	if v, exp, ok, err := DecodeFoundTTL(AppendFoundTTL(nil, true, -3, 456)); err != nil || !ok || v != -3 || exp != 456 {
-		t.Fatalf("found-ttl: %d %d %v %v", v, exp, ok, err)
+	if v, exp, ep, ok, err := DecodeFoundTTL(AppendFoundTTL(nil, true, -3, 456, 4)); err != nil || !ok || v != -3 || exp != 456 || ep != 4 {
+		t.Fatalf("found-ttl: %d %d %d %v %v", v, exp, ep, ok, err)
 	}
-	if v, exp, ok, err := DecodeFoundTTL(AppendFoundTTL(nil, false, 0, 0)); err != nil || ok || v != 0 || exp != 0 {
-		t.Fatalf("absent found-ttl: %d %d %v %v", v, exp, ok, err)
+	if v, exp, ep, ok, err := DecodeFoundTTL(AppendFoundTTL(nil, false, 0, 0, 0)); err != nil || ok || v != 0 || exp != 0 || ep != 0 {
+		t.Fatalf("absent found-ttl: %d %d %d %v %v", v, exp, ep, ok, err)
 	}
 }
 
@@ -176,10 +183,10 @@ func TestHostilePayloads(t *testing.T) {
 	if _, _, _, err := DecodeBatch(lie); err == nil {
 		t.Fatal("truncated batch accepted")
 	}
-	if _, _, err := DecodeBatchGetReply([]byte{0xFF, 0xFF, 0xFF, 0xFF}); err == nil {
+	if _, _, _, err := DecodeBatchGetReply(append(make([]byte, 8), 0xFF, 0xFF, 0xFF, 0xFF)); err == nil {
 		t.Fatal("batch-get reply count lie accepted")
 	}
-	if _, _, err := DecodeRangeReply([]byte{0, 0xFF, 0xFF, 0xFF, 0xFF}); err == nil {
+	if _, _, _, err := DecodeRangeReply(append(make([]byte, 9), 0xFF, 0xFF, 0xFF, 0xFF)); err == nil {
 		t.Fatal("range reply count lie accepted")
 	}
 	if _, _, _, err := DecodeBatch([]byte{9, 0, 0, 0, 0}); err == nil {
@@ -219,11 +226,17 @@ func TestHostilePayloads(t *testing.T) {
 	if _, _, err := DecodeTTLAck(AppendTTLAck(nil, true, -1)); err == nil {
 		t.Fatal("negative expiry in put-ttl reply accepted")
 	}
-	if _, _, _, err := DecodeFoundTTL(make([]byte, 9)); err == nil {
+	if _, _, _, _, err := DecodeFoundTTL(make([]byte, 9)); err == nil {
 		t.Fatal("short get-ttl reply accepted")
 	}
-	if _, _, _, err := DecodeFoundTTL(AppendFoundTTL(nil, true, 1, -9)); err == nil {
+	if _, _, _, _, err := DecodeFoundTTL(AppendFoundTTL(nil, true, 1, -9, 0)); err == nil {
 		t.Fatal("negative expiry in get-ttl reply accepted")
+	}
+	if _, err := DecodeHealth(make([]byte, 48)); err == nil {
+		t.Fatal("short health reply accepted")
+	}
+	if _, err := DecodeHealth(append([]byte{2}, make([]byte, 48)...)); err == nil {
+		t.Fatal("bad health role flag accepted")
 	}
 }
 

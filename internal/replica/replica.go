@@ -13,6 +13,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/obs"
 	"repro/internal/proto"
+	"repro/internal/server"
 )
 
 // Config tunes a Replica. Dial is required; everything else has
@@ -37,6 +38,22 @@ type Config struct {
 	// counts and duration, divergent shards, bytes fetched, verify
 	// failures) on the given registry. Nil is valid.
 	Metrics *obs.Registry
+
+	// Server, if set, is the read-only server.Server over the same DB;
+	// Promote flips it writable. Required for Promote, unused otherwise.
+	Server *server.Server
+	// HealthInterval enables the primary health prober: a PING on a
+	// dedicated connection every interval (0: prober disabled). The
+	// prober shares Dial and Timeout with anti-entropy.
+	HealthInterval time.Duration
+	// HealthThreshold is the consecutive probe failures after which the
+	// primary is declared down (0: 3).
+	HealthThreshold int
+	// OnPrimaryDown runs once, in its own goroutine, when the prober
+	// declares the primary down. Typically wired to Promote — the
+	// goroutine matters, because Promote stops the prober and would
+	// deadlock if called from inside its loop.
+	OnPrimaryDown func()
 }
 
 func (c Config) withDefaults() Config {
@@ -52,6 +69,9 @@ func (c Config) withDefaults() Config {
 		c.Timeout = 30 * time.Second
 	} else if c.Timeout < 0 {
 		c.Timeout = 0
+	}
+	if c.HealthThreshold <= 0 {
+		c.HealthThreshold = 3
 	}
 	return c
 }
@@ -77,6 +97,9 @@ type Stats struct {
 	ShardsFetched uint64 `json:"shards_fetched"`
 	BytesFetched  uint64 `json:"bytes_fetched"`
 	Errors        uint64 `json:"errors"`
+	ProbeFailures uint64 `json:"probe_failures"`
+	PrimaryDown   bool   `json:"primary_down"`
+	Promoted      bool   `json:"promoted"`
 }
 
 // Replica keeps a durable.DB converged onto a primary's committed
@@ -100,7 +123,26 @@ type Replica struct {
 	stop     chan struct{}
 	wg       sync.WaitGroup
 	started  atomic.Bool
+
+	// Health prober state. pconn is the prober's dedicated connection —
+	// deliberately not shared with anti-entropy, so a sync round stuck
+	// mid-fetch cannot make the primary look alive (or dead).
+	pmu         sync.Mutex
+	pconn       *client.Conn
+	probeFails  atomic.Uint64
+	primaryDown atomic.Bool
+
+	// abdicated flips when this node leaves replica duty (promotion).
+	// Checked under mu at round entry, and set before Stop's mu barrier,
+	// so once Abdicate returns no install can ever land again.
+	abdicated atomic.Bool
+	promoteMu sync.Mutex
 }
+
+// ErrPromoted is returned by SyncOnce after Abdicate: this node has
+// left replica duty and must not install checkpoints from the old
+// primary.
+var ErrPromoted = errors.New("replica: node was promoted; anti-entropy abdicated")
 
 // New returns a Replica over db. The db should have been opened with
 // NoBackground: a replica's durable state advances by installing the
@@ -122,6 +164,9 @@ func (r *Replica) Stats() Stats {
 		ShardsFetched: r.shardsFetched.Load(),
 		BytesFetched:  r.bytesFetched.Load(),
 		Errors:        r.errs.Load(),
+		ProbeFailures: r.probeFails.Load(),
+		PrimaryDown:   r.primaryDown.Load(),
+		Promoted:      r.abdicated.Load(),
 	}
 }
 
@@ -158,6 +203,9 @@ func (r *Replica) dropConn() {
 func (r *Replica) SyncOnce() (Summary, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.abdicated.Load() {
+		return Summary{}, ErrPromoted
+	}
 	r.rounds.Add(1)
 	t0 := time.Now()
 	sum, err := r.syncLocked()
@@ -264,8 +312,9 @@ func (r *Replica) fetchShard(conn *client.Conn, i int, e proto.ShardHash) ([]byt
 	return buf, nil
 }
 
-// Start launches the background anti-entropy loop: a round every
-// Interval until Stop. Errors are counted and retried next round.
+// Start launches the background anti-entropy loop — a round every
+// Interval until Stop — and, when Config.HealthInterval is set, the
+// primary health prober. Errors are counted and retried next round.
 func (r *Replica) Start() {
 	if r.started.Swap(true) {
 		return
@@ -284,6 +333,104 @@ func (r *Replica) Start() {
 			r.SyncOnce() //nolint:errcheck // counted in Stats; retried next tick
 		}
 	}()
+	if r.cfg.HealthInterval > 0 {
+		r.wg.Add(1)
+		go r.probeLoop()
+	}
+}
+
+// probeLoop PINGs the primary on a dedicated connection every
+// HealthInterval. HealthThreshold consecutive failures — dial errors
+// and dead connections alike — declare the primary down, exactly once
+// per process, and fire OnPrimaryDown in its own goroutine.
+func (r *Replica) probeLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.HealthInterval)
+	defer t.Stop()
+	failures := 0
+	for {
+		select {
+		case <-r.stop:
+			r.pmu.Lock()
+			if r.pconn != nil {
+				r.pconn.Close()
+				r.pconn = nil
+			}
+			r.pmu.Unlock()
+			return
+		case <-t.C:
+		}
+		if r.probeOnce() {
+			failures = 0
+			continue
+		}
+		r.probeFails.Add(1)
+		failures++
+		if failures >= r.cfg.HealthThreshold && !r.primaryDown.Swap(true) {
+			if r.cfg.OnPrimaryDown != nil {
+				go r.cfg.OnPrimaryDown()
+			}
+		}
+	}
+}
+
+// probeOnce sends one PING, redialing if the prober has no live
+// connection, and reports whether the primary answered.
+func (r *Replica) probeOnce() bool {
+	r.pmu.Lock()
+	conn := r.pconn
+	r.pmu.Unlock()
+	if conn == nil {
+		nc, err := r.cfg.Dial()
+		if err != nil {
+			return false
+		}
+		conn = client.NewConnTimeout(nc, r.cfg.Timeout)
+		r.pmu.Lock()
+		r.pconn = conn
+		r.pmu.Unlock()
+	}
+	if err := conn.Ping(nil); err != nil {
+		conn.Close()
+		r.pmu.Lock()
+		if r.pconn == conn {
+			r.pconn = nil
+		}
+		r.pmu.Unlock()
+		return false
+	}
+	return true
+}
+
+// Abdicate permanently ends this node's replica duty: anti-entropy and
+// the prober stop, and every future SyncOnce fails with ErrPromoted.
+// Stop's mu acquisition doubles as the barrier that waits out a round
+// already in flight, so when Abdicate returns, no checkpoint install
+// from the old primary can ever land again. Idempotent; wired as the
+// server's OnPromote so a wire PROMOTE quiesces anti-entropy before
+// writes are accepted.
+func (r *Replica) Abdicate() {
+	r.abdicated.Store(true)
+	r.Stop()
+}
+
+// Promote lifts this node into primary duty: one final best-effort
+// sync round drains whatever the primary managed to commit (skipped
+// with the primary typically dead — the round just fails fast), then
+// Abdicate fences anti-entropy, then Config.Server flips writable and
+// re-enables sweeping. Returns the server's promotion count;
+// ErrNotReplica (via the server) if the node is already writable.
+func (r *Replica) Promote() (uint64, error) {
+	if r.cfg.Server == nil {
+		return 0, errors.New("replica: Config.Server is required for Promote")
+	}
+	r.promoteMu.Lock()
+	defer r.promoteMu.Unlock()
+	if !r.abdicated.Load() {
+		r.SyncOnce() //nolint:errcheck // best effort: the primary is usually dead
+		r.Abdicate()
+	}
+	return r.cfg.Server.Promote()
 }
 
 // Stop halts the background loop (if running) and closes the

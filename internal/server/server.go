@@ -50,8 +50,18 @@ type Config struct {
 	// kinds, and CHECKPOINT are answered with ErrCodeReadOnly (the
 	// connection stays open — reads continue). SHARDHASH/SYNC still
 	// serve the node's own last installed checkpoint, so replicas can
-	// chain off replicas.
+	// chain off replicas. Promote lifts the restriction at runtime.
 	ReadOnly bool
+	// OnPromote, if set, runs inside Promote BEFORE writes are accepted.
+	// A replica wires its anti-entropy shutdown here: the callback must
+	// not return until no further checkpoint install can land, or a
+	// stale install could clobber post-promotion writes.
+	OnPromote func()
+	// PromoteBackground makes Promote start the DB's background
+	// checkpointer (replicas open their DB with NoBackground — installs,
+	// not local checkpoints, keep the directory current — so a promoted
+	// primary needs the checkpointer brought up).
+	PromoteBackground bool
 	// MaxSyncChunk caps the image bytes in one SYNC reply (0: 256 KiB;
 	// always clamped to proto.MaxSyncChunk so the reply fits a frame).
 	MaxSyncChunk int
@@ -147,6 +157,13 @@ type Server struct {
 	batOnce sync.Once      // starts the coalescer (and sweeper) on first use
 	wg      sync.WaitGroup // live connection handlers (Add under mu)
 
+	// readOnly is Config.ReadOnly made switchable at runtime; Promote
+	// clears it, Demote sets it. promoteMu serializes role changes so
+	// the refuse-on-already-writable check and the flip are atomic.
+	readOnly   atomic.Bool
+	promotions atomic.Uint64
+	promoteMu  sync.Mutex
+
 	start time.Time // for the uptime stat
 
 	// Expiry sweeper: an epoch-triggered loop that feeds conditional
@@ -180,6 +197,7 @@ func New(db *durable.DB, cfg Config) *Server {
 		sweep:     expiry.NewSchedule(db.Clock()),
 		sweepStop: make(chan struct{}),
 	}
+	s.readOnly.Store(c.ReadOnly)
 	s.sm = newServerMetrics(c.Metrics)
 	s.slow = obs.NewSlowLog(c.SlowOpLog, c.SlowOpThreshold, c.Metrics)
 	if c.Metrics != nil {
@@ -189,12 +207,14 @@ func New(db *durable.DB, cfg Config) *Server {
 	return s
 }
 
-// startBatcher launches the coalescer — and, on a writable server, the
-// expiry sweeper that submits through it — exactly once.
+// startBatcher launches the coalescer — and the expiry sweeper that
+// submits through it — exactly once. The sweeper runs on replicas too
+// (so a later Promote needs no new goroutine, which would race
+// shutdown) but sweepOnceNow is a no-op while the node is read-only.
 func (s *Server) startBatcher() {
 	s.batOnce.Do(func() {
 		go s.bat.run()
-		if !s.cfg.ReadOnly && s.cfg.SweepInterval > 0 {
+		if s.cfg.SweepInterval > 0 {
 			s.sweepDone = make(chan struct{})
 			go s.sweepLoop()
 		}
@@ -224,6 +244,13 @@ func (s *Server) sweepLoop() {
 // re-checks the entry's recorded expiry under the shard lock, so a key
 // a client resurrects mid-sweep survives.
 func (s *Server) sweepOnceNow() {
+	if s.readOnly.Load() {
+		// A replica's dead entries leave when the primary's swept
+		// checkpoint ships. The role check comes BEFORE Due() so epochs
+		// that pass while read-only stay pending: the first sweep after
+		// a promotion covers everything dead at that moment.
+		return
+	}
 	epoch, due := s.sweep.Due()
 	if !due {
 		return
@@ -246,6 +273,49 @@ func (s *Server) stopSweeper() {
 	if s.sweepDone != nil {
 		<-s.sweepDone
 	}
+}
+
+// ErrNotReplica is returned by Promote on a node that is already
+// writable — a double promotion, or a PROMOTE aimed at the primary.
+var ErrNotReplica = errors.New("server: node is already writable")
+
+// Promote lifts a read replica into a writable primary and returns the
+// node's promotion count. The sequence is load-bearing: first
+// Config.OnPromote quiesces anti-entropy (no checkpoint install may
+// land after this returns), then the DB re-enables sweeping (and the
+// background checkpointer if Config.PromoteBackground), and only then
+// is ReadOnly lifted — so no accepted write can ever be clobbered by a
+// stale install. The sweeper, already polling, begins sweeping on its
+// next tick. Promotion state lives in memory and on the wire only;
+// nothing about the role change is persisted.
+func (s *Server) Promote() (uint64, error) {
+	s.promoteMu.Lock()
+	defer s.promoteMu.Unlock()
+	if !s.readOnly.Load() {
+		return s.promotions.Load(), ErrNotReplica
+	}
+	if s.cfg.OnPromote != nil {
+		s.cfg.OnPromote()
+	}
+	s.db.Promote(s.cfg.PromoteBackground)
+	s.readOnly.Store(false)
+	return s.promotions.Add(1), nil
+}
+
+// Demote returns a writable node to read-replica duty (the rejoin
+// path: an old primary that crashed and recovered demotes itself
+// before syncing off the new primary). Writes in the coalescer queue
+// at the flip still apply — demotion is a role change, not a barrier;
+// callers quiesce their own clients first.
+func (s *Server) Demote() error {
+	s.promoteMu.Lock()
+	defer s.promoteMu.Unlock()
+	if s.readOnly.Load() {
+		return errors.New("server: node is already read-only")
+	}
+	s.db.Demote()
+	s.readOnly.Store(true)
+	return nil
 }
 
 // ListenAndServe listens on addr ("host:port") and serves until
@@ -682,7 +752,7 @@ func (c *conn) reply(id uint64, op byte, payload []byte) {
 // errors counter covers them.
 func (c *conn) dispatch(f proto.Frame, t0 time.Time) bool {
 	s := c.srv
-	if s.cfg.ReadOnly && mutates(f) {
+	if s.readOnly.Load() && mutates(f) {
 		s.st.readOnlyRejected.Add(1)
 		c.sendError(f.ID, proto.ErrCodeReadOnly,
 			fmt.Sprintf("%s: this node is a read replica; send writes to the primary", proto.OpName(f.Op)))
@@ -734,7 +804,7 @@ func (c *conn) dispatch(f proto.Frame, t0 time.Time) bool {
 		tw := time.Now()
 		val, ok := s.db.Get(key)
 		ta := time.Now()
-		c.pscratch = proto.AppendFound(c.pscratch[:0], ok, val)
+		c.pscratch = proto.AppendFound(c.pscratch[:0], ok, val, s.db.Checkpoints())
 		c.reply(f.ID, proto.OpGet, c.pscratch)
 		c.noteInline(proto.OpGet, f.ID, len(f.Payload), len(c.pscratch), key, true, t0, td, tw, ta)
 
@@ -750,7 +820,7 @@ func (c *conn) dispatch(f proto.Frame, t0 time.Time) bool {
 		tw := time.Now()
 		val, exp, ok := s.db.GetTTL(key)
 		ta := time.Now()
-		c.pscratch = proto.AppendFoundTTL(c.pscratch[:0], ok, val, exp)
+		c.pscratch = proto.AppendFoundTTL(c.pscratch[:0], ok, val, exp, s.db.Checkpoints())
 		c.reply(f.ID, proto.OpGetTTL, c.pscratch)
 		c.noteInline(proto.OpGetTTL, f.ID, len(f.Payload), len(c.pscratch), key, true, t0, td, tw, ta)
 
@@ -782,7 +852,7 @@ func (c *conn) dispatch(f proto.Frame, t0 time.Time) bool {
 			s.st.reads.Add(uint64(len(keys)))
 			vals, ok := s.db.GetBatch(keys)
 			ta := time.Now()
-			c.pscratch = proto.AppendBatchGetReply(c.pscratch[:0], vals, ok)
+			c.pscratch = proto.AppendBatchGetReply(c.pscratch[:0], vals, ok, s.db.Checkpoints())
 			c.reply(f.ID, proto.OpBatch, c.pscratch)
 			c.noteInline(proto.OpBatch, f.ID, len(f.Payload), len(c.pscratch), 0, false, t0, td, tw, ta)
 		case proto.BatchDel:
@@ -813,7 +883,7 @@ func (c *conn) dispatch(f proto.Frame, t0 time.Time) bool {
 		items, more := s.db.RangeN(lo, hi, limit, c.rangeBuf[:0])
 		ta := time.Now()
 		c.rangeBuf = items
-		c.pscratch = proto.AppendRangeReply(c.pscratch[:0], items, more)
+		c.pscratch = proto.AppendRangeReply(c.pscratch[:0], items, more, s.db.Checkpoints())
 		c.reply(f.ID, proto.OpRange, c.pscratch)
 		c.noteInline(proto.OpRange, f.ID, len(f.Payload), len(c.pscratch), 0, false, t0, td, tw, ta)
 
@@ -824,7 +894,7 @@ func (c *conn) dispatch(f proto.Frame, t0 time.Time) bool {
 		tw := time.Now()
 		n := uint64(s.db.Len())
 		ta := time.Now()
-		c.pscratch = proto.AppendU64(c.pscratch[:0], n)
+		c.pscratch = proto.AppendLenReply(c.pscratch[:0], n, s.db.Checkpoints())
 		c.reply(f.ID, proto.OpLen, c.pscratch)
 		c.noteInline(proto.OpLen, f.ID, len(f.Payload), len(c.pscratch), 0, false, t0, td, tw, ta)
 
@@ -850,6 +920,41 @@ func (c *conn) dispatch(f proto.Frame, t0 time.Time) bool {
 		tn := time.Now()
 		c.reply(f.ID, proto.OpPing, f.Payload)
 		c.noteInline(proto.OpPing, f.ID, len(f.Payload), len(f.Payload), 0, false, t0, tn, tn, tn)
+
+	case proto.OpHealth:
+		// A liveness probe with a staleness report. Deliberately NO
+		// pending.Wait: a health check must answer even when the write
+		// path is backed up — failover decisions hinge on it.
+		if len(f.Payload) != 0 {
+			c.sendError(f.ID, proto.ErrCodeBadFrame, "health request carries a payload")
+			return true
+		}
+		epoch, hash := s.db.CheckpointStamp()
+		tn := time.Now()
+		c.pscratch = proto.AppendHealth(c.pscratch[:0], proto.Health{
+			ReadOnly:   s.readOnly.Load(),
+			Promotions: s.promotions.Load(),
+			Epoch:      epoch,
+			Hash:       hash,
+		})
+		c.reply(f.ID, proto.OpHealth, c.pscratch)
+		c.noteInline(proto.OpHealth, f.ID, len(f.Payload), len(c.pscratch), 0, false, t0, tn, tn, tn)
+
+	case proto.OpPromote:
+		if len(f.Payload) != 0 {
+			c.sendError(f.ID, proto.ErrCodeBadFrame, "promote request carries a payload")
+			return true
+		}
+		td := time.Now()
+		n, err := s.Promote()
+		if err != nil {
+			c.sendError(f.ID, proto.ErrCodeNotReplica, err.Error())
+			return true
+		}
+		ta := time.Now()
+		c.pscratch = proto.AppendU64(c.pscratch[:0], n)
+		c.reply(f.ID, proto.OpPromote, c.pscratch)
+		c.noteInline(proto.OpPromote, f.ID, len(f.Payload), len(c.pscratch), 0, false, t0, td, td, ta)
 
 	case proto.OpShardHash:
 		// Replication: advertise the last committed checkpoint's

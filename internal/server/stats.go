@@ -76,6 +76,10 @@ type Stats struct {
 	SyncHashes       uint64 `json:"sync_hashes"`
 	SyncChunks       uint64 `json:"sync_chunks"`
 	SyncBytesOut     uint64 `json:"sync_bytes_out"`
+	// Promotions counts replica-to-primary promotions of this process
+	// (in-memory only — a restart forgets them, by design: persisted
+	// election history would break history independence).
+	Promotions uint64 `json:"promotions"`
 
 	// TTL expiry. Epoch is the database's current epoch (unix seconds
 	// under the default clock); SweptKeys counts expired entries
@@ -99,7 +103,7 @@ type Stats struct {
 // entries. See the KeysPhysical/KeysLogical field docs.
 func (s *Server) Stats() Stats {
 	role := "primary"
-	if s.cfg.ReadOnly {
+	if s.readOnly.Load() {
 		role = "replica"
 	}
 	return Stats{
@@ -126,6 +130,7 @@ func (s *Server) Stats() Stats {
 		SyncHashes:       s.st.syncHashes.Load(),
 		SyncChunks:       s.st.syncChunks.Load(),
 		SyncBytesOut:     s.st.syncBytesOut.Load(),
+		Promotions:       s.promotions.Load(),
 
 		Epoch:         s.db.Epoch(),
 		SweptKeys:     s.db.SweptKeys(),

@@ -212,8 +212,14 @@ func TestTTLReadOnlyReplicaRefusesPutTTL(t *testing.T) {
 	if _, _, ok, err := c.GetTTL(1); err != nil || ok {
 		t.Fatalf("replica get-ttl: %v %v", ok, err)
 	}
-	if srv.sweepDone != nil {
-		t.Fatal("read-only server started a sweeper")
+	// The sweeper goroutine runs even on a replica (so a promotion can
+	// arm it without restarting the server), but while the node is
+	// read-only it must stay inert: sweeping a replica would fork its
+	// state from the primary's checkpoints. Exercise a tick directly —
+	// it must not consume the due epochs or submit expire ops.
+	srv.sweepOnceNow()
+	if got := srv.st.sweeps.Load(); got != 0 {
+		t.Fatalf("read-only sweeper submitted %d sweeps", got)
 	}
 }
 
