@@ -275,6 +275,8 @@ func (c *Conn) doCall(op byte, payload []byte) (proto.Frame, error) {
 				return proto.Frame{}, fmt.Errorf("%w: %w", ErrReadOnly, rerr)
 			case proto.ErrCodeNotReplica:
 				return proto.Frame{}, fmt.Errorf("%w: %w", ErrNotReplica, rerr)
+			case proto.ErrCodeQuota:
+				return proto.Frame{}, fmt.Errorf("%w: %w", ErrQuota, rerr)
 			}
 			return proto.Frame{}, rerr
 		}

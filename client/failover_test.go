@@ -236,6 +236,67 @@ func TestFailoverAfterPrimaryDeath(t *testing.T) {
 	}
 }
 
+// TestFailoverProbeBounded pins the per-probe deadline regression: an
+// endpoint that accepts the TCP connection but never answers HEALTH —
+// a half-dead process, a black-holing middlebox — must not wedge the
+// failover sweep, even on a pool opened with no request timeout. The
+// probe clamps each endpoint to maxProbeTimeout and moves on.
+func TestFailoverProbeBounded(t *testing.T) {
+	blackhole, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer blackhole.Close()
+	var hmu sync.Mutex
+	var held []net.Conn // accepted and never answered
+	go func() {
+		for {
+			c, err := blackhole.Accept()
+			if err != nil {
+				return
+			}
+			hmu.Lock()
+			held = append(held, c)
+			hmu.Unlock()
+		}
+	}()
+	defer func() {
+		hmu.Lock()
+		for _, c := range held {
+			c.Close()
+		}
+		hmu.Unlock()
+	}()
+
+	pAddr, _, pStop := startRoleServer(t, false)
+	defer pStop()
+
+	// timeout 0: the pool imposes no request timeout, so only the
+	// probe's own clamp stands between the sweep and a permanent hang.
+	cl, err := OpenEndpoints([]string{blackhole.Addr().String(), pAddr}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	done := make(chan bool, 1)
+	go func() { done <- cl.failover() }()
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("failover found no writable node despite a healthy primary")
+		}
+	case <-time.After(3 * maxProbeTimeout):
+		t.Fatal("failover wedged on the never-answering endpoint; per-probe deadline not applied")
+	}
+	if cl.Endpoint() != pAddr {
+		t.Fatalf("pool pointed at %s after the sweep, want %s", cl.Endpoint(), pAddr)
+	}
+	if _, err := cl.Put(1, 1); err != nil {
+		t.Fatalf("put after failover: %v", err)
+	}
+}
+
 // TestPromoteWireErrNotReplica checks the typed refusal for a PROMOTE
 // aimed at a node that is already writable.
 func TestPromoteWireErrNotReplica(t *testing.T) {

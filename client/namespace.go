@@ -1,0 +1,190 @@
+package client
+
+// Namespace operations: per-tenant keyspaces addressed by name. Every
+// method mirrors its default-keyspace counterpart scoped to one
+// tenant; DropNS is the tenant-erasure barrier — when it returns true,
+// the server has already committed a checkpoint with no trace of the
+// tenant (see docs/PROTOCOL.md, "Namespaces").
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/proto"
+)
+
+// ErrQuota is wrapped into the error an NSPut gets back when the
+// tenant is at the server's per-tenant key quota (server code
+// ErrCodeQuota). Check it with errors.Is; the connection stays usable.
+var ErrQuota = errors.New("client: namespace is at its key quota")
+
+// NSStat re-exports one LISTNS entry: a tenant name and its live key
+// count. Listings are byte-sorted by name — canonical order, never
+// creation order.
+type NSStat = proto.NSStat
+
+// NSPut upserts the value for key in the named tenant's keyspace
+// (creating the tenant on first write) and reports whether the key was
+// newly inserted.
+func (c *Conn) NSPut(ns string, key, val int64) (inserted bool, err error) {
+	return c.NSPutTTL(ns, key, val, 0)
+}
+
+// NSPutTTL is NSPut with an absolute expiry epoch (unix seconds; 0:
+// never expires). A tenant at the server's per-tenant quota refuses
+// inserts of new keys with an error satisfying errors.Is(err,
+// ErrQuota); upserts of existing keys always pass.
+func (c *Conn) NSPutTTL(ns string, key, val, exp int64) (inserted bool, err error) {
+	f, err := c.call(proto.OpNSPut, proto.AppendNSKeyValExp(nil, ns, key, val, exp))
+	if err != nil {
+		return false, err
+	}
+	inserted, echoed, err := proto.DecodeTTLAck(f.Payload)
+	if err != nil {
+		return false, err
+	}
+	if echoed != exp {
+		return inserted, fmt.Errorf("client: ns-put echoed expiry %d, sent %d", echoed, exp)
+	}
+	return inserted, nil
+}
+
+// NSGet returns the value stored for key in the named tenant's
+// keyspace. An absent tenant reads exactly like an absent key.
+func (c *Conn) NSGet(ns string, key int64) (val int64, ok bool, err error) {
+	val, _, ok, err = c.NSGetTTL(ns, key)
+	return val, ok, err
+}
+
+// NSGetTTL returns the value and recorded absolute expiry (0: none)
+// for key in the named tenant's keyspace, and whether the key is live.
+func (c *Conn) NSGetTTL(ns string, key int64) (val, exp int64, ok bool, err error) {
+	f, err := c.call(proto.OpNSGet, proto.AppendNSKey(nil, ns, key))
+	if err != nil {
+		return 0, 0, false, err
+	}
+	val, exp, epoch, ok, err := proto.DecodeFoundTTL(f.Payload)
+	if err == nil {
+		c.noteEpoch(epoch)
+	}
+	return val, exp, ok, err
+}
+
+// NSDelete removes key from the named tenant's keyspace and reports
+// whether it was present.
+func (c *Conn) NSDelete(ns string, key int64) (deleted bool, err error) {
+	f, err := c.call(proto.OpNSDel, proto.AppendNSKey(nil, ns, key))
+	if err != nil {
+		return false, err
+	}
+	return proto.DecodeBool(f.Payload)
+}
+
+// DropNS erases the named tenant and reports whether it existed. This
+// is a durability barrier with an erasure guarantee: a true return
+// means the server has dropped the tenant's cell, committed a
+// checkpoint whose manifest omits it, and zero-wiped and unlinked its
+// image files — the on-disk state is byte-identical to one where the
+// tenant never existed. Dropping an absent tenant returns false and
+// commits nothing.
+func (c *Conn) DropNS(ns string) (existed bool, err error) {
+	f, err := c.call(proto.OpDropNS, proto.AppendNSName(nil, ns))
+	if err != nil {
+		return false, err
+	}
+	return proto.DecodeBool(f.Payload)
+}
+
+// ListNS returns the server's per-tenant key quota (0: unlimited) and
+// the live tenants with their live key counts, byte-sorted by name.
+// Tenants with no live keys are not listed.
+func (c *Conn) ListNS() (quota uint64, tenants []NSStat, err error) {
+	f, err := c.call(proto.OpListNS, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	return proto.DecodeNSList(f.Payload)
+}
+
+// SyncShardHashesNS is SyncShardHashes plus the committed
+// namespace-name table: the tenants present in the server's last
+// committed checkpoint, byte-sorted. An anti-entropy round starts here
+// to discover what to mirror.
+func (c *Conn) SyncShardHashesNS() (hseed uint64, entries []ShardHash, names []string, err error) {
+	f, err := c.call(proto.OpShardHash, nil)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return proto.DecodeShardHashesNS(f.Payload)
+}
+
+// SyncNSShardHashes fetches the named tenant's committed checkpoint
+// descriptor: the tenant's derived routing seed and, per shard, the
+// canonical image's size and SHA-256. A tenant absent from the last
+// committed checkpoint fails with a RemoteError.
+func (c *Conn) SyncNSShardHashes(ns string) (nsHseed uint64, entries []ShardHash, err error) {
+	f, err := c.call(proto.OpShardHash, proto.AppendNSName(nil, ns))
+	if err != nil {
+		return 0, nil, err
+	}
+	return proto.DecodeShardHashes(f.Payload)
+}
+
+// SyncNSShardChunk is SyncShardChunk addressed at the named tenant's
+// shard i. The same staleness contract applies: a hash superseded by a
+// newer checkpoint fails with proto.ErrCodeStale.
+func (c *Conn) SyncNSShardChunk(ns string, i int, hash [32]byte, offset uint64, maxLen int) (data []byte, more bool, err error) {
+	f, err := c.call(proto.OpSync, proto.AppendSyncReqNS(nil, uint32(i), hash, offset, uint32(maxLen), ns))
+	if err != nil {
+		return nil, false, err
+	}
+	return proto.DecodeSyncChunk(f.Payload)
+}
+
+// NSPut upserts the value for key in the named tenant's keyspace on one
+// pool connection and reports whether it was newly inserted.
+func (cl *Client) NSPut(ns string, key, val int64) (ok bool, err error) {
+	err = cl.do(func(c *Conn) (e error) { ok, e = c.NSPut(ns, key, val); return })
+	return ok, err
+}
+
+// NSPutTTL is NSPut with an absolute expiry epoch (0: never expires).
+func (cl *Client) NSPutTTL(ns string, key, val, exp int64) (ok bool, err error) {
+	err = cl.do(func(c *Conn) (e error) { ok, e = c.NSPutTTL(ns, key, val, exp); return })
+	return ok, err
+}
+
+// NSGet returns the value stored for key in the named tenant's
+// keyspace and whether it exists.
+func (cl *Client) NSGet(ns string, key int64) (val int64, ok bool, err error) {
+	err = cl.do(func(c *Conn) (e error) { val, ok, e = c.NSGet(ns, key); return })
+	return val, ok, err
+}
+
+// NSGetTTL returns the value and recorded absolute expiry (0: none)
+// for key in the named tenant's keyspace, and whether the key is live.
+func (cl *Client) NSGetTTL(ns string, key int64) (val, exp int64, ok bool, err error) {
+	err = cl.do(func(c *Conn) (e error) { val, exp, ok, e = c.NSGetTTL(ns, key); return })
+	return val, exp, ok, err
+}
+
+// NSDelete removes key from the named tenant's keyspace and reports
+// whether it was present.
+func (cl *Client) NSDelete(ns string, key int64) (ok bool, err error) {
+	err = cl.do(func(c *Conn) (e error) { ok, e = c.NSDelete(ns, key); return })
+	return ok, err
+}
+
+// DropNS erases the named tenant; see Conn.DropNS for the durability
+// and erasure guarantee a true return carries.
+func (cl *Client) DropNS(ns string) (existed bool, err error) {
+	err = cl.do(func(c *Conn) (e error) { existed, e = c.DropNS(ns); return })
+	return existed, err
+}
+
+// ListNS returns the server's per-tenant quota and the live tenants
+// with their key counts, byte-sorted by name.
+func (cl *Client) ListNS() (quota uint64, tenants []NSStat, err error) {
+	err = cl.do(func(c *Conn) (e error) { quota, tenants, e = c.ListNS(); return })
+	return quota, tenants, err
+}

@@ -217,11 +217,22 @@ func (cl *Client) do(op func(*Conn) error) error {
 	return op(c)
 }
 
+// maxProbeTimeout caps how long one failover HEALTH probe may spend on
+// a single endpoint (dial plus reply). Without a cap, an endpoint that
+// accepts the connection but never answers — a half-dead process, a
+// black-holing middlebox — would wedge the whole probe sweep on a pool
+// opened with no request timeout, and with it every operation waiting
+// to fail over.
+const maxProbeTimeout = 2 * time.Second
+
 // failover probes every endpoint with HEALTH and re-points the pool at
 // the best writable node: highest promotion count wins, earliest rank
 // breaks ties. Probes are serialized; a caller that lost the race to a
-// probe that already moved the pool just reuses that result. Reports
-// whether the pool now targets a node believed writable.
+// probe that already moved the pool just reuses that result. Each
+// endpoint's probe is individually deadline-bounded (the pool timeout,
+// clamped to maxProbeTimeout) so one unresponsive endpoint delays the
+// sweep, never wedges it. Reports whether the pool now targets a node
+// believed writable.
 func (cl *Client) failover() bool {
 	g := cl.gen.Load()
 	cl.fomu.Lock()
@@ -231,10 +242,14 @@ func (cl *Client) failover() bool {
 		// outcome is as fresh as anything we could probe now.
 		return true
 	}
+	probeTO := cl.timeout
+	if probeTO <= 0 || probeTO > maxProbeTimeout {
+		probeTO = maxProbeTimeout
+	}
 	best := -1
 	var bestProm uint64
 	for i, addr := range cl.endpoints {
-		c, err := DialTimeout(addr, cl.timeout)
+		c, err := DialTimeout(addr, probeTO)
 		if err != nil {
 			continue
 		}

@@ -37,6 +37,14 @@
 // entries epoch by epoch while the bench measures read-until-gone
 // rates. The JSON output reports expired_reads and expired_read_rate.
 //
+// Multi-tenant mode: -tenants N fans the same closed-loop workload
+// across N tenant namespaces via NSPUT/NSGET — each op picks a tenant
+// uniformly, so the server carries N live cells with independent
+// derived seeds while the bench measures the routing overhead of
+// namespaced addressing. Composes with -ttl (namespaced session
+// churn); -batch stays default-keyspace only (there is no namespaced
+// batch opcode).
+//
 // Failover mode: -failover (self-host only, needs -replicas >= 1)
 // points the client pool at the whole cluster as a ranked endpoint
 // list, then kills the primary — listener and all — halfway through
@@ -79,6 +87,7 @@ type result struct {
 	ReadFrac   float64 `json:"read_frac"`
 	Keys       int     `json:"key_space"`
 	Batch      int     `json:"batch"`
+	Tenants    int     `json:"tenants,omitempty"`
 	Failover   bool    `json:"failover,omitempty"`
 	DurationMS float64 `json:"duration_ms"`
 	Ops        uint64  `json:"ops"`
@@ -120,6 +129,7 @@ func main() {
 		ttl      = flag.Duration("ttl", 0, "session-churn: writes expire this long after they land (0: no TTL workload)")
 		ttlFrac  = flag.Float64("ttl-frac", 1.0, "fraction of writes that carry the -ttl expiry")
 		failover = flag.Bool("failover", false, "kill the self-hosted primary mid-run and promote replica 0 (needs -replicas >= 1)")
+		tenants  = flag.Int("tenants", 0, "fan the workload across this many tenant namespaces via NSPUT/NSGET (0: default keyspace)")
 	)
 	flag.Parse()
 	if *replicas > 0 && *addr != "" {
@@ -134,13 +144,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hidbd-bench: -ttl measures single-op session churn; drop -batch")
 		os.Exit(2)
 	}
+	if *tenants > 0 && *batch > 1 {
+		fmt.Fprintln(os.Stderr, "hidbd-bench: -tenants uses single namespaced ops; drop -batch")
+		os.Exit(2)
+	}
 	ttlSec := int64(ttl.Seconds())
 	if *ttl > 0 && ttlSec == 0 {
 		ttlSec = 1 // sub-second TTLs round up: epochs are whole seconds
 	}
 
 	res := result{
-		Conns: *conns, Depth: *depth, ReadFrac: *readFrac, Keys: *keys, Batch: *batch,
+		Conns: *conns, Depth: *depth, ReadFrac: *readFrac, Keys: *keys, Batch: *batch, Tenants: *tenants,
 		TTLSeconds: ttl.Seconds(), TTLFrac: *ttlFrac,
 		GoMaxProcs: runtime.GOMAXPROCS(0), GoVersion: runtime.Version(),
 	}
@@ -204,6 +218,16 @@ func main() {
 		if err := preload(cl, readPools, *keys); err != nil {
 			fmt.Fprintf(os.Stderr, "hidbd-bench: preload: %v\n", err)
 			os.Exit(1)
+		}
+	}
+
+	// Tenant names are fixed and shared: every worker draws uniformly
+	// from the same set, so all N cells stay live for the whole window.
+	var tnames []string
+	if *tenants > 0 {
+		tnames = make([]string, *tenants)
+		for i := range tnames {
+			tnames[i] = fmt.Sprintf("tenant-%04d", i)
 		}
 	}
 
@@ -279,6 +303,22 @@ func main() {
 					}
 					_, err = conn.PutBatch(ibuf)
 					n = *batch
+				case *tenants > 0 && isRead && ttlSec > 0:
+					var ok bool
+					_, _, ok, err = rconn.NSGetTTL(tnames[rng.Intn(len(tnames))], rng.Int63n(int64(*keys)))
+					if err == nil && !ok {
+						expiredReads.Add(1)
+					}
+				case *tenants > 0 && isRead:
+					_, _, err = rconn.NSGet(tnames[rng.Intn(len(tnames))], rng.Int63n(int64(*keys)))
+				case *tenants > 0:
+					// Namespaced write; carries the -ttl expiry for the
+					// -ttl-frac fraction, like the default-keyspace path.
+					exp := int64(0)
+					if ttlSec > 0 && rng.Float64() < *ttlFrac {
+						exp = time.Now().Unix() + ttlSec
+					}
+					_, err = conn.NSPutTTL(tnames[rng.Intn(len(tnames))], rng.Int63n(int64(*keys)), rng.Int63(), exp)
 				case isRead && ttlSec > 0:
 					// Read-until-gone: a miss means the session expired
 					// (the key space is continuously rewritten, so misses
@@ -397,6 +437,9 @@ func main() {
 		if *ttl > 0 {
 			mode += fmt.Sprintf(", session churn (ttl %v, %.0f%% of writes)", *ttl, *ttlFrac*100)
 		}
+		if *tenants > 0 {
+			mode += fmt.Sprintf(", fanned across %d tenant namespaces", *tenants)
+		}
 		if res.Replicas > 0 {
 			mode += fmt.Sprintf(", reads fanned out to %d replica(s)", res.Replicas)
 		}
@@ -454,6 +497,9 @@ type kvOps interface {
 	Put(key, val int64) (bool, error)
 	PutTTL(key, val, exp int64) (bool, error)
 	PutBatch(items []client.Item) (int, error)
+	NSGet(ns string, key int64) (int64, bool, error)
+	NSGetTTL(ns string, key int64) (val, exp int64, ok bool, err error)
+	NSPutTTL(ns string, key, val, exp int64) (bool, error)
 }
 
 // selfHost starts an in-process hidbd over a fresh temp directory on a

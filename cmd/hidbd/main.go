@@ -100,6 +100,7 @@ func main() {
 		healthIntv = flag.Duration("health-interval", 0, "replica: PING the primary this often (0: no health checking)")
 		healthN    = flag.Int("health-threshold", 3, "replica: consecutive failed probes before the primary is declared down")
 		autoProm   = flag.Bool("auto-promote", false, "replica: self-promote to primary when health checking declares the primary down (single-replica topologies only — two auto-promoting replicas can split-brain)")
+		nsQuota    = flag.Int("ns-quota", 0, "per-tenant namespace key quota (0: unlimited); NSPUTs that would grow a tenant past it are refused")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -140,6 +141,7 @@ func main() {
 		SweepInterval:   *sweepEvery,
 		Metrics:         reg,
 		SlowOpThreshold: *slowOp,
+		NSQuota:         *nsQuota,
 	}
 	if *slowOp > 0 {
 		srvCfg.SlowOpLog = os.Stderr

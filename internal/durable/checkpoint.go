@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/expiry"
+	"repro/internal/namespace"
 )
 
 // Checkpoint persists the store's current contents: it first sweeps
@@ -29,12 +30,16 @@ func (db *DB) Checkpoint() error {
 	return db.checkpoint()
 }
 
-// pendingShard is one shard image staged for publication.
+// pendingShard is one shard image staged for publication. For a
+// tenant-cell shard, cell is the cell and nsHseed its derived routing
+// seed; for a default shard both are zero.
 type pendingShard struct {
 	idx     int
 	data    []byte
 	hash    [32]byte
 	version uint64
+	cell    *namespace.Cell
+	nsHseed uint64
 }
 
 func (db *DB) checkpoint() error {
@@ -48,13 +53,19 @@ func (db *DB) checkpoint() error {
 	dirtyAtStart := db.dirtyOps.Load()
 
 	s := db.store.Load()
-	// The live-set-at-E sweep: what gets committed is a pure function of
-	// (contents, epoch), never of any earlier sweeper's schedule.
+	cells := db.nss.Snapshot()
+	// The live-set-at-E sweep, over the default keyspace and every
+	// tenant cell: what gets committed is a pure function of (contents,
+	// epoch), never of any earlier sweeper's schedule.
 	if !db.noSweep.Load() {
 		if epoch := expiry.Epoch(db.opts.Clock); epoch > 0 {
-			if n := s.SweepExpired(epoch); n > 0 {
-				db.sweptKeys.Add(uint64(n))
-				db.m.sweptPerRun.Observe(int64(n))
+			swept := s.SweepExpired(epoch)
+			for _, c := range cells {
+				swept += c.Store.SweepExpired(epoch)
+			}
+			if swept > 0 {
+				db.sweptKeys.Add(uint64(swept))
+				db.m.sweptPerRun.Observe(int64(swept))
 			}
 			db.m.sweepSecs.ObserveSince(cpStart)
 		}
@@ -97,7 +108,56 @@ func (db *DB) checkpoint() error {
 		}
 		writes = append(writes, pendingShard{idx: i, data: buf.Bytes(), hash: h, version: ver})
 	}
-	if db.man != nil && len(writes) == 0 {
+
+	// Tenant cells, in canonical (byte-sorted) name order. A cell that
+	// is physically empty after the sweep is excluded from the manifest
+	// entirely: created-then-emptied commits the same bytes as
+	// never-existed.
+	for _, c := range cells {
+		phys := 0
+		for i := 0; i < c.Store.NumShards(); i++ {
+			phys += c.Store.ShardLen(i)
+		}
+		if phys == 0 {
+			continue
+		}
+		if c.CPVersions == nil {
+			c.CPVersions = make([]uint64, c.Store.NumShards())
+		}
+		var prev *nsEntry
+		if db.man != nil {
+			prev = db.man.nsAt(c.Name)
+		}
+		ent := nsEntry{name: c.Name, shards: make([]shardEntry, c.Store.NumShards())}
+		for i := range ent.shards {
+			if prev != nil && c.Store.ShardVersion(i) == c.CPVersions[i] {
+				ent.shards[i] = prev.shards[i]
+				continue
+			}
+			buf, _ := db.renderPool.Get().(*bytes.Buffer)
+			if buf == nil {
+				buf = new(bytes.Buffer)
+			}
+			buf.Reset()
+			bufs = append(bufs, buf)
+			ver, _, err := c.Store.SnapshotShard(i, buf)
+			if err != nil {
+				return fmt.Errorf("durable: snapshotting namespace %q shard %d: %w", c.Name, i, err)
+			}
+			h := sha256.Sum256(buf.Bytes())
+			ent.shards[i] = shardEntry{size: int64(buf.Len()), hash: h}
+			if prev != nil && h == prev.shards[i].hash {
+				c.CPVersions[i] = ver
+				continue
+			}
+			writes = append(writes, pendingShard{
+				idx: i, data: buf.Bytes(), hash: h, version: ver,
+				cell: c, nsHseed: c.Store.RoutingSeed(),
+			})
+		}
+		newMan.nss = append(newMan.nss, ent)
+	}
+	if db.man != nil && len(writes) == 0 && manifestsEqual(db.man, newMan) {
 		return nil // nothing changed; the manifest bytes would be identical
 	}
 
@@ -107,7 +167,11 @@ func (db *DB) checkpoint() error {
 	// the single commit point.
 	cpBytes := 0
 	for _, p := range writes {
-		if err := db.writeFileAtomic(shardFileName(p.idx, p.hash), p.data); err != nil {
+		name := shardFileName(p.idx, p.hash)
+		if p.cell != nil {
+			name = nsShardFileName(p.nsHseed, p.idx, p.hash)
+		}
+		if err := db.writeFileAtomic(name, p.data); err != nil {
 			return fmt.Errorf("durable: publishing shard %d image: %w", p.idx, err)
 		}
 		cpBytes += len(p.data)
@@ -127,7 +191,11 @@ func (db *DB) checkpoint() error {
 	// Committed. Everything below is housekeeping.
 	db.man = newMan
 	for _, p := range writes {
-		db.cpVersions[p.idx] = p.version
+		if p.cell != nil {
+			p.cell.CPVersions[p.idx] = p.version
+		} else {
+			db.cpVersions[p.idx] = p.version
+		}
 	}
 	db.dirtyOps.Add(-dirtyAtStart)
 	db.checkpoints.Add(1)
@@ -174,6 +242,12 @@ func (db *DB) sweep() {
 	keep[manifestName] = true
 	for i, e := range db.man.shards {
 		keep[shardFileName(i, e.hash)] = true
+	}
+	for _, ns := range db.man.nss {
+		nsHseed := nsRoutingSeed(db.man.hseed, ns.name)
+		for i, e := range ns.shards {
+			keep[nsShardFileName(nsHseed, i, e.hash)] = true
+		}
 	}
 	for _, n := range names {
 		if !keep[n] {

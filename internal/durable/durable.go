@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/expiry"
 	"repro/internal/hipma"
+	"repro/internal/namespace"
 	"repro/internal/obs"
 	"repro/internal/shard"
 )
@@ -116,6 +117,11 @@ type DB struct {
 	// keep using whichever store they loaded — before or after, both are
 	// consistent snapshots.
 	store atomic.Pointer[shard.Store]
+	// nss holds the live per-tenant cells. Cells are created lazily on
+	// first namespace write, restored from the manifest on recovery, and
+	// replaced wholesale by InstallCheckpointNS. Each cell's CPVersions
+	// bookkeeping is guarded by cpMu, like cpVersions below.
+	nss *namespace.Registry
 
 	// cpMu serializes checkpoints and guards the committed-state
 	// fields below.
@@ -176,7 +182,7 @@ func Open(dir string, opts *Options) (*DB, error) {
 		}
 	}
 
-	db := &DB{dir: dir, fs: fs, opts: o}
+	db := &DB{dir: dir, fs: fs, opts: o, nss: namespace.NewRegistry()}
 	db.m.init(o.Metrics)
 	if hasManifest {
 		if err := db.recover(o.Seed); err != nil {
@@ -245,6 +251,13 @@ func (db *DB) recover(seed uint64) error {
 		return fmt.Errorf("durable: %w", err)
 	}
 	s.SetClock(db.opts.Clock)
+	for _, e := range man.nss {
+		c, err := db.recoverNS(man.hseed, e)
+		if err != nil {
+			return err
+		}
+		db.nss.Put(c)
+	}
 	db.store.Store(s)
 	db.man = man
 	db.cpVersions = make([]uint64, s.NumShards())
@@ -253,6 +266,40 @@ func (db *DB) recover(seed uint64) error {
 	}
 	db.sweep() // clear debris from any interrupted commit
 	return nil
+}
+
+// recoverNS rebuilds one tenant cell from its committed images,
+// verifying each file against the manifest exactly like the default
+// shards.
+func (db *DB) recoverNS(rootHseed uint64, e nsEntry) (*namespace.Cell, error) {
+	nsHseed := nsRoutingSeed(rootHseed, e.name)
+	readers := make([]io.Reader, len(e.shards))
+	for i, se := range e.shards {
+		img, err := db.readFile(nsShardFileName(nsHseed, i, se.hash))
+		if err != nil {
+			return nil, fmt.Errorf("durable: namespace %q shard %d image: %w", e.name, i, err)
+		}
+		if int64(len(img)) != se.size {
+			return nil, fmt.Errorf("durable: namespace %q shard %d image is %d bytes, manifest says %d",
+				e.name, i, len(img), se.size)
+		}
+		if sha256.Sum256(img) != se.hash {
+			return nil, fmt.Errorf("durable: namespace %q shard %d image hash mismatch", e.name, i)
+		}
+		readers[i] = bytes.NewReader(img)
+	}
+	seed := namespace.DeriveSeed(rootHseed, e.name)
+	st, err := shard.AssembleStore(nsHseed, readers, seed, nil)
+	if err != nil {
+		return nil, fmt.Errorf("durable: namespace %q: %w", e.name, err)
+	}
+	st.SetClock(db.opts.Clock)
+	c := &namespace.Cell{Name: e.name, Seed: seed, Store: st}
+	c.CPVersions = make([]uint64, st.NumShards())
+	for i := range c.CPVersions {
+		c.CPVersions[i] = st.ShardVersion(i)
+	}
+	return c, nil
 }
 
 func (db *DB) path(name string) string { return path.Join(db.dir, name) }
@@ -546,6 +593,47 @@ func (db *DB) VerifyCanonical() error {
 		}
 		if !bytes.Equal(disk, buf.Bytes()) {
 			return fmt.Errorf("durable: shard %d on-disk image is not canonical", i)
+		}
+	}
+	// Tenant cells: every committed namespace must have a live cell
+	// whose re-rendered images match the committed files, and every
+	// live cell with physical contents must be committed.
+	for _, e := range db.man.nss {
+		c := db.nss.Get(e.name)
+		if c == nil {
+			return fmt.Errorf("durable: manifest commits namespace %q with no live cell", e.name)
+		}
+		nsHseed := nsRoutingSeed(db.man.hseed, e.name)
+		for i := range e.shards {
+			if ver := c.Store.ShardVersion(i); c.CPVersions == nil || ver != c.CPVersions[i] {
+				return fmt.Errorf("durable: namespace %q shard %d has uncheckpointed changes", e.name, i)
+			}
+			var buf bytes.Buffer
+			if _, _, err := c.Store.SnapshotShard(i, &buf); err != nil {
+				return fmt.Errorf("durable: rendering namespace %q shard %d: %w", e.name, i, err)
+			}
+			if sha256.Sum256(buf.Bytes()) != e.shards[i].hash {
+				return fmt.Errorf("durable: namespace %q shard %d canonical image diverges from manifest", e.name, i)
+			}
+			disk, err := db.readFile(nsShardFileName(nsHseed, i, e.shards[i].hash))
+			if err != nil {
+				return fmt.Errorf("durable: namespace %q shard %d image: %w", e.name, i, err)
+			}
+			if !bytes.Equal(disk, buf.Bytes()) {
+				return fmt.Errorf("durable: namespace %q shard %d on-disk image is not canonical", e.name, i)
+			}
+		}
+	}
+	for _, c := range db.nss.Snapshot() {
+		if db.man.nsAt(c.Name) != nil {
+			continue
+		}
+		phys := 0
+		for i := 0; i < c.Store.NumShards(); i++ {
+			phys += c.Store.ShardLen(i)
+		}
+		if phys > 0 {
+			return fmt.Errorf("durable: namespace %q has uncheckpointed contents", c.Name)
 		}
 	}
 	return nil

@@ -1,0 +1,219 @@
+package durable
+
+// Namespace surface: per-tenant cells living beside the default
+// keyspace, each routed under a seed derived one-way from the
+// database's routing seed and the tenant name. Tenant cells checkpoint
+// through the same engine as the default shards — canonical images,
+// content-and-seed-addressed file names, one manifest commit point —
+// so the paper's guarantee lifts from keys to whole tenants: after
+// DropNamespace + Checkpoint, the directory is byte-identical to one
+// where the tenant never existed.
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/namespace"
+	"repro/internal/shard"
+)
+
+// ErrNoNamespace is returned when a namespace is absent from the last
+// committed checkpoint.
+var ErrNoNamespace = errors.New("durable: namespace not committed")
+
+// NamespaceStat is one live namespace in a listing: the tenant name
+// and its live key count. Listings are always byte-sorted by name.
+type NamespaceStat struct {
+	Name string
+	Keys int
+}
+
+// nsCell returns the named tenant's cell, creating it (mirroring the
+// default store's shard count and dictionary constants) when create is
+// set. Without create, a missing tenant returns (nil, nil).
+func (db *DB) nsCell(name string, create bool) (*namespace.Cell, error) {
+	if err := namespace.ValidateName(name); err != nil {
+		return nil, err
+	}
+	if c := db.nss.Get(name); c != nil {
+		return c, nil
+	}
+	if !create {
+		return nil, nil
+	}
+	return db.nss.GetOrCreate(name, func() (*namespace.Cell, error) {
+		s := db.store.Load()
+		cfg := shard.Config{Shards: s.NumShards(), PMA: s.PMAConfig()}
+		return namespace.NewCell(name, s.RoutingSeed(), cfg, db.opts.Clock)
+	})
+}
+
+// NSPut upserts key in the named tenant's cell, creating the cell on
+// first write, and reports whether the key was newly inserted.
+func (db *DB) NSPut(ns string, key, val int64) (bool, error) {
+	return db.NSPutTTL(ns, key, val, 0)
+}
+
+// NSPutTTL is NSPut with an absolute expiry epoch (0: never expires).
+func (db *DB) NSPutTTL(ns string, key, val, exp int64) (bool, error) {
+	c, err := db.nsCell(ns, true)
+	if err != nil {
+		return false, err
+	}
+	inserted := c.Store.PutTTL(key, val, exp)
+	db.noteDirty(1)
+	return inserted, nil
+}
+
+// NSGet returns the value for key in the named tenant's cell. A
+// missing tenant reads as empty.
+func (db *DB) NSGet(ns string, key int64) (int64, bool) {
+	if c := db.nss.Get(ns); c != nil {
+		return c.Store.Get(key)
+	}
+	return 0, false
+}
+
+// NSGetTTL returns the value and recorded expiry for key in the named
+// tenant's cell.
+func (db *DB) NSGetTTL(ns string, key int64) (val, exp int64, ok bool) {
+	if c := db.nss.Get(ns); c != nil {
+		return c.Store.GetTTL(key)
+	}
+	return 0, 0, false
+}
+
+// NSHas reports whether the named tenant holds key.
+func (db *DB) NSHas(ns string, key int64) bool {
+	c := db.nss.Get(ns)
+	return c != nil && c.Store.Has(key)
+}
+
+// NSDelete removes key from the named tenant's cell and reports
+// whether it was present.
+func (db *DB) NSDelete(ns string, key int64) bool {
+	c := db.nss.Get(ns)
+	if c == nil {
+		return false
+	}
+	deleted := c.Store.Delete(key)
+	db.noteDirty(1)
+	return deleted
+}
+
+// NSLen returns the named tenant's live key count (0 if absent).
+func (db *DB) NSLen(ns string) int {
+	if c := db.nss.Get(ns); c != nil {
+		return c.Store.Len()
+	}
+	return 0
+}
+
+// DropNamespace removes the named tenant's cell from the live store
+// and reports whether it existed. The erasure completes at the next
+// checkpoint: the new manifest omits the tenant, the sweep zero-wipes
+// and unlinks its image files, and the manifest rewrite retires the
+// only byte surface that ever held the name. Callers that need the
+// erasure durable now follow with Checkpoint.
+func (db *DB) DropNamespace(ns string) bool {
+	existed := db.nss.Drop(ns)
+	if existed {
+		db.noteDirty(1)
+	}
+	return existed
+}
+
+// Namespaces lists the live tenants — byte-sorted by name, live key
+// counts, cells with no live keys omitted (a created-then-emptied
+// tenant is indistinguishable from one that never existed, in listings
+// as on disk).
+func (db *DB) Namespaces() []NamespaceStat {
+	cells := db.nss.Snapshot()
+	out := make([]NamespaceStat, 0, len(cells))
+	for _, c := range cells {
+		if n := c.Store.Len(); n > 0 {
+			out = append(out, NamespaceStat{Name: c.Name, Keys: n})
+		}
+	}
+	return out
+}
+
+// NamespaceCount returns the number of live tenants with at least one
+// live key.
+func (db *DB) NamespaceCount() int { return len(db.Namespaces()) }
+
+// NSNames returns the COMMITTED tenant names — the ones in the last
+// manifest — byte-sorted. This is the replication view: a replica
+// mirrors committed state, so it gathers exactly these.
+func (db *DB) NSNames() ([]string, error) {
+	db.cpMu.Lock()
+	defer db.cpMu.Unlock()
+	if db.man == nil {
+		return nil, fmt.Errorf("durable: no committed checkpoint")
+	}
+	names := make([]string, len(db.man.nss))
+	for i := range db.man.nss {
+		names[i] = db.man.nss[i].name
+	}
+	return names, nil
+}
+
+// NSShardHashes returns the named tenant's derived routing seed and
+// committed per-shard image hashes. A tenant absent from the last
+// manifest returns ErrNoNamespace.
+func (db *DB) NSShardHashes(ns string) (nsHseed uint64, entries []ShardHash, err error) {
+	db.cpMu.Lock()
+	defer db.cpMu.Unlock()
+	if db.man == nil {
+		return 0, nil, fmt.Errorf("durable: no committed checkpoint")
+	}
+	e := db.man.nsAt(ns)
+	if e == nil {
+		return 0, nil, fmt.Errorf("%w: %q", ErrNoNamespace, ns)
+	}
+	entries = make([]ShardHash, len(e.shards))
+	for i, s := range e.shards {
+		entries[i] = ShardHash{Size: s.size, Hash: s.hash}
+	}
+	return nsRoutingSeed(db.man.hseed, ns), entries, nil
+}
+
+// NSShardImage returns the committed canonical image of the named
+// tenant's shard i, verified against the manifest hash. A hash that is
+// no longer current fails with ErrStaleShard.
+func (db *DB) NSShardImage(ns string, i int, hash [32]byte) ([]byte, error) {
+	db.cpMu.Lock()
+	defer db.cpMu.Unlock()
+	if db.man == nil {
+		return nil, fmt.Errorf("durable: no committed checkpoint")
+	}
+	e := db.man.nsAt(ns)
+	if e == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNoNamespace, ns)
+	}
+	if i < 0 || i >= len(e.shards) {
+		return nil, fmt.Errorf("durable: namespace shard %d out of range, %d shards", i, len(e.shards))
+	}
+	if e.shards[i].hash != hash {
+		return nil, fmt.Errorf("%w: namespace %q shard %d", ErrStaleShard, ns, i)
+	}
+	img, err := db.readFile(nsShardFileName(nsRoutingSeed(db.man.hseed, ns), i, hash))
+	if err != nil {
+		return nil, fmt.Errorf("durable: namespace %q shard %d image: %w", ns, i, err)
+	}
+	if sha256.Sum256(img) != hash {
+		return nil, fmt.Errorf("durable: namespace %q shard %d image corrupt on disk", ns, i)
+	}
+	return img, nil
+}
+
+// sortedNSImages returns nss byte-sorted by name without mutating the
+// caller's slice.
+func sortedNSImages(nss []NSImages) []NSImages {
+	out := make([]NSImages, len(nss))
+	copy(out, nss)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

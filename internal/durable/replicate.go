@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/namespace"
 	"repro/internal/shard"
 )
 
@@ -103,6 +104,26 @@ func (db *DB) ShardImage(i int, hash [32]byte) ([]byte, error) {
 // need cheaper installs should shard more finely, not trade away the
 // snapshot.
 func (db *DB) InstallCheckpoint(hseed uint64, images [][]byte) error {
+	return db.InstallCheckpointNS(hseed, images, nil)
+}
+
+// NSImages is one tenant's canonical image set, shipped alongside the
+// default shards by InstallCheckpointNS.
+type NSImages struct {
+	Name   string
+	Images [][]byte
+}
+
+// InstallCheckpointNS is InstallCheckpoint for a multi-tenant
+// checkpoint: the default keyspace's images plus one image set per
+// committed namespace. Tenants absent from nss are dropped — the
+// installed manifest omits them and the sweep wipes their files, so a
+// replica tracks the primary's tenant erasures byte for byte. Every
+// tenant store is assembled and verified before anything touches the
+// directory, and each must sit at the routing seed derived from
+// (hseed, name) — an image set filed under the wrong tenant fails
+// assembly rather than installing.
+func (db *DB) InstallCheckpointNS(hseed uint64, images [][]byte, nss []NSImages) error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
@@ -115,12 +136,40 @@ func (db *DB) InstallCheckpoint(hseed uint64, images [][]byte) error {
 		return fmt.Errorf("durable: installing checkpoint: %w", err)
 	}
 	s.SetClock(db.opts.Clock)
+	nss = sortedNSImages(nss)
+	cells := make([]*namespace.Cell, len(nss))
+	for k, n := range nss {
+		if err := namespace.ValidateName(n.Name); err != nil {
+			return fmt.Errorf("durable: installing checkpoint: %w", err)
+		}
+		if k > 0 && nss[k-1].Name == n.Name {
+			return fmt.Errorf("durable: installing checkpoint: duplicate namespace %q", n.Name)
+		}
+		seed := namespace.DeriveSeed(hseed, n.Name)
+		nsReaders := make([]io.Reader, len(n.Images))
+		for i, img := range n.Images {
+			nsReaders[i] = bytes.NewReader(img)
+		}
+		st, err := shard.AssembleStore(shard.MixSeed(seed), nsReaders, seed, nil)
+		if err != nil {
+			return fmt.Errorf("durable: installing namespace %q: %w", n.Name, err)
+		}
+		st.SetClock(db.opts.Clock)
+		cells[k] = &namespace.Cell{Name: n.Name, Seed: seed, Store: st}
+	}
 
 	db.cpMu.Lock()
 	defer db.cpMu.Unlock()
 	newMan := &manifest{hseed: hseed, shards: make([]shardEntry, len(images))}
 	for i, img := range images {
 		newMan.shards[i] = shardEntry{size: int64(len(img)), hash: sha256.Sum256(img)}
+	}
+	for _, n := range nss {
+		ent := nsEntry{name: n.Name, shards: make([]shardEntry, len(n.Images))}
+		for i, img := range n.Images {
+			ent.shards[i] = shardEntry{size: int64(len(img)), hash: sha256.Sum256(img)}
+		}
+		newMan.nss = append(newMan.nss, ent)
 	}
 	if db.man != nil && manifestsEqual(db.man, newMan) {
 		// Already exactly this checkpoint; installing again would change
@@ -135,6 +184,22 @@ func (db *DB) InstallCheckpoint(hseed uint64, images [][]byte) error {
 		}
 		if err := db.writeFileAtomic(shardFileName(i, newMan.shards[i].hash), img); err != nil {
 			return fmt.Errorf("durable: publishing shard %d image: %w", i, err)
+		}
+	}
+	for k, n := range nss {
+		nsHseed := cells[k].Store.RoutingSeed()
+		var prev *nsEntry
+		if db.man != nil {
+			prev = db.man.nsAt(n.Name)
+		}
+		for i, img := range n.Images {
+			h := newMan.nss[k].shards[i].hash
+			if prev != nil && i < len(prev.shards) && prev.shards[i].hash == h {
+				continue // committed file already has these exact bytes
+			}
+			if err := db.writeFileAtomic(nsShardFileName(nsHseed, i, h), img); err != nil {
+				return fmt.Errorf("durable: publishing namespace %q shard %d image: %w", n.Name, i, err)
+			}
 		}
 	}
 	if err := db.fs.SyncDir(db.dir); err != nil {
@@ -155,6 +220,13 @@ func (db *DB) InstallCheckpoint(hseed uint64, images [][]byte) error {
 	for i := range db.cpVersions {
 		db.cpVersions[i] = s.ShardVersion(i)
 	}
+	for _, c := range cells {
+		c.CPVersions = make([]uint64, c.Store.NumShards())
+		for i := range c.CPVersions {
+			c.CPVersions[i] = c.Store.ShardVersion(i)
+		}
+	}
+	db.nss.ReplaceAll(cells)
 	db.dirtyOps.Store(0)
 	db.checkpoints.Add(1)
 	db.sweep()
@@ -162,15 +234,25 @@ func (db *DB) InstallCheckpoint(hseed uint64, images [][]byte) error {
 }
 
 // manifestsEqual reports whether two manifests describe the same
-// checkpoint (equal seeds, sizes, and hashes — and therefore equal
-// encoded bytes).
+// checkpoint (equal seeds, sizes, hashes, and namespace tables — and
+// therefore equal encoded bytes).
 func manifestsEqual(a, b *manifest) bool {
-	if a.hseed != b.hseed || len(a.shards) != len(b.shards) {
+	if a.hseed != b.hseed || len(a.shards) != len(b.shards) || len(a.nss) != len(b.nss) {
 		return false
 	}
 	for i := range a.shards {
 		if a.shards[i] != b.shards[i] {
 			return false
+		}
+	}
+	for i := range a.nss {
+		if a.nss[i].name != b.nss[i].name || len(a.nss[i].shards) != len(b.nss[i].shards) {
+			return false
+		}
+		for j := range a.nss[i].shards {
+			if a.nss[i].shards[j] != b.nss[i].shards[j] {
+				return false
+			}
 		}
 	}
 	return true

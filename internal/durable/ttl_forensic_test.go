@@ -1,0 +1,100 @@
+package durable_test
+
+// TestTTLForensicExpiredBytesAbsent, ported onto the internal/foretest
+// harness (external package: foretest imports durable). The test
+// seizes the disk after sweep + checkpoint and greps every surviving
+// file for the expired entries' byte patterns — none may appear, and
+// every superseded image file that held them must have been zero-wiped
+// before its unlink.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/durable"
+	"repro/internal/expiry"
+	"repro/internal/foretest"
+)
+
+func TestTTLForensicExpiredBytesAbsent(t *testing.T) {
+	clk := expiry.NewManual(100)
+	fs := durable.NewMemFS()
+	db, err := durable.Open("db", &durable.Options{
+		Shards: 4, Seed: 7, FS: fs, NoBackground: true, Clock: clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Distinctive high-entropy keys and values for the doomed entries.
+	const nDead = 40
+	deadKey := func(i int64) int64 { return 0x5EC4E7_0000_0000 + i*0x01_0101 }
+	deadVal := func(i int64) int64 { return -0x7A11_DEAD_0000_0000 + i*0x0107 }
+	var keyNeedles, allNeedles []foretest.Needle
+	for i := int64(0); i < nDead; i++ {
+		keyNeedles = append(keyNeedles, foretest.Int64Needles(fmt.Sprintf("deadKey(%d)", i), deadKey(i))...)
+		allNeedles = append(allNeedles, foretest.Int64Needles(fmt.Sprintf("deadKey(%d)", i), deadKey(i))...)
+		allNeedles = append(allNeedles, foretest.Int64Needles(fmt.Sprintf("deadVal(%d)", i), deadVal(i))...)
+	}
+	for i := int64(0); i < nDead; i++ {
+		db.PutTTL(deadKey(i), deadVal(i), 200) // all die at epoch 200
+	}
+	// Live bystanders that must survive everything below.
+	for k := int64(0); k < 100; k++ {
+		db.Put(k, k*3)
+	}
+	// Commit the pre-expiry state: the dead entries' bytes ARE on disk
+	// now — they are live, that is correct. Only the little-endian
+	// needles must be present (that is the image encoding); demanding
+	// big-endian here would be vacuous.
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	blob := foretest.DirBytes(t, fs, "db")
+	if len(foretest.Scan(blob, keyNeedles)) == 0 {
+		t.Fatal("sanity: live TTL'd keys should be present in the committed images")
+	}
+
+	// The epoch passes; sweep + checkpoint. (Checkpoint alone would
+	// sweep too — exercise the explicit path as well.)
+	clk.Set(200)
+	if n := db.SweepExpired(200); n != nDead {
+		t.Fatalf("swept %d, want %d", n, nDead)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Forensics: no expired key or value bytes anywhere in the seized
+	// directory — not in shard images, not in the manifest, not in any
+	// leftover file or file name.
+	foretest.AssertDirClean(t, fs, "db", allNeedles)
+
+	// The superseded images (which held the doomed bytes) were
+	// zero-wiped before removal.
+	wiped, unwiped := 0, 0
+	for _, rm := range fs.Removals() {
+		if rm.Wiped {
+			wiped++
+		} else {
+			unwiped++
+		}
+	}
+	if wiped == 0 {
+		t.Fatal("no zero-wiped removals recorded; superseded images left readable debris")
+	}
+	if unwiped > 0 {
+		t.Fatalf("%d removals skipped the zero-wipe", unwiped)
+	}
+
+	// The live bystanders survive, canonically.
+	if err := db.VerifyCanonical(); err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(0); k < 100; k++ {
+		if v, ok := db.Get(k); !ok || v != k*3 {
+			t.Fatalf("bystander %d = (%d,%v) after sweep", k, v, ok)
+		}
+	}
+	db.Abandon()
+}

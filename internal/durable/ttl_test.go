@@ -7,7 +7,6 @@ package durable
 
 import (
 	"bytes"
-	"encoding/binary"
 	"io"
 	"testing"
 
@@ -139,108 +138,8 @@ func TestTTLDeterministicDirectories(t *testing.T) {
 	dbB.Abandon()
 }
 
-// forensic byte patterns: distinctive 8-byte constants that cannot
-// collide with structural integers.
-func ttlPatterns(v int64) [][]byte {
-	le := binary.LittleEndian.AppendUint64(nil, uint64(v))
-	be := binary.BigEndian.AppendUint64(nil, uint64(v))
-	return [][]byte{le, be}
-}
-
-// TestTTLForensicExpiredBytesAbsent seizes the disk after sweep +
-// checkpoint and greps every surviving file for the expired keys' and
-// values' byte patterns — none may appear, and every superseded image
-// file that held them must have been zero-wiped before its unlink.
-func TestTTLForensicExpiredBytesAbsent(t *testing.T) {
-	clk := expiry.NewManual(100)
-	fs := NewMemFS()
-	db, err := Open("db", &Options{Shards: 4, Seed: 7, FS: fs, NoBackground: true, Clock: clk})
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	// Distinctive high-entropy keys and values for the doomed entries.
-	const nDead = 40
-	deadKey := func(i int64) int64 { return 0x5EC4E7_0000_0000 + i*0x01_0101 }
-	deadVal := func(i int64) int64 { return -0x7A11_DEAD_0000_0000 + i*0x0107 }
-	for i := int64(0); i < nDead; i++ {
-		db.PutTTL(deadKey(i), deadVal(i), 200) // all die at epoch 200
-	}
-	// Live bystanders that must survive everything below.
-	for k := int64(0); k < 100; k++ {
-		db.Put(k, k*3)
-	}
-	// Commit the pre-expiry state: the dead entries' bytes ARE on disk
-	// now — they are live, that is correct.
-	if err := db.Checkpoint(); err != nil {
-		t.Fatal(err)
-	}
-	found := 0
-	for name, data := range ttlDirBytes(t, fs, "db") {
-		for i := int64(0); i < nDead; i++ {
-			for _, pat := range ttlPatterns(deadKey(i)) {
-				if bytes.Contains(data, pat) {
-					found++
-					_ = name
-				}
-			}
-		}
-	}
-	if found == 0 {
-		t.Fatal("sanity: live TTL'd keys should be present in the committed images")
-	}
-
-	// The epoch passes; sweep + checkpoint. (Checkpoint alone would
-	// sweep too — exercise the explicit path as well.)
-	clk.Set(200)
-	if n := db.SweepExpired(200); n != nDead {
-		t.Fatalf("swept %d, want %d", n, nDead)
-	}
-	if err := db.Checkpoint(); err != nil {
-		t.Fatal(err)
-	}
-
-	// Forensics: no expired key or value bytes anywhere in the seized
-	// directory — not in shard images, not in the manifest, not in any
-	// leftover file.
-	for name, data := range ttlDirBytes(t, fs, "db") {
-		for i := int64(0); i < nDead; i++ {
-			for _, pat := range append(ttlPatterns(deadKey(i)), ttlPatterns(deadVal(i))...) {
-				if bytes.Contains(data, pat) {
-					t.Fatalf("expired entry %d's bytes (% x) survive in %s after sweep + checkpoint",
-						i, pat, name)
-				}
-			}
-		}
-	}
-	// The superseded images (which held the doomed bytes) were
-	// zero-wiped before removal.
-	wiped, unwiped := 0, 0
-	for _, rm := range fs.Removals() {
-		if rm.Wiped {
-			wiped++
-		} else {
-			unwiped++
-		}
-	}
-	if wiped == 0 {
-		t.Fatal("no zero-wiped removals recorded; superseded images left readable debris")
-	}
-	if unwiped > 0 {
-		t.Fatalf("%d removals skipped the zero-wipe", unwiped)
-	}
-
-	// The live bystanders survive, canonically.
-	if err := db.VerifyCanonical(); err != nil {
-		t.Fatal(err)
-	}
-	for k := int64(0); k < 100; k++ {
-		if v, ok := db.Get(k); !ok || v != k*3 {
-			t.Fatalf("bystander %d = (%d,%v) after sweep", k, v, ok)
-		}
-	}
-	db.Abandon()
-}
+// TestTTLForensicExpiredBytesAbsent lives in ttl_forensic_test.go
+// (package durable_test), ported onto the internal/foretest harness.
 
 // TestTTLRecovery: the expiry index is part of the durable state — a
 // reopened database still knows every entry's expiry, filters lazily at

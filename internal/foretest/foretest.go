@@ -1,0 +1,196 @@
+// Package foretest is the reusable forensic-grep harness behind the
+// repo's anti-persistence proofs. A forensic test plants distinctive
+// values, drives the system (writes, TTL expirations, checkpoints,
+// tenant drops), and then scans every byte an observer could read —
+// committed files, debris, telemetry pages, logs — for any encoding of
+// what must be gone. The harness owns the encoding catalog (decimal
+// ASCII, little-endian, big-endian) and the scanning, so each test
+// states only WHAT must be absent and WHERE to look.
+//
+// The scan is deliberately byte-level and encoding-exhaustive rather
+// than format-aware: history independence promises that the observer
+// learns nothing however they parse the bytes, so the test must not
+// assume a parser either.
+package foretest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"testing"
+
+	"repro/internal/durable"
+)
+
+// Needle is one byte pattern that must (or must not) appear: the raw
+// bytes plus a label naming the value and encoding for failure
+// messages, e.g. "deadKey(le)".
+type Needle struct {
+	Label string
+	Bytes []byte
+}
+
+// Int64Needles returns the binary encodings of v — 8-byte little-endian
+// and 8-byte big-endian — labeled label(le) and label(be). These are
+// the encodings the storage layers write (images and wire frames are
+// fixed-width), so they are the needles for disk forensics.
+func Int64Needles(label string, v int64) []Needle {
+	var le, be [8]byte
+	binary.LittleEndian.PutUint64(le[:], uint64(v))
+	binary.BigEndian.PutUint64(be[:], uint64(v))
+	return []Needle{
+		{Label: label + "(le)", Bytes: le[:]},
+		{Label: label + "(be)", Bytes: be[:]},
+	}
+}
+
+// DecimalNeedle returns v rendered as decimal ASCII, the encoding that
+// would leak through text surfaces: logs, metrics pages, expvar JSON.
+func DecimalNeedle(label string, v int64) Needle {
+	return Needle{Label: label + "(dec)", Bytes: []byte(strconv.FormatInt(v, 10))}
+}
+
+// Int64NeedlesText returns all three encodings of v: little-endian,
+// big-endian, and decimal ASCII. Use it when the scanned surface mixes
+// binary and text (or when in doubt — a needle that cannot occur is
+// merely redundant).
+func Int64NeedlesText(label string, v int64) []Needle {
+	return append(Int64Needles(label, v), DecimalNeedle(label, v))
+}
+
+// Uint64Needles is Int64NeedlesText for unsigned values (seeds,
+// derived routing seeds): little-endian, big-endian, and decimal.
+func Uint64Needles(label string, v uint64) []Needle {
+	var le, be [8]byte
+	binary.LittleEndian.PutUint64(le[:], v)
+	binary.BigEndian.PutUint64(be[:], v)
+	return []Needle{
+		{Label: label + "(le)", Bytes: le[:]},
+		{Label: label + "(be)", Bytes: be[:]},
+		{Label: label + "(dec)", Bytes: []byte(strconv.FormatUint(v, 10))},
+	}
+}
+
+// StringNeedle returns s's raw bytes — tenant names, key prefixes, any
+// textual identifier that must not survive.
+func StringNeedle(label, s string) Needle {
+	return Needle{Label: label, Bytes: []byte(s)}
+}
+
+// Scan returns the labels of every needle found in blob, in needle
+// order. Needles shorter than one byte never match.
+func Scan(blob []byte, needles []Needle) []string {
+	var hits []string
+	for _, n := range needles {
+		if len(n.Bytes) > 0 && bytes.Contains(blob, n.Bytes) {
+			hits = append(hits, n.Label)
+		}
+	}
+	return hits
+}
+
+// AssertAbsent fails the test for every needle present in blob. The
+// surface string names what was scanned ("committed shard images",
+// "metrics page") so a failure reads as the forensic finding it is.
+func AssertAbsent(t testing.TB, surface string, blob []byte, needles []Needle) {
+	t.Helper()
+	for _, hit := range Scan(blob, needles) {
+		t.Errorf("forensic hit: %s found in %s", hit, surface)
+	}
+}
+
+// AssertPresent fails the test for every needle absent from blob — the
+// sanity half of a forensic test: before the erasure, the distinctive
+// bytes must actually be there, or the later absence proves nothing.
+func AssertPresent(t testing.TB, surface string, blob []byte, needles []Needle) {
+	t.Helper()
+	found := map[string]bool{}
+	for _, hit := range Scan(blob, needles) {
+		found[hit] = true
+	}
+	for _, n := range needles {
+		if len(n.Bytes) > 0 && !found[n.Label] {
+			t.Errorf("forensic sanity: %s is not present in %s before erasure — the absence check would be vacuous", n.Label, surface)
+		}
+	}
+}
+
+// DirBytes concatenates every file in dir — names and contents — into
+// one scannable blob. File names are included because a content-derived
+// name is itself an observable byte surface (that is why shard files
+// are content-addressed and namespace files are seed-addressed). The
+// fs is the durable layer's filesystem abstraction, so the same scan
+// runs against a MemFS crash image or the real disk.
+func DirBytes(t testing.TB, fs durable.FS, dir string) []byte {
+	t.Helper()
+	names, err := fs.List(dir)
+	if err != nil {
+		t.Fatalf("foretest: listing %s: %v", dir, err)
+	}
+	var blob bytes.Buffer
+	for _, name := range names {
+		blob.WriteString(name)
+		blob.WriteByte(0)
+		f, err := fs.Open(dir + "/" + name)
+		if err != nil {
+			t.Fatalf("foretest: opening %s/%s: %v", dir, name, err)
+		}
+		buf := make([]byte, 32*1024)
+		for {
+			n, rerr := f.Read(buf)
+			blob.Write(buf[:n])
+			if rerr != nil {
+				break
+			}
+		}
+		f.Close()
+		blob.WriteByte(0)
+	}
+	return blob.Bytes()
+}
+
+// ScanDir scans every file in dir (names and contents) and returns
+// "file: label" strings for each hit.
+func ScanDir(t testing.TB, fs durable.FS, dir string, needles []Needle) []string {
+	t.Helper()
+	names, err := fs.List(dir)
+	if err != nil {
+		t.Fatalf("foretest: listing %s: %v", dir, err)
+	}
+	var hits []string
+	for _, name := range names {
+		for _, hit := range Scan([]byte(name), needles) {
+			hits = append(hits, fmt.Sprintf("%s (name): %s", name, hit))
+		}
+		f, err := fs.Open(dir + "/" + name)
+		if err != nil {
+			t.Fatalf("foretest: opening %s/%s: %v", dir, name, err)
+		}
+		var blob bytes.Buffer
+		buf := make([]byte, 32*1024)
+		for {
+			n, rerr := f.Read(buf)
+			blob.Write(buf[:n])
+			if rerr != nil {
+				break
+			}
+		}
+		f.Close()
+		for _, hit := range Scan(blob.Bytes(), needles) {
+			hits = append(hits, fmt.Sprintf("%s: %s", name, hit))
+		}
+	}
+	return hits
+}
+
+// AssertDirClean fails the test for every needle found anywhere in dir
+// — any file name or any file byte. This is the post-erasure half of a
+// disk forensic test: after drop + sweep + checkpoint, the directory
+// must scan clean.
+func AssertDirClean(t testing.TB, fs durable.FS, dir string, needles []Needle) {
+	t.Helper()
+	for _, hit := range ScanDir(t, fs, dir, needles) {
+		t.Errorf("forensic hit in %s: %s", dir, hit)
+	}
+}

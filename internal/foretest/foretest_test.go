@@ -1,0 +1,80 @@
+package foretest
+
+import (
+	"testing"
+
+	"repro/internal/durable"
+)
+
+func TestNeedleEncodings(t *testing.T) {
+	ns := Int64NeedlesText("k", 0x0102030405060708)
+	want := map[string][]byte{
+		"k(le)":  {8, 7, 6, 5, 4, 3, 2, 1},
+		"k(be)":  {1, 2, 3, 4, 5, 6, 7, 8},
+		"k(dec)": []byte("72623859790382856"),
+	}
+	if len(ns) != len(want) {
+		t.Fatalf("got %d needles, want %d", len(ns), len(want))
+	}
+	for _, n := range ns {
+		w, ok := want[n.Label]
+		if !ok {
+			t.Fatalf("unexpected needle %q", n.Label)
+		}
+		if string(n.Bytes) != string(w) {
+			t.Errorf("%s = % x, want % x", n.Label, n.Bytes, w)
+		}
+	}
+}
+
+func TestScanFindsEveryEncoding(t *testing.T) {
+	const v = int64(-0x7A11DEAD)
+	needles := Int64NeedlesText("v", v)
+	for _, n := range needles {
+		blob := append(append([]byte("prefix"), n.Bytes...), "suffix"...)
+		hits := Scan(blob, needles)
+		found := false
+		for _, h := range hits {
+			if h == n.Label {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Scan missed planted %s", n.Label)
+		}
+	}
+	if hits := Scan([]byte("nothing to see"), needles); len(hits) != 0 {
+		t.Errorf("Scan found %v in clean bytes", hits)
+	}
+}
+
+func TestScanDirCoversNamesAndContents(t *testing.T) {
+	fs := durable.NewMemFS()
+	if err := fs.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, data []byte) {
+		f, err := fs.Create("d/" + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(data); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	write("clean.img", []byte{0, 0, 0})
+	write("dirty.img", append([]byte{0xff}, StringNeedle("tenant", "acme-corp").Bytes...))
+	write("named-acme-corp.img", []byte{0})
+
+	needles := []Needle{StringNeedle("tenant", "acme-corp")}
+	hits := ScanDir(t, fs, "d", needles)
+	if len(hits) != 2 {
+		t.Fatalf("got hits %v, want one content hit and one name hit", hits)
+	}
+
+	// The blob form must catch both too.
+	if got := Scan(DirBytes(t, fs, "d"), needles); len(got) != 1 {
+		t.Fatalf("DirBytes scan got %v", got)
+	}
+}

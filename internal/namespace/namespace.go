@@ -1,0 +1,211 @@
+// Package namespace provides the multi-tenant layer's cell model: each
+// tenant gets its own (dictionary, expiry-index) store — a cell —
+// routed under a seed derived one-way from the database's persisted
+// routing seed and the tenant's name.
+//
+// The derivation is the tenant-granularity version of the paper's
+// anti-persistence argument. Because a cell's canonical images are a
+// pure function of (cell contents, derived seed), and the derived seed
+// is a pure function of (root seed, tenant name):
+//
+//   - two databases with the same root seed and the same per-tenant
+//     contents commit byte-identical directories, whatever tenant
+//     creation/write/drop histories produced them;
+//   - a dropped tenant's cell files are exactly a set the next
+//     checkpoint no longer references, so the standard sweep wipes
+//     them and the directory becomes byte-identical to one where the
+//     tenant never existed;
+//   - tenants cannot correlate each other's layout: the derivation is
+//     HMAC-SHA256, so no tenant can compute (or verify a guess of)
+//     another tenant's routing seed from its own.
+//
+// The derived seed — not the name — addresses the cell's files on
+// disk, so tenant names never appear in the directory listing; the
+// only place a name is persisted is the manifest, which the drop
+// checkpoint atomically replaces.
+package namespace
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/expiry"
+	"repro/internal/shard"
+)
+
+// MaxName bounds tenant-name length in bytes. It keeps names inside
+// one wire frame alongside their payload and bounds manifest growth.
+const MaxName = 128
+
+// derivationSalt versions the seed derivation: changing the scheme
+// means changing the salt, so old and new derivations can never
+// silently collide.
+const derivationSalt = "hidb/ns/v1"
+
+// ValidateName reports whether name is a legal tenant name: 1 to
+// MaxName bytes, no NUL (NUL would let a name embed the file-blob
+// separators forensic scans rely on, and no legitimate tenant name
+// contains it).
+func ValidateName(name string) error {
+	if len(name) == 0 {
+		return fmt.Errorf("namespace: empty name")
+	}
+	if len(name) > MaxName {
+		return fmt.Errorf("namespace: name is %d bytes, max %d", len(name), MaxName)
+	}
+	if strings.IndexByte(name, 0) >= 0 {
+		return fmt.Errorf("namespace: name contains NUL")
+	}
+	return nil
+}
+
+// DeriveSeed derives the tenant's store-construction seed from the
+// database's persisted routing seed and the tenant name, HKDF-style:
+// extract a PRK from the root seed under a fixed salt, then expand it
+// with the tenant name. The output is uniform in the name and one-way
+// in both inputs: the seed reveals neither the root seed nor anything
+// about other tenants' seeds.
+func DeriveSeed(rootHseed uint64, name string) uint64 {
+	var root [8]byte
+	binary.BigEndian.PutUint64(root[:], rootHseed)
+	ext := hmac.New(sha256.New, []byte(derivationSalt))
+	ext.Write(root[:])
+	prk := ext.Sum(nil)
+	exp := hmac.New(sha256.New, prk)
+	exp.Write([]byte(name))
+	exp.Write([]byte{0x01})
+	okm := exp.Sum(nil)
+	return binary.BigEndian.Uint64(okm[:8])
+}
+
+// Cell is one tenant's store: the (data dictionary, expiry index) pair
+// sharded exactly like the default keyspace, plus the checkpoint
+// bookkeeping the durable layer keeps per cell.
+type Cell struct {
+	// Name is the tenant name. It is wire and manifest state only —
+	// never part of a file name or an image byte.
+	Name string
+	// Seed is the derived construction seed (DeriveSeed of the root
+	// routing seed and Name). The cell's persisted routing seed — the
+	// one that addresses its files — is the store's RoutingSeed().
+	Seed uint64
+	// Store holds the tenant's contents.
+	Store *shard.Store
+	// CPVersions[i] is shard i's version counter at the moment its
+	// committed image was snapshotted (nil: never committed). Owned by
+	// the durable layer's checkpoint lock.
+	CPVersions []uint64
+}
+
+// NewCell builds an empty cell for name under the given root routing
+// seed, mirroring the default store's shard count and dictionary
+// constants so per-tenant images stay structurally canonical.
+func NewCell(name string, rootHseed uint64, cfg shard.Config, clock expiry.Clock) (*Cell, error) {
+	if err := ValidateName(name); err != nil {
+		return nil, err
+	}
+	seed := DeriveSeed(rootHseed, name)
+	st, err := shard.NewWithConfig(cfg, seed, nil)
+	if err != nil {
+		return nil, fmt.Errorf("namespace: cell %q: %w", name, err)
+	}
+	st.SetClock(clock)
+	return &Cell{Name: name, Seed: seed, Store: st}, nil
+}
+
+// Registry is the live set of cells, keyed by tenant name. All methods
+// are safe for concurrent use. Listing order is always byte-sorted by
+// name — canonical, never creation order, so nothing about the order
+// tenants arrived in is observable anywhere a listing flows.
+type Registry struct {
+	mu    sync.RWMutex
+	cells map[string]*Cell
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{cells: map[string]*Cell{}}
+}
+
+// Get returns the named cell, or nil.
+func (r *Registry) Get(name string) *Cell {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.cells[name]
+}
+
+// GetOrCreate returns the named cell, building it with mk under the
+// write lock if absent. Exactly one builder runs per missing name.
+func (r *Registry) GetOrCreate(name string, mk func() (*Cell, error)) (*Cell, error) {
+	r.mu.RLock()
+	c := r.cells[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c := r.cells[name]; c != nil {
+		return c, nil
+	}
+	c, err := mk()
+	if err != nil {
+		return nil, err
+	}
+	r.cells[name] = c
+	return c, nil
+}
+
+// Put installs (or replaces) a cell — the recovery path.
+func (r *Registry) Put(c *Cell) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cells[c.Name] = c
+}
+
+// Drop removes the named cell and reports whether it existed. The
+// cell's committed files are reclaimed by the next checkpoint's sweep;
+// the registry owns only the in-memory state.
+func (r *Registry) Drop(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.cells[name]
+	delete(r.cells, name)
+	return ok
+}
+
+// Len returns the number of live cells.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.cells)
+}
+
+// Snapshot returns the cells byte-sorted by name.
+func (r *Registry) Snapshot() []*Cell {
+	r.mu.RLock()
+	out := make([]*Cell, 0, len(r.cells))
+	for _, c := range r.cells {
+		out = append(out, c)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ReplaceAll swaps the entire cell set — the checkpoint-install path,
+// where a replica adopts the primary's committed tenant set wholesale.
+func (r *Registry) ReplaceAll(cells []*Cell) {
+	next := make(map[string]*Cell, len(cells))
+	for _, c := range cells {
+		next[c.Name] = c
+	}
+	r.mu.Lock()
+	r.cells = next
+	r.mu.Unlock()
+}

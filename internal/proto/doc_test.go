@@ -80,8 +80,8 @@ func TestProtocolDocLockstep(t *testing.T) {
 	if FlagReply != 0x80 {
 		t.Errorf("FlagReply = 0x%02x, doc says 0x80", FlagReply)
 	}
-	if Version != 2 {
-		t.Errorf("Version = %d, doc says 2", Version)
+	if Version != 3 {
+		t.Errorf("Version = %d, doc says 3", Version)
 	}
 	if MaxPayload != 1<<20 {
 		t.Errorf("MaxPayload = %d, doc says 1 MiB", MaxPayload)
@@ -98,9 +98,16 @@ func TestProtocolDocLockstep(t *testing.T) {
 	if MaxSyncChunk != 1<<20-1 {
 		t.Errorf("MaxSyncChunk = %d, doc says 1 MiB - 1", MaxSyncChunk)
 	}
+	if MaxNSName != 128 {
+		t.Errorf("MaxNSName = %d, doc says 128", MaxNSName)
+	}
+	if MaxListNS != (1<<20-12)/11 {
+		t.Errorf("MaxListNS = %d, doc says floor((1 MiB - 12)/11)", MaxListNS)
+	}
 	// The bounds must actually keep the replies under the cap.
 	if 12+9*MaxBatchGet > MaxPayload || 13+16*MaxRangeItems > MaxPayload ||
-		12+40*MaxSyncShards > MaxPayload || 1+MaxSyncChunk > MaxPayload {
+		12+40*MaxSyncShards > MaxPayload || 1+MaxSyncChunk > MaxPayload ||
+		12+11*MaxListNS > MaxPayload {
 		t.Error("reply-size bounds do not fit MaxPayload")
 	}
 }

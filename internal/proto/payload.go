@@ -481,6 +481,246 @@ func DecodeHealth(p []byte) (Health, error) {
 	return h, nil
 }
 
+// MaxNSName bounds a tenant name's length in bytes on the wire. It
+// matches the storage layer's bound, keeps every namespaced request
+// inside one frame, and bounds a LISTNS reply's per-tenant overhead.
+const MaxNSName = 128
+
+// MaxListNS caps tenants in one LISTNS reply: the reply carries
+// 12 + (2+name+8) bytes per tenant, at least 11 each, so this is the
+// worst-case (single-byte names) ceiling servers enforce.
+const MaxListNS = (MaxPayload - 12) / 11
+
+// appendNSName appends the tenant-name prefix: nslen(2) name.
+func appendNSName(dst []byte, ns string) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(ns)))
+	return append(dst, ns...)
+}
+
+// decodeNSName decodes the tenant-name prefix and returns the name and
+// the remaining payload. Name length is validated against MaxNSName
+// and the payload length before the string is allocated.
+func decodeNSName(p []byte) (ns string, rest []byte, err error) {
+	if len(p) < 2 {
+		return "", nil, fmt.Errorf("proto: namespaced payload is %d bytes, want >= 2", len(p))
+	}
+	n := int(binary.BigEndian.Uint16(p))
+	if n == 0 || n > MaxNSName {
+		return "", nil, fmt.Errorf("proto: namespace name length %d, want 1..%d", n, MaxNSName)
+	}
+	if len(p) < 2+n {
+		return "", nil, fmt.Errorf("proto: namespaced payload truncated inside the name")
+	}
+	return string(p[2 : 2+n]), p[2+n:], nil
+}
+
+// AppendNSKeyValExp appends an OpNSPut request: the tenant name, then
+// key, value, and absolute expiry epoch (0: never expires).
+func AppendNSKeyValExp(dst []byte, ns string, key, val, exp int64) []byte {
+	dst = appendNSName(dst, ns)
+	return AppendKeyValExp(dst, key, val, exp)
+}
+
+// DecodeNSKeyValExp decodes an OpNSPut request.
+func DecodeNSKeyValExp(p []byte) (ns string, key, val, exp int64, err error) {
+	ns, rest, err := decodeNSName(p)
+	if err != nil {
+		return "", 0, 0, 0, err
+	}
+	key, val, exp, err = DecodeKeyValExp(rest)
+	return ns, key, val, exp, err
+}
+
+// AppendNSKey appends an OpNSGet/OpNSDel request: the tenant name plus
+// a key.
+func AppendNSKey(dst []byte, ns string, key int64) []byte {
+	dst = appendNSName(dst, ns)
+	return binary.BigEndian.AppendUint64(dst, uint64(key))
+}
+
+// DecodeNSKey decodes an OpNSGet/OpNSDel request.
+func DecodeNSKey(p []byte) (ns string, key int64, err error) {
+	ns, rest, err := decodeNSName(p)
+	if err != nil {
+		return "", 0, err
+	}
+	key, err = DecodeKey(rest)
+	return ns, key, err
+}
+
+// AppendNSName appends a bare tenant-name payload (OpDropNS requests;
+// also OpShardHash requests addressing one tenant's cell).
+func AppendNSName(dst []byte, ns string) []byte { return appendNSName(dst, ns) }
+
+// DecodeNSName decodes a bare tenant-name payload.
+func DecodeNSName(p []byte) (string, error) {
+	ns, rest, err := decodeNSName(p)
+	if err != nil {
+		return "", err
+	}
+	if len(rest) != 0 {
+		return "", fmt.Errorf("proto: %d trailing bytes after namespace name", len(rest))
+	}
+	return ns, nil
+}
+
+// NSStat is one tenant in a LISTNS reply: its name and live key count.
+type NSStat struct {
+	Name string
+	Keys uint64
+}
+
+// AppendNSList appends an OpListNS reply: the server's per-tenant key
+// quota (0: unlimited), a count, then each tenant's name and live key
+// count. Entries must already be in canonical (byte-sorted) order —
+// the server's listing is, by construction.
+func AppendNSList(dst []byte, quota uint64, entries []NSStat) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, quota)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(entries)))
+	for _, e := range entries {
+		dst = appendNSName(dst, e.Name)
+		dst = binary.BigEndian.AppendUint64(dst, e.Keys)
+	}
+	return dst
+}
+
+// DecodeNSList decodes an OpListNS reply. The count is validated
+// against MaxListNS and every name against the remaining payload
+// before allocating.
+func DecodeNSList(p []byte) (quota uint64, entries []NSStat, err error) {
+	if len(p) < 12 {
+		return 0, nil, fmt.Errorf("proto: ns-list reply is %d bytes, want >= 12", len(p))
+	}
+	quota = binary.BigEndian.Uint64(p)
+	n := binary.BigEndian.Uint32(p[8:])
+	if n > MaxListNS {
+		return 0, nil, fmt.Errorf("proto: ns-list reply claims %d namespaces, cap %d", n, MaxListNS)
+	}
+	rest := p[12:]
+	entries = make([]NSStat, 0, n)
+	for i := uint32(0); i < n; i++ {
+		ns, after, err := decodeNSName(rest)
+		if err != nil {
+			return 0, nil, fmt.Errorf("proto: ns-list entry %d: %w", i, err)
+		}
+		if len(after) < 8 {
+			return 0, nil, fmt.Errorf("proto: ns-list entry %d truncated before key count", i)
+		}
+		entries = append(entries, NSStat{Name: ns, Keys: binary.BigEndian.Uint64(after)})
+		rest = after[8:]
+	}
+	if len(rest) != 0 {
+		return 0, nil, fmt.Errorf("proto: %d trailing bytes in ns-list reply", len(rest))
+	}
+	return quota, entries, nil
+}
+
+// AppendShardHashesNS appends an OpShardHash reply with the committed
+// namespace-name table attached: the standard seed/count/entry section,
+// then (when names is non-empty) a name count and each name. The names
+// let a replica discover the primary's tenants in one round; a reply
+// for a SINGLE tenant's cell (per-namespace SHARDHASH request) uses the
+// plain AppendShardHashes form, with the tenant's derived seed in the
+// hseed field.
+func AppendShardHashesNS(dst []byte, hseed uint64, entries []ShardHash, names []string) []byte {
+	dst = AppendShardHashes(dst, hseed, entries)
+	if len(names) == 0 {
+		return dst
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(names)))
+	for _, ns := range names {
+		dst = appendNSName(dst, ns)
+	}
+	return dst
+}
+
+// DecodeShardHashesNS decodes an OpShardHash reply, with or without the
+// trailing namespace-name table (names is nil for the bare form, so
+// pre-namespace payloads decode unchanged).
+func DecodeShardHashesNS(p []byte) (hseed uint64, entries []ShardHash, names []string, err error) {
+	if len(p) < 12 {
+		return 0, nil, nil, fmt.Errorf("proto: shard-hash reply is %d bytes, want >= 12", len(p))
+	}
+	hseed = binary.BigEndian.Uint64(p)
+	n := binary.BigEndian.Uint32(p[8:])
+	if n > MaxSyncShards {
+		return 0, nil, nil, fmt.Errorf("proto: shard-hash reply claims %d shards, cap %d", n, MaxSyncShards)
+	}
+	body := p[12:]
+	if uint64(len(body)) < uint64(n)*40 {
+		return 0, nil, nil, fmt.Errorf("proto: shard-hash reply of %d shards has %d payload bytes", n, len(body))
+	}
+	entries = make([]ShardHash, n)
+	for i := range entries {
+		e := body[i*40 : i*40+40]
+		size := int64(binary.BigEndian.Uint64(e))
+		if size < 0 {
+			return 0, nil, nil, fmt.Errorf("proto: shard-hash entry %d has negative size", i)
+		}
+		entries[i].Size = size
+		copy(entries[i].Hash[:], e[8:])
+	}
+	rest := body[uint64(n)*40:]
+	if len(rest) == 0 {
+		return hseed, entries, nil, nil
+	}
+	if len(rest) < 4 {
+		return 0, nil, nil, fmt.Errorf("proto: shard-hash namespace table is %d bytes, want >= 4", len(rest))
+	}
+	cnt := binary.BigEndian.Uint32(rest)
+	if cnt > MaxListNS {
+		return 0, nil, nil, fmt.Errorf("proto: shard-hash reply claims %d namespaces, cap %d", cnt, MaxListNS)
+	}
+	rest = rest[4:]
+	names = make([]string, 0, cnt)
+	for i := uint32(0); i < cnt; i++ {
+		ns, after, err := decodeNSName(rest)
+		if err != nil {
+			return 0, nil, nil, fmt.Errorf("proto: shard-hash namespace %d: %w", i, err)
+		}
+		names = append(names, ns)
+		rest = after
+	}
+	if len(rest) != 0 {
+		return 0, nil, nil, fmt.Errorf("proto: %d trailing bytes in shard-hash reply", len(rest))
+	}
+	return hseed, entries, names, nil
+}
+
+// AppendSyncReqNS appends an OpSync request addressing a namespace's
+// cell: the standard 48-byte request plus the tenant name. An empty ns
+// produces the bare 48-byte form (the default keyspace).
+func AppendSyncReqNS(dst []byte, shard uint32, hash [32]byte, offset uint64, maxLen uint32, ns string) []byte {
+	dst = AppendSyncReq(dst, shard, hash, offset, maxLen)
+	if ns != "" {
+		dst = appendNSName(dst, ns)
+	}
+	return dst
+}
+
+// DecodeSyncReqNS decodes an OpSync request, bare or namespaced (ns is
+// "" for the default keyspace).
+func DecodeSyncReqNS(p []byte) (shard uint32, hash [32]byte, offset uint64, maxLen uint32, ns string, err error) {
+	if len(p) < 48 {
+		return 0, hash, 0, 0, "", fmt.Errorf("proto: sync request is %d bytes, want >= 48", len(p))
+	}
+	shard = binary.BigEndian.Uint32(p)
+	copy(hash[:], p[4:36])
+	offset = binary.BigEndian.Uint64(p[36:])
+	maxLen = binary.BigEndian.Uint32(p[44:])
+	if len(p) == 48 {
+		return shard, hash, offset, maxLen, "", nil
+	}
+	ns, rest, err := decodeNSName(p[48:])
+	if err != nil {
+		return 0, hash, 0, 0, "", err
+	}
+	if len(rest) != 0 {
+		return 0, hash, 0, 0, "", fmt.Errorf("proto: %d trailing bytes in sync request", len(rest))
+	}
+	return shard, hash, offset, maxLen, ns, nil
+}
+
 // AppendError appends an OpError payload: the code plus a human-readable
 // message.
 func AppendError(dst []byte, code byte, msg string) []byte {

@@ -19,7 +19,9 @@ type Item = hipma.Item
 // must reject it with ErrCodeVersion and may close the connection.
 // Version 2 added the HEALTH/PROMOTE opcodes and stamped every read
 // reply with the serving node's checkpoint epoch (bounded staleness).
-const Version = 2
+// Version 3 added the namespace opcodes (NSPUT/NSGET/NSDEL/DROPNS/
+// LISTNS), per-namespace SHARDHASH/SYNC addressing, and ErrCodeQuota.
+const Version = 3
 
 // HeaderSize is the fixed frame overhead: the 4-byte length prefix plus
 // version, opcode, and request id.
@@ -66,6 +68,19 @@ const (
 	// contents. See docs/PROTOCOL.md "Failover".
 	OpHealth  byte = 0x0D // payload: empty → reply: role(1) promotions(8) epoch(8) manifest-hash(32)
 	OpPromote byte = 0x0E // payload: empty → reply: promotions(8)
+
+	// Namespace opcodes. Every namespaced payload starts with the tenant
+	// name (nslen(2) name); names are 1..MaxNSName bytes, no NUL. DROPNS
+	// erases the tenant: the server drops the cell, checkpoints, and
+	// sweeps before replying, so a true reply means the tenant's bytes
+	// are already gone from the committed directory. LISTNS returns the
+	// live tenants in byte-sorted (canonical) order — never creation
+	// order. See docs/PROTOCOL.md "Namespaces".
+	OpNSPut  byte = 0x0F // payload: nslen(2) ns key(8) val(8) exp(8) → reply: changed(1) exp(8)
+	OpNSGet  byte = 0x10 // payload: nslen(2) ns key(8) → reply: found(1) val(8) exp(8) epoch(8)
+	OpNSDel  byte = 0x11 // payload: nslen(2) ns key(8) → reply: changed(1)
+	OpDropNS byte = 0x12 // payload: nslen(2) ns → reply: existed(1)
+	OpListNS byte = 0x13 // payload: empty → reply: quota(8) count(4) [nslen(2) ns keys(8)]…
 )
 
 // FlagReply marks a frame as the successful reply to the request opcode
@@ -96,6 +111,8 @@ const (
 	ErrCodeStale     byte = 9 // requested shard image superseded; re-fetch SHARDHASH
 
 	ErrCodeNotReplica byte = 10 // PROMOTE sent to a node that is already writable
+
+	ErrCodeQuota byte = 11 // namespace is at its per-tenant key quota
 )
 
 // opNames is the authoritative opcode table; docs/PROTOCOL.md mirrors
@@ -115,6 +132,11 @@ var opNames = map[byte]string{
 	OpGetTTL:     "OpGetTTL",
 	OpHealth:     "OpHealth",
 	OpPromote:    "OpPromote",
+	OpNSPut:      "OpNSPut",
+	OpNSGet:      "OpNSGet",
+	OpNSDel:      "OpNSDel",
+	OpDropNS:     "OpDropNS",
+	OpListNS:     "OpListNS",
 	OpError:      "OpError",
 }
 
@@ -131,6 +153,7 @@ var errNames = map[byte]string{
 	ErrCodeReadOnly:   "ErrCodeReadOnly",
 	ErrCodeStale:      "ErrCodeStale",
 	ErrCodeNotReplica: "ErrCodeNotReplica",
+	ErrCodeQuota:      "ErrCodeQuota",
 }
 
 // OpName returns the symbolic name of an opcode ("OpGet"), or a hex

@@ -84,10 +84,15 @@ type Summary struct {
 	// Installed: a new checkpoint was committed locally this round.
 	Installed bool
 	// ShardsFetched counts shard images that crossed the wire (divergent
-	// shards only; matching shards are reused from the local disk).
+	// shards only; matching shards are reused from the local disk),
+	// tenant cells included.
 	ShardsFetched int
 	// BytesFetched counts image bytes that crossed the wire.
 	BytesFetched int64
+	// Namespaces is the tenant count of the installed checkpoint. A
+	// tenant the primary dropped simply stops appearing — the install
+	// erases its local files the same way the primary's drop did.
+	Namespaces int
 }
 
 // Stats is a point-in-time snapshot of a Replica's counters.
@@ -227,26 +232,26 @@ func (r *Replica) syncLocked() (Summary, error) {
 	if err != nil {
 		return sum, err
 	}
-	hseed, remote, err := conn.SyncShardHashes()
+	// The cut anchor: the primary's Health carries the SHA-256 of its
+	// committed manifest, which names the exact checkpoint — tenant
+	// table included, the manifest is canonical. Matching the local
+	// stamp means converged without touching a single shard hash.
+	h0, err := conn.Health()
+	if err != nil {
+		return sum, fmt.Errorf("replica: fetching health: %w", err)
+	}
+	if _, localHash := r.db.CheckpointStamp(); localHash != ([32]byte{}) && h0.Hash == localHash {
+		sum.Converged = true
+		return sum, nil
+	}
+
+	hseed, remote, names, err := conn.SyncShardHashesNS()
 	if err != nil {
 		return sum, fmt.Errorf("replica: fetching shard hashes: %w", err)
 	}
 
 	localSeed, local, lerr := r.db.ShardHashes()
 	sameLayout := lerr == nil && localSeed == hseed && len(local) == len(remote)
-	if sameLayout {
-		same := true
-		for i := range remote {
-			if local[i].Hash != remote[i].Hash {
-				same = false
-				break
-			}
-		}
-		if same {
-			sum.Converged = true
-			return sum, nil
-		}
-	}
 
 	images := make([][]byte, len(remote))
 	for i, e := range remote {
@@ -261,7 +266,7 @@ func (r *Replica) syncLocked() (Summary, error) {
 			}
 			// Local file unexpectedly unusable — fall through and fetch.
 		}
-		img, err := r.fetchShard(conn, i, e)
+		img, err := r.fetchShard(conn, "", i, e)
 		if err != nil {
 			return sum, err
 		}
@@ -272,21 +277,78 @@ func (r *Replica) syncLocked() (Summary, error) {
 		r.bytesFetched.Add(uint64(len(img)))
 	}
 
-	if err := r.db.InstallCheckpoint(hseed, images); err != nil {
+	// Tenant cells: the same dance per committed namespace — compare
+	// against the locally committed cell (if any), reuse matching
+	// images, fetch the divergent ones. Tenants the primary no longer
+	// lists are simply absent from nss; the install drops them.
+	nss := make([]durable.NSImages, 0, len(names))
+	for _, name := range names {
+		nsHseed, entries, err := conn.SyncNSShardHashes(name)
+		if err != nil {
+			return sum, fmt.Errorf("replica: fetching tenant shard hashes: %w", err)
+		}
+		localNSSeed, localNS, lerr := r.db.NSShardHashes(name)
+		nsSame := lerr == nil && localNSSeed == nsHseed && len(localNS) == len(entries)
+		imgs := make([][]byte, len(entries))
+		for i, e := range entries {
+			if nsSame && localNS[i].Hash == e.Hash {
+				img, err := r.db.NSShardImage(name, i, e.Hash)
+				if err == nil && int64(len(img)) == e.Size {
+					imgs[i] = img
+					continue
+				}
+			}
+			img, err := r.fetchShard(conn, name, i, e)
+			if err != nil {
+				return sum, err
+			}
+			imgs[i] = img
+			sum.ShardsFetched++
+			sum.BytesFetched += int64(len(img))
+			r.shardsFetched.Add(1)
+			r.bytesFetched.Add(uint64(len(img)))
+		}
+		nss = append(nss, durable.NSImages{Name: name, Images: imgs})
+	}
+
+	// The cut check: the gather above took several round trips. If the
+	// primary checkpointed anywhere in between, the pieces may mix two
+	// checkpoints — installing them would fabricate a state the primary
+	// never committed. Abandon the round; the next one re-anchors.
+	h1, err := conn.Health()
+	if err != nil {
+		return sum, fmt.Errorf("replica: re-fetching health: %w", err)
+	}
+	if h1.Hash != h0.Hash {
+		return sum, errors.New("replica: primary checkpointed mid-round; retrying")
+	}
+
+	if err := r.db.InstallCheckpointNS(hseed, images, nss); err != nil {
 		return sum, err
 	}
 	sum.Installed = true
+	sum.Namespaces = len(nss)
 	r.installs.Add(1)
 	return sum, nil
 }
 
-// fetchShard pulls one shard image chunk by chunk and verifies it
-// against the advertised size and hash, so a lying or corrupted peer
-// cannot hand us installable garbage.
-func (r *Replica) fetchShard(conn *client.Conn, i int, e proto.ShardHash) ([]byte, error) {
+// fetchShard pulls one shard image chunk by chunk — from the default
+// keyspace when ns is empty, from tenant ns's cell otherwise — and
+// verifies it against the advertised size and hash, so a lying or
+// corrupted peer cannot hand us installable garbage.
+func (r *Replica) fetchShard(conn *client.Conn, ns string, i int, e proto.ShardHash) ([]byte, error) {
 	buf := make([]byte, 0, e.Size)
 	for {
-		data, more, err := conn.SyncShardChunk(i, e.Hash, uint64(len(buf)), r.cfg.ChunkSize)
+		var (
+			data []byte
+			more bool
+			err  error
+		)
+		if ns == "" {
+			data, more, err = conn.SyncShardChunk(i, e.Hash, uint64(len(buf)), r.cfg.ChunkSize)
+		} else {
+			data, more, err = conn.SyncNSShardChunk(ns, i, e.Hash, uint64(len(buf)), r.cfg.ChunkSize)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("replica: fetching shard %d at offset %d: %w", i, len(buf), err)
 		}

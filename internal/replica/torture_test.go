@@ -3,18 +3,20 @@ package replica
 // The cluster torture test: one primary and two replicas, all over
 // net.Pipe and MemFS, under a deterministic seeded schedule of mixed
 // writes, TTL writes and expirations (a shared manual epoch clock ticks
-// forward mid-load), checkpoints, anti-entropy rounds, and power cuts
-// injected mid-commit on both the primary and the replicas. After
-// quiesce every node's DB directory must be byte-identical to the
-// primary's last checkpoint, and the replicas must answer reads from
-// exactly that state — with every expired entry invisible and every
-// live TTL'd entry carrying its expiry. Concurrent wire readers run
-// throughout so the race detector sees reads overlapping installs,
-// epoch transitions, and crashes; they assert nothing (their replies
-// race the schedule) and mutate nothing, so the final state stays
-// deterministic.
+// forward mid-load), tenant-namespace writes with mid-load DROPNS
+// erasures, checkpoints, anti-entropy rounds, and power cuts injected
+// mid-commit on both the primary and the replicas. After quiesce every
+// node's DB directory must be byte-identical to the primary's last
+// checkpoint, the replicas must answer reads — default and namespaced
+// — from exactly that state with every expired entry invisible, and
+// the tenant dropped at the end must be forensically absent from every
+// node's disk. Concurrent wire readers run throughout so the race
+// detector sees reads overlapping installs, epoch transitions, and
+// crashes; they assert nothing (their replies race the schedule) and
+// mutate nothing, so the final state stays deterministic.
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -23,6 +25,9 @@ import (
 	"repro/client"
 	"repro/internal/durable"
 	"repro/internal/expiry"
+	"repro/internal/foretest"
+	"repro/internal/namespace"
+	"repro/internal/shard"
 )
 
 func tortureScale(t *testing.T, short, long int) int {
@@ -69,17 +74,44 @@ func TestClusterTorture(t *testing.T) {
 		exp, ok := modelExp[k]
 		return !ok || expiry.Live(exp, clk.Now())
 	}
+
+	// Tenant state. The victim tenant is repeatedly dropped mid-load
+	// and recreated; its keys and values are distinctive constants so
+	// the post-quiesce forensic sweep can grep every node's disk for
+	// them. victimEver accumulates every (key, value) the victim ever
+	// acknowledged, across drops — all of it must be gone at the end.
+	const victim = "victim-corp-xq"
+	tenants := []string{"acme", "zeta", victim}
+	victimKey := func(k int64) int64 { return 0x51C3_D00D_0000_0000 | k }
+	nsModel := map[string]map[int64]int64{}
+	nsCommitted := map[string]map[int64]int64{}
+	victimEver := map[int64]int64{}
+	copyNS := func(src map[string]map[int64]int64) map[string]map[int64]int64 {
+		out := make(map[string]map[int64]int64, len(src))
+		for ns, m := range src {
+			cm := make(map[int64]int64, len(m))
+			for k, v := range m {
+				cm[k] = v
+			}
+			out[ns] = cm
+		}
+		return out
+	}
+	snapshot := func() {
+		committed = make(map[int64]int64, len(model))
+		for k, v := range model {
+			committed[k] = v
+		}
+		committedExp = make(map[int64]int64, len(modelExp))
+		for k, v := range modelExp {
+			committedExp[k] = v
+		}
+		nsCommitted = copyNS(nsModel)
+	}
 	checkpoint := func() bool {
 		_, err := pconn.Checkpoint()
 		if err == nil {
-			committed = make(map[int64]int64, len(model))
-			for k, v := range model {
-				committed[k] = v
-			}
-			committedExp = make(map[int64]int64, len(modelExp))
-			for k, v := range modelExp {
-				committedExp[k] = v
-			}
+			snapshot()
 		}
 		return err == nil
 	}
@@ -136,6 +168,13 @@ func TestClusterTorture(t *testing.T) {
 					if _, _, err := c.Get(k); err != nil {
 						break
 					}
+					if j%4 == 0 {
+						// Namespaced reads race installs and drops too; a
+						// mid-drop miss is fine, a hang or a torn reply is not.
+						if _, _, err := c.NSGet(tenants[rrng.Intn(len(tenants))], k); err != nil {
+							break
+						}
+					}
 					if j%8 == 0 {
 						if _, _, err := c.Range(k, k+50, 16); err != nil {
 							break
@@ -168,6 +207,7 @@ func TestClusterTorture(t *testing.T) {
 		for k, v := range committedExp {
 			modelExp[k] = v
 		}
+		nsModel = copyNS(nsCommitted)
 		// Replicas must redial the new incarnation.
 		for _, s := range slots {
 			s.rep.Stop()
@@ -233,6 +273,29 @@ func TestClusterTorture(t *testing.T) {
 				}
 				model[k] = v
 				modelExp[k] = exp
+			case 5: // tenant put
+				ns := tenants[rng.Intn(len(tenants))]
+				v := rng.Int63()
+				if ns == victim {
+					k = victimKey(k)
+					victimEver[k] = v
+				}
+				if _, err := pconn.NSPut(ns, k, v); err != nil {
+					t.Fatalf("round %d: ns put: %v", round, err)
+				}
+				if nsModel[ns] == nil {
+					nsModel[ns] = map[int64]int64{}
+				}
+				nsModel[ns][k] = v
+			case 6: // tenant delete
+				ns := tenants[rng.Intn(len(tenants))]
+				if ns == victim {
+					k = victimKey(k)
+				}
+				if _, err := pconn.NSDelete(ns, k); err != nil {
+					t.Fatalf("round %d: ns delete: %v", round, err)
+				}
+				delete(nsModel[ns], k)
 			default: // put
 				v := rng.Int63()
 				if _, err := pconn.Put(k, v); err != nil {
@@ -240,6 +303,24 @@ func TestClusterTorture(t *testing.T) {
 				}
 				model[k] = v
 				delete(modelExp, k) // a plain put clears any TTL
+			}
+		}
+
+		// Every few rounds the victim tenant is erased mid-load. DROPNS
+		// is a durability barrier: the ack means a checkpoint omitting
+		// the tenant is already committed, so the drop and the snapshot
+		// mirror together.
+		if round%7 == 5 {
+			existed, err := pconn.DropNS(victim)
+			if err != nil {
+				t.Fatalf("round %d: dropns: %v", round, err)
+			}
+			if !existed && len(nsModel[victim]) > 0 {
+				t.Fatalf("round %d: dropns reported absent with %d live victim keys", round, len(nsModel[victim]))
+			}
+			delete(nsModel, victim)
+			if existed {
+				snapshot()
 			}
 		}
 
@@ -278,7 +359,12 @@ func TestClusterTorture(t *testing.T) {
 		}
 	}
 
-	// Quiesce: final checkpoint, converge both replicas, stop readers.
+	// Quiesce: erase the victim for good, final checkpoint, converge
+	// both replicas, stop readers.
+	if _, err := pconn.DropNS(victim); err != nil {
+		t.Fatalf("final dropns: %v", err)
+	}
+	delete(nsModel, victim)
 	if !checkpoint() {
 		t.Fatal("final checkpoint failed")
 	}
@@ -310,6 +396,30 @@ func TestClusterTorture(t *testing.T) {
 	for i, s := range slots {
 		if err := s.n.db.VerifyCanonical(); err != nil {
 			t.Fatalf("replica %d: %v", i, err)
+		}
+	}
+
+	// The dropped tenant is forensically absent from every node's disk:
+	// its name, its derived and routing seeds (binary, decimal, and the
+	// hex form file names use), and every key and value it ever held
+	// across all its incarnations.
+	if len(victimEver) == 0 {
+		t.Fatal("schedule never wrote to the victim tenant; the erasure sweep is vacuous")
+	}
+	rootHseed := prim.db.Store().RoutingSeed()
+	derived := namespace.DeriveSeed(rootHseed, victim)
+	needles := []foretest.Needle{
+		foretest.StringNeedle("victim tenant name", victim),
+		{Label: "victim routing seed(hex)", Bytes: []byte(fmt.Sprintf("%016x", shard.MixSeed(derived)))},
+	}
+	needles = append(needles, foretest.Uint64Needles("victim derived seed", derived)...)
+	for k, v := range victimEver {
+		needles = append(needles, foretest.Int64Needles(fmt.Sprintf("victimKey(%#x)", k), k)...)
+		needles = append(needles, foretest.Int64Needles(fmt.Sprintf("victimVal(%d)", v), v)...)
+	}
+	for i, fs := range []durable.FS{pfs, slots[0].fs, slots[1].fs} {
+		for _, hit := range foretest.ScanDir(t, fs, nodeDir, needles) {
+			t.Errorf("node %d forensic hit: %s", i, hit)
 		}
 	}
 
@@ -353,8 +463,53 @@ func TestClusterTorture(t *testing.T) {
 				break // spot check; Len already pinned the cardinality
 			}
 		}
+		// Namespaced reads serve exactly the committed tenant state; the
+		// listing matches the model; the dropped tenant reads as
+		// never-existed.
+		for ns, m := range nsModel {
+			spot := 0
+			for k, v := range m {
+				gotV, ok, err := c.NSGet(ns, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok || gotV != v {
+					t.Fatalf("replica %d: tenant %q get(%d) = (%d,%v), want (%d,true)", i, ns, k, gotV, ok, v)
+				}
+				if spot++; spot >= 300 {
+					break
+				}
+			}
+		}
+		_, listed, err := c.ListNS()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantNS := 0
+		for _, m := range nsModel {
+			if len(m) > 0 {
+				wantNS++
+			}
+		}
+		if len(listed) != wantNS {
+			t.Fatalf("replica %d lists %d tenants, want %d", i, len(listed), wantNS)
+		}
+		for _, st := range listed {
+			if st.Name == victim {
+				t.Fatalf("replica %d still lists the dropped tenant", i)
+			}
+			if int(st.Keys) != len(nsModel[st.Name]) {
+				t.Fatalf("replica %d: tenant %q lists %d keys, want %d", i, st.Name, st.Keys, len(nsModel[st.Name]))
+			}
+		}
+		if _, ok, err := c.NSGet(victim, victimKey(1)); err != nil || ok {
+			t.Fatalf("replica %d: dropped tenant still readable (ok=%v err=%v)", i, ok, err)
+		}
 		if _, err := c.Put(1, 1); err == nil {
 			t.Fatalf("replica %d accepted a write after the torture", i)
+		}
+		if _, err := c.NSPut("acme", 1, 1); err == nil {
+			t.Fatalf("replica %d accepted a namespaced write after the torture", i)
 		}
 		if _, err := c.PutTTL(1, 1, clk.Now()+100); err == nil {
 			t.Fatalf("replica %d accepted a TTL write after the torture", i)

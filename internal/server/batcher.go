@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -13,13 +14,17 @@ import (
 
 // writeReq is one connection's PUT, PUTTTL, or DEL handed to the
 // coalescer, carrying everything needed to route the reply back — or a
-// server-internal expire op from the sweeper (c nil: no reply).
+// server-internal expire op from the sweeper (c nil: no reply), or a
+// namespaced write (ns non-empty: NSPUT/NSDEL, or DROPNS when drop is
+// set).
 type writeReq struct {
 	key, val int64
-	exp      int64 // PUTTTL: absolute expiry; expire op: epoch bound
+	exp      int64 // PUTTTL/NSPUT: absolute expiry; expire op: epoch bound
 	del      bool
-	ttl      bool // PUTTTL (reply carries the echoed expiry)
-	expire   bool // sweeper-issued conditional delete; c is nil
+	ttl      bool   // PUTTTL (reply carries the echoed expiry)
+	expire   bool   // sweeper-issued conditional delete; c is nil
+	ns       string // tenant namespace ("": default keyspace)
+	drop     bool   // DROPNS: erase the tenant named by ns
 	id       uint64
 	c        *conn
 
@@ -45,9 +50,18 @@ type batcher struct {
 	// maxBatch caps one drain so a firehose of writers cannot grow the
 	// staging slices without bound.
 	maxBatch int
+	// nsQuota is Config.NSQuota: the per-tenant live-key cap enforced
+	// here, on the only goroutine that mutates namespaces, so the check
+	// is exact rather than racy.
+	nsQuota int
+
+	// Coalescer-goroutine scratch, reused across drains.
+	ops      []shard.Op
+	changed  []bool
+	pscratch []byte
 }
 
-func newBatcher(db *durable.DB, st *stats, sm *serverMetrics, slow *obs.SlowLog, queue, maxBatch int) *batcher {
+func newBatcher(db *durable.DB, st *stats, sm *serverMetrics, slow *obs.SlowLog, queue, maxBatch, nsQuota int) *batcher {
 	return &batcher{
 		db:       db,
 		ch:       make(chan writeReq, queue),
@@ -56,6 +70,7 @@ func newBatcher(db *durable.DB, st *stats, sm *serverMetrics, slow *obs.SlowLog,
 		slow:     slow,
 		done:     make(chan struct{}),
 		maxBatch: maxBatch,
+		nsQuota:  nsQuota,
 	}
 }
 
@@ -82,16 +97,16 @@ const extendThreshold = 8
 
 // run is the coalescer loop: block for one write, then greedily drain
 // whatever else is queued (up to maxBatch, with one adaptive window
-// extension under load), apply the whole batch in one ApplyBatch, and
-// fan the per-op outcomes back out as replies.
+// extension under load), then process the drain in submission order —
+// contiguous default-keyspace runs as one ApplyBatch, namespaced ops
+// as point ops against their tenant cells, DROPNS as a full barrier
+// (drop + checkpoint before the reply). Per-connection order is
+// preserved end to end: the channel is FIFO and segments apply in
+// drain order, so the reply each connection sees is exactly what the
+// equivalent point op would have returned.
 func (b *batcher) run() {
 	defer close(b.done)
-	var (
-		reqs     []writeReq
-		ops      []shard.Op
-		changed  []bool
-		pscratch []byte
-	)
+	var reqs []writeReq
 	for first := range b.ch {
 		reqs = append(reqs[:0], first)
 		reqs = b.drain(reqs)
@@ -104,69 +119,171 @@ func (b *batcher) run() {
 
 		// tw: end of coalesce-wait for everything in this drain. Per-req
 		// wait is tw−r.t0 (receipt to batch formation); apply and encode
-		// are per-batch costs shared by every member.
+		// are per-segment costs shared by every member.
 		tw := time.Now()
-		ops = ops[:0]
 		for _, r := range reqs {
-			ops = append(ops, shard.Op{Key: r.key, Val: r.val, Exp: r.exp, Delete: r.del, Expire: r.expire})
 			if r.c != nil {
 				b.sm.phaseWait.Observe(int64(tw.Sub(r.t0)))
 			}
 		}
-		if cap(changed) < len(ops) {
-			changed = make([]bool, len(ops))
-		}
-		changed = changed[:len(ops)]
-		_, err := b.db.ApplyBatch(ops, changed)
-		b.st.noteBatch(len(ops))
-		ta := time.Now()
-		b.sm.phaseApply.Observe(int64(ta.Sub(tw)))
-		b.sm.batchOps.Observe(int64(len(ops)))
-
-		for i, r := range reqs {
-			if r.c == nil {
-				continue // server-internal op (expiry sweep): no reply owed
-			}
-			// Payloads are built in a loop-lifetime scratch: sendFrame
-			// copies them into the connection's outbound buffer before
-			// returning, so the next iteration may overwrite it.
-			opb := proto.OpPut
-			switch {
-			case r.del:
-				opb = proto.OpDel
-			case r.ttl:
-				opb = proto.OpPutTTL
-			}
-			if err != nil {
-				pscratch = proto.AppendError(pscratch[:0], proto.ErrCodeInternal, err.Error())
-				r.c.sendFrame(proto.OpError, r.id, pscratch)
-			} else {
-				if r.ttl {
-					pscratch = proto.AppendTTLAck(pscratch[:0], changed[i], r.exp)
-				} else {
-					pscratch = proto.AppendBool(pscratch[:0], changed[i])
+		for lo := 0; lo < len(reqs); {
+			if reqs[lo].ns == "" {
+				hi := lo + 1
+				for hi < len(reqs) && reqs[hi].ns == "" {
+					hi++
 				}
-				r.c.sendFrame(opb|proto.FlagReply, r.id, pscratch)
-			}
-			r.c.pending.Done()
-
-			now := time.Now()
-			total := now.Sub(r.t0)
-			if h := b.sm.ops[opb]; h != nil {
-				h.Observe(int64(total))
-			}
-			if b.slow.Slow(total) {
-				b.slow.Record(obs.SlowOp{
-					Op: opLabels[opb], ReqID: r.id,
-					Shard:   b.db.Store().ShardOf(r.key),
-					BytesIn: r.in, BytesOut: len(pscratch), Batch: len(reqs),
-					Total: total, Wait: tw.Sub(r.t0),
-					Apply: ta.Sub(tw), Encode: now.Sub(ta),
-				})
+				b.applyDefault(reqs[lo:hi], tw)
+				lo = hi
+			} else {
+				b.applyNS(reqs[lo], tw)
+				lo++
 			}
 		}
-		b.sm.phaseEncode.Observe(int64(time.Since(ta)))
 	}
+}
+
+// applyDefault applies one contiguous run of default-keyspace writes as
+// a single ApplyBatch and fans the per-op outcomes back out as replies.
+func (b *batcher) applyDefault(reqs []writeReq, tw time.Time) {
+	ops := b.ops[:0]
+	for _, r := range reqs {
+		ops = append(ops, shard.Op{Key: r.key, Val: r.val, Exp: r.exp, Delete: r.del, Expire: r.expire})
+	}
+	b.ops = ops
+	if cap(b.changed) < len(ops) {
+		b.changed = make([]bool, len(ops))
+	}
+	changed := b.changed[:len(ops)]
+	_, err := b.db.ApplyBatch(ops, changed)
+	b.st.noteBatch(len(ops))
+	ta := time.Now()
+	b.sm.phaseApply.Observe(int64(ta.Sub(tw)))
+	b.sm.batchOps.Observe(int64(len(ops)))
+
+	for i, r := range reqs {
+		if r.c == nil {
+			continue // server-internal op (expiry sweep): no reply owed
+		}
+		// Payloads are built in a coalescer-lifetime scratch: sendFrame
+		// copies them into the connection's outbound buffer before
+		// returning, so the next iteration may overwrite it.
+		opb := proto.OpPut
+		switch {
+		case r.del:
+			opb = proto.OpDel
+		case r.ttl:
+			opb = proto.OpPutTTL
+		}
+		if err != nil {
+			b.pscratch = proto.AppendError(b.pscratch[:0], proto.ErrCodeInternal, err.Error())
+			r.c.sendFrame(proto.OpError, r.id, b.pscratch)
+		} else {
+			if r.ttl {
+				b.pscratch = proto.AppendTTLAck(b.pscratch[:0], changed[i], r.exp)
+			} else {
+				b.pscratch = proto.AppendBool(b.pscratch[:0], changed[i])
+			}
+			r.c.sendFrame(opb|proto.FlagReply, r.id, b.pscratch)
+		}
+		r.c.pending.Done()
+
+		now := time.Now()
+		total := now.Sub(r.t0)
+		if h := b.sm.ops[opb]; h != nil {
+			h.Observe(int64(total))
+		}
+		if b.slow.Slow(total) {
+			b.slow.Record(obs.SlowOp{
+				Op: opLabels[opb], ReqID: r.id,
+				Shard:   b.db.Store().ShardOf(r.key),
+				BytesIn: r.in, BytesOut: len(b.pscratch), Batch: len(reqs),
+				Total: total, Wait: tw.Sub(r.t0),
+				Apply: ta.Sub(tw), Encode: now.Sub(ta),
+			})
+		}
+	}
+	b.sm.phaseEncode.Observe(int64(time.Since(ta)))
+}
+
+// applyNS applies one namespaced write as a point op — tenant cells
+// have their own shard locks, so there is nothing to coalesce — and
+// DROPNS as the erasure barrier the protocol promises: the cell is
+// dropped AND a checkpoint committed (manifest without the tenant,
+// files zero-wiped and unlinked) before the reply leaves, so a
+// positive DROPNS reply means the erasure is already durable and
+// forensically complete.
+func (b *batcher) applyNS(r writeReq, tw time.Time) {
+	var (
+		opb     byte
+		changed bool
+		errCode byte
+		errMsg  string
+	)
+	switch {
+	case r.drop:
+		opb = proto.OpDropNS
+		b.st.nsDrops.Add(1)
+		changed = b.db.DropNamespace(r.ns)
+		if changed {
+			if err := b.db.Checkpoint(); err != nil {
+				errCode, errMsg = proto.ErrCodeInternal, err.Error()
+			}
+		}
+	case r.del:
+		opb = proto.OpNSDel
+		changed = b.db.NSDelete(r.ns, r.key)
+	default:
+		opb = proto.OpNSPut
+		if q := b.nsQuota; q > 0 && !b.db.NSHas(r.ns, r.key) && b.db.NSLen(r.ns) >= q {
+			b.st.nsQuotaRejected.Add(1)
+			errCode = proto.ErrCodeQuota
+			errMsg = fmt.Sprintf("namespace is at its %d-key quota", q)
+		} else {
+			var err error
+			changed, err = b.db.NSPutTTL(r.ns, r.key, r.val, r.exp)
+			if err != nil {
+				errCode, errMsg = proto.ErrCodeBadFrame, err.Error()
+			}
+		}
+	}
+	ta := time.Now()
+	b.sm.phaseApply.Observe(int64(ta.Sub(tw)))
+	if r.c == nil {
+		return
+	}
+	if errMsg != "" {
+		b.st.errors.Add(1)
+		b.pscratch = proto.AppendError(b.pscratch[:0], errCode, errMsg)
+		r.c.sendFrame(proto.OpError, r.id, b.pscratch)
+		r.c.pending.Done()
+		b.sm.phaseEncode.Observe(int64(time.Since(ta)))
+		return
+	}
+	if opb == proto.OpNSPut {
+		b.pscratch = proto.AppendTTLAck(b.pscratch[:0], changed, r.exp)
+	} else {
+		b.pscratch = proto.AppendBool(b.pscratch[:0], changed)
+	}
+	r.c.sendFrame(opb|proto.FlagReply, r.id, b.pscratch)
+	r.c.pending.Done()
+
+	now := time.Now()
+	total := now.Sub(r.t0)
+	if h := b.sm.ops[opb]; h != nil {
+		h.Observe(int64(total))
+	}
+	if b.slow.Slow(total) {
+		// Forensic cleanliness: the record carries the opcode label and
+		// sizes, never the tenant name or key. Shard is -1 — a tenant
+		// cell's routing is its own secret.
+		b.slow.Record(obs.SlowOp{
+			Op: opLabels[opb], ReqID: r.id, Shard: -1,
+			BytesIn: r.in, BytesOut: len(b.pscratch), Batch: 1,
+			Total: total, Wait: tw.Sub(r.t0),
+			Apply: ta.Sub(tw), Encode: now.Sub(ta),
+		})
+	}
+	b.sm.phaseEncode.Observe(int64(time.Since(ta)))
 }
 
 // drain greedily moves queued writes into reqs without blocking, up to

@@ -26,6 +26,11 @@ var opLabels = map[byte]string{
 	proto.OpGetTTL:     "get_ttl",
 	proto.OpHealth:     "health",
 	proto.OpPromote:    "promote",
+	proto.OpNSPut:      "ns_put",
+	proto.OpNSGet:      "ns_get",
+	proto.OpNSDel:      "ns_del",
+	proto.OpDropNS:     "drop_ns",
+	proto.OpListNS:     "list_ns",
 }
 
 // serverMetrics is the server's hot-path metric set: one latency
@@ -89,6 +94,14 @@ func registerServerFuncs(r *obs.Registry, s *Server) {
 		func() float64 { return float64(physicalLen(db)) })
 	r.GaugeFunc("hidb_server_keys_logical", "live keys — expired entries excluded — at an atomic cut",
 		func() float64 { return float64(db.Store().Len()) })
+	// Namespace telemetry is aggregate-only by contract: counts and
+	// totals, never a tenant-name label — a scraped metrics page must
+	// not double as a tenant roster (see docs/OBSERVABILITY.md).
+	r.GaugeFunc("hidb_server_namespaces", "live tenant namespaces with at least one live key",
+		func() float64 { return float64(db.NamespaceCount()) })
+	r.CounterFunc("hidb_server_ns_ops_total", "namespaced requests dispatched, all tenants", func() uint64 { return st.nsOps.Load() })
+	r.CounterFunc("hidb_server_ns_quota_rejected_total", "namespaced puts refused at the per-tenant quota", func() uint64 { return st.nsQuotaRejected.Load() })
+	r.CounterFunc("hidb_server_ns_drops_total", "tenant erasures requested via DROPNS", func() uint64 { return st.nsDrops.Load() })
 }
 
 // physicalLen sums the shards' physical entry counts one brief lock at

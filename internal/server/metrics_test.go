@@ -2,9 +2,8 @@ package server
 
 import (
 	"bytes"
-	"encoding/binary"
 	"encoding/json"
-	"strconv"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -13,6 +12,8 @@ import (
 	"repro/client"
 	"repro/internal/durable"
 	"repro/internal/expiry"
+	"repro/internal/foretest"
+	"repro/internal/namespace"
 	"repro/internal/obs"
 )
 
@@ -103,22 +104,15 @@ func TestScrapeUnderLoad(t *testing.T) {
 	}
 }
 
-// forensicPatterns returns the byte and ASCII-decimal forms of v — the
-// shapes v could take in binary files, logfmt lines, or a metrics page.
-func forensicPatterns(v int64) [][]byte {
-	return [][]byte{
-		binary.LittleEndian.AppendUint64(nil, uint64(v)),
-		binary.BigEndian.AppendUint64(nil, uint64(v)),
-		[]byte(strconv.FormatInt(v, 10)),
-	}
-}
-
-// TestTelemetryForensicallyClean runs deletes and TTL expiries with
-// distinctive keys and values, with the slow-op threshold set so low
-// that every operation is logged, then seizes the slow-op log and a
-// full /metrics scrape and greps both for the keys' and values' bytes —
-// binary and decimal. Telemetry retained by an adversary must reveal
-// only that operations happened, never which keys they touched.
+// TestTelemetryForensicallyClean runs deletes, TTL expiries, and
+// namespaced tenant traffic with distinctive keys, values, and a
+// distinctive tenant name, with the slow-op threshold set so low that
+// every operation is logged, then seizes the slow-op log, a full
+// /metrics scrape, and the expvar stats JSON, and greps all three —
+// via the internal/foretest needle catalog: little-endian, big-endian,
+// and decimal ASCII, plus the tenant's name and derived seed.
+// Telemetry retained by an adversary must reveal only that operations
+// happened, never which keys or which tenants they touched.
 func TestTelemetryForensicallyClean(t *testing.T) {
 	clk := expiry.NewManual(100)
 	reg := obs.NewRegistry()
@@ -145,8 +139,17 @@ func TestTelemetryForensicallyClean(t *testing.T) {
 	defer cl.Close()
 
 	const nDead = 24
+	const tenant = "tenant-secret-xk"
 	deadKey := func(i int64) int64 { return 0x5EC4E7_0000_0000 + i*0x01_0101 }
 	deadVal := func(i int64) int64 { return -0x7A11_DEAD_0000_0000 + i*0x0107 }
+	var needles []foretest.Needle
+	for i := int64(0); i < nDead; i++ {
+		needles = append(needles, foretest.Int64NeedlesText(fmt.Sprintf("deadKey(%d)", i), deadKey(i))...)
+		needles = append(needles, foretest.Int64NeedlesText(fmt.Sprintf("deadVal(%d)", i), deadVal(i))...)
+	}
+	needles = append(needles, foretest.StringNeedle("tenant name", tenant))
+	needles = append(needles, foretest.Uint64Needles("tenant derived seed",
+		namespace.DeriveSeed(db.Store().RoutingSeed(), tenant))...)
 	for i := int64(0); i < nDead; i++ {
 		if i%2 == 0 {
 			if _, err := cl.PutTTL(deadKey(i), deadVal(i), 200); err != nil {
@@ -164,6 +167,24 @@ func TestTelemetryForensicallyClean(t *testing.T) {
 		if _, err := cl.Delete(deadKey(i)); err != nil {
 			t.Fatal(err)
 		}
+	}
+	// A tenant lives a full life across every namespaced opcode — put,
+	// get, delete, list, drop — all under the maximal-exposure slow-op
+	// log. Nothing tenant-identifying may reach any telemetry surface.
+	for i := int64(0); i < 8; i++ {
+		if _, err := cl.NSPut(tenant, deadKey(i), deadVal(i)); err != nil {
+			t.Fatal(err)
+		}
+		cl.NSGet(tenant, deadKey(i))
+	}
+	if _, err := cl.NSDelete(tenant, deadKey(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.ListNS(); err != nil {
+		t.Fatal(err)
+	}
+	if existed, err := cl.DropNS(tenant); err != nil || !existed {
+		t.Fatalf("drop: %v %v", existed, err)
 	}
 	clk.Set(300)
 	if _, err := cl.Checkpoint(); err != nil { // sweeps the expired half
@@ -186,14 +207,7 @@ func TestTelemetryForensicallyClean(t *testing.T) {
 		t.Fatalf("slow-op log is not logfmt: %.200s", seized["slow-op log"])
 	}
 	for where, data := range seized {
-		for i := int64(0); i < nDead; i++ {
-			for _, pat := range append(forensicPatterns(deadKey(i)), forensicPatterns(deadVal(i))...) {
-				if bytes.Contains(data, pat) {
-					t.Fatalf("key/value bytes (% x) of entry %d leaked into the %s:\n%.300s",
-						pat, i, where, data)
-				}
-			}
-		}
+		foretest.AssertAbsent(t, where, data, needles)
 	}
 }
 

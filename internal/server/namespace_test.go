@@ -1,0 +1,301 @@
+package server
+
+// Wire-level tests for the namespace opcodes: tenant round-trips,
+// keyspace disjointness, canonical LISTNS order, exact quota
+// enforcement on the coalescer, the DROPNS durability barrier, and
+// per-tenant replication addressing.
+
+import (
+	"crypto/sha256"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/durable"
+	"repro/internal/proto"
+)
+
+func dialNS(t *testing.T, addr string) *client.Conn {
+	t.Helper()
+	c, err := client.DialTimeout(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestNamespaceWireRoundTrip(t *testing.T) {
+	db := newTestDB(t, 4)
+	defer db.Abandon()
+	srv, addr := startTCP(t, db, Config{SweepInterval: -1})
+	defer srv.Close()
+	c := dialNS(t, addr)
+
+	// Tenants are created on first write and fully disjoint: the same
+	// key holds different values per tenant and in the default keyspace.
+	if ins, err := c.Put(7, 700); err != nil || !ins {
+		t.Fatalf("default put: %v %v", ins, err)
+	}
+	if ins, err := c.NSPut("acme", 7, 701); err != nil || !ins {
+		t.Fatalf("ns put: %v %v", ins, err)
+	}
+	if ins, err := c.NSPut("zeta", 7, 702); err != nil || !ins {
+		t.Fatalf("ns put: %v %v", ins, err)
+	}
+	for _, tc := range []struct {
+		ns   string
+		want int64
+	}{{"acme", 701}, {"zeta", 702}} {
+		if v, ok, err := c.NSGet(tc.ns, 7); err != nil || !ok || v != tc.want {
+			t.Fatalf("NSGet(%q, 7) = %d %v %v, want %d", tc.ns, v, ok, err, tc.want)
+		}
+	}
+	if v, ok, err := c.Get(7); err != nil || !ok || v != 700 {
+		t.Fatalf("default Get(7) = %d %v %v, want 700", v, ok, err)
+	}
+
+	// An absent tenant reads exactly like an absent key.
+	if _, ok, err := c.NSGet("ghost", 7); err != nil || ok {
+		t.Fatalf("absent tenant read: ok=%v err=%v", ok, err)
+	}
+
+	// TTL round-trip: the expiry is echoed and visible via NSGetTTL.
+	// (Absolute epoch, so it must be in the future under the real clock.)
+	future := time.Now().Unix() + 3600
+	if _, err := c.NSPutTTL("acme", 8, 800, future); err != nil {
+		t.Fatalf("ns put-ttl: %v", err)
+	}
+	if _, exp, ok, err := c.NSGetTTL("acme", 8); err != nil || !ok || exp != future {
+		t.Fatalf("ns get-ttl: exp=%d ok=%v err=%v, want exp=%d", exp, ok, err, future)
+	}
+
+	// Delete reports presence; the tenant's other keys survive.
+	if del, err := c.NSDelete("acme", 8); err != nil || !del {
+		t.Fatalf("ns delete: %v %v", del, err)
+	}
+	if del, err := c.NSDelete("acme", 8); err != nil || del {
+		t.Fatalf("ns re-delete: %v %v", del, err)
+	}
+	if _, ok, _ := c.NSGet("acme", 7); !ok {
+		t.Fatal("tenant lost an unrelated key to a delete")
+	}
+}
+
+func TestNamespaceWireListCanonicalOrder(t *testing.T) {
+	db := newTestDB(t, 4)
+	defer db.Abandon()
+	srv, addr := startTCP(t, db, Config{SweepInterval: -1})
+	defer srv.Close()
+	c := dialNS(t, addr)
+
+	// Create in anti-sorted order; the listing must come back sorted —
+	// creation order must not be observable.
+	for i, ns := range []string{"zeta", "mid", "alpha"} {
+		if _, err := c.NSPut(ns, int64(i), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A created-then-emptied tenant must not be listed.
+	if _, err := c.NSPut("ghost", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.NSDelete("ghost", 1); err != nil {
+		t.Fatal(err)
+	}
+	quota, tenants, err := c.ListNS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quota != 0 {
+		t.Fatalf("quota = %d, want 0 (unlimited)", quota)
+	}
+	want := []string{"alpha", "mid", "zeta"}
+	if len(tenants) != len(want) {
+		t.Fatalf("listed %d tenants, want %d: %+v", len(tenants), len(want), tenants)
+	}
+	for i, w := range want {
+		if tenants[i].Name != w || tenants[i].Keys != 1 {
+			t.Fatalf("tenants[%d] = %+v, want {%s 1}", i, tenants[i], w)
+		}
+	}
+}
+
+func TestNamespaceWireQuota(t *testing.T) {
+	db := newTestDB(t, 4)
+	defer db.Abandon()
+	srv, addr := startTCP(t, db, Config{SweepInterval: -1, NSQuota: 3})
+	defer srv.Close()
+	c := dialNS(t, addr)
+
+	for k := int64(0); k < 3; k++ {
+		if ins, err := c.NSPut("acme", k, k); err != nil || !ins {
+			t.Fatalf("put %d under quota: %v %v", k, ins, err)
+		}
+	}
+	// A fourth new key is refused, typed.
+	if _, err := c.NSPut("acme", 3, 3); !errors.Is(err, client.ErrQuota) {
+		t.Fatalf("over-quota insert: %v, want ErrQuota", err)
+	}
+	// Upserts of existing keys always pass; other tenants are unaffected.
+	if ins, err := c.NSPut("acme", 0, 999); err != nil || ins {
+		t.Fatalf("at-quota upsert: %v %v", ins, err)
+	}
+	if _, err := c.NSPut("other", 1, 1); err != nil {
+		t.Fatalf("unrelated tenant hit acme's quota: %v", err)
+	}
+	// Deleting a key frees a slot.
+	if _, err := c.NSDelete("acme", 1); err != nil {
+		t.Fatal(err)
+	}
+	if ins, err := c.NSPut("acme", 3, 3); err != nil || !ins {
+		t.Fatalf("insert after freeing a slot: %v %v", ins, err)
+	}
+	// The refusal is visible in the aggregate stats, and the connection
+	// survived it.
+	if st := srv.Stats(); st.NSQuotaRejected != 1 {
+		t.Fatalf("NSQuotaRejected = %d, want 1", st.NSQuotaRejected)
+	}
+	if err := c.Ping(nil); err != nil {
+		t.Fatalf("connection dead after quota refusal: %v", err)
+	}
+	quota, _, err := c.ListNS()
+	if err != nil || quota != 3 {
+		t.Fatalf("advertised quota = %d %v, want 3", quota, err)
+	}
+}
+
+func TestNamespaceWireDropBarrier(t *testing.T) {
+	db := newTestDB(t, 4)
+	defer db.Abandon()
+	srv, addr := startTCP(t, db, Config{SweepInterval: -1})
+	defer srv.Close()
+	c := dialNS(t, addr)
+
+	if _, err := c.NSPut("doomed", 1, 11); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.NSPut("keeper", 2, 22); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := db.NSNames()
+	if err != nil || len(names) != 2 {
+		t.Fatalf("committed names = %v %v, want [doomed keeper]", names, err)
+	}
+
+	// DROPNS is a durability barrier: by the time the reply arrives, the
+	// committed manifest must already omit the tenant — no second
+	// checkpoint needed.
+	existed, err := c.DropNS("doomed")
+	if err != nil || !existed {
+		t.Fatalf("drop: %v %v", existed, err)
+	}
+	names, err = db.NSNames()
+	if err != nil || len(names) != 1 || names[0] != "keeper" {
+		t.Fatalf("committed names after drop = %v %v, want [keeper]", names, err)
+	}
+	if _, ok, _ := c.NSGet("doomed", 1); ok {
+		t.Fatal("dropped tenant still readable")
+	}
+	if v, ok, _ := c.NSGet("keeper", 2); !ok || v != 22 {
+		t.Fatal("surviving tenant damaged by the drop")
+	}
+	// Dropping an absent tenant reports false and commits nothing.
+	cps := db.Checkpoints()
+	if existed, err := c.DropNS("doomed"); err != nil || existed {
+		t.Fatalf("re-drop: %v %v", existed, err)
+	}
+	if db.Checkpoints() != cps {
+		t.Fatal("dropping an absent tenant committed a checkpoint")
+	}
+	if st := srv.Stats(); st.NSDrops != 2 {
+		t.Fatalf("NSDrops = %d, want 2", st.NSDrops)
+	}
+}
+
+func TestNamespaceWireReplicationAddressing(t *testing.T) {
+	db := newTestDB(t, 4)
+	defer db.Abandon()
+	srv, addr := startTCP(t, db, Config{SweepInterval: -1})
+	defer srv.Close()
+	c := dialNS(t, addr)
+
+	for k := int64(0); k < 32; k++ {
+		if _, err := c.NSPut("acme", k, k*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The default SHARDHASH reply carries the committed tenant table.
+	_, _, names, err := c.SyncShardHashesNS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "acme" {
+		t.Fatalf("name table = %v, want [acme]", names)
+	}
+	// The per-tenant form advertises the derived seed and per-shard
+	// hashes; SYNC with the tenant name fetches images that verify.
+	nsHseed, entries, err := c.SyncNSShardHashes("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nsHseed == 42 || nsHseed == 0 {
+		t.Fatalf("tenant advertises a non-derived seed %d", nsHseed)
+	}
+	for i, e := range entries {
+		var img []byte
+		for off := uint64(0); ; {
+			chunk, more, err := c.SyncNSShardChunk("acme", i, e.Hash, off, 0)
+			if err != nil {
+				t.Fatalf("sync shard %d: %v", i, err)
+			}
+			img = append(img, chunk...)
+			off += uint64(len(chunk))
+			if !more {
+				break
+			}
+		}
+		if int64(len(img)) != e.Size || sha256.Sum256(img) != e.Hash {
+			t.Fatalf("shard %d image does not match its advertised descriptor", i)
+		}
+	}
+	// A tenant absent from the committed checkpoint is a typed refusal.
+	var rerr *proto.RemoteError
+	if _, _, err := c.SyncNSShardHashes("ghost"); !errors.As(err, &rerr) {
+		t.Fatalf("absent tenant hashes: %v, want RemoteError", err)
+	}
+	_ = durable.ErrNoNamespace // the server maps this to ErrCodeBadFrame on the wire
+}
+
+func TestNamespaceWireReadOnlyRefusal(t *testing.T) {
+	db := newTestDB(t, 4)
+	defer db.Abandon()
+	srv, addr := startTCP(t, db, Config{SweepInterval: -1, ReadOnly: true})
+	defer srv.Close()
+	c := dialNS(t, addr)
+
+	if _, err := c.NSPut("acme", 1, 1); !errors.Is(err, client.ErrReadOnly) {
+		t.Fatalf("ns put on replica: %v, want ErrReadOnly", err)
+	}
+	if _, err := c.NSDelete("acme", 1); !errors.Is(err, client.ErrReadOnly) {
+		t.Fatalf("ns del on replica: %v, want ErrReadOnly", err)
+	}
+	if _, err := c.DropNS("acme"); !errors.Is(err, client.ErrReadOnly) {
+		t.Fatalf("drop on replica: %v, want ErrReadOnly", err)
+	}
+	// Reads stay open.
+	if _, ok, err := c.NSGet("acme", 1); err != nil || ok {
+		t.Fatalf("ns read on replica: ok=%v err=%v", ok, err)
+	}
+	if _, _, err := c.ListNS(); err != nil {
+		t.Fatalf("list on replica: %v", err)
+	}
+}

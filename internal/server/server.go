@@ -89,6 +89,12 @@ type Config struct {
 	SlowOpThreshold time.Duration
 	// SlowOpLog receives slow-op records (nil: disabled).
 	SlowOpLog io.Writer
+	// NSQuota caps each tenant namespace's live key count (0: unlimited).
+	// An NSPUT that would grow a tenant past the quota — upserts of
+	// existing keys always pass — is refused with ErrCodeQuota. The check
+	// is exact: it runs on the coalescer goroutine, serialized with every
+	// other namespaced write.
+	NSQuota int
 }
 
 func (c Config) withDefaults() Config {
@@ -176,9 +182,11 @@ type Server struct {
 
 	// One-entry cache of the last shard image served to a SYNC fetch,
 	// so a replica pulling an image chunk by chunk costs one disk read,
-	// not one per chunk. Content-addressed, so it can never serve the
+	// not one per chunk. Content-addressed (and namespace-qualified:
+	// syncNS is "" for the default keyspace), so it can never serve the
 	// wrong bytes — at worst it misses.
 	syncMu    sync.Mutex
+	syncNS    string
 	syncIdx   int
 	syncHash  [32]byte
 	syncImage []byte
@@ -203,7 +211,7 @@ func New(db *durable.DB, cfg Config) *Server {
 	if c.Metrics != nil {
 		registerServerFuncs(c.Metrics, s)
 	}
-	s.bat = newBatcher(db, &s.st, s.sm, s.slow, c.WriteQueue, c.MaxWriteBatch)
+	s.bat = newBatcher(db, &s.st, s.sm, s.slow, c.WriteQueue, c.MaxWriteBatch, c.NSQuota)
 	return s
 }
 
@@ -956,19 +964,138 @@ func (c *conn) dispatch(f proto.Frame, t0 time.Time) bool {
 		c.reply(f.ID, proto.OpPromote, c.pscratch)
 		c.noteInline(proto.OpPromote, f.ID, len(f.Payload), len(c.pscratch), 0, false, t0, td, td, ta)
 
+	case proto.OpNSPut:
+		ns, key, val, exp, err := proto.DecodeNSKeyValExp(f.Payload)
+		if err != nil {
+			c.sendError(f.ID, proto.ErrCodeBadFrame, err.Error())
+			return true
+		}
+		s.st.writes.Add(1)
+		s.st.nsOps.Add(1)
+		s.sm.phaseDecode.ObserveSince(t0)
+		c.pending.Add(1)
+		s.bat.submit(writeReq{ns: ns, key: key, val: val, exp: exp, id: f.ID, c: c, t0: t0, in: len(f.Payload)})
+
+	case proto.OpNSGet:
+		ns, key, err := proto.DecodeNSKey(f.Payload)
+		if err != nil {
+			c.sendError(f.ID, proto.ErrCodeBadFrame, err.Error())
+			return true
+		}
+		s.st.reads.Add(1)
+		s.st.nsOps.Add(1)
+		td := time.Now()
+		c.pending.Wait() // program order: reads see this conn's writes
+		tw := time.Now()
+		val, exp, ok := s.db.NSGetTTL(ns, key)
+		ta := time.Now()
+		c.pscratch = proto.AppendFoundTTL(c.pscratch[:0], ok, val, exp, s.db.Checkpoints())
+		c.reply(f.ID, proto.OpNSGet, c.pscratch)
+		c.noteInline(proto.OpNSGet, f.ID, len(f.Payload), len(c.pscratch), 0, false, t0, td, tw, ta)
+
+	case proto.OpNSDel:
+		ns, key, err := proto.DecodeNSKey(f.Payload)
+		if err != nil {
+			c.sendError(f.ID, proto.ErrCodeBadFrame, err.Error())
+			return true
+		}
+		s.st.writes.Add(1)
+		s.st.nsOps.Add(1)
+		s.sm.phaseDecode.ObserveSince(t0)
+		c.pending.Add(1)
+		s.bat.submit(writeReq{ns: ns, key: key, del: true, id: f.ID, c: c, t0: t0, in: len(f.Payload)})
+
+	case proto.OpDropNS:
+		ns, err := proto.DecodeNSName(f.Payload)
+		if err != nil {
+			c.sendError(f.ID, proto.ErrCodeBadFrame, err.Error())
+			return true
+		}
+		s.st.writes.Add(1)
+		s.st.nsOps.Add(1)
+		s.sm.phaseDecode.ObserveSince(t0)
+		c.pending.Add(1)
+		s.bat.submit(writeReq{ns: ns, drop: true, id: f.ID, c: c, t0: t0, in: len(f.Payload)})
+
+	case proto.OpListNS:
+		if len(f.Payload) != 0 {
+			c.sendError(f.ID, proto.ErrCodeBadFrame, "list-namespaces request carries a payload")
+			return true
+		}
+		s.st.reads.Add(1)
+		s.st.nsOps.Add(1)
+		td := time.Now()
+		c.pending.Wait()
+		tw := time.Now()
+		nss := s.db.Namespaces()
+		ta := time.Now()
+		if len(nss) > proto.MaxListNS {
+			c.sendError(f.ID, proto.ErrCodeTooLarge,
+				fmt.Sprintf("%d namespaces exceed the %d-entry reply cap", len(nss), proto.MaxListNS))
+			return true
+		}
+		out := make([]proto.NSStat, len(nss))
+		for i, e := range nss {
+			out[i] = proto.NSStat{Name: e.Name, Keys: uint64(e.Keys)}
+		}
+		payload := proto.AppendNSList(nil, uint64(s.cfg.NSQuota), out)
+		if len(payload) > proto.MaxPayload {
+			c.sendError(f.ID, proto.ErrCodeTooLarge, "namespace listing exceeds the frame payload cap")
+			return true
+		}
+		c.reply(f.ID, proto.OpListNS, payload)
+		c.noteInline(proto.OpListNS, f.ID, len(f.Payload), len(payload), 0, false, t0, td, tw, ta)
+
 	case proto.OpShardHash:
 		// Replication: advertise the last committed checkpoint's
 		// canonical per-shard hashes. A barrier over this connection's
 		// writes makes SHARDHASH-after-CHECKPOINT see that checkpoint.
+		// An empty request addresses the default keyspace (the reply
+		// appends the committed namespace-name table); a request carrying
+		// nslen(2) ns addresses that tenant's cell.
+		s.st.syncHashes.Add(1)
 		if len(f.Payload) != 0 {
-			c.sendError(f.ID, proto.ErrCodeBadFrame, "shard-hash request carries a payload")
+			ns, err := proto.DecodeNSName(f.Payload)
+			if err != nil {
+				c.sendError(f.ID, proto.ErrCodeBadFrame, err.Error())
+				return true
+			}
+			td := time.Now()
+			c.pending.Wait()
+			tw := time.Now()
+			nsHseed, entries, err := s.db.NSShardHashes(ns)
+			if err != nil {
+				code := byte(proto.ErrCodeInternal)
+				if errors.Is(err, durable.ErrNoNamespace) {
+					code = proto.ErrCodeBadFrame
+				}
+				c.sendError(f.ID, code, err.Error())
+				return true
+			}
+			ta := time.Now()
+			if len(entries) > proto.MaxSyncShards {
+				c.sendError(f.ID, proto.ErrCodeTooLarge,
+					fmt.Sprintf("%d shards exceed the %d-shard reply cap", len(entries), proto.MaxSyncShards))
+				return true
+			}
+			out := make([]proto.ShardHash, len(entries))
+			for i, e := range entries {
+				out[i] = proto.ShardHash{Size: e.Size, Hash: e.Hash}
+			}
+			payload := proto.AppendShardHashes(nil, nsHseed, out)
+			c.reply(f.ID, proto.OpShardHash, payload)
+			c.noteInline(proto.OpShardHash, f.ID, len(f.Payload), len(payload), 0, false, t0, td, tw, ta)
 			return true
 		}
-		s.st.syncHashes.Add(1)
 		td := time.Now()
 		c.pending.Wait()
 		tw := time.Now()
 		hseed, entries, err := s.db.ShardHashes()
+		if err != nil {
+			c.sendError(f.ID, proto.ErrCodeInternal, err.Error())
+			return true
+		}
+		names, err := s.db.NSNames()
 		if err != nil {
 			c.sendError(f.ID, proto.ErrCodeInternal, err.Error())
 			return true
@@ -983,22 +1110,29 @@ func (c *conn) dispatch(f proto.Frame, t0 time.Time) bool {
 		for i, e := range entries {
 			out[i] = proto.ShardHash{Size: e.Size, Hash: e.Hash}
 		}
-		payload := proto.AppendShardHashes(nil, hseed, out)
+		payload := proto.AppendShardHashesNS(nil, hseed, out, names)
+		if len(payload) > proto.MaxPayload {
+			c.sendError(f.ID, proto.ErrCodeTooLarge, "shard-hash reply exceeds the frame payload cap")
+			return true
+		}
 		c.reply(f.ID, proto.OpShardHash, payload)
 		c.noteInline(proto.OpShardHash, f.ID, len(f.Payload), len(payload), 0, false, t0, td, tw, ta)
 
 	case proto.OpSync:
-		shardIdx, hash, off, maxLen, err := proto.DecodeSyncReq(f.Payload)
+		shardIdx, hash, off, maxLen, ns, err := proto.DecodeSyncReqNS(f.Payload)
 		if err != nil {
 			c.sendError(f.ID, proto.ErrCodeBadFrame, err.Error())
 			return true
 		}
 		s.st.syncChunks.Add(1)
 		td := time.Now()
-		img, err := s.shardImage(int(shardIdx), hash)
+		img, err := s.shardImage(ns, int(shardIdx), hash)
 		switch {
 		case errors.Is(err, durable.ErrStaleShard):
 			c.sendError(f.ID, proto.ErrCodeStale, err.Error())
+			return true
+		case errors.Is(err, durable.ErrNoNamespace):
+			c.sendError(f.ID, proto.ErrCodeBadFrame, err.Error())
 			return true
 		case err != nil:
 			c.sendError(f.ID, proto.ErrCodeInternal, err.Error())
@@ -1023,7 +1157,7 @@ func (c *conn) dispatch(f proto.Frame, t0 time.Time) bool {
 			// The fetcher just took the image's last chunk; release the
 			// cache rather than pin a whole shard image between syncs.
 			s.syncMu.Lock()
-			if s.syncIdx == int(shardIdx) && s.syncHash == hash {
+			if s.syncNS == ns && s.syncIdx == int(shardIdx) && s.syncHash == hash {
 				s.syncImage = nil
 			}
 			s.syncMu.Unlock()
@@ -1040,22 +1174,28 @@ func (c *conn) dispatch(f proto.Frame, t0 time.Time) bool {
 	return true
 }
 
-// shardImage returns the committed image for (idx, hash) through the
-// one-entry sync cache.
-func (s *Server) shardImage(idx int, hash [32]byte) ([]byte, error) {
+// shardImage returns the committed image for (ns, idx, hash) through
+// the one-entry sync cache; ns "" addresses the default keyspace.
+func (s *Server) shardImage(ns string, idx int, hash [32]byte) ([]byte, error) {
 	s.syncMu.Lock()
-	if s.syncImage != nil && s.syncIdx == idx && s.syncHash == hash {
+	if s.syncImage != nil && s.syncNS == ns && s.syncIdx == idx && s.syncHash == hash {
 		img := s.syncImage
 		s.syncMu.Unlock()
 		return img, nil
 	}
 	s.syncMu.Unlock()
-	img, err := s.db.ShardImage(idx, hash)
+	var img []byte
+	var err error
+	if ns == "" {
+		img, err = s.db.ShardImage(idx, hash)
+	} else {
+		img, err = s.db.NSShardImage(ns, idx, hash)
+	}
 	if err != nil {
 		return nil, err
 	}
 	s.syncMu.Lock()
-	s.syncIdx, s.syncHash, s.syncImage = idx, hash, img
+	s.syncNS, s.syncIdx, s.syncHash, s.syncImage = ns, idx, hash, img
 	s.syncMu.Unlock()
 	return img, nil
 }
@@ -1066,7 +1206,8 @@ func (s *Server) shardImage(idx int, hash [32]byte) ([]byte, error) {
 // error the client gets is the one that tells it where writes go.
 func mutates(f proto.Frame) bool {
 	switch f.Op {
-	case proto.OpPut, proto.OpPutTTL, proto.OpDel, proto.OpCheckpoint:
+	case proto.OpPut, proto.OpPutTTL, proto.OpDel, proto.OpCheckpoint,
+		proto.OpNSPut, proto.OpNSDel, proto.OpDropNS:
 		return true
 	case proto.OpBatch:
 		return len(f.Payload) < 1 || f.Payload[0] != proto.BatchGet

@@ -28,6 +28,12 @@ type stats struct {
 	syncBytesOut     atomic.Uint64 // image bytes shipped to replicas
 
 	sweeps atomic.Uint64 // epoch sweeps that found candidates and submitted expire ops
+
+	// Namespace traffic, deliberately aggregate-only: counts, never
+	// tenant names — telemetry must not become a tenant roster.
+	nsOps           atomic.Uint64 // namespaced requests dispatched (all five opcodes)
+	nsQuotaRejected atomic.Uint64 // NSPUTs refused at the per-tenant quota
+	nsDrops         atomic.Uint64 // DROPNS requests processed (existent or not)
 }
 
 func (s *stats) noteBatch(n int) {
@@ -92,6 +98,16 @@ type Stats struct {
 	SweptKeys     uint64  `json:"swept_keys"`
 	Sweeps        uint64  `json:"sweeps"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
+
+	// Namespaces is the live tenant count (cells with at least one live
+	// key); the traffic counters are aggregates across all tenants. No
+	// per-tenant breakdown is published here by design — tenant names
+	// stay off every telemetry surface (LISTNS, an authenticated data
+	// op, is the only way to enumerate them).
+	Namespaces      int    `json:"namespaces"`
+	NSOps           uint64 `json:"ns_ops"`
+	NSQuotaRejected uint64 `json:"ns_quota_rejected"`
+	NSDrops         uint64 `json:"ns_drops"`
 }
 
 // Stats returns a snapshot of the server's counters plus the durable
@@ -136,5 +152,10 @@ func (s *Server) Stats() Stats {
 		SweptKeys:     s.db.SweptKeys(),
 		Sweeps:        s.st.sweeps.Load(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
+
+		Namespaces:      s.db.NamespaceCount(),
+		NSOps:           s.st.nsOps.Load(),
+		NSQuotaRejected: s.st.nsQuotaRejected.Load(),
+		NSDrops:         s.st.nsDrops.Load(),
 	}
 }

@@ -137,6 +137,12 @@ func mix(x uint64) uint64 {
 	return x
 }
 
+// MixSeed applies the store's seed finalizer. NewWithConfig(cfg, seed)
+// produces a store whose RoutingSeed() is MixSeed(seed); callers that
+// know only a construction seed (e.g. a derived per-tenant seed) can
+// compute the persisted routing identity without building a store.
+func MixSeed(seed uint64) uint64 { return mix(seed) }
+
 // shardSeed derives shard i's dictionary seed from the master seed so
 // that shards consume independent randomness streams.
 func shardSeed(seed uint64, i int) uint64 {
@@ -158,6 +164,11 @@ func (s *Store) ShardOf(key int64) int {
 
 // NumShards returns the shard count.
 func (s *Store) NumShards() int { return len(s.cells) }
+
+// PMAConfig returns the per-shard dictionary constants the store was
+// built with, so satellite stores (per-tenant cells) can mirror them
+// and stay structurally canonical alongside the default keyspace.
+func (s *Store) PMAConfig() hipma.Config { return s.cfg }
 
 // RoutingSeed returns the store's mixed routing seed. It is part of the
 // persistent identity of the store: shard assignment and the canonical
