@@ -113,6 +113,7 @@ func (db *DB) checkpoint() error {
 	// is physically empty after the sweep is excluded from the manifest
 	// entirely: created-then-emptied commits the same bytes as
 	// never-existed.
+	var manCells []*namespace.Cell
 	for _, c := range cells {
 		phys := 0
 		for i := 0; i < c.Store.NumShards(); i++ {
@@ -124,8 +125,16 @@ func (db *DB) checkpoint() error {
 		if c.CPVersions == nil {
 			c.CPVersions = make([]uint64, c.Store.NumShards())
 		}
+		// A previous manifest entry is reusable only by the incarnation
+		// that produced it. A cell recreated after a drop (no checkpoint
+		// between) has fresh zero version floors that match its untouched
+		// shards, while the manifest still carries the DROPPED
+		// incarnation's entry under the same name — reusing it would
+		// resurrect the dropped tenant's images. Committed is set only
+		// when this cell's own entry lands in a manifest, so an
+		// uncommitted cell always renders in full.
 		var prev *nsEntry
-		if db.man != nil {
+		if c.Committed && db.man != nil {
 			prev = db.man.nsAt(c.Name)
 		}
 		ent := nsEntry{name: c.Name, shards: make([]shardEntry, c.Store.NumShards())}
@@ -156,6 +165,7 @@ func (db *DB) checkpoint() error {
 			})
 		}
 		newMan.nss = append(newMan.nss, ent)
+		manCells = append(manCells, c)
 	}
 	if db.man != nil && len(writes) == 0 && manifestsEqual(db.man, newMan) {
 		return nil // nothing changed; the manifest bytes would be identical
@@ -196,6 +206,9 @@ func (db *DB) checkpoint() error {
 		} else {
 			db.cpVersions[p.idx] = p.version
 		}
+	}
+	for _, c := range manCells {
+		c.Committed = true
 	}
 	db.dirtyOps.Add(-dirtyAtStart)
 	db.checkpoints.Add(1)

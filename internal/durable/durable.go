@@ -294,7 +294,9 @@ func (db *DB) recoverNS(rootHseed uint64, e nsEntry) (*namespace.Cell, error) {
 		return nil, fmt.Errorf("durable: namespace %q: %w", e.name, err)
 	}
 	st.SetClock(db.opts.Clock)
-	c := &namespace.Cell{Name: e.name, Seed: seed, Store: st}
+	// Recovered straight from a manifest entry, so this incarnation is
+	// committed by construction.
+	c := &namespace.Cell{Name: e.name, Seed: seed, Store: st, Committed: true}
 	c.CPVersions = make([]uint64, st.NumShards())
 	for i := range c.CPVersions {
 		c.CPVersions[i] = st.ShardVersion(i)

@@ -85,6 +85,18 @@ func (m *MemFS) FailAfter(n int) {
 	m.failAt = m.ops + n
 }
 
+// Heal disarms fault injection and clears the sticky failed state, so
+// the simulated disk works again. Unlike Crash, nothing is lost: tests
+// use it for transient-fault scenarios — an erasure checkpoint fails,
+// the caller observes the error, and a retry against the healed disk
+// must complete.
+func (m *MemFS) Heal() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.failAt = 0
+	m.failed = false
+}
+
 // Ops returns the number of mutating operations performed so far.
 func (m *MemFS) Ops() int {
 	m.mu.Lock()

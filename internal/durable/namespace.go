@@ -116,13 +116,58 @@ func (db *DB) NSLen(ns string) int {
 // checkpoint: the new manifest omits the tenant, the sweep zero-wipes
 // and unlinks its image files, and the manifest rewrite retires the
 // only byte surface that ever held the name. Callers that need the
-// erasure durable now follow with Checkpoint.
+// erasure durable now — and drop-undone-on-failure semantics — use
+// DropNamespaceSync instead.
 func (db *DB) DropNamespace(ns string) bool {
 	existed := db.nss.Drop(ns)
 	if existed {
 		db.noteDirty(1)
 	}
 	return existed
+}
+
+// DropNamespaceSync drops the named tenant AND commits the erasure in
+// one call: on a true return the new manifest omits the tenant and its
+// image files are wiped and unlinked — the erasure is already durable.
+// If the checkpoint fails, the cell is restored to the live store
+// before the error returns, so a failed drop is not observable (and a
+// retry performs the full drop again). If the tenant is absent from
+// the live store but the last committed manifest still lists it — a
+// prior DropNamespace whose checkpoint was deferred, or failed — the
+// erasure is still pending, so a checkpoint is committed and true
+// returned: the tenant was durably there, and now it durably is not.
+//
+// Callers must serialize this with writers that could recreate the
+// tenant (the server's coalescer does): a cell created between the
+// drop and a failing checkpoint's restore would be replaced by the
+// restored one.
+func (db *DB) DropNamespaceSync(ns string) (bool, error) {
+	if db.closed.Load() {
+		return false, ErrClosed
+	}
+	c := db.nss.Take(ns)
+	if c == nil {
+		if !db.nsInManifest(ns) {
+			return false, nil
+		}
+		if err := db.Checkpoint(); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	db.noteDirty(1)
+	if err := db.Checkpoint(); err != nil {
+		db.nss.Put(c)
+		return false, err
+	}
+	return true, nil
+}
+
+// nsInManifest reports whether the last committed manifest lists ns.
+func (db *DB) nsInManifest(ns string) bool {
+	db.cpMu.Lock()
+	defer db.cpMu.Unlock()
+	return db.man != nil && db.man.nsAt(ns) != nil
 }
 
 // Namespaces lists the live tenants — byte-sorted by name, live key

@@ -221,6 +221,7 @@ func (db *DB) InstallCheckpointNS(hseed uint64, images [][]byte, nss []NSImages)
 		db.cpVersions[i] = s.ShardVersion(i)
 	}
 	for _, c := range cells {
+		c.Committed = true // its entry is in the manifest just published
 		c.CPVersions = make([]uint64, c.Store.NumShards())
 		for i := range c.CPVersions {
 			c.CPVersions[i] = c.Store.ShardVersion(i)

@@ -100,6 +100,15 @@ type Cell struct {
 	// committed image was snapshotted (nil: never committed). Owned by
 	// the durable layer's checkpoint lock.
 	CPVersions []uint64
+	// Committed records whether THIS cell incarnation's entry has ever
+	// landed in a committed manifest. The checkpoint engine may reuse a
+	// prior manifest entry for a version-clean shard only when it is
+	// set: a freshly (re)created cell shares its name — and therefore
+	// its manifest slot — with any dropped predecessor, and its zeroed
+	// version floors would otherwise match the predecessor's entry and
+	// resurrect dropped data. Owned by the durable layer's checkpoint
+	// lock.
+	Committed bool
 }
 
 // NewCell builds an empty cell for name under the given root routing
@@ -177,6 +186,18 @@ func (r *Registry) Drop(name string) bool {
 	_, ok := r.cells[name]
 	delete(r.cells, name)
 	return ok
+}
+
+// Take removes and returns the named cell (nil if absent) — the
+// drop-with-restore path: a caller that must undo a drop whose erasure
+// checkpoint failed hands the same cell back to Put, CPVersions and
+// committed-state bookkeeping intact.
+func (r *Registry) Take(name string) *Cell {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.cells[name]
+	delete(r.cells, name)
+	return c
 }
 
 // Len returns the number of live cells.

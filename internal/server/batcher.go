@@ -223,11 +223,14 @@ func (b *batcher) applyNS(r writeReq, tw time.Time) {
 	case r.drop:
 		opb = proto.OpDropNS
 		b.st.nsDrops.Add(1)
-		changed = b.db.DropNamespace(r.ns)
-		if changed {
-			if err := b.db.Checkpoint(); err != nil {
-				errCode, errMsg = proto.ErrCodeInternal, err.Error()
-			}
+		// Drop and checkpoint as one operation: a failed checkpoint
+		// restores the cell before the error reply, so the client is
+		// never told a tenant is gone while its data stays durable, and
+		// a retried DROPNS finds the tenant (or its lingering manifest
+		// entry) and completes the erasure.
+		var err error
+		if changed, err = b.db.DropNamespaceSync(r.ns); err != nil {
+			errCode, errMsg = proto.ErrCodeInternal, err.Error()
 		}
 	case r.del:
 		opb = proto.OpNSDel

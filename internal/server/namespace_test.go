@@ -217,6 +217,68 @@ func TestNamespaceWireDropBarrier(t *testing.T) {
 	}
 }
 
+func TestNamespaceWireDropCheckpointFailureRetry(t *testing.T) {
+	fs := durable.NewMemFS()
+	db, err := durable.Open("db", &durable.Options{
+		Shards: 4, Seed: 42, NoBackground: true, FS: fs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Abandon()
+	srv, addr := startTCP(t, db, Config{SweepInterval: -1})
+	defer srv.Close()
+	c := dialNS(t, addr)
+
+	if _, err := c.NSPut("doomed", 1, 11); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.NSPut("keeper", 2, 22); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The disk dies under the erasure checkpoint. The client must get an
+	// error — not a positive drop — and the tenant must remain fully
+	// present: readable, listed, and still committed. A reply that said
+	// "gone" here would leave the tenant durable on disk behind the
+	// client's back.
+	fs.FailAfter(1)
+	if existed, err := c.DropNS("doomed"); err == nil {
+		t.Fatalf("DROPNS on a dead disk replied (%v, nil), want an error", existed)
+	}
+	if v, ok, err := c.NSGet("doomed", 1); err != nil || !ok || v != 11 {
+		t.Fatalf("tenant read after failed drop = (%d,%v,%v), want (11,true,nil)", v, ok, err)
+	}
+	if _, tenants, err := c.ListNS(); err != nil || len(tenants) != 2 {
+		t.Fatalf("listing after failed drop = %v %v, want [doomed keeper]", tenants, err)
+	}
+	if names, err := db.NSNames(); err != nil || len(names) != 2 {
+		t.Fatalf("committed names after failed drop = %v %v, want [doomed keeper]", names, err)
+	}
+
+	// The disk recovers; the retried DROPNS completes the erasure and
+	// the barrier holds: by reply time the manifest omits the tenant.
+	fs.Heal()
+	if existed, err := c.DropNS("doomed"); err != nil || !existed {
+		t.Fatalf("retried drop = (%v, %v), want (true, nil)", existed, err)
+	}
+	if names, err := db.NSNames(); err != nil || len(names) != 1 || names[0] != "keeper" {
+		t.Fatalf("committed names after retried drop = %v %v, want [keeper]", names, err)
+	}
+	if _, ok, _ := c.NSGet("doomed", 1); ok {
+		t.Fatal("dropped tenant still readable after the retry")
+	}
+	if v, ok, _ := c.NSGet("keeper", 2); !ok || v != 22 {
+		t.Fatal("surviving tenant damaged by the retried drop")
+	}
+	if err := db.VerifyCanonical(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestNamespaceWireReplicationAddressing(t *testing.T) {
 	db := newTestDB(t, 4)
 	defer db.Abandon()
