@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/proto"
+	"repro/internal/trace"
 )
 
 // Item is a key plus its value, the element type of batch and range
@@ -67,6 +68,14 @@ type Conn struct {
 	// m is never nil: Conns outside an observed pool share
 	// defaultClientMetrics (live, unregistered).
 	m *clientMetrics
+
+	// tr is the span store this connection records client spans into
+	// (nil pointer: tracing off). When set, every request carries a v4
+	// trace-context extension — a fresh trace id, this call's span id
+	// as the parent the server stitches under, and the head-sampling
+	// decision — and sampled or failed calls record a client span. An
+	// atomic pointer because SetTrace may race in-flight calls.
+	tr atomic.Pointer[trace.Store]
 }
 
 // Dial connects to a hidbd server at addr ("host:port").
@@ -231,7 +240,53 @@ func (c *Conn) call(op byte, payload []byte) (proto.Frame, error) {
 	return f, err
 }
 
+// errLocalFailure is the Err byte a client span carries when the call
+// failed before any server error code existed — a broken connection, a
+// timeout, a malformed reply. Deliberately outside the wire error-code
+// vocabulary.
+const errLocalFailure = 0xff
+
+// SetTrace wires a span store into the connection: requests start
+// carrying the v4 trace-context extension, and calls that are
+// head-sampled (the store's rate) or fail record a client span. Safe
+// to call concurrently with in-flight calls; a nil store is ignored.
+func (c *Conn) SetTrace(st *trace.Store) {
+	if st != nil {
+		c.tr.Store(st)
+	}
+}
+
 func (c *Conn) doCall(op byte, payload []byte) (proto.Frame, error) {
+	tr := c.tr.Load()
+	if tr == nil {
+		return c.doCallCtx(op, payload, proto.TraceCtx{})
+	}
+	// The client span's id travels as the context's parent-span field,
+	// so every server-side span the request spawns stitches under it.
+	sid := tr.NewID()
+	tc := proto.TraceCtx{ID: tr.NewID(), Span: sid, Sampled: tr.Sample()}
+	t0 := time.Now()
+	f, err := c.doCallCtx(op, payload, tc)
+	if tc.Sampled || err != nil {
+		ec := byte(0)
+		if err != nil {
+			ec = errLocalFailure
+			var re *proto.RemoteError
+			if errors.As(err, &re) {
+				ec = re.Code
+			}
+		}
+		tr.Record(trace.Span{
+			Trace: tc.ID, ID: sid,
+			Start: t0.UnixNano(), Dur: int64(time.Since(t0)),
+			Kind: trace.KindClient, Op: op, Err: ec, Shard: -1,
+			In: int32(len(payload)), Out: int32(len(f.Payload)),
+		})
+	}
+	return f, err
+}
+
+func (c *Conn) doCallCtx(op byte, payload []byte, tc proto.TraceCtx) (proto.Frame, error) {
 	id := c.nextID.Add(1)
 	ch := make(chan proto.Frame, 1)
 
@@ -244,7 +299,7 @@ func (c *Conn) doCall(op byte, payload []byte) (proto.Frame, error) {
 	c.pending[id] = ch
 	c.mu.Unlock()
 
-	buf := proto.AppendFrame(nil, proto.Frame{Ver: proto.Version, Op: op, ID: id, Payload: payload})
+	buf := proto.AppendFrame(nil, proto.Frame{Ver: proto.Version, Op: op, ID: id, Payload: payload, Trace: tc})
 	select {
 	case c.wch <- buf:
 	case <-c.done:

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // Redial backoff bounds: the first attempt after a slot's connection
@@ -70,6 +71,12 @@ type Client struct {
 
 	fomu sync.Mutex    // serializes failover probes
 	gen  atomic.Uint64 // bumped after each completed failover
+
+	// tr is the pool's span store (nil pointer: tracing off),
+	// propagated to every Conn the pool dials. Pool lifecycle events —
+	// dial sweeps, redials, failover probes — are rare, so they are
+	// always kept, each as its own single-span trace.
+	tr atomic.Pointer[trace.Store]
 
 	// sleep is time.Sleep unless a test injects a fake to drive the
 	// redial backoff deterministically.
@@ -136,6 +143,7 @@ func openEndpoints(addrs []string, nconns int, timeout time.Duration, reg *obs.R
 // dialed conns are closed and the slots keep their previous contents.
 func (cl *Client) dialAll() error {
 	addr := cl.addr()
+	t0 := time.Now()
 	fresh := make([]*Conn, len(cl.slots))
 	for i := range fresh {
 		c, err := DialTimeout(addr, cl.timeout)
@@ -143,9 +151,13 @@ func (cl *Client) dialAll() error {
 			for _, f := range fresh[:i] {
 				f.Close()
 			}
+			cl.traceDial(t0, len(fresh), i, errLocalFailure)
 			return fmt.Errorf("client: conn %d/%d to %s: %w", i+1, len(fresh), addr, err)
 		}
 		c.m = cl.m
+		if tr := cl.tr.Load(); tr != nil {
+			c.SetTrace(tr)
+		}
 		fresh[i] = c
 	}
 	for i := range cl.slots {
@@ -156,7 +168,41 @@ func (cl *Client) dialAll() error {
 			fresh[i].Close()
 		}
 	}
+	cl.traceDial(t0, len(fresh), len(fresh), 0)
 	return nil
+}
+
+// traceDial records one always-kept single-span trace for a dial sweep
+// that began at t0: In counts the connections wanted, Out the ones
+// established (errCode nonzero when the sweep failed partway). No-op
+// when tracing is off.
+func (cl *Client) traceDial(t0 time.Time, wanted, dialed int, errCode byte) {
+	tr := cl.tr.Load()
+	if tr == nil {
+		return
+	}
+	id := tr.NewID()
+	tr.Record(trace.Span{
+		Trace: id, ID: id,
+		Start: t0.UnixNano(), Dur: int64(time.Since(t0)),
+		Kind: trace.KindDial, Err: errCode,
+		In: int32(wanted), Out: int32(dialed),
+	})
+}
+
+// SetTrace wires a span store into the pool and every connection it
+// currently holds; connections dialed later inherit it. See
+// Conn.SetTrace. Safe to call concurrently; a nil store is ignored.
+func (cl *Client) SetTrace(st *trace.Store) {
+	if st == nil {
+		return
+	}
+	cl.tr.Store(st)
+	for i := range cl.slots {
+		if c := cl.slots[i].conn.Load(); c != nil {
+			c.SetTrace(st)
+		}
+	}
 }
 
 // addr returns the endpoint the pool currently targets.
@@ -233,7 +279,7 @@ const maxProbeTimeout = 2 * time.Second
 // clamped to maxProbeTimeout) so one unresponsive endpoint delays the
 // sweep, never wedges it. Reports whether the pool now targets a node
 // believed writable.
-func (cl *Client) failover() bool {
+func (cl *Client) failover() (ok bool) {
 	g := cl.gen.Load()
 	cl.fomu.Lock()
 	defer cl.fomu.Unlock()
@@ -241,6 +287,22 @@ func (cl *Client) failover() bool {
 		// Another caller completed a failover while we waited; its
 		// outcome is as fresh as anything we could probe now.
 		return true
+	}
+	if tr := cl.tr.Load(); tr != nil {
+		t0 := time.Now()
+		defer func() {
+			var ec byte
+			if !ok {
+				ec = errLocalFailure
+			}
+			id := tr.NewID()
+			tr.Record(trace.Span{
+				Trace: id, ID: id,
+				Start: t0.UnixNano(), Dur: int64(time.Since(t0)),
+				Kind: trace.KindFailover, Err: ec,
+				In: int32(len(cl.endpoints)), Out: cl.cur.Load(),
+			})
+		}()
 	}
 	probeTO := cl.timeout
 	if probeTO <= 0 || probeTO > maxProbeTimeout {
@@ -288,10 +350,15 @@ func (cl *Client) redial(s *poolSlot) {
 		defer s.redialing.Store(false)
 		backoff := redialMinBackoff
 		for !cl.closed.Load() {
+			t0 := time.Now()
 			c, err := DialTimeout(cl.addr(), cl.timeout)
 			if err == nil {
 				c.m = cl.m
+				if tr := cl.tr.Load(); tr != nil {
+					c.SetTrace(tr)
+				}
 				cl.m.redials.Inc()
+				cl.traceDial(t0, 1, 1, 0)
 				if old := s.conn.Swap(c); old != nil {
 					old.Close()
 				}

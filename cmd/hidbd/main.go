@@ -38,8 +38,10 @@
 // Prometheus-style metrics at /metrics (docs/OBSERVABILITY.md is the
 // catalog), expvar counters at /debug/vars — including the server's
 // request/coalescing stats under the "hidbd" key and, on a replica,
-// sync stats under "replica" — and the runtime profiler under
-// /debug/pprof/. With -slow-op-threshold, operations slower than the
+// sync stats under "replica" — the in-memory trace ring as JSON at
+// /debug/traces (see -trace-sample/-trace-buffer), and the runtime
+// profiler under /debug/pprof/. With -slow-op-threshold, operations
+// slower than the
 // threshold are logged to stderr as structured one-liners that carry
 // opcode, sizes, shard index, and phase durations — never key or
 // value bytes (the forensic-cleanliness contract).
@@ -62,15 +64,18 @@ import (
 	"repro/internal/obs"
 	"repro/internal/replica"
 	"repro/internal/server"
+	"repro/internal/trace"
 )
 
 // debugMux builds the debug listener's explicit mux: expvar, the
-// metric registry's text exposition, and pprof, all mounted by hand so
-// nothing depends on (or leaks onto) http.DefaultServeMux.
-func debugMux(reg *obs.Registry) *http.ServeMux {
+// metric registry's text exposition, the trace store's JSON dump, and
+// pprof, all mounted by hand so nothing depends on (or leaks onto)
+// http.DefaultServeMux.
+func debugMux(reg *obs.Registry, tr *trace.Store) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/traces", tr)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -101,6 +106,8 @@ func main() {
 		healthN    = flag.Int("health-threshold", 3, "replica: consecutive failed probes before the primary is declared down")
 		autoProm   = flag.Bool("auto-promote", false, "replica: self-promote to primary when health checking declares the primary down (single-replica topologies only — two auto-promoting replicas can split-brain)")
 		nsQuota    = flag.Int("ns-quota", 0, "per-tenant namespace key quota (0: unlimited); NSPUTs that would grow a tenant past it are refused")
+		trSample   = flag.Float64("trace-sample", 0.01, "head-sampling probability for request traces (slow and failed requests are kept regardless)")
+		trBuffer   = flag.Int("trace-buffer", 4096, "span slots in the in-memory trace ring (volatile; old spans are overwritten)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -113,6 +120,11 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
+	// The trace store always exists — sampling only decides how often
+	// ordinary requests land in it (slow ones, errors, and erasure
+	// barriers are kept regardless) — so /debug/traces and the
+	// hidb_trace_* counters are live on every deployment.
+	tr := trace.NewStore(*trBuffer, *trSample, reg)
 	db, err := antipersist.Open(*dir, &antipersist.DBOptions{
 		Shards:              *shards,
 		Seed:                *seed,
@@ -142,6 +154,7 @@ func main() {
 		Metrics:         reg,
 		SlowOpThreshold: *slowOp,
 		NSQuota:         *nsQuota,
+		Trace:           tr,
 	}
 	if *slowOp > 0 {
 		srvCfg.SlowOpLog = os.Stderr
@@ -171,6 +184,7 @@ func main() {
 			Server:          srv,
 			HealthInterval:  *healthIntv,
 			HealthThreshold: *healthN,
+			Trace:           tr,
 		}
 		if *autoProm {
 			repCfg.OnPrimaryDown = func() {
@@ -197,7 +211,7 @@ func main() {
 		}
 		dsrv := &http.Server{
 			Addr:    *debugAddr,
-			Handler: debugMux(reg),
+			Handler: debugMux(reg, tr),
 			// A client that opens a socket and goes silent must not pin a
 			// handler goroutine forever.
 			ReadHeaderTimeout: 10 * time.Second,

@@ -3,11 +3,13 @@ package durable
 import (
 	"bytes"
 	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"time"
 
 	"repro/internal/expiry"
 	"repro/internal/namespace"
+	"repro/internal/trace"
 )
 
 // Checkpoint persists the store's current contents: it first sweeps
@@ -24,10 +26,19 @@ import (
 // shards are never blocked (each dirty shard is snapshotted under its
 // own brief read lock).
 func (db *DB) Checkpoint() error {
+	return db.CheckpointTraced(0, 0)
+}
+
+// CheckpointTraced is Checkpoint carrying the trace identity of the
+// request that demanded the barrier: the committed checkpoint's span
+// joins trace tid as a child of span psid, so /debug/traces shows the
+// fsync cost inside the request that paid it. Zero ids mean untraced
+// — the checkpoint span (if a store is wired) mints its own trace.
+func (db *DB) CheckpointTraced(tid, psid uint64) error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
-	return db.checkpoint()
+	return db.checkpoint(tid, psid)
 }
 
 // pendingShard is one shard image staged for publication. For a
@@ -42,10 +53,26 @@ type pendingShard struct {
 	nsHseed uint64
 }
 
-func (db *DB) checkpoint() error {
+// checkpoint commits the current contents (see Checkpoint). tid/psid
+// carry the requesting trace (0,0: untraced). When a span store is
+// wired and the checkpoint commits, it records a checkpoint span —
+// minting a fresh trace id for untraced (background) runs — whose
+// Link is the committed manifest hash's first eight bytes, the same
+// value replicas link their sync rounds to; the sweep that precedes
+// rendering records a sweep child when it removed anything.
+func (db *DB) checkpoint(tid, psid uint64) error {
 	db.cpMu.Lock()
 	defer db.cpMu.Unlock()
 	cpStart := time.Now()
+
+	tr := db.trc.Load()
+	var cpSID uint64
+	if tr != nil {
+		if tid == 0 {
+			tid = tr.NewID()
+		}
+		cpSID = tr.NewID()
+	}
 
 	// Operations that land while the checkpoint runs must keep their
 	// claim on the threshold trigger, so only the ops seen up to this
@@ -68,6 +95,13 @@ func (db *DB) checkpoint() error {
 				db.m.sweptPerRun.Observe(int64(swept))
 			}
 			db.m.sweepSecs.ObserveSince(cpStart)
+			if tr != nil && swept > 0 {
+				tr.Record(trace.Span{
+					Trace: tid, ID: tr.NewID(), Parent: cpSID,
+					Start: cpStart.UnixNano(), Dur: int64(time.Since(cpStart)),
+					Kind: trace.KindSweep, Shard: -1, In: int32(swept),
+				})
+			}
 		}
 	}
 	nsh := s.NumShards()
@@ -216,6 +250,20 @@ func (db *DB) checkpoint() error {
 	db.m.cpSeconds.ObserveSince(cpStart)
 	db.m.cpBytes.Observe(int64(cpBytes))
 	db.m.cpShards.Observe(int64(len(writes)))
+	if tr != nil {
+		// Link carries the committed manifest hash's first eight bytes:
+		// the same stamp CheckpointStamp exposes and a replica's
+		// sync-round span links to, so cross-node spans correlate by
+		// value with no shared id plumbing.
+		h := sha256.Sum256(manBytes)
+		tr.Record(trace.Span{
+			Trace: tid, ID: cpSID, Parent: psid,
+			Start: cpStart.UnixNano(), Dur: int64(time.Since(cpStart)),
+			Kind: trace.KindCheckpoint, Shard: -1,
+			In: int32(len(writes)), Out: int32(cpBytes),
+			Link: binary.BigEndian.Uint64(h[:8]),
+		})
+	}
 	return nil
 }
 
@@ -317,6 +365,6 @@ func (db *DB) background() {
 		case <-t.C:
 		case <-db.kick:
 		}
-		db.checkpoint() //nolint:errcheck // retried next tick; Close reports
+		db.checkpoint(0, 0) //nolint:errcheck // retried next tick; Close reports
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/namespace"
 	"repro/internal/obs"
 	"repro/internal/shard"
+	"repro/internal/trace"
 )
 
 // Item re-exports the store element type.
@@ -140,6 +141,13 @@ type DB struct {
 	checkpoints atomic.Uint64 // committed checkpoints (in-memory stat)
 	sweptKeys   atomic.Uint64 // expired entries physically removed since Open
 	closed      atomic.Bool
+	// trc is the span store checkpoint and sweep spans are recorded
+	// into (nil pointer: tracing off). An atomic pointer because
+	// SetTrace may race an already-running background checkpointer.
+	// Spans carry counts, durations, and the committed manifest hash's
+	// first eight bytes — never keys, values, or tenant names — so the
+	// trace buffer stays forensically clean by construction.
+	trc atomic.Pointer[trace.Store]
 	// noSweep is Options.NoSweep made switchable at runtime: a replica
 	// opens with sweeping off and Promote turns it back on. It is an
 	// in-memory role bit only — nothing about it reaches the disk.
@@ -202,7 +210,7 @@ func Open(dir string, opts *Options) (*DB, error) {
 		s.SetClock(o.Clock)
 		db.store.Store(s)
 		db.cpVersions = make([]uint64, s.NumShards())
-		if err := db.checkpoint(); err != nil {
+		if err := db.checkpoint(0, 0); err != nil {
 			return nil, fmt.Errorf("durable: initial checkpoint: %w", err)
 		}
 	}
@@ -481,6 +489,19 @@ func (db *DB) Len() int { return db.store.Load().Len() }
 // Store() bypass this counter (see Store).
 func (db *DB) PendingOps() uint64 { return db.dirtyOps.Load() }
 
+// SetTrace wires a span store into the durable layer: every committed
+// checkpoint records a checkpoint span (linked to the manifest hash)
+// and every expiry sweep a sweep span. Synchronous barriers triggered
+// by a traced request join that request's trace (CheckpointTraced,
+// DropNamespaceSyncTraced); background checkpoints mint their own
+// trace ids. Safe to call while the background checkpointer runs; a
+// nil store is ignored.
+func (db *DB) SetTrace(st *trace.Store) {
+	if st != nil {
+		db.trc.Store(st)
+	}
+}
+
 // Close stops the background checkpointer, commits a final checkpoint,
 // and marks the DB closed. Operations after Close are not persisted.
 func (db *DB) Close() error {
@@ -488,7 +509,7 @@ func (db *DB) Close() error {
 		return ErrClosed
 	}
 	db.stopBackground()
-	return db.checkpoint()
+	return db.checkpoint(0, 0)
 }
 
 // Abandon stops the background checkpointer and marks the DB closed

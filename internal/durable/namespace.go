@@ -142,6 +142,14 @@ func (db *DB) DropNamespace(ns string) bool {
 // drop and a failing checkpoint's restore would be replaced by the
 // restored one.
 func (db *DB) DropNamespaceSync(ns string) (bool, error) {
+	return db.DropNamespaceSyncTraced(ns, 0, 0)
+}
+
+// DropNamespaceSyncTraced is DropNamespaceSync carrying the trace
+// identity of the DROPNS request that demanded the barrier (see
+// CheckpointTraced): the erasure's checkpoint span joins trace tid
+// under span psid. Zero ids mean untraced.
+func (db *DB) DropNamespaceSyncTraced(ns string, tid, psid uint64) (bool, error) {
 	if db.closed.Load() {
 		return false, ErrClosed
 	}
@@ -150,13 +158,13 @@ func (db *DB) DropNamespaceSync(ns string) (bool, error) {
 		if !db.nsInManifest(ns) {
 			return false, nil
 		}
-		if err := db.Checkpoint(); err != nil {
+		if err := db.checkpoint(tid, psid); err != nil {
 			return false, err
 		}
 		return true, nil
 	}
 	db.noteDirty(1)
-	if err := db.Checkpoint(); err != nil {
+	if err := db.checkpoint(tid, psid); err != nil {
 		db.nss.Put(c)
 		return false, err
 	}

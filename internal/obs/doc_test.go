@@ -20,6 +20,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/replica"
 	"repro/internal/server"
+	"repro/internal/trace"
 )
 
 // catalogRow matches a catalog table row: | `name` | kind | ...
@@ -59,11 +60,13 @@ func fullStackRegistry(t *testing.T) *obs.Registry {
 		t.Fatal(err)
 	}
 	t.Cleanup(db.Abandon)
+	tr := trace.NewStore(64, 1, reg)
 	srv := server.New(db, server.Config{
 		SweepInterval:   -1,
 		Metrics:         reg,
 		SlowOpThreshold: time.Millisecond,
 		SlowOpLog:       io.Discard,
+		Trace:           tr,
 	})
 	t.Cleanup(func() { srv.Close() })
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -79,6 +82,7 @@ func fullStackRegistry(t *testing.T) *obs.Registry {
 	rep, err := replica.New(db, replica.Config{
 		Metrics: reg,
 		Dial:    func() (net.Conn, error) { return nil, io.ErrClosedPipe },
+		Trace:   tr,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -60,10 +60,15 @@ func (r *Registry) WriteText(w io.Writer) error {
 // writeHist emits one histogram instance: cumulative buckets, sum,
 // count, and a _max gauge-style convenience sample (not part of the
 // Prometheus histogram type, but the forensic slow-path readers want
-// the true max, which quantile interpolation cannot exceed).
+// the true max, which quantile interpolation cannot exceed). Buckets
+// with an armed exemplar additionally carry an OpenMetrics-style
+// `# {trace_id="<hex>"} <value>` suffix (nonstandard in the 0.0.4 text
+// format, like _max) linking the bucket to a kept trace in
+// /debug/traces — a trace id and a number, never payload bytes.
 func writeHist(p func(string, ...any), e *entry) {
 	s := e.h.Snapshot()
 	scale := unitScale(e.h.unit)
+	ex := e.h.ex.Load()
 	top := -1
 	for i, n := range s.Buckets {
 		if n > 0 {
@@ -74,7 +79,14 @@ func writeHist(p func(string, ...any), e *entry) {
 	for i := 0; i <= top; i++ {
 		cum += s.Buckets[i]
 		_, hi := bucketBounds(i)
-		p("%s_bucket%s %d\n", e.name, labelStr(e, `le="`+formatFloat(hi*scale)+`"`), cum)
+		suffix := ""
+		if ex != nil {
+			if tid := ex[2*i].Load(); tid != 0 {
+				suffix = ` # {trace_id="` + strconv.FormatUint(tid, 16) + `"} ` +
+					formatFloat(float64(ex[2*i+1].Load())*scale)
+			}
+		}
+		p("%s_bucket%s %d%s\n", e.name, labelStr(e, `le="`+formatFloat(hi*scale)+`"`), cum, suffix)
 	}
 	p("%s_bucket%s %d\n", e.name, labelStr(e, `le="+Inf"`), s.Count)
 	p("%s_sum%s %s\n", e.name, labelStr(e, ""), formatFloat(float64(s.Sum)*scale))

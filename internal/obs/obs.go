@@ -88,6 +88,11 @@ type Histogram struct {
 	sum     atomic.Uint64
 	max     atomic.Uint64
 	buckets [NumBuckets]atomic.Uint64
+	// ex, when armed by EnableExemplars, holds the last linked trace id
+	// and raw observation per bucket (pairs: [2i] id, [2i+1] value).
+	// Exemplars are fed by an explicit Exemplar call — never by Observe,
+	// which stays exemplar-blind and allocation-free either way.
+	ex atomic.Pointer[[2 * NumBuckets]atomic.Uint64]
 }
 
 // bucketOf maps an observation to its bucket index.
@@ -123,6 +128,36 @@ func (h *Histogram) Observe(v int64) {
 // ObserveSince records the elapsed nanoseconds since t0 — the common
 // call in latency instrumentation.
 func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(int64(time.Since(t0))) }
+
+// EnableExemplars arms per-bucket exemplar storage: once armed,
+// Exemplar calls link buckets to trace ids and the text exposition
+// appends an OpenMetrics-style exemplar to populated bucket lines.
+// Unarmed histograms (the default) carry no storage and render exactly
+// as before. Call before the histogram sees concurrent traffic.
+func (h *Histogram) EnableExemplars() {
+	if h.ex.Load() == nil {
+		h.ex.Store(new([2 * NumBuckets]atomic.Uint64))
+	}
+}
+
+// Exemplar links the bucket covering observation v to trace id tid —
+// the last kept trace per bucket wins. The id and value are stored as
+// two independent atomics (a torn pair across concurrent calls can mix
+// two valid exemplars; both halves are still real observations). No-op
+// when exemplars are not armed or tid is zero, so callers can feed
+// unconditionally from the kept-trace branch.
+func (h *Histogram) Exemplar(v int64, tid uint64) {
+	p := h.ex.Load()
+	if p == nil || tid == 0 {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	i := 2 * bucketOf(v)
+	p[i].Store(tid)
+	p[i+1].Store(uint64(v))
+}
 
 // Unit returns the histogram's exposition unit.
 func (h *Histogram) Unit() Unit { return h.unit }

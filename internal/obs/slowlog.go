@@ -29,6 +29,13 @@ type SlowOp struct {
 	Wait   time.Duration // coalesce-wait (writes) / in-flight-write barrier (reads)
 	Apply  time.Duration // store/db work
 	Encode time.Duration // reply build + enqueue
+
+	// Trace is the kept trace id when the op was traced (0 otherwise:
+	// the trace= field is omitted). A uint64 by construction — the
+	// correlation handle renders as hex and can never carry payload
+	// bytes; the forensic test asserts every emitted trace= value is a
+	// bare hex id.
+	Trace uint64
 }
 
 // defaultSlowLogPerSec bounds emitted lines per wall-clock second. A
@@ -108,6 +115,10 @@ func (l *SlowLog) Record(rec SlowOp) {
 	b = strconv.AppendInt(b, int64(rec.BytesOut), 10)
 	b = append(b, " batch="...)
 	b = strconv.AppendInt(b, int64(rec.Batch), 10)
+	if rec.Trace != 0 {
+		b = append(b, " trace="...)
+		b = strconv.AppendUint(b, rec.Trace, 16)
+	}
 	b = appendDur(b, " total_us=", rec.Total)
 	b = appendDur(b, " decode_us=", rec.Decode)
 	b = appendDur(b, " wait_us=", rec.Wait)

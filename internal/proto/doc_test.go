@@ -80,8 +80,11 @@ func TestProtocolDocLockstep(t *testing.T) {
 	if FlagReply != 0x80 {
 		t.Errorf("FlagReply = 0x%02x, doc says 0x80", FlagReply)
 	}
-	if Version != 3 {
-		t.Errorf("Version = %d, doc says 3", Version)
+	if Version != 4 {
+		t.Errorf("Version = %d, doc says 4", Version)
+	}
+	if TraceExtLen != 17 {
+		t.Errorf("TraceExtLen = %d, doc says 17 (trace id 8 + span id 8 + flags 1)", TraceExtLen)
 	}
 	if MaxPayload != 1<<20 {
 		t.Errorf("MaxPayload = %d, doc says 1 MiB", MaxPayload)

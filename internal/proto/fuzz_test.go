@@ -59,6 +59,19 @@ func FuzzDecodeFrame(f *testing.F) {
 			Payload: AppendShardHashesNS(nil, 0xfeed, []ShardHash{{Size: 64, Hash: [32]byte{1, 2}}}, []string{"acme", "globex"})},
 		{Ver: Version, Op: OpSync, ID: 22, Payload: AppendSyncReqNS(nil, 3, [32]byte{9}, 128, 4096, "acme")},
 		{Ver: Version, Op: OpError, ID: 16, Payload: AppendError(nil, ErrCodeQuota, "namespace over quota")},
+
+		// Version-4 trace-context extension: present (sampled and not),
+		// echoed on a reply, and on an empty payload.
+		{Ver: Version, Op: OpPut, ID: 23, Trace: TraceCtx{ID: 0xdead, Span: 0xbeef, Sampled: true},
+			Payload: AppendKeyVal(nil, 1, 2)},
+		{Ver: Version, Op: OpPut | FlagReply, ID: 23, Trace: TraceCtx{ID: 0xdead, Span: 0xbeef},
+			Payload: AppendBool(nil, true)},
+		{Ver: Version, Op: OpCheckpoint, ID: 24, Trace: TraceCtx{ID: 1, Sampled: true}},
+		// Version-3 frames keep decoding with the pre-extension layout: a
+		// v4 server speaks v3 back to v3 clients.
+		{Ver: Version - 1, Op: OpGet, ID: 25, Payload: AppendKey(nil, 42)},
+		{Ver: Version - 1, Op: OpGet | FlagReply, ID: 25, Payload: AppendFound(nil, true, 42, 7)},
+		{Ver: Version - 1, Op: OpDropNS, ID: 26, Payload: AppendNSName(nil, "acme")},
 	}
 	for _, fr := range seeds {
 		wire := AppendFrame(nil, fr)
@@ -145,7 +158,7 @@ func FuzzDecodeFrame(f *testing.F) {
 		if serr != nil {
 			t.Fatalf("DecodeFrame ok but ReadFrame failed: %v", serr)
 		}
-		if sf.Op != fr.Op || sf.ID != fr.ID || !bytes.Equal(sf.Payload, fr.Payload) {
+		if sf.Op != fr.Op || sf.ID != fr.ID || sf.Trace != fr.Trace || !bytes.Equal(sf.Payload, fr.Payload) {
 			t.Fatalf("stream/buffer disagree: %+v vs %+v", sf, fr)
 		}
 
@@ -159,7 +172,7 @@ func FuzzDecodeFrame(f *testing.F) {
 		if perr != nil {
 			t.Fatalf("DecodeFrame ok but FrameReader failed: %v", perr)
 		}
-		if pf1.Op != fr.Op || pf1.ID != fr.ID || !bytes.Equal(pf1.Payload, fr.Payload) {
+		if pf1.Op != fr.Op || pf1.ID != fr.ID || pf1.Trace != fr.Trace || !bytes.Equal(pf1.Payload, fr.Payload) {
 			t.Fatalf("pooled/buffer disagree: %+v vs %+v", pf1, fr)
 		}
 		saved := append([]byte(nil), pf1.Payload...)

@@ -15,17 +15,33 @@ import (
 type Item = hipma.Item
 
 // Version is the protocol version spoken by this package. Every frame
-// carries it; a peer that receives a frame with a different version
-// must reject it with ErrCodeVersion and may close the connection.
+// carries it; a peer that receives a frame with a version it does not
+// speak must reject it with ErrCodeVersion and may close the
+// connection.
 // Version 2 added the HEALTH/PROMOTE opcodes and stamped every read
 // reply with the serving node's checkpoint epoch (bounded staleness).
 // Version 3 added the namespace opcodes (NSPUT/NSGET/NSDEL/DROPNS/
 // LISTNS), per-namespace SHARDHASH/SYNC addressing, and ErrCodeQuota.
-const Version = 3
+// Version 4 added the optional trace-context extension after the
+// request id (a header layout change, hence the bump): extlen(1), then
+// — when extlen is TraceExtLen — trace id(8), parent span id(8),
+// flags(1). Servers keep speaking version 3 to version-3 clients: a
+// reply always carries its request's version.
+const Version = 4
 
-// HeaderSize is the fixed frame overhead: the 4-byte length prefix plus
-// version, opcode, and request id.
+// HeaderSize is the fixed frame overhead shared by every version: the
+// 4-byte length prefix plus version, opcode, and request id. Version-4
+// frames carry at least one more byte (the extension length).
 const HeaderSize = 4 + 1 + 1 + 8
+
+// TraceExtLen is the size of a present trace-context extension: trace
+// id(8), parent span id(8), flags(1). A version-4 frame's extlen byte
+// is either 0 or exactly TraceExtLen.
+const TraceExtLen = 8 + 8 + 1
+
+// traceFlagSampled marks a head-sampled request; all other flag bits
+// are reserved and must be zero.
+const traceFlagSampled byte = 1 << 0
 
 // MaxPayload is the default cap on a frame's payload size. Both sides
 // enforce a cap before allocating, so a hostile length prefix cannot
@@ -174,11 +190,25 @@ func ErrCodeName(code byte) string {
 	return fmt.Sprintf("ErrCode(0x%02x)", code)
 }
 
+// TraceCtx is the optional version-4 trace-context extension: the
+// request's trace id, the sender's span id (the parent of whatever
+// span the receiver opens), and the head-sample decision. A zero ID
+// means "no context" — frames encode the extension only when ID is
+// nonzero, and decoders reject a present extension with a zero id so
+// encode∘decode is the identity on bytes. The context carries ids and
+// one flag bit only: no payload-capable field, by construction.
+type TraceCtx struct {
+	ID      uint64 // trace id; 0: no trace context
+	Span    uint64 // sender's span id, parent for the receiver's spans
+	Sampled bool   // head-sample decision, honored end to end
+}
+
 // Frame is one decoded protocol frame.
 type Frame struct {
 	Ver     byte
 	Op      byte
 	ID      uint64
+	Trace   TraceCtx // version >= 4 only; zero ID means absent
 	Payload []byte
 }
 
@@ -192,12 +222,69 @@ var ErrShortFrame = errors.New("proto: incomplete frame")
 
 // AppendFrame appends the encoded frame to dst and returns the extended
 // slice. It does not enforce the payload cap; writers construct their
-// own payloads and the cap protects readers.
+// own payloads and the cap protects readers. Frames with Ver < 4 use
+// the version-3 layout: no extension-length byte, and any TraceCtx is
+// silently omitted (it cannot be represented on that wire).
 func AppendFrame(dst []byte, f Frame) []byte {
-	dst = binary.BigEndian.AppendUint32(dst, uint32(HeaderSize-4+len(f.Payload)))
+	if f.Ver < 4 {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(HeaderSize-4+len(f.Payload)))
+		dst = append(dst, f.Ver, f.Op)
+		dst = binary.BigEndian.AppendUint64(dst, f.ID)
+		return append(dst, f.Payload...)
+	}
+	ext := 0
+	if f.Trace.ID != 0 {
+		ext = TraceExtLen
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(HeaderSize-4+1+ext+len(f.Payload)))
 	dst = append(dst, f.Ver, f.Op)
 	dst = binary.BigEndian.AppendUint64(dst, f.ID)
+	dst = append(dst, byte(ext))
+	if ext != 0 {
+		dst = binary.BigEndian.AppendUint64(dst, f.Trace.ID)
+		dst = binary.BigEndian.AppendUint64(dst, f.Trace.Span)
+		var flags byte
+		if f.Trace.Sampled {
+			flags = traceFlagSampled
+		}
+		dst = append(dst, flags)
+	}
 	return append(dst, f.Payload...)
+}
+
+// decodeTraceExt parses a version-4 frame's extension region from body
+// (the bytes after the request id) and returns the trace context and
+// the number of bytes it occupied. Rejections are exact so that
+// encode∘decode stays the identity: the extension length must be 0 or
+// TraceExtLen, a present extension must carry a nonzero trace id, and
+// reserved flag bits must be zero.
+func decodeTraceExt(body []byte) (TraceCtx, int, error) {
+	if len(body) < 1 {
+		return TraceCtx{}, 0, fmt.Errorf("proto: version-4 frame missing extension length")
+	}
+	extlen := int(body[0])
+	if extlen == 0 {
+		return TraceCtx{}, 1, nil
+	}
+	if extlen != TraceExtLen {
+		return TraceCtx{}, 0, fmt.Errorf("proto: trace extension length %d, want 0 or %d", extlen, TraceExtLen)
+	}
+	if len(body) < 1+TraceExtLen {
+		return TraceCtx{}, 0, fmt.Errorf("proto: frame length too short for trace extension")
+	}
+	tc := TraceCtx{
+		ID:   binary.BigEndian.Uint64(body[1:]),
+		Span: binary.BigEndian.Uint64(body[9:]),
+	}
+	flags := body[17]
+	if tc.ID == 0 {
+		return TraceCtx{}, 0, fmt.Errorf("proto: trace extension with zero trace id")
+	}
+	if flags&^traceFlagSampled != 0 {
+		return TraceCtx{}, 0, fmt.Errorf("proto: reserved trace flag bits 0x%02x set", flags&^traceFlagSampled)
+	}
+	tc.Sampled = flags&traceFlagSampled != 0
+	return tc, 1 + TraceExtLen, nil
 }
 
 // DecodeFrame decodes one frame from the front of b, returning the
@@ -216,18 +303,32 @@ func DecodeFrame(b []byte, maxPayload int) (Frame, int, error) {
 	if n < HeaderSize-4 {
 		return Frame{}, 0, fmt.Errorf("proto: frame length %d below header size", n)
 	}
-	if n > uint32(HeaderSize-4+maxPayload) {
+	// The length gate admits the version-4 extension overhead; the
+	// payload cap is enforced exactly once the version is known.
+	if n > uint32(HeaderSize-4+1+TraceExtLen+maxPayload) {
 		return Frame{}, 0, fmt.Errorf("%w: %d bytes, cap %d", ErrFrameTooLarge, n, HeaderSize-4+maxPayload)
 	}
 	if len(b) < 4+int(n) {
 		return Frame{}, 0, ErrShortFrame
 	}
 	f := Frame{
-		Ver:     b[4],
-		Op:      b[5],
-		ID:      binary.BigEndian.Uint64(b[6:]),
-		Payload: b[HeaderSize : 4+n],
+		Ver: b[4],
+		Op:  b[5],
+		ID:  binary.BigEndian.Uint64(b[6:]),
 	}
+	body := b[HeaderSize : 4+n]
+	if f.Ver >= 4 {
+		tc, ext, err := decodeTraceExt(body)
+		if err != nil {
+			return Frame{}, 0, err
+		}
+		f.Trace = tc
+		body = body[ext:]
+	}
+	if len(body) > maxPayload {
+		return Frame{}, 0, fmt.Errorf("%w: %d payload bytes, cap %d", ErrFrameTooLarge, len(body), maxPayload)
+	}
+	f.Payload = body
 	return f, 4 + int(n), nil
 }
 
@@ -238,7 +339,7 @@ func ReadFrame(r io.Reader, maxPayload int) (Frame, error) {
 	if maxPayload <= 0 {
 		maxPayload = MaxPayload
 	}
-	var hdr [HeaderSize]byte
+	var hdr [HeaderSize + 1 + TraceExtLen]byte
 	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
 		return Frame{}, err
 	}
@@ -246,10 +347,10 @@ func ReadFrame(r io.Reader, maxPayload int) (Frame, error) {
 	if n < HeaderSize-4 {
 		return Frame{}, fmt.Errorf("proto: frame length %d below header size", n)
 	}
-	if n > uint32(HeaderSize-4+maxPayload) {
+	if n > uint32(HeaderSize-4+1+TraceExtLen+maxPayload) {
 		return Frame{}, fmt.Errorf("%w: %d bytes, cap %d", ErrFrameTooLarge, n, HeaderSize-4+maxPayload)
 	}
-	if _, err := io.ReadFull(r, hdr[4:]); err != nil {
+	if _, err := io.ReadFull(r, hdr[4:HeaderSize]); err != nil {
 		return Frame{}, fmt.Errorf("proto: reading frame header: %w", err)
 	}
 	f := Frame{
@@ -257,13 +358,55 @@ func ReadFrame(r io.Reader, maxPayload int) (Frame, error) {
 		Op:  hdr[5],
 		ID:  binary.BigEndian.Uint64(hdr[6:]),
 	}
-	if body := int(n) - (HeaderSize - 4); body > 0 {
+	body := int(n) - (HeaderSize - 4)
+	if f.Ver >= 4 {
+		ext, err := readTraceExt(r, hdr[HeaderSize:], body)
+		if err != nil {
+			return Frame{}, err
+		}
+		f.Trace, _, err = decodeTraceExt(hdr[HeaderSize : HeaderSize+ext])
+		if err != nil {
+			return Frame{}, err
+		}
+		body -= ext
+	}
+	if body > maxPayload {
+		return Frame{}, fmt.Errorf("%w: %d payload bytes, cap %d", ErrFrameTooLarge, body, maxPayload)
+	}
+	if body > 0 {
 		f.Payload = make([]byte, body)
 		if _, err := io.ReadFull(r, f.Payload); err != nil {
 			return Frame{}, fmt.Errorf("proto: reading frame payload: %w", err)
 		}
 	}
 	return f, nil
+}
+
+// readTraceExt reads a version-4 frame's extension region (the extlen
+// byte, plus the extension itself when the byte announces one) into
+// scratch and returns the number of bytes read. body is the declared
+// byte count remaining after the request id.
+func readTraceExt(r io.Reader, scratch []byte, body int) (int, error) {
+	if body < 1 {
+		return 0, fmt.Errorf("proto: version-4 frame missing extension length")
+	}
+	if _, err := io.ReadFull(r, scratch[:1]); err != nil {
+		return 0, fmt.Errorf("proto: reading trace extension length: %w", err)
+	}
+	extlen := int(scratch[0])
+	if extlen == 0 {
+		return 1, nil
+	}
+	if extlen != TraceExtLen {
+		return 0, fmt.Errorf("proto: trace extension length %d, want 0 or %d", extlen, TraceExtLen)
+	}
+	if body < 1+TraceExtLen {
+		return 0, fmt.Errorf("proto: frame length too short for trace extension")
+	}
+	if _, err := io.ReadFull(r, scratch[1:1+TraceExtLen]); err != nil {
+		return 0, fmt.Errorf("proto: reading trace extension: %w", err)
+	}
+	return 1 + TraceExtLen, nil
 }
 
 // WriteFrame encodes f and writes it to w in one call.
@@ -290,8 +433,10 @@ type FrameReader struct {
 	buf        []byte
 	maxPayload int
 	// hdr lives in the struct rather than Next's frame so the interface
-	// call to io.ReadFull cannot force a per-frame heap allocation.
-	hdr [HeaderSize]byte
+	// call to io.ReadFull cannot force a per-frame heap allocation. It
+	// is sized for the longest fixed region: header plus the version-4
+	// extension-length byte and a full trace extension.
+	hdr [HeaderSize + 1 + TraceExtLen]byte
 }
 
 // NewFrameReader returns a FrameReader over r with the given payload
@@ -316,10 +461,10 @@ func (fr *FrameReader) Next() (Frame, error) {
 	if n < HeaderSize-4 {
 		return Frame{}, fmt.Errorf("proto: frame length %d below header size", n)
 	}
-	if n > uint32(HeaderSize-4+fr.maxPayload) {
+	if n > uint32(HeaderSize-4+1+TraceExtLen+fr.maxPayload) {
 		return Frame{}, fmt.Errorf("%w: %d bytes, cap %d", ErrFrameTooLarge, n, HeaderSize-4+fr.maxPayload)
 	}
-	if _, err := io.ReadFull(fr.r, hdr[4:]); err != nil {
+	if _, err := io.ReadFull(fr.r, hdr[4:HeaderSize]); err != nil {
 		return Frame{}, fmt.Errorf("proto: reading frame header: %w", err)
 	}
 	f := Frame{
@@ -327,7 +472,22 @@ func (fr *FrameReader) Next() (Frame, error) {
 		Op:  hdr[5],
 		ID:  binary.BigEndian.Uint64(hdr[6:]),
 	}
-	if body := int(n) - (HeaderSize - 4); body > 0 {
+	body := int(n) - (HeaderSize - 4)
+	if f.Ver >= 4 {
+		ext, err := readTraceExt(fr.r, hdr[HeaderSize:], body)
+		if err != nil {
+			return Frame{}, err
+		}
+		f.Trace, _, err = decodeTraceExt(hdr[HeaderSize : HeaderSize+ext])
+		if err != nil {
+			return Frame{}, err
+		}
+		body -= ext
+	}
+	if body > fr.maxPayload {
+		return Frame{}, fmt.Errorf("%w: %d payload bytes, cap %d", ErrFrameTooLarge, body, fr.maxPayload)
+	}
+	if body > 0 {
 		if cap(fr.buf) < body {
 			fr.buf = make([]byte, body)
 		}

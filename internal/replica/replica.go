@@ -2,6 +2,7 @@ package replica
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/server"
+	"repro/internal/trace"
 )
 
 // Config tunes a Replica. Dial is required; everything else has
@@ -54,6 +56,15 @@ type Config struct {
 	// goroutine matters, because Promote stops the prober and would
 	// deadlock if called from inside its loop.
 	OnPrimaryDown func()
+
+	// Trace is the span store sync rounds are recorded into (nil:
+	// tracing off). A replica's rounds run on their own clock, so each
+	// kept round mints its OWN trace id — correlation with the primary
+	// is by value instead: the sync-round span's Link carries the first
+	// eight bytes of the primary's committed manifest hash, the same
+	// stamp the primary's checkpoint span records. Rounds are kept when
+	// head-sampled by the store's rate, or always on error.
+	Trace *trace.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -213,8 +224,29 @@ func (r *Replica) SyncOnce() (Summary, error) {
 	}
 	r.rounds.Add(1)
 	t0 := time.Now()
-	sum, err := r.syncLocked()
+	var rt *roundTrace
+	if tr := r.cfg.Trace; tr != nil {
+		rt = &roundTrace{tr: tr, tid: tr.NewID(), sid: tr.NewID(), sampled: tr.Sample()}
+	}
+	sum, err := r.syncLocked(rt)
 	r.m.roundSecs.ObserveSince(t0)
+	if rt != nil && (rt.sampled || err != nil) {
+		ec := byte(0)
+		if err != nil {
+			ec = proto.ErrCodeInternal
+			var re *proto.RemoteError
+			if errors.As(err, &re) {
+				ec = re.Code
+			}
+		}
+		rt.tr.Record(trace.Span{
+			Trace: rt.tid, ID: rt.sid,
+			Start: t0.UnixNano(), Dur: int64(time.Since(t0)),
+			Kind: trace.KindSyncRound, Err: ec, Shard: -1,
+			In: int32(sum.ShardsFetched), Out: int32(sum.BytesFetched),
+			Link: rt.link,
+		})
+	}
 	if err != nil {
 		r.errs.Add(1)
 		r.dropConn()
@@ -226,7 +258,20 @@ func (r *Replica) SyncOnce() (Summary, error) {
 	return sum, nil
 }
 
-func (r *Replica) syncLocked() (Summary, error) {
+// roundTrace carries one sync round's span identity through
+// syncLocked, which anchors the link (the primary's manifest hash
+// prefix, from the round's first Health reply) and records the
+// install child span; SyncOnce records the round root afterwards,
+// when the outcome (and therefore the keep decision) is known.
+type roundTrace struct {
+	tr      *trace.Store
+	tid     uint64
+	sid     uint64
+	sampled bool
+	link    uint64
+}
+
+func (r *Replica) syncLocked(rt *roundTrace) (Summary, error) {
 	var sum Summary
 	conn, err := r.connect()
 	if err != nil {
@@ -239,6 +284,9 @@ func (r *Replica) syncLocked() (Summary, error) {
 	h0, err := conn.Health()
 	if err != nil {
 		return sum, fmt.Errorf("replica: fetching health: %w", err)
+	}
+	if rt != nil {
+		rt.link = binary.BigEndian.Uint64(h0.Hash[:8])
 	}
 	if _, localHash := r.db.CheckpointStamp(); localHash != ([32]byte{}) && h0.Hash == localHash {
 		sum.Converged = true
@@ -323,12 +371,22 @@ func (r *Replica) syncLocked() (Summary, error) {
 		return sum, errors.New("replica: primary checkpointed mid-round; retrying")
 	}
 
+	ti := time.Now()
 	if err := r.db.InstallCheckpointNS(hseed, images, nss); err != nil {
 		return sum, err
 	}
 	sum.Installed = true
 	sum.Namespaces = len(nss)
 	r.installs.Add(1)
+	if rt != nil && rt.sampled {
+		rt.tr.Record(trace.Span{
+			Trace: rt.tid, ID: rt.tr.NewID(), Parent: rt.sid,
+			Start: ti.UnixNano(), Dur: int64(time.Since(ti)),
+			Kind: trace.KindInstall, Shard: -1,
+			In: int32(sum.ShardsFetched), Out: int32(sum.BytesFetched),
+			Link: rt.link,
+		})
+	}
 	return sum, nil
 }
 

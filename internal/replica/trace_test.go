@@ -1,0 +1,93 @@
+package replica
+
+// Cross-node trace correlation: the replica never continues a
+// primary-side trace — rounds are self-initiated, so each mints its
+// own — but its sync-round span carries the manifest-hash link the
+// primary's checkpoint span also carries, so the two nodes' traces
+// join by value with no id ever crossing the wire between them.
+
+import (
+	"testing"
+
+	"repro/internal/durable"
+	"repro/internal/server"
+	"repro/internal/trace"
+)
+
+func TestTraceSyncRoundCorrelation(t *testing.T) {
+	primary := durableOpen(t, durable.NewMemFS(), 42)
+	defer primary.Abandon()
+	trP := trace.NewStore(1024, 1, nil)
+	srv := server.New(primary, server.Config{ReadTimeout: -1, Trace: trP})
+	defer srv.Close()
+	pnode := &node{db: primary, srv: srv}
+
+	for k := int64(0); k < 16; k++ {
+		primary.Put(k, k*3)
+	}
+	if err := primary.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	var cp trace.Span
+	for _, sp := range trP.Snapshot() {
+		if sp.Kind == trace.KindCheckpoint && sp.Start >= cp.Start {
+			cp = sp
+		}
+	}
+	if cp.ID == 0 || cp.Link == 0 {
+		t.Fatalf("primary recorded no link-stamped checkpoint span: %+v", cp)
+	}
+
+	rdb := durableOpen(t, durable.NewMemFS(), 42)
+	defer rdb.Abandon()
+	trR := trace.NewStore(1024, 1, nil)
+	rep, err := New(rdb, Config{Dial: pnode.dialTo(), Trace: trR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Stop()
+	if _, err := rep.SyncOnce(); err != nil {
+		t.Fatal(err)
+	}
+
+	rsps := trR.Snapshot()
+	var round trace.Span
+	for _, sp := range rsps {
+		if sp.Kind == trace.KindSyncRound {
+			round = sp
+		}
+	}
+	if round.ID == 0 {
+		t.Fatalf("replica recorded no sync-round span: %+v", rsps)
+	}
+	if round.Trace == 0 || round.Parent != 0 {
+		t.Fatalf("sync round should be its own trace's root: %+v", round)
+	}
+	if round.Err != 0 {
+		t.Fatalf("sync round recorded an error: %+v", round)
+	}
+	if round.Link != cp.Link {
+		t.Fatalf("replica round link %x does not match primary checkpoint link %x", round.Link, cp.Link)
+	}
+	var inst trace.Span
+	for _, sp := range trR.ByTrace(round.Trace) {
+		if sp.Kind == trace.KindInstall {
+			inst = sp
+		}
+	}
+	if inst.ID == 0 || inst.Parent != round.ID {
+		t.Fatalf("install span %+v not parented under sync round %x", inst, round.ID)
+	}
+}
+
+// durableOpen opens a NoBackground NoSweep DB on fs for trace tests.
+func durableOpen(t *testing.T, fs *durable.MemFS, seed uint64) *durable.DB {
+	t.Helper()
+	db, err := durable.Open(nodeDir, &durable.Options{
+		Shards: 4, Seed: seed, NoBackground: true, NoSweep: true, FS: fs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/shard"
+	"repro/internal/trace"
 )
 
 // writeReq is one connection's PUT, PUTTTL, or DEL handed to the
@@ -30,6 +31,15 @@ type writeReq struct {
 
 	t0 time.Time // frame receipt, for phase timing (zero for sweeper ops)
 	in int       // request payload bytes, for the slow-op log
+
+	// Wire context carried across the goroutine hop: the request
+	// frame's protocol version (the reply echoes it) and trace context,
+	// plus the decode-done timestamp for the decode child span. The
+	// batcher must read these, never the conn's reader-goroutine
+	// per-request fields. Zero for sweeper ops.
+	td  time.Time
+	ver byte
+	tc  proto.TraceCtx
 }
 
 // batcher is the server-wide write coalescer: a single goroutine that
@@ -54,6 +64,10 @@ type batcher struct {
 	// here, on the only goroutine that mutates namespaces, so the check
 	// is exact rather than racy.
 	nsQuota int
+	// tr is the span store (nil: tracing off), set by New right after
+	// newBatcher. Kept coalesced writes record their span trees from
+	// this goroutine.
+	tr *trace.Store
 
 	// Coalescer-goroutine scratch, reused across drains.
 	ops      []shard.Op
@@ -174,16 +188,18 @@ func (b *batcher) applyDefault(reqs []writeReq, tw time.Time) {
 		case r.ttl:
 			opb = proto.OpPutTTL
 		}
+		ec := byte(0)
 		if err != nil {
-			b.pscratch = proto.AppendError(b.pscratch[:0], proto.ErrCodeInternal, err.Error())
-			r.c.sendFrame(proto.OpError, r.id, b.pscratch)
+			ec = proto.ErrCodeInternal
+			b.pscratch = proto.AppendError(b.pscratch[:0], ec, err.Error())
+			r.c.sendFrame(proto.OpError, r.id, b.pscratch, r.ver, r.tc)
 		} else {
 			if r.ttl {
 				b.pscratch = proto.AppendTTLAck(b.pscratch[:0], changed[i], r.exp)
 			} else {
 				b.pscratch = proto.AppendBool(b.pscratch[:0], changed[i])
 			}
-			r.c.sendFrame(opb|proto.FlagReply, r.id, b.pscratch)
+			r.c.sendFrame(opb|proto.FlagReply, r.id, b.pscratch, r.ver, r.tc)
 		}
 		r.c.pending.Done()
 
@@ -192,6 +208,10 @@ func (b *batcher) applyDefault(reqs []writeReq, tw time.Time) {
 		if h := b.sm.ops[opb]; h != nil {
 			h.Observe(int64(total))
 		}
+		var tid uint64
+		if b.tr != nil {
+			tid = b.traceWrite(r, opb, ec, len(b.pscratch), len(reqs), tw, ta, now, 0, 0)
+		}
 		if b.slow.Slow(total) {
 			b.slow.Record(obs.SlowOp{
 				Op: opLabels[opb], ReqID: r.id,
@@ -199,10 +219,68 @@ func (b *batcher) applyDefault(reqs []writeReq, tw time.Time) {
 				BytesIn: r.in, BytesOut: len(b.pscratch), Batch: len(reqs),
 				Total: total, Wait: tw.Sub(r.t0),
 				Apply: ta.Sub(tw), Encode: now.Sub(ta),
+				Trace: tid,
 			})
 		}
 	}
 	b.sm.phaseEncode.Observe(int64(time.Since(ta)))
+}
+
+// traceWrite records one coalesced write's span tree when the request
+// is kept: the server root (parented under the client's span), then
+// decode / coalesce-wait / batch / apply / encode children, flush
+// attribution on the connection, and the opcode histogram's exemplar.
+// tid/sid nonzero mean the identity was preminted and the request is
+// kept unconditionally (DROPNS — the span ids had to exist before the
+// apply so the durable layer could parent its checkpoint span);
+// otherwise the keep rule is sampled (by the client, or by the server
+// for requests arriving with no trace context) || slow || error.
+// Returns the kept trace id (0: not kept). batch 0 suppresses the
+// batch span — namespaced point ops have no coalesced batch to
+// describe.
+func (b *batcher) traceWrite(r writeReq, opb, errCode byte, out, batch int, tw, ta, now time.Time, tid, sid uint64) uint64 {
+	tr := b.tr
+	total := now.Sub(r.t0)
+	if sid == 0 {
+		if !(r.tc.Sampled || errCode != 0 || b.slow.Slow(total) ||
+			(r.tc.ID == 0 && tr.Sample())) {
+			return 0
+		}
+		tid = r.tc.ID
+		if tid == 0 {
+			tid = tr.NewID()
+		}
+		sid = tr.NewID()
+	}
+	shard := int32(-1) // tenant cells keep their routing secret
+	if r.ns == "" {
+		shard = int32(b.db.Store().ShardOf(r.key))
+	}
+	t0n := r.t0.UnixNano()
+	tr.Record(trace.Span{
+		Trace: tid, ID: sid, Parent: r.tc.Span,
+		Start: t0n, Dur: int64(total),
+		Kind: trace.KindServer, Op: opb, Err: errCode, Shard: shard,
+		In: int32(r.in), Out: int32(out),
+	})
+	tr.Record(trace.Span{Trace: tid, ID: tr.NewID(), Parent: sid,
+		Start: t0n, Dur: int64(r.td.Sub(r.t0)), Kind: trace.KindDecode, Shard: shard})
+	tr.Record(trace.Span{Trace: tid, ID: tr.NewID(), Parent: sid,
+		Start: r.td.UnixNano(), Dur: int64(tw.Sub(r.td)), Kind: trace.KindWait, Shard: shard})
+	if batch > 0 {
+		tr.Record(trace.Span{Trace: tid, ID: tr.NewID(), Parent: sid,
+			Start: tw.UnixNano(), Dur: int64(ta.Sub(tw)), Kind: trace.KindBatch, Shard: shard,
+			In: int32(batch)})
+	}
+	tr.Record(trace.Span{Trace: tid, ID: tr.NewID(), Parent: sid,
+		Start: tw.UnixNano(), Dur: int64(ta.Sub(tw)), Kind: trace.KindApply, Shard: shard})
+	tr.Record(trace.Span{Trace: tid, ID: tr.NewID(), Parent: sid,
+		Start: ta.UnixNano(), Dur: int64(now.Sub(ta)), Kind: trace.KindEncode, Shard: shard})
+	r.c.noteFlushTrace(tid, sid)
+	if h := b.sm.ops[opb]; h != nil {
+		h.Exemplar(int64(total), tid)
+	}
+	return tid
 }
 
 // applyNS applies one namespaced write as a point op — tenant cells
@@ -214,22 +292,33 @@ func (b *batcher) applyDefault(reqs []writeReq, tw time.Time) {
 // forensically complete.
 func (b *batcher) applyNS(r writeReq, tw time.Time) {
 	var (
-		opb     byte
-		changed bool
-		errCode byte
-		errMsg  string
+		opb      byte
+		changed  bool
+		errCode  byte
+		errMsg   string
+		tid, sid uint64 // preminted span identity (DROPNS under tracing)
 	)
 	switch {
 	case r.drop:
 		opb = proto.OpDropNS
 		b.st.nsDrops.Add(1)
+		if b.tr != nil && r.c != nil {
+			// The erasure barrier commits a checkpoint — always slow,
+			// always kept. Mint the span identity now so the durable
+			// layer's checkpoint span parents under this request.
+			tid = r.tc.ID
+			if tid == 0 {
+				tid = b.tr.NewID()
+			}
+			sid = b.tr.NewID()
+		}
 		// Drop and checkpoint as one operation: a failed checkpoint
 		// restores the cell before the error reply, so the client is
 		// never told a tenant is gone while its data stays durable, and
 		// a retried DROPNS finds the tenant (or its lingering manifest
 		// entry) and completes the erasure.
 		var err error
-		if changed, err = b.db.DropNamespaceSync(r.ns); err != nil {
+		if changed, err = b.db.DropNamespaceSyncTraced(r.ns, tid, sid); err != nil {
 			errCode, errMsg = proto.ErrCodeInternal, err.Error()
 		}
 	case r.del:
@@ -254,11 +343,23 @@ func (b *batcher) applyNS(r writeReq, tw time.Time) {
 	if r.c == nil {
 		return
 	}
+	if sid != 0 {
+		// The barrier span covers the drop-and-checkpoint apply window;
+		// the checkpoint span recorded inside it is a sibling child of
+		// the same server span, linked by the committed manifest hash.
+		b.tr.Record(trace.Span{Trace: tid, ID: b.tr.NewID(), Parent: sid,
+			Start: tw.UnixNano(), Dur: int64(ta.Sub(tw)), Kind: trace.KindEraseBarrier,
+			Shard: -1, Err: errCode})
+	}
 	if errMsg != "" {
 		b.st.errors.Add(1)
 		b.pscratch = proto.AppendError(b.pscratch[:0], errCode, errMsg)
-		r.c.sendFrame(proto.OpError, r.id, b.pscratch)
+		r.c.sendFrame(proto.OpError, r.id, b.pscratch, r.ver, r.tc)
 		r.c.pending.Done()
+		now := time.Now()
+		if b.tr != nil {
+			b.traceWrite(r, opb, errCode, len(b.pscratch), 0, tw, ta, now, tid, sid)
+		}
 		b.sm.phaseEncode.Observe(int64(time.Since(ta)))
 		return
 	}
@@ -267,13 +368,17 @@ func (b *batcher) applyNS(r writeReq, tw time.Time) {
 	} else {
 		b.pscratch = proto.AppendBool(b.pscratch[:0], changed)
 	}
-	r.c.sendFrame(opb|proto.FlagReply, r.id, b.pscratch)
+	r.c.sendFrame(opb|proto.FlagReply, r.id, b.pscratch, r.ver, r.tc)
 	r.c.pending.Done()
 
 	now := time.Now()
 	total := now.Sub(r.t0)
 	if h := b.sm.ops[opb]; h != nil {
 		h.Observe(int64(total))
+	}
+	var ktid uint64
+	if b.tr != nil {
+		ktid = b.traceWrite(r, opb, 0, len(b.pscratch), 0, tw, ta, now, tid, sid)
 	}
 	if b.slow.Slow(total) {
 		// Forensic cleanliness: the record carries the opcode label and
@@ -284,6 +389,7 @@ func (b *batcher) applyNS(r writeReq, tw time.Time) {
 			BytesIn: r.in, BytesOut: len(b.pscratch), Batch: 1,
 			Total: total, Wait: tw.Sub(r.t0),
 			Apply: ta.Sub(tw), Encode: now.Sub(ta),
+			Trace: ktid,
 		})
 	}
 	b.sm.phaseEncode.Observe(int64(time.Since(ta)))

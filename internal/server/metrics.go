@@ -6,6 +6,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/obs"
 	"repro/internal/proto"
+	"repro/internal/trace"
 )
 
 // opLabels maps each request opcode to its metric label — the fixed
@@ -58,6 +59,11 @@ func newServerMetrics(r *obs.Registry) *serverMetrics {
 	const opHelp = "request latency by opcode, receipt to reply enqueued"
 	for op, label := range opLabels {
 		m.ops[op] = r.HistogramL("hidb_server_op_seconds", "op", label, opHelp, obs.UnitSeconds)
+		// Exemplars link each latency bucket to the last kept trace
+		// that landed in it. Arming is unconditional — an exemplar slab
+		// is only ever fed from kept traces, and Observe itself never
+		// touches it, so the no-tracing hot path is unchanged.
+		m.ops[op].EnableExemplars()
 	}
 	const phaseHelp = "time per request phase: decode, coalesce_wait, apply, encode, flush"
 	m.phaseDecode = r.HistogramL("hidb_server_phase_seconds", "phase", "decode", phaseHelp, obs.UnitSeconds)
@@ -124,6 +130,13 @@ func physicalLen(db *durable.DB) int {
 // barrier wait done, ta apply done; encode runs from ta to now. For
 // key-addressed ops hasKey routes the slow-op record's shard index;
 // the key itself never reaches telemetry.
+//
+// When tracing is on and the request is kept — head-sampled by the
+// client, slow, or carrying preminted ids (CHECKPOINT) — noteInline
+// records the server span plus its four phase children, arms the
+// connection's flush attribution, and feeds the opcode histogram's
+// exemplar slot; the slow-op record then carries the trace id. Runs
+// on the reader goroutine only (reqT/preTID/preSID are safe to read).
 func (c *conn) noteInline(op byte, id uint64, inBytes, outBytes int, key int64, hasKey bool, t0, td, tw, ta time.Time) {
 	sm := c.srv.sm
 	te := time.Now()
@@ -135,7 +148,51 @@ func (c *conn) noteInline(op byte, id uint64, inBytes, outBytes int, key int64, 
 	if h := sm.ops[op]; h != nil {
 		h.Observe(int64(total))
 	}
-	if sl := c.srv.slow; sl.Slow(total) {
+	slow := c.srv.slow.Slow(total)
+	var tid uint64
+	if tr := c.srv.tr; tr != nil {
+		sid := c.preSID
+		// An untraced request (no wire context) is the server's own to
+		// head-sample; a traced one defers to the client's decision.
+		keep := sid != 0 || c.reqT.Sampled || slow ||
+			(c.reqT.ID == 0 && tr.Sample())
+		if keep {
+			if sid != 0 {
+				tid = c.preTID
+				c.preTID, c.preSID = 0, 0
+			} else {
+				tid = c.reqT.ID
+				if tid == 0 {
+					tid = tr.NewID() // server-minted: slow but untraced upstream
+				}
+				sid = tr.NewID()
+			}
+			shard := int32(-1)
+			if hasKey {
+				shard = int32(c.srv.db.Store().ShardOf(key))
+			}
+			t0n := t0.UnixNano()
+			tr.Record(trace.Span{
+				Trace: tid, ID: sid, Parent: c.reqT.Span,
+				Start: t0n, Dur: int64(total),
+				Kind: trace.KindServer, Op: op, Shard: shard,
+				In: int32(inBytes), Out: int32(outBytes),
+			})
+			tr.Record(trace.Span{Trace: tid, ID: tr.NewID(), Parent: sid,
+				Start: t0n, Dur: int64(td.Sub(t0)), Kind: trace.KindDecode, Shard: shard})
+			tr.Record(trace.Span{Trace: tid, ID: tr.NewID(), Parent: sid,
+				Start: td.UnixNano(), Dur: int64(tw.Sub(td)), Kind: trace.KindWait, Shard: shard})
+			tr.Record(trace.Span{Trace: tid, ID: tr.NewID(), Parent: sid,
+				Start: tw.UnixNano(), Dur: int64(ta.Sub(tw)), Kind: trace.KindApply, Shard: shard})
+			tr.Record(trace.Span{Trace: tid, ID: tr.NewID(), Parent: sid,
+				Start: ta.UnixNano(), Dur: int64(te.Sub(ta)), Kind: trace.KindEncode, Shard: shard})
+			c.noteFlushTrace(tid, sid)
+			if h := sm.ops[op]; h != nil {
+				h.Exemplar(int64(total), tid)
+			}
+		}
+	}
+	if sl := c.srv.slow; slow {
 		shard := -1
 		if hasKey {
 			shard = c.srv.db.Store().ShardOf(key)
@@ -145,6 +202,7 @@ func (c *conn) noteInline(op byte, id uint64, inBytes, outBytes int, key int64, 
 			BytesIn: inBytes, BytesOut: outBytes,
 			Total: total, Decode: td.Sub(t0), Wait: tw.Sub(td),
 			Apply: ta.Sub(tw), Encode: te.Sub(ta),
+			Trace: tid,
 		})
 	}
 }

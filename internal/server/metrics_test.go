@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"net/http/httptest"
+	"regexp"
 	"strings"
 	"sync"
 	"testing"
@@ -15,6 +17,7 @@ import (
 	"repro/internal/foretest"
 	"repro/internal/namespace"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // TestScrapeUnderLoad hammers the server with a mixed workload while
@@ -107,12 +110,14 @@ func TestScrapeUnderLoad(t *testing.T) {
 // TestTelemetryForensicallyClean runs deletes, TTL expiries, and
 // namespaced tenant traffic with distinctive keys, values, and a
 // distinctive tenant name, with the slow-op threshold set so low that
-// every operation is logged, then seizes the slow-op log, a full
-// /metrics scrape, and the expvar stats JSON, and greps all three —
-// via the internal/foretest needle catalog: little-endian, big-endian,
-// and decimal ASCII, plus the tenant's name and derived seed.
-// Telemetry retained by an adversary must reveal only that operations
-// happened, never which keys or which tenants they touched.
+// every operation is logged and tracing sampling everything, then
+// seizes the slow-op log, a full /metrics scrape (exemplar suffixes
+// included), the expvar stats JSON, and the complete /debug/traces
+// dump, and greps them all — via the internal/foretest needle catalog:
+// little-endian, big-endian, and decimal ASCII, plus the tenant's name
+// and derived seed. Telemetry retained by an adversary must reveal
+// only that operations happened, never which keys or which tenants
+// they touched.
 func TestTelemetryForensicallyClean(t *testing.T) {
 	clk := expiry.NewManual(100)
 	reg := obs.NewRegistry()
@@ -124,11 +129,13 @@ func TestTelemetryForensicallyClean(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer db.Abandon()
+	tr := trace.NewStore(1024, 1, reg) // sample everything: maximal trace exposure
 	srv, addr := startTCP(t, db, Config{
 		SweepInterval:   -1,
 		Metrics:         reg,
 		SlowOpThreshold: time.Nanosecond, // everything is "slow": maximal log exposure
 		SlowOpLog:       &slowLog,
+		Trace:           tr,
 	})
 	defer srv.Close()
 
@@ -137,6 +144,7 @@ func TestTelemetryForensicallyClean(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
+	cl.SetTrace(tr)
 
 	const nDead = 24
 	const tenant = "tenant-secret-xk"
@@ -195,16 +203,46 @@ func TestTelemetryForensicallyClean(t *testing.T) {
 	if err := reg.WriteText(&metrics); err != nil {
 		t.Fatal(err)
 	}
+	rec := httptest.NewRecorder()
+	tr.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?limit=100000", nil))
 	seized := map[string][]byte{
 		"slow-op log":  slowLog.Bytes(),
 		"metrics page": metrics.Bytes(),
 		"expvar stats": statsJSON(t, srv),
+		"trace dump":   rec.Body.Bytes(),
 	}
 	if len(seized["slow-op log"]) == 0 {
 		t.Fatal("sanity: the slow-op log captured nothing")
 	}
 	if !bytes.Contains(seized["slow-op log"], []byte("slowop ts=")) {
 		t.Fatalf("slow-op log is not logfmt: %.200s", seized["slow-op log"])
+	}
+	// The traced surfaces must actually be exposed before being declared
+	// clean: spans in the dump, exemplars on the latency buckets, and
+	// trace= correlation ids in the slow-op log — each carrying only
+	// bare-hex trace ids, never anything an id could smuggle.
+	var page struct {
+		Traces []json.RawMessage `json:"traces"`
+	}
+	if err := json.Unmarshal(seized["trace dump"], &page); err != nil {
+		t.Fatalf("trace dump is not JSON: %v", err)
+	}
+	if len(page.Traces) == 0 {
+		t.Fatal("sanity: the trace dump captured no traces")
+	}
+	if !bytes.Contains(seized["metrics page"], []byte(`# {trace_id="`)) {
+		t.Fatal("sanity: no exemplar reached the metrics page")
+	}
+	traceField := regexp.MustCompile(`trace=(\S+)`)
+	bareHex := regexp.MustCompile(`^[0-9a-f]{1,16}$`)
+	fields := traceField.FindAllSubmatch(seized["slow-op log"], -1)
+	if len(fields) == 0 {
+		t.Fatal("sanity: no slow-op record carried a trace= field")
+	}
+	for _, m := range fields {
+		if !bareHex.Match(m[1]) {
+			t.Fatalf("slow-op trace= value %q is not a bare hex id", m[1])
+		}
 	}
 	for where, data := range seized {
 		foretest.AssertAbsent(t, where, data, needles)

@@ -15,6 +15,7 @@ import (
 	"repro/internal/expiry"
 	"repro/internal/obs"
 	"repro/internal/proto"
+	"repro/internal/trace"
 )
 
 // ErrServerClosed is returned by Serve and ListenAndServe after
@@ -95,6 +96,18 @@ type Config struct {
 	// is exact: it runs on the coalescer goroutine, serialized with every
 	// other namespaced write.
 	NSQuota int
+	// Trace is the span store request traces are recorded into (nil:
+	// tracing off, and every trace branch below reduces to one nil
+	// check). A request is KEPT — its span tree recorded — when the
+	// client head-sampled it (trace-context sampled flag), when the
+	// server head-samples it (the store's rate; only requests arriving
+	// with no trace context, so a tracing client's sampling decision is
+	// never second-guessed), when it crosses the slow-op threshold, or
+	// when it ends in a protocol error; everything else records
+	// nothing. Kept server spans carry the client's trace id so
+	// /debug/traces stitches the cross-node tree. See internal/trace
+	// and docs/OBSERVABILITY.md.
+	Trace *trace.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -153,6 +166,7 @@ type Server struct {
 	sm   *serverMetrics
 	slow *obs.SlowLog
 	bat  *batcher
+	tr   *trace.Store // nil: tracing off
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
@@ -206,12 +220,20 @@ func New(db *durable.DB, cfg Config) *Server {
 		sweepStop: make(chan struct{}),
 	}
 	s.readOnly.Store(c.ReadOnly)
+	s.tr = c.Trace
 	s.sm = newServerMetrics(c.Metrics)
 	s.slow = obs.NewSlowLog(c.SlowOpLog, c.SlowOpThreshold, c.Metrics)
 	if c.Metrics != nil {
 		registerServerFuncs(c.Metrics, s)
 	}
 	s.bat = newBatcher(db, &s.st, s.sm, s.slow, c.WriteQueue, c.MaxWriteBatch, c.NSQuota)
+	s.bat.tr = c.Trace
+	if c.Trace != nil {
+		// Synchronous barriers (CHECKPOINT, DROPNS) thread their trace
+		// into the durable layer so checkpoint/sweep spans join the
+		// requesting trace; background checkpoints mint their own.
+		db.SetTrace(c.Trace)
+	}
 	return s
 }
 
@@ -530,6 +552,35 @@ type conn struct {
 	// same way. Only the reader goroutine touches either.
 	pscratch []byte
 	rangeBuf []proto.Item
+
+	// Per-request wire state, written by readLoop before dispatch and
+	// read only on the reader goroutine: the frame's protocol version
+	// (replies echo it, which is what keeps v3 clients working against
+	// a v4 server) and its trace context. Coalesced writes carry copies
+	// in their writeReq instead — the batcher goroutine must never read
+	// these fields. reqOp/reqT0 let sendError record an error span for
+	// a traced request without threading more parameters through every
+	// decode-failure path.
+	reqVer byte
+	reqT   proto.TraceCtx
+	reqOp  byte
+	reqT0  time.Time
+
+	// A span identity preminted before an inline apply, for ops that
+	// must hand their trace to a lower layer mid-flight (CHECKPOINT
+	// threads it into durable so the checkpoint span can parent here).
+	// noteInline consumes it: nonzero preSID means "this request is
+	// kept, under exactly these ids". Reader-goroutine only.
+	preTID uint64
+	preSID uint64
+
+	// The trace identity awaiting the next flush, set by whichever
+	// goroutine keeps a span tree (reader or batcher) and consumed by
+	// the writer after its Write returns, all under qmu. A flush
+	// carries many replies; attribution goes to the last kept request
+	// — approximate by design, like the flush phase histogram itself.
+	flushTID uint64
+	flushSID uint64
 }
 
 func (c *conn) close() {
@@ -556,7 +607,15 @@ func (c *conn) markDone() {
 // returns, so callers may reuse their payload scratch immediately.
 // Replies after end-of-stream are dropped; a peer whose queue is full
 // (it stopped reading) is disconnected.
-func (c *conn) sendFrame(op byte, id uint64, payload []byte) {
+//
+// ver and tc are the request's protocol version and trace context,
+// passed explicitly because sendFrame runs on both the reader
+// goroutine (inline ops) and the coalescer goroutine (batched writes)
+// — per-conn "current request" fields would race. The reply is
+// encoded in the request's version (a v3 frame simply has nowhere to
+// put tc, and AppendFrame omits it) and echoes the trace context so
+// the client can confirm the server saw its ids.
+func (c *conn) sendFrame(op byte, id uint64, payload []byte, ver byte, tc proto.TraceCtx) {
 	c.qmu.Lock()
 	if c.qdone {
 		c.qmu.Unlock()
@@ -567,13 +626,22 @@ func (c *conn) sendFrame(op byte, id uint64, payload []byte) {
 		c.close()
 		return
 	}
-	c.out = proto.AppendFrame(c.out, proto.Frame{Ver: proto.Version, Op: op, ID: id, Payload: payload})
+	c.out = proto.AppendFrame(c.out, proto.Frame{Ver: ver, Op: op, ID: id, Payload: payload, Trace: tc})
 	c.nq++
 	c.qmu.Unlock()
 	select {
 	case c.qsig <- struct{}{}:
 	default:
 	}
+}
+
+// noteFlushTrace arms the writer's flush-span attribution for the
+// next flush on this connection. Called by whichever goroutine just
+// kept a span tree; last writer wins.
+func (c *conn) noteFlushTrace(tid, sid uint64) {
+	c.qmu.Lock()
+	c.flushTID, c.flushSID = tid, sid
+	c.qmu.Unlock()
 }
 
 func errorFrame(id uint64, code byte, msg string) proto.Frame {
@@ -590,10 +658,11 @@ func errorFrame(id uint64, code byte, msg string) proto.Frame {
 func (s *Server) handle(nc net.Conn) {
 	defer s.wg.Done()
 	c := &conn{
-		srv:  s,
-		nc:   nc,
-		qsig: make(chan struct{}, 1),
-		done: make(chan struct{}),
+		srv:    s,
+		nc:     nc,
+		qsig:   make(chan struct{}, 1),
+		done:   make(chan struct{}),
+		reqVer: proto.Version, // until a frame says otherwise
 	}
 	s.mu.Lock()
 	s.conns[c] = struct{}{}
@@ -661,6 +730,19 @@ func (c *conn) writeLoop() {
 			}
 			c.srv.sm.phaseFlush.ObserveSince(t0)
 			c.srv.sm.flushBytes.Observe(int64(len(batch)))
+			if tr := c.srv.tr; tr != nil {
+				c.qmu.Lock()
+				tid, sid := c.flushTID, c.flushSID
+				c.flushTID, c.flushSID = 0, 0
+				c.qmu.Unlock()
+				if tid != 0 {
+					tr.Record(trace.Span{
+						Trace: tid, ID: tr.NewID(), Parent: sid,
+						Start: t0.UnixNano(), Dur: int64(time.Since(t0)),
+						Kind: trace.KindFlush, Shard: -1, Out: int32(len(batch)),
+					})
+				}
+			}
 		}
 		if done {
 			c.qmu.Lock()
@@ -701,7 +783,11 @@ func (c *conn) readLoop() {
 		if err != nil {
 			// Framing violations get a parting error frame; EOF and
 			// deadline expiry are normal ends. Either way the stream
-			// cannot be resynchronized, so the connection ends.
+			// cannot be resynchronized, so the connection ends. The
+			// stale per-request trace context is cleared first so the
+			// parting error is not misattributed to the previous
+			// request's trace.
+			c.reqT = proto.TraceCtx{}
 			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) &&
 				!isTimeout(err) && !errors.Is(err, net.ErrClosed) {
 				code := byte(proto.ErrCodeBadFrame)
@@ -713,11 +799,24 @@ func (c *conn) readLoop() {
 			return
 		}
 		t0 := time.Now() // receipt: phase timing starts here
-		s.st.bytesIn.Add(uint64(proto.HeaderSize + len(f.Payload)))
+		wire := proto.HeaderSize + len(f.Payload)
+		if f.Ver >= 4 {
+			wire++ // extlen byte
+			if f.Trace.ID != 0 {
+				wire += proto.TraceExtLen
+			}
+		}
+		s.st.bytesIn.Add(uint64(wire))
 		s.st.requests.Add(1)
-		if f.Ver != proto.Version {
+		c.reqVer, c.reqT, c.reqOp, c.reqT0 = f.Ver, f.Trace, f.Op, t0
+		if f.Ver != proto.Version && f.Ver != proto.Version-1 {
+			// v3 frames (no trace extension) stay welcome; their replies
+			// are encoded as v3 by sendFrame. An unknown version gets
+			// its refusal in the server's own version — there is
+			// nothing better to speak.
+			c.reqVer = proto.Version
 			c.sendError(f.ID, proto.ErrCodeVersion,
-				fmt.Sprintf("protocol version %d, server speaks %d", f.Ver, proto.Version))
+				fmt.Sprintf("protocol version %d, server speaks %d (and %d)", f.Ver, proto.Version, proto.Version-1))
 			return
 		}
 		if !c.dispatch(f, t0) {
@@ -740,11 +839,23 @@ func (c *conn) sendError(id uint64, code byte, msg string) {
 	c.srv.st.errors.Add(1)
 	// Errors are cold; building the payload fresh keeps pscratch free
 	// for whatever reply construction the caller was in the middle of.
-	c.sendFrame(proto.OpError, id, proto.AppendError(nil, code, msg))
+	c.sendFrame(proto.OpError, id, proto.AppendError(nil, code, msg), c.reqVer, c.reqT)
+	// Tail-keep on error: a request that arrived with a trace context
+	// and failed keeps a server span carrying the error code, whatever
+	// the sampling decision was. Only the reader goroutine calls
+	// sendError, so reqOp/reqT0/reqT are safe to read. Framing errors
+	// (no parsed request) cleared reqT and record nothing.
+	if tr := c.srv.tr; tr != nil && c.reqT.ID != 0 {
+		tr.Record(trace.Span{
+			Trace: c.reqT.ID, ID: tr.NewID(), Parent: c.reqT.Span,
+			Start: c.reqT0.UnixNano(), Dur: int64(time.Since(c.reqT0)),
+			Kind: trace.KindServer, Op: c.reqOp, Err: code, Shard: -1,
+		})
+	}
 }
 
 func (c *conn) reply(id uint64, op byte, payload []byte) {
-	c.sendFrame(op|proto.FlagReply, id, payload)
+	c.sendFrame(op|proto.FlagReply, id, payload, c.reqVer, c.reqT)
 }
 
 // dispatch executes one request. It returns false when the connection
@@ -774,9 +885,10 @@ func (c *conn) dispatch(f proto.Frame, t0 time.Time) bool {
 			return true
 		}
 		s.st.writes.Add(1)
-		s.sm.phaseDecode.ObserveSince(t0)
+		td := time.Now()
+		s.sm.phaseDecode.Observe(int64(td.Sub(t0)))
 		c.pending.Add(1)
-		s.bat.submit(writeReq{key: key, val: val, id: f.ID, c: c, t0: t0, in: len(f.Payload)})
+		s.bat.submit(writeReq{key: key, val: val, id: f.ID, c: c, t0: t0, td: td, ver: f.Ver, tc: f.Trace, in: len(f.Payload)})
 
 	case proto.OpPutTTL:
 		key, val, exp, err := proto.DecodeKeyValExp(f.Payload)
@@ -785,9 +897,10 @@ func (c *conn) dispatch(f proto.Frame, t0 time.Time) bool {
 			return true
 		}
 		s.st.writes.Add(1)
-		s.sm.phaseDecode.ObserveSince(t0)
+		td := time.Now()
+		s.sm.phaseDecode.Observe(int64(td.Sub(t0)))
 		c.pending.Add(1)
-		s.bat.submit(writeReq{key: key, val: val, exp: exp, ttl: true, id: f.ID, c: c, t0: t0, in: len(f.Payload)})
+		s.bat.submit(writeReq{key: key, val: val, exp: exp, ttl: true, id: f.ID, c: c, t0: t0, td: td, ver: f.Ver, tc: f.Trace, in: len(f.Payload)})
 
 	case proto.OpDel:
 		key, err := proto.DecodeKey(f.Payload)
@@ -796,9 +909,10 @@ func (c *conn) dispatch(f proto.Frame, t0 time.Time) bool {
 			return true
 		}
 		s.st.writes.Add(1)
-		s.sm.phaseDecode.ObserveSince(t0)
+		td := time.Now()
+		s.sm.phaseDecode.Observe(int64(td.Sub(t0)))
 		c.pending.Add(1)
-		s.bat.submit(writeReq{key: key, del: true, id: f.ID, c: c, t0: t0, in: len(f.Payload)})
+		s.bat.submit(writeReq{key: key, del: true, id: f.ID, c: c, t0: t0, td: td, ver: f.Ver, tc: f.Trace, in: len(f.Payload)})
 
 	case proto.OpGet:
 		key, err := proto.DecodeKey(f.Payload)
@@ -908,11 +1022,25 @@ func (c *conn) dispatch(f proto.Frame, t0 time.Time) bool {
 
 	case proto.OpCheckpoint:
 		// A durability barrier: everything this connection has been
-		// acknowledged for is on disk when the reply arrives.
+		// acknowledged for is on disk when the reply arrives. When
+		// tracing, the span identity is minted up front (the barrier is
+		// inherently slow — always kept) so the durable layer's
+		// checkpoint/sweep spans can parent under this request's server
+		// span; noteInline consumes the premint instead of re-deciding.
+		var ptid, psid uint64
+		if s.tr != nil {
+			ptid = f.Trace.ID
+			if ptid == 0 {
+				ptid = s.tr.NewID()
+			}
+			psid = s.tr.NewID()
+			c.preTID, c.preSID = ptid, psid
+		}
 		td := time.Now()
 		c.pending.Wait()
 		tw := time.Now()
-		if err := s.db.Checkpoint(); err != nil {
+		if err := s.db.CheckpointTraced(ptid, psid); err != nil {
+			c.preTID, c.preSID = 0, 0
 			c.sendError(f.ID, proto.ErrCodeInternal, err.Error())
 			return true
 		}
@@ -972,9 +1100,10 @@ func (c *conn) dispatch(f proto.Frame, t0 time.Time) bool {
 		}
 		s.st.writes.Add(1)
 		s.st.nsOps.Add(1)
-		s.sm.phaseDecode.ObserveSince(t0)
+		td := time.Now()
+		s.sm.phaseDecode.Observe(int64(td.Sub(t0)))
 		c.pending.Add(1)
-		s.bat.submit(writeReq{ns: ns, key: key, val: val, exp: exp, id: f.ID, c: c, t0: t0, in: len(f.Payload)})
+		s.bat.submit(writeReq{ns: ns, key: key, val: val, exp: exp, id: f.ID, c: c, t0: t0, td: td, ver: f.Ver, tc: f.Trace, in: len(f.Payload)})
 
 	case proto.OpNSGet:
 		ns, key, err := proto.DecodeNSKey(f.Payload)
@@ -1001,9 +1130,10 @@ func (c *conn) dispatch(f proto.Frame, t0 time.Time) bool {
 		}
 		s.st.writes.Add(1)
 		s.st.nsOps.Add(1)
-		s.sm.phaseDecode.ObserveSince(t0)
+		td := time.Now()
+		s.sm.phaseDecode.Observe(int64(td.Sub(t0)))
 		c.pending.Add(1)
-		s.bat.submit(writeReq{ns: ns, key: key, del: true, id: f.ID, c: c, t0: t0, in: len(f.Payload)})
+		s.bat.submit(writeReq{ns: ns, key: key, del: true, id: f.ID, c: c, t0: t0, td: td, ver: f.Ver, tc: f.Trace, in: len(f.Payload)})
 
 	case proto.OpDropNS:
 		ns, err := proto.DecodeNSName(f.Payload)
@@ -1013,9 +1143,10 @@ func (c *conn) dispatch(f proto.Frame, t0 time.Time) bool {
 		}
 		s.st.writes.Add(1)
 		s.st.nsOps.Add(1)
-		s.sm.phaseDecode.ObserveSince(t0)
+		td := time.Now()
+		s.sm.phaseDecode.Observe(int64(td.Sub(t0)))
 		c.pending.Add(1)
-		s.bat.submit(writeReq{ns: ns, drop: true, id: f.ID, c: c, t0: t0, in: len(f.Payload)})
+		s.bat.submit(writeReq{ns: ns, drop: true, id: f.ID, c: c, t0: t0, td: td, ver: f.Ver, tc: f.Trace, in: len(f.Payload)})
 
 	case proto.OpListNS:
 		if len(f.Payload) != 0 {

@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// jsonSpan is Span rendered for /debug/traces: ids in hex, the kind as
+// its symbolic name, durations in nanoseconds. Every field is a number
+// or a fixed-alphabet token — the JSON surface cannot carry key,
+// value, or tenant-name bytes any more than Span itself can.
+type jsonSpan struct {
+	Span   string `json:"span"`
+	Parent string `json:"parent,omitempty"`
+	Kind   string `json:"kind"`
+	Op     byte   `json:"op,omitempty"`
+	Err    byte   `json:"err,omitempty"`
+	Start  int64  `json:"start_unix_ns"`
+	DurNS  int64  `json:"dur_ns"`
+	Shard  int32  `json:"shard"`
+	In     int32  `json:"in,omitempty"`
+	Out    int32  `json:"out,omitempty"`
+	Link   string `json:"link,omitempty"`
+}
+
+type jsonTrace struct {
+	Trace string     `json:"trace"`
+	Spans []jsonSpan `json:"spans"`
+}
+
+type jsonPage struct {
+	Traces   []jsonTrace `json:"traces"`
+	Recorded uint64      `json:"spans_recorded"`
+	Dropped  uint64      `json:"spans_dropped"`
+}
+
+func hexID(v uint64) string { return strconv.FormatUint(v, 16) }
+
+// ServeHTTP serves the ring buffer's contents as JSON, grouped into
+// traces (most recent first). Query parameters:
+//
+//	trace=<hex id>   single-trace lookup
+//	min_dur=<dur>    only traces whose root/server span is at least this slow (e.g. 10ms)
+//	op=<opcode>      only traces touching this opcode (hex 0xNN or decimal)
+//	err=1            only traces containing a failed span
+//	limit=<n>        at most n traces (default 100)
+func (st *Store) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	page := jsonPage{Traces: []jsonTrace{}}
+	if st != nil {
+		page.Recorded = st.recorded.Value()
+		page.Dropped = st.dropped.Value()
+		page.Traces = st.collect(r)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	enc.Encode(page) //nolint:errcheck // client gone; nothing to do
+}
+
+func (st *Store) collect(r *http.Request) []jsonTrace {
+	q := r.URL.Query()
+	var (
+		wantTrace uint64
+		minDur    int64
+		wantOp    = -1
+		wantErr   = q.Get("err") == "1"
+		limit     = 100
+	)
+	if s := q.Get("trace"); s != "" {
+		wantTrace, _ = strconv.ParseUint(s, 16, 64)
+	}
+	if s := q.Get("min_dur"); s != "" {
+		if d, err := time.ParseDuration(s); err == nil {
+			minDur = int64(d)
+		}
+	}
+	if s := q.Get("op"); s != "" {
+		if v, err := strconv.ParseUint(s, 0, 8); err == nil {
+			wantOp = int(v)
+		}
+	}
+	if s := q.Get("limit"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			limit = v
+		}
+	}
+
+	spans := st.Snapshot()
+	byTrace := map[uint64][]Span{}
+	for _, sp := range spans {
+		if wantTrace != 0 && sp.Trace != wantTrace {
+			continue
+		}
+		byTrace[sp.Trace] = append(byTrace[sp.Trace], sp)
+	}
+	type scored struct {
+		tid    uint64
+		newest int64
+		spans  []Span
+	}
+	var traces []scored
+	for tid, sps := range byTrace {
+		match := wantOp < 0 && !wantErr && minDur == 0
+		var newest int64
+		for _, sp := range sps {
+			if sp.Start > newest {
+				newest = sp.Start
+			}
+			opOK := wantOp < 0 || int(sp.Op) == wantOp
+			errOK := !wantErr || sp.Err != 0
+			durOK := minDur == 0 || sp.Dur >= minDur
+			if opOK && errOK && durOK {
+				match = true
+			}
+		}
+		if match {
+			traces = append(traces, scored{tid, newest, sps})
+		}
+	}
+	sort.Slice(traces, func(i, j int) bool { return traces[i].newest > traces[j].newest })
+	if len(traces) > limit {
+		traces = traces[:limit]
+	}
+	out := make([]jsonTrace, 0, len(traces))
+	for _, t := range traces {
+		sort.Slice(t.spans, func(i, j int) bool { return t.spans[i].Start < t.spans[j].Start })
+		jt := jsonTrace{Trace: hexID(t.tid), Spans: make([]jsonSpan, 0, len(t.spans))}
+		for _, sp := range t.spans {
+			js := jsonSpan{
+				Span:  hexID(sp.ID),
+				Kind:  sp.Kind.String(),
+				Op:    sp.Op,
+				Err:   sp.Err,
+				Start: sp.Start,
+				DurNS: sp.Dur,
+				Shard: sp.Shard,
+				In:    sp.In,
+				Out:   sp.Out,
+			}
+			if sp.Parent != 0 {
+				js.Parent = hexID(sp.Parent)
+			}
+			if sp.Link != 0 {
+				js.Link = hexID(sp.Link)
+			}
+			jt.Spans = append(jt.Spans, js)
+		}
+		out = append(out, jt)
+	}
+	return out
+}

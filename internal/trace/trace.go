@@ -1,0 +1,278 @@
+// Package trace is the stack's request-tracing kit: fixed-size spans
+// recorded into a lock-free per-node ring buffer, sampled at a
+// configurable rate with tail-based always-keep for slow or failed
+// requests, and served as JSON from the -debug-addr mux.
+//
+// The same two constraints that shape package obs apply here, harder:
+//
+//   - Hot-path cost. Recording a span is one atomic slot claim and a
+//     struct copy — no locks, no allocation. A nil *Store is valid
+//     everywhere and every method on it is a no-op, so the disabled
+//     path costs one nil check.
+//
+//   - Forensic cleanliness. A trace is, by definition, a record of an
+//     operation — exactly the thing this database erases from its
+//     persistent state (ARCHITECTURE.md, "where history independence
+//     could be lost", entry 13). Span is therefore a fixed-size struct
+//     with no payload-capable field by construction: it can carry
+//     timings, sizes, shard indices, opcodes, and error codes — never
+//     a key, value, or tenant name — and the store is bounded volatile
+//     memory only, never written to disk or the manifest.
+package trace
+
+import (
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Kind tells what a span measures. Kinds are append-only; the table in
+// docs/OBSERVABILITY.md mirrors this list.
+type Kind uint8
+
+const (
+	// KindClient is the client-side root span of one request: send to
+	// matched reply, including queue and transport time.
+	KindClient Kind = iota + 1
+	// KindDial is one client dial attempt (initial or background redial).
+	KindDial
+	// KindFailover is one client pool failover probe sweep.
+	KindFailover
+	// KindServer is the server-side root span of one request: frame
+	// receipt to reply encode.
+	KindServer
+	// KindDecode is the server decode phase (frame receipt to dispatch).
+	KindDecode
+	// KindWait is the coalesce-wait phase (dispatch to batch formation;
+	// zero for inline reads).
+	KindWait
+	// KindApply is the store-apply phase.
+	KindApply
+	// KindEncode is the reply-encode phase.
+	KindEncode
+	// KindFlush is the outbound-buffer flush that carried the reply.
+	KindFlush
+	// KindBatch is one coalescer drain; In holds the batch size.
+	KindBatch
+	// KindEraseBarrier is the DROPNS drop+checkpoint erasure barrier.
+	KindEraseBarrier
+	// KindCheckpoint is one durable checkpoint commit; Link holds the
+	// first 8 bytes of the committed manifest's SHA-256.
+	KindCheckpoint
+	// KindSweep is the expired-entry sweep inside a checkpoint.
+	KindSweep
+	// KindSyncRound is one replica anti-entropy round; Link holds the
+	// first 8 bytes of the primary's manifest SHA-256, correlating the
+	// round to the primary-side checkpoint span that committed it.
+	KindSyncRound
+	// KindInstall is the replica's checkpoint install inside a round.
+	KindInstall
+)
+
+var kindNames = [...]string{
+	KindClient:       "client",
+	KindDial:         "dial",
+	KindFailover:     "failover",
+	KindServer:       "server",
+	KindDecode:       "decode",
+	KindWait:         "coalesce_wait",
+	KindApply:        "apply",
+	KindEncode:       "encode",
+	KindFlush:        "flush",
+	KindBatch:        "batch",
+	KindEraseBarrier: "erase_barrier",
+	KindCheckpoint:   "checkpoint",
+	KindSweep:        "sweep",
+	KindSyncRound:    "sync_round",
+	KindInstall:      "install",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Span is one timed event in a trace. It is a fixed-size struct with no
+// pointer, string, or slice field BY CONSTRUCTION — the type cannot
+// carry key, value, or tenant-name bytes, mirroring obs.SlowOp. The
+// forensic test greps the store's entire JSON output for needle
+// encodings to hold the line.
+type Span struct {
+	Trace  uint64 // trace id; 0 is never minted
+	ID     uint64 // span id, unique within the node
+	Parent uint64 // parent span id; 0 for a root span
+	Link   uint64 // correlation tag: first 8 bytes of a manifest SHA-256, else 0
+	Start  int64  // wall-clock start, unix nanoseconds
+	Dur    int64  // duration, nanoseconds
+	Kind   Kind
+	Op     byte  // protocol opcode, 0 when not an op span
+	Err    byte  // protocol error code, 0 on success
+	Shard  int32 // shard index, -1 when not applicable / deliberately withheld
+	In     int32 // request payload bytes (batch size for KindBatch)
+	Out    int32 // reply payload bytes
+}
+
+// slot is one ring-buffer cell guarded by a per-slot sequence: even =
+// stable, odd = claimed. Writers AND readers take a cell by one CAS
+// (even -> odd), touch the span only while holding it, and release by
+// storing the advanced even value — so the span memory is never
+// accessed concurrently and no reader can observe a torn span. A
+// failed claim never blocks: a writer drops the span (counted), a
+// reader skips the cell.
+type slot struct {
+	seq  atomic.Uint64
+	span Span
+}
+
+// Store is a lock-free bounded ring of recently recorded spans. The
+// zero Store is not usable; a nil *Store is valid everywhere and makes
+// every method a cheap no-op, so instrumented code records
+// unconditionally ("is tracing enabled" is one nil check).
+type Store struct {
+	slots []slot
+	mask  uint64
+	next  atomic.Uint64 // next ring position to claim
+	ids   atomic.Uint64 // id-mint counter
+	seed  uint64        // per-store id-mint offset
+	every uint64        // head-sample 1-in-every (0: never)
+	tick  atomic.Uint64 // head-sample counter
+
+	recorded *obs.Counter
+	dropped  *obs.Counter
+	sampled  *obs.Counter
+}
+
+// NewStore returns a trace store holding up to size spans (rounded up
+// to a power of two, minimum 64) and head-sampling requests at
+// sampleRate (0: sample nothing — tail-kept slow and failed requests
+// still record; 1: sample everything). Counters register on reg (nil:
+// unregistered but live).
+func NewStore(size int, sampleRate float64, reg *obs.Registry) *Store {
+	n := 64
+	for n < size {
+		n <<= 1
+	}
+	var every uint64
+	switch {
+	case sampleRate <= 0:
+		every = 0
+	case sampleRate >= 1:
+		every = 1
+	default:
+		every = uint64(1/sampleRate + 0.5)
+	}
+	var sb [8]byte
+	cryptorand.Read(sb[:]) //nolint:errcheck // a zero seed only weakens id uniqueness across nodes
+	st := &Store{
+		slots: make([]slot, n),
+		mask:  uint64(n - 1),
+		seed:  binary.BigEndian.Uint64(sb[:]),
+		every: every,
+		recorded: reg.Counter("hidb_trace_spans_total",
+			"Spans recorded into the trace ring buffer."),
+		dropped: reg.Counter("hidb_trace_spans_dropped_total",
+			"Spans dropped on ring-buffer slot contention."),
+		sampled: reg.Counter("hidb_trace_sampled_total",
+			"Requests chosen by head sampling."),
+	}
+	return st
+}
+
+// splitmix64 is the id-mint mixer: a bijection on uint64, so distinct
+// counter values always mint distinct ids.
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewID mints a fresh nonzero id, usable as a trace id or span id.
+// Returns 0 on a nil store (tracing disabled).
+func (st *Store) NewID() uint64 {
+	if st == nil {
+		return 0
+	}
+	v := splitmix64(st.seed + st.ids.Add(1))
+	if v == 0 {
+		v = 1
+	}
+	return v
+}
+
+// Sample reports whether the next request should be head-sampled
+// (1-in-every). Tail keeping — slow or failed requests — is the
+// caller's decision at completion and does not go through Sample.
+func (st *Store) Sample() bool {
+	if st == nil || st.every == 0 {
+		return false
+	}
+	if st.every == 1 || st.tick.Add(1)%st.every == 0 {
+		st.sampled.Inc()
+		return true
+	}
+	return false
+}
+
+// Record stores one span. Lock-free and allocation-free: one ring
+// position fetch-add, one CAS to claim the cell, a struct copy, one
+// release store. If the cell is mid-claim by another writer or a
+// reader, the span is dropped (counted) rather than waiting. No-op on
+// a nil store.
+func (st *Store) Record(sp Span) {
+	if st == nil {
+		return
+	}
+	w := st.next.Add(1) - 1
+	s := &st.slots[w&st.mask]
+	seq := s.seq.Load()
+	if seq&1 != 0 || !s.seq.CompareAndSwap(seq, seq+1) {
+		st.dropped.Inc()
+		return
+	}
+	s.span = sp
+	s.seq.Store(seq + 2)
+	st.recorded.Inc()
+}
+
+// Snapshot copies every span currently in the ring, oldest position
+// first. Cells mid-write are skipped, never torn: the reader claims
+// each cell with the same CAS the writers use, so it only touches span
+// memory it owns. A concurrent Record aimed at a claimed cell drops
+// (counted) — scraping shoulders aside at most a handful of records.
+func (st *Store) Snapshot() []Span {
+	if st == nil {
+		return nil
+	}
+	out := make([]Span, 0, len(st.slots))
+	for i := range st.slots {
+		s := &st.slots[i]
+		seq := s.seq.Load()
+		if seq == 0 || seq&1 != 0 || !s.seq.CompareAndSwap(seq, seq+1) {
+			continue // empty, or claimed by a writer/reader right now
+		}
+		sp := s.span
+		s.seq.Store(seq + 2)
+		out = append(out, sp)
+	}
+	return out
+}
+
+// ByTrace returns every stored span of one trace.
+func (st *Store) ByTrace(tid uint64) []Span {
+	if st == nil || tid == 0 {
+		return nil
+	}
+	all := st.Snapshot()
+	out := all[:0]
+	for _, sp := range all {
+		if sp.Trace == tid {
+			out = append(out, sp)
+		}
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestRingContention hammers one store from many writers while readers
+// snapshot concurrently, and proves no span is ever torn: every field
+// of a written span is derived from one seed value, so any
+// half-written cell a reader could observe would be internally
+// inconsistent. Run under -race this also proves the claim/release
+// protocol never lets two goroutines touch one cell's span memory at
+// once.
+func TestRingContention(t *testing.T) {
+	st := NewStore(256, 1, obs.NewRegistry())
+	const writers = 8
+	const perWriter = 5000
+
+	stamp := func(v uint64) Span {
+		return Span{
+			Trace: v, ID: v + 1, Parent: v + 2, Link: v + 3,
+			Start: int64(v + 4), Dur: int64(v + 5),
+			Kind: KindServer, Op: byte(v), Err: byte(v >> 8),
+			Shard: int32(v % 97), In: int32(v % 89), Out: int32(v % 83),
+		}
+	}
+	check := func(sp Span) {
+		v := sp.Trace
+		want := stamp(v)
+		if sp != want {
+			t.Errorf("torn span: got %+v, want %+v", sp, want)
+		}
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, sp := range st.Snapshot() {
+					check(sp)
+				}
+			}
+		}()
+	}
+	var writeWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			for i := 0; i < perWriter; i++ {
+				st.Record(stamp(uint64(w*perWriter + i)))
+			}
+		}(w)
+	}
+	writeWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	for _, sp := range st.Snapshot() {
+		check(sp)
+	}
+	got := st.recorded.Value() + st.dropped.Value()
+	if want := uint64(writers * perWriter); got != want {
+		t.Errorf("recorded+dropped = %d, want %d (every Record accounted)", got, want)
+	}
+}
+
+// TestRecordZeroAlloc pins the steady-state hot path: recording a span
+// into a live store allocates nothing.
+func TestRecordZeroAlloc(t *testing.T) {
+	st := NewStore(1024, 0.5, nil)
+	sp := Span{Trace: 7, ID: 8, Kind: KindApply, Start: 1, Dur: 2}
+	if n := testing.AllocsPerRun(1000, func() {
+		st.Record(sp)
+		st.Sample()
+	}); n != 0 {
+		t.Errorf("Record+Sample allocates %v per op, want 0", n)
+	}
+}
+
+// TestNilStore proves the disabled path: every method on a nil *Store
+// is a safe no-op, so instrumented code never branches on "is tracing
+// enabled" beyond the nil check inside the method.
+func TestNilStore(t *testing.T) {
+	var st *Store
+	st.Record(Span{Trace: 1})
+	if st.Sample() {
+		t.Error("nil store sampled")
+	}
+	if id := st.NewID(); id != 0 {
+		t.Errorf("nil store minted id %d", id)
+	}
+	if sp := st.Snapshot(); sp != nil {
+		t.Errorf("nil store snapshot = %v", sp)
+	}
+	if sp := st.ByTrace(1); sp != nil {
+		t.Errorf("nil store ByTrace = %v", sp)
+	}
+	rec := httptest.NewRecorder()
+	st.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rec.Code != 200 {
+		t.Errorf("nil store handler status %d", rec.Code)
+	}
+	var page struct {
+		Traces []json.RawMessage `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
+		t.Fatalf("nil store handler emitted invalid JSON: %v", err)
+	}
+}
+
+// TestSampling checks the 1-in-N head-sample arithmetic and the
+// rate<=0 / rate>=1 edges.
+func TestSampling(t *testing.T) {
+	st := NewStore(64, 0.25, nil)
+	hits := 0
+	for i := 0; i < 1000; i++ {
+		if st.Sample() {
+			hits++
+		}
+	}
+	if hits != 250 {
+		t.Errorf("rate 0.25: %d/1000 sampled, want 250", hits)
+	}
+	always := NewStore(64, 1, nil)
+	never := NewStore(64, 0, nil)
+	for i := 0; i < 10; i++ {
+		if !always.Sample() {
+			t.Fatal("rate 1 skipped a request")
+		}
+		if never.Sample() {
+			t.Fatal("rate 0 sampled a request")
+		}
+	}
+}
+
+// TestIDsUnique checks the mint is collision-free over a large run and
+// never returns 0.
+func TestIDsUnique(t *testing.T) {
+	st := NewStore(64, 0, nil)
+	seen := make(map[uint64]bool, 100000)
+	for i := 0; i < 100000; i++ {
+		id := st.NewID()
+		if id == 0 {
+			t.Fatal("minted id 0")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %x", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestHandlerFilters exercises /debug/traces: grouping, single-trace
+// lookup, min-duration, opcode and error filters, and JSON validity.
+func TestHandlerFilters(t *testing.T) {
+	st := NewStore(256, 0, nil)
+	st.Record(Span{Trace: 0xA, ID: 1, Kind: KindServer, Op: 0x02, Start: 100, Dur: 50, Shard: 3})
+	st.Record(Span{Trace: 0xA, ID: 2, Parent: 1, Kind: KindApply, Op: 0x02, Start: 110, Dur: 20, Shard: 3})
+	st.Record(Span{Trace: 0xB, ID: 3, Kind: KindServer, Op: 0x01, Start: 200, Dur: 1000000, Err: 7, Shard: -1})
+
+	get := func(url string) []jsonTrace {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		st.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		if rec.Code != 200 {
+			t.Fatalf("%s: status %d", url, rec.Code)
+		}
+		var page struct {
+			Traces []jsonTrace `json:"traces"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
+			t.Fatalf("%s: invalid JSON: %v", url, err)
+		}
+		return page.Traces
+	}
+
+	if got := get("/debug/traces"); len(got) != 2 {
+		t.Errorf("unfiltered: %d traces, want 2", len(got))
+	}
+	one := get("/debug/traces?trace=a")
+	if len(one) != 1 || one[0].Trace != "a" || len(one[0].Spans) != 2 {
+		t.Errorf("trace=a lookup: %+v", one)
+	}
+	if one[0].Spans[1].Parent != "1" {
+		t.Errorf("child span parent = %q, want %q", one[0].Spans[1].Parent, "1")
+	}
+	if got := get("/debug/traces?err=1"); len(got) != 1 || got[0].Trace != "b" {
+		t.Errorf("err=1: %+v", got)
+	}
+	if got := get("/debug/traces?op=0x01"); len(got) != 1 || got[0].Trace != "b" {
+		t.Errorf("op=0x01: %+v", got)
+	}
+	if got := get("/debug/traces?min_dur=1ms"); len(got) != 1 || got[0].Trace != "b" {
+		t.Errorf("min_dur=1ms: %+v", got)
+	}
+	if got := get("/debug/traces?limit=1"); len(got) != 1 || got[0].Trace != "b" {
+		t.Errorf("limit=1 should keep the newest trace: %+v", got)
+	}
+}
+
+// TestRingWraps proves old spans are overwritten, not leaked: the ring
+// never holds more than its capacity.
+func TestRingWraps(t *testing.T) {
+	st := NewStore(64, 0, nil)
+	for i := 0; i < 1000; i++ {
+		st.Record(Span{Trace: uint64(i + 1), ID: 1, Kind: KindServer})
+	}
+	got := st.Snapshot()
+	if len(got) > 64 {
+		t.Fatalf("ring holds %d spans, capacity 64", len(got))
+	}
+	for _, sp := range got {
+		if sp.Trace <= 1000-64 {
+			t.Errorf("stale span %d survived %d records into a 64-slot ring", sp.Trace, 1000)
+		}
+	}
+}
